@@ -1,0 +1,181 @@
+// Fig 1 — the restricted proxy itself: certificate + proxy key.
+//
+// Regenerates the figure's object in both realizations and measures the
+// primitive costs: granting a proxy, verifying its chain, and how both
+// scale with the number of restriction subfields (0..64).  Counters report
+// the certificate's wire size.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace rproxy;
+using rproxy::bench::expect_ok;
+
+core::RestrictionSet make_restrictions(std::int64_t n) {
+  core::RestrictionSet set;
+  for (std::int64_t i = 0; i < n; ++i) {
+    switch (i % 4) {
+      case 0:
+        set.add(core::AuthorizedRestriction{
+            {core::ObjectRights{"/obj/" + std::to_string(i), {"read"}}}});
+        break;
+      case 1:
+        set.add(core::QuotaRestriction{"usd", static_cast<uint64_t>(i)});
+        break;
+      case 2:
+        set.add(core::IssuedForRestriction{{"file-server"}});
+        break;
+      default:
+        set.add(core::ForUseByGroupRestriction{
+            {GroupName{"gs", "g" + std::to_string(i)}}, 1});
+    }
+  }
+  return set;
+}
+
+/// Granting a public-key restricted proxy (Fig 6 realization of Fig 1).
+void BM_GrantPkProxy(benchmark::State& state) {
+  testing::World world;
+  world.add_principal("alice");
+  const testing::Principal& alice = world.principal("alice");
+  const core::RestrictionSet set = make_restrictions(state.range(0));
+
+  std::size_t cert_bytes = 0;
+  for (auto _ : state) {
+    core::Proxy proxy = core::grant_pk_proxy("alice", alice.identity, set,
+                                             world.clock.now(), util::kHour);
+    cert_bytes = wire::encode_to_bytes(proxy.chain).size();
+    benchmark::DoNotOptimize(proxy);
+  }
+  state.counters["cert_bytes"] =
+      benchmark::Counter(static_cast<double>(cert_bytes));
+}
+BENCHMARK(BM_GrantPkProxy)->Arg(0)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+/// Verifying a public-key proxy chain at the end-server.
+void BM_VerifyPkProxy(benchmark::State& state) {
+  testing::World world;
+  world.add_principal("alice");
+  world.add_principal("file-server");
+  const core::Proxy proxy = core::grant_pk_proxy(
+      "alice", world.principal("alice").identity,
+      make_restrictions(state.range(0)), world.clock.now(), util::kHour);
+
+  core::ProxyVerifier::Config vc;
+  vc.server_name = "file-server";
+  vc.resolver = &world.resolver;
+  vc.pk_root = world.name_server.root_key();
+  const core::ProxyVerifier verifier(std::move(vc));
+
+  for (auto _ : state) {
+    auto verified = verifier.verify_chain(proxy.chain, world.clock.now());
+    benchmark::DoNotOptimize(verified);
+    if (!verified.is_ok()) state.SkipWithError("verify failed");
+  }
+}
+BENCHMARK(BM_VerifyPkProxy)->Arg(0)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+/// Granting a conventional (Kerberos) proxy: seal an authenticator with
+/// subkey + authorization-data (§6.2).
+void BM_GrantKrbProxy(benchmark::State& state) {
+  testing::World world;
+  world.add_principal("alice");
+  world.add_principal("file-server");
+  world.net.set_default_latency(0);
+  kdc::KdcClient client = world.kdc_client("alice");
+  auto tgt = client.authenticate(8 * util::kHour);
+  auto creds = expect_ok(
+      state, client.get_ticket(tgt.value(), "file-server", 8 * util::kHour),
+      "get_ticket");
+  const core::RestrictionSet set = make_restrictions(state.range(0));
+
+  std::size_t cert_bytes = 0;
+  for (auto _ : state) {
+    core::Proxy proxy =
+        core::grant_krb_proxy(client, creds, set, world.clock.now());
+    cert_bytes = wire::encode_to_bytes(proxy.chain).size();
+    benchmark::DoNotOptimize(proxy);
+  }
+  state.counters["cert_bytes"] =
+      benchmark::Counter(static_cast<double>(cert_bytes));
+}
+BENCHMARK(BM_GrantKrbProxy)->Arg(0)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+/// Verifying a conventional proxy at the end-server.
+void BM_VerifyKrbProxy(benchmark::State& state) {
+  testing::World world;
+  world.add_principal("alice");
+  world.add_principal("file-server");
+  world.net.set_default_latency(0);
+  kdc::KdcClient client = world.kdc_client("alice");
+  auto tgt = client.authenticate(8 * util::kHour);
+  auto creds = expect_ok(
+      state, client.get_ticket(tgt.value(), "file-server", 8 * util::kHour),
+      "get_ticket");
+  const core::Proxy proxy = core::grant_krb_proxy(
+      client, creds, make_restrictions(state.range(0)), world.clock.now());
+
+  core::ProxyVerifier::Config vc;
+  vc.server_name = "file-server";
+  vc.server_key = world.principal("file-server").krb_key;
+  const core::ProxyVerifier verifier(std::move(vc));
+
+  for (auto _ : state) {
+    auto verified = verifier.verify_chain(proxy.chain, world.clock.now());
+    benchmark::DoNotOptimize(verified);
+    if (!verified.is_ok()) state.SkipWithError("verify failed");
+  }
+}
+BENCHMARK(BM_VerifyKrbProxy)->Arg(0)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+/// Proof-of-possession generation + check with the proxy key, the other
+/// half of the Fig 1 object.
+void BM_PossessionRoundTrip(benchmark::State& state) {
+  testing::World world;
+  world.add_principal("alice");
+  world.add_principal("file-server");
+  const bool pk = state.range(0) == 1;
+
+  core::Proxy proxy;
+  core::ProxyVerifier::Config vc;
+  vc.server_name = "file-server";
+  if (pk) {
+    proxy = core::grant_pk_proxy("alice", world.principal("alice").identity,
+                                 {}, world.clock.now(), util::kHour);
+    vc.resolver = &world.resolver;
+    vc.pk_root = world.name_server.root_key();
+  } else {
+    world.net.set_default_latency(0);
+    kdc::KdcClient client = world.kdc_client("alice");
+    auto tgt = client.authenticate(8 * util::kHour);
+    auto creds = expect_ok(
+        state,
+        client.get_ticket(tgt.value(), "file-server", 8 * util::kHour),
+        "get_ticket");
+    proxy = core::grant_krb_proxy(client, creds, {}, world.clock.now());
+    vc.server_key = world.principal("file-server").krb_key;
+  }
+  const core::ProxyVerifier verifier(std::move(vc));
+  auto verified = verifier.verify_chain(proxy.chain, world.clock.now());
+  if (!verified.is_ok()) {
+    state.SkipWithError("chain verify failed");
+    return;
+  }
+  const util::Bytes challenge = crypto::random_bytes(32);
+  const util::Bytes rdigest = core::request_digest("read", "/doc", {});
+
+  for (auto _ : state) {
+    const core::PossessionProof proof = core::prove_bearer(
+        proxy, challenge, "file-server", world.clock.now(), rdigest);
+    auto who = verifier.verify_possession(verified.value(), proof, challenge,
+                                          rdigest, world.clock.now());
+    benchmark::DoNotOptimize(who);
+    if (!who.is_ok()) state.SkipWithError("possession failed");
+  }
+}
+BENCHMARK(BM_PossessionRoundTrip)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("pk");
+
+}  // namespace

@@ -1,0 +1,230 @@
+// Fig 2 — "Relationship of security services": authorization, accounting,
+// group and capability services all stand on restricted proxies, which
+// stand on authentication.
+//
+// Regenerates the figure as a cost ladder: one representative operation at
+// each layer, bottom to top, so the incremental cost of each layer over
+// the one below is visible.  Counters carry the message counts of the
+// networked layers.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace rproxy;
+using rproxy::bench::expect_ok;
+using rproxy::bench::record_protocol_cost;
+
+/// Layer 0: raw authentication — server-side AP-request verification.
+void BM_Layer0_Authentication(benchmark::State& state) {
+  testing::World world;
+  world.add_principal("alice");
+  world.add_principal("file-server");
+  world.net.set_default_latency(0);
+  kdc::KdcClient client = world.kdc_client("alice");
+  auto tgt = client.authenticate(8 * util::kHour);
+  auto creds = expect_ok(
+      state, client.get_ticket(tgt.value(), "file-server", 8 * util::kHour),
+      "ticket");
+
+  const crypto::SymmetricKey& server_key =
+      world.principal("file-server").krb_key;
+  for (auto _ : state) {
+    const kdc::ApRequest ap = client.make_ap_request(creds);
+    auto verified = kdc::verify_ap_request(ap, server_key,
+                                           world.clock.now(), {});
+    benchmark::DoNotOptimize(verified);
+    if (!verified.is_ok()) state.SkipWithError("ap verify failed");
+  }
+}
+BENCHMARK(BM_Layer0_Authentication);
+
+/// Layer 1: restricted proxy — grant + chain verify + possession.
+void BM_Layer1_RestrictedProxy(benchmark::State& state) {
+  testing::World world;
+  world.add_principal("alice");
+  world.add_principal("file-server");
+  const testing::Principal& alice = world.principal("alice");
+
+  core::ProxyVerifier::Config vc;
+  vc.server_name = "file-server";
+  vc.resolver = &world.resolver;
+  vc.pk_root = world.name_server.root_key();
+  const core::ProxyVerifier verifier(std::move(vc));
+  const util::Bytes challenge = crypto::random_bytes(32);
+  const util::Bytes rdigest = core::request_digest("read", "/doc", {});
+
+  for (auto _ : state) {
+    core::RestrictionSet set;
+    set.add(core::AuthorizedRestriction{
+        {core::ObjectRights{"/doc", {"read"}}}});
+    const core::Proxy proxy = core::grant_pk_proxy(
+        "alice", alice.identity, std::move(set), world.clock.now(),
+        util::kHour);
+    auto verified = verifier.verify_chain(proxy.chain, world.clock.now());
+    if (!verified.is_ok()) state.SkipWithError("verify failed");
+    const core::PossessionProof proof = core::prove_bearer(
+        proxy, challenge, "file-server", world.clock.now(), rdigest);
+    auto who = verifier.verify_possession(verified.value(), proof, challenge,
+                                          rdigest, world.clock.now());
+    benchmark::DoNotOptimize(who);
+  }
+}
+BENCHMARK(BM_Layer1_RestrictedProxy);
+
+struct AuthzWorld {
+  explicit AuthzWorld(benchmark::State& state) {
+    world.add_principal("alice");
+    world.add_principal("authz-server");
+    world.add_principal("group-server");
+    world.add_principal("file-server");
+    world.net.set_default_latency(0);
+
+    authz::AuthorizationServer::Config ac;
+    ac.name = "authz-server";
+    ac.own_key = world.principal("authz-server").krb_key;
+    ac.net = &world.net;
+    ac.clock = &world.clock;
+    ac.kdc = testing::World::kKdcName;
+    authz_server = std::make_unique<authz::AuthorizationServer>(ac);
+    authz::Acl acl;
+    acl.add(authz::AclEntry{{"alice"}, {"read"}, {"/doc"}, {}});
+    authz_server->set_acl("file-server", acl);
+    world.net.attach("authz-server", *authz_server);
+
+    authz::GroupServer::Config gc;
+    gc.name = "group-server";
+    gc.own_key = world.principal("group-server").krb_key;
+    gc.net = &world.net;
+    gc.clock = &world.clock;
+    gc.kdc = testing::World::kKdcName;
+    group_server = std::make_unique<authz::GroupServer>(gc);
+    group_server->add_member("staff", "alice");
+    world.net.attach("group-server", *group_server);
+
+    client = std::make_unique<kdc::KdcClient>(world.kdc_client("alice"));
+    auto tgt_result = client->authenticate(8 * util::kHour);
+    if (!tgt_result.is_ok()) state.SkipWithError("authenticate failed");
+    tgt = tgt_result.value();
+    authz_creds = expect_ok(
+        state,
+        client->get_ticket(tgt, "authz-server", 8 * util::kHour),
+        "authz ticket");
+    group_creds = expect_ok(
+        state,
+        client->get_ticket(tgt, "group-server", 8 * util::kHour),
+        "group ticket");
+  }
+
+  testing::World world;
+  std::unique_ptr<authz::AuthorizationServer> authz_server;
+  std::unique_ptr<authz::GroupServer> group_server;
+  std::unique_ptr<kdc::KdcClient> client;
+  kdc::Credentials tgt;
+  kdc::Credentials authz_creds;
+  kdc::Credentials group_creds;
+};
+
+/// Layer 2a: authorization service — one Fig 3 grant.
+void BM_Layer2_AuthorizationGrant(benchmark::State& state) {
+  AuthzWorld w(state);
+  authz::AuthzClient authz_client(w.world.net, w.world.clock, *w.client);
+
+  record_protocol_cost(state, w.world.net, [&] {
+    (void)authz_client.request_authorization(w.authz_creds, "authz-server",
+                                             "file-server", {},
+                                             30 * util::kMinute);
+  });
+  for (auto _ : state) {
+    auto proxy = authz_client.request_authorization(
+        w.authz_creds, "authz-server", "file-server", {},
+        30 * util::kMinute);
+    benchmark::DoNotOptimize(proxy);
+    if (!proxy.is_ok()) state.SkipWithError("grant failed");
+  }
+}
+BENCHMARK(BM_Layer2_AuthorizationGrant);
+
+/// Layer 2b: group service — one membership grant.
+void BM_Layer2_GroupGrant(benchmark::State& state) {
+  AuthzWorld w(state);
+  authz::GroupClient group_client(w.world.net, w.world.clock, *w.client);
+
+  record_protocol_cost(state, w.world.net, [&] {
+    (void)group_client.request_membership(w.group_creds, "group-server",
+                                          "staff", "file-server",
+                                          30 * util::kMinute);
+  });
+  for (auto _ : state) {
+    auto proxy = group_client.request_membership(
+        w.group_creds, "group-server", "staff", "file-server",
+        30 * util::kMinute);
+    benchmark::DoNotOptimize(proxy);
+    if (!proxy.is_ok()) state.SkipWithError("grant failed");
+  }
+}
+BENCHMARK(BM_Layer2_GroupGrant);
+
+/// Layer 3: a full application operation through an end-server.
+void BM_Layer3_EndServerOperation(benchmark::State& state) {
+  testing::World world;
+  world.add_principal("alice");
+  world.add_principal("file-server");
+  world.net.set_default_latency(0);
+  server::FileServer file_server(world.end_server_config("file-server"));
+  file_server.put_file("/doc", "contents");
+  file_server.acl().add(authz::AclEntry{{"alice"}, {}, {}, {}});
+  world.net.attach("file-server", file_server);
+
+  const core::Proxy cap = authz::make_capability_pk(
+      "alice", world.principal("alice").identity, "file-server",
+      {core::ObjectRights{"/doc", {"read"}}}, world.clock.now(),
+      100 * util::kHour);
+  server::AppClient bob(world.net, world.clock, "bob");
+
+  record_protocol_cost(state, world.net, [&] {
+    (void)bob.invoke_with_proxy("file-server", cap, "read", "/doc");
+  });
+  for (auto _ : state) {
+    auto result = bob.invoke_with_proxy("file-server", cap, "read", "/doc");
+    benchmark::DoNotOptimize(result);
+    if (!result.is_ok()) state.SkipWithError("operation failed");
+  }
+}
+BENCHMARK(BM_Layer3_EndServerOperation);
+
+/// Layer 4: accounting — clear one (same-server) check.
+void BM_Layer4_AccountingClear(benchmark::State& state) {
+  testing::World world;
+  world.add_principal("client");
+  world.add_principal("merchant");
+  world.add_principal("bank");
+  world.net.set_default_latency(0);
+  accounting::AccountingServer bank(world.accounting_config("bank"));
+  world.net.attach("bank", bank);
+  bank.open_account("client-acct", "client",
+                    accounting::Balances{{"usd", 1LL << 40}});
+  bank.open_account("merchant-acct", "merchant");
+  auto merchant = world.accounting_client("merchant");
+
+  std::uint64_t ckno = 1;
+  record_protocol_cost(state, world.net, [&] {
+    const accounting::Check check = accounting::write_check(
+        "client", world.principal("client").identity,
+        AccountId{"bank", "client-acct"}, "merchant", "usd", 1, ckno++,
+        world.clock.now(), 100 * util::kHour);
+    (void)merchant.endorse_and_deposit("bank", check, "merchant-acct");
+  });
+  for (auto _ : state) {
+    const accounting::Check check = accounting::write_check(
+        "client", world.principal("client").identity,
+        AccountId{"bank", "client-acct"}, "merchant", "usd", 1, ckno++,
+        world.clock.now(), 100 * util::kHour);
+    auto cleared =
+        merchant.endorse_and_deposit("bank", check, "merchant-acct");
+    benchmark::DoNotOptimize(cleared);
+    if (!cleared.is_ok()) state.SkipWithError("clear failed");
+  }
+}
+BENCHMARK(BM_Layer4_AccountingClear);
+
+}  // namespace

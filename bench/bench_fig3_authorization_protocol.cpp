@@ -1,0 +1,176 @@
+// Fig 3 — the authorization protocol: request -> [operation X only]_R +
+// {Kproxy}Ksession -> presentations to the end-server.
+//
+// Regenerates the message flow and sweeps operations-per-grant to compare
+// against the pull model (Grapevine-style, §5), where the end-server asks
+// a registration server on every operation.  Expected shape: the proxy
+// model pays 2 messages once per grant and verifies offline thereafter;
+// the pull model pays 2 extra messages on EVERY operation — proxies win as
+// ops/grant grows.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace rproxy;
+using rproxy::bench::expect_ok;
+
+struct Fig3World {
+  explicit Fig3World(benchmark::State& state) {
+    world.add_principal("alice");
+    world.add_principal("authz-server");
+    world.add_principal("file-server");
+    world.net.set_default_latency(0);
+
+    file_server = std::make_unique<server::FileServer>(
+        world.end_server_config("file-server"));
+    file_server->put_file("/doc", "contents");
+    file_server->acl().add(authz::AclEntry{{"authz-server"}, {}, {}, {}});
+    world.net.attach("file-server", *file_server);
+
+    authz::AuthorizationServer::Config ac;
+    ac.name = "authz-server";
+    ac.own_key = world.principal("authz-server").krb_key;
+    ac.net = &world.net;
+    ac.clock = &world.clock;
+    ac.kdc = testing::World::kKdcName;
+    ac.max_proxy_lifetime = 100 * util::kHour;
+    authz_server = std::make_unique<authz::AuthorizationServer>(ac);
+    authz::Acl db;
+    db.add(authz::AclEntry{{"alice"}, {"read"}, {"/doc"}, {}});
+    authz_server->set_acl("file-server", db);
+    world.net.attach("authz-server", *authz_server);
+
+    client = std::make_unique<kdc::KdcClient>(world.kdc_client("alice"));
+    auto tgt_result = client->authenticate(8 * util::kHour);
+    if (!tgt_result.is_ok()) state.SkipWithError("authenticate failed");
+    tgt = tgt_result.value();
+    authz_creds = expect_ok(
+        state, client->get_ticket(tgt, "authz-server", 8 * util::kHour),
+        "authz ticket");
+    file_creds = expect_ok(
+        state, client->get_ticket(tgt, "file-server", 8 * util::kHour),
+        "file ticket");
+  }
+
+  /// One complete Fig 3 cycle: grant once, present `ops` times.
+  bool run_cycle(std::int64_t ops) {
+    authz::AuthzClient authz_client(world.net, world.clock, *client);
+    auto proxy = authz_client.request_authorization(
+        authz_creds, "authz-server", "file-server", {}, util::kHour);
+    if (!proxy.is_ok()) return false;
+    server::AppClient app(world.net, world.clock, "alice");
+    for (std::int64_t i = 0; i < ops; ++i) {
+      auto result = app.invoke(
+          "file-server", "read", "/doc", {}, {},
+          [&](util::BytesView challenge, util::BytesView rdigest,
+              server::AppRequestPayload& req) {
+            core::PresentedCredential cred;
+            cred.chain = proxy.value().chain;
+            cred.proof = core::prove_delegate_krb(
+                *client, file_creds, challenge, "file-server",
+                world.clock.now(), rdigest);
+            req.credentials.push_back(cred);
+          });
+      if (!result.is_ok()) return false;
+    }
+    return true;
+  }
+
+  testing::World world;
+  std::unique_ptr<server::FileServer> file_server;
+  std::unique_ptr<authz::AuthorizationServer> authz_server;
+  std::unique_ptr<kdc::KdcClient> client;
+  kdc::Credentials tgt;
+  kdc::Credentials authz_creds;
+  kdc::Credentials file_creds;
+};
+
+/// Proxy model: grant once, then N offline-verified presentations.
+void BM_ProxyModel_OpsPerGrant(benchmark::State& state) {
+  Fig3World w(state);
+  const std::int64_t ops = state.range(0);
+
+  rproxy::bench::record_protocol_cost(state, w.world.net,
+                                      [&] { (void)w.run_cycle(ops); });
+  for (auto _ : state) {
+    if (!w.run_cycle(ops)) state.SkipWithError("cycle failed");
+  }
+  state.counters["ops"] = benchmark::Counter(static_cast<double>(ops));
+}
+BENCHMARK(BM_ProxyModel_OpsPerGrant)->Arg(1)->Arg(2)->Arg(4)->Arg(16)->Arg(64);
+
+/// Pull model: every operation triggers a registration-server query.
+void BM_PullModel_OpsPerGrant(benchmark::State& state) {
+  testing::World world;
+  world.net.set_default_latency(0);
+  baseline::RegistrationServer registration("registration");
+  baseline::PullAuthEndServer end_server("pull-server", "registration",
+                                         world.net, world.clock);
+  world.net.attach("registration", registration);
+  world.net.attach("pull-server", end_server);
+  registration.grant("alice", "read", "/doc");
+  const std::int64_t ops = state.range(0);
+
+  const auto cycle = [&] {
+    for (std::int64_t i = 0; i < ops; ++i) {
+      if (!baseline::pull_invoke(world.net, "alice", "pull-server", "read",
+                                 "/doc")
+               .is_ok()) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  rproxy::bench::record_protocol_cost(state, world.net,
+                                      [&] { (void)cycle(); });
+  for (auto _ : state) {
+    if (!cycle()) state.SkipWithError("cycle failed");
+  }
+  state.counters["ops"] = benchmark::Counter(static_cast<double>(ops));
+}
+BENCHMARK(BM_PullModel_OpsPerGrant)->Arg(1)->Arg(2)->Arg(4)->Arg(16)->Arg(64);
+
+/// Ablation: the two presentation styles of §2 ("a signed or encrypted
+/// timestamp or server challenge").  Challenge mode costs 4 messages per
+/// presentation; timestamp mode costs 2 plus a server-side replay cache.
+void BM_Presentation_ChallengeVsTimestamp(benchmark::State& state) {
+  testing::World world;
+  world.add_principal("alice");
+  world.add_principal("file-server");
+  world.net.set_default_latency(0);
+  server::FileServer file_server(world.end_server_config("file-server"));
+  file_server.put_file("/doc", "contents");
+  file_server.acl().add(authz::AclEntry{{"alice"}, {}, {}, {}});
+  world.net.attach("file-server", file_server);
+  const core::Proxy cap = authz::make_capability_pk(
+      "alice", world.principal("alice").identity, "file-server",
+      {core::ObjectRights{"/doc", {"read"}}}, world.clock.now(),
+      100 * util::kHour);
+  server::AppClient bob(world.net, world.clock, "bob");
+  const bool timestamp_mode = state.range(0) == 1;
+
+  rproxy::bench::record_protocol_cost(state, world.net, [&] {
+    if (timestamp_mode) {
+      (void)bob.invoke_with_proxy_timestamp("file-server", cap, "read",
+                                            "/doc");
+    } else {
+      (void)bob.invoke_with_proxy("file-server", cap, "read", "/doc");
+    }
+  });
+  for (auto _ : state) {
+    auto result =
+        timestamp_mode
+            ? bob.invoke_with_proxy_timestamp("file-server", cap, "read",
+                                              "/doc")
+            : bob.invoke_with_proxy("file-server", cap, "read", "/doc");
+    benchmark::DoNotOptimize(result);
+    if (!result.is_ok()) state.SkipWithError("read failed");
+  }
+}
+BENCHMARK(BM_Presentation_ChallengeVsTimestamp)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("timestamp");
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Fig 4 — cascaded proxies: [r1,K1]_grantor, [r2,K2]_K1, [r3,K3]_K2, ...
+//
+// Regenerates the chain and sweeps its length in both realizations,
+// measuring OFFLINE end-server verification, against Sollins' cascaded
+// authentication [11] where the end-server must contact the
+// authentication server (§3.4).  Expected shape: both grow linearly in
+// chain length, but Sollins adds a fixed network round trip (2 messages,
+// ~1 ms simulated LAN latency) to every verification.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace rproxy;
+using rproxy::bench::expect_ok;
+
+core::RestrictionSet one_quota(std::int64_t i) {
+  core::RestrictionSet set;
+  set.add(core::QuotaRestriction{"usd", static_cast<uint64_t>(1000 - i)});
+  return set;
+}
+
+/// Public-key cascade verification vs chain length.
+void BM_PkCascadeVerify(benchmark::State& state) {
+  testing::World world;
+  world.add_principal("alice");
+  world.add_principal("file-server");
+  core::Proxy proxy =
+      core::grant_pk_proxy("alice", world.principal("alice").identity,
+                           one_quota(0), world.clock.now(), util::kHour);
+  for (std::int64_t i = 1; i < state.range(0); ++i) {
+    proxy = core::extend_bearer(proxy, one_quota(i), world.clock.now(),
+                                util::kHour)
+                .value();
+  }
+
+  core::ProxyVerifier::Config vc;
+  vc.server_name = "file-server";
+  vc.resolver = &world.resolver;
+  vc.pk_root = world.name_server.root_key();
+  const core::ProxyVerifier verifier(std::move(vc));
+
+  for (auto _ : state) {
+    auto verified = verifier.verify_chain(proxy.chain, world.clock.now());
+    benchmark::DoNotOptimize(verified);
+    if (!verified.is_ok()) state.SkipWithError("verify failed");
+  }
+  state.counters["chain_bytes"] = benchmark::Counter(
+      static_cast<double>(wire::encode_to_bytes(proxy.chain).size()));
+  state.counters["verify_msgs"] = benchmark::Counter(0);  // offline!
+}
+BENCHMARK(BM_PkCascadeVerify)->DenseRange(1, 4)->Arg(8)->Arg(16);
+
+/// Symmetric cascade verification vs chain length (key unwrapping walk).
+void BM_SymCascadeVerify(benchmark::State& state) {
+  testing::World world;
+  world.add_principal("alice");
+  world.add_principal("file-server");
+  world.net.set_default_latency(0);
+  kdc::KdcClient client = world.kdc_client("alice");
+  auto tgt = client.authenticate(8 * util::kHour);
+  auto creds = expect_ok(
+      state, client.get_ticket(tgt.value(), "file-server", 8 * util::kHour),
+      "ticket");
+  core::Proxy proxy =
+      core::grant_krb_proxy(client, creds, one_quota(0), world.clock.now());
+  for (std::int64_t i = 1; i < state.range(0); ++i) {
+    proxy = core::extend_bearer(proxy, one_quota(i), world.clock.now(),
+                                util::kHour)
+                .value();
+  }
+
+  core::ProxyVerifier::Config vc;
+  vc.server_name = "file-server";
+  vc.server_key = world.principal("file-server").krb_key;
+  const core::ProxyVerifier verifier(std::move(vc));
+
+  for (auto _ : state) {
+    auto verified = verifier.verify_chain(proxy.chain, world.clock.now());
+    benchmark::DoNotOptimize(verified);
+    if (!verified.is_ok()) state.SkipWithError("verify failed");
+  }
+  state.counters["chain_bytes"] = benchmark::Counter(
+      static_cast<double>(wire::encode_to_bytes(proxy.chain).size()));
+  state.counters["verify_msgs"] = benchmark::Counter(0);  // offline!
+}
+BENCHMARK(BM_SymCascadeVerify)->DenseRange(1, 4)->Arg(8)->Arg(16);
+
+/// Building one cascade link (the intermediate server's cost).
+void BM_ExtendBearerLink(benchmark::State& state) {
+  testing::World world;
+  world.add_principal("alice");
+  const bool pk = state.range(0) == 1;
+  core::Proxy parent;
+  if (pk) {
+    parent = core::grant_pk_proxy("alice",
+                                  world.principal("alice").identity, {},
+                                  world.clock.now(), util::kHour);
+  } else {
+    world.add_principal("file-server");
+    world.net.set_default_latency(0);
+    kdc::KdcClient client = world.kdc_client("alice");
+    auto tgt = client.authenticate(8 * util::kHour);
+    auto creds = expect_ok(
+        state,
+        client.get_ticket(tgt.value(), "file-server", 8 * util::kHour),
+        "ticket");
+    parent = core::grant_krb_proxy(client, creds, {}, world.clock.now());
+  }
+  for (auto _ : state) {
+    auto child = core::extend_bearer(parent, one_quota(1),
+                                     world.clock.now(), util::kHour);
+    benchmark::DoNotOptimize(child);
+    if (!child.is_ok()) state.SkipWithError("extend failed");
+  }
+}
+BENCHMARK(BM_ExtendBearerLink)->Arg(0)->Arg(1)->ArgName("pk");
+
+/// Sollins baseline: passport verification REQUIRES the auth server.
+void BM_SollinsVerify(benchmark::State& state) {
+  testing::World world;
+  world.net.set_default_latency(0);
+  baseline::SollinsAuthServer auth_server("sollins-auth", world.clock);
+  world.net.attach("sollins-auth", auth_server);
+
+  std::vector<crypto::SymmetricKey> secrets;
+  std::vector<PrincipalName> parties;
+  for (std::int64_t i = 0; i <= state.range(0); ++i) {
+    parties.push_back("party-" + std::to_string(i));
+    secrets.push_back(auth_server.register_principal(parties.back()));
+  }
+  baseline::SollinsPassport passport = baseline::sollins_create(
+      parties[0], secrets[0], parties[1], one_quota(0), world.clock.now(),
+      util::kHour);
+  for (std::int64_t i = 1; i < state.range(0); ++i) {
+    passport = baseline::sollins_extend(
+        passport, parties[static_cast<std::size_t>(i)],
+        secrets[static_cast<std::size_t>(i)],
+        parties[static_cast<std::size_t>(i) + 1], one_quota(i),
+        world.clock.now(), util::kHour);
+  }
+
+  rproxy::bench::record_protocol_cost(state, world.net, [&] {
+    (void)baseline::sollins_verify_remote(world.net, "end-server",
+                                          "sollins-auth", passport);
+  });
+  for (auto _ : state) {
+    auto verdict = baseline::sollins_verify_remote(world.net, "end-server",
+                                                   "sollins-auth", passport);
+    benchmark::DoNotOptimize(verdict);
+    if (!verdict.is_ok()) state.SkipWithError("verify failed");
+  }
+}
+BENCHMARK(BM_SollinsVerify)->DenseRange(1, 4)->Arg(8)->Arg(16);
+
+}  // namespace

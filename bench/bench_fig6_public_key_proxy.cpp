@@ -1,0 +1,189 @@
+// Fig 6 — the public-key restricted proxy: {restrictions, Kproxy}K^-1 with
+// the private proxy key handed to the grantee.
+//
+// Regenerates the figure and compares the two realizations head to head:
+// grant, possession proof, chain verification, and total wire size.
+// Expected shape: public-key operations cost more CPU per operation
+// (signatures vs MACs) but the proxy is verifiable at ANY server given the
+// grantor's public key — the symmetric one only at the server whose ticket
+// it embeds (§6.3) — and needs an issued-for restriction for safety
+// (§7.3).
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace rproxy;
+using rproxy::bench::expect_ok;
+
+core::RestrictionSet standard_restrictions() {
+  core::RestrictionSet set;
+  set.add(core::AuthorizedRestriction{
+      {core::ObjectRights{"/doc", {"read"}}}});
+  set.add(core::IssuedForRestriction{{"file-server"}});
+  return set;
+}
+
+void BM_PkGrant(benchmark::State& state) {
+  testing::World world;
+  world.add_principal("alice");
+  const testing::Principal& alice = world.principal("alice");
+  for (auto _ : state) {
+    core::Proxy proxy =
+        core::grant_pk_proxy("alice", alice.identity,
+                             standard_restrictions(), world.clock.now(),
+                             util::kHour);
+    benchmark::DoNotOptimize(proxy);
+  }
+}
+BENCHMARK(BM_PkGrant);
+
+void BM_SymGrant(benchmark::State& state) {
+  testing::World world;
+  world.add_principal("alice");
+  world.add_principal("file-server");
+  world.net.set_default_latency(0);
+  kdc::KdcClient client = world.kdc_client("alice");
+  auto tgt = client.authenticate(8 * util::kHour);
+  auto creds = expect_ok(
+      state, client.get_ticket(tgt.value(), "file-server", 8 * util::kHour),
+      "ticket");
+  for (auto _ : state) {
+    core::Proxy proxy = core::grant_krb_proxy(
+        client, creds, standard_restrictions(), world.clock.now());
+    benchmark::DoNotOptimize(proxy);
+  }
+}
+BENCHMARK(BM_SymGrant);
+
+/// One full presentation (verify chain + make and check the possession
+/// proof), per realization.  Arg: 1 = public-key, 0 = symmetric.
+void BM_FullPresentation(benchmark::State& state) {
+  testing::World world;
+  world.add_principal("alice");
+  world.add_principal("file-server");
+  const bool pk = state.range(0) == 1;
+
+  core::Proxy proxy;
+  core::ProxyVerifier::Config vc;
+  vc.server_name = "file-server";
+  if (pk) {
+    proxy = core::grant_pk_proxy("alice", world.principal("alice").identity,
+                                 standard_restrictions(), world.clock.now(),
+                                 util::kHour);
+    vc.resolver = &world.resolver;
+    vc.pk_root = world.name_server.root_key();
+  } else {
+    world.net.set_default_latency(0);
+    kdc::KdcClient client = world.kdc_client("alice");
+    auto tgt = client.authenticate(8 * util::kHour);
+    auto creds = expect_ok(
+        state,
+        client.get_ticket(tgt.value(), "file-server", 8 * util::kHour),
+        "ticket");
+    proxy = core::grant_krb_proxy(client, creds, standard_restrictions(),
+                                  world.clock.now());
+    vc.server_key = world.principal("file-server").krb_key;
+  }
+  const core::ProxyVerifier verifier(std::move(vc));
+  const util::Bytes challenge = crypto::random_bytes(32);
+  const util::Bytes rdigest = core::request_digest("read", "/doc", {});
+
+  for (auto _ : state) {
+    auto verified = verifier.verify_chain(proxy.chain, world.clock.now());
+    if (!verified.is_ok()) state.SkipWithError("chain failed");
+    const core::PossessionProof proof = core::prove_bearer(
+        proxy, challenge, "file-server", world.clock.now(), rdigest);
+    auto who = verifier.verify_possession(verified.value(), proof,
+                                          challenge, rdigest,
+                                          world.clock.now());
+    benchmark::DoNotOptimize(who);
+    if (!who.is_ok()) state.SkipWithError("possession failed");
+  }
+  state.counters["chain_bytes"] = benchmark::Counter(
+      static_cast<double>(wire::encode_to_bytes(proxy.chain).size()));
+}
+BENCHMARK(BM_FullPresentation)->Arg(0)->Arg(1)->ArgName("pk");
+
+/// The portability difference: the SAME pk proxy verifies at many servers
+/// (given the grantor's key); a symmetric proxy cannot even be opened
+/// elsewhere.  Measures pk verification at N distinct servers.
+void BM_PkProxyPortability(benchmark::State& state) {
+  testing::World world;
+  world.add_principal("alice");
+  const std::int64_t servers = state.range(0);
+  std::vector<core::ProxyVerifier> verifiers;
+  std::vector<PrincipalName> names;
+  for (std::int64_t i = 0; i < servers; ++i) {
+    names.push_back("server-" + std::to_string(i));
+    world.add_principal(names.back());
+  }
+  for (std::int64_t i = 0; i < servers; ++i) {
+    core::ProxyVerifier::Config vc;
+    vc.server_name = names[static_cast<std::size_t>(i)];
+    vc.resolver = &world.resolver;
+    vc.pk_root = world.name_server.root_key();
+    verifiers.emplace_back(std::move(vc));
+  }
+  // Issued for ALL the servers (otherwise §7.3 would stop it).
+  core::RestrictionSet set;
+  set.add(core::IssuedForRestriction{names});
+  const core::Proxy proxy =
+      core::grant_pk_proxy("alice", world.principal("alice").identity, set,
+                           world.clock.now(), util::kHour);
+
+  for (auto _ : state) {
+    for (const core::ProxyVerifier& verifier : verifiers) {
+      auto verified = verifier.verify_chain(proxy.chain, world.clock.now());
+      benchmark::DoNotOptimize(verified);
+      if (!verified.is_ok()) state.SkipWithError("verify failed");
+    }
+  }
+  state.counters["servers"] =
+      benchmark::Counter(static_cast<double>(servers));
+}
+BENCHMARK(BM_PkProxyPortability)->Arg(1)->Arg(4)->Arg(16);
+
+/// Hybrid comparison context: underlying primitive costs.
+void BM_Primitive_Ed25519Sign(benchmark::State& state) {
+  const crypto::SigningKeyPair key = crypto::SigningKeyPair::generate();
+  const util::Bytes data = crypto::random_bytes(256);
+  for (auto _ : state) {
+    util::Bytes sig = crypto::sign(key, data);
+    benchmark::DoNotOptimize(sig);
+  }
+}
+BENCHMARK(BM_Primitive_Ed25519Sign);
+
+void BM_Primitive_Ed25519Verify(benchmark::State& state) {
+  const crypto::SigningKeyPair key = crypto::SigningKeyPair::generate();
+  const util::Bytes data = crypto::random_bytes(256);
+  const util::Bytes sig = crypto::sign(key, data);
+  for (auto _ : state) {
+    bool ok = crypto::verify(key.public_key(), data, sig);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_Primitive_Ed25519Verify);
+
+void BM_Primitive_HmacSha256(benchmark::State& state) {
+  const crypto::SymmetricKey key = crypto::SymmetricKey::generate();
+  const util::Bytes data = crypto::random_bytes(256);
+  for (auto _ : state) {
+    util::Bytes mac = crypto::hmac_sha256(key, data);
+    benchmark::DoNotOptimize(mac);
+  }
+}
+BENCHMARK(BM_Primitive_HmacSha256);
+
+void BM_Primitive_AeadSealOpen(benchmark::State& state) {
+  const crypto::SymmetricKey key = crypto::SymmetricKey::generate();
+  const util::Bytes data = crypto::random_bytes(256);
+  for (auto _ : state) {
+    util::Bytes box = crypto::aead_seal(key, data);
+    auto opened = crypto::aead_open(key, box);
+    benchmark::DoNotOptimize(opened);
+  }
+}
+BENCHMARK(BM_Primitive_AeadSealOpen);
+
+}  // namespace

@@ -1,0 +1,137 @@
+// T1 — restriction evaluation cost (defined by this reproduction; see
+// EXPERIMENTS.md): per-type evaluation throughput and scaling of the
+// conjunction over set size.  The paper's model requires the end-server to
+// evaluate EVERY restriction on EVERY use (§7); this table shows that cost
+// is negligible next to the cryptographic steps measured in Fig 1/6.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace rproxy;
+
+core::RequestContext context(core::AcceptOnceCache* cache = nullptr) {
+  core::RequestContext ctx;
+  ctx.end_server = "file-server";
+  ctx.operation = "read";
+  ctx.object = "/doc";
+  ctx.amounts = {{"usd", 5}};
+  ctx.now = 1000 * util::kSecond;
+  ctx.effective_identities = {"bob"};
+  ctx.asserted_groups = {GroupName{"gs", "staff"}};
+  ctx.grantor = "alice";
+  ctx.credential_expiry = 2000 * util::kSecond;
+  ctx.accept_once = cache;
+  return ctx;
+}
+
+void eval_loop(benchmark::State& state, const core::Restriction& r) {
+  for (auto _ : state) {
+    core::RequestContext ctx = context();
+    util::Status st = core::evaluate_restriction(r, ctx);
+    benchmark::DoNotOptimize(st);
+    if (!st.is_ok()) state.SkipWithError(st.to_string().c_str());
+  }
+}
+
+void BM_Eval_Grantee(benchmark::State& state) {
+  eval_loop(state, core::GranteeRestriction{{"bob", "carol"}, 1});
+}
+BENCHMARK(BM_Eval_Grantee);
+
+void BM_Eval_ForUseByGroup(benchmark::State& state) {
+  eval_loop(state,
+            core::ForUseByGroupRestriction{{GroupName{"gs", "staff"}}, 1});
+}
+BENCHMARK(BM_Eval_ForUseByGroup);
+
+void BM_Eval_IssuedFor(benchmark::State& state) {
+  eval_loop(state, core::IssuedForRestriction{{"file-server"}});
+}
+BENCHMARK(BM_Eval_IssuedFor);
+
+void BM_Eval_Quota(benchmark::State& state) {
+  eval_loop(state, core::QuotaRestriction{"usd", 10});
+}
+BENCHMARK(BM_Eval_Quota);
+
+void BM_Eval_Authorized(benchmark::State& state) {
+  eval_loop(state, core::AuthorizedRestriction{
+                       {core::ObjectRights{"/doc", {"read", "write"}}}});
+}
+BENCHMARK(BM_Eval_Authorized);
+
+void BM_Eval_GroupMembership(benchmark::State& state) {
+  eval_loop(state,
+            core::GroupMembershipRestriction{{GroupName{"gs", "staff"}}});
+}
+BENCHMARK(BM_Eval_GroupMembership);
+
+void BM_Eval_LimitRestriction(benchmark::State& state) {
+  core::LimitRestriction limit;
+  limit.servers = {"file-server"};
+  limit.inner = {core::Restriction{core::QuotaRestriction{"usd", 10}}};
+  eval_loop(state, limit);
+}
+BENCHMARK(BM_Eval_LimitRestriction);
+
+void BM_Eval_AcceptOnce(benchmark::State& state) {
+  // Stateful: each evaluation must use a fresh identifier.
+  core::AcceptOnceCache cache;
+  std::uint64_t id = 1;
+  for (auto _ : state) {
+    core::RequestContext ctx = context(&cache);
+    util::Status st =
+        core::evaluate_restriction(core::AcceptOnceRestriction{id++}, ctx);
+    benchmark::DoNotOptimize(st);
+    if (!st.is_ok()) state.SkipWithError(st.to_string().c_str());
+  }
+  state.counters["cache_size"] =
+      benchmark::Counter(static_cast<double>(cache.size()));
+}
+BENCHMARK(BM_Eval_AcceptOnce);
+
+/// Conjunction scaling: evaluate a mixed set of N restrictions.
+void BM_Eval_SetOfN(benchmark::State& state) {
+  core::RestrictionSet set;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    switch (i % 5) {
+      case 0: set.add(core::IssuedForRestriction{{"file-server"}}); break;
+      case 1: set.add(core::QuotaRestriction{"usd", 100}); break;
+      case 2:
+        set.add(core::AuthorizedRestriction{
+            {core::ObjectRights{"/doc", {}}}});
+        break;
+      case 3: set.add(core::GranteeRestriction{{"bob"}, 1}); break;
+      default:
+        set.add(core::ForUseByGroupRestriction{
+            {GroupName{"gs", "staff"}}, 1});
+    }
+  }
+  for (auto _ : state) {
+    core::RequestContext ctx = context();
+    util::Status st = set.evaluate(ctx);
+    benchmark::DoNotOptimize(st);
+    if (!st.is_ok()) state.SkipWithError(st.to_string().c_str());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Eval_SetOfN)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+    ->Complexity(benchmark::oN);
+
+/// Failing fast: the first failing restriction short-circuits.
+void BM_Eval_DenyFirst(benchmark::State& state) {
+  core::RestrictionSet set;
+  set.add(core::IssuedForRestriction{{"some-other-server"}});  // fails
+  for (int i = 0; i < 63; ++i) {
+    set.add(core::QuotaRestriction{"usd", 100});
+  }
+  for (auto _ : state) {
+    core::RequestContext ctx = context();
+    util::Status st = set.evaluate(ctx);
+    benchmark::DoNotOptimize(st);
+    if (st.is_ok()) state.SkipWithError("unexpected pass");
+  }
+}
+BENCHMARK(BM_Eval_DenyFirst);
+
+}  // namespace

@@ -1,0 +1,125 @@
+// T2 — ACL and group scaling (see EXPERIMENTS.md): lookup cost against
+// ACL size, compound entries, group tokens, and the miss (worst) case.
+// The proxy model's pitch for big deployments (§3.5) is that an end-server
+// ACL can stay TINY — one entry naming an authorization server — while the
+// database scales elsewhere; this table quantifies what scaling a local
+// ACL costs instead.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace rproxy;
+
+authz::Acl build_acl(std::int64_t entries) {
+  authz::Acl acl;
+  for (std::int64_t i = 0; i < entries; ++i) {
+    acl.add(authz::AclEntry{{"user-" + std::to_string(i)},
+                            {"read"},
+                            {"/obj/" + std::to_string(i)},
+                            {}});
+  }
+  return acl;
+}
+
+authz::AuthorityContext authority(const PrincipalName& who) {
+  authz::AuthorityContext ctx;
+  ctx.principals = {who};
+  return ctx;
+}
+
+/// Hit on the LAST entry — worst-case successful lookup.
+void BM_AclMatch_LastEntry(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const authz::Acl acl = build_acl(n);
+  const authz::AuthorityContext who =
+      authority("user-" + std::to_string(n - 1));
+  const ObjectName object = "/obj/" + std::to_string(n - 1);
+  for (auto _ : state) {
+    auto entry = acl.match(who, "read", object);
+    benchmark::DoNotOptimize(entry);
+    if (!entry.is_ok()) state.SkipWithError("expected hit");
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_AclMatch_LastEntry)
+    ->Arg(1)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Complexity(benchmark::oN);
+
+/// Miss — the full scan that precedes a denial.
+void BM_AclMatch_Miss(benchmark::State& state) {
+  const authz::Acl acl = build_acl(state.range(0));
+  const authz::AuthorityContext who = authority("stranger");
+  for (auto _ : state) {
+    auto entry = acl.match(who, "read", "/obj/0");
+    benchmark::DoNotOptimize(entry);
+    if (entry.is_ok()) state.SkipWithError("expected miss");
+  }
+}
+BENCHMARK(BM_AclMatch_Miss)->Arg(10)->Arg(1000)->Arg(100000);
+
+/// Compound entries: all K principals must be covered (§3.5).
+void BM_AclMatch_CompoundEntry(benchmark::State& state) {
+  const std::int64_t k = state.range(0);
+  authz::Acl acl;
+  authz::AclEntry entry;
+  authz::AuthorityContext who;
+  for (std::int64_t i = 0; i < k; ++i) {
+    entry.principals.push_back("signer-" + std::to_string(i));
+    who.principals.push_back("signer-" + std::to_string(i));
+  }
+  entry.operations = {"launch"};
+  acl.add(entry);
+  for (auto _ : state) {
+    auto matched = acl.match(who, "launch", "missile");
+    benchmark::DoNotOptimize(matched);
+    if (!matched.is_ok()) state.SkipWithError("expected hit");
+  }
+}
+BENCHMARK(BM_AclMatch_CompoundEntry)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Group-token coverage: authority asserts G groups, entry names one.
+void BM_AclMatch_GroupToken(benchmark::State& state) {
+  const std::int64_t groups = state.range(0);
+  authz::Acl acl;
+  const GroupName wanted{"gs", "g-" + std::to_string(groups - 1)};
+  acl.add(authz::AclEntry{{authz::acl_group_token(wanted)}, {"read"}, {}, {}});
+  authz::AuthorityContext who;
+  who.principals = {"alice"};
+  for (std::int64_t i = 0; i < groups; ++i) {
+    who.groups.push_back(GroupName{"gs", "g-" + std::to_string(i)});
+  }
+  for (auto _ : state) {
+    auto matched = acl.match(who, "read", "/x");
+    benchmark::DoNotOptimize(matched);
+    if (!matched.is_ok()) state.SkipWithError("expected hit");
+  }
+}
+BENCHMARK(BM_AclMatch_GroupToken)->Arg(1)->Arg(8)->Arg(64);
+
+/// The delegated alternative: a ONE-entry ACL naming the authorization
+/// server (capability style), regardless of user population.
+void BM_AclMatch_DelegatedSingleEntry(benchmark::State& state) {
+  authz::Acl acl;
+  acl.add(authz::AclEntry{{"authz-server"}, {}, {}, {}});
+  const authz::AuthorityContext who = authority("authz-server");
+  for (auto _ : state) {
+    auto matched = acl.match(who, "read", "/anything");
+    benchmark::DoNotOptimize(matched);
+    if (!matched.is_ok()) state.SkipWithError("expected hit");
+  }
+}
+BENCHMARK(BM_AclMatch_DelegatedSingleEntry);
+
+/// Revocation sweep cost: removing one principal from a large ACL.
+void BM_AclRemovePrincipal(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    authz::Acl acl = build_acl(n);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(acl.remove_principal("user-0"));
+  }
+}
+BENCHMARK(BM_AclRemovePrincipal)->Arg(100)->Arg(10000);
+
+}  // namespace

@@ -1,0 +1,220 @@
+// T3 — one authorized read, every mechanism (see EXPERIMENTS.md):
+//   proxy/pk        restricted proxy, public-key realization (offline)
+//   proxy/sym       restricted proxy, Kerberos realization (offline)
+//   plain-cap       traditional capability (token on the wire; stealable)
+//   pull            Grapevine-style registration-server query per request
+//   sollins         cascaded authentication, online verification
+//   dssa            role-based delegation, registry lookup per verification
+//                   and a registry round trip per fresh restriction set
+// Expected shape: all proxy variants verify offline (msgs=4: challenge +
+// reply + request + reply); pull and sollins add a third-party round trip
+// (msgs=6); plain-cap is cheapest on messages (2) but loses the security
+// property the attack tests demonstrate.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace rproxy;
+using rproxy::bench::expect_ok;
+using rproxy::bench::record_protocol_cost;
+
+void BM_ProxyPk_AuthorizedRead(benchmark::State& state) {
+  testing::World world;
+  world.add_principal("alice");
+  world.add_principal("file-server");
+  world.net.set_default_latency(0);
+  server::FileServer file_server(world.end_server_config("file-server"));
+  file_server.put_file("/doc", "contents");
+  file_server.acl().add(authz::AclEntry{{"alice"}, {}, {}, {}});
+  world.net.attach("file-server", file_server);
+  const core::Proxy cap = authz::make_capability_pk(
+      "alice", world.principal("alice").identity, "file-server",
+      {core::ObjectRights{"/doc", {"read"}}}, world.clock.now(),
+      100 * util::kHour);
+  server::AppClient bob(world.net, world.clock, "bob");
+
+  record_protocol_cost(state, world.net, [&] {
+    (void)bob.invoke_with_proxy("file-server", cap, "read", "/doc");
+  });
+  for (auto _ : state) {
+    auto result = bob.invoke_with_proxy("file-server", cap, "read", "/doc");
+    benchmark::DoNotOptimize(result);
+    if (!result.is_ok()) state.SkipWithError("read failed");
+  }
+}
+BENCHMARK(BM_ProxyPk_AuthorizedRead);
+
+void BM_ProxySym_AuthorizedRead(benchmark::State& state) {
+  testing::World world;
+  world.add_principal("alice");
+  world.add_principal("file-server");
+  world.net.set_default_latency(0);
+  server::FileServer file_server(world.end_server_config("file-server"));
+  file_server.put_file("/doc", "contents");
+  file_server.acl().add(authz::AclEntry{{"alice"}, {}, {}, {}});
+  world.net.attach("file-server", file_server);
+
+  kdc::KdcClient alice = world.kdc_client("alice");
+  auto tgt = alice.authenticate(8 * util::kHour);
+  auto creds = expect_ok(
+      state, alice.get_ticket(tgt.value(), "file-server", 8 * util::kHour),
+      "ticket");
+  const core::Proxy cap = authz::make_capability_krb(
+      alice, creds, {core::ObjectRights{"/doc", {"read"}}},
+      world.clock.now());
+  server::AppClient bob(world.net, world.clock, "bob");
+
+  record_protocol_cost(state, world.net, [&] {
+    (void)bob.invoke_with_proxy("file-server", cap, "read", "/doc");
+  });
+  for (auto _ : state) {
+    auto result = bob.invoke_with_proxy("file-server", cap, "read", "/doc");
+    benchmark::DoNotOptimize(result);
+    if (!result.is_ok()) state.SkipWithError("read failed");
+  }
+}
+BENCHMARK(BM_ProxySym_AuthorizedRead);
+
+void BM_PlainCapability_AuthorizedRead(benchmark::State& state) {
+  testing::World world;
+  world.net.set_default_latency(0);
+  baseline::PlainCapabilityServer server("cap-server", world.clock);
+  server.put_file("/doc", "contents");
+  world.net.attach("cap-server", server);
+  const util::Bytes token = server.mint("read", "/doc", 100 * util::kHour);
+
+  record_protocol_cost(state, world.net, [&] {
+    (void)baseline::plain_cap_invoke(world.net, "bob", "cap-server", token,
+                                     "read", "/doc");
+  });
+  for (auto _ : state) {
+    auto result = baseline::plain_cap_invoke(world.net, "bob", "cap-server",
+                                             token, "read", "/doc");
+    benchmark::DoNotOptimize(result);
+    if (!result.is_ok()) state.SkipWithError("read failed");
+  }
+}
+BENCHMARK(BM_PlainCapability_AuthorizedRead);
+
+void BM_PullModel_AuthorizedRead(benchmark::State& state) {
+  testing::World world;
+  world.net.set_default_latency(0);
+  baseline::RegistrationServer registration("registration");
+  baseline::PullAuthEndServer server("pull-server", "registration",
+                                     world.net, world.clock);
+  world.net.attach("registration", registration);
+  world.net.attach("pull-server", server);
+  registration.grant("bob", "read", "/doc");
+
+  record_protocol_cost(state, world.net, [&] {
+    (void)baseline::pull_invoke(world.net, "bob", "pull-server", "read",
+                                "/doc");
+  });
+  for (auto _ : state) {
+    util::Status st = baseline::pull_invoke(world.net, "bob", "pull-server",
+                                            "read", "/doc");
+    benchmark::DoNotOptimize(st);
+    if (!st.is_ok()) state.SkipWithError("read failed");
+  }
+}
+BENCHMARK(BM_PullModel_AuthorizedRead);
+
+void BM_Dssa_AuthorizedRead(benchmark::State& state) {
+  // DSSA-style roles (§5): verification resolves the role at the registry.
+  testing::World world;
+  world.net.set_default_latency(0);
+  baseline::DssaRegistry registry("role-registry");
+  world.net.attach("role-registry", registry);
+  auto role = baseline::dssa_create_role(
+      world.net, "alice", "role-registry",
+      {core::ObjectRights{"/doc", {"read"}}});
+  if (!role.is_ok()) {
+    state.SkipWithError("role creation failed");
+    return;
+  }
+  const baseline::DssaDelegationCert cert = baseline::dssa_delegate(
+      role.value().role, role.value().key, "bob", world.clock.now(),
+      100 * util::kHour);
+
+  record_protocol_cost(state, world.net, [&] {
+    (void)baseline::dssa_verify(world.net, "file-server", "role-registry",
+                                cert, "bob", "read", "/doc",
+                                world.clock.now());
+  });
+  for (auto _ : state) {
+    auto owner = baseline::dssa_verify(world.net, "file-server",
+                                       "role-registry", cert, "bob", "read",
+                                       "/doc", world.clock.now());
+    benchmark::DoNotOptimize(owner);
+    if (!owner.is_ok()) state.SkipWithError("verify failed");
+  }
+}
+BENCHMARK(BM_Dssa_AuthorizedRead);
+
+/// Delegating ON THE FLY with a fresh restriction set: the cost the paper
+/// calls "cumbersome" for roles vs a local certificate for proxies.
+void BM_Dssa_FreshDelegation(benchmark::State& state) {
+  testing::World world;
+  world.net.set_default_latency(0);
+  baseline::DssaRegistry registry("role-registry");
+  world.net.attach("role-registry", registry);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto role = baseline::dssa_create_role(
+        world.net, "alice", "role-registry",
+        {core::ObjectRights{"/doc-" + std::to_string(i++), {"read"}}});
+    if (!role.is_ok()) state.SkipWithError("role creation failed");
+    const baseline::DssaDelegationCert cert = baseline::dssa_delegate(
+        role.value().role, role.value().key, "bob", world.clock.now(),
+        util::kHour);
+    benchmark::DoNotOptimize(cert);
+  }
+  state.counters["registry_msgs_per_delegation"] = benchmark::Counter(2);
+}
+BENCHMARK(BM_Dssa_FreshDelegation);
+
+void BM_Proxy_FreshDelegation(benchmark::State& state) {
+  testing::World world;
+  world.add_principal("alice");
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    core::RestrictionSet set;
+    set.add(core::AuthorizedRestriction{
+        {core::ObjectRights{"/doc-" + std::to_string(i++), {"read"}}}});
+    set.add(core::GranteeRestriction{{"bob"}, 1});
+    const core::Proxy proxy = core::grant_pk_proxy(
+        "alice", world.principal("alice").identity, std::move(set),
+        world.clock.now(), util::kHour);
+    benchmark::DoNotOptimize(proxy);
+  }
+  state.counters["registry_msgs_per_delegation"] = benchmark::Counter(0);
+}
+BENCHMARK(BM_Proxy_FreshDelegation);
+
+void BM_Sollins_AuthorizedRead(benchmark::State& state) {
+  // Modeled as: end-server receives passport, must verify it remotely,
+  // then serves (the serve itself elided — we measure the authorization).
+  testing::World world;
+  world.net.set_default_latency(0);
+  baseline::SollinsAuthServer auth_server("sollins-auth", world.clock);
+  world.net.attach("sollins-auth", auth_server);
+  const crypto::SymmetricKey alice_secret =
+      auth_server.register_principal("alice");
+  const baseline::SollinsPassport passport = baseline::sollins_create(
+      "alice", alice_secret, "bob", {}, world.clock.now(),
+      100 * util::kHour);
+
+  record_protocol_cost(state, world.net, [&] {
+    (void)baseline::sollins_verify_remote(world.net, "file-server",
+                                          "sollins-auth", passport);
+  });
+  for (auto _ : state) {
+    auto verdict = baseline::sollins_verify_remote(
+        world.net, "file-server", "sollins-auth", passport);
+    benchmark::DoNotOptimize(verdict);
+    if (!verdict.is_ok()) state.SkipWithError("verify failed");
+  }
+}
+BENCHMARK(BM_Sollins_AuthorizedRead);
+
+}  // namespace

@@ -1,0 +1,170 @@
+// T4 — accounting model comparison (see EXPERIMENTS.md): one paid service
+// interaction under each mechanism.
+//   check          write (offline) + endorse + deposit + cross-collect
+//   certified      certify (hold) + write + verify + clear from hold
+//   prepay         Amoeba-style: deposit at the bank BEFORE service, then
+//                  draw down (plus the stranded-balance problem)
+// Expected shape: checks need no pre-service message from the CLIENT
+// (payment rides after service); prepay front-loads a bank round trip per
+// (client, server) funding and strands unspent balance; certified adds one
+// round trip for the guarantee.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace rproxy;
+using rproxy::bench::record_protocol_cost;
+
+struct PayWorld {
+  explicit PayWorld(benchmark::State& state) {
+    world.add_principal("client");
+    world.add_principal("merchant");
+    world.add_principal("bank1");
+    world.add_principal("bank2");
+    world.net.set_default_latency(0);
+    bank1 = std::make_unique<accounting::AccountingServer>(
+        world.accounting_config("bank1"));
+    bank2 = std::make_unique<accounting::AccountingServer>(
+        world.accounting_config("bank2"));
+    world.net.attach("bank1", *bank1);
+    world.net.attach("bank2", *bank2);
+    bank2->open_account("client-acct", "client",
+                        accounting::Balances{{"usd", 1LL << 40}});
+    bank1->open_account("merchant-acct", "merchant");
+    if (bank1 == nullptr) state.SkipWithError("setup failed");
+  }
+
+  testing::World world;
+  std::unique_ptr<accounting::AccountingServer> bank1;
+  std::unique_ptr<accounting::AccountingServer> bank2;
+  std::uint64_t next_ckno = 1;
+};
+
+/// Pay-by-check: the paper's first mechanism (Fig 5).
+void BM_PayByCheck(benchmark::State& state) {
+  PayWorld w(state);
+  auto merchant = w.world.accounting_client("merchant");
+
+  const auto pay = [&] {
+    const accounting::Check check = accounting::write_check(
+        "client", w.world.principal("client").identity,
+        AccountId{"bank2", "client-acct"}, "merchant", "usd", 1,
+        w.next_ckno++, w.world.clock.now(), 100 * util::kHour);
+    return merchant.endorse_and_deposit("bank1", check, "merchant-acct")
+        .status();
+  };
+
+  record_protocol_cost(state, w.world.net, [&] { (void)pay(); });
+  for (auto _ : state) {
+    util::Status st = pay();
+    if (!st.is_ok()) state.SkipWithError(st.to_string().c_str());
+  }
+}
+BENCHMARK(BM_PayByCheck);
+
+/// Certified check: the paper's second mechanism.
+void BM_PayByCertifiedCheck(benchmark::State& state) {
+  PayWorld w(state);
+  auto merchant = w.world.accounting_client("merchant");
+  auto payer = w.world.accounting_client("client");
+  core::ProxyVerifier::Config vc;
+  vc.server_name = "merchant";
+  vc.resolver = &w.world.resolver;
+  vc.pk_root = w.world.name_server.root_key();
+  const core::ProxyVerifier merchant_verifier(std::move(vc));
+
+  const auto pay = [&]() -> util::Status {
+    const std::uint64_t ckno = w.next_ckno++;
+    auto certification =
+        payer.certify("bank2", "client-acct", "merchant", "usd", 1, ckno,
+                      "merchant", w.world.clock.now() + 100 * util::kHour);
+    RPROXY_RETURN_IF_ERROR(certification.status());
+    const accounting::Check check = accounting::write_check(
+        "client", w.world.principal("client").identity,
+        AccountId{"bank2", "client-acct"}, "merchant", "usd", 1, ckno,
+        w.world.clock.now(), 100 * util::kHour);
+    RPROXY_RETURN_IF_ERROR(accounting::verify_certification(
+        merchant_verifier, certification.value().certification, check,
+        "bank2", "client", w.world.clock.now()));
+    return merchant.endorse_and_deposit("bank1", check, "merchant-acct")
+        .status();
+  };
+
+  record_protocol_cost(state, w.world.net, [&] { (void)pay(); });
+  for (auto _ : state) {
+    util::Status st = pay();
+    if (!st.is_ok()) state.SkipWithError(st.to_string().c_str());
+  }
+}
+BENCHMARK(BM_PayByCertifiedCheck);
+
+/// Amoeba-style prepay: fund first, then the server draws down (§5).
+void BM_PayByPrepay(benchmark::State& state) {
+  testing::World world;
+  world.net.set_default_latency(0);
+  baseline::PrepaidBank bank("bank");
+  world.net.attach("bank", bank);
+  bank.open_account("client", accounting::Balances{{"usd", 1LL << 40}});
+  bank.open_account("merchant", {});
+
+  const auto pay = [&]() -> util::Status {
+    auto funded =
+        baseline::prepay(world.net, "client", "bank", "merchant", "usd", 1);
+    RPROXY_RETURN_IF_ERROR(funded.status());
+    return bank.draw_down("merchant", "client", "usd", 1);
+  };
+
+  record_protocol_cost(state, world.net, [&] { (void)pay(); });
+  for (auto _ : state) {
+    util::Status st = pay();
+    if (!st.is_ok()) state.SkipWithError(st.to_string().c_str());
+  }
+}
+BENCHMARK(BM_PayByPrepay);
+
+/// Prepay amortized: fund once for N service operations (the favorable
+/// case for Amoeba, at the price of trusting the estimate).
+void BM_PayByPrepay_Amortized(benchmark::State& state) {
+  testing::World world;
+  world.net.set_default_latency(0);
+  baseline::PrepaidBank bank("bank");
+  world.net.attach("bank", bank);
+  bank.open_account("client", accounting::Balances{{"usd", 1LL << 40}});
+  bank.open_account("merchant", {});
+  const std::int64_t ops = state.range(0);
+
+  for (auto _ : state) {
+    auto funded = baseline::prepay(world.net, "client", "bank", "merchant",
+                                   "usd", static_cast<uint64_t>(ops));
+    if (!funded.is_ok()) state.SkipWithError("prepay failed");
+    for (std::int64_t i = 0; i < ops; ++i) {
+      util::Status st = bank.draw_down("merchant", "client", "usd", 1);
+      if (!st.is_ok()) state.SkipWithError("draw_down failed");
+    }
+  }
+  state.counters["ops"] = benchmark::Counter(static_cast<double>(ops));
+}
+BENCHMARK(BM_PayByPrepay_Amortized)->Arg(1)->Arg(16)->Arg(64);
+
+/// Checks amortized over the same N operations: one check covers a batch
+/// of service operations and clears once.
+void BM_PayByCheck_Amortized(benchmark::State& state) {
+  PayWorld w(state);
+  auto merchant = w.world.accounting_client("merchant");
+  const std::int64_t ops = state.range(0);
+
+  for (auto _ : state) {
+    const accounting::Check check = accounting::write_check(
+        "client", w.world.principal("client").identity,
+        AccountId{"bank2", "client-acct"}, "merchant", "usd",
+        static_cast<uint64_t>(ops), w.next_ckno++, w.world.clock.now(),
+        100 * util::kHour);
+    auto cleared =
+        merchant.endorse_and_deposit("bank1", check, "merchant-acct");
+    if (!cleared.is_ok()) state.SkipWithError("clear failed");
+  }
+  state.counters["ops"] = benchmark::Counter(static_cast<double>(ops));
+}
+BENCHMARK(BM_PayByCheck_Amortized)->Arg(1)->Arg(16)->Arg(64);
+
+}  // namespace

@@ -1,0 +1,198 @@
+// T5 — mixed enterprise workload (see EXPERIMENTS.md): a population of
+// users against several file servers under Zipf object popularity, run end
+// to end through three authorization architectures:
+//   proxy   — per-user authorization proxies (granted once, verified
+//             offline at the end-servers);
+//   pull    — end-servers query the registration server per request;
+//   local   — every user in every end-server's local ACL (the no-
+//             delegation strawman the paper's §3.5 contrasts with).
+// Expected shape: throughput ranks local > proxy >> pull once the
+// registration server becomes the shared bottleneck; the pull model's
+// third-party query count grows with the request volume while the proxy
+// model's stays at one grant per (user, server).
+#include "bench_util.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace rproxy;
+using rproxy::bench::expect_ok;
+
+/// Shared deployment: servers with per-user object ACLs derived from the
+/// spec (user u may access object o iff o % users == u ... we instead
+/// grant everyone everything and let popularity drive load; authorization
+/// DECISIONS, not policy complexity, are what this table measures).
+struct Deployment {
+  Deployment(benchmark::State& state, const workload::WorkloadSpec& spec)
+      : generator(spec) {
+    world.net.set_default_latency(0);
+    for (std::uint32_t u = 0; u < spec.users; ++u) {
+      world.add_principal(generator.user_name(u));
+    }
+    for (std::uint32_t s = 0; s < spec.servers; ++s) {
+      const PrincipalName name = generator.server_name(s);
+      world.add_principal(name);
+      auto server = std::make_unique<server::FileServer>(
+          world.end_server_config(name));
+      for (std::uint32_t o = 0; o < spec.objects_per_server; ++o) {
+        server->put_file(generator.object_name(o), "data");
+      }
+      world.net.attach(name, *server);
+      servers.push_back(std::move(server));
+    }
+    if (servers.empty()) state.SkipWithError("no servers");
+  }
+
+  testing::World world;
+  workload::WorkloadGenerator generator;
+  std::vector<std::unique_ptr<server::FileServer>> servers;
+};
+
+void run_events(benchmark::State& state, Deployment& d,
+                const std::vector<workload::RequestEvent>& events,
+                const std::function<util::Status(
+                    const workload::RequestEvent&)>& dispatch) {
+  for (auto _ : state) {
+    for (const workload::RequestEvent& e : events) {
+      util::Status st = dispatch(e);
+      if (!st.is_ok()) {
+        state.SkipWithError(st.to_string().c_str());
+        return;
+      }
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * events.size()));
+}
+
+/// Proxy architecture: one capability per user per server, minted up
+/// front; requests verify offline.
+void BM_Workload_Proxy(benchmark::State& state) {
+  workload::WorkloadSpec spec;
+  spec.users = static_cast<std::uint32_t>(state.range(0));
+  Deployment d(state, spec);
+
+  // Every server trusts every user's own grants (capability style ACL).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, core::Proxy> caps;
+  for (std::uint32_t s = 0; s < spec.servers; ++s) {
+    for (std::uint32_t u = 0; u < spec.users; ++u) {
+      d.servers[s]->acl().add(
+          authz::AclEntry{{d.generator.user_name(u)}, {}, {}, {}});
+      caps.emplace(
+          std::make_pair(u, s),
+          authz::make_capability_pk(
+              d.generator.user_name(u),
+              d.world.principal(d.generator.user_name(u)).identity,
+              d.generator.server_name(s),
+              {core::ObjectRights{"*", {"read", "write"}}},
+              d.world.clock.now(), 100 * util::kHour));
+    }
+  }
+  const auto events = d.generator.generate(64);
+
+  run_events(state, d, events, [&](const workload::RequestEvent& e) {
+    server::AppClient client(d.world.net, d.world.clock,
+                             d.generator.user_name(e.user));
+    const core::Proxy& cap = caps.at({e.user, e.server});
+    auto result = client.invoke_with_proxy_timestamp(
+        d.generator.server_name(e.server), cap,
+        e.is_write ? "write" : "read", d.generator.object_name(e.object),
+        {}, e.is_write ? util::to_bytes(std::string_view("new")) :
+                         util::Bytes{});
+    return result.status();
+  });
+  state.counters["grants"] =
+      benchmark::Counter(static_cast<double>(caps.size()));
+  state.counters["3rd_party_msgs_per_req"] = benchmark::Counter(0);
+}
+BENCHMARK(BM_Workload_Proxy)->Arg(4)->Arg(16)->Arg(64);
+
+/// Pull architecture: registration server answers per request.
+void BM_Workload_Pull(benchmark::State& state) {
+  workload::WorkloadSpec spec;
+  spec.users = static_cast<std::uint32_t>(state.range(0));
+  workload::WorkloadGenerator generator(spec);
+
+  util::SimClock clock;
+  net::SimNet net(clock);
+  net.set_default_latency(0);
+  baseline::RegistrationServer registration("registration");
+  net.attach("registration", registration);
+  std::vector<std::unique_ptr<baseline::PullAuthEndServer>> servers;
+  for (std::uint32_t s = 0; s < spec.servers; ++s) {
+    servers.push_back(std::make_unique<baseline::PullAuthEndServer>(
+        generator.server_name(s), "registration", net, clock));
+    net.attach(generator.server_name(s), *servers.back());
+    for (std::uint32_t u = 0; u < spec.users; ++u) {
+      for (std::uint32_t o = 0; o < spec.objects_per_server; ++o) {
+        registration.grant(generator.user_name(u), "read",
+                           generator.object_name(o));
+        registration.grant(generator.user_name(u), "write",
+                           generator.object_name(o));
+      }
+    }
+  }
+  auto events = generator.generate(64);
+
+  const std::uint64_t queries_before = registration.queries_served();
+  for (auto _ : state) {
+    for (const workload::RequestEvent& e : events) {
+      util::Status st = baseline::pull_invoke(
+          net, generator.user_name(e.user), generator.server_name(e.server),
+          e.is_write ? "write" : "read", generator.object_name(e.object));
+      if (!st.is_ok()) {
+        state.SkipWithError(st.to_string().c_str());
+        return;
+      }
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * events.size()));
+  const double total_reqs =
+      static_cast<double>(state.iterations() * events.size());
+  state.counters["3rd_party_msgs_per_req"] = benchmark::Counter(
+      total_reqs > 0
+          ? 2.0 * static_cast<double>(registration.queries_served() -
+                                      queries_before) /
+                total_reqs
+          : 0);
+}
+BENCHMARK(BM_Workload_Pull)->Arg(4)->Arg(16)->Arg(64);
+
+/// Local-ACL architecture: identity-only access, no delegation at all.
+void BM_Workload_LocalAcl(benchmark::State& state) {
+  workload::WorkloadSpec spec;
+  spec.users = static_cast<std::uint32_t>(state.range(0));
+  Deployment d(state, spec);
+  for (std::uint32_t s = 0; s < spec.servers; ++s) {
+    for (std::uint32_t u = 0; u < spec.users; ++u) {
+      d.servers[s]->acl().add(
+          authz::AclEntry{{d.generator.user_name(u)}, {}, {}, {}});
+    }
+  }
+  const auto events = d.generator.generate(64);
+
+  run_events(state, d, events, [&](const workload::RequestEvent& e) {
+    const testing::Principal& p =
+        d.world.principal(d.generator.user_name(e.user));
+    server::AppClient client(d.world.net, d.world.clock, p.name);
+    const PrincipalName server_name = d.generator.server_name(e.server);
+    auto result = client.invoke_timestamp(
+        server_name, e.is_write ? "write" : "read",
+        d.generator.object_name(e.object), {},
+        e.is_write ? util::to_bytes(std::string_view("new"))
+                   : util::Bytes{},
+        [&](util::BytesView challenge, util::BytesView rdigest,
+            server::AppRequestPayload& req) {
+          req.identity = core::prove_delegate_pk(p.cert, p.identity,
+                                                 challenge, server_name,
+                                                 d.world.clock.now(),
+                                                 rdigest);
+        });
+    return result.status();
+  });
+  state.counters["3rd_party_msgs_per_req"] = benchmark::Counter(0);
+}
+BENCHMARK(BM_Workload_LocalAcl)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace

@@ -1,0 +1,58 @@
+// Shared benchmark scaffolding.
+//
+// Benches reuse the test World (full simulated deployment).  Timing loops
+// run with zero simulated link latency so wall time measures protocol CPU
+// cost; a single instrumented run per configuration captures the paper's
+// own cost model — message count, bytes on the wire, and simulated latency
+// at the default 0.5 ms one-way LAN delay — and reports them as counters.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "crypto/random.hpp"
+#include "testing/env.hpp"
+
+namespace rproxy::bench {
+
+/// Captures SimNet traffic for one run of `op` and attaches the counters
+/// to `state` ("msgs", "bytes", "simlat_us" per operation).
+inline void record_protocol_cost(benchmark::State& state,
+                                 rproxy::net::SimNet& net,
+                                 const std::function<void()>& op) {
+  net.set_default_latency(500 * rproxy::util::kMicrosecond);
+  net.reset_stats();
+  op();
+  const rproxy::net::NetStats& stats = net.stats();
+  state.counters["msgs"] =
+      benchmark::Counter(static_cast<double>(stats.messages));
+  state.counters["bytes"] =
+      benchmark::Counter(static_cast<double>(stats.bytes));
+  state.counters["simlat_us"] =
+      benchmark::Counter(static_cast<double>(stats.simulated_latency));
+  net.set_default_latency(0);
+  net.reset_stats();
+}
+
+/// Fails the benchmark loudly if a protocol step that must succeed fails.
+template <typename ResultT>
+const auto& expect_ok(benchmark::State& state, const ResultT& result,
+                      const char* what) {
+  if (!result.is_ok()) {
+    state.SkipWithError(
+        (std::string(what) + ": " + result.status().to_string()).c_str());
+  }
+  return result.value();
+}
+
+inline void expect_ok_status(benchmark::State& state,
+                             const rproxy::util::Status& status,
+                             const char* what) {
+  if (!status.is_ok()) {
+    state.SkipWithError(
+        (std::string(what) + ": " + status.to_string()).c_str());
+  }
+}
+
+}  // namespace rproxy::bench

@@ -1,0 +1,148 @@
+// Distributed payment (§4, Fig 5): the client C pays server S by check;
+// S's accounting server $1 collects from C's accounting server $2.  Then
+// the certified-check variant, and a double-spend attempt.
+#include <cstdio>
+
+#include "accounting/clearing.hpp"
+#include "pki/name_server.hpp"
+
+using namespace rproxy;
+
+namespace {
+class Resolver final : public core::KeyResolver {
+ public:
+  explicit Resolver(const pki::NameServer& ns) : ns_(&ns) {}
+  util::Result<crypto::VerifyKey> resolve(
+      const PrincipalName& name) const override {
+    return ns_->key_of(name);
+  }
+ private:
+  const pki::NameServer* ns_;
+};
+
+void show_balances(accounting::AccountingServer& bank,
+                   const char* account) {
+  const accounting::Account* a = bank.account(account);
+  std::printf("  %s/%s: %lld usd\n", bank.name().c_str(), account,
+              a == nullptr
+                  ? 0LL
+                  : static_cast<long long>(a->balances().balance("usd")));
+}
+}  // namespace
+
+int main() {
+  util::SimClock clock;
+  net::SimNet net(clock);
+  pki::NameServer name_server("name-server", clock);
+  net.attach("name-server", name_server);
+  Resolver resolver(name_server);
+
+  // Principals: client C, application server S, accounting servers $1, $2.
+  struct Party {
+    crypto::SigningKeyPair key;
+    pki::IdentityCert cert;
+  };
+  auto enroll = [&](const PrincipalName& name) {
+    Party p{crypto::SigningKeyPair::generate(), {}};
+    name_server.register_key(name, p.key.public_key());
+    p.cert = name_server.issue_cert(name).value();
+    return p;
+  };
+  Party client = enroll("client");
+  Party app_server = enroll("app-server");
+  Party bank1_id = enroll("bank1");
+  Party bank2_id = enroll("bank2");
+
+  auto bank_config = [&](const PrincipalName& name, const Party& id) {
+    accounting::AccountingServer::Config c;
+    c.name = name;
+    c.clock = &clock;
+    c.net = &net;
+    c.resolver = &resolver;
+    c.pk_root = name_server.root_key();
+    c.identity_key = id.key;
+    c.identity_cert = id.cert;
+    return c;
+  };
+  accounting::AccountingServer bank1(bank_config("bank1", bank1_id));
+  accounting::AccountingServer bank2(bank_config("bank2", bank2_id));
+  net.attach("bank1", bank1);
+  net.attach("bank2", bank2);
+  bank2.open_account("client-account", "client",
+                     accounting::Balances{{"usd", 200}});
+  bank1.open_account("revenue", "app-server");
+
+  std::printf("initial state:\n");
+  show_balances(bank2, "client-account");
+  show_balances(bank1, "revenue");
+
+  // --- Message 1 (Fig 5): the check — a numbered delegate proxy. ----------
+  const accounting::Check check = accounting::write_check(
+      "client", client.key, AccountId{"bank2", "client-account"},
+      "app-server", "usd", 75, /*check_number=*/1001, clock.now(),
+      util::kHour);
+  std::printf("\nclient writes check #%llu for %llu usd to app-server\n",
+              static_cast<unsigned long long>(check.check_number),
+              static_cast<unsigned long long>(check.amount));
+  std::printf("  (an offline act: no network message was sent)\n");
+
+  // --- E1 + E2: endorse and deposit; bank1 collects from bank2. -----------
+  accounting::AccountingClient payee(net, clock, "app-server",
+                                     app_server.cert, app_server.key);
+  net.reset_stats();
+  auto cleared = payee.endorse_and_deposit("bank1", check, "revenue");
+  std::printf("app-server endorses to bank1 and deposits -> %s (hops=%u)\n",
+              cleared.is_ok() ? "cleared" : cleared.status().to_string().c_str(),
+              cleared.is_ok() ? cleared.value().hops : 0);
+  std::printf("  clearing cost: %llu messages, %llu bytes on the wire\n",
+              static_cast<unsigned long long>(net.stats().messages),
+              static_cast<unsigned long long>(net.stats().bytes));
+  show_balances(bank2, "client-account");
+  show_balances(bank1, "revenue");
+  show_balances(bank2, "peer:bank1");
+
+  // --- Double spend: depositing the same check number again bounces. ------
+  auto again = payee.endorse_and_deposit("bank1", check, "revenue");
+  std::printf("\ndepositing check #1001 again -> %s\n",
+              again.status().to_string().c_str());
+
+  // --- Certified check (§4's second mechanism). ---------------------------
+  accounting::AccountingClient payer(net, clock, "client", client.cert,
+                                     client.key);
+  auto certification = payer.certify("bank2", "client-account", "app-server",
+                                     "usd", 50, 1002, "app-server");
+  std::printf("\nclient certifies check #1002 for 50 usd -> %s\n",
+              certification.is_ok()
+                  ? "hold placed"
+                  : certification.status().to_string().c_str());
+  std::printf("  client available balance now %lld usd (50 held)\n",
+              static_cast<long long>(
+                  bank2.account("client-account")->available("usd")));
+
+  const accounting::Check certified = accounting::write_check(
+      "client", client.key, AccountId{"bank2", "client-account"},
+      "app-server", "usd", 50, 1002, clock.now(), util::kHour);
+
+  // The end-server can verify the certification offline before serving.
+  core::ProxyVerifier::Config vc;
+  vc.server_name = "app-server";
+  vc.resolver = &resolver;
+  vc.pk_root = name_server.root_key();
+  const core::ProxyVerifier app_verifier(std::move(vc));
+  util::Status guaranteed = accounting::verify_certification(
+      app_verifier, certification.value().certification, certified, "bank2",
+      "client", clock.now());
+  std::printf("app-server verifies the certification -> %s\n",
+              guaranteed.to_string().c_str());
+
+  auto settled = payee.endorse_and_deposit("bank1", certified, "revenue");
+  std::printf("certified check clears from the hold -> %s\n",
+              settled.status().to_string().c_str());
+  show_balances(bank2, "client-account");
+  show_balances(bank1, "revenue");
+
+  std::printf("\nbank1 cleared %llu checks, bounced %llu\n",
+              static_cast<unsigned long long>(bank1.checks_cleared()),
+              static_cast<unsigned long long>(bank1.checks_bounced()));
+  return 0;
+}

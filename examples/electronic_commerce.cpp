@@ -1,0 +1,229 @@
+// Electronic commerce: the paper's motivating scenario — "clients and
+// servers not previously known to one another must interact" (§1).
+//
+// A shopper and a storefront share NO prior relationship: no common ACL
+// entry, no shared secret.  Everything flows through the infrastructure:
+//  1. the storefront delegates authorization to a public authorization
+//     server that admits members of a consumer association's group;
+//  2. the shopper proves membership with a group proxy (§3.3),
+//  3. obtains an authorization proxy (Fig 3),
+//  4. pays with a certified check the storefront can verify offline (§4),
+//  5. and the storefront clears the check through the banking chain
+//     (Fig 5) after delivering.
+#include <cstdio>
+
+#include "accounting/clearing.hpp"
+#include "authz/authorization_server.hpp"
+#include "authz/group_server.hpp"
+#include "core/describe.hpp"
+#include "kdc/kdc_server.hpp"
+#include "pki/name_server.hpp"
+#include "server/app_client.hpp"
+#include "server/file_server.hpp"
+
+using namespace rproxy;
+
+namespace {
+class Resolver final : public core::KeyResolver {
+ public:
+  explicit Resolver(const pki::NameServer& ns) : ns_(&ns) {}
+  util::Result<crypto::VerifyKey> resolve(
+      const PrincipalName& name) const override {
+    return ns_->key_of(name);
+  }
+ private:
+  const pki::NameServer* ns_;
+};
+}  // namespace
+
+int main() {
+  util::SimClock clock;
+  net::SimNet net(clock);
+  pki::NameServer name_server("name-server", clock);
+  net.attach("name-server", name_server);
+  Resolver resolver(name_server);
+
+  // Kerberos realm for authentication.
+  kdc::PrincipalDb db;
+  db.register_with_password("kdc", "kdc-master");
+  const crypto::SymmetricKey shopper_key =
+      db.register_with_password("shopper", "shopper-pw");
+  const crypto::SymmetricKey store_krb =
+      db.register_with_password("storefront", "store-pw");
+  const crypto::SymmetricKey authz_key =
+      db.register_with_password("authz-server", "authz-pw");
+  const crypto::SymmetricKey assoc_key =
+      db.register_with_password("consumer-assoc", "assoc-pw");
+  kdc::KdcServer kdc_server("kdc", std::move(db), clock);
+  net.attach("kdc", kdc_server);
+
+  // Public-key identities for the accounting layer.
+  auto enroll = [&](const PrincipalName& name) {
+    crypto::SigningKeyPair key = crypto::SigningKeyPair::generate();
+    name_server.register_key(name, key.public_key());
+    return key;
+  };
+  const crypto::SigningKeyPair shopper_pk = enroll("shopper");
+  const crypto::SigningKeyPair store_pk = enroll("storefront");
+  const crypto::SigningKeyPair bank_s_pk = enroll("bank-store");
+  const crypto::SigningKeyPair bank_c_pk = enroll("bank-shopper");
+
+  // The storefront: its ACL names ONLY the authorization server (§3.5's
+  // single-entry delegation) — it has never heard of the shopper.
+  server::FileServer::Config sc;
+  sc.name = "storefront";
+  sc.server_key = store_krb;
+  sc.resolver = &resolver;
+  sc.pk_root = name_server.root_key();
+  sc.clock = &clock;
+  server::FileServer storefront(sc);
+  storefront.put_file("/catalog/widget", "a very fine widget");
+  storefront.acl().add(authz::AclEntry{{"authz-server"}, {}, {}, {}});
+  net.attach("storefront", storefront);
+
+  // Consumer association group server; the shopper is a member.
+  authz::GroupServer::Config gc;
+  gc.name = "consumer-assoc";
+  gc.own_key = assoc_key;
+  gc.net = &net;
+  gc.clock = &clock;
+  gc.kdc = "kdc";
+  authz::GroupServer assoc(gc);
+  assoc.add_member("members", "shopper");
+  net.attach("consumer-assoc", assoc);
+
+  // Authorization server: association members may buy from the storefront.
+  authz::AuthorizationServer::Config ac;
+  ac.name = "authz-server";
+  ac.own_key = authz_key;
+  ac.net = &net;
+  ac.clock = &clock;
+  ac.kdc = "kdc";
+  authz::AuthorizationServer authz_server(ac);
+  {
+    authz::Acl acl;
+    acl.add(authz::AclEntry{
+        {authz::acl_group_token(GroupName{"consumer-assoc", "members"})},
+        {"read", "buy"},
+        {"/catalog/widget"},
+        {}});
+    authz_server.set_acl("storefront", acl);
+  }
+  net.attach("authz-server", authz_server);
+
+  // Banks.
+  auto bank_config = [&](const PrincipalName& name,
+                         const crypto::SigningKeyPair& key) {
+    accounting::AccountingServer::Config c;
+    c.name = name;
+    c.clock = &clock;
+    c.net = &net;
+    c.resolver = &resolver;
+    c.pk_root = name_server.root_key();
+    c.identity_key = key;
+    c.identity_cert = name_server.issue_cert(name).value();
+    return c;
+  };
+  accounting::AccountingServer bank_store(
+      bank_config("bank-store", bank_s_pk));
+  accounting::AccountingServer bank_shopper(
+      bank_config("bank-shopper", bank_c_pk));
+  net.attach("bank-store", bank_store);
+  net.attach("bank-shopper", bank_shopper);
+  bank_shopper.open_account("shopper-acct", "shopper",
+                            accounting::Balances{{"usd", 80}});
+  bank_store.open_account("store-revenue", "storefront");
+
+  // ---- Step 1: the shopper authenticates and collects her credentials.
+  kdc::KdcClient shopper(net, clock, "shopper", shopper_key, "kdc");
+  auto tgt = shopper.authenticate(4 * util::kHour);
+  auto assoc_creds =
+      shopper.get_ticket(tgt.value(), "consumer-assoc", util::kHour);
+  auto authz_creds =
+      shopper.get_ticket(tgt.value(), "authz-server", util::kHour);
+  auto store_creds =
+      shopper.get_ticket(tgt.value(), "storefront", util::kHour);
+
+  // ---- Step 2: group proxy from the association, issued for the
+  // authorization server (§3.3).
+  authz::GroupClient group_client(net, clock, shopper);
+  auto membership = group_client.request_membership(
+      assoc_creds.value(), "consumer-assoc", "members", "authz-server",
+      util::kHour);
+  std::printf("membership proxy: %s\n",
+              core::describe(
+                  membership.value().claimed_restrictions).c_str());
+
+  // ---- Step 3: authorization proxy (Fig 3), backed by the membership.
+  authz::AuthzClient authz_client(net, clock, shopper);
+  auto purchase_proxy = authz_client.request_authorization(
+      authz_creds.value(), "authz-server", "storefront", {}, util::kHour,
+      [&](util::BytesView challenge)
+          -> std::vector<core::PresentedCredential> {
+        core::PresentedCredential cred;
+        cred.chain = membership.value().chain;
+        cred.proof = core::prove_delegate_krb(shopper, authz_creds.value(),
+                                              challenge, "authz-server",
+                                              clock.now(), {});
+        return {cred};
+      });
+  std::printf("authorization proxy: %s\n",
+              core::describe(
+                  purchase_proxy.value().claimed_restrictions).c_str());
+
+  // ---- Step 4: certified payment.  The shopper certifies a check with
+  // her bank; the storefront verifies the certification OFFLINE before
+  // shipping anything.
+  accounting::AccountingClient shopper_acct(
+      net, clock, "shopper", name_server.issue_cert("shopper").value(),
+      shopper_pk);
+  const std::uint64_t ckno = 90125;
+  auto certification = shopper_acct.certify(
+      "bank-shopper", "shopper-acct", "storefront", "usd", 25, ckno,
+      "storefront");
+  const accounting::Check payment = accounting::write_check(
+      "shopper", shopper_pk, AccountId{"bank-shopper", "shopper-acct"},
+      "storefront", "usd", 25, ckno, clock.now(), util::kHour);
+  util::Status guaranteed = accounting::verify_certification(
+      storefront.verifier(), certification.value().certification, payment,
+      "bank-shopper", "shopper", clock.now());
+  std::printf("storefront verifies certified payment -> %s\n",
+              guaranteed.to_string().c_str());
+
+  // ---- Step 5: the purchase itself, authorized by the proxy chain.
+  server::AppClient app(net, clock, "shopper");
+  auto bought = app.invoke(
+      "storefront", "read", "/catalog/widget", {}, {},
+      [&](util::BytesView challenge, util::BytesView rdigest,
+          server::AppRequestPayload& req) {
+        core::PresentedCredential cred;
+        cred.chain = purchase_proxy.value().chain;
+        cred.proof = core::prove_delegate_krb(shopper, store_creds.value(),
+                                              challenge, "storefront",
+                                              clock.now(), rdigest);
+        req.credentials.push_back(cred);
+      });
+  std::printf("purchase -> %s (\"%s\")\n",
+              bought.status().to_string().c_str(),
+              bought.is_ok() ? util::to_string(bought.value()).c_str() : "");
+
+  // ---- Step 6: after delivery, the storefront banks the check (Fig 5).
+  accounting::AccountingClient store_acct(
+      net, clock, "storefront",
+      name_server.issue_cert("storefront").value(), store_pk);
+  auto cleared = store_acct.endorse_and_deposit("bank-store", payment,
+                                                "store-revenue");
+  std::printf("check cleared -> %s; store revenue: %lld usd, shopper "
+              "balance: %lld usd\n",
+              cleared.status().to_string().c_str(),
+              static_cast<long long>(bank_store.account("store-revenue")
+                                         ->balances()
+                                         .balance("usd")),
+              static_cast<long long>(bank_shopper.account("shopper-acct")
+                                         ->balances()
+                                         .balance("usd")));
+
+  std::printf("\nno prior relationship existed between shopper and "
+              "storefront;\nevery trust link was a restricted proxy.\n");
+  return 0;
+}

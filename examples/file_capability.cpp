@@ -1,0 +1,136 @@
+// File capabilities (§3.1): passing, narrowing, revocation, and why a
+// restricted-proxy capability survives a wiretap while a traditional one
+// does not.
+//
+// Uses the Kerberos (conventional-cryptography) realization for the proxy
+// side, showing §6.2 in action, and the plain-token baseline for contrast.
+#include <cstdio>
+
+#include "authz/capability.hpp"
+#include "baseline/plain_capability.hpp"
+#include "kdc/kdc_server.hpp"
+#include "server/app_client.hpp"
+#include "server/file_server.hpp"
+
+using namespace rproxy;
+
+int main() {
+  util::SimClock clock;
+  net::SimNet net(clock);
+
+  // Kerberos infrastructure (§6.2).
+  kdc::PrincipalDb db;
+  db.register_with_password("kdc", "kdc-master");
+  const crypto::SymmetricKey alice_key =
+      db.register_with_password("alice", "alice-pw");
+  const crypto::SymmetricKey server_key =
+      db.register_with_password("file-server", "fs-pw");
+  kdc::KdcServer kdc_server("kdc", std::move(db), clock);
+  net.attach("kdc", kdc_server);
+
+  server::FileServer::Config config;
+  config.name = "file-server";
+  config.server_key = server_key;
+  config.clock = &clock;
+  server::FileServer file_server(config);
+  file_server.put_file("/design.md", "the design document");
+  file_server.acl().add(authz::AclEntry{{"alice"}, {}, {}, {}});
+  net.attach("file-server", file_server);
+
+  // alice authenticates and obtains credentials for the file server.
+  kdc::KdcClient alice(net, clock, "alice", alice_key, "kdc");
+  auto tgt = alice.authenticate(8 * util::kHour);
+  auto creds = alice.get_ticket(tgt.value(), "file-server", 8 * util::kHour);
+  std::printf("alice holds a ticket for file-server (expires %s)\n",
+              util::format_time(creds.value().expires_at).c_str());
+
+  // She mints a read+write capability: a Kerberos proxy whose
+  // authenticator carries the restrictions and whose subkey is the proxy
+  // key (§6.2).
+  const core::Proxy capability = authz::make_capability_krb(
+      alice, creds.value(),
+      {core::ObjectRights{"/design.md", {"read", "write"}}}, clock.now());
+  std::printf("alice minted a read+write capability for /design.md\n");
+
+  // --- Pass it to bob; bob narrows it to read-only and passes to carol
+  // (cascaded proxy, Fig 4). ----------------------------------------------
+  server::AppClient bob(net, clock, "bob");
+  auto bob_read =
+      bob.invoke_with_proxy("file-server", capability, "read", "/design.md");
+  std::printf("bob reads: \"%s\"\n",
+              util::to_string(bob_read.value()).c_str());
+
+  auto read_only = authz::narrow_capability(
+      capability, {core::ObjectRights{"/design.md", {"read"}}}, clock.now(),
+      8 * util::kHour);
+  server::AppClient carol(net, clock, "carol");
+  auto carol_read = carol.invoke_with_proxy("file-server", read_only.value(),
+                                            "read", "/design.md");
+  auto carol_write = carol.invoke_with_proxy(
+      "file-server", read_only.value(), "write", "/design.md", {},
+      util::to_bytes(std::string_view("carol was here")));
+  std::printf("carol (narrowed copy): read -> %s, write -> %s\n",
+              carol_read.status().to_string().c_str(),
+              carol_write.status().to_string().c_str());
+
+  // --- The wiretap experiment. -------------------------------------------
+  net::RecordingTap wiretap;
+  net.add_tap(wiretap);
+  (void)bob.invoke_with_proxy("file-server", capability, "read",
+                              "/design.md");
+  const auto observed = wiretap.of_type(net::MsgType::kAppRequest);
+  auto payload = wire::decode_from_bytes<server::AppRequestPayload>(
+      observed.front().payload);
+  std::printf("\nmallory taps the wire and captures the presentation\n");
+
+  // Mallory has the certificate chain but not the proxy key; her best
+  // forgery attempt fails.
+  server::AppClient mallory(net, clock, "mallory");
+  auto theft = mallory.invoke(
+      "file-server", "read", "/design.md", {}, {},
+      [&](util::BytesView challenge, util::BytesView rdigest,
+          server::AppRequestPayload& req) {
+        core::PresentedCredential cred;
+        cred.chain = payload.value().credentials[0].chain;
+        core::Proxy fake;
+        fake.chain = cred.chain;
+        fake.secret = crypto::SymmetricKey::generate().bytes();
+        cred.proof = core::prove_bearer(fake, challenge, "file-server",
+                                        clock.now(), rdigest);
+        req.credentials.push_back(cred);
+      });
+  std::printf("mallory replays the proxy capability -> %s\n",
+              theft.status().to_string().c_str());
+
+  // Against a TRADITIONAL capability server the same tap succeeds.
+  baseline::PlainCapabilityServer plain("plain-server", clock);
+  plain.put_file("/design.md", "the design document");
+  net.attach("plain-server", plain);
+  const util::Bytes token = plain.mint("read", "/design.md", util::kHour);
+  (void)baseline::plain_cap_invoke(net, "bob", "plain-server", token, "read",
+                                   "/design.md");
+  const auto plain_observed = wiretap.of_type(net::MsgType::kAppRequest);
+  auto plain_payload =
+      wire::decode_from_bytes<baseline::PlainCapRequestPayload>(
+          plain_observed.back().payload);
+  auto plain_theft = baseline::plain_cap_invoke(
+      net, "mallory", "plain-server", plain_payload.value().token, "read",
+      "/design.md");
+  std::printf("mallory replays the TRADITIONAL capability -> %s\n",
+              plain_theft.is_ok() ? "SUCCEEDS (token stolen!)"
+                                  : plain_theft.status().to_string().c_str());
+
+  // --- Revocation (§3.1): drop alice from the ACL; every capability she
+  // granted (and every narrowed copy) dies at once. ------------------------
+  file_server.acl().remove_principal("alice");
+  auto after_revoke =
+      bob.invoke_with_proxy("file-server", capability, "read", "/design.md");
+  auto narrowed_after = carol.invoke_with_proxy(
+      "file-server", read_only.value(), "read", "/design.md");
+  std::printf(
+      "\nafter revoking alice's ACL entry: original -> %s, narrowed copy -> "
+      "%s\n",
+      after_revoke.status().to_string().c_str(),
+      narrowed_after.status().to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Print quotas (§4, §7.4): the "pages" currency ties the print server to
+// the accounting system.  An authorization server grants print proxies
+// whose quota restriction caps per-job pages, and the cumulative page
+// budget lives in an account — "quotas are implemented by transferring
+// funds of the appropriate currency out of an account when the resource is
+// allocated".
+#include <cstdio>
+
+#include "accounting/clearing.hpp"
+#include "authz/authorization_server.hpp"
+#include "kdc/kdc_server.hpp"
+#include "pki/name_server.hpp"
+#include "server/app_client.hpp"
+#include "server/print_server.hpp"
+
+using namespace rproxy;
+
+namespace {
+class Resolver final : public core::KeyResolver {
+ public:
+  explicit Resolver(const pki::NameServer& ns) : ns_(&ns) {}
+  util::Result<crypto::VerifyKey> resolve(
+      const PrincipalName& name) const override {
+    return ns_->key_of(name);
+  }
+ private:
+  const pki::NameServer* ns_;
+};
+}  // namespace
+
+int main() {
+  util::SimClock clock;
+  net::SimNet net(clock);
+  pki::NameServer name_server("name-server", clock);
+  net.attach("name-server", name_server);
+  Resolver resolver(name_server);
+
+  // Kerberos infrastructure for the conventional realization.
+  kdc::PrincipalDb db;
+  db.register_with_password("kdc", "kdc-master");
+  const crypto::SymmetricKey alice_key =
+      db.register_with_password("alice", "alice-pw");
+  const crypto::SymmetricKey printsrv_key =
+      db.register_with_password("print-server", "ps-pw");
+  const crypto::SymmetricKey authz_key =
+      db.register_with_password("authz-server", "as-pw");
+  kdc::KdcServer kdc_server("kdc", std::move(db), clock);
+  net.attach("kdc", kdc_server);
+
+  // The print server accepts Kerberos proxies.
+  server::PrintServer::Config pc;
+  pc.name = "print-server";
+  pc.server_key = printsrv_key;
+  pc.clock = &clock;
+  server::PrintServer print_server(pc);
+  // Authorization for printing is delegated to the authorization server.
+  print_server.acl().add(authz::AclEntry{{"authz-server"}, {}, {}, {}});
+  net.attach("print-server", print_server);
+
+  // Authorization server: alice may print on queue-a, at most 5 pages per
+  // job (the entry's restriction template is copied into her proxies).
+  authz::AuthorizationServer::Config ac;
+  ac.name = "authz-server";
+  ac.own_key = authz_key;
+  ac.net = &net;
+  ac.clock = &clock;
+  ac.kdc = "kdc";
+  authz::AuthorizationServer authz_server(ac);
+  {
+    core::RestrictionSet per_job;
+    per_job.add(core::QuotaRestriction{
+        std::string(server::kPagesCurrency), 5});
+    authz::Acl acl;
+    acl.add(authz::AclEntry{{"alice"}, {"print"}, {"queue-a"}, per_job});
+    authz_server.set_acl("print-server", acl);
+  }
+  net.attach("authz-server", authz_server);
+
+  // alice authenticates and asks for a print authorization (Fig 3).
+  kdc::KdcClient alice(net, clock, "alice", alice_key, "kdc");
+  auto tgt = alice.authenticate(8 * util::kHour);
+  auto authz_creds =
+      alice.get_ticket(tgt.value(), "authz-server", util::kHour);
+  authz::AuthzClient authz_client(net, clock, alice);
+  auto proxy = authz_client.request_authorization(
+      authz_creds.value(), "authz-server", "print-server", {},
+      util::kHour);
+  std::printf("alice obtained a print proxy from the authorization server\n");
+
+  // She prints through the proxy (delegate proxy -> she proves identity).
+  auto print_creds =
+      alice.get_ticket(tgt.value(), "print-server", util::kHour);
+  server::AppClient app(net, clock, "alice");
+  const auto print_job = [&](std::uint64_t pages) {
+    return app.invoke(
+        "print-server", "print", "queue-a",
+        {{std::string(server::kPagesCurrency), pages}},
+        util::to_bytes(std::string_view("...job body...")),
+        [&](util::BytesView challenge, util::BytesView rdigest,
+            server::AppRequestPayload& req) {
+          core::PresentedCredential cred;
+          cred.chain = proxy.value().chain;
+          cred.proof = core::prove_delegate_krb(alice, print_creds.value(),
+                                                challenge, "print-server",
+                                                clock.now(), rdigest);
+          req.credentials.push_back(cred);
+        });
+  };
+
+  auto job1 = print_job(3);
+  std::printf("print 3 pages -> %s\n", job1.status().to_string().c_str());
+  auto job2 = print_job(6);
+  std::printf("print 6 pages -> %s (per-job quota is 5)\n",
+              job2.status().to_string().c_str());
+  auto job3 = print_job(5);
+  std::printf("print 5 pages -> %s\n", job3.status().to_string().c_str());
+
+  std::printf("\nprint server processed %zu jobs, %llu pages total\n",
+              print_server.jobs().size(),
+              static_cast<unsigned long long>(print_server.pages_printed()));
+
+  // --- The cumulative budget lives in an account: allocate pages out of
+  // alice's page account into the print server's pool as jobs run. --------
+  const crypto::SigningKeyPair bank_key = crypto::SigningKeyPair::generate();
+  name_server.register_key("bank", bank_key.public_key());
+  const crypto::SigningKeyPair alice_pk = crypto::SigningKeyPair::generate();
+  name_server.register_key("alice", alice_pk.public_key());
+
+  accounting::AccountingServer::Config bc;
+  bc.name = "bank";
+  bc.clock = &clock;
+  bc.net = &net;
+  bc.resolver = &resolver;
+  bc.pk_root = name_server.root_key();
+  bc.identity_key = bank_key;
+  bc.identity_cert = name_server.issue_cert("bank").value();
+  accounting::AccountingServer bank(bc);
+  net.attach("bank", bank);
+  bank.open_account("alice-pages", "alice",
+                    accounting::Balances{{"pages", 20}});
+  bank.open_account("printer-pool", "print-server");
+
+  accounting::AccountingClient alice_acct(
+      net, clock, "alice", name_server.issue_cert("alice").value(),
+      alice_pk);
+  const std::uint64_t printed = print_server.pages_printed();
+  util::Status charged = alice_acct.transfer("bank", "alice-pages",
+                                             "printer-pool", "pages",
+                                             printed);
+  std::printf("charging %llu pages against alice's page account -> %s\n",
+              static_cast<unsigned long long>(printed),
+              charged.to_string().c_str());
+  std::printf("alice's remaining page budget: %lld\n",
+              static_cast<long long>(
+                  bank.account("alice-pages")->balances().balance("pages")));
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "accounting/account.hpp"
+
+#include <algorithm>
+
+namespace rproxy::accounting {
+
+Account::Account(std::string name, PrincipalName owner)
+    : name_(std::move(name)), owner_(std::move(owner)) {}
+
+std::int64_t Account::available(const Currency& currency) const {
+  return balances_.balance(currency) - held(currency);
+}
+
+std::int64_t Account::held(const Currency& currency) const {
+  auto it = holds_.find(currency);
+  return it == holds_.end() ? 0 : it->second;
+}
+
+util::Status Account::place_hold(const Currency& currency,
+                                 std::int64_t amount) {
+  if (available(currency) < amount) {
+    return util::fail(util::ErrorCode::kInsufficientFunds,
+                      "cannot hold " + std::to_string(amount) + " " +
+                          currency + ": only " +
+                          std::to_string(available(currency)) +
+                          " available");
+  }
+  holds_[currency] += amount;
+  return util::Status::ok();
+}
+
+void Account::release_hold(const Currency& currency, std::int64_t amount) {
+  holds_[currency] = std::max<std::int64_t>(0, held(currency) - amount);
+}
+
+util::Status Account::debit(const Currency& currency, std::int64_t amount) {
+  if (available(currency) < amount) {
+    return util::fail(util::ErrorCode::kInsufficientFunds,
+                      "available balance cannot cover debit of " +
+                          std::to_string(amount) + " " + currency);
+  }
+  return balances_.debit(currency, amount);
+}
+
+util::Status Account::debit_held(const Currency& currency,
+                                 std::int64_t amount) {
+  if (held(currency) < amount) {
+    return util::fail(util::ErrorCode::kInsufficientFunds,
+                      "hold cannot cover " + std::to_string(amount) + " " +
+                          currency);
+  }
+  RPROXY_RETURN_IF_ERROR(balances_.debit(currency, amount));
+  release_hold(currency, amount);
+  return util::Status::ok();
+}
+
+void Account::credit(const Currency& currency, std::int64_t amount) {
+  balances_.credit(currency, amount);
+}
+
+bool Account::authorizes(const authz::AuthorityContext& who,
+                         const Operation& operation) const {
+  if (who.covers(owner_)) return true;
+  return acl_.match(who, operation, name_).is_ok();
+}
+
+}  // namespace rproxy::accounting

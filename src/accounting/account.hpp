@@ -1,0 +1,62 @@
+// Accounts (§4).
+//
+// "At a minimum, each account contains a unique name, an access-control-
+// list, and a collection of records, each record specifying a currency and
+// a balance."  Holds (for certified checks) reduce the available balance
+// without leaving the account, and "quotas are implemented by transferring
+// funds of the appropriate currency out of an account when the resource is
+// allocated and transferring the funds back when the resource is released".
+#pragma once
+
+#include "accounting/currency.hpp"
+#include "authz/acl.hpp"
+
+namespace rproxy::accounting {
+
+class Account {
+ public:
+  Account() = default;
+  Account(std::string name, PrincipalName owner);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const PrincipalName& owner() const { return owner_; }
+
+  /// The account ACL: who may debit/query/transfer.  The owner always may.
+  [[nodiscard]] authz::Acl& acl() { return acl_; }
+  [[nodiscard]] const authz::Acl& acl() const { return acl_; }
+
+  [[nodiscard]] Balances& balances() { return balances_; }
+  [[nodiscard]] const Balances& balances() const { return balances_; }
+
+  /// Balance net of holds — what a debit may draw on.
+  [[nodiscard]] std::int64_t available(const Currency& currency) const;
+  [[nodiscard]] std::int64_t held(const Currency& currency) const;
+
+  /// Places a hold (certified check): reduces availability, keeps funds.
+  [[nodiscard]] util::Status place_hold(const Currency& currency,
+                                        std::int64_t amount);
+  /// Releases a hold without spending it.
+  void release_hold(const Currency& currency, std::int64_t amount);
+
+  /// Debits against available funds.
+  [[nodiscard]] util::Status debit(const Currency& currency,
+                                   std::int64_t amount);
+  /// Debits funds previously held (certified-check settlement).
+  [[nodiscard]] util::Status debit_held(const Currency& currency,
+                                        std::int64_t amount);
+  void credit(const Currency& currency, std::int64_t amount);
+
+  /// True if `who` may perform `operation` on this account: the owner
+  /// always may; otherwise the account ACL decides.
+  [[nodiscard]] bool authorizes(const authz::AuthorityContext& who,
+                                const Operation& operation) const;
+
+ private:
+  std::string name_;
+  PrincipalName owner_;
+  authz::Acl acl_;
+  Balances balances_;
+  std::map<Currency, std::int64_t> holds_;
+};
+
+}  // namespace rproxy::accounting

@@ -1,0 +1,753 @@
+#include "accounting/accounting_server.hpp"
+
+#include <algorithm>
+
+#include "core/request.hpp"
+#include "crypto/random.hpp"
+
+namespace rproxy::accounting {
+
+using util::ErrorCode;
+
+namespace {
+/// Empty payload for challenge requests.
+struct EmptyPayload {
+  void encode(wire::Encoder&) const {}
+  static EmptyPayload decode(wire::Decoder&) { return {}; }
+};
+
+/// Challenge reply payload (same shape the end-server uses).
+struct ChallengeReply {
+  std::uint64_t id = 0;
+  util::Bytes nonce;
+
+  void encode(wire::Encoder& enc) const {
+    enc.u64(id);
+    enc.bytes(nonce);
+  }
+  static ChallengeReply decode(wire::Decoder& dec) {
+    ChallengeReply c;
+    c.id = dec.u64();
+    c.nonce = dec.bytes();
+    return c;
+  }
+};
+
+util::Bytes deposit_digest(const DepositPayload& req) {
+  return core::request_digest("deposit", req.collect_account,
+                              {{req.check.currency, req.amount}});
+}
+}  // namespace
+
+void AccountQueryPayload::encode(wire::Encoder& enc) const {
+  identity.encode(enc);
+  enc.u64(challenge_id);
+  enc.str(account);
+}
+
+AccountQueryPayload AccountQueryPayload::decode(wire::Decoder& dec) {
+  AccountQueryPayload p;
+  p.identity = core::PossessionProof::decode(dec);
+  p.challenge_id = dec.u64();
+  p.account = dec.str();
+  return p;
+}
+
+void AccountReplyPayload::encode(wire::Encoder& enc) const {
+  balances.encode(enc);
+  held.encode(enc);
+}
+
+AccountReplyPayload AccountReplyPayload::decode(wire::Decoder& dec) {
+  AccountReplyPayload p;
+  p.balances = Balances::decode(dec);
+  p.held = Balances::decode(dec);
+  return p;
+}
+
+void TransferPayload::encode(wire::Encoder& enc) const {
+  identity.encode(enc);
+  enc.u64(challenge_id);
+  enc.str(from_account);
+  enc.str(to_account);
+  enc.str(currency);
+  enc.u64(amount);
+}
+
+TransferPayload TransferPayload::decode(wire::Decoder& dec) {
+  TransferPayload p;
+  p.identity = core::PossessionProof::decode(dec);
+  p.challenge_id = dec.u64();
+  p.from_account = dec.str();
+  p.to_account = dec.str();
+  p.currency = dec.str();
+  p.amount = dec.u64();
+  return p;
+}
+
+void CertifyPayload::encode(wire::Encoder& enc) const {
+  identity.encode(enc);
+  enc.u64(challenge_id);
+  enc.str(account);
+  enc.str(payee);
+  enc.str(currency);
+  enc.u64(amount);
+  enc.u64(check_number);
+  enc.str(target_server);
+  enc.i64(hold_until);
+}
+
+CertifyPayload CertifyPayload::decode(wire::Decoder& dec) {
+  CertifyPayload p;
+  p.identity = core::PossessionProof::decode(dec);
+  p.challenge_id = dec.u64();
+  p.account = dec.str();
+  p.payee = dec.str();
+  p.currency = dec.str();
+  p.amount = dec.u64();
+  p.check_number = dec.u64();
+  p.target_server = dec.str();
+  p.hold_until = dec.i64();
+  return p;
+}
+
+void CertifyReplyPayload::encode(wire::Encoder& enc) const {
+  certification.encode(enc);
+  enc.i64(expires_at);
+}
+
+CertifyReplyPayload CertifyReplyPayload::decode(wire::Decoder& dec) {
+  CertifyReplyPayload p;
+  p.certification = core::ProxyChain::decode(dec);
+  p.expires_at = dec.i64();
+  return p;
+}
+
+void DepositPayload::encode(wire::Encoder& enc) const {
+  identity.encode(enc);
+  enc.u64(challenge_id);
+  check.encode(enc);
+  enc.str(collect_account);
+  enc.u64(amount);
+}
+
+DepositPayload DepositPayload::decode(wire::Decoder& dec) {
+  DepositPayload p;
+  p.identity = core::PossessionProof::decode(dec);
+  p.challenge_id = dec.u64();
+  p.check = Check::decode(dec);
+  p.collect_account = dec.str();
+  p.amount = dec.u64();
+  return p;
+}
+
+void DepositReplyPayload::encode(wire::Encoder& enc) const {
+  enc.boolean(cleared);
+  enc.u32(hops);
+}
+
+DepositReplyPayload DepositReplyPayload::decode(wire::Decoder& dec) {
+  DepositReplyPayload p;
+  p.cleared = dec.boolean();
+  p.hops = dec.u32();
+  return p;
+}
+
+void CashierPayload::encode(wire::Encoder& enc) const {
+  identity.encode(enc);
+  enc.u64(challenge_id);
+  enc.str(account);
+  enc.str(payee);
+  enc.str(currency);
+  enc.u64(amount);
+}
+
+CashierPayload CashierPayload::decode(wire::Decoder& dec) {
+  CashierPayload p;
+  p.identity = core::PossessionProof::decode(dec);
+  p.challenge_id = dec.u64();
+  p.account = dec.str();
+  p.payee = dec.str();
+  p.currency = dec.str();
+  p.amount = dec.u64();
+  return p;
+}
+
+std::string certified_check_object(std::uint64_t check_number) {
+  return "certified-check:" + std::to_string(check_number);
+}
+
+AccountingServer::AccountingServer(Config config)
+    : config_(std::move(config)),
+      verifier_(core::ProxyVerifier::Config{
+          .server_name = config_.name,
+          .server_key = std::nullopt,  // accounting is public-key (checks
+                                       // must verify across servers)
+          .resolver = config_.resolver,
+          .pk_root = config_.pk_root,
+          .replay_cache = nullptr,
+          .max_skew = config_.max_skew,
+      }) {}
+
+void AccountingServer::open_account(const std::string& local_name,
+                                    const PrincipalName& owner,
+                                    Balances initial) {
+  Account account(local_name, owner);
+  account.balances() = std::move(initial);
+  accounts_.insert_or_assign(local_name, std::move(account));
+}
+
+Account* AccountingServer::account(const std::string& local_name) {
+  auto it = accounts_.find(local_name);
+  return it == accounts_.end() ? nullptr : &it->second;
+}
+
+const Account* AccountingServer::account(const std::string& local_name) const {
+  auto it = accounts_.find(local_name);
+  return it == accounts_.end() ? nullptr : &it->second;
+}
+
+namespace {
+constexpr std::string_view kSnapshotSealPurpose = "accounting:snapshot";
+}  // namespace
+
+util::Bytes AccountingServer::snapshot(
+    const crypto::SymmetricKey& key) const {
+  wire::Encoder enc;
+  enc.str("accounting-snapshot-v1");
+  enc.str(config_.name);
+  enc.u32(static_cast<std::uint32_t>(accounts_.size()));
+  for (const auto& [name, account] : accounts_) {
+    enc.str(name);
+    enc.str(account.owner());
+    account.balances().encode(enc);
+    // Holds, per currency.
+    std::uint32_t held_count = 0;
+    for (const auto& [currency, amount] : account.balances().all()) {
+      held_count += account.held(currency) > 0 ? 1 : 0;
+    }
+    enc.u32(held_count);
+    for (const auto& [currency, amount] : account.balances().all()) {
+      if (account.held(currency) > 0) {
+        enc.str(currency);
+        enc.i64(account.held(currency));
+      }
+    }
+  }
+  enc.u32(static_cast<std::uint32_t>(certified_.size()));
+  for (const auto& [cert_key, hold] : certified_) {
+    enc.str(cert_key.first);
+    enc.u64(cert_key.second);
+    enc.str(hold.payor);
+    enc.str(hold.account);
+    enc.str(hold.currency);
+    enc.u64(hold.amount);
+    enc.i64(hold.expires_at);
+  }
+  return crypto::aead_seal(key.derive_subkey(kSnapshotSealPurpose),
+                           enc.view());
+}
+
+util::Status AccountingServer::restore(const crypto::SymmetricKey& key,
+                                       util::BytesView snapshot) {
+  RPROXY_ASSIGN_OR_RETURN(
+      util::Bytes plain,
+      crypto::aead_open(key.derive_subkey(kSnapshotSealPurpose), snapshot));
+  wire::Decoder dec(plain);
+  if (dec.str() != "accounting-snapshot-v1") {
+    return util::fail(ErrorCode::kParseError, "not a snapshot");
+  }
+  const std::string server = dec.str();
+  if (server != config_.name) {
+    return util::fail(ErrorCode::kProtocolError,
+                      "snapshot belongs to '" + server + "'");
+  }
+
+  std::map<std::string, Account> accounts;
+  const std::uint32_t account_count = dec.u32();
+  for (std::uint32_t i = 0; i < account_count && dec.ok(); ++i) {
+    const std::string name = dec.str();
+    const PrincipalName owner = dec.str();
+    Account account(name, owner);
+    account.balances() = Balances::decode(dec);
+    const std::uint32_t held_count = dec.u32();
+    for (std::uint32_t h = 0; h < held_count && dec.ok(); ++h) {
+      const std::string currency = dec.str();
+      const std::int64_t amount = dec.i64();
+      RPROXY_RETURN_IF_ERROR(account.place_hold(currency, amount));
+    }
+    accounts.insert_or_assign(name, std::move(account));
+  }
+  std::map<std::pair<PrincipalName, std::uint64_t>, CertifiedHold> certified;
+  const std::uint32_t hold_count = dec.u32();
+  for (std::uint32_t i = 0; i < hold_count && dec.ok(); ++i) {
+    std::pair<PrincipalName, std::uint64_t> cert_key;
+    cert_key.first = dec.str();
+    cert_key.second = dec.u64();
+    CertifiedHold hold;
+    hold.payor = dec.str();
+    hold.account = dec.str();
+    hold.currency = dec.str();
+    hold.amount = dec.u64();
+    hold.expires_at = dec.i64();
+    certified[cert_key] = hold;
+  }
+  RPROXY_RETURN_IF_ERROR(dec.finish());
+
+  accounts_ = std::move(accounts);
+  certified_ = std::move(certified);
+  return util::Status::ok();
+}
+
+void AccountingServer::set_route(const PrincipalName& drawee,
+                                 const PrincipalName& via) {
+  routes_[drawee] = via;
+}
+
+std::int64_t AccountingServer::uncollected_total() const {
+  std::int64_t sum = 0;
+  for (const auto& [key, pending] : uncollected_) {
+    sum += static_cast<std::int64_t>(pending.amount);
+  }
+  return sum;
+}
+
+util::Result<PrincipalName> AccountingServer::authenticate_(
+    const core::PossessionProof& identity, std::uint64_t challenge_id,
+    util::BytesView request_digest, util::TimePoint now) {
+  RPROXY_ASSIGN_OR_RETURN(util::Bytes nonce,
+                          challenges_.take(challenge_id, now));
+  RPROXY_ASSIGN_OR_RETURN(
+      std::vector<PrincipalName> who,
+      verifier_.verify_identity(identity, nonce, request_digest, now));
+  if (who.empty()) {
+    return util::fail(ErrorCode::kProtocolError,
+                      "identity proof established no principal");
+  }
+  return who.front();
+}
+
+net::Envelope AccountingServer::handle(const net::Envelope& request) {
+  purge_expired_holds_(config_.clock->now());
+  switch (request.type) {
+    case net::MsgType::kPresentChallengeRequest: {
+      const core::ChallengeRegistry::Challenge issued =
+          challenges_.issue(config_.clock->now());
+      ChallengeReply reply;
+      reply.id = issued.id;
+      reply.nonce = issued.nonce;
+      return net::make_reply(request, net::MsgType::kPresentChallengeReply,
+                             reply);
+    }
+    case net::MsgType::kAccountQuery:
+      return handle_query_(request);
+    case net::MsgType::kTransferRequest:
+      return handle_transfer_(request);
+    case net::MsgType::kCertifyRequest:
+      return handle_certify_(request);
+    case net::MsgType::kCheckDeposit:
+      return handle_deposit_(request);
+    case net::MsgType::kCashierRequest:
+      return handle_cashier_(request);
+    default:
+      return net::make_error_reply(
+          request,
+          util::fail(ErrorCode::kProtocolError,
+                     "accounting server cannot handle this message type"));
+  }
+}
+
+net::Envelope AccountingServer::handle_query_(const net::Envelope& request) {
+  auto parsed = wire::decode_from_bytes<AccountQueryPayload>(request.payload);
+  if (!parsed.is_ok()) return net::make_error_reply(request, parsed.status());
+  const AccountQueryPayload& req = parsed.value();
+  const util::TimePoint now = config_.clock->now();
+
+  auto who = authenticate_(req.identity, req.challenge_id,
+                           core::request_digest("query", req.account, {}),
+                           now);
+  if (!who.is_ok()) return net::make_error_reply(request, who.status());
+
+  const Account* acct = account(req.account);
+  if (acct == nullptr) {
+    return net::make_error_reply(
+        request, util::fail(ErrorCode::kNotFound,
+                            "no account '" + req.account + "'"));
+  }
+  authz::AuthorityContext authority;
+  authority.principals = {who.value()};
+  if (!acct->authorizes(authority, "query")) {
+    return net::make_error_reply(
+        request, util::fail(ErrorCode::kPermissionDenied,
+                            "'" + who.value() + "' may not query '" +
+                                req.account + "'"));
+  }
+
+  AccountReplyPayload reply;
+  reply.balances = acct->balances();
+  Balances held;
+  for (const auto& [currency, amount] : acct->balances().all()) {
+    const std::int64_t h = acct->held(currency);
+    if (h > 0) held.credit(currency, h);
+  }
+  reply.held = held;
+  return net::make_reply(request, net::MsgType::kAccountReply, reply);
+}
+
+net::Envelope AccountingServer::handle_transfer_(
+    const net::Envelope& request) {
+  auto parsed = wire::decode_from_bytes<TransferPayload>(request.payload);
+  if (!parsed.is_ok()) return net::make_error_reply(request, parsed.status());
+  const TransferPayload& req = parsed.value();
+  const util::TimePoint now = config_.clock->now();
+
+  auto who = authenticate_(
+      req.identity, req.challenge_id,
+      core::request_digest("transfer", req.from_account + "->" +
+                                           req.to_account,
+                           {{req.currency, req.amount}}),
+      now);
+  if (!who.is_ok()) return net::make_error_reply(request, who.status());
+
+  Account* from = account(req.from_account);
+  Account* to = account(req.to_account);
+  if (from == nullptr || to == nullptr) {
+    return net::make_error_reply(
+        request, util::fail(ErrorCode::kNotFound, "no such account"));
+  }
+  authz::AuthorityContext authority;
+  authority.principals = {who.value()};
+  if (!from->authorizes(authority, "debit")) {
+    return net::make_error_reply(
+        request,
+        util::fail(ErrorCode::kPermissionDenied,
+                   "'" + who.value() + "' may not debit '" +
+                       req.from_account + "'"));
+  }
+  util::Status debited =
+      from->debit(req.currency, static_cast<std::int64_t>(req.amount));
+  if (!debited.is_ok()) return net::make_error_reply(request, debited);
+  to->credit(req.currency, static_cast<std::int64_t>(req.amount));
+
+  return net::make_reply(request, net::MsgType::kTransferReply,
+                         TransferReplyPayload{true});
+}
+
+net::Envelope AccountingServer::handle_certify_(const net::Envelope& request) {
+  auto parsed = wire::decode_from_bytes<CertifyPayload>(request.payload);
+  if (!parsed.is_ok()) return net::make_error_reply(request, parsed.status());
+  const CertifyPayload& req = parsed.value();
+  const util::TimePoint now = config_.clock->now();
+
+  auto who = authenticate_(req.identity, req.challenge_id,
+                           core::request_digest("certify", req.account,
+                                                {{req.currency, req.amount}}),
+                           now);
+  if (!who.is_ok()) return net::make_error_reply(request, who.status());
+
+  Account* acct = account(req.account);
+  if (acct == nullptr) {
+    return net::make_error_reply(
+        request, util::fail(ErrorCode::kNotFound,
+                            "no account '" + req.account + "'"));
+  }
+  authz::AuthorityContext authority;
+  authority.principals = {who.value()};
+  if (!acct->authorizes(authority, "debit")) {
+    return net::make_error_reply(
+        request, util::fail(ErrorCode::kPermissionDenied,
+                            "'" + who.value() + "' may not draw on '" +
+                                req.account + "'"));
+  }
+
+  const auto key = std::make_pair(who.value(), req.check_number);
+  if (certified_.contains(key) ||
+      accept_once_.seen(who.value(), req.check_number, now)) {
+    // Outstanding hold OR a check with this number already cleared within
+    // its window (§7.7: the check number is remembered until expiry).
+    return net::make_error_reply(
+        request, util::fail(ErrorCode::kReplay,
+                            "check number already certified or spent"));
+  }
+  util::Status held =
+      acct->place_hold(req.currency, static_cast<std::int64_t>(req.amount));
+  if (!held.is_ok()) return net::make_error_reply(request, held);
+
+  const util::TimePoint hold_until =
+      req.hold_until > now ? req.hold_until : now + util::kHour;
+  certified_[key] = CertifiedHold{who.value(), req.account, req.currency,
+                                  req.amount, hold_until};
+
+  // The certification proxy: this server asserts, to the target server,
+  // that the hold exists.  Delegate proxy for the payor (no secret to
+  // transfer).
+  core::RestrictionSet restrictions;
+  restrictions.add(core::AuthorizedRestriction{
+      {core::ObjectRights{certified_check_object(req.check_number),
+                          {"assert"}}}});
+  restrictions.add(core::GranteeRestriction{{who.value()}, 1});
+  if (!req.target_server.empty()) {
+    restrictions.add(core::IssuedForRestriction{{req.target_server}});
+  }
+  const core::Proxy certification =
+      core::grant_pk_proxy(config_.name, config_.identity_key,
+                           std::move(restrictions), now, hold_until - now);
+
+  CertifyReplyPayload reply;
+  reply.certification = certification.chain;
+  reply.expires_at = certification.expires_at;
+  return net::make_reply(request, net::MsgType::kCertifyReply, reply);
+}
+
+net::Envelope AccountingServer::handle_cashier_(
+    const net::Envelope& request) {
+  auto parsed = wire::decode_from_bytes<CashierPayload>(request.payload);
+  if (!parsed.is_ok()) return net::make_error_reply(request, parsed.status());
+  const CashierPayload& req = parsed.value();
+  const util::TimePoint now = config_.clock->now();
+
+  auto who = authenticate_(req.identity, req.challenge_id,
+                           core::request_digest("cashier", req.account,
+                                                {{req.currency, req.amount}}),
+                           now);
+  if (!who.is_ok()) return net::make_error_reply(request, who.status());
+
+  Account* acct = account(req.account);
+  if (acct == nullptr) {
+    return net::make_error_reply(
+        request, util::fail(ErrorCode::kNotFound,
+                            "no account '" + req.account + "'"));
+  }
+  authz::AuthorityContext authority;
+  authority.principals = {who.value()};
+  if (!acct->authorizes(authority, "debit")) {
+    return net::make_error_reply(
+        request, util::fail(ErrorCode::kPermissionDenied,
+                            "'" + who.value() + "' may not draw on '" +
+                                req.account + "'"));
+  }
+
+  // Funds move NOW — that is what makes the check good as gold.
+  util::Status debited =
+      acct->debit(req.currency, static_cast<std::int64_t>(req.amount));
+  if (!debited.is_ok()) return net::make_error_reply(request, debited);
+  if (account(std::string(kCashierAccount)) == nullptr) {
+    open_account(std::string(kCashierAccount), config_.name);
+  }
+  account(std::string(kCashierAccount))
+      ->credit(req.currency, static_cast<std::int64_t>(req.amount));
+
+  // The check is drawn on the bank's own cashier account and signed by the
+  // bank — the payor's identity and account do not appear in it.
+  CashierReplyPayload reply;
+  reply.check = write_check(
+      config_.name, config_.identity_key,
+      AccountId{config_.name, std::string(kCashierAccount)}, req.payee,
+      req.currency, req.amount, crypto::random_u64(), now, util::kHour);
+  return net::make_reply(request, net::MsgType::kCashierReply, reply);
+}
+
+net::Envelope AccountingServer::handle_deposit_(const net::Envelope& request) {
+  auto parsed = wire::decode_from_bytes<DepositPayload>(request.payload);
+  if (!parsed.is_ok()) return net::make_error_reply(request, parsed.status());
+  const DepositPayload& req = parsed.value();
+  const util::TimePoint now = config_.clock->now();
+
+  auto who = authenticate_(req.identity, req.challenge_id,
+                           deposit_digest(req), now);
+  if (!who.is_ok()) return net::make_error_reply(request, who.status());
+
+  util::Result<DepositReplyPayload> reply =
+      req.check.payor_account.server == config_.name
+          ? settle_(req, who.value(), now)
+          : collect_foreign_(req, now);
+  if (!reply.is_ok()) {
+    checks_bounced_ += 1;
+    return net::make_error_reply(request, reply.status());
+  }
+  checks_cleared_ += 1;
+  return net::make_reply(request, net::MsgType::kDepositReply,
+                         reply.value());
+}
+
+util::Result<DepositReplyPayload> AccountingServer::settle_(
+    const DepositPayload& req, const PrincipalName& presenter,
+    util::TimePoint now) {
+  RPROXY_ASSIGN_OR_RETURN(core::VerifiedProxy verified,
+                          verifier_.verify_chain(req.check.chain, now));
+  RPROXY_ASSIGN_OR_RETURN(CheckTerms terms,
+                          parse_check_terms(req.check, verified));
+
+  // Evaluate the check's restrictions as the drawee: grantee chain (the
+  // presenter plus every identity-signed endorsement, plus ourselves as the
+  // final collector), issued-for, quota against the drawn amount, and the
+  // accept-once check number.
+  core::RequestContext ctx;
+  ctx.end_server = config_.name;
+  ctx.operation = "debit";
+  ctx.object = account_object(terms.payor_local_account);
+  ctx.amounts = {{terms.currency, req.amount}};
+  ctx.now = now;
+  ctx.effective_identities = verified.audit_trail;
+  ctx.effective_identities.push_back(presenter);
+  ctx.effective_identities.push_back(config_.name);
+  ctx.asserted_groups = {};
+  ctx.grantor = verified.grantor;
+  ctx.credential_expiry = verified.expires_at;
+  ctx.accept_once = &accept_once_;
+  RPROXY_RETURN_IF_ERROR(
+      verified.effective_restrictions.evaluate(ctx));
+
+  Account* payor = account(terms.payor_local_account);
+  if (payor == nullptr) {
+    return util::fail(ErrorCode::kNotFound,
+                      "check drawn on unknown account '" +
+                          terms.payor_local_account + "'");
+  }
+  authz::AuthorityContext authority;
+  authority.principals = {verified.grantor};
+  if (!payor->authorizes(authority, "debit")) {
+    return util::fail(ErrorCode::kPermissionDenied,
+                      "check signer '" + verified.grantor +
+                          "' may not debit '" + terms.payor_local_account +
+                          "' (misdrawn check)");
+  }
+
+  // Certified check?  Settle from the hold.
+  const auto certified_key =
+      std::make_pair(verified.grantor, terms.check_number);
+  if (auto it = certified_.find(certified_key); it != certified_.end()) {
+    RPROXY_RETURN_IF_ERROR(payor->debit_held(
+        terms.currency, static_cast<std::int64_t>(req.amount)));
+    // Any remainder of the hold is released.
+    if (it->second.amount > req.amount) {
+      payor->release_hold(
+          terms.currency,
+          static_cast<std::int64_t>(it->second.amount - req.amount));
+    }
+    certified_.erase(it);
+  } else {
+    RPROXY_RETURN_IF_ERROR(payor->debit(
+        terms.currency, static_cast<std::int64_t>(req.amount)));
+  }
+
+  // Credit the collector.  Settlement accounts for peer accounting servers
+  // are auto-created.
+  Account* collect = account(req.collect_account);
+  if (collect == nullptr) {
+    if (req.collect_account.rfind("peer:", 0) == 0) {
+      open_account(req.collect_account, presenter);
+      collect = account(req.collect_account);
+    } else {
+      return util::fail(ErrorCode::kNotFound,
+                        "no collection account '" + req.collect_account +
+                            "'");
+    }
+  }
+  collect->credit(terms.currency, static_cast<std::int64_t>(req.amount));
+
+  DepositReplyPayload reply;
+  reply.cleared = true;
+  reply.hops = 0;
+  return reply;
+}
+
+util::Result<DepositReplyPayload> AccountingServer::collect_foreign_(
+    const DepositPayload& req, util::TimePoint now) {
+  // Signature-verify the chain before crediting anything; restriction
+  // evaluation belongs to the drawee.
+  RPROXY_ASSIGN_OR_RETURN(core::VerifiedProxy verified,
+                          verifier_.verify_chain(req.check.chain, now));
+  RPROXY_ASSIGN_OR_RETURN(CheckTerms terms,
+                          parse_check_terms(req.check, verified));
+
+  Account* collect = account(req.collect_account);
+  if (collect == nullptr) {
+    // Settlement accounts for peer accounting servers (multi-hop clearing)
+    // are auto-created, like in settle_().
+    if (req.collect_account.rfind("peer:", 0) == 0) {
+      open_account(req.collect_account,
+                   req.collect_account.substr(5));
+      collect = account(req.collect_account);
+    } else {
+      return util::fail(ErrorCode::kNotFound, "no collection account '" +
+                                                  req.collect_account + "'");
+    }
+  }
+
+  // "marks the resources added to S's account as uncollected"
+  collect->credit(terms.currency, static_cast<std::int64_t>(req.amount));
+  const auto pending_key =
+      std::make_pair(terms.drawee_server, terms.check_number);
+  uncollected_[pending_key] =
+      Uncollected{req.collect_account, terms.currency, req.amount};
+
+  const auto undo = [&]() {
+    (void)collect->debit(terms.currency,
+                         static_cast<std::int64_t>(req.amount));
+    uncollected_.erase(pending_key);
+  };
+
+  // "adds its own endorsement and forwards the check"
+  const PrincipalName next = [&] {
+    auto it = routes_.find(terms.drawee_server);
+    return it == routes_.end() ? terms.drawee_server : it->second;
+  }();
+  auto endorsed = endorse_check(req.check, config_.name,
+                                config_.identity_key, next, now);
+  if (!endorsed.is_ok()) {
+    undo();
+    return endorsed.status();
+  }
+
+  // Collect from the next server as an authenticated client.
+  auto challenge = net::call<ChallengeReply>(
+      *config_.net, config_.name, next,
+      net::MsgType::kPresentChallengeRequest,
+      net::MsgType::kPresentChallengeReply, EmptyPayload{});
+  if (!challenge.is_ok()) {
+    undo();
+    return challenge.status();
+  }
+
+  DepositPayload forward;
+  forward.check = std::move(endorsed).value();
+  forward.collect_account = "peer:" + config_.name;
+  forward.amount = req.amount;
+  forward.challenge_id = challenge.value().id;
+  forward.identity = core::prove_delegate_pk(
+      config_.identity_cert, config_.identity_key, challenge.value().nonce,
+      next, config_.clock->now(), deposit_digest(forward));
+
+  auto forwarded = net::call<DepositReplyPayload>(
+      *config_.net, config_.name, next, net::MsgType::kCheckDeposit,
+      net::MsgType::kDepositReply, forward);
+  if (!forwarded.is_ok()) {
+    // Check returned (insufficient resources, forged, or misdrawn): undo
+    // the provisional credit and surface the bounce.
+    undo();
+    return forwarded.status();
+  }
+
+  uncollected_.erase(pending_key);
+  DepositReplyPayload reply;
+  reply.cleared = true;
+  reply.hops = forwarded.value().hops + 1;
+  return reply;
+}
+
+void AccountingServer::purge_expired_holds_(util::TimePoint now) {
+  for (auto it = certified_.begin(); it != certified_.end();) {
+    if (it->second.expires_at < now) {
+      if (Account* acct = account(it->second.account)) {
+        acct->release_hold(it->second.currency,
+                           static_cast<std::int64_t>(it->second.amount));
+      }
+      it = certified_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace rproxy::accounting

@@ -1,0 +1,261 @@
+// The accounting server (§4, Fig 5).
+//
+// Maintains accounts, answers authenticated queries and transfers, places
+// holds for certified checks, and clears deposited checks — locally when it
+// is the drawee, otherwise by endorsing the check onward and collecting
+// from the next accounting server ("$1 marks the resources added to S's
+// account as uncollected, adds its own endorsement and forwards the check
+// to $2").
+//
+// Requests are authenticated with public-key identity proofs bound to a
+// single-use challenge; checks themselves are verified as proxy chains.
+#pragma once
+
+#include "accounting/account.hpp"
+#include "accounting/check.hpp"
+#include "core/challenge_registry.hpp"
+#include "net/rpc.hpp"
+#include "pki/pk_auth.hpp"
+
+namespace rproxy::accounting {
+
+/// Account-query request.
+struct AccountQueryPayload {
+  core::PossessionProof identity;
+  std::uint64_t challenge_id = 0;
+  std::string account;
+
+  void encode(wire::Encoder& enc) const;
+  static AccountQueryPayload decode(wire::Decoder& dec);
+};
+
+/// Account-query reply.
+struct AccountReplyPayload {
+  Balances balances;
+  Balances held;
+
+  void encode(wire::Encoder& enc) const;
+  static AccountReplyPayload decode(wire::Decoder& dec);
+};
+
+/// Local transfer between two accounts on this server.  (Cross-server
+/// transfers ride on checks, §4.)
+struct TransferPayload {
+  core::PossessionProof identity;
+  std::uint64_t challenge_id = 0;
+  std::string from_account;
+  std::string to_account;
+  Currency currency;
+  std::uint64_t amount = 0;
+
+  void encode(wire::Encoder& enc) const;
+  static TransferPayload decode(wire::Decoder& dec);
+};
+
+struct TransferReplyPayload {
+  bool ok = false;
+
+  void encode(wire::Encoder& enc) const { enc.boolean(ok); }
+  static TransferReplyPayload decode(wire::Decoder& dec) {
+    return TransferReplyPayload{dec.boolean()};
+  }
+};
+
+/// Certified-check request: "the client draws a check and provides the
+/// details (the check number, the party to be paid, and the amount) to the
+/// accounting server.  The accounting server places a hold on the resources
+/// and returns an authorization proxy to the client certifying that the
+/// client has sufficient resources to cover the check."
+struct CertifyPayload {
+  core::PossessionProof identity;
+  std::uint64_t challenge_id = 0;
+  std::string account;
+  PrincipalName payee;
+  Currency currency;
+  std::uint64_t amount = 0;
+  std::uint64_t check_number = 0;
+  /// Where the certification will be shown (the payee's application
+  /// server); becomes its issued-for restriction.
+  PrincipalName target_server;
+  util::TimePoint hold_until = 0;
+
+  void encode(wire::Encoder& enc) const;
+  static CertifyPayload decode(wire::Decoder& dec);
+};
+
+struct CertifyReplyPayload {
+  /// The certification: a delegate proxy granted to the payor asserting
+  /// that the hold exists.
+  core::ProxyChain certification;
+  util::TimePoint expires_at = 0;
+
+  void encode(wire::Encoder& enc) const;
+  static CertifyReplyPayload decode(wire::Decoder& dec);
+};
+
+/// Check deposit (messages E1/E2 of Fig 5).
+struct DepositPayload {
+  core::PossessionProof identity;
+  std::uint64_t challenge_id = 0;
+  Check check;  ///< endorsed over to this server's collection
+  /// Local account to credit with the collected funds.
+  std::string collect_account;
+  /// Amount to draw, up to the check's limit.
+  std::uint64_t amount = 0;
+
+  void encode(wire::Encoder& enc) const;
+  static DepositPayload decode(wire::Decoder& dec);
+};
+
+struct DepositReplyPayload {
+  bool cleared = false;
+  /// Accounting-server hops the check traversed to reach the drawee.
+  std::uint32_t hops = 0;
+
+  void encode(wire::Encoder& enc) const;
+  static DepositReplyPayload decode(wire::Decoder& dec);
+};
+
+/// Cashier's check request (§4: "Cashier's checks are also easily
+/// supported by this accounting model"): the client buys a check DRAWN ON
+/// THE BANK ITSELF — funds move from the client's account into the bank's
+/// cashier account immediately, and the returned check is signed by the
+/// bank, so it cannot bounce and does not reveal the payor's account.
+struct CashierPayload {
+  core::PossessionProof identity;
+  std::uint64_t challenge_id = 0;
+  std::string account;  ///< client account to fund the check from
+  PrincipalName payee;
+  Currency currency;
+  std::uint64_t amount = 0;
+
+  void encode(wire::Encoder& enc) const;
+  static CashierPayload decode(wire::Decoder& dec);
+};
+
+struct CashierReplyPayload {
+  Check check;  ///< drawn on this server's cashier account, bank-signed
+
+  void encode(wire::Encoder& enc) const { check.encode(enc); }
+  static CashierReplyPayload decode(wire::Decoder& dec) {
+    return CashierReplyPayload{Check::decode(dec)};
+  }
+};
+
+/// Local account that backs cashier's checks.
+inline constexpr std::string_view kCashierAccount = "cashier";
+
+/// Object name a certification proxy asserts.
+[[nodiscard]] std::string certified_check_object(std::uint64_t check_number);
+
+class AccountingServer final : public net::Node {
+ public:
+  struct Config {
+    PrincipalName name;
+    const util::Clock* clock = nullptr;
+    /// Needed to forward checks to peer servers.
+    net::SimNet* net = nullptr;
+    /// Verifies check chains and identity proofs.
+    const core::KeyResolver* resolver = nullptr;
+    std::optional<crypto::VerifyKey> pk_root;
+    /// Signs endorsements and certifications.
+    crypto::SigningKeyPair identity_key;
+    /// This server's own name-server certificate (to authenticate when
+    /// collecting from peers).
+    pki::IdentityCert identity_cert;
+    util::Duration max_skew = 2 * util::kMinute;
+  };
+
+  explicit AccountingServer(Config config);
+
+  /// Opens (or replaces) an account.
+  void open_account(const std::string& local_name,
+                    const PrincipalName& owner, Balances initial = {});
+  [[nodiscard]] Account* account(const std::string& local_name);
+  [[nodiscard]] const Account* account(const std::string& local_name) const;
+
+  /// Clearing route override: checks drawn on `drawee` are collected via
+  /// `via` instead of directly (models correspondent-banking chains; used
+  /// by the Fig 5 hop sweep).
+  void set_route(const PrincipalName& drawee, const PrincipalName& via);
+
+  /// Sealed state snapshot: every account (name, owner, balances) and the
+  /// outstanding certified holds, AEAD-sealed under `key` so a stored
+  /// snapshot cannot be tampered with.  Replay caches are deliberately NOT
+  /// snapshotted: restoring must never forget an already-spent check
+  /// number mid-window, so operators restore snapshots only after the
+  /// longest check lifetime has passed (or keep the process alive).
+  [[nodiscard]] util::Bytes snapshot(const crypto::SymmetricKey& key) const;
+
+  /// Restores a snapshot taken with the same key, replacing all accounts
+  /// and holds.  Fails (state untouched) on a wrong key or tampering.
+  [[nodiscard]] util::Status restore(const crypto::SymmetricKey& key,
+                                     util::BytesView snapshot);
+
+  /// Value credited but not yet collected from peer servers.
+  [[nodiscard]] std::int64_t uncollected_total() const;
+  [[nodiscard]] std::uint64_t checks_cleared() const {
+    return checks_cleared_;
+  }
+  [[nodiscard]] std::uint64_t checks_bounced() const {
+    return checks_bounced_;
+  }
+
+  net::Envelope handle(const net::Envelope& request) override;
+
+  [[nodiscard]] const PrincipalName& name() const { return config_.name; }
+
+ private:
+  struct CertifiedHold {
+    PrincipalName payor;
+    std::string account;
+    Currency currency;
+    std::uint64_t amount = 0;
+    util::TimePoint expires_at = 0;
+  };
+  struct Uncollected {
+    std::string account;
+    Currency currency;
+    std::uint64_t amount = 0;
+  };
+
+  /// Authenticates a request's identity proof against its challenge and
+  /// request digest; returns the principal.
+  [[nodiscard]] util::Result<PrincipalName> authenticate_(
+      const core::PossessionProof& identity, std::uint64_t challenge_id,
+      util::BytesView request_digest, util::TimePoint now);
+
+  [[nodiscard]] net::Envelope handle_query_(const net::Envelope& request);
+  [[nodiscard]] net::Envelope handle_transfer_(const net::Envelope& request);
+  [[nodiscard]] net::Envelope handle_certify_(const net::Envelope& request);
+  [[nodiscard]] net::Envelope handle_deposit_(const net::Envelope& request);
+  [[nodiscard]] net::Envelope handle_cashier_(const net::Envelope& request);
+
+  /// Settles a check we are the drawee of.
+  [[nodiscard]] util::Result<DepositReplyPayload> settle_(
+      const DepositPayload& req, const PrincipalName& presenter,
+      util::TimePoint now);
+  /// Collects a foreign check: credit locally (uncollected), endorse,
+  /// forward; revert on bounce.
+  [[nodiscard]] util::Result<DepositReplyPayload> collect_foreign_(
+      const DepositPayload& req, util::TimePoint now);
+
+  void purge_expired_holds_(util::TimePoint now);
+
+  Config config_;
+  core::ProxyVerifier verifier_;
+  core::ChallengeRegistry challenges_;
+  core::AcceptOnceCache accept_once_;
+  std::map<std::string, Account> accounts_;
+  std::map<PrincipalName, PrincipalName> routes_;
+  /// Outstanding certified checks keyed by (payor, check number).
+  std::map<std::pair<PrincipalName, std::uint64_t>, CertifiedHold>
+      certified_;
+  /// Credits pending collection keyed by (drawee server, check number).
+  std::map<std::pair<PrincipalName, std::uint64_t>, Uncollected>
+      uncollected_;
+  std::uint64_t checks_cleared_ = 0;
+  std::uint64_t checks_bounced_ = 0;
+};
+
+}  // namespace rproxy::accounting

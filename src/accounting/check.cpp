@@ -1,0 +1,131 @@
+#include "accounting/check.hpp"
+
+namespace rproxy::accounting {
+
+using util::ErrorCode;
+
+std::string account_object(const std::string& account) {
+  return "account:" + account;
+}
+
+void Check::encode(wire::Encoder& enc) const {
+  enc.str(payor_account.server);
+  enc.str(payor_account.account);
+  enc.str(payee);
+  enc.str(currency);
+  enc.u64(amount);
+  enc.u64(check_number);
+  enc.i64(expires_at);
+  chain.encode(enc);
+}
+
+Check Check::decode(wire::Decoder& dec) {
+  Check c;
+  c.payor_account.server = dec.str();
+  c.payor_account.account = dec.str();
+  c.payee = dec.str();
+  c.currency = dec.str();
+  c.amount = dec.u64();
+  c.check_number = dec.u64();
+  c.expires_at = dec.i64();
+  c.chain = core::ProxyChain::decode(dec);
+  return c;
+}
+
+Check write_check(const PrincipalName& payor,
+                  const crypto::SigningKeyPair& payor_key,
+                  const AccountId& payor_account, const PrincipalName& payee,
+                  const Currency& currency, std::uint64_t amount,
+                  std::uint64_t check_number, util::TimePoint now,
+                  util::Duration lifetime) {
+  core::RestrictionSet restrictions;
+  restrictions.add(core::AuthorizedRestriction{
+      {core::ObjectRights{account_object(payor_account.account), {"debit"}}}});
+  restrictions.add(core::QuotaRestriction{currency, amount});
+  restrictions.add(core::AcceptOnceRestriction{check_number});
+  restrictions.add(core::GranteeRestriction{{payee}, 1});
+  restrictions.add(
+      core::IssuedForRestriction{{payor_account.server}});
+
+  const core::Proxy proxy = core::grant_pk_proxy(
+      payor, payor_key, std::move(restrictions), now, lifetime);
+
+  Check check;
+  check.payor_account = payor_account;
+  check.payee = payee;
+  check.currency = currency;
+  check.amount = amount;
+  check.check_number = check_number;
+  check.expires_at = proxy.expires_at;
+  check.chain = proxy.chain;
+  return check;
+}
+
+util::Result<Check> endorse_check(const Check& check,
+                                  const PrincipalName& endorser,
+                                  const crypto::SigningKeyPair& endorser_key,
+                                  const PrincipalName& endorsee,
+                                  util::TimePoint now) {
+  // Rebuild a holder-side Proxy view of the chain so the cascade helper can
+  // extend it.  No proxy secret is needed: delegate endorsements are signed
+  // by the endorser's identity key.
+  core::Proxy as_proxy;
+  as_proxy.chain = check.chain;
+  as_proxy.expires_at = check.expires_at;
+
+  core::RestrictionSet endorsement;
+  endorsement.add(core::GranteeRestriction{{endorsee}, 1});
+
+  RPROXY_ASSIGN_OR_RETURN(
+      core::Proxy extended,
+      core::extend_delegate(as_proxy, endorser, endorser_key,
+                            std::move(endorsement), now,
+                            check.expires_at - now));
+
+  Check endorsed = check;
+  endorsed.chain = std::move(extended.chain);
+  return endorsed;
+}
+
+util::Result<CheckTerms> parse_check_terms(
+    const Check& check, const core::VerifiedProxy& verified) {
+  const auto* quota =
+      verified.effective_restrictions.find<core::QuotaRestriction>();
+  const auto* once =
+      verified.effective_restrictions.find<core::AcceptOnceRestriction>();
+  const auto* authorized =
+      verified.effective_restrictions.find<core::AuthorizedRestriction>();
+  const auto* issued_for =
+      verified.effective_restrictions.find<core::IssuedForRestriction>();
+  if (quota == nullptr || once == nullptr || authorized == nullptr ||
+      issued_for == nullptr || authorized->rights.size() != 1 ||
+      issued_for->servers.size() != 1) {
+    return util::fail(ErrorCode::kProtocolError,
+                      "chain does not carry well-formed check terms");
+  }
+
+  CheckTerms terms;
+  terms.currency = quota->currency;
+  terms.limit = quota->limit;
+  terms.check_number = once->identifier;
+  terms.drawee_server = issued_for->servers.front();
+  const std::string& object = authorized->rights.front().object;
+  const std::string prefix = "account:";
+  if (object.rfind(prefix, 0) != 0) {
+    return util::fail(ErrorCode::kProtocolError,
+                      "check does not authorize an account object");
+  }
+  terms.payor_local_account = object.substr(prefix.size());
+
+  // Cross-check the cleartext routing copy against the signed terms.
+  if (check.currency != terms.currency || check.amount != terms.limit ||
+      check.check_number != terms.check_number ||
+      check.payor_account.server != terms.drawee_server ||
+      check.payor_account.account != terms.payor_local_account) {
+    return util::fail(ErrorCode::kProtocolError,
+                      "check cleartext fields disagree with signed terms");
+  }
+  return terms;
+}
+
+}  // namespace rproxy::accounting

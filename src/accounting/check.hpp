@@ -1,0 +1,86 @@
+// Checks and endorsements (§4, Fig 5).
+//
+// "A principal authorized to debit an account (the payor) issues a numbered
+// delegate proxy (a check) authorizing the payee to transfer funds from the
+// payor's account to that of the payee."  The restrictions spell it out:
+//   authorized   — debit on the payor's account object
+//   quota        — the currency and the limit ("the payee transfers up to
+//                  that limit")
+//   accept-once  — the check number (§7.7 names this exact use)
+//   grantee      — the payee (delegate proxy)
+//   issued-for   — the payor's accounting server (where it is exercised)
+//
+// An endorsement is a cascaded proxy: the endorser (a named grantee of the
+// chain so far) signs a new link naming the next collector.  "A restricted
+// endorsement (e.g. for deposit only) is a delegate proxy" — that is the
+// kind implemented here; it leaves the audit trail Fig 5 shows
+// ([dep ckno to $1]_S, [dep ckno to $2]_$1).
+//
+// Checks use the public-key realization: they must be verifiable at every
+// accounting server they pass through, which conventional-crypto proxies
+// (bound to a single end-server, §6.3) cannot provide.
+#pragma once
+
+#include "accounting/currency.hpp"
+#include "core/cascade.hpp"
+#include "core/verifier.hpp"
+
+namespace rproxy::accounting {
+
+/// Object-name convention for account objects in restrictions and ACLs.
+[[nodiscard]] std::string account_object(const std::string& account);
+
+/// A check as held or deposited: routing metadata in the clear plus the
+/// authoritative signed chain.  Verifiers trust only the chain.
+struct Check {
+  AccountId payor_account;  ///< drawee server + account
+  PrincipalName payee;
+  Currency currency;
+  std::uint64_t amount = 0;        ///< the limit written on the check
+  std::uint64_t check_number = 0;  ///< the accept-once identifier
+  util::TimePoint expires_at = 0;
+  core::ProxyChain chain;
+
+  void encode(wire::Encoder& enc) const;
+  static Check decode(wire::Decoder& dec);
+};
+
+/// Writes a check: mints the delegate proxy described above, signed by the
+/// payor's identity key.
+[[nodiscard]] Check write_check(const PrincipalName& payor,
+                                const crypto::SigningKeyPair& payor_key,
+                                const AccountId& payor_account,
+                                const PrincipalName& payee,
+                                const Currency& currency,
+                                std::uint64_t amount,
+                                std::uint64_t check_number,
+                                util::TimePoint now,
+                                util::Duration lifetime);
+
+/// Endorses a check over to `endorsee` (the next collector).  The endorser
+/// must be a named grantee of the chain so far, or verification of the new
+/// link will fail at the end-server.
+[[nodiscard]] util::Result<Check> endorse_check(
+    const Check& check, const PrincipalName& endorser,
+    const crypto::SigningKeyPair& endorser_key,
+    const PrincipalName& endorsee, util::TimePoint now);
+
+/// Fields recovered from a verified check chain.  Produced by
+/// parse_check_restrictions; authoritative (signed), unlike Check's
+/// cleartext copies.
+struct CheckTerms {
+  std::string payor_local_account;
+  PrincipalName drawee_server;
+  Currency currency;
+  std::uint64_t limit = 0;
+  std::uint64_t check_number = 0;
+};
+
+/// Extracts the check terms from a verified chain's effective restrictions
+/// and cross-checks them against the cleartext Check fields.  Fails if the
+/// cleartext disagrees with the signed restrictions (tampered routing
+/// metadata).
+[[nodiscard]] util::Result<CheckTerms> parse_check_terms(
+    const Check& check, const core::VerifiedProxy& verified);
+
+}  // namespace rproxy::accounting

@@ -1,0 +1,202 @@
+#include "accounting/clearing.hpp"
+
+#include <algorithm>
+
+#include "core/request.hpp"
+
+namespace rproxy::accounting {
+
+using util::ErrorCode;
+
+namespace {
+struct EmptyPayload {
+  void encode(wire::Encoder&) const {}
+  static EmptyPayload decode(wire::Decoder&) { return {}; }
+};
+
+struct ChallengeReply {
+  std::uint64_t id = 0;
+  util::Bytes nonce;
+
+  void encode(wire::Encoder& enc) const {
+    enc.u64(id);
+    enc.bytes(nonce);
+  }
+  static ChallengeReply decode(wire::Decoder& dec) {
+    ChallengeReply c;
+    c.id = dec.u64();
+    c.nonce = dec.bytes();
+    return c;
+  }
+};
+}  // namespace
+
+AccountingClient::AccountingClient(net::SimNet& net, const util::Clock& clock,
+                                   PrincipalName self,
+                                   pki::IdentityCert identity_cert,
+                                   crypto::SigningKeyPair identity_key)
+    : net_(net),
+      clock_(clock),
+      self_(std::move(self)),
+      identity_cert_(std::move(identity_cert)),
+      identity_key_(std::move(identity_key)) {}
+
+util::Result<core::ChallengeRegistry::Challenge>
+AccountingClient::get_challenge_(const PrincipalName& server) {
+  RPROXY_ASSIGN_OR_RETURN(
+      ChallengeReply reply,
+      (net::call<ChallengeReply>(net_, self_, server,
+                                 net::MsgType::kPresentChallengeRequest,
+                                 net::MsgType::kPresentChallengeReply,
+                                 EmptyPayload{})));
+  core::ChallengeRegistry::Challenge c;
+  c.id = reply.id;
+  c.nonce = std::move(reply.nonce);
+  return c;
+}
+
+core::PossessionProof AccountingClient::prove_(
+    util::BytesView challenge_nonce, const PrincipalName& server,
+    util::BytesView request_digest) const {
+  return core::prove_delegate_pk(identity_cert_, identity_key_,
+                                 challenge_nonce, server, clock_.now(),
+                                 request_digest);
+}
+
+util::Result<AccountReplyPayload> AccountingClient::query(
+    const PrincipalName& server, const std::string& account) {
+  RPROXY_ASSIGN_OR_RETURN(core::ChallengeRegistry::Challenge challenge,
+                          get_challenge_(server));
+  AccountQueryPayload req;
+  req.challenge_id = challenge.id;
+  req.account = account;
+  req.identity = prove_(challenge.nonce, server,
+                        core::request_digest("query", account, {}));
+  return net::call<AccountReplyPayload>(net_, self_, server,
+                                        net::MsgType::kAccountQuery,
+                                        net::MsgType::kAccountReply, req);
+}
+
+util::Status AccountingClient::transfer(const PrincipalName& server,
+                                        const std::string& from_account,
+                                        const std::string& to_account,
+                                        const Currency& currency,
+                                        std::uint64_t amount) {
+  auto challenge = get_challenge_(server);
+  RPROXY_RETURN_IF_ERROR(
+      challenge.is_ok() ? util::Status::ok() : challenge.status());
+  TransferPayload req;
+  req.challenge_id = challenge.value().id;
+  req.from_account = from_account;
+  req.to_account = to_account;
+  req.currency = currency;
+  req.amount = amount;
+  req.identity =
+      prove_(challenge.value().nonce, server,
+             core::request_digest("transfer", from_account + "->" + to_account,
+                                  {{currency, amount}}));
+  auto reply = net::call<TransferReplyPayload>(
+      net_, self_, server, net::MsgType::kTransferRequest,
+      net::MsgType::kTransferReply, req);
+  return reply.is_ok() ? util::Status::ok() : reply.status();
+}
+
+util::Result<CertifyReplyPayload> AccountingClient::certify(
+    const PrincipalName& server, const std::string& account,
+    const PrincipalName& payee, const Currency& currency,
+    std::uint64_t amount, std::uint64_t check_number,
+    const PrincipalName& target_server, util::TimePoint hold_until) {
+  RPROXY_ASSIGN_OR_RETURN(core::ChallengeRegistry::Challenge challenge,
+                          get_challenge_(server));
+  CertifyPayload req;
+  req.challenge_id = challenge.id;
+  req.account = account;
+  req.payee = payee;
+  req.currency = currency;
+  req.amount = amount;
+  req.check_number = check_number;
+  req.target_server = target_server;
+  req.hold_until = hold_until;
+  req.identity = prove_(challenge.nonce, server,
+                        core::request_digest("certify", account,
+                                             {{currency, amount}}));
+  return net::call<CertifyReplyPayload>(net_, self_, server,
+                                        net::MsgType::kCertifyRequest,
+                                        net::MsgType::kCertifyReply, req);
+}
+
+util::Result<DepositReplyPayload> AccountingClient::deposit(
+    const PrincipalName& server, Check endorsed_check,
+    const std::string& collect_account, std::uint64_t amount) {
+  RPROXY_ASSIGN_OR_RETURN(core::ChallengeRegistry::Challenge challenge,
+                          get_challenge_(server));
+  DepositPayload req;
+  req.challenge_id = challenge.id;
+  req.check = std::move(endorsed_check);
+  req.collect_account = collect_account;
+  req.amount = amount;
+  req.identity =
+      prove_(challenge.nonce, server,
+             core::request_digest("deposit", collect_account,
+                                  {{req.check.currency, amount}}));
+  return net::call<DepositReplyPayload>(net_, self_, server,
+                                        net::MsgType::kCheckDeposit,
+                                        net::MsgType::kDepositReply, req);
+}
+
+util::Result<DepositReplyPayload> AccountingClient::endorse_and_deposit(
+    const PrincipalName& server, const Check& check,
+    const std::string& collect_account) {
+  RPROXY_ASSIGN_OR_RETURN(
+      Check endorsed,
+      endorse_check(check, self_, identity_key_, server, clock_.now()));
+  return deposit(server, std::move(endorsed), collect_account, check.amount);
+}
+
+util::Result<Check> AccountingClient::buy_cashier_check(
+    const PrincipalName& server, const std::string& account,
+    const PrincipalName& payee, const Currency& currency,
+    std::uint64_t amount) {
+  RPROXY_ASSIGN_OR_RETURN(core::ChallengeRegistry::Challenge challenge,
+                          get_challenge_(server));
+  CashierPayload req;
+  req.challenge_id = challenge.id;
+  req.account = account;
+  req.payee = payee;
+  req.currency = currency;
+  req.amount = amount;
+  req.identity = prove_(challenge.nonce, server,
+                        core::request_digest("cashier", account,
+                                             {{currency, amount}}));
+  RPROXY_ASSIGN_OR_RETURN(
+      CashierReplyPayload reply,
+      (net::call<CashierReplyPayload>(net_, self_, server,
+                                      net::MsgType::kCashierRequest,
+                                      net::MsgType::kCashierReply, req)));
+  return std::move(reply.check);
+}
+
+util::Status verify_certification(const core::ProxyVerifier& verifier,
+                                  const core::ProxyChain& certification,
+                                  const Check& check,
+                                  const PrincipalName& accounting_server,
+                                  const PrincipalName& presenter,
+                                  util::TimePoint now) {
+  RPROXY_ASSIGN_OR_RETURN(core::VerifiedProxy verified,
+                          verifier.verify_chain(certification, now));
+  if (verified.grantor != accounting_server) {
+    return util::fail(ErrorCode::kPermissionDenied,
+                      "certification not granted by the drawee server");
+  }
+  core::RequestContext ctx;
+  ctx.end_server = verifier.config().server_name;
+  ctx.operation = "assert";
+  ctx.object = certified_check_object(check.check_number);
+  ctx.now = now;
+  ctx.effective_identities = {presenter};
+  ctx.grantor = verified.grantor;
+  ctx.credential_expiry = verified.expires_at;
+  return verified.effective_restrictions.evaluate(ctx);
+}
+
+}  // namespace rproxy::accounting

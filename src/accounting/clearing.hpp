@@ -1,0 +1,78 @@
+// Client-side accounting operations and certification checks.
+#pragma once
+
+#include "accounting/accounting_server.hpp"
+
+namespace rproxy::accounting {
+
+/// Drives authenticated operations against accounting servers on behalf of
+/// one public-key-identified principal.
+class AccountingClient {
+ public:
+  AccountingClient(net::SimNet& net, const util::Clock& clock,
+                   PrincipalName self, pki::IdentityCert identity_cert,
+                   crypto::SigningKeyPair identity_key);
+
+  /// Balances of an account (requires query permission).
+  [[nodiscard]] util::Result<AccountReplyPayload> query(
+      const PrincipalName& server, const std::string& account);
+
+  /// Local transfer between two accounts on `server`.
+  [[nodiscard]] util::Status transfer(const PrincipalName& server,
+                                      const std::string& from_account,
+                                      const std::string& to_account,
+                                      const Currency& currency,
+                                      std::uint64_t amount);
+
+  /// Requests certification of a check (places the hold; returns the
+  /// certification proxy chain).
+  [[nodiscard]] util::Result<CertifyReplyPayload> certify(
+      const PrincipalName& server, const std::string& account,
+      const PrincipalName& payee, const Currency& currency,
+      std::uint64_t amount, std::uint64_t check_number,
+      const PrincipalName& target_server,
+      util::TimePoint hold_until = 0);
+
+  /// Deposits a check already endorsed over to `server`'s collection.
+  [[nodiscard]] util::Result<DepositReplyPayload> deposit(
+      const PrincipalName& server, Check endorsed_check,
+      const std::string& collect_account, std::uint64_t amount);
+
+  /// Payee convenience: endorse `check` to `server` (Fig 5's E1) and
+  /// deposit it into `collect_account` for its full amount.
+  [[nodiscard]] util::Result<DepositReplyPayload> endorse_and_deposit(
+      const PrincipalName& server, const Check& check,
+      const std::string& collect_account);
+
+  /// Buys a cashier's check (§4): funds leave `account` immediately and
+  /// the returned check is drawn on the bank itself.
+  [[nodiscard]] util::Result<Check> buy_cashier_check(
+      const PrincipalName& server, const std::string& account,
+      const PrincipalName& payee, const Currency& currency,
+      std::uint64_t amount);
+
+  [[nodiscard]] const PrincipalName& self() const { return self_; }
+
+ private:
+  [[nodiscard]] util::Result<core::ChallengeRegistry::Challenge>
+  get_challenge_(const PrincipalName& server);
+  [[nodiscard]] core::PossessionProof prove_(
+      util::BytesView challenge_nonce, const PrincipalName& server,
+      util::BytesView request_digest) const;
+
+  net::SimNet& net_;
+  const util::Clock& clock_;
+  PrincipalName self_;
+  pki::IdentityCert identity_cert_;
+  crypto::SigningKeyPair identity_key_;
+};
+
+/// End-server side of a certified check (§4): validates that
+/// `certification` is a certification proxy from `accounting_server` for
+/// `check`, presented by `presenter` (who must be its grantee).
+[[nodiscard]] util::Status verify_certification(
+    const core::ProxyVerifier& verifier, const core::ProxyChain& certification,
+    const Check& check, const PrincipalName& accounting_server,
+    const PrincipalName& presenter, util::TimePoint now);
+
+}  // namespace rproxy::accounting

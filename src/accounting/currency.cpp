@@ -1,0 +1,55 @@
+#include "accounting/currency.hpp"
+
+#include <cassert>
+
+namespace rproxy::accounting {
+
+std::int64_t Balances::balance(const Currency& currency) const {
+  auto it = amounts_.find(currency);
+  return it == amounts_.end() ? 0 : it->second;
+}
+
+void Balances::credit(const Currency& currency, std::int64_t amount) {
+  assert(amount >= 0 && "credit amounts are non-negative");
+  amounts_[currency] += amount;
+}
+
+util::Status Balances::debit(const Currency& currency, std::int64_t amount) {
+  assert(amount >= 0 && "debit amounts are non-negative");
+  auto it = amounts_.find(currency);
+  const std::int64_t available = it == amounts_.end() ? 0 : it->second;
+  if (available < amount) {
+    return util::fail(util::ErrorCode::kInsufficientFunds,
+                      "balance " + std::to_string(available) + " " +
+                          currency + " cannot cover " +
+                          std::to_string(amount));
+  }
+  it->second -= amount;
+  return util::Status::ok();
+}
+
+std::int64_t Balances::total() const {
+  std::int64_t sum = 0;
+  for (const auto& [currency, amount] : amounts_) sum += amount;
+  return sum;
+}
+
+void Balances::encode(wire::Encoder& enc) const {
+  enc.u32(static_cast<std::uint32_t>(amounts_.size()));
+  for (const auto& [currency, amount] : amounts_) {
+    enc.str(currency);
+    enc.i64(amount);
+  }
+}
+
+Balances Balances::decode(wire::Decoder& dec) {
+  Balances b;
+  const std::uint32_t n = dec.u32();
+  for (std::uint32_t i = 0; i < n && dec.ok(); ++i) {
+    std::string currency = dec.str();
+    b.amounts_[currency] = dec.i64();
+  }
+  return b;
+}
+
+}  // namespace rproxy::accounting

@@ -1,0 +1,59 @@
+// Currencies and balances (§4).
+//
+// "Accounting servers support multiple currencies, either monetary
+// (dollars, pounds, or yen) or resource specific (disk blocks, cpu cycles,
+// or printer pages)."
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/status.hpp"
+#include "wire/decoder.hpp"
+#include "wire/encoder.hpp"
+
+namespace rproxy::accounting {
+
+/// A currency is just an agreed-upon name.
+using Currency = std::string;
+
+/// Conventional currency names used by examples, tests and benches.
+inline constexpr std::string_view kDollars = "usd";
+inline constexpr std::string_view kPages = "pages";
+inline constexpr std::string_view kDiskBlocks = "disk-blocks";
+inline constexpr std::string_view kCpuCycles = "cpu-cycles";
+
+/// Per-currency balances.  Balances never go negative: a debit that would
+/// overdraw fails with kInsufficientFunds.
+class Balances {
+ public:
+  Balances() = default;
+  Balances(std::initializer_list<std::pair<const Currency, std::int64_t>> v)
+      : amounts_(v) {}
+
+  [[nodiscard]] std::int64_t balance(const Currency& currency) const;
+
+  /// Adds funds.  Precondition: amount >= 0.
+  void credit(const Currency& currency, std::int64_t amount);
+
+  /// Removes funds; fails (leaving the balance untouched) if insufficient.
+  [[nodiscard]] util::Status debit(const Currency& currency,
+                                   std::int64_t amount);
+
+  [[nodiscard]] const std::map<Currency, std::int64_t>& all() const {
+    return amounts_;
+  }
+
+  /// Sum across currencies (conservation checks in property tests weigh
+  /// each currency equally).
+  [[nodiscard]] std::int64_t total() const;
+
+  void encode(wire::Encoder& enc) const;
+  static Balances decode(wire::Decoder& dec);
+
+ private:
+  std::map<Currency, std::int64_t> amounts_;
+};
+
+}  // namespace rproxy::accounting

@@ -1,0 +1,110 @@
+#include "authz/acl.hpp"
+
+#include <algorithm>
+
+namespace rproxy::authz {
+
+std::string acl_group_token(const GroupName& g) {
+  return "group:" + g.to_string();
+}
+
+void AclEntry::encode(wire::Encoder& enc) const {
+  enc.seq(principals, [](wire::Encoder& e, const std::string& s) { e.str(s); });
+  enc.seq(operations, [](wire::Encoder& e, const std::string& s) { e.str(s); });
+  enc.seq(objects, [](wire::Encoder& e, const std::string& s) { e.str(s); });
+  restrictions.encode(enc);
+}
+
+AclEntry AclEntry::decode(wire::Decoder& dec) {
+  AclEntry entry;
+  entry.principals =
+      dec.seq<std::string>([](wire::Decoder& d) { return d.str(); });
+  entry.operations =
+      dec.seq<std::string>([](wire::Decoder& d) { return d.str(); });
+  entry.objects =
+      dec.seq<std::string>([](wire::Decoder& d) { return d.str(); });
+  entry.restrictions = core::RestrictionSet::decode(dec);
+  return entry;
+}
+
+bool AuthorityContext::covers(const std::string& token) const {
+  if (std::find(principals.begin(), principals.end(), token) !=
+      principals.end()) {
+    return true;
+  }
+  return std::any_of(groups.begin(), groups.end(), [&](const GroupName& g) {
+    return acl_group_token(g) == token;
+  });
+}
+
+namespace {
+bool grants(const AclEntry& entry, const Operation& operation,
+            const ObjectName& object) {
+  if (!entry.operations.empty() &&
+      std::find(entry.operations.begin(), entry.operations.end(),
+                operation) == entry.operations.end()) {
+    return false;
+  }
+  if (entry.objects.empty()) return true;
+  return std::any_of(entry.objects.begin(), entry.objects.end(),
+                     [&](const ObjectName& o) {
+                       return o == object || o == "*";
+                     });
+}
+
+bool all_covered(const AclEntry& entry, const AuthorityContext& authority) {
+  return !entry.principals.empty() &&
+         std::all_of(entry.principals.begin(), entry.principals.end(),
+                     [&](const std::string& p) {
+                       return authority.covers(p);
+                     });
+}
+}  // namespace
+
+util::Result<const AclEntry*> Acl::match(const AuthorityContext& authority,
+                                         const Operation& operation,
+                                         const ObjectName& object) const {
+  for (const AclEntry& entry : entries_) {
+    if (all_covered(entry, authority) && grants(entry, operation, object)) {
+      return &entry;
+    }
+  }
+  return util::fail(util::ErrorCode::kPermissionDenied,
+                    "no ACL entry grants '" + operation + "' on '" + object +
+                        "' to the presented authorities");
+}
+
+std::vector<const AclEntry*> Acl::matching_entries(
+    const AuthorityContext& authority) const {
+  std::vector<const AclEntry*> out;
+  for (const AclEntry& entry : entries_) {
+    if (all_covered(entry, authority)) out.push_back(&entry);
+  }
+  return out;
+}
+
+std::size_t Acl::remove_principal(const std::string& principal) {
+  const auto is_named = [&](const AclEntry& entry) {
+    return std::find(entry.principals.begin(), entry.principals.end(),
+                     principal) != entry.principals.end();
+  };
+  const auto removed =
+      std::count_if(entries_.begin(), entries_.end(), is_named);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(), is_named),
+                 entries_.end());
+  return static_cast<std::size_t>(removed);
+}
+
+void Acl::encode(wire::Encoder& enc) const {
+  enc.seq(entries_,
+          [](wire::Encoder& e, const AclEntry& entry) { entry.encode(e); });
+}
+
+Acl Acl::decode(wire::Decoder& dec) {
+  Acl acl;
+  acl.entries_ =
+      dec.seq<AclEntry>([](wire::Decoder& d) { return AclEntry::decode(d); });
+  return acl;
+}
+
+}  // namespace rproxy::authz

@@ -1,0 +1,86 @@
+// Access-control lists (§3.5).
+//
+// "Application servers would be designed to base authorization on a local
+// access-control-list.  Where a capability-based approach is required, the
+// access-control-list would contain a single entry naming the principal
+// authorized to grant capabilities ... when appropriate to hand off the
+// authorization function ... the name of the authorization or group server
+// would be added to the local access-control-list."
+//
+// Entries support:
+//  * group names wherever principal names may appear (§3.3) — written as
+//    "group:<server>/<group>";
+//  * an associated restriction set, copied into proxies issued from the
+//    entry or enforced locally (§3.5);
+//  * compound principals: an entry listing several principals requires the
+//    concurrence of ALL of them (§3.5 — "the separation of privilege so
+//    that a single user can't act alone").
+#pragma once
+
+#include "core/restriction_set.hpp"
+
+namespace rproxy::authz {
+
+/// Renders a group name in ACL-entry syntax.
+[[nodiscard]] std::string acl_group_token(const GroupName& g);
+
+/// One ACL entry.
+struct AclEntry {
+  /// Principals (or group tokens) that must ALL concur for this entry to
+  /// match.  A single-element list is the common case.
+  std::vector<std::string> principals;
+  /// Operations granted; empty means all operations.
+  std::vector<Operation> operations;
+  /// Objects covered; empty means all objects ("*" also matches all).
+  std::vector<ObjectName> objects;
+  /// Restrictions attached to the entry.  On an authorization server these
+  /// are "copied to the restrictions field of the resulting proxy" (§3.5);
+  /// on an end-server they are enforced on every use the entry authorizes.
+  core::RestrictionSet restrictions;
+
+  void encode(wire::Encoder& enc) const;
+  static AclEntry decode(wire::Decoder& dec);
+};
+
+/// The authorities backing one request: principals whose rights flow into
+/// it (proxy grantors and directly authenticated identities) plus asserted
+/// group memberships.
+struct AuthorityContext {
+  std::vector<PrincipalName> principals;
+  std::vector<GroupName> groups;
+
+  [[nodiscard]] bool covers(const std::string& token) const;
+};
+
+class Acl {
+ public:
+  void add(AclEntry entry) { entries_.push_back(std::move(entry)); }
+
+  [[nodiscard]] const std::vector<AclEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// First entry whose principals are all covered by `authority` and that
+  /// grants `operation` on `object`; kPermissionDenied if none.
+  [[nodiscard]] util::Result<const AclEntry*> match(
+      const AuthorityContext& authority, const Operation& operation,
+      const ObjectName& object) const;
+
+  /// Every entry matching `authority` regardless of operation/object; used
+  /// by the authorization server to enumerate a client's rights.
+  [[nodiscard]] std::vector<const AclEntry*> matching_entries(
+      const AuthorityContext& authority) const;
+
+  /// Removes every entry naming `principal` (revocation: §3.1 — revoking a
+  /// grantor's access kills all capabilities that grantor issued).
+  std::size_t remove_principal(const std::string& principal);
+
+  void encode(wire::Encoder& enc) const;
+  static Acl decode(wire::Decoder& dec);
+
+ private:
+  std::vector<AclEntry> entries_;
+};
+
+}  // namespace rproxy::authz

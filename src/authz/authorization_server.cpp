@@ -1,0 +1,290 @@
+#include "authz/authorization_server.hpp"
+
+#include <algorithm>
+
+#include "crypto/digest.hpp"
+
+namespace rproxy::authz {
+
+using util::ErrorCode;
+
+void AuthzRequestPayload::encode(wire::Encoder& enc) const {
+  ap.encode(enc);
+  enc.str(end_server);
+  enc.seq(requested_rights,
+          [](wire::Encoder& e, const core::ObjectRights& r) {
+            e.str(r.object);
+            e.seq(r.operations,
+                  [](wire::Encoder& e2, const std::string& s) { e2.str(s); });
+          });
+  extra_restrictions.encode(enc);
+  enc.seq(supporting,
+          [](wire::Encoder& e, const core::PresentedCredential& c) {
+            c.encode(e);
+          });
+  enc.i64(requested_lifetime);
+}
+
+AuthzRequestPayload AuthzRequestPayload::decode(wire::Decoder& dec) {
+  AuthzRequestPayload p;
+  p.ap = kdc::ApRequest::decode(dec);
+  p.end_server = dec.str();
+  p.requested_rights = dec.seq<core::ObjectRights>([](wire::Decoder& d) {
+    core::ObjectRights r;
+    r.object = d.str();
+    r.operations = d.seq<std::string>([](wire::Decoder& d2) {
+      return d2.str();
+    });
+    return r;
+  });
+  p.extra_restrictions = core::RestrictionSet::decode(dec);
+  p.supporting = dec.seq<core::PresentedCredential>([](wire::Decoder& d) {
+    return core::PresentedCredential::decode(d);
+  });
+  p.requested_lifetime = dec.i64();
+  return p;
+}
+
+void ProxyGrantReplyPayload::encode(wire::Encoder& enc) const {
+  chain.encode(enc);
+  enc.bytes(sealed_secret);
+  enc.i64(expires_at);
+  granted.encode(enc);
+  enc.str(grantor);
+}
+
+ProxyGrantReplyPayload ProxyGrantReplyPayload::decode(wire::Decoder& dec) {
+  ProxyGrantReplyPayload p;
+  p.chain = core::ProxyChain::decode(dec);
+  p.sealed_secret = dec.bytes();
+  p.expires_at = dec.i64();
+  p.granted = core::RestrictionSet::decode(dec);
+  p.grantor = dec.str();
+  return p;
+}
+
+util::Bytes supporting_challenge(const kdc::ApRequest& ap) {
+  return crypto::sha256_bytes(ap.sealed_authenticator);
+}
+
+AuthorizationServer::AuthorizationServer(Config config)
+    : config_(config),
+      issuer_(ProxyIssuer::Config{
+          .self = config.name,
+          .mode = config.issue_mode,
+          .net = config.net,
+          .clock = config.clock,
+          .own_key = config.own_key,
+          .kdc = config.kdc,
+          .identity_key = config.identity_key,
+      }),
+      verifier_(core::ProxyVerifier::Config{
+          .server_name = config.name,
+          .server_key = config.own_key,
+          .resolver = config.resolver,
+          .pk_root = config.pk_root,
+          .replay_cache = nullptr,  // set below; needs a stable address
+      }) {
+  // The verifier's replay cache must live in this object.
+  core::ProxyVerifier::Config vc = verifier_.config();
+  vc.replay_cache = &replay_cache_;
+  verifier_ = core::ProxyVerifier(std::move(vc));
+}
+
+void AuthorizationServer::set_acl(const PrincipalName& end_server, Acl acl) {
+  db_[end_server] = std::move(acl);
+}
+
+Acl* AuthorizationServer::acl_for(const PrincipalName& end_server) {
+  auto it = db_.find(end_server);
+  return it == db_.end() ? nullptr : &it->second;
+}
+
+net::Envelope AuthorizationServer::handle(const net::Envelope& request) {
+  if (request.type != net::MsgType::kAuthzRequest) {
+    return net::make_error_reply(
+        request, util::fail(ErrorCode::kProtocolError,
+                            "authorization server only grants proxies"));
+  }
+  auto parsed = wire::decode_from_bytes<AuthzRequestPayload>(request.payload);
+  if (!parsed.is_ok()) return net::make_error_reply(request, parsed.status());
+  auto reply = grant_(parsed.value());
+  if (!reply.is_ok()) return net::make_error_reply(request, reply.status());
+  return net::make_reply(request, net::MsgType::kAuthzReply, reply.value());
+}
+
+util::Result<ProxyGrantReplyPayload> AuthorizationServer::grant_(
+    const AuthzRequestPayload& req) {
+  const util::TimePoint now = config_.clock->now();
+
+  // 1. Authenticate the requester (Fig 3, message 1).
+  kdc::ApVerifyOptions ap_options;
+  ap_options.replay_cache = &replay_cache_;
+  RPROXY_ASSIGN_OR_RETURN(
+      kdc::ApVerified ap,
+      kdc::verify_ap_request(req.ap, config_.own_key, now, ap_options));
+  const PrincipalName& client = ap.ticket.client;
+
+  // 2. Evaluate supporting credentials (e.g. group proxies, §3.3).
+  const util::Bytes challenge = supporting_challenge(req.ap);
+  RPROXY_ASSIGN_OR_RETURN(
+      EvaluatedCredentials supporting,
+      evaluate_credentials(verifier_, {}, req.supporting, challenge, {},
+                           now));
+
+  // 3. Consult the database.
+  auto db_it = db_.find(req.end_server);
+  if (db_it == db_.end()) {
+    return util::fail(ErrorCode::kNotFound,
+                      "no authorization database for end-server '" +
+                          req.end_server + "'");
+  }
+  AuthorityContext authority = supporting.authority();
+  authority.principals.push_back(client);
+  const std::vector<const AclEntry*> entries =
+      db_it->second.matching_entries(authority);
+  if (entries.empty()) {
+    return util::fail(ErrorCode::kPermissionDenied,
+                      "'" + client + "' holds no rights for '" +
+                          req.end_server + "'");
+  }
+
+  // 4. Compute the granted rights: union of matched entries, narrowed to
+  //    the requested subset if one was given.
+  core::AuthorizedRestriction authorized;
+  for (const AclEntry* entry : entries) {
+    if (entry->objects.empty()) {
+      authorized.rights.push_back(
+          core::ObjectRights{"*", entry->operations});
+      continue;
+    }
+    for (const ObjectName& object : entry->objects) {
+      authorized.rights.push_back(
+          core::ObjectRights{object, entry->operations});
+    }
+  }
+  if (!req.requested_rights.empty()) {
+    // Narrow: a requested right survives only if some database right covers
+    // it (same or wildcard object, operations a subset).
+    core::AuthorizedRestriction narrowed;
+    for (const core::ObjectRights& want : req.requested_rights) {
+      for (const core::ObjectRights& have : authorized.rights) {
+        const bool object_ok =
+            have.object == "*" || have.object == want.object;
+        if (!object_ok) continue;
+        const bool ops_ok =
+            have.operations.empty() ||
+            (!want.operations.empty() &&
+             std::all_of(want.operations.begin(), want.operations.end(),
+                         [&](const Operation& op) {
+                           return std::find(have.operations.begin(),
+                                            have.operations.end(),
+                                            op) != have.operations.end();
+                         }));
+        if (ops_ok) {
+          narrowed.rights.push_back(want);
+          break;
+        }
+      }
+    }
+    if (narrowed.rights.empty()) {
+      return util::fail(ErrorCode::kPermissionDenied,
+                        "requested rights exceed what the database allows");
+    }
+    authorized = std::move(narrowed);
+  }
+
+  // 5. Assemble restrictions: authorized actions + grantee binding + the
+  //    matched entries' restriction templates (§3.5) + restrictions
+  //    propagated from supporting proxies (§7.9) + client extras.
+  core::RestrictionSet restrictions;
+  restrictions.add(authorized);
+  restrictions.add(core::GranteeRestriction{{client}, 1});
+  for (const AclEntry* entry : entries) {
+    restrictions = restrictions.merged(entry->restrictions);
+  }
+  const auto propagate = [&](const std::vector<VerifiedCredential>& creds) {
+    for (const VerifiedCredential& cred : creds) {
+      for (const core::Restriction& r :
+           cred.proxy.effective_restrictions.items()) {
+        // Grantee and group-membership restrictions bind the *presented*
+        // proxy's use, not the rights being re-granted; issued-for names
+        // the server the presented proxy targets (this one), not the
+        // end-server of the new proxy.  Everything else propagates (§7.9).
+        if (r.get_if<core::GranteeRestriction>() != nullptr) continue;
+        if (r.get_if<core::GroupMembershipRestriction>() != nullptr) continue;
+        if (r.get_if<core::IssuedForRestriction>() != nullptr) continue;
+        restrictions.add(r);
+      }
+    }
+  };
+  propagate(supporting.credentials);
+  propagate(supporting.group_credentials);
+  restrictions = restrictions.merged(req.extra_restrictions);
+
+  // 6. Mint and seal (Fig 3, message 2).
+  const util::Duration lifetime = std::clamp<util::Duration>(
+      req.requested_lifetime, util::kMinute, config_.max_proxy_lifetime);
+  RPROXY_ASSIGN_OR_RETURN(
+      core::Proxy proxy,
+      issuer_.issue(req.end_server, std::move(restrictions), lifetime));
+
+  crypto::SymmetricKey reply_key = ap.ticket.session_key;
+  if (ap.authenticator.subkey.size() == crypto::kSymmetricKeySize) {
+    reply_key = crypto::SymmetricKey::from_bytes(ap.authenticator.subkey);
+  }
+
+  ProxyGrantReplyPayload reply;
+  reply.chain = proxy.chain;
+  reply.sealed_secret = crypto::aead_seal(
+      reply_key.derive_subkey(kProxySecretSealPurpose), proxy.secret);
+  reply.expires_at = proxy.expires_at;
+  reply.granted = proxy.claimed_restrictions;
+  reply.grantor = proxy.grantor;
+  return reply;
+}
+
+AuthzClient::AuthzClient(net::SimNet& net, const util::Clock& clock,
+                         kdc::KdcClient& kdc_client)
+    : net_(net), clock_(clock), kdc_client_(kdc_client) {}
+
+util::Result<core::Proxy> AuthzClient::request_authorization(
+    const kdc::Credentials& creds, const PrincipalName& authz_server,
+    const PrincipalName& end_server,
+    std::vector<core::ObjectRights> requested_rights, util::Duration lifetime,
+    SupportingBuilder supporting, core::RestrictionSet extra_restrictions) {
+  AuthzRequestPayload req;
+  req.ap = kdc_client_.make_ap_request(creds);
+  req.end_server = end_server;
+  req.requested_rights = std::move(requested_rights);
+  req.extra_restrictions = std::move(extra_restrictions);
+  req.requested_lifetime = lifetime;
+  if (supporting) {
+    req.supporting = supporting(supporting_challenge(req.ap));
+  }
+
+  RPROXY_ASSIGN_OR_RETURN(
+      ProxyGrantReplyPayload reply,
+      (net::call<ProxyGrantReplyPayload>(
+          net_, kdc_client_.self(), authz_server, net::MsgType::kAuthzRequest,
+          net::MsgType::kAuthzReply, req)));
+  return unseal_granted_proxy(reply, creds.session_key);
+}
+
+util::Result<core::Proxy> unseal_granted_proxy(
+    const ProxyGrantReplyPayload& reply,
+    const crypto::SymmetricKey& session_key) {
+  RPROXY_ASSIGN_OR_RETURN(
+      util::Bytes secret,
+      crypto::aead_open(session_key.derive_subkey(kProxySecretSealPurpose),
+                        reply.sealed_secret));
+  core::Proxy proxy;
+  proxy.chain = reply.chain;
+  proxy.secret = std::move(secret);
+  proxy.grantor = reply.grantor;
+  proxy.claimed_restrictions = reply.granted;
+  proxy.expires_at = reply.expires_at;
+  return proxy;
+}
+
+}  // namespace rproxy::authz

@@ -1,0 +1,141 @@
+// The authorization server (§3.2, Fig 3).
+//
+// "The authorization server grants a restricted proxy allowing the
+// authorized client (the grantee) to act as the authorization server for
+// the purpose of asserting the client's rights to access particular
+// objects.  The restrictions in the proxy (in this case a list of
+// authorized actions) are determined by consulting the authorization
+// server's database."
+//
+// Protocol (Fig 3):
+//   1. authenticated authorization request (Kerberos AP exchange here);
+//   2. reply: [operation X only]_R certificate + {Kproxy}Ksession;
+//   3. client presents the proxy to the end-server S.
+//
+// The end-server's part of the bargain: its ACL names this server (it
+// "would grant full or the maximum desired access to the authorization
+// server", §3.2/3.5).
+#pragma once
+
+#include "authz/credential_eval.hpp"
+#include "authz/proxy_issuer.hpp"
+#include "kdc/kdc_client.hpp"
+
+namespace rproxy::authz {
+
+/// Request payload: who wants authorization for which end-server.
+struct AuthzRequestPayload {
+  /// Client's personal authentication to the authorization server.
+  kdc::ApRequest ap;
+  /// The end-server access is wanted for.
+  PrincipalName end_server;
+  /// Narrowing: only these rights are wanted (must be a subset of what the
+  /// database allows).  Empty = everything the database allows.
+  std::vector<core::ObjectRights> requested_rights;
+  /// Extra restrictions the client wants added (§6.3 spirit: a client may
+  /// always further restrict its own credentials).
+  core::RestrictionSet extra_restrictions;
+  /// Supporting credentials, e.g. group proxies (§3.3: "the client would
+  /// present the group proxy to the authorization server").
+  std::vector<core::PresentedCredential> supporting;
+  util::Duration requested_lifetime = 0;
+
+  void encode(wire::Encoder& enc) const;
+  static AuthzRequestPayload decode(wire::Decoder& dec);
+};
+
+/// Reply payload shared by the authorization and group servers: the
+/// certificate part of the proxy plus the proxy key sealed under the
+/// session key (Fig 3's "{Kproxy}Ksession").
+struct ProxyGrantReplyPayload {
+  core::ProxyChain chain;
+  util::Bytes sealed_secret;
+  util::TimePoint expires_at = 0;
+  core::RestrictionSet granted;
+  PrincipalName grantor;
+
+  void encode(wire::Encoder& enc) const;
+  static ProxyGrantReplyPayload decode(wire::Decoder& dec);
+};
+
+/// The challenge supporting-credential proofs are bound to: a digest of the
+/// request's own (replay-protected) authenticator, so both sides can derive
+/// it without an extra round trip.
+[[nodiscard]] util::Bytes supporting_challenge(const kdc::ApRequest& ap);
+
+class AuthorizationServer final : public net::Node {
+ public:
+  struct Config {
+    PrincipalName name;
+    crypto::SymmetricKey own_key;  ///< long-term key shared with the KDC
+    net::SimNet* net = nullptr;
+    const util::Clock* clock = nullptr;
+    PrincipalName kdc;
+    /// Which realization issued proxies use.
+    core::ProxyMode issue_mode = core::ProxyMode::kSymmetric;
+    /// Identity key (public-key issue mode).
+    crypto::SigningKeyPair identity_key;
+    /// For verifying supporting pk credentials.
+    const core::KeyResolver* resolver = nullptr;
+    std::optional<crypto::VerifyKey> pk_root;
+    util::Duration max_proxy_lifetime = 1 * util::kHour;
+  };
+
+  explicit AuthorizationServer(Config config);
+
+  /// The per-end-server authorization database.  An entry's restrictions
+  /// are "copied to the restrictions field of the resulting proxy" (§3.5).
+  void set_acl(const PrincipalName& end_server, Acl acl);
+  [[nodiscard]] Acl* acl_for(const PrincipalName& end_server);
+
+  net::Envelope handle(const net::Envelope& request) override;
+
+  [[nodiscard]] const PrincipalName& name() const { return issuer_.self(); }
+
+ private:
+  [[nodiscard]] util::Result<ProxyGrantReplyPayload> grant_(
+      const AuthzRequestPayload& req);
+
+  Config config_;
+  ProxyIssuer issuer_;
+  core::ProxyVerifier verifier_;
+  kdc::ReplayCache replay_cache_;
+  std::map<PrincipalName, Acl> db_;
+};
+
+/// Client-side driver for the Fig 3 protocol.
+class AuthzClient {
+ public:
+  /// `kdc_client` is the client's own KDC driver; the AuthzClient uses it
+  /// to authenticate to the authorization server.
+  AuthzClient(net::SimNet& net, const util::Clock& clock,
+              kdc::KdcClient& kdc_client);
+
+  /// Builder invoked with the supporting-credential challenge once the
+  /// request's authenticator exists; returns the supporting credentials.
+  using SupportingBuilder =
+      std::function<std::vector<core::PresentedCredential>(
+          util::BytesView challenge)>;
+
+  /// Requests an authorization proxy for `end_server` from `authz_server`.
+  /// `creds` are the client's credentials FOR THE AUTHORIZATION SERVER.
+  [[nodiscard]] util::Result<core::Proxy> request_authorization(
+      const kdc::Credentials& creds, const PrincipalName& authz_server,
+      const PrincipalName& end_server,
+      std::vector<core::ObjectRights> requested_rights,
+      util::Duration lifetime, SupportingBuilder supporting = nullptr,
+      core::RestrictionSet extra_restrictions = {});
+
+ private:
+  net::SimNet& net_;
+  const util::Clock& clock_;
+  kdc::KdcClient& kdc_client_;
+};
+
+/// Unseals a ProxyGrantReplyPayload into a usable Proxy (shared by the
+/// authorization, group and accounting clients).
+[[nodiscard]] util::Result<core::Proxy> unseal_granted_proxy(
+    const ProxyGrantReplyPayload& reply,
+    const crypto::SymmetricKey& session_key);
+
+}  // namespace rproxy::authz

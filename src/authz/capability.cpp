@@ -1,0 +1,48 @@
+#include "authz/capability.hpp"
+
+namespace rproxy::authz {
+
+namespace {
+core::RestrictionSet capability_restrictions(
+    std::vector<core::ObjectRights> rights,
+    const PrincipalName& end_server) {
+  core::RestrictionSet set;
+  set.add(core::AuthorizedRestriction{std::move(rights)});
+  set.add(core::IssuedForRestriction{{end_server}});
+  return set;
+}
+}  // namespace
+
+core::Proxy make_capability_pk(const PrincipalName& grantor,
+                               const crypto::SigningKeyPair& grantor_key,
+                               const PrincipalName& end_server,
+                               std::vector<core::ObjectRights> rights,
+                               util::TimePoint now, util::Duration lifetime) {
+  return core::grant_pk_proxy(
+      grantor, grantor_key,
+      capability_restrictions(std::move(rights), end_server), now, lifetime);
+}
+
+core::Proxy make_capability_krb(const kdc::KdcClient& grantor_client,
+                                const kdc::Credentials& creds,
+                                std::vector<core::ObjectRights> rights,
+                                util::TimePoint now) {
+  core::RestrictionSet set;
+  set.add(core::AuthorizedRestriction{std::move(rights)});
+  // The ticket already binds the capability to one end-server (§6.3); an
+  // issued-for restriction would be redundant but harmless, so we add it
+  // anyway for uniformity with the public-key flavor.
+  set.add(core::IssuedForRestriction{{creds.server}});
+  return core::grant_krb_proxy(grantor_client, creds, std::move(set), now);
+}
+
+util::Result<core::Proxy> narrow_capability(
+    const core::Proxy& capability, std::vector<core::ObjectRights> rights,
+    util::TimePoint now, util::Duration lifetime) {
+  core::RestrictionSet additional;
+  additional.add(core::AuthorizedRestriction{std::move(rights)});
+  return core::extend_bearer(capability, std::move(additional), now,
+                             lifetime);
+}
+
+}  // namespace rproxy::authz

@@ -1,0 +1,42 @@
+// Capabilities (§3.1).
+//
+// "A capability can be thought of as a bearer proxy that is restricted to
+// limit the operations that can be performed and the objects that can be
+// accessed.  No restrictions are placed on the identity of the grantee who
+// is free to pass the capability to others."
+//
+// These helpers mint such proxies.  Note the paper's distinctions from
+// traditional capabilities, all of which hold here by construction:
+//  * presentation never ships the proxy key (certificate + possession
+//    proof), so wiretapping yields nothing usable;
+//  * the capability impersonates the grantor, so revoking the grantor's
+//    rights on the end-server ACL revokes every capability it issued;
+//  * capabilities expire ("this is a feature").
+#pragma once
+
+#include "core/cascade.hpp"
+#include "core/proxy.hpp"
+
+namespace rproxy::authz {
+
+/// Mints a public-key capability: bearer proxy authorizing `rights` at
+/// `end_server` only.
+[[nodiscard]] core::Proxy make_capability_pk(
+    const PrincipalName& grantor, const crypto::SigningKeyPair& grantor_key,
+    const PrincipalName& end_server, std::vector<core::ObjectRights> rights,
+    util::TimePoint now, util::Duration lifetime);
+
+/// Mints a Kerberos capability from the grantor's credentials for the end-
+/// server: bearer proxy authorizing `rights` there.
+[[nodiscard]] core::Proxy make_capability_krb(
+    const kdc::KdcClient& grantor_client, const kdc::Credentials& creds,
+    std::vector<core::ObjectRights> rights, util::TimePoint now);
+
+/// Re-delegates a capability with fewer rights ("passed to others who can
+/// themselves pass it on", with restrictions only accumulating): a bearer
+/// cascade link carrying a narrower authorized restriction.
+[[nodiscard]] util::Result<core::Proxy> narrow_capability(
+    const core::Proxy& capability, std::vector<core::ObjectRights> rights,
+    util::TimePoint now, util::Duration lifetime);
+
+}  // namespace rproxy::authz

@@ -1,0 +1,123 @@
+#include "authz/credential_eval.hpp"
+
+#include <algorithm>
+
+namespace rproxy::authz {
+
+namespace {
+void add_unique(std::vector<PrincipalName>& names, const PrincipalName& n) {
+  if (std::find(names.begin(), names.end(), n) == names.end()) {
+    names.push_back(n);
+  }
+}
+
+/// A BEARER chain (no grantee restriction anywhere) is only as safe as its
+/// proxy key: certificates travel in the clear, so accepting a personal-
+/// authentication proof for one would let any eavesdropper exercise it
+/// under their own identity.  Bearer chains therefore REQUIRE a bearer
+/// (proxy-key) proof.  Delegate chains may use either: a bearer proof
+/// simply proves no identity, and the grantee restriction then rejects the
+/// request on its own.
+util::Status check_proof_kind(const core::VerifiedProxy& verified,
+                              const core::PossessionProof& proof) {
+  const bool is_bearer_chain =
+      !verified.effective_restrictions.is_delegate();
+  const bool is_bearer_proof =
+      proof.kind == core::PossessionProof::Kind::kBearerMac ||
+      proof.kind == core::PossessionProof::Kind::kBearerSig;
+  if (is_bearer_chain && !is_bearer_proof) {
+    return util::fail(util::ErrorCode::kProtocolError,
+                      "bearer proxy requires proof of the proxy key, not "
+                      "personal authentication");
+  }
+  return util::Status::ok();
+}
+}  // namespace
+
+AuthorityContext EvaluatedCredentials::authority() const {
+  AuthorityContext ctx;
+  for (const VerifiedCredential& cred : credentials) {
+    ctx.principals.push_back(cred.proxy.grantor);
+  }
+  for (const PrincipalName& id : identities) {
+    if (std::find(ctx.principals.begin(), ctx.principals.end(), id) ==
+        ctx.principals.end()) {
+      ctx.principals.push_back(id);
+    }
+  }
+  ctx.groups = asserted_groups;
+  return ctx;
+}
+
+util::Result<EvaluatedCredentials> evaluate_credentials(
+    const core::ProxyVerifier& verifier,
+    const std::vector<core::PresentedCredential>& credentials,
+    const std::vector<core::PresentedCredential>& group_credentials,
+    util::BytesView challenge, util::BytesView request_digest,
+    util::TimePoint now) {
+  EvaluatedCredentials out;
+
+  for (const core::PresentedCredential& presented : credentials) {
+    RPROXY_ASSIGN_OR_RETURN(core::VerifiedProxy verified,
+                            verifier.verify_chain(presented.chain, now));
+    RPROXY_RETURN_IF_ERROR(check_proof_kind(verified, presented.proof));
+    RPROXY_ASSIGN_OR_RETURN(
+        std::vector<PrincipalName> who,
+        verifier.verify_possession(verified, presented.proof, challenge,
+                                   request_digest, now));
+    for (const PrincipalName& id : who) add_unique(out.identities, id);
+    for (const PrincipalName& id : verified.audit_trail) {
+      add_unique(out.identities, id);
+    }
+    out.credentials.push_back(
+        VerifiedCredential{std::move(verified), std::move(who)});
+  }
+
+  for (const core::PresentedCredential& presented : group_credentials) {
+    RPROXY_ASSIGN_OR_RETURN(core::VerifiedProxy verified,
+                            verifier.verify_chain(presented.chain, now));
+    RPROXY_RETURN_IF_ERROR(check_proof_kind(verified, presented.proof));
+    RPROXY_ASSIGN_OR_RETURN(
+        std::vector<PrincipalName> who,
+        verifier.verify_possession(verified, presented.proof, challenge,
+                                   request_digest, now));
+    for (const PrincipalName& id : who) add_unique(out.identities, id);
+    for (const PrincipalName& id : verified.audit_trail) {
+      add_unique(out.identities, id);
+    }
+
+    out.group_credentials.push_back(VerifiedCredential{verified, who});
+
+    // Which groups does this proxy assert?  Only those its group-membership
+    // restriction lists (§7.6).  A group proxy without the restriction
+    // would assert "all groups of the grantor", which cannot be enumerated
+    // — it asserts nothing here.
+    const auto* membership =
+        verified.effective_restrictions
+            .find<core::GroupMembershipRestriction>();
+    if (membership == nullptr) continue;
+
+    for (const GroupName& g : membership->groups) {
+      core::RequestContext ctx;
+      ctx.end_server = verifier.config().server_name;
+      ctx.now = now;
+      ctx.effective_identities = out.identities;
+      ctx.asserting_group = g;
+      ctx.grantor = verified.grantor;
+      ctx.credential_expiry = verified.expires_at;
+      if (verified.effective_restrictions.evaluate(ctx).is_ok()) {
+        // The group's authority is the proxy's grantor (the group server);
+        // enforce the global-name rule of §3.3.
+        if (g.server == verified.grantor &&
+            std::find(out.asserted_groups.begin(), out.asserted_groups.end(),
+                      g) == out.asserted_groups.end()) {
+          out.asserted_groups.push_back(g);
+        }
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace rproxy::authz

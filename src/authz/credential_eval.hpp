@@ -1,0 +1,56 @@
+// Shared credential processing for servers that accept proxies.
+//
+// Both end-servers and the authorization/group servers must: verify each
+// presented chain, check its possession proof, and derive the asserted
+// group memberships from accompanying group proxies (§3.3).  This helper
+// performs those steps and returns the raw material; the caller then
+// evaluates restriction sets against its own request context and consults
+// its ACL.
+#pragma once
+
+#include "authz/acl.hpp"
+#include "core/verifier.hpp"
+
+namespace rproxy::authz {
+
+/// One verified main credential: the chain's verification outcome plus the
+/// identities its possession proof established.
+struct VerifiedCredential {
+  core::VerifiedProxy proxy;
+  std::vector<PrincipalName> proof_identities;
+};
+
+/// Everything a server learns from the credentials attached to one request.
+struct EvaluatedCredentials {
+  /// Main chains, verified, in presentation order.
+  std::vector<VerifiedCredential> credentials;
+  /// Group chains, verified (their assertions feed asserted_groups; kept
+  /// here so issuing servers can propagate their restrictions, §7.9).
+  std::vector<VerifiedCredential> group_credentials;
+  /// Union of all proven identities (possession proofs, delegate audit
+  /// trails).  Feeds RequestContext::effective_identities.
+  std::vector<PrincipalName> identities;
+  /// Memberships proven by valid group proxies.  Feeds both
+  /// RequestContext::asserted_groups and AuthorityContext::groups.
+  std::vector<GroupName> asserted_groups;
+
+  /// ACL authority: proxy grantors + proven identities + groups.
+  [[nodiscard]] AuthorityContext authority() const;
+};
+
+/// Verifies main and group credentials against `verifier`.
+///
+/// Any invalid credential fails the whole request (fail-closed): a client
+/// should not attach credentials it cannot back.
+///
+/// Group proxies must carry a group-membership restriction (§7.6); each
+/// listed group is asserted iff the proxy's full restriction set passes in
+/// an assertion context for that group.
+[[nodiscard]] util::Result<EvaluatedCredentials> evaluate_credentials(
+    const core::ProxyVerifier& verifier,
+    const std::vector<core::PresentedCredential>& credentials,
+    const std::vector<core::PresentedCredential>& group_credentials,
+    util::BytesView challenge, util::BytesView request_digest,
+    util::TimePoint now);
+
+}  // namespace rproxy::authz

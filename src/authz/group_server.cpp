@@ -1,0 +1,176 @@
+#include "authz/group_server.hpp"
+
+#include <algorithm>
+
+namespace rproxy::authz {
+
+using util::ErrorCode;
+
+void GroupRequestPayload::encode(wire::Encoder& enc) const {
+  ap.encode(enc);
+  enc.str(group);
+  enc.str(end_server);
+  enc.i64(requested_lifetime);
+  enc.seq(supporting,
+          [](wire::Encoder& e, const core::PresentedCredential& c) {
+            c.encode(e);
+          });
+}
+
+GroupRequestPayload GroupRequestPayload::decode(wire::Decoder& dec) {
+  GroupRequestPayload p;
+  p.ap = kdc::ApRequest::decode(dec);
+  p.group = dec.str();
+  p.end_server = dec.str();
+  p.requested_lifetime = dec.i64();
+  p.supporting = dec.seq<core::PresentedCredential>([](wire::Decoder& d) {
+    return core::PresentedCredential::decode(d);
+  });
+  return p;
+}
+
+GroupServer::GroupServer(Config config)
+    : config_(config),
+      issuer_(ProxyIssuer::Config{
+          .self = config.name,
+          .mode = config.issue_mode,
+          .net = config.net,
+          .clock = config.clock,
+          .own_key = config.own_key,
+          .kdc = config.kdc,
+          .identity_key = config.identity_key,
+      }),
+      verifier_(core::ProxyVerifier::Config{
+          .server_name = config.name,
+          .server_key = config.own_key,
+          .resolver = config.resolver,
+          .pk_root = config.pk_root,
+          .replay_cache = nullptr,
+      }) {
+  core::ProxyVerifier::Config vc = verifier_.config();
+  vc.replay_cache = &replay_cache_;
+  verifier_ = core::ProxyVerifier(std::move(vc));
+}
+
+void GroupServer::add_member(const std::string& group,
+                             const std::string& member) {
+  groups_[group].insert(member);
+}
+
+void GroupServer::remove_member(const std::string& group,
+                                const std::string& member) {
+  auto it = groups_.find(group);
+  if (it != groups_.end()) it->second.erase(member);
+}
+
+bool GroupServer::is_member(const std::string& group,
+                            const std::string& member) const {
+  auto it = groups_.find(group);
+  return it != groups_.end() && it->second.contains(member);
+}
+
+net::Envelope GroupServer::handle(const net::Envelope& request) {
+  if (request.type != net::MsgType::kGroupRequest) {
+    return net::make_error_reply(
+        request, util::fail(ErrorCode::kProtocolError,
+                            "group server only grants membership proxies"));
+  }
+  auto parsed = wire::decode_from_bytes<GroupRequestPayload>(request.payload);
+  if (!parsed.is_ok()) return net::make_error_reply(request, parsed.status());
+  auto reply = grant_(parsed.value());
+  if (!reply.is_ok()) return net::make_error_reply(request, reply.status());
+  return net::make_reply(request, net::MsgType::kGroupReply, reply.value());
+}
+
+util::Result<ProxyGrantReplyPayload> GroupServer::grant_(
+    const GroupRequestPayload& req) {
+  const util::TimePoint now = config_.clock->now();
+
+  kdc::ApVerifyOptions ap_options;
+  ap_options.replay_cache = &replay_cache_;
+  RPROXY_ASSIGN_OR_RETURN(
+      kdc::ApVerified ap,
+      kdc::verify_ap_request(req.ap, config_.own_key, now, ap_options));
+  const PrincipalName& client = ap.ticket.client;
+
+  auto group_it = groups_.find(req.group);
+  if (group_it == groups_.end()) {
+    return util::fail(ErrorCode::kNotFound,
+                      "no such group '" + req.group + "'");
+  }
+
+  // Direct membership, or membership via a nested group asserted by a
+  // supporting proxy from another group server.
+  bool member = group_it->second.contains(client);
+  if (!member && !req.supporting.empty()) {
+    const util::Bytes challenge = supporting_challenge(req.ap);
+    RPROXY_ASSIGN_OR_RETURN(
+        EvaluatedCredentials supporting,
+        evaluate_credentials(verifier_, {}, req.supporting, challenge, {},
+                             now));
+    member = std::any_of(
+        supporting.asserted_groups.begin(), supporting.asserted_groups.end(),
+        [&](const GroupName& g) {
+          return group_it->second.contains(acl_group_token(g));
+        });
+  }
+  if (!member) {
+    return util::fail(ErrorCode::kPermissionDenied,
+                      "'" + client + "' is not a member of '" + req.group +
+                          "'");
+  }
+
+  // Grant: assert membership in exactly this group (§7.6), usable only by
+  // this member, only at the requested end-server.
+  core::RestrictionSet restrictions;
+  restrictions.add(
+      core::GroupMembershipRestriction{{group_name(req.group)}});
+  restrictions.add(core::GranteeRestriction{{client}, 1});
+
+  const util::Duration lifetime = std::clamp<util::Duration>(
+      req.requested_lifetime, util::kMinute, config_.max_proxy_lifetime);
+  RPROXY_ASSIGN_OR_RETURN(
+      core::Proxy proxy,
+      issuer_.issue(req.end_server, std::move(restrictions), lifetime));
+
+  crypto::SymmetricKey reply_key = ap.ticket.session_key;
+  if (ap.authenticator.subkey.size() == crypto::kSymmetricKeySize) {
+    reply_key = crypto::SymmetricKey::from_bytes(ap.authenticator.subkey);
+  }
+
+  ProxyGrantReplyPayload reply;
+  reply.chain = proxy.chain;
+  reply.sealed_secret = crypto::aead_seal(
+      reply_key.derive_subkey(kProxySecretSealPurpose), proxy.secret);
+  reply.expires_at = proxy.expires_at;
+  reply.granted = proxy.claimed_restrictions;
+  reply.grantor = proxy.grantor;
+  return reply;
+}
+
+GroupClient::GroupClient(net::SimNet& net, const util::Clock& clock,
+                         kdc::KdcClient& kdc_client)
+    : net_(net), clock_(clock), kdc_client_(kdc_client) {}
+
+util::Result<core::Proxy> GroupClient::request_membership(
+    const kdc::Credentials& creds, const PrincipalName& group_server,
+    const std::string& group, const PrincipalName& end_server,
+    util::Duration lifetime, AuthzClient::SupportingBuilder supporting) {
+  GroupRequestPayload req;
+  req.ap = kdc_client_.make_ap_request(creds);
+  req.group = group;
+  req.end_server = end_server;
+  req.requested_lifetime = lifetime;
+  if (supporting) {
+    req.supporting = supporting(supporting_challenge(req.ap));
+  }
+
+  RPROXY_ASSIGN_OR_RETURN(
+      ProxyGrantReplyPayload reply,
+      (net::call<ProxyGrantReplyPayload>(
+          net_, kdc_client_.self(), group_server, net::MsgType::kGroupRequest,
+          net::MsgType::kGroupReply, req)));
+  return unseal_granted_proxy(reply, creds.session_key);
+}
+
+}  // namespace rproxy::authz

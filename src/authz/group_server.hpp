@@ -1,0 +1,98 @@
+// The group server (§3.3).
+//
+// "A group server implemented using restricted proxies grants proxies that
+// delegate the right to assert membership in a particular group.  The
+// protocol is the same as that for the authorization server; the
+// authorized operation is the assertion of group membership."
+//
+// Granted proxies carry a group-membership restriction naming exactly the
+// asserted group (§7.6) and a grantee restriction naming the member, so
+// the proxy asserts one group, for one principal, at one end-server.
+#pragma once
+
+#include <set>
+
+#include "authz/authorization_server.hpp"
+
+namespace rproxy::authz {
+
+/// Group-proxy request payload.
+struct GroupRequestPayload {
+  kdc::ApRequest ap;          ///< member's personal authentication
+  std::string group;          ///< local group name on this server
+  PrincipalName end_server;   ///< where membership will be asserted
+  util::Duration requested_lifetime = 0;
+  /// Nested membership: proxies from other group servers, for groups that
+  /// appear as members of this group (§3.3: a group name may appear "even
+  /// on another group server").
+  std::vector<core::PresentedCredential> supporting;
+
+  void encode(wire::Encoder& enc) const;
+  static GroupRequestPayload decode(wire::Decoder& dec);
+};
+
+class GroupServer final : public net::Node {
+ public:
+  struct Config {
+    PrincipalName name;
+    crypto::SymmetricKey own_key;
+    net::SimNet* net = nullptr;
+    const util::Clock* clock = nullptr;
+    PrincipalName kdc;
+    core::ProxyMode issue_mode = core::ProxyMode::kSymmetric;
+    crypto::SigningKeyPair identity_key;
+    const core::KeyResolver* resolver = nullptr;
+    std::optional<crypto::VerifyKey> pk_root;
+    util::Duration max_proxy_lifetime = 1 * util::kHour;
+  };
+
+  explicit GroupServer(Config config);
+
+  /// Adds a member to a group (creating the group on first use).  A member
+  /// token is a principal name or a nested-group token
+  /// (acl_group_token(...)) for a group maintained elsewhere.
+  void add_member(const std::string& group, const std::string& member);
+  void remove_member(const std::string& group, const std::string& member);
+  [[nodiscard]] bool is_member(const std::string& group,
+                               const std::string& member) const;
+
+  /// This server's global name for one of its groups.
+  [[nodiscard]] GroupName group_name(const std::string& group) const {
+    return GroupName{issuer_.self(), group};
+  }
+
+  net::Envelope handle(const net::Envelope& request) override;
+
+  [[nodiscard]] const PrincipalName& name() const { return issuer_.self(); }
+
+ private:
+  [[nodiscard]] util::Result<ProxyGrantReplyPayload> grant_(
+      const GroupRequestPayload& req);
+
+  Config config_;
+  ProxyIssuer issuer_;
+  core::ProxyVerifier verifier_;
+  kdc::ReplayCache replay_cache_;
+  std::map<std::string, std::set<std::string>> groups_;
+};
+
+/// Client-side driver: obtains a group proxy usable at `end_server`.
+class GroupClient {
+ public:
+  GroupClient(net::SimNet& net, const util::Clock& clock,
+              kdc::KdcClient& kdc_client);
+
+  /// `creds` are the member's credentials FOR THE GROUP SERVER.
+  [[nodiscard]] util::Result<core::Proxy> request_membership(
+      const kdc::Credentials& creds, const PrincipalName& group_server,
+      const std::string& group, const PrincipalName& end_server,
+      util::Duration lifetime,
+      AuthzClient::SupportingBuilder supporting = nullptr);
+
+ private:
+  net::SimNet& net_;
+  const util::Clock& clock_;
+  kdc::KdcClient& kdc_client_;
+};
+
+}  // namespace rproxy::authz

@@ -1,0 +1,133 @@
+#include "authz/privilege_attribute_server.hpp"
+
+#include <algorithm>
+
+namespace rproxy::authz {
+
+using util::ErrorCode;
+
+void PacRequestPayload::encode(wire::Encoder& enc) const {
+  ap.encode(enc);
+  enc.str(end_server);
+  enc.i64(requested_lifetime);
+}
+
+PacRequestPayload PacRequestPayload::decode(wire::Decoder& dec) {
+  PacRequestPayload p;
+  p.ap = kdc::ApRequest::decode(dec);
+  p.end_server = dec.str();
+  p.requested_lifetime = dec.i64();
+  return p;
+}
+
+PrivilegeAttributeServer::PrivilegeAttributeServer(Config config)
+    : config_(config),
+      issuer_(ProxyIssuer::Config{
+          .self = config.name,
+          .mode = config.issue_mode,
+          .net = config.net,
+          .clock = config.clock,
+          .own_key = config.own_key,
+          .kdc = config.kdc,
+          .identity_key = config.identity_key,
+      }) {}
+
+void PrivilegeAttributeServer::add_member(const std::string& group,
+                                          const PrincipalName& member) {
+  groups_[group].insert(member);
+}
+
+void PrivilegeAttributeServer::remove_member(const std::string& group,
+                                             const PrincipalName& member) {
+  auto it = groups_.find(group);
+  if (it != groups_.end()) it->second.erase(member);
+}
+
+std::vector<std::string> PrivilegeAttributeServer::groups_of(
+    const PrincipalName& member) const {
+  std::vector<std::string> out;
+  for (const auto& [group, members] : groups_) {
+    if (members.contains(member)) out.push_back(group);
+  }
+  return out;
+}
+
+net::Envelope PrivilegeAttributeServer::handle(const net::Envelope& request) {
+  // The PAC exchange reuses the group-request message type (the protocol
+  // is the same shape as §3.3's; only the payload and grant differ).
+  if (request.type != net::MsgType::kGroupRequest) {
+    return net::make_error_reply(
+        request, util::fail(ErrorCode::kProtocolError,
+                            "PAC server only grants PACs"));
+  }
+  auto parsed = wire::decode_from_bytes<PacRequestPayload>(request.payload);
+  if (!parsed.is_ok()) return net::make_error_reply(request, parsed.status());
+  const PacRequestPayload& req = parsed.value();
+  const util::TimePoint now = config_.clock->now();
+
+  kdc::ApVerifyOptions ap_options;
+  ap_options.replay_cache = &replay_cache_;
+  auto ap = kdc::verify_ap_request(req.ap, config_.own_key, now, ap_options);
+  if (!ap.is_ok()) return net::make_error_reply(request, ap.status());
+  const PrincipalName& client = ap.value().ticket.client;
+
+  const std::vector<std::string> memberships = groups_of(client);
+  if (memberships.empty()) {
+    return net::make_error_reply(
+        request, util::fail(ErrorCode::kPermissionDenied,
+                            "'" + client + "' belongs to no groups"));
+  }
+
+  // ONE group-membership restriction listing every group (the PAC), bound
+  // to the principal.
+  core::GroupMembershipRestriction all_groups;
+  for (const std::string& group : memberships) {
+    all_groups.groups.push_back(GroupName{config_.name, group});
+  }
+  core::RestrictionSet restrictions;
+  restrictions.add(all_groups);
+  restrictions.add(core::GranteeRestriction{{client}, 1});
+
+  const util::Duration lifetime = std::clamp<util::Duration>(
+      req.requested_lifetime, util::kMinute, config_.max_proxy_lifetime);
+  auto proxy = issuer_.issue(req.end_server, std::move(restrictions),
+                             lifetime);
+  if (!proxy.is_ok()) return net::make_error_reply(request, proxy.status());
+
+  crypto::SymmetricKey reply_key = ap.value().ticket.session_key;
+  if (ap.value().authenticator.subkey.size() == crypto::kSymmetricKeySize) {
+    reply_key =
+        crypto::SymmetricKey::from_bytes(ap.value().authenticator.subkey);
+  }
+  ProxyGrantReplyPayload reply;
+  reply.chain = proxy.value().chain;
+  reply.sealed_secret = crypto::aead_seal(
+      reply_key.derive_subkey(kProxySecretSealPurpose),
+      proxy.value().secret);
+  reply.expires_at = proxy.value().expires_at;
+  reply.granted = proxy.value().claimed_restrictions;
+  reply.grantor = proxy.value().grantor;
+  return net::make_reply(request, net::MsgType::kGroupReply, reply);
+}
+
+PacClient::PacClient(net::SimNet& net, const util::Clock& clock,
+                     kdc::KdcClient& kdc_client)
+    : net_(net), clock_(clock), kdc_client_(kdc_client) {}
+
+util::Result<core::Proxy> PacClient::request_pac(
+    const kdc::Credentials& creds, const PrincipalName& pac_server,
+    const PrincipalName& end_server, util::Duration lifetime) {
+  PacRequestPayload req;
+  req.ap = kdc_client_.make_ap_request(creds);
+  req.end_server = end_server;
+  req.requested_lifetime = lifetime;
+
+  RPROXY_ASSIGN_OR_RETURN(
+      ProxyGrantReplyPayload reply,
+      (net::call<ProxyGrantReplyPayload>(
+          net_, kdc_client_.self(), pac_server, net::MsgType::kGroupRequest,
+          net::MsgType::kGroupReply, req)));
+  return unseal_granted_proxy(reply, creds.session_key);
+}
+
+}  // namespace rproxy::authz

@@ -1,0 +1,84 @@
+// Privilege attribute server (§5's OSF DCE paragraph).
+//
+// "They have implemented a privilege attribute server that signs
+// certificates asserting a principal's unique identifier and a set of user
+// groups to which the principal belongs" — i.e. ONE credential carrying
+// the whole membership set, instead of one group proxy per group.  Built
+// here exactly as the paper says DCE built it: as a restricted proxy whose
+// group-membership restriction lists every group of the principal, with a
+// grantee restriction binding it to that principal.
+//
+// Contrast with GroupServer (§3.3): the group server asserts one group per
+// proxy (minimal disclosure); the PAC asserts all memberships at once
+// (fewer round trips, more disclosure).  Both verify with the same
+// end-server machinery.
+#pragma once
+
+#include <set>
+
+#include "authz/authorization_server.hpp"
+
+namespace rproxy::authz {
+
+/// PAC request payload.
+struct PacRequestPayload {
+  kdc::ApRequest ap;          ///< requester's personal authentication
+  PrincipalName end_server;   ///< where the PAC will be presented
+  util::Duration requested_lifetime = 0;
+
+  void encode(wire::Encoder& enc) const;
+  static PacRequestPayload decode(wire::Decoder& dec);
+};
+
+class PrivilegeAttributeServer final : public net::Node {
+ public:
+  struct Config {
+    PrincipalName name;
+    crypto::SymmetricKey own_key;
+    net::SimNet* net = nullptr;
+    const util::Clock* clock = nullptr;
+    PrincipalName kdc;
+    core::ProxyMode issue_mode = core::ProxyMode::kSymmetric;
+    crypto::SigningKeyPair identity_key;
+    util::Duration max_proxy_lifetime = 1 * util::kHour;
+  };
+
+  explicit PrivilegeAttributeServer(Config config);
+
+  /// Membership management (the PAC server maintains its own group map;
+  /// deployments would sync it from a directory).
+  void add_member(const std::string& group, const PrincipalName& member);
+  void remove_member(const std::string& group, const PrincipalName& member);
+
+  /// All groups `member` belongs to, in deterministic order.
+  [[nodiscard]] std::vector<std::string> groups_of(
+      const PrincipalName& member) const;
+
+  net::Envelope handle(const net::Envelope& request) override;
+
+  [[nodiscard]] const PrincipalName& name() const { return issuer_.self(); }
+
+ private:
+  Config config_;
+  ProxyIssuer issuer_;
+  kdc::ReplayCache replay_cache_;
+  std::map<std::string, std::set<PrincipalName>> groups_;
+};
+
+/// Client-side: obtains a PAC — one proxy asserting every membership.
+class PacClient {
+ public:
+  PacClient(net::SimNet& net, const util::Clock& clock,
+            kdc::KdcClient& kdc_client);
+
+  [[nodiscard]] util::Result<core::Proxy> request_pac(
+      const kdc::Credentials& creds, const PrincipalName& pac_server,
+      const PrincipalName& end_server, util::Duration lifetime);
+
+ private:
+  net::SimNet& net_;
+  const util::Clock& clock_;
+  kdc::KdcClient& kdc_client_;
+};
+
+}  // namespace rproxy::authz

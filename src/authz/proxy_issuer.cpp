@@ -1,0 +1,61 @@
+#include "authz/proxy_issuer.hpp"
+
+namespace rproxy::authz {
+
+ProxyIssuer::ProxyIssuer(Config config) : config_(std::move(config)) {
+  if (config_.mode == core::ProxyMode::kSymmetric) {
+    kdc_client_.emplace(*config_.net, *config_.clock, config_.self,
+                        config_.own_key, config_.kdc);
+  }
+}
+
+void ProxyIssuer::clear_ticket_cache() {
+  tgt_.reset();
+  ticket_cache_.clear();
+}
+
+util::Result<kdc::Credentials> ProxyIssuer::creds_for_(
+    const PrincipalName& target, util::Duration lifetime) {
+  const util::TimePoint now = config_.clock->now();
+  // Leave headroom so a proxy minted from these credentials is not already
+  // on the edge of expiry.
+  const util::TimePoint needed_until = now + lifetime;
+
+  if (auto it = ticket_cache_.find(target);
+      it != ticket_cache_.end() && it->second.expires_at >= needed_until) {
+    return it->second;
+  }
+  if (!tgt_.has_value() || tgt_->expires_at < needed_until) {
+    RPROXY_ASSIGN_OR_RETURN(kdc::Credentials tgt,
+                            kdc_client_->authenticate(8 * util::kHour));
+    tgt_ = std::move(tgt);
+  }
+  RPROXY_ASSIGN_OR_RETURN(
+      kdc::Credentials creds,
+      kdc_client_->get_ticket(*tgt_, target, lifetime));
+  ticket_cache_[target] = creds;
+  return creds;
+}
+
+util::Result<core::Proxy> ProxyIssuer::issue(
+    const PrincipalName& target, core::RestrictionSet restrictions,
+    util::Duration lifetime) {
+  restrictions.add(core::IssuedForRestriction{{target}});
+
+  if (config_.mode == core::ProxyMode::kPublicKey) {
+    if (!config_.identity_key.valid()) {
+      return util::fail(util::ErrorCode::kInternal,
+                        "issuer has no identity key for public-key proxies");
+    }
+    return core::grant_pk_proxy(config_.self, config_.identity_key,
+                                std::move(restrictions),
+                                config_.clock->now(), lifetime);
+  }
+
+  RPROXY_ASSIGN_OR_RETURN(kdc::Credentials creds,
+                          creds_for_(target, lifetime));
+  return core::grant_krb_proxy(*kdc_client_, creds, std::move(restrictions),
+                               config_.clock->now());
+}
+
+}  // namespace rproxy::authz

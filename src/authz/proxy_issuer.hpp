@@ -1,0 +1,61 @@
+// Proxy minting shared by the authorization, group, and accounting servers.
+//
+// All three "accept proxies and issue proxies" (§7.9).  A ProxyIssuer owns
+// the machinery to mint a proxy whose rights flow from the issuing server:
+// in the conventional realization it keeps a TGT and a per-end-server
+// ticket cache and mints Kerberos proxies (§6.2); in the public-key
+// realization it signs certificates with the server's identity key (Fig 6).
+#pragma once
+
+#include <map>
+
+#include "core/proxy.hpp"
+
+namespace rproxy::authz {
+
+/// Seal purpose for returning a proxy secret under a session key — the
+/// "{Kproxy}Ksession" of Fig 3.
+inline constexpr std::string_view kProxySecretSealPurpose =
+    "authz:proxy-secret";
+
+class ProxyIssuer {
+ public:
+  struct Config {
+    PrincipalName self;
+    core::ProxyMode mode = core::ProxyMode::kSymmetric;
+    /// Conventional realization: how to reach the KDC.
+    net::SimNet* net = nullptr;
+    const util::Clock* clock = nullptr;
+    crypto::SymmetricKey own_key;  ///< long-term key shared with the KDC
+    PrincipalName kdc;
+    /// Public-key realization: the issuer's identity key.
+    crypto::SigningKeyPair identity_key;
+  };
+
+  explicit ProxyIssuer(Config config);
+
+  /// Mints a proxy granting (a restriction of) the issuer's rights, usable
+  /// at `target`.  An issued-for restriction naming `target` is always
+  /// added (§7.3) on top of `restrictions`.
+  [[nodiscard]] util::Result<core::Proxy> issue(
+      const PrincipalName& target, core::RestrictionSet restrictions,
+      util::Duration lifetime);
+
+  [[nodiscard]] const PrincipalName& self() const { return config_.self; }
+  [[nodiscard]] core::ProxyMode mode() const { return config_.mode; }
+
+  /// Drops cached tickets (forces fresh KDC exchanges; tests use this to
+  /// observe message counts).
+  void clear_ticket_cache();
+
+ private:
+  [[nodiscard]] util::Result<kdc::Credentials> creds_for_(
+      const PrincipalName& target, util::Duration lifetime);
+
+  Config config_;
+  std::optional<kdc::KdcClient> kdc_client_;
+  std::optional<kdc::Credentials> tgt_;
+  std::map<PrincipalName, kdc::Credentials> ticket_cache_;
+};
+
+}  // namespace rproxy::authz

@@ -1,0 +1,213 @@
+#include "baseline/dssa_roles.hpp"
+
+#include <algorithm>
+
+#include "crypto/random.hpp"
+
+namespace rproxy::baseline {
+
+using util::ErrorCode;
+
+namespace {
+void encode_rights(wire::Encoder& enc,
+                   const std::vector<core::ObjectRights>& rights) {
+  enc.seq(rights, [](wire::Encoder& e, const core::ObjectRights& r) {
+    e.str(r.object);
+    e.seq(r.operations,
+          [](wire::Encoder& e2, const std::string& s) { e2.str(s); });
+  });
+}
+
+std::vector<core::ObjectRights> decode_rights(wire::Decoder& dec) {
+  return dec.seq<core::ObjectRights>([](wire::Decoder& d) {
+    core::ObjectRights r;
+    r.object = d.str();
+    r.operations =
+        d.seq<std::string>([](wire::Decoder& d2) { return d2.str(); });
+    return r;
+  });
+}
+}  // namespace
+
+void DssaRoleRecord::encode(wire::Encoder& enc) const {
+  enc.str(role);
+  enc.str(owner);
+  enc.bytes(role_key.view());
+  encode_rights(enc, rights);
+}
+
+DssaRoleRecord DssaRoleRecord::decode(wire::Decoder& dec) {
+  DssaRoleRecord r;
+  r.role = dec.str();
+  r.owner = dec.str();
+  const util::Bytes key = dec.bytes();
+  if (dec.ok() && key.size() == 32) {
+    r.role_key = crypto::VerifyKey::from_bytes(key);
+  }
+  r.rights = decode_rights(dec);
+  return r;
+}
+
+void RoleCreatePayload::encode(wire::Encoder& enc) const {
+  enc.str(owner);
+  enc.bytes(role_key.view());
+  encode_rights(enc, rights);
+}
+
+RoleCreatePayload RoleCreatePayload::decode(wire::Decoder& dec) {
+  RoleCreatePayload p;
+  p.owner = dec.str();
+  const util::Bytes key = dec.bytes();
+  if (dec.ok() && key.size() == 32) {
+    p.role_key = crypto::VerifyKey::from_bytes(key);
+  }
+  p.rights = decode_rights(dec);
+  return p;
+}
+
+void DssaDelegationCert::encode(wire::Encoder& enc) const {
+  enc.str(role);
+  enc.str(delegate);
+  enc.i64(expires_at);
+  enc.bytes(signature);
+}
+
+DssaDelegationCert DssaDelegationCert::decode(wire::Decoder& dec) {
+  DssaDelegationCert c;
+  c.role = dec.str();
+  c.delegate = dec.str();
+  c.expires_at = dec.i64();
+  c.signature = dec.bytes();
+  return c;
+}
+
+util::Bytes DssaDelegationCert::signed_bytes() const {
+  wire::Encoder enc;
+  enc.str("dssa-delegation-v1");
+  enc.str(role);
+  enc.str(delegate);
+  enc.i64(expires_at);
+  return enc.take();
+}
+
+util::Result<DssaRoleRecord> DssaRegistry::lookup(
+    const PrincipalName& role) const {
+  auto it = roles_.find(role);
+  if (it == roles_.end()) {
+    return util::fail(ErrorCode::kNotFound, "no such role '" + role + "'");
+  }
+  return it->second;
+}
+
+net::Envelope DssaRegistry::handle(const net::Envelope& request) {
+  switch (request.type) {
+    case net::MsgType::kRoleCreate: {
+      auto parsed =
+          wire::decode_from_bytes<RoleCreatePayload>(request.payload);
+      if (!parsed.is_ok()) {
+        return net::make_error_reply(request, parsed.status());
+      }
+      DssaRoleRecord record;
+      record.role = parsed.value().owner + "/role-" +
+                    std::to_string(++created_);
+      record.owner = parsed.value().owner;
+      record.role_key = parsed.value().role_key;
+      record.rights = parsed.value().rights;
+      roles_[record.role] = record;
+      return net::make_reply(request, net::MsgType::kRoleCreateReply,
+                             RoleCreateReplyPayload{record.role});
+    }
+    case net::MsgType::kRoleLookup: {
+      auto parsed =
+          wire::decode_from_bytes<RoleLookupPayload>(request.payload);
+      if (!parsed.is_ok()) {
+        return net::make_error_reply(request, parsed.status());
+      }
+      lookups_ += 1;
+      auto record = lookup(parsed.value().role);
+      if (!record.is_ok()) {
+        return net::make_error_reply(request, record.status());
+      }
+      return net::make_reply(request, net::MsgType::kRoleLookupReply,
+                             record.value());
+    }
+    default:
+      return net::make_error_reply(
+          request, util::fail(ErrorCode::kProtocolError,
+                              "role registry cannot handle this message"));
+  }
+}
+
+util::Result<CreatedRole> dssa_create_role(
+    net::SimNet& net, const PrincipalName& owner,
+    const PrincipalName& registry, std::vector<core::ObjectRights> rights) {
+  CreatedRole created;
+  created.key = crypto::SigningKeyPair::generate();
+
+  RoleCreatePayload req;
+  req.owner = owner;
+  req.role_key = created.key.public_key();
+  req.rights = std::move(rights);
+  RPROXY_ASSIGN_OR_RETURN(
+      RoleCreateReplyPayload reply,
+      (net::call<RoleCreateReplyPayload>(net, owner, registry,
+                                         net::MsgType::kRoleCreate,
+                                         net::MsgType::kRoleCreateReply,
+                                         req)));
+  created.role = reply.role;
+  return created;
+}
+
+DssaDelegationCert dssa_delegate(const PrincipalName& role,
+                                 const crypto::SigningKeyPair& role_key,
+                                 const PrincipalName& delegate,
+                                 util::TimePoint now,
+                                 util::Duration lifetime) {
+  DssaDelegationCert cert;
+  cert.role = role;
+  cert.delegate = delegate;
+  cert.expires_at = now + lifetime;
+  cert.signature = crypto::sign(role_key, cert.signed_bytes());
+  return cert;
+}
+
+util::Result<PrincipalName> dssa_verify(
+    net::SimNet& net, const PrincipalName& end_server,
+    const PrincipalName& registry, const DssaDelegationCert& cert,
+    const PrincipalName& presenter, const Operation& operation,
+    const ObjectName& object, util::TimePoint now) {
+  // The round trip restricted proxies avoid: resolve the role's record.
+  RPROXY_ASSIGN_OR_RETURN(
+      DssaRoleRecord record,
+      (net::call<DssaRoleRecord>(net, end_server, registry,
+                                 net::MsgType::kRoleLookup,
+                                 net::MsgType::kRoleLookupReply,
+                                 RoleLookupPayload{cert.role})));
+  if (cert.expires_at < now) {
+    return util::fail(ErrorCode::kExpired, "delegation expired");
+  }
+  RPROXY_RETURN_IF_ERROR(crypto::verify_status(
+      record.role_key, cert.signed_bytes(), cert.signature,
+      "DSSA delegation"));
+  if (cert.delegate != presenter) {
+    return util::fail(ErrorCode::kNotGrantee,
+                      "delegation names '" + cert.delegate + "', not '" +
+                          presenter + "'");
+  }
+  const bool allowed = std::any_of(
+      record.rights.begin(), record.rights.end(),
+      [&](const core::ObjectRights& r) {
+        if (r.object != object && r.object != "*") return false;
+        return r.operations.empty() ||
+               std::find(r.operations.begin(), r.operations.end(),
+                         operation) != r.operations.end();
+      });
+  if (!allowed) {
+    return util::fail(ErrorCode::kRestrictionViolated,
+                      "role '" + cert.role + "' does not authorize '" +
+                          operation + "' on '" + object + "'");
+  }
+  return record.owner;
+}
+
+}  // namespace rproxy::baseline

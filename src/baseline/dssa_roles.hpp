@@ -1,0 +1,129 @@
+// Baseline: DSSA-style role delegation (§5, [4][5]).
+//
+// "In the DSSA, restrictions are supported only by creating separate
+// principals, called roles, and by generating a delegation certificate for
+// one of the roles instead of for the original principal. ... The creation
+// of a new role is cumbersome when delegating on the fly or when granting
+// access to individual objects."
+//
+// Model: a role is a fresh principal with a FIXED rights subset, created
+// by its owner and registered with a central role registry (one round
+// trip).  The owner then signs a delegation certificate letting a delegate
+// act as the role.  An end-server verifying a delegation must resolve the
+// role's record — its key and its rights — from the registry (another
+// round trip, cacheable).  Restricting a delegation "on the fly" therefore
+// costs a registry round trip per distinct restriction set, where the
+// restricted-proxy model just writes the restrictions into a certificate
+// offline.  Roles also cannot express the authorization server of §3.2
+// (the paper's point: "Roles can not be used to implement the
+// authorization server").
+#pragma once
+
+#include "core/restriction.hpp"
+#include "crypto/signature.hpp"
+#include "net/rpc.hpp"
+#include "util/clock.hpp"
+
+namespace rproxy::baseline {
+
+/// A role's registered record.
+struct DssaRoleRecord {
+  PrincipalName role;            ///< generated unique role name
+  PrincipalName owner;           ///< whose rights the role carves out
+  crypto::VerifyKey role_key;    ///< verifies delegation certificates
+  std::vector<core::ObjectRights> rights;  ///< the FIXED subset
+
+  void encode(wire::Encoder& enc) const;
+  static DssaRoleRecord decode(wire::Decoder& dec);
+};
+
+/// Role-creation request: the owner registers a fresh role.
+struct RoleCreatePayload {
+  PrincipalName owner;
+  crypto::VerifyKey role_key;
+  std::vector<core::ObjectRights> rights;
+
+  void encode(wire::Encoder& enc) const;
+  static RoleCreatePayload decode(wire::Decoder& dec);
+};
+
+struct RoleCreateReplyPayload {
+  PrincipalName role;
+
+  void encode(wire::Encoder& enc) const { enc.str(role); }
+  static RoleCreateReplyPayload decode(wire::Decoder& dec) {
+    return RoleCreateReplyPayload{dec.str()};
+  }
+};
+
+struct RoleLookupPayload {
+  PrincipalName role;
+
+  void encode(wire::Encoder& enc) const { enc.str(role); }
+  static RoleLookupPayload decode(wire::Decoder& dec) {
+    return RoleLookupPayload{dec.str()};
+  }
+};
+
+/// A delegation certificate: the role's key signs over the delegate.
+struct DssaDelegationCert {
+  PrincipalName role;
+  PrincipalName delegate;
+  util::TimePoint expires_at = 0;
+  util::Bytes signature;  ///< Ed25519 by the role key
+
+  void encode(wire::Encoder& enc) const;
+  static DssaDelegationCert decode(wire::Decoder& dec);
+  [[nodiscard]] util::Bytes signed_bytes() const;
+};
+
+/// The central registry of roles.
+class DssaRegistry final : public net::Node {
+ public:
+  explicit DssaRegistry(PrincipalName name) : name_(std::move(name)) {}
+
+  /// Local lookup (used by co-located verifiers and tests).
+  [[nodiscard]] util::Result<DssaRoleRecord> lookup(
+      const PrincipalName& role) const;
+
+  [[nodiscard]] std::uint64_t roles_created() const { return created_; }
+  [[nodiscard]] std::uint64_t lookups_served() const { return lookups_; }
+
+  net::Envelope handle(const net::Envelope& request) override;
+
+  [[nodiscard]] const PrincipalName& name() const { return name_; }
+
+ private:
+  PrincipalName name_;
+  std::map<PrincipalName, DssaRoleRecord> roles_;
+  std::uint64_t created_ = 0;
+  std::uint64_t lookups_ = 0;
+};
+
+/// Owner-side: create a role over the network.  Returns the role name and
+/// the role's private key (kept by the owner for signing delegations).
+struct CreatedRole {
+  PrincipalName role;
+  crypto::SigningKeyPair key;
+};
+[[nodiscard]] util::Result<CreatedRole> dssa_create_role(
+    net::SimNet& net, const PrincipalName& owner,
+    const PrincipalName& registry,
+    std::vector<core::ObjectRights> rights);
+
+/// Owner-side: sign a delegation certificate for `delegate`.
+[[nodiscard]] DssaDelegationCert dssa_delegate(
+    const PrincipalName& role, const crypto::SigningKeyPair& role_key,
+    const PrincipalName& delegate, util::TimePoint now,
+    util::Duration lifetime);
+
+/// End-server-side: resolve the role from the registry (a round trip) and
+/// check the delegation and the requested access against its fixed rights.
+/// Returns the role owner, whose rights the access exercises.
+[[nodiscard]] util::Result<PrincipalName> dssa_verify(
+    net::SimNet& net, const PrincipalName& end_server,
+    const PrincipalName& registry, const DssaDelegationCert& cert,
+    const PrincipalName& presenter, const Operation& operation,
+    const ObjectName& object, util::TimePoint now);
+
+}  // namespace rproxy::baseline

@@ -1,0 +1,96 @@
+#include "baseline/plain_capability.hpp"
+
+#include "crypto/random.hpp"
+#include "util/bytes.hpp"
+
+namespace rproxy::baseline {
+
+using util::ErrorCode;
+
+void PlainCapRequestPayload::encode(wire::Encoder& enc) const {
+  enc.bytes(token);
+  enc.str(operation);
+  enc.str(object);
+}
+
+PlainCapRequestPayload PlainCapRequestPayload::decode(wire::Decoder& dec) {
+  PlainCapRequestPayload p;
+  p.token = dec.bytes();
+  p.operation = dec.str();
+  p.object = dec.str();
+  return p;
+}
+
+util::Bytes PlainCapabilityServer::mint(const Operation& operation,
+                                        const ObjectName& object,
+                                        util::Duration lifetime) {
+  util::Bytes token = crypto::random_bytes(16);
+  grants_[util::to_hex(token)] =
+      Grant{operation, object, clock_.now() + lifetime};
+  return token;
+}
+
+void PlainCapabilityServer::revoke(const util::Bytes& token) {
+  grants_.erase(util::to_hex(token));
+}
+
+net::Envelope PlainCapabilityServer::handle(const net::Envelope& request) {
+  if (request.type != net::MsgType::kAppRequest) {
+    return net::make_error_reply(
+        request, util::fail(ErrorCode::kProtocolError,
+                            "capability server only serves app requests"));
+  }
+  auto parsed =
+      wire::decode_from_bytes<PlainCapRequestPayload>(request.payload);
+  if (!parsed.is_ok()) return net::make_error_reply(request, parsed.status());
+  const PlainCapRequestPayload& req = parsed.value();
+
+  auto it = grants_.find(util::to_hex(req.token));
+  if (it == grants_.end()) {
+    return net::make_error_reply(
+        request,
+        util::fail(ErrorCode::kPermissionDenied, "unknown capability"));
+  }
+  const Grant& grant = it->second;
+  if (grant.expires_at < clock_.now()) {
+    return net::make_error_reply(
+        request, util::fail(ErrorCode::kExpired, "capability expired"));
+  }
+  if (grant.operation != req.operation || grant.object != req.object) {
+    return net::make_error_reply(
+        request, util::fail(ErrorCode::kPermissionDenied,
+                            "capability does not cover this request"));
+  }
+
+  served_ += 1;
+  PlainCapReplyPayload reply;
+  if (req.operation == "read") {
+    auto file = files_.find(req.object);
+    if (file == files_.end()) {
+      return net::make_error_reply(
+          request, util::fail(ErrorCode::kNotFound, "no such file"));
+    }
+    reply.result = util::to_bytes(file->second);
+  }
+  return net::make_reply(request, net::MsgType::kAppReply, reply);
+}
+
+util::Result<util::Bytes> plain_cap_invoke(net::SimNet& net,
+                                           const PrincipalName& self,
+                                           const PrincipalName& server,
+                                           const util::Bytes& token,
+                                           const Operation& operation,
+                                           const ObjectName& object) {
+  PlainCapRequestPayload req;
+  req.token = token;
+  req.operation = operation;
+  req.object = object;
+  RPROXY_ASSIGN_OR_RETURN(
+      PlainCapReplyPayload reply,
+      (net::call<PlainCapReplyPayload>(net, self, server,
+                                       net::MsgType::kAppRequest,
+                                       net::MsgType::kAppReply, req)));
+  return std::move(reply.result);
+}
+
+}  // namespace rproxy::baseline

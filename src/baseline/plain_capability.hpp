@@ -1,0 +1,84 @@
+// Baseline: traditional wire capabilities (§3.1's contrast).
+//
+// A traditional capability is a secret token presented in full with every
+// request.  The paper's point: "an attacker can not obtain such a
+// capability [a restricted proxy] by tapping the network to observe the
+// presentation of capabilities by legitimate users" — whereas here, one
+// observed request hands the attacker a working capability.  The attack
+// tests and bench T3 demonstrate exactly that with a net::RecordingTap.
+#pragma once
+
+#include <map>
+
+#include "net/rpc.hpp"
+#include "util/names.hpp"
+
+namespace rproxy::baseline {
+
+/// Request: the whole capability rides along.
+struct PlainCapRequestPayload {
+  util::Bytes token;  ///< THE capability (secret!)
+  Operation operation;
+  ObjectName object;
+
+  void encode(wire::Encoder& enc) const;
+  static PlainCapRequestPayload decode(wire::Decoder& dec);
+};
+
+struct PlainCapReplyPayload {
+  util::Bytes result;
+
+  void encode(wire::Encoder& enc) const { enc.bytes(result); }
+  static PlainCapReplyPayload decode(wire::Decoder& dec) {
+    return PlainCapReplyPayload{dec.bytes()};
+  }
+};
+
+/// A file-server-like end-server using traditional capabilities.
+class PlainCapabilityServer final : public net::Node {
+ public:
+  PlainCapabilityServer(PrincipalName name, const util::Clock& clock)
+      : name_(std::move(name)), clock_(clock) {}
+
+  /// Mints a capability for `operation` on `object`; the returned token IS
+  /// the capability.
+  [[nodiscard]] util::Bytes mint(const Operation& operation,
+                                 const ObjectName& object,
+                                 util::Duration lifetime);
+
+  /// Revokes one token.  (Note the contrast with §3.1: proxy capabilities
+  /// are revoked by changing the grantor's rights, covering all copies —
+  /// here every outstanding copy must be found.)
+  void revoke(const util::Bytes& token);
+
+  void put_file(const ObjectName& path, std::string contents) {
+    files_[path] = std::move(contents);
+  }
+
+  [[nodiscard]] std::uint64_t operations_served() const { return served_; }
+
+  net::Envelope handle(const net::Envelope& request) override;
+
+  [[nodiscard]] const PrincipalName& name() const { return name_; }
+
+ private:
+  struct Grant {
+    Operation operation;
+    ObjectName object;
+    util::TimePoint expires_at = 0;
+  };
+
+  PrincipalName name_;
+  const util::Clock& clock_;
+  std::map<std::string, Grant> grants_;  // hex(token) -> grant
+  std::map<ObjectName, std::string> files_;
+  std::uint64_t served_ = 0;
+};
+
+/// Client-side invocation.
+[[nodiscard]] util::Result<util::Bytes> plain_cap_invoke(
+    net::SimNet& net, const PrincipalName& self, const PrincipalName& server,
+    const util::Bytes& token, const Operation& operation,
+    const ObjectName& object);
+
+}  // namespace rproxy::baseline

@@ -1,0 +1,114 @@
+#include "baseline/prepaid_bank.hpp"
+
+namespace rproxy::baseline {
+
+using util::ErrorCode;
+
+void PrepayPayload::encode(wire::Encoder& enc) const {
+  enc.str(client);
+  enc.str(server);
+  enc.str(currency);
+  enc.u64(amount);
+}
+
+PrepayPayload PrepayPayload::decode(wire::Decoder& dec) {
+  PrepayPayload p;
+  p.client = dec.str();
+  p.server = dec.str();
+  p.currency = dec.str();
+  p.amount = dec.u64();
+  return p;
+}
+
+void PrepayReplyPayload::encode(wire::Encoder& enc) const {
+  enc.boolean(ok);
+  enc.i64(server_balance_for_client);
+}
+
+PrepayReplyPayload PrepayReplyPayload::decode(wire::Decoder& dec) {
+  PrepayReplyPayload p;
+  p.ok = dec.boolean();
+  p.server_balance_for_client = dec.i64();
+  return p;
+}
+
+void PrepaidBank::open_account(const PrincipalName& who,
+                               accounting::Balances initial) {
+  accounts_[who] = std::move(initial);
+}
+
+std::int64_t PrepaidBank::balance(
+    const PrincipalName& who, const accounting::Currency& currency) const {
+  auto it = accounts_.find(who);
+  return it == accounts_.end() ? 0 : it->second.balance(currency);
+}
+
+util::Status PrepaidBank::draw_down(const PrincipalName& server,
+                                    const PrincipalName& client,
+                                    const accounting::Currency& currency,
+                                    std::uint64_t amount) {
+  auto it = prepaid_.find({server, client, currency});
+  const std::int64_t available = it == prepaid_.end() ? 0 : it->second;
+  if (available < static_cast<std::int64_t>(amount)) {
+    return util::fail(ErrorCode::kInsufficientFunds,
+                      "prepaid funds exhausted");
+  }
+  it->second -= static_cast<std::int64_t>(amount);
+  // The server's own account receives the spent funds.
+  accounts_[server].credit(currency, static_cast<std::int64_t>(amount));
+  return util::Status::ok();
+}
+
+std::int64_t PrepaidBank::prepaid(
+    const PrincipalName& server, const PrincipalName& client,
+    const accounting::Currency& currency) const {
+  auto it = prepaid_.find({server, client, currency});
+  return it == prepaid_.end() ? 0 : it->second;
+}
+
+net::Envelope PrepaidBank::handle(const net::Envelope& request) {
+  if (request.type != net::MsgType::kPrepayDeposit) {
+    return net::make_error_reply(
+        request, util::fail(ErrorCode::kProtocolError,
+                            "bank only handles prepay deposits"));
+  }
+  auto parsed = wire::decode_from_bytes<PrepayPayload>(request.payload);
+  if (!parsed.is_ok()) return net::make_error_reply(request, parsed.status());
+  const PrepayPayload& req = parsed.value();
+
+  auto account = accounts_.find(req.client);
+  if (account == accounts_.end()) {
+    return net::make_error_reply(
+        request, util::fail(ErrorCode::kNotFound, "no such bank account"));
+  }
+  util::Status debited = account->second.debit(
+      req.currency, static_cast<std::int64_t>(req.amount));
+  if (!debited.is_ok()) return net::make_error_reply(request, debited);
+
+  auto& pool = prepaid_[{req.server, req.client, req.currency}];
+  pool += static_cast<std::int64_t>(req.amount);
+
+  PrepayReplyPayload reply;
+  reply.ok = true;
+  reply.server_balance_for_client = pool;
+  return net::make_reply(request, net::MsgType::kPrepayDepositReply, reply);
+}
+
+util::Result<PrepayReplyPayload> prepay(net::SimNet& net,
+                                        const PrincipalName& client,
+                                        const PrincipalName& bank,
+                                        const PrincipalName& server,
+                                        const accounting::Currency& currency,
+                                        std::uint64_t amount) {
+  PrepayPayload req;
+  req.client = client;
+  req.server = server;
+  req.currency = currency;
+  req.amount = amount;
+  return net::call<PrepayReplyPayload>(net, client, bank,
+                                       net::MsgType::kPrepayDeposit,
+                                       net::MsgType::kPrepayDepositReply,
+                                       req);
+}
+
+}  // namespace rproxy::baseline

@@ -1,0 +1,81 @@
+// Baseline: the Amoeba bank server (§5).
+//
+// "In Amoeba, a client must contact the bank and transfer funds into the
+// server's account before it contacts the server.  The server will then
+// provide services until the pre-paid funds have been exhausted."
+//
+// Contrast with checks (§4): prepay requires a bank round trip BEFORE the
+// first request to each new server and strands any unspent balance there;
+// checks are written offline and clear after service.  Bench T4 compares
+// the message counts and latencies of the two shapes.
+#pragma once
+
+#include "accounting/currency.hpp"
+#include "net/rpc.hpp"
+#include "util/clock.hpp"
+#include "util/names.hpp"
+
+namespace rproxy::baseline {
+
+/// Prepay request: move funds from the client's bank account into the
+/// server's.  (Client authentication elided — this baseline models message
+/// flow and fund placement, not the authentication layer.)
+struct PrepayPayload {
+  PrincipalName client;
+  PrincipalName server;
+  accounting::Currency currency;
+  std::uint64_t amount = 0;
+
+  void encode(wire::Encoder& enc) const;
+  static PrepayPayload decode(wire::Decoder& dec);
+};
+
+struct PrepayReplyPayload {
+  bool ok = false;
+  std::int64_t server_balance_for_client = 0;
+
+  void encode(wire::Encoder& enc) const;
+  static PrepayReplyPayload decode(wire::Decoder& dec);
+};
+
+/// The bank: per-principal balances plus, per (server, client), the
+/// prepaid amount the server may draw down.
+class PrepaidBank final : public net::Node {
+ public:
+  explicit PrepaidBank(PrincipalName name) : name_(std::move(name)) {}
+
+  void open_account(const PrincipalName& who, accounting::Balances initial);
+  [[nodiscard]] std::int64_t balance(const PrincipalName& who,
+                                     const accounting::Currency& currency) const;
+
+  /// Server-side: consume prepaid funds for one operation.  Local call —
+  /// in Amoeba the server trusts its own record of prepaid funds.
+  [[nodiscard]] util::Status draw_down(const PrincipalName& server,
+                                       const PrincipalName& client,
+                                       const accounting::Currency& currency,
+                                       std::uint64_t amount);
+
+  /// Prepaid funds remaining for (server, client).
+  [[nodiscard]] std::int64_t prepaid(const PrincipalName& server,
+                                     const PrincipalName& client,
+                                     const accounting::Currency& currency) const;
+
+  net::Envelope handle(const net::Envelope& request) override;
+
+  [[nodiscard]] const PrincipalName& name() const { return name_; }
+
+ private:
+  PrincipalName name_;
+  std::map<PrincipalName, accounting::Balances> accounts_;
+  std::map<std::tuple<PrincipalName, PrincipalName, accounting::Currency>,
+           std::int64_t>
+      prepaid_;
+};
+
+/// Client-side prepay round trip.
+[[nodiscard]] util::Result<PrepayReplyPayload> prepay(
+    net::SimNet& net, const PrincipalName& client, const PrincipalName& bank,
+    const PrincipalName& server, const accounting::Currency& currency,
+    std::uint64_t amount);
+
+}  // namespace rproxy::baseline

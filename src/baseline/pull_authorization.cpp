@@ -1,0 +1,124 @@
+#include "baseline/pull_authorization.hpp"
+
+namespace rproxy::baseline {
+
+using util::ErrorCode;
+
+void PullQueryPayload::encode(wire::Encoder& enc) const {
+  enc.str(client);
+  enc.str(operation);
+  enc.str(object);
+}
+
+PullQueryPayload PullQueryPayload::decode(wire::Decoder& dec) {
+  PullQueryPayload p;
+  p.client = dec.str();
+  p.operation = dec.str();
+  p.object = dec.str();
+  return p;
+}
+
+void PullOpPayload::encode(wire::Encoder& enc) const {
+  enc.str(client);
+  enc.str(operation);
+  enc.str(object);
+}
+
+PullOpPayload PullOpPayload::decode(wire::Decoder& dec) {
+  PullOpPayload p;
+  p.client = dec.str();
+  p.operation = dec.str();
+  p.object = dec.str();
+  return p;
+}
+
+void RegistrationServer::grant(const PrincipalName& client,
+                               const Operation& operation,
+                               const ObjectName& object) {
+  rights_.insert({client, operation, object});
+}
+
+void RegistrationServer::revoke(const PrincipalName& client,
+                                const Operation& operation,
+                                const ObjectName& object) {
+  rights_.erase({client, operation, object});
+}
+
+bool RegistrationServer::allowed(const PrincipalName& client,
+                                 const Operation& operation,
+                                 const ObjectName& object) const {
+  return rights_.contains({client, operation, object});
+}
+
+net::Envelope RegistrationServer::handle(const net::Envelope& request) {
+  if (request.type != net::MsgType::kPullAuthzQuery) {
+    return net::make_error_reply(
+        request, util::fail(ErrorCode::kProtocolError,
+                            "registration server only answers queries"));
+  }
+  auto parsed = wire::decode_from_bytes<PullQueryPayload>(request.payload);
+  if (!parsed.is_ok()) return net::make_error_reply(request, parsed.status());
+  queries_ += 1;
+  PullReplyPayload reply;
+  reply.allowed = allowed(parsed.value().client, parsed.value().operation,
+                          parsed.value().object);
+  return net::make_reply(request, net::MsgType::kPullAuthzReply, reply);
+}
+
+net::Envelope PullAuthEndServer::handle(const net::Envelope& request) {
+  if (request.type != net::MsgType::kAppRequest) {
+    return net::make_error_reply(
+        request, util::fail(ErrorCode::kProtocolError,
+                            "pull-auth end-server only serves app requests"));
+  }
+  auto parsed = wire::decode_from_bytes<PullOpPayload>(request.payload);
+  if (!parsed.is_ok()) return net::make_error_reply(request, parsed.status());
+  const PullOpPayload& req = parsed.value();
+  const util::TimePoint now = clock_.now();
+
+  const auto key = std::make_tuple(req.client, req.operation, req.object);
+  bool allowed = false;
+  if (auto it = cache_.find(key);
+      it != cache_.end() && it->second >= now) {
+    allowed = true;  // positive cache hit
+  } else {
+    // The defining round trip of the pull model.
+    lookups_ += 1;
+    PullQueryPayload query;
+    query.client = req.client;
+    query.operation = req.operation;
+    query.object = req.object;
+    auto reply = net::call<PullReplyPayload>(
+        net_, name_, registration_server_, net::MsgType::kPullAuthzQuery,
+        net::MsgType::kPullAuthzReply, query);
+    if (!reply.is_ok()) return net::make_error_reply(request, reply.status());
+    allowed = reply.value().allowed;
+    if (allowed && cache_ttl_ > 0) cache_[key] = now + cache_ttl_;
+  }
+
+  if (!allowed) {
+    return net::make_error_reply(
+        request, util::fail(ErrorCode::kPermissionDenied,
+                            "registration server says no"));
+  }
+  served_ += 1;
+  PullReplyPayload ok;
+  ok.allowed = true;
+  return net::make_reply(request, net::MsgType::kAppReply, ok);
+}
+
+util::Status pull_invoke(net::SimNet& net, const PrincipalName& client,
+                         const PrincipalName& server,
+                         const Operation& operation,
+                         const ObjectName& object) {
+  PullOpPayload req;
+  req.client = client;
+  req.operation = operation;
+  req.object = object;
+  auto reply = net::call<PullReplyPayload>(net, client, server,
+                                           net::MsgType::kAppRequest,
+                                           net::MsgType::kAppReply, req);
+  return reply.is_ok() ? util::Status::ok() : reply.status();
+}
+
+}  // namespace rproxy::baseline

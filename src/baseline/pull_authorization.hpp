@@ -1,0 +1,120 @@
+// Baseline: pull-model authorization (Grapevine / Sun Yellow Pages, §5).
+//
+// "End-servers query registration servers to determine whether a client is
+// a member of a particular group ... In both approaches, the authorization
+// decision remains with the local system."  The end-server pays a
+// registration-server round trip on (at least) every uncached request; the
+// proxy model replaces that with a client-presented credential verified
+// offline.  Bench Fig3/T3 sweeps operations-per-grant to show the
+// crossover.
+#pragma once
+
+#include <set>
+
+#include "net/rpc.hpp"
+#include "util/clock.hpp"
+#include "util/names.hpp"
+
+namespace rproxy::baseline {
+
+/// Query: may `client` perform `operation` on `object`?
+struct PullQueryPayload {
+  PrincipalName client;
+  Operation operation;
+  ObjectName object;
+
+  void encode(wire::Encoder& enc) const;
+  static PullQueryPayload decode(wire::Decoder& dec);
+};
+
+struct PullReplyPayload {
+  bool allowed = false;
+
+  void encode(wire::Encoder& enc) const { enc.boolean(allowed); }
+  static PullReplyPayload decode(wire::Decoder& dec) {
+    return PullReplyPayload{dec.boolean()};
+  }
+};
+
+/// Central registration server holding the authorization database.
+class RegistrationServer final : public net::Node {
+ public:
+  explicit RegistrationServer(PrincipalName name) : name_(std::move(name)) {}
+
+  /// Grants `client` the right to `operation` on `object`.
+  void grant(const PrincipalName& client, const Operation& operation,
+             const ObjectName& object);
+  void revoke(const PrincipalName& client, const Operation& operation,
+              const ObjectName& object);
+
+  [[nodiscard]] bool allowed(const PrincipalName& client,
+                             const Operation& operation,
+                             const ObjectName& object) const;
+
+  [[nodiscard]] std::uint64_t queries_served() const { return queries_; }
+
+  net::Envelope handle(const net::Envelope& request) override;
+
+  [[nodiscard]] const PrincipalName& name() const { return name_; }
+
+ private:
+  PrincipalName name_;
+  std::set<std::tuple<PrincipalName, Operation, ObjectName>> rights_;
+  std::uint64_t queries_ = 0;
+};
+
+/// End-server that consults the registration server for every request
+/// (optionally with a positive-entry cache of configurable TTL, modeling
+/// the /etc/group-style caching real deployments bolt on).
+class PullAuthEndServer final : public net::Node {
+ public:
+  PullAuthEndServer(PrincipalName name, PrincipalName registration_server,
+                    net::SimNet& net, const util::Clock& clock,
+                    util::Duration cache_ttl = 0)
+      : name_(std::move(name)),
+        registration_server_(std::move(registration_server)),
+        net_(net),
+        clock_(clock),
+        cache_ttl_(cache_ttl) {}
+
+  net::Envelope handle(const net::Envelope& request) override;
+
+  [[nodiscard]] std::uint64_t operations_served() const { return served_; }
+  [[nodiscard]] std::uint64_t registration_queries() const {
+    return lookups_;
+  }
+
+  [[nodiscard]] const PrincipalName& name() const { return name_; }
+
+ private:
+  PrincipalName name_;
+  PrincipalName registration_server_;
+  net::SimNet& net_;
+  const util::Clock& clock_;
+  util::Duration cache_ttl_;
+  std::map<std::tuple<PrincipalName, Operation, ObjectName>, util::TimePoint>
+      cache_;
+  std::uint64_t served_ = 0;
+  std::uint64_t lookups_ = 0;
+};
+
+/// Client request to a PullAuthEndServer.  The client is taken at its word
+/// about its name (this baseline models authorization cost, not
+/// authentication; pair with Kerberos in real deployments).
+struct PullOpPayload {
+  PrincipalName client;
+  Operation operation;
+  ObjectName object;
+
+  void encode(wire::Encoder& enc) const;
+  static PullOpPayload decode(wire::Decoder& dec);
+};
+
+/// Client-side invocation against a PullAuthEndServer.
+[[nodiscard]] util::Status pull_invoke(net::SimNet& net,
+                                       const PrincipalName& client,
+                                       const PrincipalName& server,
+                                       const Operation& operation,
+                                       const ObjectName& object);
+
+}  // namespace rproxy::baseline

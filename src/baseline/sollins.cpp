@@ -1,0 +1,181 @@
+#include "baseline/sollins.hpp"
+
+#include "crypto/random.hpp"
+
+namespace rproxy::baseline {
+
+using util::ErrorCode;
+
+void SollinsLink::encode(wire::Encoder& enc) const {
+  enc.str(from);
+  enc.str(to);
+  restrictions.encode(enc);
+  enc.i64(expires_at);
+  enc.bytes(mac);
+}
+
+SollinsLink SollinsLink::decode(wire::Decoder& dec) {
+  SollinsLink link;
+  link.from = dec.str();
+  link.to = dec.str();
+  link.restrictions = core::RestrictionSet::decode(dec);
+  link.expires_at = dec.i64();
+  link.mac = dec.bytes();
+  return link;
+}
+
+util::Bytes SollinsLink::signed_bytes(std::uint64_t passport_id) const {
+  wire::Encoder enc;
+  enc.str("sollins-link-v1");
+  enc.u64(passport_id);
+  enc.str(from);
+  enc.str(to);
+  restrictions.encode(enc);
+  enc.i64(expires_at);
+  return enc.take();
+}
+
+void SollinsPassport::encode(wire::Encoder& enc) const {
+  enc.u64(id);
+  enc.str(origin);
+  enc.seq(links,
+          [](wire::Encoder& e, const SollinsLink& l) { l.encode(e); });
+}
+
+SollinsPassport SollinsPassport::decode(wire::Decoder& dec) {
+  SollinsPassport p;
+  p.id = dec.u64();
+  p.origin = dec.str();
+  p.links = dec.seq<SollinsLink>(
+      [](wire::Decoder& d) { return SollinsLink::decode(d); });
+  return p;
+}
+
+void SollinsVerifyReply::encode(wire::Encoder& enc) const {
+  enc.boolean(valid);
+  enc.str(origin);
+  enc.str(holder);
+  effective.encode(enc);
+}
+
+SollinsVerifyReply SollinsVerifyReply::decode(wire::Decoder& dec) {
+  SollinsVerifyReply r;
+  r.valid = dec.boolean();
+  r.origin = dec.str();
+  r.holder = dec.str();
+  r.effective = core::RestrictionSet::decode(dec);
+  return r;
+}
+
+crypto::SymmetricKey SollinsAuthServer::register_principal(
+    const PrincipalName& name) {
+  crypto::SymmetricKey secret = crypto::SymmetricKey::generate();
+  secrets_[name] = secret;
+  return secret;
+}
+
+util::Result<SollinsVerifyReply> SollinsAuthServer::verify(
+    const SollinsPassport& passport, util::TimePoint now) const {
+  if (passport.links.empty()) {
+    return util::fail(ErrorCode::kParseError, "empty passport");
+  }
+  SollinsVerifyReply reply;
+  reply.origin = passport.origin;
+
+  PrincipalName expected_from = passport.origin;
+  for (const SollinsLink& link : passport.links) {
+    if (link.from != expected_from) {
+      return util::fail(ErrorCode::kProtocolError,
+                        "passport link chain is not contiguous");
+    }
+    if (link.expires_at < now) {
+      return util::fail(ErrorCode::kExpired, "passport link expired");
+    }
+    auto secret = secrets_.find(link.from);
+    if (secret == secrets_.end()) {
+      return util::fail(ErrorCode::kNotFound,
+                        "unregistered principal '" + link.from + "'");
+    }
+    if (!crypto::hmac_verify(secret->second,
+                             link.signed_bytes(passport.id), link.mac)) {
+      return util::fail(ErrorCode::kBadSignature,
+                        "passport link MAC invalid");
+    }
+    reply.effective = reply.effective.merged(link.restrictions);
+    expected_from = link.to;
+  }
+  reply.valid = true;
+  reply.holder = expected_from;
+  return reply;
+}
+
+net::Envelope SollinsAuthServer::handle(const net::Envelope& request) {
+  if (request.type != net::MsgType::kSollinsVerify) {
+    return net::make_error_reply(
+        request, util::fail(ErrorCode::kProtocolError,
+                            "Sollins auth server only verifies passports"));
+  }
+  auto parsed =
+      wire::decode_from_bytes<SollinsVerifyPayload>(request.payload);
+  if (!parsed.is_ok()) return net::make_error_reply(request, parsed.status());
+  auto verified = verify(parsed.value().passport, clock_.now());
+  if (!verified.is_ok()) {
+    return net::make_error_reply(request, verified.status());
+  }
+  return net::make_reply(request, net::MsgType::kSollinsVerifyReply,
+                         verified.value());
+}
+
+namespace {
+SollinsLink make_link(std::uint64_t passport_id, const PrincipalName& from,
+                      const crypto::SymmetricKey& from_secret,
+                      const PrincipalName& to,
+                      core::RestrictionSet restrictions, util::TimePoint now,
+                      util::Duration lifetime) {
+  SollinsLink link;
+  link.from = from;
+  link.to = to;
+  link.restrictions = std::move(restrictions);
+  link.expires_at = now + lifetime;
+  link.mac =
+      crypto::hmac_sha256(from_secret, link.signed_bytes(passport_id));
+  return link;
+}
+}  // namespace
+
+SollinsPassport sollins_create(const PrincipalName& origin,
+                               const crypto::SymmetricKey& origin_secret,
+                               const PrincipalName& to,
+                               core::RestrictionSet restrictions,
+                               util::TimePoint now, util::Duration lifetime) {
+  SollinsPassport passport;
+  passport.id = crypto::random_u64();
+  passport.origin = origin;
+  passport.links.push_back(make_link(passport.id, origin, origin_secret, to,
+                                     std::move(restrictions), now,
+                                     lifetime));
+  return passport;
+}
+
+SollinsPassport sollins_extend(const SollinsPassport& passport,
+                               const PrincipalName& from,
+                               const crypto::SymmetricKey& from_secret,
+                               const PrincipalName& to,
+                               core::RestrictionSet restrictions,
+                               util::TimePoint now, util::Duration lifetime) {
+  SollinsPassport extended = passport;
+  extended.links.push_back(make_link(passport.id, from, from_secret, to,
+                                     std::move(restrictions), now,
+                                     lifetime));
+  return extended;
+}
+
+util::Result<SollinsVerifyReply> sollins_verify_remote(
+    net::SimNet& net, const PrincipalName& end_server,
+    const PrincipalName& auth_server, const SollinsPassport& passport) {
+  return net::call<SollinsVerifyReply>(
+      net, end_server, auth_server, net::MsgType::kSollinsVerify,
+      net::MsgType::kSollinsVerifyReply, SollinsVerifyPayload{passport});
+}
+
+}  // namespace rproxy::baseline

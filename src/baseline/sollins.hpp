@@ -1,0 +1,116 @@
+// Baseline: Sollins' cascaded authentication [11] (§3.4, §5).
+//
+// "A distinct difference between the cascaded authentication approach
+// described by Sollins and the approach described here is that in Sollins's
+// approach the end-server has to contact the authentication server to
+// verify the authenticity of a chain of proxies."
+//
+// Model: principals hold secrets known only to themselves and the
+// authentication server (no key distribution to end-servers).  A passport
+// starts at an origin and accumulates links as it is passed down a
+// pipeline; every link is MACed with its creator's personal secret.  Since
+// only the authentication server holds those secrets, the end-server must
+// ship the passport to the authentication server for verification — one
+// round trip per verification (and, faithfully to the cascaded protocol, a
+// check per link on the server).  The restricted-proxy model verifies the
+// same chain entirely offline; benches Fig4/T3 measure the difference.
+#pragma once
+
+#include "core/restriction_set.hpp"
+#include "crypto/hmac.hpp"
+#include "net/rpc.hpp"
+
+namespace rproxy::baseline {
+
+/// One delegation step in a passport.
+struct SollinsLink {
+  PrincipalName from;  ///< who passed the authority on
+  PrincipalName to;    ///< who received it
+  core::RestrictionSet restrictions;  ///< additions at this step
+  util::TimePoint expires_at = 0;
+  util::Bytes mac;  ///< HMAC by `from`'s personal secret
+
+  void encode(wire::Encoder& enc) const;
+  static SollinsLink decode(wire::Decoder& dec);
+
+  [[nodiscard]] util::Bytes signed_bytes(std::uint64_t passport_id) const;
+};
+
+/// A cascaded-authentication passport.
+struct SollinsPassport {
+  std::uint64_t id = 0;
+  PrincipalName origin;  ///< whose rights flow
+  std::vector<SollinsLink> links;
+
+  void encode(wire::Encoder& enc) const;
+  static SollinsPassport decode(wire::Decoder& dec);
+};
+
+/// Verification request/reply (end-server <-> authentication server).
+struct SollinsVerifyPayload {
+  SollinsPassport passport;
+
+  void encode(wire::Encoder& enc) const { passport.encode(enc); }
+  static SollinsVerifyPayload decode(wire::Decoder& dec) {
+    return SollinsVerifyPayload{SollinsPassport::decode(dec)};
+  }
+};
+
+struct SollinsVerifyReply {
+  bool valid = false;
+  PrincipalName origin;
+  PrincipalName holder;  ///< last link's recipient
+  core::RestrictionSet effective;
+
+  void encode(wire::Encoder& enc) const;
+  static SollinsVerifyReply decode(wire::Decoder& dec);
+};
+
+/// The central authentication server: registers principals (handing each a
+/// personal secret) and verifies passports on demand.
+class SollinsAuthServer final : public net::Node {
+ public:
+  SollinsAuthServer(PrincipalName name, const util::Clock& clock)
+      : name_(std::move(name)), clock_(clock) {}
+
+  /// Registers a principal, returning its personal secret (held by the
+  /// principal and this server only).
+  crypto::SymmetricKey register_principal(const PrincipalName& name);
+
+  /// Local verification (also the handler's core): every link MAC must
+  /// check out, adjacency must hold (link i's `to` is link i+1's `from`),
+  /// and no link may be expired.
+  [[nodiscard]] util::Result<SollinsVerifyReply> verify(
+      const SollinsPassport& passport, util::TimePoint now) const;
+
+  net::Envelope handle(const net::Envelope& request) override;
+
+  [[nodiscard]] const PrincipalName& name() const { return name_; }
+
+ private:
+  PrincipalName name_;
+  const util::Clock& clock_;
+  std::map<PrincipalName, crypto::SymmetricKey> secrets_;
+};
+
+/// Starts a passport: the origin delegates to `to` under `restrictions`.
+[[nodiscard]] SollinsPassport sollins_create(
+    const PrincipalName& origin, const crypto::SymmetricKey& origin_secret,
+    const PrincipalName& to, core::RestrictionSet restrictions,
+    util::TimePoint now, util::Duration lifetime);
+
+/// Extends a passport one hop: `from` (the current holder) delegates to
+/// `to`, adding restrictions.
+[[nodiscard]] SollinsPassport sollins_extend(
+    const SollinsPassport& passport, const PrincipalName& from,
+    const crypto::SymmetricKey& from_secret, const PrincipalName& to,
+    core::RestrictionSet restrictions, util::TimePoint now,
+    util::Duration lifetime);
+
+/// End-server verification: ships the passport to the authentication
+/// server (the round trip the restricted-proxy model avoids).
+[[nodiscard]] util::Result<SollinsVerifyReply> sollins_verify_remote(
+    net::SimNet& net, const PrincipalName& end_server,
+    const PrincipalName& auth_server, const SollinsPassport& passport);
+
+}  // namespace rproxy::baseline

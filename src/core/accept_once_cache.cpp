@@ -1,0 +1,36 @@
+#include "core/accept_once_cache.hpp"
+
+#include "wire/encoder.hpp"
+
+namespace rproxy::core {
+
+util::Bytes AcceptOnceCache::key_(const PrincipalName& grantor,
+                                  std::uint64_t identifier) {
+  wire::Encoder enc;
+  enc.str(grantor);
+  enc.u64(identifier);
+  return enc.take();
+}
+
+util::Status AcceptOnceCache::check_and_insert(const PrincipalName& grantor,
+                                               std::uint64_t identifier,
+                                               util::TimePoint expires_at,
+                                               util::TimePoint now) {
+  util::Status st =
+      cache_.check_and_insert(key_(grantor, identifier), expires_at, now);
+  if (st.is_ok()) {
+    std::lock_guard lock(seen_mutex_);
+    seen_[{grantor, identifier}] = expires_at;
+  }
+  return st;
+}
+
+bool AcceptOnceCache::seen(const PrincipalName& grantor,
+                           std::uint64_t identifier,
+                           util::TimePoint now) const {
+  std::lock_guard lock(seen_mutex_);
+  auto it = seen_.find({grantor, identifier});
+  return it != seen_.end() && it->second >= now;
+}
+
+}  // namespace rproxy::core

@@ -1,0 +1,114 @@
+#include "core/cascade.hpp"
+
+#include <algorithm>
+
+#include "crypto/random.hpp"
+
+namespace rproxy::core {
+
+namespace {
+
+/// Clamp a requested lifetime into the parent's remaining validity.
+util::TimePoint clamped_expiry(const Proxy& parent, util::TimePoint now,
+                               util::Duration lifetime) {
+  const util::TimePoint requested = now + std::max<util::Duration>(lifetime, 0);
+  return parent.expires_at > 0 ? std::min(requested, parent.expires_at)
+                               : requested;
+}
+
+ProxyCertificate base_link(const Proxy& parent, RestrictionSet additional,
+                           util::TimePoint now, util::Duration lifetime) {
+  ProxyCertificate cert;
+  cert.serial = crypto::random_u64();
+  cert.issued_at = now;
+  cert.expires_at = clamped_expiry(parent, now, lifetime);
+  cert.restrictions = std::move(additional);
+  cert.mode = parent.chain.mode;
+  return cert;
+}
+
+}  // namespace
+
+util::Result<Proxy> extend_bearer(const Proxy& parent,
+                                  RestrictionSet additional,
+                                  util::TimePoint now,
+                                  util::Duration lifetime) {
+  if (parent.secret.empty()) {
+    return util::fail(util::ErrorCode::kInternal,
+                      "parent proxy carries no proxy key");
+  }
+
+  ProxyCertificate cert = base_link(parent, std::move(additional), now,
+                                    lifetime);
+  cert.signer = SignerKind::kParentProxyKey;
+
+  Proxy child;
+  child.chain = parent.chain;
+  child.grantor = parent.grantor;
+  child.expires_at = cert.expires_at;
+
+  if (parent.chain.mode == ProxyMode::kPublicKey) {
+    const crypto::SigningKeyPair new_key = crypto::SigningKeyPair::generate();
+    cert.proxy_key_material = new_key.public_key().bytes();
+    const crypto::SigningKeyPair parent_key =
+        crypto::SigningKeyPair::from_private_bytes(parent.secret);
+    cert.signature = crypto::sign(parent_key, cert.signed_bytes());
+    child.secret = new_key.private_bytes();
+  } else {
+    if (parent.secret.size() != crypto::kSymmetricKeySize) {
+      return util::fail(util::ErrorCode::kInternal,
+                        "symmetric parent proxy key has wrong size");
+    }
+    const crypto::SymmetricKey parent_key =
+        crypto::SymmetricKey::from_bytes(parent.secret);
+    const crypto::SymmetricKey new_key = crypto::SymmetricKey::generate();
+    // Seal the next proxy key under the previous one so the end-server can
+    // unwrap the chain; then MAC the whole link with the previous key.
+    cert.proxy_key_material = crypto::aead_seal(
+        parent_key.derive_subkey(kCascadeSealPurpose), new_key.view());
+    cert.signature = crypto::hmac_sha256(
+        parent_key.derive_subkey(kCascadeMacPurpose), cert.signed_bytes());
+    child.secret = new_key.bytes();
+  }
+
+  child.claimed_restrictions =
+      parent.claimed_restrictions.merged(cert.restrictions);
+  child.chain.certs.push_back(std::move(cert));
+  return child;
+}
+
+util::Result<Proxy> extend_delegate(const Proxy& parent,
+                                    const PrincipalName& intermediate,
+                                    const crypto::SigningKeyPair& intermediate_key,
+                                    RestrictionSet additional,
+                                    util::TimePoint now,
+                                    util::Duration lifetime) {
+  if (parent.chain.mode != ProxyMode::kPublicKey) {
+    return util::fail(
+        util::ErrorCode::kProtocolError,
+        "delegate-style cascading requires the public-key realization; "
+        "symmetric chains cascade bearer-style (§6.3 discusses the "
+        "conventional-crypto limitation)");
+  }
+
+  ProxyCertificate cert = base_link(parent, std::move(additional), now,
+                                    lifetime);
+  cert.grantor = intermediate;
+  cert.signer = SignerKind::kIntermediateIdentity;
+
+  const crypto::SigningKeyPair new_key = crypto::SigningKeyPair::generate();
+  cert.proxy_key_material = new_key.public_key().bytes();
+  cert.signature = crypto::sign(intermediate_key, cert.signed_bytes());
+
+  Proxy child;
+  child.chain = parent.chain;
+  child.grantor = parent.grantor;
+  child.expires_at = cert.expires_at;
+  child.secret = new_key.private_bytes();
+  child.claimed_restrictions =
+      parent.claimed_restrictions.merged(cert.restrictions);
+  child.chain.certs.push_back(std::move(cert));
+  return child;
+}
+
+}  // namespace rproxy::core

@@ -1,0 +1,33 @@
+// Cascaded authorization (§3.4, Fig 4).
+//
+// "An intermediate server that has been granted a bearer proxy can pass
+// that proxy to a subordinate server with additional restrictions applied.
+// Restrictions are added by signing a new proxy with the proxy key from the
+// original proxy."  Restrictions only accumulate: the new link's
+// restrictions are IN ADDITION to everything already in the chain, and the
+// chain is presented whole, so nothing can be dropped.
+#pragma once
+
+#include "core/proxy.hpp"
+
+namespace rproxy::core {
+
+/// Extends a proxy bearer-style: the new link is signed with the parent
+/// proxy key (Fig 4).  Works in both modes.  The new expiry is clamped to
+/// the parent's (lifetimes are additive-only too).  Leaves no audit trail —
+/// any holder of the parent key could have made this link.
+[[nodiscard]] util::Result<Proxy> extend_bearer(const Proxy& parent,
+                                                RestrictionSet additional,
+                                                util::TimePoint now,
+                                                util::Duration lifetime);
+
+/// Extends a proxy delegate-style (public-key mode only): the new link is
+/// "signed directly by the intermediate server" (§3.4), which must be a
+/// named grantee of the chain so far.  The intermediate's name in the link
+/// is the audit trail the paper contrasts with bearer cascading.
+[[nodiscard]] util::Result<Proxy> extend_delegate(
+    const Proxy& parent, const PrincipalName& intermediate,
+    const crypto::SigningKeyPair& intermediate_key,
+    RestrictionSet additional, util::TimePoint now, util::Duration lifetime);
+
+}  // namespace rproxy::core

@@ -1,0 +1,43 @@
+#include "core/challenge_registry.hpp"
+
+#include "crypto/random.hpp"
+
+namespace rproxy::core {
+
+ChallengeRegistry::Challenge ChallengeRegistry::issue(util::TimePoint now) {
+  std::lock_guard lock(mutex_);
+  // Opportunistically drop stale entries so abandoned challenges do not
+  // accumulate in long-running servers.
+  for (auto it = challenges_.begin(); it != challenges_.end();) {
+    it = it->second.second < now ? challenges_.erase(it) : std::next(it);
+  }
+  Challenge c;
+  c.id = crypto::random_u64();
+  c.nonce = crypto::random_bytes(32);
+  challenges_[c.id] = {c.nonce, now + ttl_};
+  return c;
+}
+
+util::Result<util::Bytes> ChallengeRegistry::take(std::uint64_t id,
+                                                  util::TimePoint now) {
+  std::lock_guard lock(mutex_);
+  auto it = challenges_.find(id);
+  if (it == challenges_.end()) {
+    return util::fail(util::ErrorCode::kProtocolError,
+                      "unknown or already-used challenge");
+  }
+  if (it->second.second < now) {
+    challenges_.erase(it);
+    return util::fail(util::ErrorCode::kExpired, "challenge expired");
+  }
+  util::Bytes nonce = std::move(it->second.first);
+  challenges_.erase(it);
+  return nonce;
+}
+
+std::size_t ChallengeRegistry::outstanding() const {
+  std::lock_guard lock(mutex_);
+  return challenges_.size();
+}
+
+}  // namespace rproxy::core

@@ -1,0 +1,45 @@
+// Single-use challenge registry.
+//
+// Servers hand out a fresh nonce per presentation and consume it on use —
+// the replay barrier for possession proofs (§2's "server challenge").
+// Shared by end-servers and accounting servers.  Thread-safe.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "util/bytes.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace rproxy::core {
+
+class ChallengeRegistry {
+ public:
+  explicit ChallengeRegistry(util::Duration ttl = 2 * util::kMinute)
+      : ttl_(ttl) {}
+
+  struct Challenge {
+    std::uint64_t id = 0;
+    util::Bytes nonce;
+  };
+
+  /// Issues a fresh challenge valid for the registry's TTL.
+  [[nodiscard]] Challenge issue(util::TimePoint now);
+
+  /// Consumes a challenge: returns its nonce exactly once; later attempts
+  /// (or unknown/expired ids) fail.
+  [[nodiscard]] util::Result<util::Bytes> take(std::uint64_t id,
+                                               util::TimePoint now);
+
+  [[nodiscard]] std::size_t outstanding() const;
+
+ private:
+  mutable std::mutex mutex_;
+  util::Duration ttl_;
+  std::map<std::uint64_t, std::pair<util::Bytes, util::TimePoint>>
+      challenges_;
+};
+
+}  // namespace rproxy::core

@@ -1,0 +1,123 @@
+#include "core/describe.hpp"
+
+#include <sstream>
+
+#include "util/clock.hpp"
+
+namespace rproxy::core {
+
+namespace {
+void join_names(std::ostringstream& os, const std::vector<std::string>& v) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) os << ',';
+    os << v[i];
+  }
+}
+
+void join_groups(std::ostringstream& os, const std::vector<GroupName>& v) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) os << ',';
+    os << v[i].to_string();
+  }
+}
+}  // namespace
+
+std::string describe(const Restriction& restriction) {
+  std::ostringstream os;
+  std::visit(
+      [&os](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, GranteeRestriction>) {
+          os << "grantee{";
+          join_names(os, r.delegates);
+          os << ";" << r.required << "}";
+        } else if constexpr (std::is_same_v<T, ForUseByGroupRestriction>) {
+          os << "for-use-by-group{";
+          join_groups(os, r.groups);
+          os << ";" << r.required << "}";
+        } else if constexpr (std::is_same_v<T, IssuedForRestriction>) {
+          os << "issued-for{";
+          join_names(os, r.servers);
+          os << "}";
+        } else if constexpr (std::is_same_v<T, QuotaRestriction>) {
+          os << "quota{" << r.currency << "<=" << r.limit << "}";
+        } else if constexpr (std::is_same_v<T, AuthorizedRestriction>) {
+          os << "authorized{";
+          for (std::size_t i = 0; i < r.rights.size(); ++i) {
+            if (i > 0) os << ',';
+            os << r.rights[i].object;
+            if (!r.rights[i].operations.empty()) {
+              os << ':';
+              join_names(os, r.rights[i].operations);
+            }
+          }
+          os << "}";
+        } else if constexpr (std::is_same_v<T, GroupMembershipRestriction>) {
+          os << "group-membership{";
+          join_groups(os, r.groups);
+          os << "}";
+        } else if constexpr (std::is_same_v<T, AcceptOnceRestriction>) {
+          os << "accept-once{" << r.identifier << "}";
+        } else {
+          static_assert(std::is_same_v<T, LimitRestriction>);
+          os << "limit{";
+          join_names(os, r.servers);
+          os << ": ";
+          for (std::size_t i = 0; i < r.inner.size(); ++i) {
+            if (i > 0) os << ", ";
+            os << describe(r.inner[i]);
+          }
+          os << "}";
+        }
+      },
+      restriction.value());
+  return os.str();
+}
+
+std::string describe(const RestrictionSet& set) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < set.items().size(); ++i) {
+    if (i > 0) os << ", ";
+    os << describe(set.items()[i]);
+  }
+  os << ']';
+  return os.str();
+}
+
+std::string describe(const ProxyCertificate& cert) {
+  std::ostringstream os;
+  switch (cert.signer) {
+    case SignerKind::kGrantorIdentity:
+      os << "cert<grantor=" << cert.grantor;
+      break;
+    case SignerKind::kParentProxyKey:
+      os << "cert<bearer-link";
+      break;
+    case SignerKind::kIntermediateIdentity:
+      os << "cert<delegate-link by " << cert.grantor;
+      break;
+  }
+  os << " serial=" << std::hex << cert.serial << std::dec
+     << " expires=" << util::format_time(cert.expires_at) << " "
+     << (cert.mode == ProxyMode::kPublicKey ? "pk" : "sym") << " "
+     << describe(cert.restrictions) << ">";
+  return os.str();
+}
+
+std::string describe(const ProxyChain& chain) {
+  std::ostringstream os;
+  os << "chain("
+     << (chain.mode == ProxyMode::kPublicKey ? "public-key" : "symmetric")
+     << ", " << chain.length() << " links)";
+  if (chain.krb_root.has_value()) {
+    os << "\n  [kerberos root: ticket for "
+       << chain.krb_root->ticket.server << "]";
+  }
+  for (const ProxyCertificate& cert : chain.certs) {
+    os << "\n  " << describe(cert);
+  }
+  return os.str();
+}
+
+}  // namespace rproxy::core

@@ -1,0 +1,26 @@
+// Human-readable rendering of credentials.
+//
+// Restrictions are the policy language of this system; operators debugging
+// an authorization failure need to SEE what a chain carries.  These
+// renderers are used by the examples, the audit tooling, and tests.
+#pragma once
+
+#include <string>
+
+#include "core/proxy_certificate.hpp"
+
+namespace rproxy::core {
+
+/// "grantee{alice,bob;2}", "quota{usd<=100}", ...
+[[nodiscard]] std::string describe(const Restriction& restriction);
+
+/// "[grantee{...}, quota{...}]"
+[[nodiscard]] std::string describe(const RestrictionSet& set);
+
+/// One line: grantor, serial, validity, signer kind, restriction summary.
+[[nodiscard]] std::string describe(const ProxyCertificate& cert);
+
+/// Multi-line chain rendering, root first.
+[[nodiscard]] std::string describe(const ProxyChain& chain);
+
+}  // namespace rproxy::core

@@ -1,0 +1,124 @@
+#include "core/presentation.hpp"
+
+#include "crypto/random.hpp"
+
+namespace rproxy::core {
+
+void PossessionProof::encode(wire::Encoder& enc) const {
+  enc.u8(static_cast<std::uint8_t>(kind));
+  enc.i64(timestamp);
+  enc.u64(nonce);
+  enc.bytes(blob);
+}
+
+PossessionProof PossessionProof::decode(wire::Decoder& dec) {
+  PossessionProof proof;
+  proof.kind = static_cast<Kind>(dec.u8());
+  proof.timestamp = dec.i64();
+  proof.nonce = dec.u64();
+  proof.blob = dec.bytes();
+  return proof;
+}
+
+util::Bytes presentation_transcript(util::BytesView challenge,
+                                    const PrincipalName& server,
+                                    util::TimePoint timestamp,
+                                    std::uint64_t nonce,
+                                    util::BytesView request_digest) {
+  wire::Encoder enc;
+  enc.str("proxy-present-v1");
+  enc.bytes(challenge);
+  enc.str(server);
+  enc.i64(timestamp);
+  enc.u64(nonce);
+  enc.bytes(request_digest);
+  return enc.take();
+}
+
+PossessionProof prove_bearer(const Proxy& proxy, util::BytesView challenge,
+                             const PrincipalName& server, util::TimePoint now,
+                             util::BytesView request_digest) {
+  PossessionProof proof;
+  proof.timestamp = now;
+  proof.nonce = crypto::random_u64();
+  const util::Bytes transcript = presentation_transcript(
+      challenge, server, now, proof.nonce, request_digest);
+  if (proxy.chain.mode == ProxyMode::kPublicKey) {
+    proof.kind = PossessionProof::Kind::kBearerSig;
+    const crypto::SigningKeyPair key =
+        crypto::SigningKeyPair::from_private_bytes(proxy.secret);
+    proof.blob = crypto::sign(key, transcript);
+  } else {
+    proof.kind = PossessionProof::Kind::kBearerMac;
+    const crypto::SymmetricKey key =
+        crypto::SymmetricKey::from_bytes(proxy.secret);
+    proof.blob =
+        crypto::hmac_sha256(key.derive_subkey(kPresentPurpose), transcript);
+  }
+  return proof;
+}
+
+void PresentedCredential::encode(wire::Encoder& enc) const {
+  chain.encode(enc);
+  proof.encode(enc);
+}
+
+PresentedCredential PresentedCredential::decode(wire::Decoder& dec) {
+  PresentedCredential cred;
+  cred.chain = ProxyChain::decode(dec);
+  cred.proof = PossessionProof::decode(dec);
+  return cred;
+}
+
+void KrbDelegateProofBlob::encode(wire::Encoder& enc) const {
+  ap.encode(enc);
+  enc.bytes(transcript_mac);
+}
+
+KrbDelegateProofBlob KrbDelegateProofBlob::decode(wire::Decoder& dec) {
+  KrbDelegateProofBlob blob;
+  blob.ap = kdc::ApRequest::decode(dec);
+  blob.transcript_mac = dec.bytes();
+  return blob;
+}
+
+PossessionProof prove_delegate_krb(const kdc::KdcClient& grantee_client,
+                                   const kdc::Credentials& own_creds,
+                                   util::BytesView challenge,
+                                   const PrincipalName& server,
+                                   util::TimePoint now,
+                                   util::BytesView request_digest) {
+  PossessionProof proof;
+  proof.kind = PossessionProof::Kind::kDelegateKrb;
+  proof.timestamp = now;
+  proof.nonce = crypto::random_u64();
+
+  KrbDelegateProofBlob blob;
+  blob.ap = grantee_client.make_ap_request(own_creds);
+  const util::Bytes transcript = presentation_transcript(
+      challenge, server, now, proof.nonce, request_digest);
+  blob.transcript_mac = crypto::hmac_sha256(
+      own_creds.session_key.derive_subkey(kPresentPurpose), transcript);
+  proof.blob = wire::encode_to_bytes(blob);
+  return proof;
+}
+
+PossessionProof prove_delegate_pk(const pki::IdentityCert& identity,
+                                  const crypto::SigningKeyPair& identity_key,
+                                  util::BytesView challenge,
+                                  const PrincipalName& server,
+                                  util::TimePoint now,
+                                  util::BytesView request_digest) {
+  PossessionProof proof;
+  proof.kind = PossessionProof::Kind::kDelegatePk;
+  proof.timestamp = now;
+  proof.nonce = crypto::random_u64();
+  const util::Bytes transcript = presentation_transcript(
+      challenge, server, now, proof.nonce, request_digest);
+  const pki::PkAuthProof pk_proof =
+      pki::pk_authenticate(identity, identity_key, transcript, server, now);
+  proof.blob = wire::encode_to_bytes(pk_proof);
+  return proof;
+}
+
+}  // namespace rproxy::core

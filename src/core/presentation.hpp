@@ -1,0 +1,97 @@
+// Presentation protocol (§2): proving proper possession of a proxy.
+//
+// "To present a bearer proxy to an end-server, the grantee sends the
+// certificate to the server and uses the proxy key to partake in an
+// authentication exchange ... usually this exchange involves sending a
+// signed or encrypted timestamp or server challenge."
+//
+// "To present a delegate proxy, the grantee sends the certificate to the
+// end-server and then authenticates itself to the end-server under its own
+// identity."
+//
+// The proof also binds a digest of the application request, so a proof
+// captured in flight cannot be replayed for a different operation.
+#pragma once
+
+#include "core/proxy.hpp"
+#include "pki/pk_auth.hpp"
+
+namespace rproxy::core {
+
+/// The possession proof accompanying a presented chain.
+struct PossessionProof {
+  enum class Kind : std::uint8_t {
+    kBearerMac = 1,    ///< HMAC under the symmetric proxy key
+    kBearerSig = 2,    ///< Ed25519 signature under the private proxy key
+    kDelegateKrb = 3,  ///< personal authentication: Kerberos AP exchange
+    kDelegatePk = 4,   ///< personal authentication: pk identity signature
+  };
+
+  Kind kind = Kind::kBearerMac;
+  util::TimePoint timestamp = 0;
+  /// Randomizer making every proof unique (timestamp-mode presentations
+  /// key their replay cache on the proof, so two otherwise-identical
+  /// proofs in the same instant must still differ).
+  std::uint64_t nonce = 0;
+  /// kBearerMac: the MAC.  kBearerSig: the signature.  kDelegateKrb: an
+  /// encoded {ApRequest, transcript-MAC under the AP session key}.
+  /// kDelegatePk: an encoded pki::PkAuthProof over the transcript.
+  util::Bytes blob;
+
+  void encode(wire::Encoder& enc) const;
+  static PossessionProof decode(wire::Decoder& dec);
+};
+
+/// Deterministic transcript every proof covers: server challenge, server
+/// name, proof timestamp + nonce, and the digest of the application
+/// request.
+[[nodiscard]] util::Bytes presentation_transcript(
+    util::BytesView challenge, const PrincipalName& server,
+    util::TimePoint timestamp, std::uint64_t nonce,
+    util::BytesView request_digest);
+
+/// Bearer proof with the proxy's own key (MAC or signature per mode).
+[[nodiscard]] PossessionProof prove_bearer(const Proxy& proxy,
+                                           util::BytesView challenge,
+                                           const PrincipalName& server,
+                                           util::TimePoint now,
+                                           util::BytesView request_digest);
+
+/// Delegate proof, Kerberos flavor: a fresh AP request for the end-server
+/// under the grantee's own identity, plus a transcript MAC under the AP
+/// session key (binding the authentication to this challenge and request).
+/// `own_creds` are the grantee's credentials FOR THE END-SERVER.
+[[nodiscard]] PossessionProof prove_delegate_krb(
+    const kdc::KdcClient& grantee_client, const kdc::Credentials& own_creds,
+    util::BytesView challenge, const PrincipalName& server,
+    util::TimePoint now, util::BytesView request_digest);
+
+/// Delegate proof, public-key flavor: identity signature over the
+/// transcript accompanied by the grantee's identity certificate.
+[[nodiscard]] PossessionProof prove_delegate_pk(
+    const pki::IdentityCert& identity,
+    const crypto::SigningKeyPair& identity_key, util::BytesView challenge,
+    const PrincipalName& server, util::TimePoint now,
+    util::BytesView request_digest);
+
+/// A chain plus the proof of possession for it — the unit a client attaches
+/// to a request ("the bearer presents it to the file server in place of, or
+/// in addition to, the bearer's own credentials", §3.1).
+struct PresentedCredential {
+  ProxyChain chain;
+  PossessionProof proof;
+
+  void encode(wire::Encoder& enc) const;
+  static PresentedCredential decode(wire::Decoder& dec);
+};
+
+/// Payload of the kDelegateKrb blob (exposed for the verifier).
+struct KrbDelegateProofBlob {
+  kdc::ApRequest ap;
+  util::Bytes transcript_mac;
+
+  void encode(wire::Encoder& enc) const;
+  static KrbDelegateProofBlob decode(wire::Decoder& dec);
+};
+
+}  // namespace rproxy::core

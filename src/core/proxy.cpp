@@ -1,0 +1,53 @@
+#include "core/proxy.hpp"
+
+#include "crypto/random.hpp"
+
+namespace rproxy::core {
+
+Proxy grant_pk_proxy(const PrincipalName& grantor,
+                     const crypto::SigningKeyPair& grantor_key,
+                     RestrictionSet restrictions, util::TimePoint now,
+                     util::Duration lifetime) {
+  const crypto::SigningKeyPair proxy_key = crypto::SigningKeyPair::generate();
+
+  ProxyCertificate cert;
+  cert.grantor = grantor;
+  cert.serial = crypto::random_u64();
+  cert.issued_at = now;
+  cert.expires_at = now + lifetime;
+  cert.restrictions = std::move(restrictions);
+  cert.mode = ProxyMode::kPublicKey;
+  cert.proxy_key_material = proxy_key.public_key().bytes();
+  cert.signer = SignerKind::kGrantorIdentity;
+  cert.signature = crypto::sign(grantor_key, cert.signed_bytes());
+
+  Proxy proxy;
+  proxy.chain.mode = ProxyMode::kPublicKey;
+  proxy.chain.certs.push_back(cert);
+  proxy.secret = proxy_key.private_bytes();
+  proxy.grantor = grantor;
+  proxy.claimed_restrictions = cert.restrictions;
+  proxy.expires_at = cert.expires_at;
+  return proxy;
+}
+
+Proxy grant_krb_proxy(const kdc::KdcClient& grantor_client,
+                      const kdc::Credentials& creds,
+                      RestrictionSet restrictions, util::TimePoint now) {
+  (void)now;  // the authenticator timestamp comes from the client's clock
+  const crypto::SymmetricKey proxy_key = crypto::SymmetricKey::generate();
+
+  kdc::ApRequest ap = grantor_client.make_ap_request(
+      creds, proxy_key.bytes(), restrictions.to_blobs());
+
+  Proxy proxy;
+  proxy.chain.mode = ProxyMode::kSymmetric;
+  proxy.chain.krb_root = std::move(ap);
+  proxy.secret = proxy_key.bytes();
+  proxy.grantor = grantor_client.self();
+  proxy.claimed_restrictions = std::move(restrictions);
+  proxy.expires_at = creds.expires_at;
+  return proxy;
+}
+
+}  // namespace rproxy::core

@@ -1,0 +1,36 @@
+// Granting restricted proxies (§2, §6).
+#pragma once
+
+#include "core/proxy_certificate.hpp"
+#include "kdc/kdc_client.hpp"
+
+namespace rproxy::core {
+
+/// Grants a public-key restricted proxy (Fig 6): generates a fresh Ed25519
+/// proxy key pair, embeds the public half in a certificate signed with the
+/// grantor's identity key, and returns the private half as the proxy key.
+///
+/// Without an issued-for restriction a public-key proxy is "verifiable by
+/// and exercisable on all servers" (§7.3) — include one unless that is
+/// intended.
+[[nodiscard]] Proxy grant_pk_proxy(const PrincipalName& grantor,
+                                   const crypto::SigningKeyPair& grantor_key,
+                                   RestrictionSet restrictions,
+                                   util::TimePoint now,
+                                   util::Duration lifetime);
+
+/// Grants a conventional-crypto proxy from Kerberos credentials (§6.2):
+/// "a client generates an authenticator specifying a proxy key in the
+/// subkey field and specifying additional restrictions in the
+/// authorization-data field.  The ticket and authenticator are treated as
+/// the new proxy and provided with the new proxy key to the grantee."
+///
+/// The proxy is usable only at the server the credentials name (§6.3); a
+/// proxy minted from TGS credentials lets the grantee obtain equally-
+/// restricted tickets for further servers.
+[[nodiscard]] Proxy grant_krb_proxy(const kdc::KdcClient& grantor_client,
+                                    const kdc::Credentials& creds,
+                                    RestrictionSet restrictions,
+                                    util::TimePoint now);
+
+}  // namespace rproxy::core

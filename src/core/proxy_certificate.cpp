@@ -1,0 +1,67 @@
+#include "core/proxy_certificate.hpp"
+
+namespace rproxy::core {
+
+namespace {
+void encode_signed_fields(wire::Encoder& enc, const ProxyCertificate& cert) {
+  enc.str(cert.grantor);
+  enc.u64(cert.serial);
+  enc.i64(cert.issued_at);
+  enc.i64(cert.expires_at);
+  cert.restrictions.encode(enc);
+  enc.u8(static_cast<std::uint8_t>(cert.mode));
+  enc.bytes(cert.proxy_key_material);
+  enc.u8(static_cast<std::uint8_t>(cert.signer));
+}
+}  // namespace
+
+void ProxyCertificate::encode(wire::Encoder& enc) const {
+  encode_signed_fields(enc, *this);
+  enc.bytes(signature);
+}
+
+ProxyCertificate ProxyCertificate::decode(wire::Decoder& dec) {
+  ProxyCertificate cert;
+  cert.grantor = dec.str();
+  cert.serial = dec.u64();
+  cert.issued_at = dec.i64();
+  cert.expires_at = dec.i64();
+  cert.restrictions = RestrictionSet::decode(dec);
+  cert.mode = static_cast<ProxyMode>(dec.u8());
+  cert.proxy_key_material = dec.bytes();
+  cert.signer = static_cast<SignerKind>(dec.u8());
+  cert.signature = dec.bytes();
+  return cert;
+}
+
+util::Bytes ProxyCertificate::signed_bytes() const {
+  wire::Encoder enc;
+  encode_signed_fields(enc, *this);
+  return enc.take();
+}
+
+void ProxyChain::encode(wire::Encoder& enc) const {
+  enc.u8(static_cast<std::uint8_t>(mode));
+  enc.boolean(krb_root.has_value());
+  if (krb_root.has_value()) krb_root->encode(enc);
+  enc.seq(certs, [](wire::Encoder& e, const ProxyCertificate& c) {
+    c.encode(e);
+  });
+}
+
+ProxyChain ProxyChain::decode(wire::Decoder& dec) {
+  ProxyChain chain;
+  chain.mode = static_cast<ProxyMode>(dec.u8());
+  if (dec.boolean()) {
+    chain.krb_root = kdc::ApRequest::decode(dec);
+  }
+  chain.certs = dec.seq<ProxyCertificate>(
+      [](wire::Decoder& d) { return ProxyCertificate::decode(d); });
+  return chain;
+}
+
+std::size_t ProxyChain::length() const {
+  return certs.size() + (krb_root.has_value() ? 1 : 0);
+}
+
+}  // namespace rproxy::core

@@ -1,0 +1,119 @@
+// Proxy certificates and chains (Fig 1, Fig 4, Fig 6).
+//
+// A restricted proxy has two parts: a certificate "signed by the grantor
+// establishing the proxy, enumerating any restrictions, and establishing an
+// encryption (or integrity) key to be used by the end-server to verify that
+// the proxy was properly issued to the bearer", and a proxy key "used by
+// the grantee to prove proper possession" (§2).
+//
+// Two realizations share this structure:
+//  * Public-key (Fig 6): the certificate carries a fresh Ed25519 public
+//    proxy key and is signed by the grantor's identity key; the grantee
+//    receives the private half.
+//  * Conventional/Kerberos (§6.2): the root "certificate" is a ticket plus
+//    an authenticator whose subkey field is the proxy key and whose
+//    authorization-data carries the restrictions; cascade links are MACed
+//    under the previous proxy key (Fig 4) with the next key sealed inside.
+#pragma once
+
+#include <optional>
+
+#include "core/restriction_set.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/signature.hpp"
+#include "kdc/authenticator.hpp"
+#include "util/clock.hpp"
+
+namespace rproxy::core {
+
+/// Which cryptosystem realizes the proxy.
+enum class ProxyMode : std::uint8_t { kPublicKey = 1, kSymmetric = 2 };
+
+/// Who produced a certificate's signature; tells the verifier which key to
+/// check it with.
+enum class SignerKind : std::uint8_t {
+  /// Root certificate signed by the grantor's identity key (Fig 6).
+  kGrantorIdentity = 1,
+  /// Cascade link signed with the previous proxy key (Fig 4) — bearer-style
+  /// cascading, leaves no audit trail.
+  kParentProxyKey = 2,
+  /// Cascade link signed by a named intermediate's identity key — delegate-
+  /// style cascading, "leaves an audit trail since the new proxy identifies
+  /// the intermediate server" (§3.4).  Public-key mode only.
+  kIntermediateIdentity = 3,
+};
+
+/// Key-derivation purposes for symmetric cascade links.
+inline constexpr std::string_view kCascadeMacPurpose = "proxy:cascade-mac";
+inline constexpr std::string_view kCascadeSealPurpose = "proxy:cascade-seal";
+/// Purpose for bearer possession proofs (presentation.hpp).
+inline constexpr std::string_view kPresentPurpose = "proxy:present";
+
+/// One certificate: either the root of a public-key proxy or a cascade link
+/// in either mode.
+struct ProxyCertificate {
+  /// Root: the grantor whose rights flow through the proxy.
+  /// Delegate link: the intermediate that signed it.  Bearer link: empty.
+  PrincipalName grantor;
+  /// Unique id of this certificate (also the natural accept-once id for
+  /// credential-shaped objects like checks).
+  std::uint64_t serial = 0;
+  util::TimePoint issued_at = 0;
+  util::TimePoint expires_at = 0;
+  RestrictionSet restrictions;
+  ProxyMode mode = ProxyMode::kPublicKey;
+  /// Public-key mode: the 32-octet public proxy key, in the clear.
+  /// Symmetric link: AEAD box of the next proxy key, sealed under the
+  /// previous proxy key — the end-server unwraps the chain front to back.
+  util::Bytes proxy_key_material;
+  SignerKind signer = SignerKind::kGrantorIdentity;
+  /// Ed25519 signature or HMAC over signed_bytes(), per `signer` and mode.
+  util::Bytes signature;
+
+  void encode(wire::Encoder& enc) const;
+  static ProxyCertificate decode(wire::Decoder& dec);
+
+  /// The octets covered by the signature (everything but the signature).
+  [[nodiscard]] util::Bytes signed_bytes() const;
+};
+
+/// A full chain as presented to an end-server: "The certificates from both
+/// proxies are provided to the subordinate server, but only the proxy key
+/// from the final proxy in the chain is provided." (§3.4)
+struct ProxyChain {
+  ProxyMode mode = ProxyMode::kPublicKey;
+  /// Symmetric mode root: the Kerberos-proxy pair (ticket + authenticator
+  /// with subkey & restrictions).  Unused in public-key mode.
+  std::optional<kdc::ApRequest> krb_root;
+  /// Public-key mode: root certificate first, then cascade links.
+  /// Symmetric mode: cascade links only (root is krb_root).
+  std::vector<ProxyCertificate> certs;
+
+  void encode(wire::Encoder& enc) const;
+  static ProxyChain decode(wire::Decoder& dec);
+
+  /// Number of delegation hops (root counts as 1).
+  [[nodiscard]] std::size_t length() const;
+};
+
+/// What the grantee holds: the presentable chain plus the secret proxy key.
+/// `secret` is the Ed25519 private seed (pk mode) or the 32-octet symmetric
+/// proxy key (sym mode) of the FINAL link.
+struct Proxy {
+  ProxyChain chain;
+  util::Bytes secret;
+
+  // Holder-side bookkeeping (not authoritative; the end-server recomputes
+  // everything from the chain).
+  PrincipalName grantor;
+  RestrictionSet claimed_restrictions;
+  util::TimePoint expires_at = 0;
+
+  /// True when the final link names designated grantees (delegate proxy).
+  [[nodiscard]] bool is_delegate() const {
+    return claimed_restrictions.is_delegate();
+  }
+};
+
+}  // namespace rproxy::core

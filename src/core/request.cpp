@@ -1,0 +1,23 @@
+#include "core/request.hpp"
+
+#include "crypto/digest.hpp"
+#include "wire/encoder.hpp"
+
+namespace rproxy::core {
+
+util::Bytes request_digest(
+    const Operation& operation, const ObjectName& object,
+    const std::map<std::string, std::uint64_t>& amounts) {
+  wire::Encoder enc;
+  enc.str("request-digest-v1");
+  enc.str(operation);
+  enc.str(object);
+  enc.u32(static_cast<std::uint32_t>(amounts.size()));
+  for (const auto& [currency, amount] : amounts) {  // map: sorted, stable
+    enc.str(currency);
+    enc.u64(amount);
+  }
+  return crypto::sha256_bytes(enc.view());
+}
+
+}  // namespace rproxy::core

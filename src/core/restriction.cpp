@@ -1,0 +1,175 @@
+#include "core/restriction.hpp"
+
+namespace rproxy::core {
+
+bool operator==(const LimitRestriction& a, const LimitRestriction& b) {
+  return a.servers == b.servers && a.inner == b.inner;
+}
+
+bool operator==(const Restriction& a, const Restriction& b) {
+  return a.value_ == b.value_;
+}
+
+Restriction::Tag Restriction::tag() const {
+  return std::visit(
+      [](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, GranteeRestriction>) {
+          return Tag::kGrantee;
+        } else if constexpr (std::is_same_v<T, ForUseByGroupRestriction>) {
+          return Tag::kForUseByGroup;
+        } else if constexpr (std::is_same_v<T, IssuedForRestriction>) {
+          return Tag::kIssuedFor;
+        } else if constexpr (std::is_same_v<T, QuotaRestriction>) {
+          return Tag::kQuota;
+        } else if constexpr (std::is_same_v<T, AuthorizedRestriction>) {
+          return Tag::kAuthorized;
+        } else if constexpr (std::is_same_v<T, GroupMembershipRestriction>) {
+          return Tag::kGroupMembership;
+        } else if constexpr (std::is_same_v<T, AcceptOnceRestriction>) {
+          return Tag::kAcceptOnce;
+        } else {
+          static_assert(std::is_same_v<T, LimitRestriction>);
+          return Tag::kLimitRestriction;
+        }
+      },
+      value_);
+}
+
+std::string_view Restriction::type_name() const {
+  switch (tag()) {
+    case Tag::kGrantee: return "grantee";
+    case Tag::kForUseByGroup: return "for-use-by-group";
+    case Tag::kIssuedFor: return "issued-for";
+    case Tag::kQuota: return "quota";
+    case Tag::kAuthorized: return "authorized";
+    case Tag::kGroupMembership: return "group-membership";
+    case Tag::kAcceptOnce: return "accept-once";
+    case Tag::kLimitRestriction: return "limit-restriction";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void encode_group_name(wire::Encoder& enc, const GroupName& g) {
+  enc.str(g.server);
+  enc.str(g.group);
+}
+
+GroupName decode_group_name(wire::Decoder& dec) {
+  GroupName g;
+  g.server = dec.str();
+  g.group = dec.str();
+  return g;
+}
+
+void encode_names(wire::Encoder& enc, const std::vector<std::string>& names) {
+  enc.seq(names, [](wire::Encoder& e, const std::string& s) { e.str(s); });
+}
+
+std::vector<std::string> decode_names(wire::Decoder& dec) {
+  return dec.seq<std::string>([](wire::Decoder& d) { return d.str(); });
+}
+
+}  // namespace
+
+void Restriction::encode(wire::Encoder& enc) const {
+  enc.u16(static_cast<std::uint16_t>(tag()));
+  std::visit(
+      [&enc](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, GranteeRestriction>) {
+          encode_names(enc, v.delegates);
+          enc.u32(v.required);
+        } else if constexpr (std::is_same_v<T, ForUseByGroupRestriction>) {
+          enc.seq(v.groups, encode_group_name);
+          enc.u32(v.required);
+        } else if constexpr (std::is_same_v<T, IssuedForRestriction>) {
+          encode_names(enc, v.servers);
+        } else if constexpr (std::is_same_v<T, QuotaRestriction>) {
+          enc.str(v.currency);
+          enc.u64(v.limit);
+        } else if constexpr (std::is_same_v<T, AuthorizedRestriction>) {
+          enc.seq(v.rights, [](wire::Encoder& e, const ObjectRights& r) {
+            e.str(r.object);
+            encode_names(e, r.operations);
+          });
+        } else if constexpr (std::is_same_v<T, GroupMembershipRestriction>) {
+          enc.seq(v.groups, encode_group_name);
+        } else if constexpr (std::is_same_v<T, AcceptOnceRestriction>) {
+          enc.u64(v.identifier);
+        } else {
+          static_assert(std::is_same_v<T, LimitRestriction>);
+          encode_names(enc, v.servers);
+          enc.seq(v.inner, [](wire::Encoder& e, const Restriction& r) {
+            r.encode(e);
+          });
+        }
+      },
+      value_);
+}
+
+Restriction Restriction::decode(wire::Decoder& dec) {
+  const auto tag = static_cast<Tag>(dec.u16());
+  if (!dec.ok()) return Restriction{};
+  switch (tag) {
+    case Tag::kGrantee: {
+      GranteeRestriction r;
+      r.delegates = decode_names(dec);
+      r.required = dec.u32();
+      return Restriction{r};
+    }
+    case Tag::kForUseByGroup: {
+      ForUseByGroupRestriction r;
+      r.groups = dec.seq<GroupName>(decode_group_name);
+      r.required = dec.u32();
+      return Restriction{r};
+    }
+    case Tag::kIssuedFor: {
+      IssuedForRestriction r;
+      r.servers = decode_names(dec);
+      return Restriction{r};
+    }
+    case Tag::kQuota: {
+      QuotaRestriction r;
+      r.currency = dec.str();
+      r.limit = dec.u64();
+      return Restriction{r};
+    }
+    case Tag::kAuthorized: {
+      AuthorizedRestriction r;
+      r.rights = dec.seq<ObjectRights>([](wire::Decoder& d) {
+        ObjectRights rights;
+        rights.object = d.str();
+        rights.operations = decode_names(d);
+        return rights;
+      });
+      return Restriction{r};
+    }
+    case Tag::kGroupMembership: {
+      GroupMembershipRestriction r;
+      r.groups = dec.seq<GroupName>(decode_group_name);
+      return Restriction{r};
+    }
+    case Tag::kAcceptOnce: {
+      AcceptOnceRestriction r;
+      r.identifier = dec.u64();
+      return Restriction{r};
+    }
+    case Tag::kLimitRestriction: {
+      LimitRestriction r;
+      r.servers = decode_names(dec);
+      r.inner = dec.seq<Restriction>(
+          [](wire::Decoder& d) { return Restriction::decode(d); });
+      return Restriction{r};
+    }
+  }
+  // Unknown restriction type: fail closed.  A verifier that cannot
+  // interpret a restriction must reject the credential, or the restriction
+  // would be silently removed — exactly what the model forbids.
+  (void)dec.raw(dec.remaining() + 1);  // forces the decoder into error state
+  return Restriction{};
+}
+
+}  // namespace rproxy::core

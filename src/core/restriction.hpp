@@ -1,0 +1,171 @@
+// Restriction types (§7).
+//
+// "The restrictions field of a proxy should be interpreted as a collection
+// of typed subfields, each type corresponding to a different restriction."
+// Each subfield only ever *removes* rights: a verifier grants an operation
+// only if every restriction in every certificate of the chain passes, so
+// adding a subfield can never add a privilege (§6.2: "restrictions must be
+// additive").
+//
+// Unknown restriction types fail decoding (fail-closed): a verifier that
+// cannot interpret a restriction must not ignore it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/names.hpp"
+#include "wire/decoder.hpp"
+#include "wire/encoder.hpp"
+
+namespace rproxy::core {
+
+class Restriction;
+
+/// §7.1 — list of principals authorized to use the proxy "and the number of
+/// principals from the list needed to exercise the proxy (usually one)".
+/// Presence of this restriction makes the proxy a delegate proxy; absence
+/// makes it a bearer proxy.
+struct GranteeRestriction {
+  std::vector<PrincipalName> delegates;
+  std::uint32_t required = 1;
+
+  friend bool operator==(const GranteeRestriction&,
+                         const GranteeRestriction&) = default;
+};
+
+/// §7.2 — groups authorized to use the proxy and how many memberships must
+/// be asserted.  "One way to implement separation of privilege is to
+/// require assertion of membership in multiple groups with disjoint
+/// members."
+struct ForUseByGroupRestriction {
+  std::vector<GroupName> groups;
+  std::uint32_t required = 1;
+
+  friend bool operator==(const ForUseByGroupRestriction&,
+                         const ForUseByGroupRestriction&) = default;
+};
+
+/// §7.3 — servers authorized to accept the proxy.  "Important for public-
+/// key proxies which are otherwise verifiable by and exercisable on all
+/// servers."
+struct IssuedForRestriction {
+  std::vector<PrincipalName> servers;
+
+  friend bool operator==(const IssuedForRestriction&,
+                         const IssuedForRestriction&) = default;
+};
+
+/// §7.4 — a currency and a limit on how much of it one use may consume.
+struct QuotaRestriction {
+  std::string currency;
+  std::uint64_t limit = 0;
+
+  friend bool operator==(const QuotaRestriction&,
+                         const QuotaRestriction&) = default;
+};
+
+/// One object and the operations permitted on it (empty = all operations).
+/// "There are no constraints on the form of the object names or the list of
+/// operations other than that the grantor and the end-server must agree."
+/// (§7.5)  The object name "*" is the conventional wildcard.
+struct ObjectRights {
+  ObjectName object;
+  std::vector<Operation> operations;
+
+  friend bool operator==(const ObjectRights&, const ObjectRights&) = default;
+};
+
+/// §7.5 — the complete list of objects accessible through the proxy.
+/// "Usually appears in proxies used as capabilities" and in proxies
+/// returned by an authorization server.
+struct AuthorizedRestriction {
+  std::vector<ObjectRights> rights;
+
+  friend bool operator==(const AuthorizedRestriction&,
+                         const AuthorizedRestriction&) = default;
+};
+
+/// §7.6 — the grantee is a member of only the listed groups; placed by a
+/// group server so a group proxy does not assert every group it maintains.
+struct GroupMembershipRestriction {
+  std::vector<GroupName> groups;
+
+  friend bool operator==(const GroupMembershipRestriction&,
+                         const GroupMembershipRestriction&) = default;
+};
+
+/// §7.7 — the end-server accepts the proxy at most once per identifier
+/// within the credential lifetime.  "A real life example of such an
+/// identifier is a check number."
+struct AcceptOnceRestriction {
+  std::uint64_t identifier = 0;
+
+  friend bool operator==(const AcceptOnceRestriction&,
+                         const AcceptOnceRestriction&) = default;
+};
+
+/// §7.8 — scopes inner restrictions to particular end-servers: "the
+/// restrictions embedded within this restriction will be enforced by the
+/// named servers and ignored by others."
+struct LimitRestriction {
+  std::vector<PrincipalName> servers;
+  std::vector<Restriction> inner;
+
+  friend bool operator==(const LimitRestriction&,
+                         const LimitRestriction&);
+};
+
+/// A typed restriction subfield.
+class Restriction {
+ public:
+  using Value =
+      std::variant<GranteeRestriction, ForUseByGroupRestriction,
+                   IssuedForRestriction, QuotaRestriction,
+                   AuthorizedRestriction, GroupMembershipRestriction,
+                   AcceptOnceRestriction, LimitRestriction>;
+
+  /// Wire tags; stable across releases (they are signed into certificates).
+  enum class Tag : std::uint16_t {
+    kGrantee = 1,
+    kForUseByGroup = 2,
+    kIssuedFor = 3,
+    kQuota = 4,
+    kAuthorized = 5,
+    kGroupMembership = 6,
+    kAcceptOnce = 7,
+    kLimitRestriction = 8,
+  };
+
+  Restriction() : value_(AuthorizedRestriction{}) {}
+  /// Implicit from any alternative so call sites read naturally:
+  ///   set.add(QuotaRestriction{"pages", 10});
+  template <typename T,
+            typename = std::enable_if_t<
+                std::is_constructible_v<Value, T&&> &&
+                !std::is_same_v<std::decay_t<T>, Restriction>>>
+  Restriction(T&& v) : value_(std::forward<T>(v)) {}  // NOLINT
+
+  [[nodiscard]] Tag tag() const;
+  [[nodiscard]] std::string_view type_name() const;
+
+  [[nodiscard]] const Value& value() const { return value_; }
+
+  /// Typed accessor; nullptr when the restriction holds another type.
+  template <typename T>
+  [[nodiscard]] const T* get_if() const {
+    return std::get_if<T>(&value_);
+  }
+
+  void encode(wire::Encoder& enc) const;
+  static Restriction decode(wire::Decoder& dec);
+
+  friend bool operator==(const Restriction&, const Restriction&);
+
+ private:
+  Value value_;
+};
+
+}  // namespace rproxy::core

@@ -1,0 +1,204 @@
+#include "core/restriction_set.hpp"
+
+#include <algorithm>
+
+namespace rproxy::core {
+
+namespace {
+
+using util::ErrorCode;
+
+util::Status eval_grantee(const GranteeRestriction& r,
+                          const RequestContext& ctx) {
+  std::uint32_t matched = 0;
+  for (const PrincipalName& delegate : r.delegates) {
+    if (std::find(ctx.effective_identities.begin(),
+                  ctx.effective_identities.end(),
+                  delegate) != ctx.effective_identities.end()) {
+      ++matched;
+    }
+  }
+  if (matched < std::max<std::uint32_t>(r.required, 1)) {
+    return util::fail(ErrorCode::kNotGrantee,
+                      "grantee restriction: " + std::to_string(matched) +
+                          " of required " + std::to_string(r.required) +
+                          " delegates authenticated");
+  }
+  return util::Status::ok();
+}
+
+util::Status eval_for_use_by_group(const ForUseByGroupRestriction& r,
+                                   const RequestContext& ctx) {
+  std::uint32_t matched = 0;
+  for (const GroupName& g : r.groups) {
+    if (std::find(ctx.asserted_groups.begin(), ctx.asserted_groups.end(),
+                  g) != ctx.asserted_groups.end()) {
+      ++matched;
+    }
+  }
+  if (matched < std::max<std::uint32_t>(r.required, 1)) {
+    return util::fail(ErrorCode::kRestrictionViolated,
+                      "for-use-by-group: " + std::to_string(matched) +
+                          " of required " + std::to_string(r.required) +
+                          " group memberships asserted");
+  }
+  return util::Status::ok();
+}
+
+util::Status eval_issued_for(const IssuedForRestriction& r,
+                             const RequestContext& ctx) {
+  if (std::find(r.servers.begin(), r.servers.end(), ctx.end_server) ==
+      r.servers.end()) {
+    return util::fail(ErrorCode::kRestrictionViolated,
+                      "issued-for: proxy not issued for server '" +
+                          ctx.end_server + "'");
+  }
+  return util::Status::ok();
+}
+
+util::Status eval_quota(const QuotaRestriction& r, const RequestContext& ctx) {
+  auto it = ctx.amounts.find(r.currency);
+  const std::uint64_t requested = it == ctx.amounts.end() ? 0 : it->second;
+  if (requested > r.limit) {
+    return util::fail(ErrorCode::kRestrictionViolated,
+                      "quota: request consumes " + std::to_string(requested) +
+                          " " + r.currency + ", limit " +
+                          std::to_string(r.limit));
+  }
+  return util::Status::ok();
+}
+
+util::Status eval_authorized(const AuthorizedRestriction& r,
+                             const RequestContext& ctx) {
+  for (const ObjectRights& rights : r.rights) {
+    if (rights.object != ctx.object && rights.object != "*") continue;
+    if (rights.operations.empty() ||
+        std::find(rights.operations.begin(), rights.operations.end(),
+                  ctx.operation) != rights.operations.end()) {
+      return util::Status::ok();
+    }
+  }
+  return util::fail(ErrorCode::kRestrictionViolated,
+                    "authorized: operation '" + ctx.operation +
+                        "' on object '" + ctx.object + "' not in list");
+}
+
+util::Status eval_group_membership(const GroupMembershipRestriction& r,
+                                   const RequestContext& ctx) {
+  if (!ctx.asserting_group.has_value()) {
+    // Not being used to assert membership; the restriction binds nothing
+    // about this request.
+    return util::Status::ok();
+  }
+  if (std::find(r.groups.begin(), r.groups.end(), *ctx.asserting_group) ==
+      r.groups.end()) {
+    return util::fail(ErrorCode::kRestrictionViolated,
+                      "group-membership: proxy does not assert membership "
+                      "in '" +
+                          ctx.asserting_group->to_string() + "'");
+  }
+  return util::Status::ok();
+}
+
+util::Status eval_accept_once(const AcceptOnceRestriction& r,
+                              RequestContext& ctx) {
+  if (ctx.accept_once == nullptr) {
+    return util::fail(ErrorCode::kRestrictionViolated,
+                      "accept-once: server cannot track identifiers");
+  }
+  return ctx.accept_once->check_and_insert(ctx.grantor, r.identifier,
+                                           ctx.credential_expiry, ctx.now);
+}
+
+util::Status eval_limit(const LimitRestriction& r, RequestContext& ctx) {
+  if (std::find(r.servers.begin(), r.servers.end(), ctx.end_server) ==
+      r.servers.end()) {
+    // "...enforced by the named servers and ignored by others." (§7.8)
+    return util::Status::ok();
+  }
+  for (const Restriction& inner : r.inner) {
+    RPROXY_RETURN_IF_ERROR(evaluate_restriction(inner, ctx));
+  }
+  return util::Status::ok();
+}
+
+}  // namespace
+
+util::Status evaluate_restriction(const Restriction& r, RequestContext& ctx) {
+  return std::visit(
+      [&ctx](const auto& v) -> util::Status {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, GranteeRestriction>) {
+          return eval_grantee(v, ctx);
+        } else if constexpr (std::is_same_v<T, ForUseByGroupRestriction>) {
+          return eval_for_use_by_group(v, ctx);
+        } else if constexpr (std::is_same_v<T, IssuedForRestriction>) {
+          return eval_issued_for(v, ctx);
+        } else if constexpr (std::is_same_v<T, QuotaRestriction>) {
+          return eval_quota(v, ctx);
+        } else if constexpr (std::is_same_v<T, AuthorizedRestriction>) {
+          return eval_authorized(v, ctx);
+        } else if constexpr (std::is_same_v<T, GroupMembershipRestriction>) {
+          return eval_group_membership(v, ctx);
+        } else if constexpr (std::is_same_v<T, AcceptOnceRestriction>) {
+          return eval_accept_once(v, ctx);
+        } else {
+          static_assert(std::is_same_v<T, LimitRestriction>);
+          return eval_limit(v, ctx);
+        }
+      },
+      r.value());
+}
+
+RestrictionSet RestrictionSet::merged(const RestrictionSet& other) const {
+  RestrictionSet out = *this;
+  out.restrictions_.insert(out.restrictions_.end(),
+                           other.restrictions_.begin(),
+                           other.restrictions_.end());
+  return out;
+}
+
+util::Status RestrictionSet::evaluate(RequestContext& ctx) const {
+  for (const Restriction& r : restrictions_) {
+    RPROXY_RETURN_IF_ERROR(evaluate_restriction(r, ctx));
+  }
+  return util::Status::ok();
+}
+
+bool RestrictionSet::is_delegate() const {
+  return find<GranteeRestriction>() != nullptr;
+}
+
+void RestrictionSet::encode(wire::Encoder& enc) const {
+  enc.seq(restrictions_,
+          [](wire::Encoder& e, const Restriction& r) { r.encode(e); });
+}
+
+RestrictionSet RestrictionSet::decode(wire::Decoder& dec) {
+  RestrictionSet set;
+  set.restrictions_ = dec.seq<Restriction>(
+      [](wire::Decoder& d) { return Restriction::decode(d); });
+  return set;
+}
+
+std::vector<util::Bytes> RestrictionSet::to_blobs() const {
+  std::vector<util::Bytes> blobs;
+  blobs.reserve(restrictions_.size());
+  for (const Restriction& r : restrictions_) {
+    blobs.push_back(wire::encode_to_bytes(r));
+  }
+  return blobs;
+}
+
+util::Result<RestrictionSet> RestrictionSet::from_blobs(
+    const std::vector<util::Bytes>& blobs) {
+  RestrictionSet set;
+  for (const util::Bytes& blob : blobs) {
+    RPROXY_ASSIGN_OR_RETURN(Restriction r,
+                            wire::decode_from_bytes<Restriction>(blob));
+    set.add(std::move(r));
+  }
+  return set;
+}
+
+}  // namespace rproxy::core

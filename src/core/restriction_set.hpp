@@ -1,0 +1,73 @@
+// A set of restrictions and its evaluation semantics.
+//
+// Additivity is the core invariant: restrictions accumulate as credentials
+// are derived, and evaluation is a conjunction — EVERY restriction in the
+// set must pass.  Merging two sets therefore yields a set at most as
+// permissive as either input; there is no API to remove a restriction.
+#pragma once
+
+#include <string>
+
+#include "core/request.hpp"
+#include "core/restriction.hpp"
+#include "util/status.hpp"
+
+namespace rproxy::core {
+
+class RestrictionSet {
+ public:
+  RestrictionSet() = default;
+  RestrictionSet(std::initializer_list<Restriction> rs)
+      : restrictions_(rs) {}
+
+  /// Adds one restriction.  Restrictions can only be added, never removed.
+  void add(Restriction r) { restrictions_.push_back(std::move(r)); }
+
+  /// A new set containing this set's restrictions followed by `other`'s.
+  [[nodiscard]] RestrictionSet merged(const RestrictionSet& other) const;
+
+  [[nodiscard]] const std::vector<Restriction>& items() const {
+    return restrictions_;
+  }
+  [[nodiscard]] bool empty() const { return restrictions_.empty(); }
+  [[nodiscard]] std::size_t size() const { return restrictions_.size(); }
+
+  /// Conjunction: OK iff every restriction permits the request.  The first
+  /// failing restriction's diagnosis is returned.
+  [[nodiscard]] util::Status evaluate(RequestContext& ctx) const;
+
+  /// True if the set contains a grantee restriction — i.e. this credential
+  /// is a delegate proxy; absent means bearer proxy (§7.1).
+  [[nodiscard]] bool is_delegate() const;
+
+  /// The first restriction of type T, or nullptr.
+  template <typename T>
+  [[nodiscard]] const T* find() const {
+    for (const Restriction& r : restrictions_) {
+      if (const T* v = r.get_if<T>()) return v;
+    }
+    return nullptr;
+  }
+
+  void encode(wire::Encoder& enc) const;
+  static RestrictionSet decode(wire::Decoder& dec);
+
+  /// Maps to/from Kerberos authorization-data subfields: one opaque blob
+  /// per restriction (§6.2).  Decoding fails closed on any malformed blob.
+  [[nodiscard]] std::vector<util::Bytes> to_blobs() const;
+  [[nodiscard]] static util::Result<RestrictionSet> from_blobs(
+      const std::vector<util::Bytes>& blobs);
+
+  friend bool operator==(const RestrictionSet&,
+                         const RestrictionSet&) = default;
+
+ private:
+  std::vector<Restriction> restrictions_;
+};
+
+/// Evaluates a single restriction against a context.  Exposed for tests and
+/// for the authorization server's template handling.
+[[nodiscard]] util::Status evaluate_restriction(const Restriction& r,
+                                                RequestContext& ctx);
+
+}  // namespace rproxy::core

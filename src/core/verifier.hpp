@@ -1,0 +1,114 @@
+// End-server verification engine.
+//
+// Given a presented chain, the verifier (a) validates every signature/MAC
+// link-by-link, recovering the final proxy key, (b) accumulates the
+// restriction sets of every certificate (additivity: the effective set is
+// the union), and (c) checks the possession proof against the recovered
+// key or the grantee's personal authentication.  All of this is OFFLINE —
+// no message to any third party — which is the efficiency the paper claims
+// over Sollins' cascaded authentication (§3.4).
+#pragma once
+
+#include "core/presentation.hpp"
+
+namespace rproxy::core {
+
+/// Resolves principal names to identity verification keys (public-key
+/// realization).  Typically backed by pki::NameServer::key_of or a cache of
+/// name-server certificates.
+class KeyResolver {
+ public:
+  virtual ~KeyResolver() = default;
+  [[nodiscard]] virtual util::Result<crypto::VerifyKey> resolve(
+      const PrincipalName& name) const = 0;
+};
+
+/// KeyResolver over a fixed in-memory map (tests, simple servers).
+class MapKeyResolver final : public KeyResolver {
+ public:
+  void add(const PrincipalName& name, const crypto::VerifyKey& key) {
+    keys_[name] = key;
+  }
+  [[nodiscard]] util::Result<crypto::VerifyKey> resolve(
+      const PrincipalName& name) const override;
+
+ private:
+  std::map<PrincipalName, crypto::VerifyKey> keys_;
+};
+
+/// Outcome of a successful chain verification.
+struct VerifiedProxy {
+  /// Root grantor — the principal whose rights (as limited by the
+  /// restrictions) become available.
+  PrincipalName grantor;
+  /// Union of every certificate's restrictions: the effective set.
+  RestrictionSet effective_restrictions;
+  /// Earliest expiry along the chain.
+  util::TimePoint expires_at = 0;
+  ProxyMode mode = ProxyMode::kPublicKey;
+  /// Final proxy verification material (what a possession proof is checked
+  /// against).
+  crypto::VerifyKey pk_proxy_key;       ///< pk mode
+  crypto::SymmetricKey sym_proxy_key;   ///< sym mode (unwrapped by us)
+  /// Intermediates that identity-signed cascade links, in chain order — the
+  /// audit trail of delegate-style cascading (§3.4).  These principals have
+  /// vouched for the chain and count as satisfied grantees.
+  std::vector<PrincipalName> audit_trail;
+  /// Chain length (delegation hops).
+  std::size_t chain_length = 0;
+};
+
+class ProxyVerifier {
+ public:
+  struct Config {
+    /// This server's principal name.
+    PrincipalName server_name;
+    /// Long-term Kerberos key (required to accept symmetric chains).
+    std::optional<crypto::SymmetricKey> server_key;
+    /// Identity key resolver (required to accept public-key chains).
+    const KeyResolver* resolver = nullptr;
+    /// Name-server root key for verifying pk delegate identity certs.
+    std::optional<crypto::VerifyKey> pk_root;
+    /// Replay cache for delegate Kerberos authenticators; nullptr disables.
+    kdc::ReplayCache* replay_cache = nullptr;
+    /// Freshness window for possession proofs and authenticators.
+    util::Duration max_skew = 2 * util::kMinute;
+  };
+
+  explicit ProxyVerifier(Config config) : config_(std::move(config)) {}
+
+  /// Validates the chain and recovers the final proxy key.  Does NOT
+  /// evaluate restrictions against a request (the caller does that with
+  /// the returned effective set) and does NOT check possession.
+  [[nodiscard]] util::Result<VerifiedProxy> verify_chain(
+      const ProxyChain& chain, util::TimePoint now) const;
+
+  /// Checks a possession proof against a verified chain.  On success
+  /// returns the identities the presenter proved: empty for bearer proofs,
+  /// the authenticated principal for delegate proofs.  The caller feeds
+  /// these (plus the audit trail) into RequestContext::effective_identities.
+  [[nodiscard]] util::Result<std::vector<PrincipalName>> verify_possession(
+      const VerifiedProxy& verified, const PossessionProof& proof,
+      util::BytesView challenge, util::BytesView request_digest,
+      util::TimePoint now) const;
+
+  /// Checks a standalone personal-authentication proof (no proxy involved —
+  /// "local users might appear directly in the access-control-list",
+  /// §3.5).  Only delegate-kind proofs qualify.  Returns the authenticated
+  /// identities.
+  [[nodiscard]] util::Result<std::vector<PrincipalName>> verify_identity(
+      const PossessionProof& proof, util::BytesView challenge,
+      util::BytesView request_digest, util::TimePoint now) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  [[nodiscard]] util::Result<VerifiedProxy> verify_sym_chain_(
+      const ProxyChain& chain, util::TimePoint now) const;
+  [[nodiscard]] util::Result<VerifiedProxy> verify_pk_chain_(
+      const ProxyChain& chain, util::TimePoint now) const;
+
+  Config config_;
+};
+
+}  // namespace rproxy::core

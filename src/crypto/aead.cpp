@@ -1,0 +1,106 @@
+#include "crypto/aead.hpp"
+
+#include <openssl/evp.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "crypto/random.hpp"
+
+namespace rproxy::crypto {
+
+namespace {
+struct CtxFree {
+  void operator()(EVP_CIPHER_CTX* ctx) const { EVP_CIPHER_CTX_free(ctx); }
+};
+using CtxPtr = std::unique_ptr<EVP_CIPHER_CTX, CtxFree>;
+
+CtxPtr new_ctx() {
+  CtxPtr ctx(EVP_CIPHER_CTX_new());
+  if (!ctx) throw std::runtime_error("EVP_CIPHER_CTX_new failed");
+  return ctx;
+}
+}  // namespace
+
+util::Bytes aead_seal(const SymmetricKey& key, util::BytesView plaintext,
+                      util::BytesView associated_data) {
+  const util::Bytes nonce = random_bytes(kNonceSize);
+  CtxPtr ctx = new_ctx();
+  if (EVP_EncryptInit_ex(ctx.get(), EVP_aes_256_gcm(), nullptr,
+                         key.view().data(), nonce.data()) != 1) {
+    throw std::runtime_error("EVP_EncryptInit_ex failed");
+  }
+  int len = 0;
+  if (!associated_data.empty() &&
+      EVP_EncryptUpdate(ctx.get(), nullptr, &len, associated_data.data(),
+                        static_cast<int>(associated_data.size())) != 1) {
+    throw std::runtime_error("EVP_EncryptUpdate(aad) failed");
+  }
+  util::Bytes out;
+  out.reserve(kNonceSize + plaintext.size() + kTagSize);
+  out.insert(out.end(), nonce.begin(), nonce.end());
+  out.resize(kNonceSize + plaintext.size());
+  if (!plaintext.empty() &&
+      EVP_EncryptUpdate(ctx.get(), out.data() + kNonceSize, &len,
+                        plaintext.data(),
+                        static_cast<int>(plaintext.size())) != 1) {
+    throw std::runtime_error("EVP_EncryptUpdate failed");
+  }
+  int final_len = 0;
+  if (EVP_EncryptFinal_ex(ctx.get(), out.data() + out.size(), &final_len) !=
+      1) {
+    throw std::runtime_error("EVP_EncryptFinal_ex failed");
+  }
+  util::Bytes tag(kTagSize);
+  if (EVP_CIPHER_CTX_ctrl(ctx.get(), EVP_CTRL_GCM_GET_TAG,
+                          static_cast<int>(kTagSize), tag.data()) != 1) {
+    throw std::runtime_error("EVP_CTRL_GCM_GET_TAG failed");
+  }
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+util::Result<util::Bytes> aead_open(const SymmetricKey& key,
+                                    util::BytesView box,
+                                    util::BytesView associated_data) {
+  using util::ErrorCode;
+  if (box.size() < kNonceSize + kTagSize) {
+    return util::fail(ErrorCode::kParseError, "AEAD box too short");
+  }
+  const util::BytesView nonce = box.subspan(0, kNonceSize);
+  const util::BytesView ciphertext =
+      box.subspan(kNonceSize, box.size() - kNonceSize - kTagSize);
+  const util::BytesView tag = box.subspan(box.size() - kTagSize, kTagSize);
+
+  CtxPtr ctx = new_ctx();
+  if (EVP_DecryptInit_ex(ctx.get(), EVP_aes_256_gcm(), nullptr,
+                         key.view().data(), nonce.data()) != 1) {
+    throw std::runtime_error("EVP_DecryptInit_ex failed");
+  }
+  int len = 0;
+  if (!associated_data.empty() &&
+      EVP_DecryptUpdate(ctx.get(), nullptr, &len, associated_data.data(),
+                        static_cast<int>(associated_data.size())) != 1) {
+    throw std::runtime_error("EVP_DecryptUpdate(aad) failed");
+  }
+  util::Bytes out(ciphertext.size());
+  if (!ciphertext.empty() &&
+      EVP_DecryptUpdate(ctx.get(), out.data(), &len, ciphertext.data(),
+                        static_cast<int>(ciphertext.size())) != 1) {
+    return util::fail(ErrorCode::kBadSignature, "AEAD decrypt failed");
+  }
+  util::Bytes tag_copy(tag.begin(), tag.end());
+  if (EVP_CIPHER_CTX_ctrl(ctx.get(), EVP_CTRL_GCM_SET_TAG,
+                          static_cast<int>(kTagSize), tag_copy.data()) != 1) {
+    throw std::runtime_error("EVP_CTRL_GCM_SET_TAG failed");
+  }
+  int final_len = 0;
+  if (EVP_DecryptFinal_ex(ctx.get(), out.data() + out.size(), &final_len) !=
+      1) {
+    return util::fail(ErrorCode::kBadSignature,
+                      "AEAD tag mismatch (wrong key or tampered box)");
+  }
+  return out;
+}
+
+}  // namespace rproxy::crypto

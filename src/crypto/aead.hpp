@@ -1,0 +1,33 @@
+// AES-256-GCM authenticated encryption.
+//
+// Used wherever the paper encrypts: sealing a ticket under the key shared by
+// the end-server and the KDC, protecting a proxy key in transit ("{Kproxy}
+// Ksession", Fig 3), and sealing certificates under session keys (§6.2).
+// GCM gives integrity too, which the 1993 design obtained from separate
+// checksums.
+#pragma once
+
+#include "crypto/keys.hpp"
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace rproxy::crypto {
+
+/// GCM nonce size in octets.
+inline constexpr std::size_t kNonceSize = 12;
+/// GCM tag size in octets.
+inline constexpr std::size_t kTagSize = 16;
+
+/// Encrypts `plaintext` under `key`, binding optional associated data.
+/// Output layout: nonce || ciphertext || tag  (self-contained box).
+[[nodiscard]] util::Bytes aead_seal(const SymmetricKey& key,
+                                    util::BytesView plaintext,
+                                    util::BytesView associated_data = {});
+
+/// Reverses aead_seal.  Fails with kBadSignature if the key is wrong, the
+/// box was tampered with, or the associated data does not match.
+[[nodiscard]] util::Result<util::Bytes> aead_open(
+    const SymmetricKey& key, util::BytesView box,
+    util::BytesView associated_data = {});
+
+}  // namespace rproxy::crypto

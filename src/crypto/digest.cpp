@@ -1,0 +1,25 @@
+#include "crypto/digest.hpp"
+
+#include <openssl/evp.h>
+
+#include <stdexcept>
+
+namespace rproxy::crypto {
+
+Digest sha256(util::BytesView data) {
+  Digest out{};
+  unsigned int len = 0;
+  if (EVP_Digest(data.data(), data.size(), out.data(), &len, EVP_sha256(),
+                 nullptr) != 1 ||
+      len != kDigestSize) {
+    throw std::runtime_error("EVP_Digest(sha256) failed");
+  }
+  return out;
+}
+
+util::Bytes sha256_bytes(util::BytesView data) {
+  const Digest d = sha256(data);
+  return util::Bytes(d.begin(), d.end());
+}
+
+}  // namespace rproxy::crypto

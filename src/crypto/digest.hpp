@@ -1,0 +1,23 @@
+// SHA-256 message digest (OpenSSL EVP).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace rproxy::crypto {
+
+/// Size of a SHA-256 digest in octets.
+inline constexpr std::size_t kDigestSize = 32;
+
+/// A SHA-256 digest value.
+using Digest = std::array<std::uint8_t, kDigestSize>;
+
+/// One-shot SHA-256.
+[[nodiscard]] Digest sha256(util::BytesView data);
+
+/// Digest as an owning buffer (handy for wire encoding).
+[[nodiscard]] util::Bytes sha256_bytes(util::BytesView data);
+
+}  // namespace rproxy::crypto

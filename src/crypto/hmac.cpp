@@ -1,0 +1,28 @@
+#include "crypto/hmac.hpp"
+
+#include <openssl/hmac.h>
+
+#include <stdexcept>
+
+namespace rproxy::crypto {
+
+util::Bytes hmac_sha256(const SymmetricKey& key, util::BytesView data) {
+  util::Bytes out(kMacSize);
+  unsigned int len = 0;
+  if (HMAC(EVP_sha256(), key.view().data(),
+           static_cast<int>(key.view().size()), data.data(), data.size(),
+           out.data(), &len) == nullptr ||
+      len != kMacSize) {
+    throw std::runtime_error("HMAC-SHA256 failed");
+  }
+  return out;
+}
+
+bool hmac_verify(const SymmetricKey& key, util::BytesView data,
+                 util::BytesView mac) {
+  if (mac.size() != kMacSize) return false;
+  const util::Bytes expected = hmac_sha256(key, data);
+  return util::constant_time_equal(expected, mac);
+}
+
+}  // namespace rproxy::crypto

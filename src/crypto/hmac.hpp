@@ -1,0 +1,26 @@
+// HMAC-SHA-256.
+//
+// In the conventional-cryptography realization (§6.2) a proxy certificate is
+// "signed" by computing a MAC under a key: either a key shared with the
+// end-server (Kerberos mode) or the previous proxy key in a cascade (Fig 4:
+// [restrictions2, Kproxy2]Kproxy1).
+#pragma once
+
+#include "crypto/digest.hpp"
+#include "crypto/keys.hpp"
+#include "util/bytes.hpp"
+
+namespace rproxy::crypto {
+
+/// Size of an HMAC-SHA-256 tag in octets.
+inline constexpr std::size_t kMacSize = 32;
+
+/// Computes HMAC-SHA-256(key, data).
+[[nodiscard]] util::Bytes hmac_sha256(const SymmetricKey& key,
+                                      util::BytesView data);
+
+/// Verifies a MAC in constant time.
+[[nodiscard]] bool hmac_verify(const SymmetricKey& key, util::BytesView data,
+                               util::BytesView mac);
+
+}  // namespace rproxy::crypto

@@ -1,0 +1,92 @@
+#include "crypto/keys.hpp"
+
+#include <openssl/evp.h>
+
+#include <cassert>
+#include <stdexcept>
+
+#include "crypto/digest.hpp"
+#include "crypto/random.hpp"
+
+namespace rproxy::crypto {
+
+SymmetricKey SymmetricKey::from_bytes(util::BytesView raw) {
+  assert(raw.size() == kSymmetricKeySize && "symmetric key must be 32 bytes");
+  SymmetricKey k;
+  for (std::size_t i = 0; i < kSymmetricKeySize; ++i) k.material_[i] = raw[i];
+  return k;
+}
+
+SymmetricKey SymmetricKey::generate() {
+  return from_bytes(random_bytes(kSymmetricKeySize));
+}
+
+SymmetricKey SymmetricKey::derive_from_password(std::string_view password,
+                                                std::string_view salt) {
+  const util::Bytes input =
+      util::concat({util::to_bytes(salt), util::to_bytes(password)});
+  const Digest d = sha256(input);
+  return from_bytes(util::BytesView(d.data(), d.size()));
+}
+
+SymmetricKey SymmetricKey::derive_subkey(std::string_view purpose) const {
+  const util::Bytes input =
+      util::concat({view(), util::to_bytes(purpose)});
+  const Digest d = sha256(input);
+  return from_bytes(util::BytesView(d.data(), d.size()));
+}
+
+bool SymmetricKey::operator==(const SymmetricKey& other) const {
+  return util::constant_time_equal(view(), other.view());
+}
+
+std::string SymmetricKey::fingerprint() const {
+  const Digest d = sha256(view());
+  return util::to_hex(util::BytesView(d.data(), 4));
+}
+
+VerifyKey VerifyKey::from_bytes(util::BytesView raw) {
+  assert(raw.size() == 32 && "Ed25519 public key must be 32 bytes");
+  VerifyKey k;
+  for (std::size_t i = 0; i < 32; ++i) k.material_[i] = raw[i];
+  return k;
+}
+
+std::string VerifyKey::fingerprint() const {
+  const Digest d = sha256(view());
+  return util::to_hex(util::BytesView(d.data(), 4));
+}
+
+namespace {
+// Extracts the raw public key from an OpenSSL Ed25519 EVP_PKEY.
+VerifyKey public_from_pkey(EVP_PKEY* pkey) {
+  std::array<std::uint8_t, 32> pub{};
+  std::size_t len = pub.size();
+  if (EVP_PKEY_get_raw_public_key(pkey, pub.data(), &len) != 1 || len != 32) {
+    throw std::runtime_error("EVP_PKEY_get_raw_public_key failed");
+  }
+  return VerifyKey::from_bytes(pub);
+}
+}  // namespace
+
+SigningKeyPair SigningKeyPair::generate() {
+  return from_private_bytes(random_bytes(32));
+}
+
+SigningKeyPair SigningKeyPair::from_private_bytes(util::BytesView seed) {
+  assert(seed.size() == 32 && "Ed25519 private seed must be 32 bytes");
+  SigningKeyPair pair;
+  for (std::size_t i = 0; i < 32; ++i) pair.private_[i] = seed[i];
+
+  EVP_PKEY* pkey = EVP_PKEY_new_raw_private_key(
+      EVP_PKEY_ED25519, nullptr, pair.private_.data(), pair.private_.size());
+  if (pkey == nullptr) {
+    throw std::runtime_error("EVP_PKEY_new_raw_private_key failed");
+  }
+  pair.public_ = public_from_pkey(pkey);
+  EVP_PKEY_free(pkey);
+  pair.valid_ = true;
+  return pair;
+}
+
+}  // namespace rproxy::crypto

@@ -1,0 +1,114 @@
+// Key types.
+//
+// The paper's proxies work with either conventional or public-key
+// cryptography (§2, §6).  We provide both: SymmetricKey (AES-256 /
+// HMAC-SHA-256 material, the "conventional" realization, §6.2) and
+// SigningKeyPair / VerifyKey (Ed25519, the "public-key" realization, §6.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace rproxy::crypto {
+
+/// Size of symmetric key material in octets (shared by AEAD and HMAC use).
+inline constexpr std::size_t kSymmetricKeySize = 32;
+
+/// A 256-bit symmetric key.  Used both as an AEAD key and as an HMAC key
+/// (contexts are separated by purpose strings at the call sites).
+class SymmetricKey {
+ public:
+  /// Zero key; only meaningful as a placeholder before assignment.
+  SymmetricKey() = default;
+
+  /// Wraps existing key material.  Precondition: raw.size() == 32.
+  static SymmetricKey from_bytes(util::BytesView raw);
+
+  /// Fresh random key from the CSPRNG.
+  static SymmetricKey generate();
+
+  /// Deterministic key derived from a password/string via SHA-256.  Used by
+  /// the KDC principal database (Kerberos derives keys from passwords).
+  static SymmetricKey derive_from_password(std::string_view password,
+                                           std::string_view salt);
+
+  /// Derives a distinct subkey for a named purpose: HKDF-like
+  /// SHA-256(key || purpose).  Keeps one logical key per principal while
+  /// separating encryption and MAC contexts.
+  [[nodiscard]] SymmetricKey derive_subkey(std::string_view purpose) const;
+
+  [[nodiscard]] util::BytesView view() const { return material_; }
+  [[nodiscard]] util::Bytes bytes() const {
+    return util::Bytes(material_.begin(), material_.end());
+  }
+
+  /// Constant-time comparison.
+  [[nodiscard]] bool operator==(const SymmetricKey& other) const;
+
+  /// First 4 bytes of SHA-256(key) in hex — a safe identifier for logs and
+  /// key-selection hints (never reveals the key).
+  [[nodiscard]] std::string fingerprint() const;
+
+ private:
+  std::array<std::uint8_t, kSymmetricKeySize> material_{};
+};
+
+/// Ed25519 public verification key (32 octets).
+class VerifyKey {
+ public:
+  VerifyKey() = default;
+
+  /// Wraps raw public key material.  Precondition: raw.size() == 32.
+  static VerifyKey from_bytes(util::BytesView raw);
+
+  [[nodiscard]] util::BytesView view() const { return material_; }
+  [[nodiscard]] util::Bytes bytes() const {
+    return util::Bytes(material_.begin(), material_.end());
+  }
+
+  [[nodiscard]] bool operator==(const VerifyKey& other) const {
+    return material_ == other.material_;
+  }
+
+  /// Hex fingerprint for logs / name-server lookups.
+  [[nodiscard]] std::string fingerprint() const;
+
+ private:
+  std::array<std::uint8_t, 32> material_{};
+};
+
+/// Ed25519 key pair.  The private half never leaves this object except via
+/// private_bytes() (needed to hand a proxy key pair to a grantee, Fig 6).
+class SigningKeyPair {
+ public:
+  SigningKeyPair() = default;
+
+  /// Fresh Ed25519 key pair.
+  static SigningKeyPair generate();
+
+  /// Reconstructs a pair from a stored private seed (32 octets).
+  static SigningKeyPair from_private_bytes(util::BytesView seed);
+
+  [[nodiscard]] const VerifyKey& public_key() const { return public_; }
+
+  /// Raw 32-octet private seed.  Handle with care: transferring this IS
+  /// transferring the proxy key (the paper: "care must be taken to protect
+  /// the proxy key from disclosure", §2).
+  [[nodiscard]] util::Bytes private_bytes() const {
+    return util::Bytes(private_.begin(), private_.end());
+  }
+
+  [[nodiscard]] bool valid() const { return valid_; }
+
+ private:
+  std::array<std::uint8_t, 32> private_{};
+  VerifyKey public_;
+  bool valid_ = false;
+
+  friend class Signer;
+};
+
+}  // namespace rproxy::crypto

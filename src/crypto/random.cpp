@@ -1,0 +1,52 @@
+#include "crypto/random.hpp"
+
+#include <openssl/rand.h>
+
+#include <cassert>
+#include <stdexcept>
+
+namespace rproxy::crypto {
+
+util::Bytes random_bytes(std::size_t n) {
+  util::Bytes out(n);
+  if (n > 0 && RAND_bytes(out.data(), static_cast<int>(n)) != 1) {
+    throw std::runtime_error("system CSPRNG failure");
+  }
+  return out;
+}
+
+std::uint64_t random_u64() {
+  const util::Bytes b = random_bytes(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | b[static_cast<std::size_t>(i)];
+  return v;
+}
+
+std::uint64_t DeterministicRng::next_u64() {
+  // SplitMix64 (public domain, Sebastiano Vigna).
+  state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t DeterministicRng::next_below(std::uint64_t bound) {
+  assert(bound > 0);
+  return next_u64() % bound;
+}
+
+util::Bytes DeterministicRng::next_bytes(std::size_t n) {
+  util::Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    std::uint64_t v = next_u64();
+    for (int i = 0; i < 8 && out.size() < n; ++i) {
+      out.push_back(static_cast<std::uint8_t>(v & 0xff));
+      v >>= 8;
+    }
+  }
+  return out;
+}
+
+}  // namespace rproxy::crypto

@@ -1,0 +1,47 @@
+// Cryptographically secure randomness (OpenSSL RAND) plus a deterministic
+// PRNG for workload generation in tests and benches.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace rproxy::crypto {
+
+/// Fills a fresh buffer with `n` cryptographically secure random octets.
+/// Throws std::runtime_error if the system RNG fails (unrecoverable).
+[[nodiscard]] util::Bytes random_bytes(std::size_t n);
+
+/// Random fixed-size array (convenience for keys and nonces).
+template <std::size_t N>
+[[nodiscard]] std::array<std::uint8_t, N> random_array() {
+  const util::Bytes b = random_bytes(N);
+  std::array<std::uint8_t, N> out{};
+  for (std::size_t i = 0; i < N; ++i) out[i] = b[i];
+  return out;
+}
+
+/// Uniform random uint64 from the CSPRNG (used for check numbers, nonces).
+[[nodiscard]] std::uint64_t random_u64();
+
+/// Deterministic, seedable generator for *workloads only* (never keys).
+/// SplitMix64: tiny, fast, good distribution for test data.
+class DeterministicRng {
+ public:
+  explicit DeterministicRng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound).  Precondition: bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Pseudo-random bytes (workload payloads, object names).
+  util::Bytes next_bytes(std::size_t n);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace rproxy::crypto

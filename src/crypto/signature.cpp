@@ -1,0 +1,71 @@
+#include "crypto/signature.hpp"
+
+#include <openssl/evp.h>
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace rproxy::crypto {
+
+namespace {
+struct PkeyFree {
+  void operator()(EVP_PKEY* p) const { EVP_PKEY_free(p); }
+};
+using PkeyPtr = std::unique_ptr<EVP_PKEY, PkeyFree>;
+
+struct MdCtxFree {
+  void operator()(EVP_MD_CTX* c) const { EVP_MD_CTX_free(c); }
+};
+using MdCtxPtr = std::unique_ptr<EVP_MD_CTX, MdCtxFree>;
+}  // namespace
+
+util::Bytes sign(const SigningKeyPair& pair, util::BytesView data) {
+  assert(pair.valid() && "cannot sign with an empty key pair");
+  const util::Bytes seed = pair.private_bytes();
+  PkeyPtr pkey(EVP_PKEY_new_raw_private_key(EVP_PKEY_ED25519, nullptr,
+                                            seed.data(), seed.size()));
+  if (!pkey) throw std::runtime_error("EVP_PKEY_new_raw_private_key failed");
+
+  MdCtxPtr ctx(EVP_MD_CTX_new());
+  if (!ctx) throw std::runtime_error("EVP_MD_CTX_new failed");
+  if (EVP_DigestSignInit(ctx.get(), nullptr, nullptr, nullptr, pkey.get()) !=
+      1) {
+    throw std::runtime_error("EVP_DigestSignInit failed");
+  }
+  util::Bytes sig(kSignatureSize);
+  std::size_t sig_len = sig.size();
+  if (EVP_DigestSign(ctx.get(), sig.data(), &sig_len, data.data(),
+                     data.size()) != 1 ||
+      sig_len != kSignatureSize) {
+    throw std::runtime_error("EVP_DigestSign failed");
+  }
+  return sig;
+}
+
+bool verify(const VerifyKey& key, util::BytesView data,
+            util::BytesView signature) {
+  if (signature.size() != kSignatureSize) return false;
+  PkeyPtr pkey(EVP_PKEY_new_raw_public_key(
+      EVP_PKEY_ED25519, nullptr, key.view().data(), key.view().size()));
+  if (!pkey) return false;
+
+  MdCtxPtr ctx(EVP_MD_CTX_new());
+  if (!ctx) throw std::runtime_error("EVP_MD_CTX_new failed");
+  if (EVP_DigestVerifyInit(ctx.get(), nullptr, nullptr, nullptr,
+                           pkey.get()) != 1) {
+    return false;
+  }
+  return EVP_DigestVerify(ctx.get(), signature.data(), signature.size(),
+                          data.data(), data.size()) == 1;
+}
+
+util::Status verify_status(const VerifyKey& key, util::BytesView data,
+                           util::BytesView signature, std::string_view what) {
+  if (verify(key, data, signature)) return util::Status::ok();
+  return util::fail(util::ErrorCode::kBadSignature,
+                    "signature check failed on " + std::string(what));
+}
+
+}  // namespace rproxy::crypto

@@ -1,0 +1,31 @@
+// Ed25519 digital signatures.
+//
+// The public-key realization of restricted proxies (Fig 6): the certificate
+// is signed with the grantor's private key; the embedded proxy key is the
+// public half of a fresh pair whose private half goes to the grantee.
+#pragma once
+
+#include "crypto/keys.hpp"
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace rproxy::crypto {
+
+/// Size of an Ed25519 signature in octets.
+inline constexpr std::size_t kSignatureSize = 64;
+
+/// Signs `data` with the pair's private key.  Precondition: pair.valid().
+[[nodiscard]] util::Bytes sign(const SigningKeyPair& pair,
+                               util::BytesView data);
+
+/// Verifies an Ed25519 signature.
+[[nodiscard]] bool verify(const VerifyKey& key, util::BytesView data,
+                          util::BytesView signature);
+
+/// verify() packaged as a Status for use in verification pipelines.
+[[nodiscard]] util::Status verify_status(const VerifyKey& key,
+                                         util::BytesView data,
+                                         util::BytesView signature,
+                                         std::string_view what);
+
+}  // namespace rproxy::crypto

@@ -1,0 +1,71 @@
+// Authenticators and the AP (application) exchange.
+//
+// "To prove its identity, a client sends the ticket to the end-server along
+// with an authenticator which has been encrypted using the session key."
+// (§6.2)  The V5 authenticator's subkey field carries a proxy key and its
+// authorization-data field carries additional restrictions — that pair of
+// fields is exactly how a Kerberos proxy is minted (§6.2, last paragraph).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "kdc/replay_cache.hpp"
+#include "kdc/ticket.hpp"
+
+namespace rproxy::kdc {
+
+/// The encrypted interior of an authenticator.
+struct AuthenticatorBody {
+  PrincipalName client;
+  util::TimePoint timestamp = 0;
+  std::uint64_t nonce = 0;  ///< randomizer making each authenticator unique
+  /// Optional subkey.  Empty, or 32 octets: when present in a proxy, this IS
+  /// the proxy key (sealed here, handed separately to the grantee).
+  util::Bytes subkey;
+  /// Additional additive restriction sub-fields.
+  std::vector<util::Bytes> authorization_data;
+
+  void encode(wire::Encoder& enc) const;
+  static AuthenticatorBody decode(wire::Decoder& dec);
+};
+
+/// Seals an authenticator under the ticket's session key.
+[[nodiscard]] util::Bytes seal_authenticator(
+    const AuthenticatorBody& body, const crypto::SymmetricKey& session_key);
+
+/// Opens an authenticator with the ticket's session key.
+[[nodiscard]] util::Result<AuthenticatorBody> open_authenticator(
+    util::BytesView sealed, const crypto::SymmetricKey& session_key);
+
+/// Ticket + sealed authenticator: the AP-request message.
+struct ApRequest {
+  Ticket ticket;
+  util::Bytes sealed_authenticator;
+
+  void encode(wire::Encoder& enc) const;
+  static ApRequest decode(wire::Decoder& dec);
+};
+
+/// Result of a successful AP verification.
+struct ApVerified {
+  TicketBody ticket;
+  AuthenticatorBody authenticator;
+};
+
+/// Options governing AP verification.
+struct ApVerifyOptions {
+  /// Maximum tolerated clock skew between client timestamp and server time.
+  util::Duration max_skew = 2 * util::kMinute;
+  /// Replay cache; pass nullptr to skip replay detection (benches only).
+  ReplayCache* replay_cache = nullptr;
+};
+
+/// Full server-side verification of an AP request: opens the ticket with
+/// the server's long-term key, checks expiry, opens the authenticator with
+/// the session key, checks the client-name binding, freshness, and replay.
+[[nodiscard]] util::Result<ApVerified> verify_ap_request(
+    const ApRequest& req, const crypto::SymmetricKey& server_key,
+    util::TimePoint now, const ApVerifyOptions& options);
+
+}  // namespace rproxy::kdc

@@ -1,0 +1,142 @@
+#include "kdc/kdc_client.hpp"
+
+#include "crypto/random.hpp"
+
+namespace rproxy::kdc {
+
+KdcClient::KdcClient(net::SimNet& net, const util::Clock& clock,
+                     PrincipalName self, crypto::SymmetricKey self_key,
+                     PrincipalName kdc)
+    : net_(net),
+      clock_(clock),
+      self_(std::move(self)),
+      self_key_(self_key),
+      kdc_(std::move(kdc)) {}
+
+util::Result<Credentials> KdcClient::authenticate(
+    util::Duration lifetime, std::vector<util::Bytes> initial_restrictions) {
+  AsRequestPayload req;
+  req.client = self_;
+  req.nonce = crypto::random_u64();
+  req.requested_lifetime = lifetime;
+  req.requested_restrictions = std::move(initial_restrictions);
+
+  RPROXY_ASSIGN_OR_RETURN(
+      KdcReplyPayload reply,
+      (net::call<KdcReplyPayload>(net_, self_, kdc_, net::MsgType::kAsRequest,
+                                  net::MsgType::kAsReply, req)));
+
+  RPROXY_ASSIGN_OR_RETURN(
+      util::Bytes enc_plain,
+      crypto::aead_open(self_key_.derive_subkey(kAsReplySealPurpose),
+                        reply.sealed_enc_part));
+  RPROXY_ASSIGN_OR_RETURN(KdcReplyEncPart enc_part,
+                          wire::decode_from_bytes<KdcReplyEncPart>(enc_plain));
+  if (enc_part.nonce != req.nonce) {
+    return util::fail(util::ErrorCode::kProtocolError,
+                      "AS reply nonce mismatch (replayed reply?)");
+  }
+
+  Credentials creds;
+  creds.ticket = std::move(reply.ticket);
+  creds.session_key = enc_part.session_key;
+  creds.expires_at = enc_part.expires_at;
+  creds.server = enc_part.server;
+  creds.client = enc_part.client;
+  return creds;
+}
+
+util::Result<Credentials> KdcClient::get_ticket(
+    const Credentials& tgt, const PrincipalName& target,
+    util::Duration lifetime, std::vector<util::Bytes> additional_restrictions) {
+  TgsRequestPayload req;
+  req.tgt_ap = make_ap_request(tgt);
+  req.target = target;
+  req.nonce = crypto::random_u64();
+  req.requested_lifetime = lifetime;
+  req.additional_restrictions = std::move(additional_restrictions);
+
+  RPROXY_ASSIGN_OR_RETURN(
+      KdcReplyPayload reply,
+      (net::call<KdcReplyPayload>(net_, self_, kdc_,
+                                  net::MsgType::kTgsRequest,
+                                  net::MsgType::kTgsReply, req)));
+
+  RPROXY_ASSIGN_OR_RETURN(
+      util::Bytes enc_plain,
+      crypto::aead_open(
+          tgt.session_key.derive_subkey(kKdcReplySealPurpose),
+          reply.sealed_enc_part));
+  RPROXY_ASSIGN_OR_RETURN(KdcReplyEncPart enc_part,
+                          wire::decode_from_bytes<KdcReplyEncPart>(enc_plain));
+  if (enc_part.nonce != req.nonce) {
+    return util::fail(util::ErrorCode::kProtocolError,
+                      "TGS reply nonce mismatch (replayed reply?)");
+  }
+
+  Credentials creds;
+  creds.ticket = std::move(reply.ticket);
+  creds.session_key = enc_part.session_key;
+  creds.expires_at = enc_part.expires_at;
+  creds.server = enc_part.server;
+  creds.client = enc_part.client;
+  return creds;
+}
+
+util::Result<Credentials> use_tgs_proxy(
+    net::SimNet& net, const PrincipalName& grantee, const PrincipalName& kdc,
+    const ApRequest& proxy_certificate, const crypto::SymmetricKey& proxy_key,
+    const PrincipalName& target, util::Duration lifetime,
+    std::vector<util::Bytes> additional_restrictions) {
+  TgsRequestPayload req;
+  req.tgt_ap = proxy_certificate;
+  req.target = target;
+  req.nonce = crypto::random_u64();
+  req.requested_lifetime = lifetime;
+  req.additional_restrictions = std::move(additional_restrictions);
+
+  RPROXY_ASSIGN_OR_RETURN(
+      KdcReplyPayload reply,
+      (net::call<KdcReplyPayload>(net, grantee, kdc,
+                                  net::MsgType::kTgsRequest,
+                                  net::MsgType::kTgsReply, req)));
+
+  RPROXY_ASSIGN_OR_RETURN(
+      util::Bytes enc_plain,
+      crypto::aead_open(proxy_key.derive_subkey(kKdcReplySealPurpose),
+                        reply.sealed_enc_part));
+  RPROXY_ASSIGN_OR_RETURN(KdcReplyEncPart enc_part,
+                          wire::decode_from_bytes<KdcReplyEncPart>(enc_plain));
+  if (enc_part.nonce != req.nonce) {
+    return util::fail(util::ErrorCode::kProtocolError,
+                      "TGS reply nonce mismatch (replayed reply?)");
+  }
+
+  Credentials creds;
+  creds.ticket = std::move(reply.ticket);
+  creds.session_key = enc_part.session_key;
+  creds.expires_at = enc_part.expires_at;
+  creds.server = enc_part.server;
+  creds.client = enc_part.client;
+  return creds;
+}
+
+ApRequest KdcClient::make_ap_request(
+    const Credentials& creds, util::Bytes subkey,
+    std::vector<util::Bytes> authorization_data) const {
+  AuthenticatorBody body;
+  // Authenticators name the principal the ticket speaks for — normally the
+  // holder, but the grantor when the credentials came from a TGS proxy.
+  body.client = creds.client.empty() ? self_ : creds.client;
+  body.timestamp = clock_.now();
+  body.nonce = crypto::random_u64();
+  body.subkey = std::move(subkey);
+  body.authorization_data = std::move(authorization_data);
+
+  ApRequest req;
+  req.ticket = creds.ticket;
+  req.sealed_authenticator = seal_authenticator(body, creds.session_key);
+  return req;
+}
+
+}  // namespace rproxy::kdc

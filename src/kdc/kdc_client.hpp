@@ -1,0 +1,80 @@
+// Client-side driver for the Kerberos-style exchanges.
+#pragma once
+
+#include "kdc/kdc_server.hpp"
+#include "net/rpc.hpp"
+
+namespace rproxy::kdc {
+
+/// What a client holds after a successful exchange: "Credentials consist of
+/// two parts: a ticket, and a session key." (§6.2)
+struct Credentials {
+  Ticket ticket;
+  crypto::SymmetricKey session_key;
+  util::TimePoint expires_at = 0;
+  PrincipalName server;  ///< who the ticket is for
+  /// On whose behalf the ticket speaks.  Usually the holder; when derived
+  /// from a TGS proxy (§6.3) it is the GRANTOR — the holder acts as them.
+  PrincipalName client;
+
+  /// True if usable at `now`.
+  [[nodiscard]] bool valid_at(util::TimePoint now) const {
+    return now <= expires_at;
+  }
+};
+
+class KdcClient {
+ public:
+  /// `self_key` is the client's long-term key (its copy of the PrincipalDb
+  /// entry); `kdc` is the KDC's node id.
+  KdcClient(net::SimNet& net, const util::Clock& clock, PrincipalName self,
+            crypto::SymmetricKey self_key, PrincipalName kdc);
+
+  /// AS exchange: obtains a TGT.  `initial_restrictions` are placed on the
+  /// credentials from the start (§6.3).
+  [[nodiscard]] util::Result<Credentials> authenticate(
+      util::Duration lifetime,
+      std::vector<util::Bytes> initial_restrictions = {});
+
+  /// TGS exchange: obtains a ticket for `target` from existing credentials,
+  /// optionally adding restrictions (never removing any).
+  [[nodiscard]] util::Result<Credentials> get_ticket(
+      const Credentials& tgt, const PrincipalName& target,
+      util::Duration lifetime,
+      std::vector<util::Bytes> additional_restrictions = {});
+
+  /// Builds an AP request proving possession of `creds`' session key.
+  /// `subkey`/`authorization_data` mint a Kerberos proxy (§6.2): the subkey
+  /// becomes the proxy key and the authorization-data carries the added
+  /// restrictions.
+  [[nodiscard]] ApRequest make_ap_request(
+      const Credentials& creds, util::Bytes subkey = {},
+      std::vector<util::Bytes> authorization_data = {}) const;
+
+  [[nodiscard]] const PrincipalName& self() const { return self_; }
+
+ private:
+  net::SimNet& net_;
+  const util::Clock& clock_;
+  PrincipalName self_;
+  crypto::SymmetricKey self_key_;
+  PrincipalName kdc_;
+};
+
+/// Exercises a proxy for the ticket-granting service (§6.3): "Such a proxy
+/// allows the grantee to obtain proxies with identical restrictions for
+/// additional end-servers as needed."
+///
+/// The grantee presents the proxy's certificate (ticket + authenticator)
+/// as the TGS request's AP part; the KDC seals the reply under the proxy
+/// key (the authenticator subkey), which only the grantee holds.  The
+/// resulting credentials carry ALL of the proxy's restrictions plus any
+/// additions — never fewer.
+[[nodiscard]] util::Result<Credentials> use_tgs_proxy(
+    net::SimNet& net, const PrincipalName& grantee,
+    const PrincipalName& kdc, const ApRequest& proxy_certificate,
+    const crypto::SymmetricKey& proxy_key, const PrincipalName& target,
+    util::Duration lifetime,
+    std::vector<util::Bytes> additional_restrictions = {});
+
+}  // namespace rproxy::kdc

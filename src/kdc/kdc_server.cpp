@@ -1,0 +1,255 @@
+#include "kdc/kdc_server.hpp"
+
+#include <algorithm>
+
+#include "crypto/random.hpp"
+
+namespace rproxy::kdc {
+
+void AsRequestPayload::encode(wire::Encoder& enc) const {
+  enc.str(client);
+  enc.u64(nonce);
+  enc.i64(requested_lifetime);
+  enc.seq(requested_restrictions,
+          [](wire::Encoder& e, const util::Bytes& b) { e.bytes(b); });
+}
+
+AsRequestPayload AsRequestPayload::decode(wire::Decoder& dec) {
+  AsRequestPayload p;
+  p.client = dec.str();
+  p.nonce = dec.u64();
+  p.requested_lifetime = dec.i64();
+  p.requested_restrictions =
+      dec.seq<util::Bytes>([](wire::Decoder& d) { return d.bytes(); });
+  return p;
+}
+
+void KdcReplyEncPart::encode(wire::Encoder& enc) const {
+  enc.bytes(session_key.view());
+  enc.u64(nonce);
+  enc.i64(expires_at);
+  enc.str(server);
+  enc.str(client);
+}
+
+KdcReplyEncPart KdcReplyEncPart::decode(wire::Decoder& dec) {
+  KdcReplyEncPart p;
+  const util::Bytes key = dec.bytes();
+  if (dec.ok() && key.size() == crypto::kSymmetricKeySize) {
+    p.session_key = crypto::SymmetricKey::from_bytes(key);
+  }
+  p.nonce = dec.u64();
+  p.expires_at = dec.i64();
+  p.server = dec.str();
+  p.client = dec.str();
+  return p;
+}
+
+void KdcReplyPayload::encode(wire::Encoder& enc) const {
+  ticket.encode(enc);
+  enc.bytes(sealed_enc_part);
+}
+
+KdcReplyPayload KdcReplyPayload::decode(wire::Decoder& dec) {
+  KdcReplyPayload p;
+  p.ticket = Ticket::decode(dec);
+  p.sealed_enc_part = dec.bytes();
+  return p;
+}
+
+void TgsRequestPayload::encode(wire::Encoder& enc) const {
+  tgt_ap.encode(enc);
+  enc.str(target);
+  enc.u64(nonce);
+  enc.i64(requested_lifetime);
+  enc.seq(additional_restrictions,
+          [](wire::Encoder& e, const util::Bytes& b) { e.bytes(b); });
+}
+
+TgsRequestPayload TgsRequestPayload::decode(wire::Decoder& dec) {
+  TgsRequestPayload p;
+  p.tgt_ap = ApRequest::decode(dec);
+  p.target = dec.str();
+  p.nonce = dec.u64();
+  p.requested_lifetime = dec.i64();
+  p.additional_restrictions =
+      dec.seq<util::Bytes>([](wire::Decoder& d) { return d.bytes(); });
+  return p;
+}
+
+KdcServer::KdcServer(PrincipalName name, PrincipalDb db,
+                     const util::Clock& clock, KdcOptions options)
+    : name_(std::move(name)),
+      db_(std::move(db)),
+      clock_(clock),
+      options_(options) {}
+
+util::Result<ApVerified> KdcServer::verify_tgs_proxy_presentation_(
+    const ApRequest& req, const crypto::SymmetricKey& kdc_key,
+    util::TimePoint now) const {
+  RPROXY_ASSIGN_OR_RETURN(TicketBody ticket,
+                          open_ticket(req.ticket, kdc_key));
+  if (ticket.expires_at < now) {
+    return util::fail(util::ErrorCode::kExpired, "proxy ticket expired");
+  }
+  RPROXY_ASSIGN_OR_RETURN(
+      AuthenticatorBody auth,
+      open_authenticator(req.sealed_authenticator, ticket.session_key));
+  if (auth.client != ticket.client) {
+    return util::fail(util::ErrorCode::kProtocolError,
+                      "proxy authenticator/ticket client mismatch");
+  }
+  if (auth.subkey.size() != crypto::kSymmetricKeySize) {
+    return util::fail(util::ErrorCode::kProtocolError,
+                      "not a proxy presentation (no subkey)");
+  }
+  if (auth.timestamp < ticket.auth_time - options_.max_skew ||
+      auth.timestamp > ticket.expires_at) {
+    return util::fail(util::ErrorCode::kExpired,
+                      "proxy authenticator outside ticket validity");
+  }
+  return ApVerified{std::move(ticket), std::move(auth)};
+}
+
+net::Envelope KdcServer::handle(const net::Envelope& request) {
+  switch (request.type) {
+    case net::MsgType::kAsRequest:
+      return handle_as_(request);
+    case net::MsgType::kTgsRequest:
+      return handle_tgs_(request);
+    default:
+      return net::make_error_reply(
+          request, util::fail(util::ErrorCode::kProtocolError,
+                              "KDC cannot handle this message type"));
+  }
+}
+
+net::Envelope KdcServer::handle_as_(const net::Envelope& request) {
+  auto parsed = wire::decode_from_bytes<AsRequestPayload>(request.payload);
+  if (!parsed.is_ok()) return net::make_error_reply(request, parsed.status());
+  const AsRequestPayload& req = parsed.value();
+
+  auto client_key = db_.key_of(req.client);
+  if (!client_key.is_ok()) {
+    return net::make_error_reply(request, client_key.status());
+  }
+  auto kdc_key = db_.key_of(name_);
+  if (!kdc_key.is_ok()) return net::make_error_reply(request, kdc_key.status());
+
+  const util::TimePoint now = clock_.now();
+  const util::Duration lifetime =
+      std::clamp<util::Duration>(req.requested_lifetime, util::kMinute,
+                                 options_.max_ticket_lifetime);
+
+  TicketBody body;
+  body.client = req.client;
+  body.server = name_;  // a TGT is a ticket for the KDC itself
+  body.session_key = crypto::SymmetricKey::generate();
+  body.auth_time = now;
+  body.expires_at = now + lifetime;
+  body.authorization_data = req.requested_restrictions;
+
+  KdcReplyPayload reply;
+  reply.ticket = seal_ticket(body, kdc_key.value());
+
+  KdcReplyEncPart enc_part;
+  enc_part.session_key = body.session_key;
+  enc_part.nonce = req.nonce;
+  enc_part.expires_at = body.expires_at;
+  enc_part.server = name_;
+  enc_part.client = req.client;
+  reply.sealed_enc_part = crypto::aead_seal(
+      client_key.value().derive_subkey(kAsReplySealPurpose),
+      wire::encode_to_bytes(enc_part));
+
+  return net::make_reply(request, net::MsgType::kAsReply, reply);
+}
+
+net::Envelope KdcServer::handle_tgs_(const net::Envelope& request) {
+  auto parsed = wire::decode_from_bytes<TgsRequestPayload>(request.payload);
+  if (!parsed.is_ok()) return net::make_error_reply(request, parsed.status());
+  const TgsRequestPayload& req = parsed.value();
+
+  auto kdc_key = db_.key_of(name_);
+  if (!kdc_key.is_ok()) return net::make_error_reply(request, kdc_key.status());
+
+  const util::TimePoint now = clock_.now();
+  ApVerifyOptions ap_options;
+  ap_options.max_skew = options_.max_skew;
+  ap_options.replay_cache = &replay_cache_;
+  auto verified =
+      verify_ap_request(req.tgt_ap, kdc_key.value(), now, ap_options);
+  if (!verified.is_ok()) {
+    // A TGS proxy (§6.3): the presented ticket+authenticator pair is a
+    // proxy CERTIFICATE, not a fresh exchange — it is reused verbatim by
+    // the grantee, so the authenticator is neither fresh nor single-use.
+    // That is safe here because (a) restrictions still apply additively
+    // and (b) the reply is sealed under the proxy key (the authenticator's
+    // subkey), so a replaying attacker learns nothing.  Only pairs that
+    // actually carry a subkey qualify.
+    auto as_proxy = verify_tgs_proxy_presentation_(req.tgt_ap,
+                                                   kdc_key.value(), now);
+    if (!as_proxy.is_ok()) {
+      return net::make_error_reply(request, verified.status());
+    }
+    verified = std::move(as_proxy);
+  }
+  const TicketBody& tgt = verified.value().ticket;
+  const AuthenticatorBody& auth = verified.value().authenticator;
+
+  if (tgt.server != name_) {
+    return net::make_error_reply(
+        request, util::fail(util::ErrorCode::kProtocolError,
+                            "TGS request must present a ticket for the KDC"));
+  }
+  auto target_key = db_.key_of(req.target);
+  if (!target_key.is_ok()) {
+    return net::make_error_reply(request, target_key.status());
+  }
+
+  // Lifetime is additive-only too: never outlive the presented ticket.
+  util::Duration lifetime =
+      std::clamp<util::Duration>(req.requested_lifetime, util::kMinute,
+                                 options_.max_ticket_lifetime);
+  const util::TimePoint expires =
+      std::min(now + lifetime, tgt.expires_at);
+
+  TicketBody body;
+  body.client = tgt.client;
+  body.server = req.target;
+  body.session_key = crypto::SymmetricKey::generate();
+  body.auth_time = tgt.auth_time;
+  body.expires_at = expires;
+  // Restrictions accumulate: everything on the TGT, everything asserted in
+  // the authenticator, plus the request's additions.  Nothing is dropped.
+  body.authorization_data = tgt.authorization_data;
+  body.authorization_data.insert(body.authorization_data.end(),
+                                 auth.authorization_data.begin(),
+                                 auth.authorization_data.end());
+  body.authorization_data.insert(body.authorization_data.end(),
+                                 req.additional_restrictions.begin(),
+                                 req.additional_restrictions.end());
+
+  KdcReplyPayload reply;
+  reply.ticket = seal_ticket(body, target_key.value());
+
+  KdcReplyEncPart enc_part;
+  enc_part.session_key = body.session_key;
+  enc_part.nonce = req.nonce;
+  enc_part.expires_at = body.expires_at;
+  enc_part.server = req.target;
+  enc_part.client = tgt.client;
+  // Sealed under the TGT session key (or the authenticator subkey when one
+  // was supplied, matching Kerberos V5 subkey semantics).
+  crypto::SymmetricKey reply_key = tgt.session_key;
+  if (auth.subkey.size() == crypto::kSymmetricKeySize) {
+    reply_key = crypto::SymmetricKey::from_bytes(auth.subkey);
+  }
+  reply.sealed_enc_part =
+      crypto::aead_seal(reply_key.derive_subkey(kKdcReplySealPurpose),
+                        wire::encode_to_bytes(enc_part));
+
+  return net::make_reply(request, net::MsgType::kTgsReply, reply);
+}
+
+}  // namespace rproxy::kdc

@@ -1,0 +1,117 @@
+// The KDC: authentication server (AS) + ticket-granting server (TGS).
+//
+// AS exchange: initial authentication — the client proves knowledge of its
+// long-term key by being able to decrypt the reply; it receives a
+// ticket-granting ticket (TGT, a ticket for the KDC itself).
+//
+// TGS exchange: the client presents the TGT (an AP request against the KDC)
+// and receives a ticket for a target server.  "When new tickets are issued
+// based on existing credentials, restrictions may be added, but not
+// removed." (§6.2) — the TGS copies ALL authorization-data from the
+// presented ticket and the authenticator into the new ticket and appends
+// the request's additional restrictions; there is no code path that drops
+// one.  The new ticket's lifetime is clamped to the presented ticket's.
+//
+// "It is possible to issue a proxy for the Kerberos ticket-granting service.
+// Such a proxy allows the grantee to obtain proxies with identical
+// restrictions for additional end-servers as needed." (§6.3) — this falls
+// out of the copy-all rule: a restricted TGT yields only equally-or-more
+// restricted service tickets.
+#pragma once
+
+#include <cstdint>
+
+#include "kdc/authenticator.hpp"
+#include "kdc/principal_db.hpp"
+#include "net/rpc.hpp"
+
+namespace rproxy::kdc {
+
+/// AS request payload (client is unauthenticated at this point; the reply
+/// is only useful to someone holding the client's long-term key).
+struct AsRequestPayload {
+  PrincipalName client;
+  std::uint64_t nonce = 0;               ///< binds reply to request
+  util::Duration requested_lifetime = 0;
+  /// Restrictions the client asks to be placed on its own credentials from
+  /// the start (§6.3: "the initial authentication of a user can itself be
+  /// thought of as the granting of a proxy").
+  std::vector<util::Bytes> requested_restrictions;
+
+  void encode(wire::Encoder& enc) const;
+  static AsRequestPayload decode(wire::Decoder& dec);
+};
+
+/// Sealed portion of AS/TGS replies: the session key and echo of the nonce.
+struct KdcReplyEncPart {
+  crypto::SymmetricKey session_key;
+  std::uint64_t nonce = 0;
+  util::TimePoint expires_at = 0;
+  PrincipalName server;  ///< which server the ticket is for
+  /// On whose behalf the ticket speaks (differs from the requester when a
+  /// TGS proxy was exercised, §6.3).
+  PrincipalName client;
+
+  void encode(wire::Encoder& enc) const;
+  static KdcReplyEncPart decode(wire::Decoder& dec);
+};
+
+/// AS/TGS reply: ticket plus sealed enc-part (AS: under the client's
+/// long-term key; TGS: under the session key of the presented ticket).
+struct KdcReplyPayload {
+  Ticket ticket;
+  util::Bytes sealed_enc_part;
+
+  void encode(wire::Encoder& enc) const;
+  static KdcReplyPayload decode(wire::Decoder& dec);
+};
+
+/// TGS request payload.
+struct TgsRequestPayload {
+  ApRequest tgt_ap;            ///< TGT + authenticator (proves session key)
+  PrincipalName target;        ///< server a ticket is wanted for
+  std::uint64_t nonce = 0;
+  util::Duration requested_lifetime = 0;
+  /// Additional restrictions to place on the new ticket (additive).
+  std::vector<util::Bytes> additional_restrictions;
+
+  void encode(wire::Encoder& enc) const;
+  static TgsRequestPayload decode(wire::Decoder& dec);
+};
+
+/// KDC configuration knobs.
+struct KdcOptions {
+  util::Duration max_ticket_lifetime = 8 * util::kHour;
+  util::Duration max_skew = 2 * util::kMinute;
+};
+
+class KdcServer final : public net::Node {
+ public:
+  /// `name` doubles as the TGS principal (tickets for `name` are TGTs).
+  /// The KDC's own long-term key is looked up in `db` under `name`.
+  KdcServer(PrincipalName name, PrincipalDb db, const util::Clock& clock,
+            KdcOptions options = {});
+
+  net::Envelope handle(const net::Envelope& request) override;
+
+  [[nodiscard]] const PrincipalName& name() const { return name_; }
+  [[nodiscard]] PrincipalDb& db() { return db_; }
+
+ private:
+  [[nodiscard]] net::Envelope handle_as_(const net::Envelope& request);
+  [[nodiscard]] net::Envelope handle_tgs_(const net::Envelope& request);
+  /// Accepts a TGS-proxy presentation (§6.3): the ticket+authenticator
+  /// pair reused as a proxy certificate (subkey = proxy key), validated
+  /// against the ticket's validity window instead of freshness/replay.
+  [[nodiscard]] util::Result<ApVerified> verify_tgs_proxy_presentation_(
+      const ApRequest& req, const crypto::SymmetricKey& kdc_key,
+      util::TimePoint now) const;
+
+  PrincipalName name_;
+  PrincipalDb db_;
+  const util::Clock& clock_;
+  KdcOptions options_;
+  ReplayCache replay_cache_;
+};
+
+}  // namespace rproxy::kdc

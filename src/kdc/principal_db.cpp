@@ -1,0 +1,34 @@
+#include "kdc/principal_db.hpp"
+
+namespace rproxy::kdc {
+
+void PrincipalDb::register_principal(const PrincipalName& name,
+                                     crypto::SymmetricKey key) {
+  keys_[name] = key;
+}
+
+crypto::SymmetricKey PrincipalDb::register_with_password(
+    const PrincipalName& name, std::string_view password) {
+  crypto::SymmetricKey key =
+      crypto::SymmetricKey::derive_from_password(password, name);
+  register_principal(name, key);
+  return key;
+}
+
+void PrincipalDb::remove(const PrincipalName& name) { keys_.erase(name); }
+
+bool PrincipalDb::exists(const PrincipalName& name) const {
+  return keys_.contains(name);
+}
+
+util::Result<crypto::SymmetricKey> PrincipalDb::key_of(
+    const PrincipalName& name) const {
+  auto it = keys_.find(name);
+  if (it == keys_.end()) {
+    return util::fail(util::ErrorCode::kNotFound,
+                      "unknown principal '" + name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace rproxy::kdc

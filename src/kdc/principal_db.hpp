@@ -1,0 +1,43 @@
+// Principal database: long-term symmetric keys.
+//
+// The KDC shares a secret key with every registered principal (user or
+// server), exactly as in Kerberos.  Servers keep their own copy of their
+// long-term key to open tickets.
+#pragma once
+
+#include <map>
+
+#include "crypto/keys.hpp"
+#include "util/names.hpp"
+#include "util/status.hpp"
+
+namespace rproxy::kdc {
+
+class PrincipalDb {
+ public:
+  /// Registers (or replaces) a principal's long-term key.
+  void register_principal(const PrincipalName& name,
+                          crypto::SymmetricKey key);
+
+  /// Registers a principal with a password-derived key (convenience mirror
+  /// of Kerberos string-to-key) and returns the key for the client's copy.
+  crypto::SymmetricKey register_with_password(const PrincipalName& name,
+                                              std::string_view password);
+
+  /// Removes a principal; outstanding tickets for it become undecryptable
+  /// the moment the server also rotates (used in revocation tests).
+  void remove(const PrincipalName& name);
+
+  [[nodiscard]] bool exists(const PrincipalName& name) const;
+
+  /// The principal's long-term key, or kNotFound.
+  [[nodiscard]] util::Result<crypto::SymmetricKey> key_of(
+      const PrincipalName& name) const;
+
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+
+ private:
+  std::map<PrincipalName, crypto::SymmetricKey> keys_;
+};
+
+}  // namespace rproxy::kdc

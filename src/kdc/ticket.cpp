@@ -1,0 +1,67 @@
+#include "kdc/ticket.hpp"
+
+namespace rproxy::kdc {
+
+void TicketBody::encode(wire::Encoder& enc) const {
+  enc.str(client);
+  enc.str(server);
+  enc.bytes(session_key.view());
+  enc.i64(auth_time);
+  enc.i64(expires_at);
+  enc.seq(authorization_data,
+          [](wire::Encoder& e, const util::Bytes& b) { e.bytes(b); });
+}
+
+TicketBody TicketBody::decode(wire::Decoder& dec) {
+  TicketBody body;
+  body.client = dec.str();
+  body.server = dec.str();
+  const util::Bytes key = dec.bytes();
+  if (dec.ok() && key.size() == crypto::kSymmetricKeySize) {
+    body.session_key = crypto::SymmetricKey::from_bytes(key);
+  }
+  body.auth_time = dec.i64();
+  body.expires_at = dec.i64();
+  body.authorization_data = dec.seq<util::Bytes>(
+      [](wire::Decoder& d) { return d.bytes(); });
+  return body;
+}
+
+void Ticket::encode(wire::Encoder& enc) const {
+  enc.str(server);
+  enc.bytes(sealed_body);
+}
+
+Ticket Ticket::decode(wire::Decoder& dec) {
+  Ticket t;
+  t.server = dec.str();
+  t.sealed_body = dec.bytes();
+  return t;
+}
+
+Ticket seal_ticket(const TicketBody& body,
+                   const crypto::SymmetricKey& server_key) {
+  Ticket t;
+  t.server = body.server;
+  t.sealed_body =
+      crypto::aead_seal(server_key.derive_subkey(kTicketSealPurpose),
+                        wire::encode_to_bytes(body));
+  return t;
+}
+
+util::Result<TicketBody> open_ticket(const Ticket& ticket,
+                                     const crypto::SymmetricKey& server_key) {
+  RPROXY_ASSIGN_OR_RETURN(
+      util::Bytes plain,
+      crypto::aead_open(server_key.derive_subkey(kTicketSealPurpose),
+                        ticket.sealed_body));
+  RPROXY_ASSIGN_OR_RETURN(TicketBody body,
+                          wire::decode_from_bytes<TicketBody>(plain));
+  if (body.server != ticket.server) {
+    return util::fail(util::ErrorCode::kProtocolError,
+                      "ticket outer server name does not match sealed body");
+  }
+  return body;
+}
+
+}  // namespace rproxy::kdc

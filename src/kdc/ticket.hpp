@@ -1,0 +1,67 @@
+// Kerberos-style tickets.
+//
+// "Credentials consist of two parts: a ticket, and a session key.  The
+// ticket contains the name of the authenticated principal and a session
+// key.  It is encrypted using the secret key shared by the end-server and
+// the Kerberos server." (§6.2)
+//
+// The Version-5 feature the proxy model rides on is the authorization-data
+// field: "an arbitrary number of typed sub-fields, each of which places
+// restrictions on the use of the ticket ... restrictions must be additive."
+// At this layer each sub-field is an opaque blob; core/ encodes Restriction
+// values into them.
+#pragma once
+
+#include <vector>
+
+#include "crypto/aead.hpp"
+#include "crypto/keys.hpp"
+#include "util/clock.hpp"
+#include "util/names.hpp"
+#include "wire/decoder.hpp"
+#include "wire/encoder.hpp"
+
+namespace rproxy::kdc {
+
+/// Key-derivation purpose strings; subkeys keep ticket sealing, reply
+/// sealing and authenticator sealing in separate cryptographic contexts.
+inline constexpr std::string_view kTicketSealPurpose = "kdc:ticket";
+inline constexpr std::string_view kAsReplySealPurpose = "kdc:as-reply";
+inline constexpr std::string_view kKdcReplySealPurpose = "kdc:kdc-reply";
+inline constexpr std::string_view kAuthenticatorSealPurpose =
+    "kdc:authenticator";
+
+/// The encrypted interior of a ticket.
+struct TicketBody {
+  PrincipalName client;            ///< authenticated principal
+  PrincipalName server;            ///< end-server the ticket is for
+  crypto::SymmetricKey session_key;
+  util::TimePoint auth_time = 0;   ///< when the client first authenticated
+  util::TimePoint expires_at = 0;
+  /// Additive restriction sub-fields (opaque at this layer).
+  std::vector<util::Bytes> authorization_data;
+
+  void encode(wire::Encoder& enc) const;
+  static TicketBody decode(wire::Decoder& dec);
+};
+
+/// The wire form of a ticket: the target server in the clear (so the holder
+/// knows where it is usable) plus the sealed body.
+struct Ticket {
+  PrincipalName server;
+  util::Bytes sealed_body;  ///< AEAD box under server key subkey "kdc:ticket"
+
+  void encode(wire::Encoder& enc) const;
+  static Ticket decode(wire::Decoder& dec);
+};
+
+/// Seals a ticket body under the end-server's long-term key.
+[[nodiscard]] Ticket seal_ticket(const TicketBody& body,
+                                 const crypto::SymmetricKey& server_key);
+
+/// Opens a ticket with the end-server's long-term key.  Fails with
+/// kBadSignature on tampering or wrong key; the caller checks expiry.
+[[nodiscard]] util::Result<TicketBody> open_ticket(
+    const Ticket& ticket, const crypto::SymmetricKey& server_key);
+
+}  // namespace rproxy::kdc

@@ -1,0 +1,13 @@
+#include "net/adversary.hpp"
+
+namespace rproxy::net {
+
+std::vector<Envelope> RecordingTap::of_type(MsgType t) const {
+  std::vector<Envelope> out;
+  for (const Envelope& e : log_) {
+    if (e.type == t) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace rproxy::net

@@ -1,0 +1,67 @@
+// Adversary taps.
+//
+// The paper's central security claim for proxy-based capabilities (§3.1) is
+// that "an attacker can not obtain such a capability by tapping the network
+// to observe the presentation of capabilities by legitimate users."  To test
+// that claim we need a network attacker: these taps see every envelope, can
+// record them for later replay, and can rewrite them in flight (tampering).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace rproxy::net {
+
+/// Observer/rewriter installed on a SimNet.  Default implementation is a
+/// pure wiretap (sees everything, changes nothing).
+class Tap {
+ public:
+  virtual ~Tap() = default;
+
+  /// Called for every delivered envelope, after any rewrite.
+  virtual void on_message(const Envelope& e) { (void)e; }
+
+  /// May replace the envelope in flight (tampering / man-in-the-middle).
+  /// Return nullopt to deliver unchanged.
+  virtual std::optional<Envelope> rewrite(const Envelope& e) {
+    (void)e;
+    return std::nullopt;
+  }
+};
+
+/// Records every envelope it sees; the basis of eavesdrop-then-replay
+/// attacks in tests and benches.
+class RecordingTap final : public Tap {
+ public:
+  void on_message(const Envelope& e) override { log_.push_back(e); }
+
+  [[nodiscard]] const std::vector<Envelope>& log() const { return log_; }
+  void clear() { log_.clear(); }
+
+  /// All recorded envelopes of one type (e.g. every kPresentProxy seen).
+  [[nodiscard]] std::vector<Envelope> of_type(MsgType t) const;
+
+ private:
+  std::vector<Envelope> log_;
+};
+
+/// Applies a caller-supplied rewrite function to matching envelopes; used
+/// for targeted bit-flipping / restriction-stripping attacks.
+class TamperTap final : public Tap {
+ public:
+  using RewriteFn = std::function<std::optional<Envelope>(const Envelope&)>;
+
+  explicit TamperTap(RewriteFn fn) : fn_(std::move(fn)) {}
+
+  std::optional<Envelope> rewrite(const Envelope& e) override {
+    return fn_(e);
+  }
+
+ private:
+  RewriteFn fn_;
+};
+
+}  // namespace rproxy::net

@@ -1,0 +1,98 @@
+#include "net/message.hpp"
+
+namespace rproxy::net {
+
+std::string_view msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kError: return "Error";
+    case MsgType::kAsRequest: return "AsRequest";
+    case MsgType::kAsReply: return "AsReply";
+    case MsgType::kTgsRequest: return "TgsRequest";
+    case MsgType::kTgsReply: return "TgsReply";
+    case MsgType::kApRequest: return "ApRequest";
+    case MsgType::kApReply: return "ApReply";
+    case MsgType::kNameLookup: return "NameLookup";
+    case MsgType::kNameReply: return "NameReply";
+    case MsgType::kPresentChallengeRequest: return "PresentChallengeRequest";
+    case MsgType::kPresentChallengeReply: return "PresentChallengeReply";
+    case MsgType::kPresentProxy: return "PresentProxy";
+    case MsgType::kAuthzRequest: return "AuthzRequest";
+    case MsgType::kAuthzReply: return "AuthzReply";
+    case MsgType::kGroupRequest: return "GroupRequest";
+    case MsgType::kGroupReply: return "GroupReply";
+    case MsgType::kAppRequest: return "AppRequest";
+    case MsgType::kAppReply: return "AppReply";
+    case MsgType::kCheckDeposit: return "CheckDeposit";
+    case MsgType::kDepositReply: return "DepositReply";
+    case MsgType::kCertifyRequest: return "CertifyRequest";
+    case MsgType::kCertifyReply: return "CertifyReply";
+    case MsgType::kAccountQuery: return "AccountQuery";
+    case MsgType::kAccountReply: return "AccountReply";
+    case MsgType::kTransferRequest: return "TransferRequest";
+    case MsgType::kTransferReply: return "TransferReply";
+    case MsgType::kCashierRequest: return "CashierRequest";
+    case MsgType::kCashierReply: return "CashierReply";
+    case MsgType::kSollinsVerify: return "SollinsVerify";
+    case MsgType::kSollinsVerifyReply: return "SollinsVerifyReply";
+    case MsgType::kPullAuthzQuery: return "PullAuthzQuery";
+    case MsgType::kPullAuthzReply: return "PullAuthzReply";
+    case MsgType::kPrepayDeposit: return "PrepayDeposit";
+    case MsgType::kPrepayDepositReply: return "PrepayDepositReply";
+    case MsgType::kRoleCreate: return "RoleCreate";
+    case MsgType::kRoleCreateReply: return "RoleCreateReply";
+    case MsgType::kRoleLookup: return "RoleLookup";
+    case MsgType::kRoleLookupReply: return "RoleLookupReply";
+  }
+  return "Unknown";
+}
+
+std::size_t Envelope::wire_size() const {
+  // from/to with u32 length prefixes, u16 type, u32 payload length, payload.
+  return 4 + from.size() + 4 + to.size() + 2 + 4 + payload.size();
+}
+
+void ErrorPayload::encode(wire::Encoder& enc) const {
+  enc.u16(code);
+  enc.str(message);
+}
+
+ErrorPayload ErrorPayload::decode(wire::Decoder& dec) {
+  ErrorPayload p;
+  p.code = dec.u16();
+  p.message = dec.str();
+  return p;
+}
+
+util::Status ErrorPayload::to_status() const {
+  if (code == 0) return util::Status::ok();
+  return util::Status(static_cast<util::ErrorCode>(code), message);
+}
+
+ErrorPayload ErrorPayload::from_status(const util::Status& s) {
+  ErrorPayload p;
+  p.code = static_cast<std::uint16_t>(s.code());
+  p.message = s.message();
+  return p;
+}
+
+Envelope make_error_reply(const Envelope& req, const util::Status& status) {
+  Envelope reply;
+  reply.from = req.to;
+  reply.to = req.from;
+  reply.type = MsgType::kError;
+  reply.payload = wire::encode_to_bytes(ErrorPayload::from_status(status));
+  return reply;
+}
+
+util::Status status_of(const Envelope& e) {
+  if (e.type != MsgType::kError) return util::Status::ok();
+  wire::Decoder dec(e.payload);
+  const ErrorPayload p = ErrorPayload::decode(dec);
+  if (!dec.finish().is_ok()) {
+    return util::fail(util::ErrorCode::kParseError,
+                      "malformed error payload");
+  }
+  return p.to_status();
+}
+
+}  // namespace rproxy::net

@@ -1,0 +1,18 @@
+#include "net/rpc.hpp"
+
+#include <string>
+
+namespace rproxy::net {
+
+util::Status expect_type(const Envelope& reply, MsgType expected) {
+  RPROXY_RETURN_IF_ERROR(status_of(reply));
+  if (reply.type != expected) {
+    return util::fail(util::ErrorCode::kProtocolError,
+                      "expected reply type " +
+                          std::string(msg_type_name(expected)) + ", got " +
+                          std::string(msg_type_name(reply.type)));
+  }
+  return util::Status::ok();
+}
+
+}  // namespace rproxy::net

@@ -1,0 +1,42 @@
+// Typed request/reply helper over SimNet.
+//
+// Protocol modules define payload structs with encode()/decode(); call<>()
+// handles the envelope plumbing, error mapping, and reply-type checking so
+// client code reads like the paper's message diagrams.
+#pragma once
+
+#include "net/message.hpp"
+#include "net/simnet.hpp"
+
+namespace rproxy::net {
+
+/// Checks that a reply envelope is not an error and has the expected type.
+[[nodiscard]] util::Status expect_type(const Envelope& reply,
+                                       MsgType expected);
+
+/// One typed round trip: encode request, rpc, check type, decode reply.
+template <typename ReplyT, typename RequestT>
+[[nodiscard]] util::Result<ReplyT> call(SimNet& net, const NodeId& from,
+                                        const NodeId& to, MsgType req_type,
+                                        MsgType reply_type,
+                                        const RequestT& request) {
+  RPROXY_ASSIGN_OR_RETURN(
+      Envelope reply,
+      net.rpc(from, to, req_type, wire::encode_to_bytes(request)));
+  RPROXY_RETURN_IF_ERROR(expect_type(reply, reply_type));
+  return wire::decode_from_bytes<ReplyT>(reply.payload);
+}
+
+/// Builds a success reply to `req` carrying an encodable payload.
+template <typename PayloadT>
+[[nodiscard]] Envelope make_reply(const Envelope& req, MsgType type,
+                                  const PayloadT& payload) {
+  Envelope reply;
+  reply.from = req.to;
+  reply.to = req.from;
+  reply.type = type;
+  reply.payload = wire::encode_to_bytes(payload);
+  return reply;
+}
+
+}  // namespace rproxy::net

@@ -1,0 +1,77 @@
+#include "net/simnet.hpp"
+
+namespace rproxy::net {
+
+void SimNet::attach(NodeId id, Node& node) { nodes_[std::move(id)] = &node; }
+
+void SimNet::detach(const NodeId& id) { nodes_.erase(id); }
+
+util::Duration SimNet::latency_(const NodeId& a, const NodeId& b) const {
+  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  if (auto it = link_latency_.find(key); it != link_latency_.end()) {
+    return it->second;
+  }
+  return default_latency_;
+}
+
+void SimNet::set_link_latency(const NodeId& a, const NodeId& b,
+                              util::Duration oneway) {
+  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  link_latency_[key] = oneway;
+}
+
+Envelope SimNet::deliver_(Envelope e) {
+  for (Tap* tap : taps_) {
+    if (auto rewritten = tap->rewrite(e)) e = std::move(*rewritten);
+  }
+  for (Tap* tap : taps_) tap->on_message(e);
+  stats_.messages += 1;
+  stats_.bytes += e.wire_size();
+  const util::Duration lat = latency_(e.from, e.to);
+  stats_.simulated_latency += lat;
+  clock_.advance(lat);
+  return e;
+}
+
+void SimNet::fail_link(const NodeId& a, const NodeId& b) {
+  failed_links_.insert(a < b ? std::make_pair(a, b) : std::make_pair(b, a));
+}
+
+void SimNet::restore_link(const NodeId& a, const NodeId& b) {
+  failed_links_.erase(a < b ? std::make_pair(a, b) : std::make_pair(b, a));
+}
+
+util::Result<Envelope> SimNet::rpc(Envelope request) {
+  {
+    const auto& a = request.from;
+    const auto& b = request.to;
+    if (failed_links_.contains(a < b ? std::make_pair(a, b)
+                                     : std::make_pair(b, a))) {
+      return util::fail(util::ErrorCode::kNotFound,
+                        "link " + a + " <-> " + b + " is down");
+    }
+  }
+  const Envelope delivered = deliver_(std::move(request));
+  auto it = nodes_.find(delivered.to);
+  if (it == nodes_.end()) {
+    return util::fail(util::ErrorCode::kNotFound,
+                      "no node attached as '" + delivered.to + "'");
+  }
+  stats_.rpcs += 1;
+  Envelope reply = it->second->handle(delivered);
+  reply.from = delivered.to;
+  reply.to = delivered.from;
+  return deliver_(std::move(reply));
+}
+
+util::Result<Envelope> SimNet::rpc(const NodeId& from, const NodeId& to,
+                                   MsgType type, util::Bytes payload) {
+  Envelope e;
+  e.from = from;
+  e.to = to;
+  e.type = type;
+  e.payload = std::move(payload);
+  return rpc(std::move(e));
+}
+
+}  // namespace rproxy::net

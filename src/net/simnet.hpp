@@ -1,0 +1,116 @@
+// Deterministic in-process network.
+//
+// Substitution for the paper's network of workstations (DESIGN.md §2): all
+// parties register as Nodes; rpc() delivers a request and returns the reply
+// synchronously, charging simulated latency on a shared SimClock and
+// counting messages and bytes.  Handlers may themselves issue rpc() calls
+// (an end-server contacting its accounting server, an intermediate server
+// cascading a proxy), which nests naturally.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/adversary.hpp"
+#include "net/message.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace rproxy::net {
+
+/// A protocol party.  Implementations: KDC, authorization server, group
+/// server, accounting servers, end-servers, baseline servers.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Handles one request and returns the reply envelope.  Protocol errors
+  /// are returned as kError envelopes (via make_error_reply), NOT as
+  /// C++ exceptions — a remote peer cannot throw across the wire.
+  [[nodiscard]] virtual Envelope handle(const Envelope& request) = 0;
+};
+
+/// Cumulative traffic counters; benches report these alongside time, since
+/// message counts are the paper's own cost model.
+struct NetStats {
+  std::uint64_t messages = 0;   ///< envelopes delivered (requests + replies)
+  std::uint64_t bytes = 0;      ///< sum of wire_size() over envelopes
+  std::uint64_t rpcs = 0;       ///< request/reply round trips
+  util::Duration simulated_latency = 0;  ///< total latency charged
+
+  void reset() { *this = NetStats{}; }
+};
+
+class SimNet {
+ public:
+  /// The net charges latency against `clock` (advance on every delivery).
+  explicit SimNet(util::SimClock& clock) : clock_(clock) {}
+
+  SimNet(const SimNet&) = delete;
+  SimNet& operator=(const SimNet&) = delete;
+
+  /// Registers a node.  The node must outlive the net.  Re-registering a
+  /// name replaces the previous binding (used to restart servers in tests).
+  void attach(NodeId id, Node& node);
+
+  /// Removes a node (simulates a crashed/unreachable party).
+  void detach(const NodeId& id);
+
+  /// One round trip: delivers `request` to its destination, returns the
+  /// reply.  Fails with kNotFound if the destination is not attached.
+  /// Latency: one link delay each way.
+  [[nodiscard]] util::Result<Envelope> rpc(Envelope request);
+
+  /// Convenience: builds the envelope and performs the round trip.
+  [[nodiscard]] util::Result<Envelope> rpc(const NodeId& from,
+                                           const NodeId& to, MsgType type,
+                                           util::Bytes payload);
+
+  /// Replays a previously captured envelope verbatim (adversary action).
+  [[nodiscard]] util::Result<Envelope> inject(const Envelope& captured) {
+    return rpc(captured);
+  }
+
+  /// Installs an adversary tap; taps see all traffic in installation order.
+  void add_tap(Tap& tap) { taps_.push_back(&tap); }
+  void clear_taps() { taps_.clear(); }
+
+  /// One-way link delay between any two nodes (default 500us ~ a 1993 LAN
+  /// round trip of 1ms).  Per-pair overrides model WAN links to remote
+  /// accounting servers etc.
+  void set_default_latency(util::Duration oneway) { default_latency_ = oneway; }
+  void set_link_latency(const NodeId& a, const NodeId& b,
+                        util::Duration oneway);
+
+  /// Cuts (or restores) the link between two nodes: rpcs over a failed
+  /// link return kNotFound, as if the peer were unreachable.  Models
+  /// partitions for failure-injection tests (e.g. a clearing chain whose
+  /// upstream bank is down must bounce, not double-credit).
+  void fail_link(const NodeId& a, const NodeId& b);
+  void restore_link(const NodeId& a, const NodeId& b);
+
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+  [[nodiscard]] util::SimClock& clock() { return clock_; }
+
+ private:
+  [[nodiscard]] util::Duration latency_(const NodeId& a,
+                                        const NodeId& b) const;
+  /// Runs taps and counters for one envelope hop.
+  Envelope deliver_(Envelope e);
+
+  util::SimClock& clock_;
+  std::map<NodeId, Node*> nodes_;
+  std::vector<Tap*> taps_;
+  util::Duration default_latency_ = 500 * util::kMicrosecond;
+  std::map<std::pair<NodeId, NodeId>, util::Duration> link_latency_;
+  std::set<std::pair<NodeId, NodeId>> failed_links_;
+  NetStats stats_;
+};
+
+}  // namespace rproxy::net

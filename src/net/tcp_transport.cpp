@@ -1,0 +1,213 @@
+#include "net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace rproxy::net {
+
+using util::ErrorCode;
+
+void encode_envelope(wire::Encoder& enc, const Envelope& e) {
+  enc.str(e.from);
+  enc.str(e.to);
+  enc.u16(static_cast<std::uint16_t>(e.type));
+  enc.bytes(e.payload);
+}
+
+Envelope decode_envelope(wire::Decoder& dec) {
+  Envelope e;
+  e.from = dec.str();
+  e.to = dec.str();
+  e.type = static_cast<MsgType>(dec.u16());
+  e.payload = dec.bytes();
+  return e;
+}
+
+namespace {
+
+/// Reads exactly n bytes; false on EOF/error.
+bool read_exact(int fd, std::uint8_t* buffer, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::read(fd, buffer + done, n - done);
+    if (got <= 0) return false;
+    done += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool write_exact(int fd, const std::uint8_t* buffer, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t put = ::write(fd, buffer + done, n - done);
+    if (put <= 0) return false;
+    done += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+constexpr std::size_t kMaxFrame = 4u << 20;  // 4 MiB: generous for chains
+
+bool read_frame(int fd, util::Bytes& out) {
+  std::uint8_t header[4];
+  if (!read_exact(fd, header, 4)) return false;
+  const std::uint32_t len = (std::uint32_t{header[0]} << 24) |
+                            (std::uint32_t{header[1]} << 16) |
+                            (std::uint32_t{header[2]} << 8) |
+                            std::uint32_t{header[3]};
+  if (len > kMaxFrame) return false;
+  out.resize(len);
+  return len == 0 || read_exact(fd, out.data(), len);
+}
+
+bool write_frame(int fd, util::BytesView frame) {
+  const auto len = static_cast<std::uint32_t>(frame.size());
+  const std::uint8_t header[4] = {
+      static_cast<std::uint8_t>(len >> 24),
+      static_cast<std::uint8_t>(len >> 16),
+      static_cast<std::uint8_t>(len >> 8),
+      static_cast<std::uint8_t>(len),
+  };
+  return write_exact(fd, header, 4) &&
+         (frame.empty() || write_exact(fd, frame.data(), frame.size()));
+}
+
+}  // namespace
+
+void TcpServer::attach(NodeId id, Node& node) {
+  nodes_[std::move(id)] = &node;
+}
+
+util::Status TcpServer::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return util::fail(ErrorCode::kInternal, "socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return util::fail(ErrorCode::kInternal, "bind() failed");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    return util::fail(ErrorCode::kInternal, "getsockname() failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 16) < 0) {
+    return util::fail(ErrorCode::kInternal, "listen() failed");
+  }
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop_(); });
+  return util::Status::ok();
+}
+
+void TcpServer::stop() {
+  if (!running_.exchange(false)) return;
+  // Closing the listener unblocks accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (std::thread& t : connections) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TcpServer::accept_loop_() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) return;
+      continue;
+    }
+    std::lock_guard lock(connections_mutex_);
+    connections_.emplace_back([this, fd] { serve_connection_(fd); });
+  }
+}
+
+void TcpServer::serve_connection_(int fd) {
+  util::Bytes frame;
+  while (running_.load() && read_frame(fd, frame)) {
+    wire::Decoder dec(frame);
+    Envelope request = decode_envelope(dec);
+    Envelope reply;
+    if (!dec.finish().is_ok()) {
+      reply = make_error_reply(
+          request, util::fail(ErrorCode::kParseError, "malformed envelope"));
+    } else {
+      auto it = nodes_.find(request.to);
+      if (it == nodes_.end()) {
+        reply = make_error_reply(
+            request, util::fail(ErrorCode::kNotFound,
+                                "no node '" + request.to + "' here"));
+      } else {
+        // Handlers were written for the single-threaded simulation:
+        // serialize dispatch so they keep those assumptions.
+        std::lock_guard lock(dispatch_mutex_);
+        reply = it->second->handle(request);
+        reply.from = request.to;
+        reply.to = request.from;
+      }
+    }
+    served_.fetch_add(1);
+    wire::Encoder enc;
+    encode_envelope(enc, reply);
+    if (!write_frame(fd, enc.view())) break;
+  }
+  ::close(fd);
+}
+
+util::Result<Envelope> tcp_rpc(const std::string& host, std::uint16_t port,
+                               const Envelope& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return util::fail(ErrorCode::kInternal, "socket() failed");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return util::fail(ErrorCode::kInternal, "bad address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return util::fail(ErrorCode::kNotFound,
+                      "cannot connect to " + host + ":" +
+                          std::to_string(port));
+  }
+
+  wire::Encoder enc;
+  encode_envelope(enc, request);
+  if (!write_frame(fd, enc.view())) {
+    ::close(fd);
+    return util::fail(ErrorCode::kInternal, "send failed");
+  }
+  util::Bytes frame;
+  if (!read_frame(fd, frame)) {
+    ::close(fd);
+    return util::fail(ErrorCode::kInternal, "connection closed mid-reply");
+  }
+  ::close(fd);
+
+  wire::Decoder dec(frame);
+  Envelope reply = decode_envelope(dec);
+  RPROXY_RETURN_IF_ERROR(dec.finish());
+  return reply;
+}
+
+}  // namespace rproxy::net

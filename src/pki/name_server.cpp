@@ -1,0 +1,79 @@
+#include "pki/name_server.hpp"
+
+namespace rproxy::pki {
+
+NameServer::NameServer(PrincipalName name, const util::Clock& clock,
+                       util::Duration cert_lifetime)
+    : name_(std::move(name)),
+      clock_(clock),
+      cert_lifetime_(cert_lifetime),
+      signing_key_(crypto::SigningKeyPair::generate()) {}
+
+void NameServer::register_key(const PrincipalName& subject,
+                              const crypto::VerifyKey& key) {
+  registry_[subject] = key;
+}
+
+void NameServer::remove(const PrincipalName& subject) {
+  registry_.erase(subject);
+}
+
+util::Result<crypto::VerifyKey> NameServer::key_of(
+    const PrincipalName& subject) const {
+  auto it = registry_.find(subject);
+  if (it == registry_.end()) {
+    return util::fail(util::ErrorCode::kNotFound,
+                      "no key registered for '" + subject + "'");
+  }
+  return it->second;
+}
+
+util::Result<IdentityCert> NameServer::issue_cert(
+    const PrincipalName& subject) const {
+  RPROXY_ASSIGN_OR_RETURN(crypto::VerifyKey key, key_of(subject));
+  return issue_identity_cert(subject, key, name_, signing_key_,
+                             clock_.now(), cert_lifetime_);
+}
+
+net::Envelope NameServer::handle(const net::Envelope& request) {
+  if (request.type != net::MsgType::kNameLookup) {
+    return net::make_error_reply(
+        request, util::fail(util::ErrorCode::kProtocolError,
+                            "name server only answers lookups"));
+  }
+  auto parsed = wire::decode_from_bytes<NameLookupPayload>(request.payload);
+  if (!parsed.is_ok()) return net::make_error_reply(request, parsed.status());
+
+  auto key = key_of(parsed.value().subject);
+  if (!key.is_ok()) return net::make_error_reply(request, key.status());
+
+  NameReplyPayload reply;
+  reply.cert = issue_identity_cert(parsed.value().subject, key.value(),
+                                   name_, signing_key_, clock_.now(),
+                                   cert_lifetime_);
+  return net::make_reply(request, net::MsgType::kNameReply, reply);
+}
+
+util::Result<IdentityCert> lookup_identity(net::SimNet& net,
+                                           const PrincipalName& self,
+                                           const PrincipalName& name_server,
+                                           const crypto::VerifyKey& root_key,
+                                           const PrincipalName& subject,
+                                           const util::Clock& clock) {
+  NameLookupPayload req;
+  req.subject = subject;
+  RPROXY_ASSIGN_OR_RETURN(
+      NameReplyPayload reply,
+      (net::call<NameReplyPayload>(net, self, name_server,
+                                   net::MsgType::kNameLookup,
+                                   net::MsgType::kNameReply, req)));
+  RPROXY_RETURN_IF_ERROR(
+      verify_identity_cert(reply.cert, root_key, clock.now()));
+  if (reply.cert.subject != subject) {
+    return util::fail(util::ErrorCode::kProtocolError,
+                      "name server answered for the wrong subject");
+  }
+  return reply.cert;
+}
+
+}  // namespace rproxy::pki

@@ -1,0 +1,83 @@
+// Name server: the authentication/name service of §6.1.
+//
+// Maps principal names to Ed25519 public keys and serves signed identity
+// certificates over the network (kNameLookup).  Parties that already hold
+// the name server's public key can verify the bindings offline thereafter —
+// this is what lets proxy verification avoid any online third party, the
+// key difference from Sollins' scheme the paper calls out (§3.4).
+#pragma once
+
+#include <map>
+
+#include "net/rpc.hpp"
+#include "pki/identity_cert.hpp"
+
+namespace rproxy::pki {
+
+/// Lookup request payload.
+struct NameLookupPayload {
+  PrincipalName subject;
+
+  void encode(wire::Encoder& enc) const { enc.str(subject); }
+  static NameLookupPayload decode(wire::Decoder& dec) {
+    return NameLookupPayload{dec.str()};
+  }
+};
+
+/// Lookup reply payload.
+struct NameReplyPayload {
+  IdentityCert cert;
+
+  void encode(wire::Encoder& enc) const { cert.encode(enc); }
+  static NameReplyPayload decode(wire::Decoder& dec) {
+    return NameReplyPayload{IdentityCert::decode(dec)};
+  }
+};
+
+class NameServer final : public net::Node {
+ public:
+  NameServer(PrincipalName name, const util::Clock& clock,
+             util::Duration cert_lifetime = 8 * util::kHour);
+
+  /// Registers (or replaces) a principal's public key.
+  void register_key(const PrincipalName& subject,
+                    const crypto::VerifyKey& key);
+
+  /// Unregisters a principal (revocation at the naming layer).
+  void remove(const PrincipalName& subject);
+
+  /// Local (in-process) lookup used by co-located verifiers.
+  [[nodiscard]] util::Result<crypto::VerifyKey> key_of(
+      const PrincipalName& subject) const;
+
+  /// Issues a signed certificate locally (the network path does the same
+  /// through kNameLookup).
+  [[nodiscard]] util::Result<IdentityCert> issue_cert(
+      const PrincipalName& subject) const;
+
+  /// The key parties must hold a priori to verify served certificates.
+  [[nodiscard]] const crypto::VerifyKey& root_key() const {
+    return signing_key_.public_key();
+  }
+
+  [[nodiscard]] const PrincipalName& name() const { return name_; }
+
+  net::Envelope handle(const net::Envelope& request) override;
+
+ private:
+  PrincipalName name_;
+  const util::Clock& clock_;
+  util::Duration cert_lifetime_;
+  crypto::SigningKeyPair signing_key_;
+  std::map<PrincipalName, crypto::VerifyKey> registry_;
+};
+
+/// Client-side lookup over the network, verifying the returned certificate
+/// against the name server's root key.  Takes the clock (not a time point)
+/// because the exchange itself consumes simulated time.
+[[nodiscard]] util::Result<IdentityCert> lookup_identity(
+    net::SimNet& net, const PrincipalName& self,
+    const PrincipalName& name_server, const crypto::VerifyKey& root_key,
+    const PrincipalName& subject, const util::Clock& clock);
+
+}  // namespace rproxy::pki

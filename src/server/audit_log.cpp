@@ -1,0 +1,17 @@
+#include "server/audit_log.hpp"
+
+#include <algorithm>
+
+namespace rproxy::server {
+
+std::size_t AuditLog::allowed_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [](const AuditRecord& r) { return r.allowed; }));
+}
+
+std::size_t AuditLog::denied_count() const {
+  return records_.size() - allowed_count();
+}
+
+}  // namespace rproxy::server

@@ -1,0 +1,46 @@
+// Audit log.
+//
+// Delegate-style cascading "leaves an audit trail since the new proxy
+// identifies the intermediate server" (§3.4); end-servers record who acted,
+// under whose authority, through whom.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/names.hpp"
+
+namespace rproxy::server {
+
+struct AuditRecord {
+  util::TimePoint time = 0;
+  Operation operation;
+  ObjectName object;
+  /// Principal whose rights authorized the operation (proxy grantor or the
+  /// directly authenticated client).
+  PrincipalName authority;
+  /// Identities proven by the presenter.
+  std::vector<PrincipalName> identities;
+  /// Intermediates that identity-signed cascade links.
+  std::vector<PrincipalName> via;
+  bool allowed = false;
+  std::string detail;  ///< denial reason or operation summary
+};
+
+class AuditLog {
+ public:
+  void append(AuditRecord record) { records_.push_back(std::move(record)); }
+
+  [[nodiscard]] const std::vector<AuditRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t allowed_count() const;
+  [[nodiscard]] std::size_t denied_count() const;
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<AuditRecord> records_;
+};
+
+}  // namespace rproxy::server

@@ -1,0 +1,126 @@
+// Generic proxy-verifying application server.
+//
+// Ties everything together on the server side of the model:
+//   1. issues single-use challenges (the "authentication exchange" of §2);
+//   2. verifies every presented chain and possession proof;
+//   3. derives asserted group memberships (§3.3);
+//   4. consults its local ACL — entries may name users, proxy grantors,
+//      authorization servers, or groups (§3.5), including compound entries
+//      requiring concurrence;
+//   5. enforces every restriction of every presented chain plus the
+//      matched ACL entry's own restrictions;
+//   6. performs the operation (subclass hook) and writes an audit record.
+#pragma once
+
+#include "authz/credential_eval.hpp"
+#include "core/challenge_registry.hpp"
+#include "server/audit_log.hpp"
+
+namespace rproxy::server {
+
+/// Challenge reply payload.
+struct ChallengePayload {
+  std::uint64_t id = 0;
+  util::Bytes nonce;
+
+  void encode(wire::Encoder& enc) const;
+  static ChallengePayload decode(wire::Decoder& dec);
+};
+
+/// Application request payload.
+struct AppRequestPayload {
+  Operation operation;
+  ObjectName object;
+  /// Resource consumption (e.g. {"pages", 3}); evaluated against quota
+  /// restrictions.
+  std::map<std::string, std::uint64_t> amounts;
+  /// Operation-specific arguments (file contents, job body, ...).
+  util::Bytes args;
+  /// Which outstanding challenge the proofs are bound to.
+  std::uint64_t challenge_id = 0;
+  /// Main credentials: proxies whose rights back the request.  More than
+  /// one implements concurrence (§3.5).
+  std::vector<core::PresentedCredential> credentials;
+  /// Group proxies asserting memberships (§3.3).
+  std::vector<core::PresentedCredential> group_credentials;
+  /// Personal authentication with no proxy (direct ACL users).  Optional.
+  std::optional<core::PossessionProof> identity;
+
+  void encode(wire::Encoder& enc) const;
+  static AppRequestPayload decode(wire::Decoder& dec);
+
+  /// The digest possession proofs must bind (client and server compute it
+  /// identically).
+  [[nodiscard]] util::Bytes digest() const;
+};
+
+/// Application reply payload.
+struct AppReplyPayload {
+  util::Bytes result;
+
+  void encode(wire::Encoder& enc) const { enc.bytes(result); }
+  static AppReplyPayload decode(wire::Decoder& dec) {
+    return AppReplyPayload{dec.bytes()};
+  }
+};
+
+/// What a subclass's perform() learns about an authorized request.
+struct AuthorizedRequest {
+  authz::EvaluatedCredentials credentials;
+  /// The ACL entry that authorized the request.
+  const authz::AclEntry* entry = nullptr;
+  /// Authority recorded in the audit log (first matched entry principal).
+  PrincipalName authority;
+};
+
+class EndServer : public net::Node {
+ public:
+  struct Config {
+    PrincipalName name;
+    /// Long-term Kerberos key; required to accept symmetric credentials.
+    std::optional<crypto::SymmetricKey> server_key;
+    /// Identity-key resolver; required to accept public-key credentials.
+    const core::KeyResolver* resolver = nullptr;
+    std::optional<crypto::VerifyKey> pk_root;
+    const util::Clock* clock = nullptr;
+    /// Unclaimed challenges expire after this long.
+    util::Duration challenge_ttl = 2 * util::kMinute;
+  };
+
+  explicit EndServer(Config config);
+
+  /// Local access-control list (§3.5).
+  [[nodiscard]] authz::Acl& acl() { return acl_; }
+  [[nodiscard]] const authz::Acl& acl() const { return acl_; }
+
+  [[nodiscard]] AuditLog& audit() { return audit_; }
+  [[nodiscard]] core::AcceptOnceCache& accept_once() { return accept_once_; }
+  [[nodiscard]] const PrincipalName& name() const { return config_.name; }
+  [[nodiscard]] const core::ProxyVerifier& verifier() const {
+    return verifier_;
+  }
+
+  net::Envelope handle(const net::Envelope& request) override;
+
+ protected:
+  /// Performs an authorized operation.  The request has already passed
+  /// chain verification, possession, ACL, and restriction checks.
+  [[nodiscard]] virtual util::Result<util::Bytes> perform(
+      const AppRequestPayload& request, const AuthorizedRequest& info) = 0;
+
+ private:
+  [[nodiscard]] net::Envelope handle_challenge_(const net::Envelope& request);
+  [[nodiscard]] net::Envelope handle_app_(const net::Envelope& request);
+  [[nodiscard]] util::Result<AppReplyPayload> process_(
+      const AppRequestPayload& req);
+
+  Config config_;
+  core::ProxyVerifier verifier_;
+  kdc::ReplayCache replay_cache_;
+  core::AcceptOnceCache accept_once_;
+  authz::Acl acl_;
+  AuditLog audit_;
+  core::ChallengeRegistry challenges_;
+};
+
+}  // namespace rproxy::server

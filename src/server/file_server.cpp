@@ -1,0 +1,56 @@
+#include "server/file_server.hpp"
+
+namespace rproxy::server {
+
+using util::ErrorCode;
+
+void FileServer::put_file(const ObjectName& path, std::string contents) {
+  files_[path] = std::move(contents);
+}
+
+bool FileServer::has_file(const ObjectName& path) const {
+  return files_.contains(path);
+}
+
+util::Result<std::string> FileServer::file_contents(
+    const ObjectName& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return util::fail(ErrorCode::kNotFound, "no such file '" + path + "'");
+  }
+  return it->second;
+}
+
+util::Result<util::Bytes> FileServer::perform(const AppRequestPayload& request,
+                                              const AuthorizedRequest& info) {
+  (void)info;
+  if (request.operation == "read") {
+    RPROXY_ASSIGN_OR_RETURN(std::string contents,
+                            file_contents(request.object));
+    return util::to_bytes(contents);
+  }
+  if (request.operation == "write") {
+    files_[request.object] = util::to_string(request.args);
+    return util::Bytes{};
+  }
+  if (request.operation == "delete") {
+    if (files_.erase(request.object) == 0) {
+      return util::fail(ErrorCode::kNotFound,
+                        "no such file '" + request.object + "'");
+    }
+    return util::Bytes{};
+  }
+  if (request.operation == "list") {
+    wire::Encoder enc;
+    enc.u32(static_cast<std::uint32_t>(files_.size()));
+    for (const auto& [path, contents] : files_) {
+      enc.str(path);
+    }
+    return enc.take();
+  }
+  return util::fail(ErrorCode::kProtocolError,
+                    "file server does not implement operation '" +
+                        request.operation + "'");
+}
+
+}  // namespace rproxy::server

@@ -1,0 +1,36 @@
+// File server: the end-server of the paper's capability example (§3.1).
+//
+// "To create a read capability for a particular file, a user authorized to
+// read that file requests a restricted proxy for use at the file server
+// containing the file, but with the restriction that it can only be used
+// to read the named file."
+//
+// Operations: "read", "write", "delete", "list".
+#pragma once
+
+#include <map>
+
+#include "server/end_server.hpp"
+
+namespace rproxy::server {
+
+class FileServer final : public EndServer {
+ public:
+  using EndServer::EndServer;
+
+  /// Direct (out-of-band) content manipulation for setup in tests/examples.
+  void put_file(const ObjectName& path, std::string contents);
+  [[nodiscard]] bool has_file(const ObjectName& path) const;
+  [[nodiscard]] util::Result<std::string> file_contents(
+      const ObjectName& path) const;
+  [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+
+ protected:
+  util::Result<util::Bytes> perform(const AppRequestPayload& request,
+                                    const AuthorizedRequest& info) override;
+
+ private:
+  std::map<ObjectName, std::string> files_;
+};
+
+}  // namespace rproxy::server

@@ -1,0 +1,113 @@
+#include "server/metered_server.hpp"
+
+namespace rproxy::server {
+
+using util::ErrorCode;
+
+void PaymentEnvelope::encode(wire::Encoder& enc) const {
+  check.encode(enc);
+  enc.boolean(certification.has_value());
+  if (certification.has_value()) certification->encode(enc);
+  enc.bytes(inner_args);
+}
+
+PaymentEnvelope PaymentEnvelope::decode(wire::Decoder& dec) {
+  PaymentEnvelope p;
+  p.check = accounting::Check::decode(dec);
+  if (dec.boolean()) {
+    p.certification = core::ProxyChain::decode(dec);
+  }
+  p.inner_args = dec.bytes();
+  return p;
+}
+
+MeteredServer::MeteredServer(MeteredConfig config)
+    : EndServer(config.base), config_(std::move(config)) {}
+
+util::Result<util::Bytes> MeteredServer::perform(
+    const AppRequestPayload& request, const AuthorizedRequest& info) {
+  auto price = config_.prices.find(request.operation);
+  if (price == config_.prices.end()) {
+    return perform_paid(request, info, request.args);  // free operation
+  }
+  const accounting::Currency& currency = price->second.first;
+  const std::uint64_t amount = price->second.second;
+
+  auto payment = wire::decode_from_bytes<PaymentEnvelope>(request.args);
+  if (!payment.is_ok()) {
+    payments_rejected_ += 1;
+    return util::fail(ErrorCode::kInsufficientFunds,
+                      "operation '" + request.operation +
+                          "' costs " + std::to_string(amount) + " " +
+                          currency + " and no payment was attached");
+  }
+  const PaymentEnvelope& envelope = payment.value();
+
+  // The check must be payable to us, in the right currency, for at least
+  // the price (the signed terms are cross-checked at the bank; here we
+  // check the cleartext so an obviously-wrong payment fails fast).
+  if (envelope.check.payee != name() ||
+      envelope.check.currency != currency ||
+      envelope.check.amount < amount) {
+    payments_rejected_ += 1;
+    return util::fail(ErrorCode::kInsufficientFunds,
+                      "payment does not cover " + std::to_string(amount) +
+                          " " + currency + " payable to " + name());
+  }
+
+  // Guaranteed funds: verify the drawee's certification OFFLINE (§4's
+  // second mechanism) before doing any work.
+  if (config_.require_certification) {
+    if (!envelope.certification.has_value()) {
+      payments_rejected_ += 1;
+      return util::fail(ErrorCode::kInsufficientFunds,
+                        "this server requires certified checks");
+    }
+    const PrincipalName presenter =
+        info.credentials.identities.empty()
+            ? envelope.check.payor_account.server
+            : info.credentials.identities.front();
+    const util::Status certified = accounting::verify_certification(
+        verifier(), *envelope.certification, envelope.check,
+        envelope.check.payor_account.server, presenter,
+        config_.base.clock->now());
+    if (!certified.is_ok()) {
+      payments_rejected_ += 1;
+      return certified;
+    }
+  }
+
+  // Perform first, then bank the check (Fig 5: "Upon completion of C's
+  // request, S endorses the check and deposits it").
+  RPROXY_ASSIGN_OR_RETURN(util::Bytes result,
+                          perform_paid(request, info, envelope.inner_args));
+
+  if (config_.accounting_client != nullptr) {
+    auto banked = config_.accounting_client->endorse_and_deposit(
+        config_.bank, envelope.check, config_.collect_account);
+    if (!banked.is_ok()) {
+      // The work is done but the check bounced: surface it (out-of-band
+      // recovery per §4); the audit log records the denial reason.
+      payments_rejected_ += 1;
+      return util::fail(ErrorCode::kInsufficientFunds,
+                        "service performed but payment bounced: " +
+                            banked.status().to_string());
+    }
+    payments_banked_ += 1;
+  }
+  return result;
+}
+
+util::Result<util::Bytes> MeteredComputeServer::perform_paid(
+    const AppRequestPayload& request, const AuthorizedRequest& info,
+    util::BytesView inner_args) {
+  (void)info;
+  if (request.operation != "compute" && request.operation != "ping") {
+    return util::fail(ErrorCode::kProtocolError,
+                      "unknown operation '" + request.operation + "'");
+  }
+  return util::concat({util::to_bytes(std::string_view("computed:")),
+                       inner_args});
+}
+
+}  // namespace rproxy::server

@@ -1,0 +1,85 @@
+// Metered end-server: the §4 payment flow packaged as a server mixin.
+//
+// "Authorization depends on accounting when a server verifies that a
+// client has been allocated sufficient resources to perform an operation."
+// A MeteredServer prices each operation in a currency, requires the
+// request to carry payment — a check for the price, plus (optionally) its
+// certification by the drawee bank — verifies the certification OFFLINE
+// before performing, and banks the check afterwards (Fig 5's E1).
+#pragma once
+
+#include "accounting/clearing.hpp"
+#include "server/end_server.hpp"
+
+namespace rproxy::server {
+
+/// Payment attached to a metered request (rides in AppRequestPayload.args
+/// alongside the operation's own arguments).
+struct PaymentEnvelope {
+  accounting::Check check;
+  /// Present when the server demands guaranteed funds.
+  std::optional<core::ProxyChain> certification;
+  /// The operation's own arguments.
+  util::Bytes inner_args;
+
+  void encode(wire::Encoder& enc) const;
+  static PaymentEnvelope decode(wire::Decoder& dec);
+};
+
+/// An end-server that charges per operation.
+class MeteredServer : public EndServer {
+ public:
+  struct MeteredConfig {
+    EndServer::Config base;
+    /// Price list: operation -> (currency, amount).  Unlisted operations
+    /// are free.
+    std::map<Operation, std::pair<accounting::Currency, std::uint64_t>>
+        prices;
+    /// Require certified checks (guaranteed funds) instead of trusting
+    /// uncertified paper.
+    bool require_certification = true;
+    /// This server's own bank and collection account, used to deposit
+    /// received checks after service.
+    PrincipalName bank;
+    std::string collect_account;
+    /// Client for the deposits (the server's accounting identity).
+    accounting::AccountingClient* accounting_client = nullptr;
+  };
+
+  explicit MeteredServer(MeteredConfig config);
+
+  [[nodiscard]] std::uint64_t payments_banked() const {
+    return payments_banked_;
+  }
+  [[nodiscard]] std::uint64_t payments_rejected() const {
+    return payments_rejected_;
+  }
+
+ protected:
+  /// Subclasses implement the actual (paid) operation.
+  [[nodiscard]] virtual util::Result<util::Bytes> perform_paid(
+      const AppRequestPayload& request, const AuthorizedRequest& info,
+      util::BytesView inner_args) = 0;
+
+  util::Result<util::Bytes> perform(const AppRequestPayload& request,
+                                    const AuthorizedRequest& info) final;
+
+ private:
+  MeteredConfig config_;
+  std::uint64_t payments_banked_ = 0;
+  std::uint64_t payments_rejected_ = 0;
+};
+
+/// A metered echo service used by tests and the examples: operation
+/// "compute" costs whatever the price list says and echoes its arguments.
+class MeteredComputeServer final : public MeteredServer {
+ public:
+  using MeteredServer::MeteredServer;
+
+ protected:
+  util::Result<util::Bytes> perform_paid(const AppRequestPayload& request,
+                                         const AuthorizedRequest& info,
+                                         util::BytesView inner_args) override;
+};
+
+}  // namespace rproxy::server

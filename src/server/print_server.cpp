@@ -1,0 +1,31 @@
+#include "server/print_server.hpp"
+
+namespace rproxy::server {
+
+util::Result<util::Bytes> PrintServer::perform(
+    const AppRequestPayload& request, const AuthorizedRequest& info) {
+  if (request.operation != "print") {
+    return util::fail(util::ErrorCode::kProtocolError,
+                      "print server only implements 'print'");
+  }
+  auto it = request.amounts.find(std::string(kPagesCurrency));
+  const std::uint64_t pages = it == request.amounts.end() ? 0 : it->second;
+  if (pages == 0) {
+    return util::fail(util::ErrorCode::kProtocolError,
+                      "print request must declare its page count");
+  }
+
+  PrintJob job;
+  job.authority = info.authority;
+  job.queue = request.object;
+  job.pages = pages;
+  job.body = util::to_string(request.args);
+  jobs_.push_back(std::move(job));
+  pages_printed_ += pages;
+
+  wire::Encoder enc;
+  enc.u64(jobs_.size());  // job id
+  return enc.take();
+}
+
+}  // namespace rproxy::server

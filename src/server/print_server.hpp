@@ -1,0 +1,42 @@
+// Print server: a quota-governed resource (the paper's "printer pages"
+// currency, §4).
+//
+// Operation "print" on a queue consumes {"pages": n}; quota restrictions in
+// presented proxies bound per-job consumption, and examples pair this
+// server with an accounting server that maintains the cumulative page
+// balance.
+#pragma once
+
+#include <vector>
+
+#include "server/end_server.hpp"
+
+namespace rproxy::server {
+
+/// The currency print jobs consume.
+inline constexpr std::string_view kPagesCurrency = "pages";
+
+struct PrintJob {
+  PrincipalName authority;
+  ObjectName queue;
+  std::uint64_t pages = 0;
+  std::string body;
+};
+
+class PrintServer final : public EndServer {
+ public:
+  using EndServer::EndServer;
+
+  [[nodiscard]] const std::vector<PrintJob>& jobs() const { return jobs_; }
+  [[nodiscard]] std::uint64_t pages_printed() const { return pages_printed_; }
+
+ protected:
+  util::Result<util::Bytes> perform(const AppRequestPayload& request,
+                                    const AuthorizedRequest& info) override;
+
+ private:
+  std::vector<PrintJob> jobs_;
+  std::uint64_t pages_printed_ = 0;
+};
+
+}  // namespace rproxy::server

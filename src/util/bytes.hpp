@@ -1,0 +1,50 @@
+// Byte-buffer primitives shared by every module.
+//
+// The library moves opaque octet strings around constantly (keys, MACs,
+// encrypted certificates, wire messages), so we fix one owning type (Bytes)
+// and one non-owning view type (BytesView) here and use them everywhere.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rproxy::util {
+
+/// Owning byte buffer.  Value semantics; cheap to move.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view over contiguous bytes.  Used at all API
+/// boundaries that only read their input (C++ Core Guidelines F.24).
+using BytesView = std::span<const std::uint8_t>;
+
+/// Builds an owning buffer from a view.
+[[nodiscard]] Bytes to_bytes(BytesView v);
+
+/// Builds an owning buffer from the raw octets of a string (no encoding
+/// applied; embedded NULs are preserved).
+[[nodiscard]] Bytes to_bytes(std::string_view s);
+
+/// Interprets a byte buffer as a string of raw octets.
+[[nodiscard]] std::string to_string(BytesView v);
+
+/// Lower-case hexadecimal rendering, e.g. {0xde,0xad} -> "dead".
+[[nodiscard]] std::string to_hex(BytesView v);
+
+/// Parses lower- or upper-case hex.  Throws std::invalid_argument on odd
+/// length or non-hex characters (programming error, not runtime input).
+[[nodiscard]] Bytes from_hex(std::string_view hex);
+
+/// Concatenates any number of byte views into a fresh buffer.
+[[nodiscard]] Bytes concat(std::initializer_list<BytesView> parts);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Byte-wise equality that does NOT leak timing information; use for
+/// comparing MACs, keys and other secrets (crypto module re-exports this).
+[[nodiscard]] bool constant_time_equal(BytesView a, BytesView b);
+
+}  // namespace rproxy::util

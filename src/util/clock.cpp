@@ -1,0 +1,41 @@
+#include "util/clock.hpp"
+
+#include <cassert>
+#include <chrono>
+
+namespace rproxy::util {
+
+std::string format_time(TimePoint t) {
+  const auto secs = t / kSecond;
+  const auto micros = t % kSecond;
+  std::string out = std::to_string(secs);
+  out.push_back('.');
+  std::string frac = std::to_string(micros);
+  out.append(6 - frac.size(), '0');
+  out += frac;
+  out.push_back('s');
+  return out;
+}
+
+void SimClock::advance(Duration d) {
+  assert(d >= 0 && "time never flows backward");
+  now_ += d;
+}
+
+void SimClock::set(TimePoint t) {
+  assert(t >= now_ && "time never flows backward");
+  now_ = t;
+}
+
+TimePoint SystemClock::now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+SystemClock& SystemClock::instance() {
+  static SystemClock clock;
+  return clock;
+}
+
+}  // namespace rproxy::util

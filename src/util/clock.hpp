@@ -1,0 +1,71 @@
+// Time source abstraction.
+//
+// Every credential in the proxy model carries an expiration time (the paper
+// treats expiry as a feature of proxies-as-capabilities, §3.1), and the
+// accounting server keeps check numbers "until the expiration time on the
+// check" (§4).  Tests and the simulated network need a time source they can
+// advance deterministically, so all components take a Clock& rather than
+// calling the OS.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rproxy::util {
+
+/// A point in time, microseconds since an arbitrary epoch.  Plain integer so
+/// it serializes trivially and simulated time is exact.
+using TimePoint = std::int64_t;
+
+/// A span of time in microseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+inline constexpr Duration kMinute = 60 * kSecond;
+inline constexpr Duration kHour = 60 * kMinute;
+
+/// Renders a TimePoint as "<seconds>.<micros>s" for diagnostics.
+[[nodiscard]] std::string format_time(TimePoint t);
+
+/// Abstract time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time.
+  [[nodiscard]] virtual TimePoint now() const = 0;
+};
+
+/// Deterministic clock under test/simulation control.
+class SimClock final : public Clock {
+ public:
+  /// Starts at `start` (defaults to a nonzero value so that accidental
+  /// zero-initialised timestamps are distinguishable from real ones).
+  explicit SimClock(TimePoint start = 1'000'000'000LL * kSecond)
+      : now_(start) {}
+
+  [[nodiscard]] TimePoint now() const override { return now_; }
+
+  /// Moves time forward.  Precondition: d >= 0 (time never flows backward).
+  void advance(Duration d);
+
+  /// Jumps to an absolute time.  Precondition: t >= now().
+  void set(TimePoint t);
+
+ private:
+  TimePoint now_;
+};
+
+/// Wall-clock time from the OS; used by examples and benches that interact
+/// with real durations.
+class SystemClock final : public Clock {
+ public:
+  [[nodiscard]] TimePoint now() const override;
+
+  /// Process-wide instance (the OS clock is ambient state anyway).
+  static SystemClock& instance();
+};
+
+}  // namespace rproxy::util

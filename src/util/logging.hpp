@@ -1,0 +1,45 @@
+// Minimal leveled logger.
+//
+// Servers in this library keep audit trails through server/audit_log.hpp;
+// this logger is only for diagnostics during development and in examples.
+// Off by default so benches measure protocol cost, not I/O.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace rproxy::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message);
+
+/// Stream-style helper: Logger(kInfo, "kdc") << "issued ticket for " << name;
+class Logger {
+ public:
+  Logger(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+  ~Logger() { log_line(level_, component_, stream_.str()); }
+
+  template <typename T>
+  Logger& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace rproxy::util

@@ -1,0 +1,50 @@
+// Domain naming.
+//
+// Principals (users, servers, KDCs, authorization/group/accounting servers)
+// are identified by flat string names; the paper composes global names from
+// the naming server plus a local name, which we render as "server/local"
+// where needed (GroupName, AccountId follow that pattern).
+#pragma once
+
+#include <string>
+#include <tuple>
+
+namespace rproxy {
+
+/// Name of a principal.  Also used as the net::NodeId of the party.
+using PrincipalName = std::string;
+
+/// Name of an operation on an end-server ("read", "write", "print", ...).
+/// The paper leaves operation/object vocabulary to grantor/end-server
+/// agreement (§7.5); strings keep that open.
+using Operation = std::string;
+
+/// Name of an object on an end-server (a file path, a printer queue, ...).
+using ObjectName = std::string;
+
+/// Globally unique group name: "the name of the group server, and the name
+/// of the group on that server" (§3.3).
+struct GroupName {
+  PrincipalName server;  ///< group server maintaining the group
+  std::string group;     ///< group's local name on that server
+
+  [[nodiscard]] std::string to_string() const { return server + "/" + group; }
+
+  friend bool operator==(const GroupName& a, const GroupName& b) = default;
+  friend auto operator<=>(const GroupName& a, const GroupName& b) = default;
+};
+
+/// Globally unique account id: accounting server + local account name (§4).
+struct AccountId {
+  PrincipalName server;  ///< accounting server holding the account
+  std::string account;   ///< account's local name on that server
+
+  [[nodiscard]] std::string to_string() const {
+    return server + "/" + account;
+  }
+
+  friend bool operator==(const AccountId& a, const AccountId& b) = default;
+  friend auto operator<=>(const AccountId& a, const AccountId& b) = default;
+};
+
+}  // namespace rproxy

@@ -1,0 +1,37 @@
+#include "util/status.hpp"
+
+namespace rproxy::util {
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kParseError: return "ParseError";
+    case ErrorCode::kBadSignature: return "BadSignature";
+    case ErrorCode::kExpired: return "Expired";
+    case ErrorCode::kRestrictionViolated: return "RestrictionViolated";
+    case ErrorCode::kNotGrantee: return "NotGrantee";
+    case ErrorCode::kReplay: return "Replay";
+    case ErrorCode::kNotFound: return "NotFound";
+    case ErrorCode::kPermissionDenied: return "PermissionDenied";
+    case ErrorCode::kInsufficientFunds: return "InsufficientFunds";
+    case ErrorCode::kProtocolError: return "ProtocolError";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out(error_code_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.to_string();
+}
+
+}  // namespace rproxy::util

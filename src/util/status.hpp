@@ -1,0 +1,159 @@
+// Error model.
+//
+// Credential verification failing is an *expected* outcome in this library
+// (an attacker tampering with a certificate must not throw us off a fast
+// path), so fallible operations return Status / Result<T> instead of
+// throwing.  Exceptions remain for programming errors (precondition
+// violations) only, per C++ Core Guidelines E.2/E.14.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace rproxy::util {
+
+/// Machine-readable failure category.  Every fallible public operation in
+/// the library reports one of these; the human-readable message carries the
+/// specifics.
+enum class ErrorCode {
+  kOk = 0,
+  /// Malformed wire data (truncated, bad tag, trailing garbage).
+  kParseError,
+  /// A signature, MAC, or AEAD tag did not verify.
+  kBadSignature,
+  /// A credential is outside its validity period.
+  kExpired,
+  /// A credential is structurally valid but its restrictions forbid the
+  /// attempted use (wrong server, operation not authorized, quota, ...).
+  kRestrictionViolated,
+  /// The presenting principal is not an authorized grantee/delegate.
+  kNotGrantee,
+  /// Replay detected (accept-once identifier or authenticator seen before).
+  kReplay,
+  /// The named principal/account/object does not exist.
+  kNotFound,
+  /// The requester holds no right that permits the operation (ACL miss).
+  kPermissionDenied,
+  /// Insufficient funds/quota in an accounting operation.
+  kInsufficientFunds,
+  /// A protocol message arrived out of order or with a bad field.
+  kProtocolError,
+  /// Catch-all for internal invariant failures surfaced as errors.
+  kInternal,
+};
+
+/// Human-readable name of an ErrorCode ("BadSignature", ...).
+[[nodiscard]] std::string_view error_code_name(ErrorCode code);
+
+/// Outcome of a fallible operation that produces no value.
+///
+/// A Status is cheap to copy when OK (no allocation) and carries a message
+/// only on failure.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a failure with a category and message.
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk && "use Status::ok() for success");
+  }
+
+  /// The OK singleton-by-value.
+  [[nodiscard]] static Status ok() { return Status(); }
+
+  [[nodiscard]] bool is_ok() const { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "OK" or "BadSignature: mac mismatch".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Shorthand constructors so call sites read like prose:
+///   return fail(ErrorCode::kExpired, "proxy expired at ...");
+[[nodiscard]] inline Status fail(ErrorCode code, std::string message) {
+  return Status(code, std::move(message));
+}
+
+/// Outcome of a fallible operation that produces a T on success.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Success.  Implicit so `return value;` works at call sites.
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Failure.  Implicit so `return fail(...)` works at call sites.
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(state_).is_ok() &&
+           "Result must not hold an OK status");
+  }
+
+  [[nodiscard]] bool is_ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return is_ok(); }
+
+  /// The success value.  Precondition: is_ok().
+  [[nodiscard]] const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(is_ok());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(is_ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  /// The status: OK when a value is held, the failure otherwise.
+  [[nodiscard]] Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(state_);
+  }
+
+  /// ErrorCode::kOk on success, the failure code otherwise.
+  [[nodiscard]] ErrorCode code() const {
+    return is_ok() ? ErrorCode::kOk : status().code();
+  }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+}  // namespace rproxy::util
+
+/// Propagates a failed Status from the enclosing function.
+#define RPROXY_RETURN_IF_ERROR(expr)                   \
+  do {                                                 \
+    ::rproxy::util::Status _st = (expr);               \
+    if (!_st.is_ok()) return _st;                      \
+  } while (false)
+
+/// Unwraps a Result into `lhs` or propagates its Status.
+#define RPROXY_ASSIGN_OR_RETURN(lhs, expr)             \
+  auto RPROXY_CONCAT_(_res, __LINE__) = (expr);        \
+  if (!RPROXY_CONCAT_(_res, __LINE__).is_ok())         \
+    return RPROXY_CONCAT_(_res, __LINE__).status();    \
+  lhs = std::move(RPROXY_CONCAT_(_res, __LINE__)).value()
+
+#define RPROXY_CONCAT_INNER_(a, b) a##b
+#define RPROXY_CONCAT_(a, b) RPROXY_CONCAT_INNER_(a, b)

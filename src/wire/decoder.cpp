@@ -1,0 +1,84 @@
+#include "wire/decoder.hpp"
+
+namespace rproxy::wire {
+
+void Decoder::fail_(std::string why) {
+  if (error_.empty()) error_ = std::move(why);
+}
+
+bool Decoder::need_(std::size_t n) {
+  if (!ok()) return false;
+  if (remaining() < n) {
+    fail_("truncated input");
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t Decoder::u8() {
+  if (!need_(1)) return 0;
+  return data_[pos_++];
+}
+
+std::uint16_t Decoder::u16() {
+  if (!need_(2)) return 0;
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) v = static_cast<std::uint16_t>((v << 8) | data_[pos_++]);
+  return v;
+}
+
+std::uint32_t Decoder::u32() {
+  if (!need_(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_++];
+  return v;
+}
+
+std::uint64_t Decoder::u64() {
+  if (!need_(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_++];
+  return v;
+}
+
+std::int64_t Decoder::i64() { return static_cast<std::int64_t>(u64()); }
+
+bool Decoder::boolean() {
+  const std::uint8_t v = u8();
+  if (ok() && v > 1) fail_("boolean octet not 0/1");
+  return v == 1;
+}
+
+util::Bytes Decoder::bytes() {
+  const std::uint32_t len = u32();
+  return raw(len);
+}
+
+std::string Decoder::str() {
+  const util::Bytes b = bytes();
+  return std::string(b.begin(), b.end());
+}
+
+util::Bytes Decoder::raw(std::size_t n) {
+  if (!need_(n)) return {};
+  util::Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+util::Status Decoder::finish() const {
+  RPROXY_RETURN_IF_ERROR(status());
+  if (remaining() != 0) {
+    return util::fail(util::ErrorCode::kParseError,
+                      "trailing garbage after structure");
+  }
+  return util::Status::ok();
+}
+
+util::Status Decoder::status() const {
+  if (ok()) return util::Status::ok();
+  return util::fail(util::ErrorCode::kParseError, error_);
+}
+
+}  // namespace rproxy::wire

@@ -1,0 +1,88 @@
+// Binary decoder, the inverse of wire::Encoder.
+//
+// Decoders process attacker-supplied input (anything off the network), so
+// every read is bounds-checked.  Instead of forcing a Result<> dance on each
+// field, the decoder latches into a failed state on the first bad read and
+// all subsequent reads return zero values; callers check `status()` once at
+// the end.  This keeps codecs linear and still fail-closed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace rproxy::wire {
+
+class Decoder {
+ public:
+  /// Decodes from a view the caller keeps alive for the decoder's lifetime.
+  explicit Decoder(util::BytesView data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64();
+  [[nodiscard]] bool boolean();
+
+  /// Length-prefixed byte string (owning copy).
+  [[nodiscard]] util::Bytes bytes();
+  /// Length-prefixed string.
+  [[nodiscard]] std::string str();
+  /// Exactly n raw octets (no prefix).
+  [[nodiscard]] util::Bytes raw(std::size_t n);
+
+  /// Decodes a u32 count followed by that many elements via
+  /// `fn(Decoder&) -> T`, collecting into a vector.  The count is sanity-
+  /// bounded against remaining input to stop allocation bombs.
+  template <typename T, typename Fn>
+  [[nodiscard]] std::vector<T> seq(Fn&& fn) {
+    const std::uint32_t count = u32();
+    std::vector<T> out;
+    if (!ok()) return out;
+    if (count > remaining()) {  // each element needs >= 1 octet
+      fail_("sequence count exceeds remaining input");
+      return out;
+    }
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count && ok(); ++i) {
+      out.push_back(fn(*this));
+    }
+    return out;
+  }
+
+  /// True while no read has failed.
+  [[nodiscard]] bool ok() const { return error_.empty(); }
+
+  /// OK iff all reads succeeded AND the input was fully consumed (trailing
+  /// garbage in a signed structure is rejected).
+  [[nodiscard]] util::Status finish() const;
+
+  /// OK iff all reads so far succeeded (input may have trailing data).
+  [[nodiscard]] util::Status status() const;
+
+  /// Octets not yet consumed.
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void fail_(std::string why);
+  bool need_(std::size_t n);
+
+  util::BytesView data_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+/// Convenience: decodes a T that exposes `static T decode(Decoder&)`,
+/// requiring full consumption of `data`.
+template <typename T>
+[[nodiscard]] util::Result<T> decode_from_bytes(util::BytesView data) {
+  Decoder dec(data);
+  T value = T::decode(dec);
+  RPROXY_RETURN_IF_ERROR(dec.finish());
+  return value;
+}
+
+}  // namespace rproxy::wire

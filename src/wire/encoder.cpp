@@ -1,0 +1,42 @@
+#include "wire/encoder.hpp"
+
+namespace rproxy::wire {
+
+void Encoder::u8(std::uint8_t v) { out_.push_back(v); }
+
+void Encoder::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  out_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Encoder::u32(std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void Encoder::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void Encoder::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void Encoder::boolean(bool v) { u8(v ? 1 : 0); }
+
+void Encoder::bytes(util::BytesView v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  raw(v);
+}
+
+void Encoder::str(std::string_view v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  out_.insert(out_.end(), v.begin(), v.end());
+}
+
+void Encoder::raw(util::BytesView v) {
+  out_.insert(out_.end(), v.begin(), v.end());
+}
+
+}  // namespace rproxy::wire

@@ -1,0 +1,70 @@
+// Deterministic binary encoding.
+//
+// Every credential in the system (certificates, tickets, checks) is signed
+// or MACed over its encoded form, so encoding must be deterministic: the
+// same logical value always produces the same octets.  The format is a
+// simple big-endian, length-prefixed layout with no padding and no optional
+// reordering — think stripped-down DER, without the tag ambiguity.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace rproxy::wire {
+
+/// Append-only serializer.  All integers are big-endian; variable-length
+/// fields carry a u32 length prefix.
+class Encoder {
+ public:
+  Encoder() = default;
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Signed 64-bit, two's complement over u64.
+  void i64(std::int64_t v);
+  /// Bool as one octet (0 or 1).
+  void boolean(bool v);
+
+  /// Length-prefixed byte string.
+  void bytes(util::BytesView v);
+  /// Length-prefixed UTF-8/raw string.
+  void str(std::string_view v);
+  /// Raw octets with NO length prefix (for fixed-size fields such as MACs
+  /// whose size is fixed by context, and for concatenating sub-encodings).
+  void raw(util::BytesView v);
+
+  /// Encodes a homogeneous sequence: u32 count, then each element through
+  /// `fn(Encoder&, element)`.
+  template <typename Range, typename Fn>
+  void seq(const Range& range, Fn&& fn) {
+    u32(static_cast<std::uint32_t>(range.size()));
+    for (const auto& e : range) fn(*this, e);
+  }
+
+  /// Number of octets written so far.
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+
+  /// Steals the encoded buffer; the encoder is empty afterwards.
+  [[nodiscard]] util::Bytes take() { return std::move(out_); }
+
+  /// Read-only view of the buffer (e.g. to sign without copying).
+  [[nodiscard]] util::BytesView view() const { return out_; }
+
+ private:
+  util::Bytes out_;
+};
+
+/// Convenience: encodes a single object that exposes
+/// `void encode(Encoder&) const`.
+template <typename T>
+[[nodiscard]] util::Bytes encode_to_bytes(const T& value) {
+  Encoder enc;
+  value.encode(enc);
+  return enc.take();
+}
+
+}  // namespace rproxy::wire

@@ -1,0 +1,98 @@
+#include "workload/workload.hpp"
+
+#include <cmath>
+
+#include "crypto/digest.hpp"
+#include "wire/encoder.hpp"
+
+namespace rproxy::workload {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec)
+    : spec_(spec), rng_(spec.seed) {
+  // Precompute the Zipf CDF over object ranks: weight(rank r) = 1/(r+1)^s.
+  zipf_cdf_.reserve(spec_.objects_per_server);
+  double total = 0;
+  for (std::uint32_t r = 0; r < spec_.objects_per_server; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), spec_.zipf_s);
+    zipf_cdf_.push_back(total);
+  }
+  for (double& c : zipf_cdf_) c /= total;
+}
+
+PrincipalName WorkloadGenerator::user_name(std::uint32_t i) const {
+  return "user-" + std::to_string(i);
+}
+
+PrincipalName WorkloadGenerator::server_name(std::uint32_t i) const {
+  return "app-server-" + std::to_string(i);
+}
+
+ObjectName WorkloadGenerator::object_name(std::uint32_t i) const {
+  return "/obj/" + std::to_string(i);
+}
+
+std::string WorkloadGenerator::group_name(std::uint32_t i) const {
+  return "team-" + std::to_string(i);
+}
+
+bool WorkloadGenerator::is_member(std::uint32_t u, std::uint32_t g) const {
+  // Membership is a pure function of (seed, u, g) so it never depends on
+  // how much of the stream was generated.
+  wire::Encoder enc;
+  enc.u64(spec_.seed);
+  enc.u32(u);
+  enc.u32(g);
+  const crypto::Digest d = crypto::sha256(enc.view());
+  return (d[0] % 100) < spec_.group_membership_pct;
+}
+
+std::vector<std::uint32_t> WorkloadGenerator::members_of(
+    std::uint32_t g) const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t u = 0; u < spec_.users; ++u) {
+    if (is_member(u, g)) out.push_back(u);
+  }
+  return out;
+}
+
+std::uint32_t WorkloadGenerator::sample_object_() {
+  const double x =
+      static_cast<double>(rng_.next_u64() >> 11) / 9007199254740992.0;
+  // Binary search the CDF.
+  std::size_t lo = 0, hi = zipf_cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (zipf_cdf_[mid] < x) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<std::uint32_t>(lo);
+}
+
+std::vector<RequestEvent> WorkloadGenerator::generate(std::size_t n) {
+  std::vector<RequestEvent> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    RequestEvent e;
+    e.user = static_cast<std::uint32_t>(rng_.next_below(spec_.users));
+    e.server = static_cast<std::uint32_t>(rng_.next_below(spec_.servers));
+    e.object = sample_object_();
+    e.is_write = rng_.next_below(100) < spec_.write_pct;
+    out.push_back(e);
+  }
+  return out;
+}
+
+double WorkloadGenerator::head_share(
+    const std::vector<RequestEvent>& events) const {
+  if (events.empty()) return 0;
+  std::size_t head = 0;
+  for (const RequestEvent& e : events) {
+    if (e.object == 0) ++head;
+  }
+  return static_cast<double>(head) / static_cast<double>(events.size());
+}
+
+}  // namespace rproxy::workload

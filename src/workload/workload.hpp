@@ -1,0 +1,76 @@
+// Synthetic workload generation.
+//
+// The paper has no quantitative evaluation, so our benches define their
+// own workloads (DESIGN.md §2).  This module generates the enterprise-
+// style load used by bench_t5: a population of users, a set of application
+// servers each exporting objects, a group structure, and a request stream
+// with power-law (Zipf-like) object popularity — the standard shape for
+// file-access traces.  Generation is fully deterministic from the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/random.hpp"
+#include "util/names.hpp"
+
+namespace rproxy::workload {
+
+struct WorkloadSpec {
+  std::uint32_t users = 16;
+  std::uint32_t servers = 4;
+  std::uint32_t objects_per_server = 32;
+  std::uint32_t groups = 4;
+  /// Probability (percent) that a given user is in a given group.
+  std::uint32_t group_membership_pct = 25;
+  /// Zipf skew for object popularity: 0 = uniform, larger = more skewed.
+  double zipf_s = 0.9;
+  /// Fraction (percent) of requests that are writes (the rest are reads).
+  std::uint32_t write_pct = 20;
+  std::uint64_t seed = 42;
+};
+
+/// One request in the stream.
+struct RequestEvent {
+  std::uint32_t user = 0;    ///< index into user names
+  std::uint32_t server = 0;  ///< index into server names
+  std::uint32_t object = 0;  ///< index into the server's object list
+  bool is_write = false;
+};
+
+/// Deterministic generator for the spec.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadSpec spec);
+
+  [[nodiscard]] const WorkloadSpec& spec() const { return spec_; }
+
+  /// Canonical names.
+  [[nodiscard]] PrincipalName user_name(std::uint32_t i) const;
+  [[nodiscard]] PrincipalName server_name(std::uint32_t i) const;
+  [[nodiscard]] ObjectName object_name(std::uint32_t i) const;
+  [[nodiscard]] std::string group_name(std::uint32_t i) const;
+
+  /// Whether user `u` belongs to group `g` (deterministic in the seed).
+  [[nodiscard]] bool is_member(std::uint32_t u, std::uint32_t g) const;
+
+  /// Users in group `g`.
+  [[nodiscard]] std::vector<std::uint32_t> members_of(std::uint32_t g) const;
+
+  /// Next `n` requests of the stream.  Object choice follows the Zipf
+  /// distribution; user and server choices are uniform.
+  [[nodiscard]] std::vector<RequestEvent> generate(std::size_t n);
+
+  /// Empirical popularity sanity helper: rank-0 object's share of draws.
+  [[nodiscard]] double head_share(const std::vector<RequestEvent>& events)
+      const;
+
+ private:
+  [[nodiscard]] std::uint32_t sample_object_();
+
+  WorkloadSpec spec_;
+  crypto::DeterministicRng rng_;
+  std::vector<double> zipf_cdf_;  ///< cumulative weights over object ranks
+};
+
+}  // namespace rproxy::workload

@@ -1,0 +1,90 @@
+#include "accounting/account.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rproxy::accounting {
+namespace {
+
+authz::AuthorityContext who(const PrincipalName& name) {
+  authz::AuthorityContext ctx;
+  ctx.principals = {name};
+  return ctx;
+}
+
+TEST(Account, OwnerAlwaysAuthorized) {
+  Account acct("alice-account", "alice");
+  EXPECT_TRUE(acct.authorizes(who("alice"), "debit"));
+  EXPECT_TRUE(acct.authorizes(who("alice"), "query"));
+  EXPECT_FALSE(acct.authorizes(who("bob"), "debit"));
+}
+
+TEST(Account, AclGrantsOthers) {
+  Account acct("alice-account", "alice");
+  acct.acl().add(
+      authz::AclEntry{{"accountant"}, {"query"}, {"alice-account"}, {}});
+  EXPECT_TRUE(acct.authorizes(who("accountant"), "query"));
+  EXPECT_FALSE(acct.authorizes(who("accountant"), "debit"));
+}
+
+TEST(Account, HoldsReduceAvailability) {
+  Account acct("a", "alice");
+  acct.credit("usd", 100);
+  ASSERT_TRUE(acct.place_hold("usd", 60).is_ok());
+  EXPECT_EQ(acct.balances().balance("usd"), 100);  // funds stay
+  EXPECT_EQ(acct.available("usd"), 40);
+  EXPECT_EQ(acct.held("usd"), 60);
+  // A debit beyond availability fails even though the balance covers it.
+  EXPECT_EQ(acct.debit("usd", 50).code(),
+            util::ErrorCode::kInsufficientFunds);
+  EXPECT_TRUE(acct.debit("usd", 40).is_ok());
+}
+
+TEST(Account, HoldBeyondAvailableRejected) {
+  Account acct("a", "alice");
+  acct.credit("usd", 100);
+  ASSERT_TRUE(acct.place_hold("usd", 80).is_ok());
+  EXPECT_EQ(acct.place_hold("usd", 30).code(),
+            util::ErrorCode::kInsufficientFunds);
+}
+
+TEST(Account, ReleaseHoldRestoresAvailability) {
+  Account acct("a", "alice");
+  acct.credit("usd", 100);
+  ASSERT_TRUE(acct.place_hold("usd", 60).is_ok());
+  acct.release_hold("usd", 60);
+  EXPECT_EQ(acct.available("usd"), 100);
+}
+
+TEST(Account, DebitHeldSettlesFromHold) {
+  Account acct("a", "alice");
+  acct.credit("usd", 100);
+  ASSERT_TRUE(acct.place_hold("usd", 60).is_ok());
+  ASSERT_TRUE(acct.debit_held("usd", 60).is_ok());
+  EXPECT_EQ(acct.balances().balance("usd"), 40);
+  EXPECT_EQ(acct.held("usd"), 0);
+}
+
+TEST(Account, DebitHeldWithoutHoldFails) {
+  Account acct("a", "alice");
+  acct.credit("usd", 100);
+  EXPECT_EQ(acct.debit_held("usd", 10).code(),
+            util::ErrorCode::kInsufficientFunds);
+}
+
+TEST(Account, QuotaPattern) {
+  // §4: quotas = transfer out on allocation, transfer back on release.
+  Account user("alice-disk", "alice");
+  Account pool("disk-pool", "file-server");
+  user.credit("disk-blocks", 100);
+
+  ASSERT_TRUE(user.debit("disk-blocks", 30).is_ok());  // allocate 30 blocks
+  pool.credit("disk-blocks", 30);
+  EXPECT_EQ(user.balances().balance("disk-blocks"), 70);
+
+  ASSERT_TRUE(pool.debit("disk-blocks", 30).is_ok());  // release
+  user.credit("disk-blocks", 30);
+  EXPECT_EQ(user.balances().balance("disk-blocks"), 100);
+}
+
+}  // namespace
+}  // namespace rproxy::accounting

@@ -1,0 +1,60 @@
+#include "accounting/currency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rproxy::accounting {
+namespace {
+
+TEST(Balances, StartsEmpty) {
+  Balances b;
+  EXPECT_EQ(b.balance("usd"), 0);
+  EXPECT_EQ(b.total(), 0);
+}
+
+TEST(Balances, CreditAccumulates) {
+  Balances b;
+  b.credit("usd", 10);
+  b.credit("usd", 5);
+  b.credit("pages", 100);
+  EXPECT_EQ(b.balance("usd"), 15);
+  EXPECT_EQ(b.balance("pages"), 100);
+  EXPECT_EQ(b.total(), 115);
+}
+
+TEST(Balances, DebitWithinFunds) {
+  Balances b{{"usd", 10}};
+  EXPECT_TRUE(b.debit("usd", 7).is_ok());
+  EXPECT_EQ(b.balance("usd"), 3);
+}
+
+TEST(Balances, OverdraftRejectedAtomically) {
+  Balances b{{"usd", 10}};
+  EXPECT_EQ(b.debit("usd", 11).code(), util::ErrorCode::kInsufficientFunds);
+  EXPECT_EQ(b.balance("usd"), 10);  // untouched
+}
+
+TEST(Balances, DebitUnknownCurrencyFails) {
+  Balances b;
+  EXPECT_EQ(b.debit("yen", 1).code(), util::ErrorCode::kInsufficientFunds);
+}
+
+TEST(Balances, CurrenciesIndependent) {
+  // §4: "multiple currencies, either monetary ... or resource specific".
+  Balances b{{"usd", 5}, {"disk-blocks", 100}};
+  EXPECT_TRUE(b.debit("disk-blocks", 100).is_ok());
+  EXPECT_EQ(b.balance("usd"), 5);
+  EXPECT_EQ(b.balance("disk-blocks"), 0);
+}
+
+TEST(Balances, CodecRoundTrip) {
+  Balances b{{"usd", 42}, {"pages", -0}};
+  b.credit("cpu-cycles", 7);
+  auto decoded =
+      wire::decode_from_bytes<Balances>(wire::encode_to_bytes(b));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().balance("usd"), 42);
+  EXPECT_EQ(decoded.value().balance("cpu-cycles"), 7);
+}
+
+}  // namespace
+}  // namespace rproxy::accounting

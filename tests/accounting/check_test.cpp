@@ -1,0 +1,145 @@
+// Checks as numbered delegate proxies (§4): structure, endorsement chains,
+// term parsing, tamper detection.
+#include "accounting/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using accounting::Check;
+using testing::World;
+
+class CheckTest : public ::testing::Test {
+ protected:
+  CheckTest() {
+    world_.add_principal("client");        // C in Fig 5
+    world_.add_principal("app-server");    // S in Fig 5
+    world_.add_principal("bank1");         // $1
+    world_.add_principal("bank2");         // $2
+  }
+
+  Check write() {
+    return accounting::write_check(
+        "client", world_.principal("client").identity,
+        AccountId{"bank2", "client-account"}, "app-server", "usd", 50, 7001,
+        world_.clock.now(), util::kHour);
+  }
+
+  core::ProxyVerifier verifier_at(const PrincipalName& server) {
+    core::ProxyVerifier::Config config;
+    config.server_name = server;
+    config.resolver = &world_.resolver;
+    config.pk_root = world_.name_server.root_key();
+    return core::ProxyVerifier(std::move(config));
+  }
+
+  World world_;
+};
+
+TEST_F(CheckTest, CheckStructureMatchesFig5) {
+  const Check check = write();
+  EXPECT_EQ(check.payor_account.to_string(), "bank2/client-account");
+  EXPECT_EQ(check.payee, "app-server");
+  EXPECT_EQ(check.amount, 50u);
+  EXPECT_EQ(check.check_number, 7001u);
+  ASSERT_EQ(check.chain.certs.size(), 1u);
+  EXPECT_EQ(check.chain.certs[0].grantor, "client");
+  // A check is a delegate proxy (§4): grantee restriction present.
+  EXPECT_TRUE(check.chain.certs[0].restrictions.is_delegate());
+}
+
+TEST_F(CheckTest, TermsParseAndCrossCheck) {
+  const Check check = write();
+  auto verified =
+      verifier_at("bank2").verify_chain(check.chain, world_.clock.now());
+  ASSERT_TRUE(verified.is_ok()) << verified.status();
+  auto terms = accounting::parse_check_terms(check, verified.value());
+  ASSERT_TRUE(terms.is_ok()) << terms.status();
+  EXPECT_EQ(terms.value().currency, "usd");
+  EXPECT_EQ(terms.value().limit, 50u);
+  EXPECT_EQ(terms.value().check_number, 7001u);
+  EXPECT_EQ(terms.value().drawee_server, "bank2");
+  EXPECT_EQ(terms.value().payor_local_account, "client-account");
+}
+
+TEST_F(CheckTest, TamperedCleartextAmountDetected) {
+  Check check = write();
+  check.amount = 5000;  // routing metadata inflated
+  auto verified =
+      verifier_at("bank2").verify_chain(check.chain, world_.clock.now());
+  ASSERT_TRUE(verified.is_ok());
+  EXPECT_EQ(
+      accounting::parse_check_terms(check, verified.value()).code(),
+      util::ErrorCode::kProtocolError);
+}
+
+TEST_F(CheckTest, EndorsementExtendsChainWithAuditTrail) {
+  // Fig 5: E1 = check + [dep ckno to $1]_S.
+  const Check check = write();
+  auto endorsed = accounting::endorse_check(
+      check, "app-server", world_.principal("app-server").identity, "bank1",
+      world_.clock.now());
+  ASSERT_TRUE(endorsed.is_ok()) << endorsed.status();
+  ASSERT_EQ(endorsed.value().chain.certs.size(), 2u);
+  EXPECT_EQ(endorsed.value().chain.certs[1].grantor, "app-server");
+  EXPECT_EQ(endorsed.value().chain.certs[1].signer,
+            core::SignerKind::kIntermediateIdentity);
+
+  auto verified = verifier_at("bank1").verify_chain(endorsed.value().chain,
+                                                    world_.clock.now());
+  ASSERT_TRUE(verified.is_ok()) << verified.status();
+  EXPECT_EQ(verified.value().audit_trail,
+            std::vector<PrincipalName>{"app-server"});
+}
+
+TEST_F(CheckTest, DoubleEndorsement) {
+  // Fig 5: E2 adds [dep ckno to $2]_$1.
+  const Check check = write();
+  auto e1 = accounting::endorse_check(
+      check, "app-server", world_.principal("app-server").identity, "bank1",
+      world_.clock.now());
+  ASSERT_TRUE(e1.is_ok());
+  auto e2 = accounting::endorse_check(
+      e1.value(), "bank1", world_.principal("bank1").identity, "bank2",
+      world_.clock.now());
+  ASSERT_TRUE(e2.is_ok());
+
+  auto verified = verifier_at("bank2").verify_chain(e2.value().chain,
+                                                    world_.clock.now());
+  ASSERT_TRUE(verified.is_ok()) << verified.status();
+  EXPECT_EQ(verified.value().audit_trail,
+            (std::vector<PrincipalName>{"app-server", "bank1"}));
+}
+
+TEST_F(CheckTest, NonPayeeEndorsementRejected) {
+  // Someone who is not the payee (nor a later endorsee) cannot endorse.
+  const Check check = write();
+  auto endorsed = accounting::endorse_check(
+      check, "bank1", world_.principal("bank1").identity, "bank2",
+      world_.clock.now());
+  ASSERT_TRUE(endorsed.is_ok());  // constructible...
+  EXPECT_EQ(verifier_at("bank2")
+                .verify_chain(endorsed.value().chain, world_.clock.now())
+                .code(),
+            util::ErrorCode::kNotGrantee);  // ...but not verifiable
+}
+
+TEST_F(CheckTest, CheckCodecRoundTrip) {
+  const Check check = write();
+  auto decoded =
+      wire::decode_from_bytes<Check>(wire::encode_to_bytes(check));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().payee, check.payee);
+  EXPECT_EQ(decoded.value().check_number, check.check_number);
+  EXPECT_EQ(decoded.value().chain.certs.size(), 1u);
+}
+
+TEST_F(CheckTest, AccountObjectNaming) {
+  EXPECT_EQ(accounting::account_object("x"), "account:x");
+}
+
+}  // namespace
+}  // namespace rproxy

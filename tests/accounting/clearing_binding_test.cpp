@@ -1,0 +1,108 @@
+// Deposit-request binding: a man-in-the-middle must not be able to redirect
+// or inflate a deposit — the identity proof covers a digest of (operation,
+// collection account, currency amounts).
+#include <gtest/gtest.h>
+
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+class ClearingBindingTest : public ::testing::Test {
+ protected:
+  ClearingBindingTest() {
+    world_.add_principal("client");
+    world_.add_principal("merchant");
+    world_.add_principal("mallory");
+    world_.add_principal("bank");
+    bank_ = std::make_unique<accounting::AccountingServer>(
+        world_.accounting_config("bank"));
+    world_.net.attach("bank", *bank_);
+    bank_->open_account("client-acct", "client",
+                        accounting::Balances{{"usd", 100}});
+    bank_->open_account("merchant-acct", "merchant");
+    bank_->open_account("mallory-acct", "mallory");
+  }
+
+  accounting::Check check(std::uint64_t amount, std::uint64_t ckno) {
+    return accounting::write_check(
+        "client", world_.principal("client").identity,
+        AccountId{"bank", "client-acct"}, "merchant", "usd", amount, ckno,
+        world_.clock.now(), util::kHour);
+  }
+
+  World world_;
+  std::unique_ptr<accounting::AccountingServer> bank_;
+};
+
+TEST_F(ClearingBindingTest, RedirectedCollectionAccountRejected) {
+  // Mallory rewrites the deposit in flight to collect into her account.
+  net::TamperTap tamper([](const net::Envelope& e)
+                            -> std::optional<net::Envelope> {
+    if (e.type != net::MsgType::kCheckDeposit) return std::nullopt;
+    auto payload =
+        wire::decode_from_bytes<accounting::DepositPayload>(e.payload);
+    if (!payload.is_ok()) return std::nullopt;
+    accounting::DepositPayload changed = payload.value();
+    changed.collect_account = "mallory-acct";
+    net::Envelope out = e;
+    out.payload = wire::encode_to_bytes(changed);
+    return out;
+  });
+  world_.net.add_tap(tamper);
+
+  auto merchant = world_.accounting_client("merchant");
+  auto result =
+      merchant.endorse_and_deposit("bank", check(50, 1), "merchant-acct");
+  EXPECT_EQ(result.code(), util::ErrorCode::kBadSignature);
+  EXPECT_EQ(bank_->account("mallory-acct")->balances().balance("usd"), 0);
+  EXPECT_EQ(bank_->account("client-acct")->balances().balance("usd"), 100);
+}
+
+TEST_F(ClearingBindingTest, InflatedAmountRejected) {
+  // Mallory rewrites a partial draw (10 of a 50 check) up to the limit.
+  net::TamperTap tamper([](const net::Envelope& e)
+                            -> std::optional<net::Envelope> {
+    if (e.type != net::MsgType::kCheckDeposit) return std::nullopt;
+    auto payload =
+        wire::decode_from_bytes<accounting::DepositPayload>(e.payload);
+    if (!payload.is_ok()) return std::nullopt;
+    accounting::DepositPayload changed = payload.value();
+    changed.amount = 50;
+    net::Envelope out = e;
+    out.payload = wire::encode_to_bytes(changed);
+    return out;
+  });
+  world_.net.add_tap(tamper);
+
+  auto merchant = world_.accounting_client("merchant");
+  auto endorsed = accounting::endorse_check(
+      check(50, 2), "merchant", world_.principal("merchant").identity,
+      "bank", world_.clock.now());
+  ASSERT_TRUE(endorsed.is_ok());
+  auto result = merchant.deposit("bank", endorsed.value(), "merchant-acct",
+                                 10);
+  EXPECT_EQ(result.code(), util::ErrorCode::kBadSignature);
+  EXPECT_EQ(bank_->account("client-acct")->balances().balance("usd"), 100);
+}
+
+TEST_F(ClearingBindingTest, ReplayedDepositRejected) {
+  net::RecordingTap tap;
+  world_.net.add_tap(tap);
+  auto merchant = world_.accounting_client("merchant");
+  ASSERT_TRUE(
+      merchant.endorse_and_deposit("bank", check(25, 3), "merchant-acct")
+          .is_ok());
+  const auto deposits = tap.of_type(net::MsgType::kCheckDeposit);
+  ASSERT_EQ(deposits.size(), 1u);
+  auto replayed = world_.net.inject(deposits.front());
+  ASSERT_TRUE(replayed.is_ok());
+  // The challenge was consumed by the legitimate deposit.
+  EXPECT_FALSE(net::status_of(replayed.value()).is_ok());
+  EXPECT_EQ(bank_->account("merchant-acct")->balances().balance("usd"), 25);
+}
+
+}  // namespace
+}  // namespace rproxy

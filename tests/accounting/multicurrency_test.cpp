@@ -1,0 +1,117 @@
+// Multi-currency accounting (§4: "monetary (dollars, pounds, or yen) or
+// resource specific (disk blocks, cpu cycles, or printer pages)").
+#include <gtest/gtest.h>
+
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+class MultiCurrencyTest : public ::testing::Test {
+ protected:
+  MultiCurrencyTest() {
+    world_.add_principal("client");
+    world_.add_principal("merchant");
+    world_.add_principal("bank");
+    bank_ = std::make_unique<accounting::AccountingServer>(
+        world_.accounting_config("bank"));
+    world_.net.attach("bank", *bank_);
+    bank_->open_account(
+        "client-acct", "client",
+        accounting::Balances{
+            {"usd", 100}, {"pages", 500}, {"cpu-cycles", 1'000'000}});
+    bank_->open_account("merchant-acct", "merchant");
+  }
+
+  accounting::Check write_check(const accounting::Currency& currency,
+                                std::uint64_t amount, std::uint64_t ckno) {
+    return accounting::write_check(
+        "client", world_.principal("client").identity,
+        AccountId{"bank", "client-acct"}, "merchant", currency, amount,
+        ckno, world_.clock.now(), util::kHour);
+  }
+
+  World world_;
+  std::unique_ptr<accounting::AccountingServer> bank_;
+};
+
+TEST_F(MultiCurrencyTest, ChecksInDifferentCurrenciesIndependent) {
+  auto merchant = world_.accounting_client("merchant");
+  ASSERT_TRUE(merchant
+                  .endorse_and_deposit("bank", write_check("usd", 50, 1),
+                                       "merchant-acct")
+                  .is_ok());
+  ASSERT_TRUE(merchant
+                  .endorse_and_deposit("bank", write_check("pages", 200, 2),
+                                       "merchant-acct")
+                  .is_ok());
+
+  const accounting::Account* client = bank_->account("client-acct");
+  EXPECT_EQ(client->balances().balance("usd"), 50);
+  EXPECT_EQ(client->balances().balance("pages"), 300);
+  EXPECT_EQ(client->balances().balance("cpu-cycles"), 1'000'000);
+  const accounting::Account* merchant_acct = bank_->account("merchant-acct");
+  EXPECT_EQ(merchant_acct->balances().balance("usd"), 50);
+  EXPECT_EQ(merchant_acct->balances().balance("pages"), 200);
+}
+
+TEST_F(MultiCurrencyTest, RichInOneCurrencyPoorInAnother) {
+  auto merchant = world_.accounting_client("merchant");
+  // Plenty of cpu-cycles cannot cover a usd check.
+  EXPECT_EQ(merchant
+                .endorse_and_deposit("bank", write_check("usd", 101, 3),
+                                     "merchant-acct")
+                .code(),
+            util::ErrorCode::kInsufficientFunds);
+  EXPECT_TRUE(merchant
+                  .endorse_and_deposit(
+                      "bank", write_check("cpu-cycles", 999'999, 4),
+                      "merchant-acct")
+                  .is_ok());
+}
+
+TEST_F(MultiCurrencyTest, HoldsArePerCurrency) {
+  auto client = world_.accounting_client("client");
+  ASSERT_TRUE(client
+                  .certify("bank", "client-acct", "merchant", "usd", 90,
+                           100, "merchant")
+                  .is_ok());
+  accounting::Account* acct = bank_->account("client-acct");
+  EXPECT_EQ(acct->available("usd"), 10);
+  EXPECT_EQ(acct->available("pages"), 500);  // untouched
+}
+
+TEST_F(MultiCurrencyTest, QuotaRestrictionIsCurrencyScoped) {
+  // A quota on "pages" does not bound "usd" amounts and vice versa.
+  core::AcceptOnceCache cache;
+  core::RequestContext ctx;
+  ctx.end_server = "print-server";
+  ctx.amounts = {{"usd", 1000}, {"pages", 2}};
+  ctx.now = world_.clock.now();
+  EXPECT_TRUE(core::evaluate_restriction(
+                  core::QuotaRestriction{"pages", 5}, ctx)
+                  .is_ok());
+  EXPECT_FALSE(core::evaluate_restriction(
+                   core::QuotaRestriction{"usd", 5}, ctx)
+                   .is_ok());
+}
+
+TEST_F(MultiCurrencyTest, SameCheckNumberDifferentCurrencyStillReplay) {
+  // The accept-once identifier is scoped per grantor, NOT per currency —
+  // reusing a check number in another currency is still a replay (§7.7).
+  auto merchant = world_.accounting_client("merchant");
+  ASSERT_TRUE(merchant
+                  .endorse_and_deposit("bank", write_check("usd", 10, 7),
+                                       "merchant-acct")
+                  .is_ok());
+  EXPECT_EQ(merchant
+                .endorse_and_deposit("bank", write_check("pages", 10, 7),
+                                     "merchant-acct")
+                .code(),
+            util::ErrorCode::kReplay);
+}
+
+}  // namespace
+}  // namespace rproxy

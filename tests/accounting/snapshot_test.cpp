@@ -1,0 +1,103 @@
+// Sealed accounting snapshots: durability without trusting the storage.
+#include <gtest/gtest.h>
+
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  SnapshotTest() {
+    world_.add_principal("client");
+    world_.add_principal("merchant");
+    world_.add_principal("bank");
+    bank_ = std::make_unique<accounting::AccountingServer>(
+        world_.accounting_config("bank"));
+    world_.net.attach("bank", *bank_);
+    bank_->open_account("client-acct", "client",
+                        accounting::Balances{{"usd", 100}, {"pages", 7}});
+    bank_->open_account("merchant-acct", "merchant");
+  }
+
+  World world_;
+  std::unique_ptr<accounting::AccountingServer> bank_;
+  crypto::SymmetricKey snapshot_key_ = crypto::SymmetricKey::generate();
+};
+
+TEST_F(SnapshotTest, RoundTripPreservesBalancesAndHolds) {
+  // Put some state in: a transfer and a certified hold.
+  auto client = world_.accounting_client("client");
+  ASSERT_TRUE(client
+                  .transfer("bank", "client-acct", "merchant-acct", "usd",
+                            30)
+                  .is_ok());
+  ASSERT_TRUE(client
+                  .certify("bank", "client-acct", "merchant", "usd", 20,
+                           900, "merchant")
+                  .is_ok());
+
+  const util::Bytes saved = bank_->snapshot(snapshot_key_);
+
+  // Wreck the live state, then restore.
+  bank_->open_account("client-acct", "client", {});
+  bank_->open_account("merchant-acct", "merchant", {});
+  ASSERT_TRUE(bank_->restore(snapshot_key_, saved).is_ok());
+
+  EXPECT_EQ(bank_->account("client-acct")->balances().balance("usd"), 70);
+  EXPECT_EQ(bank_->account("client-acct")->balances().balance("pages"), 7);
+  EXPECT_EQ(bank_->account("client-acct")->held("usd"), 20);
+  EXPECT_EQ(bank_->account("client-acct")->available("usd"), 50);
+  EXPECT_EQ(bank_->account("merchant-acct")->balances().balance("usd"), 30);
+
+  // The restored certified hold still settles the matching check.
+  const accounting::Check check = accounting::write_check(
+      "client", world_.principal("client").identity,
+      AccountId{"bank", "client-acct"}, "merchant", "usd", 20, 900,
+      world_.clock.now(), util::kHour);
+  auto merchant = world_.accounting_client("merchant");
+  ASSERT_TRUE(
+      merchant.endorse_and_deposit("bank", check, "merchant-acct").is_ok());
+  EXPECT_EQ(bank_->account("client-acct")->held("usd"), 0);
+}
+
+TEST_F(SnapshotTest, WrongKeyRejected) {
+  const util::Bytes saved = bank_->snapshot(snapshot_key_);
+  EXPECT_EQ(
+      bank_->restore(crypto::SymmetricKey::generate(), saved).code(),
+      util::ErrorCode::kBadSignature);
+  // State untouched.
+  EXPECT_EQ(bank_->account("client-acct")->balances().balance("usd"), 100);
+}
+
+TEST_F(SnapshotTest, TamperedSnapshotRejected) {
+  util::Bytes saved = bank_->snapshot(snapshot_key_);
+  saved[saved.size() / 2] ^= 1;
+  EXPECT_FALSE(bank_->restore(snapshot_key_, saved).is_ok());
+}
+
+TEST_F(SnapshotTest, ForeignSnapshotRejected) {
+  world_.add_principal("other-bank");
+  accounting::AccountingServer other(
+      world_.accounting_config("other-bank"));
+  other.open_account("x", "client", accounting::Balances{{"usd", 5}});
+  const util::Bytes saved = other.snapshot(snapshot_key_);
+  EXPECT_EQ(bank_->restore(snapshot_key_, saved).code(),
+            util::ErrorCode::kProtocolError);
+}
+
+TEST_F(SnapshotTest, ConservationAcrossSnapshotRestore) {
+  const auto total = [&] {
+    return bank_->account("client-acct")->balances().balance("usd") +
+           bank_->account("merchant-acct")->balances().balance("usd");
+  };
+  const std::int64_t before = total();
+  const util::Bytes saved = bank_->snapshot(snapshot_key_);
+  ASSERT_TRUE(bank_->restore(snapshot_key_, saved).is_ok());
+  EXPECT_EQ(total(), before);
+}
+
+}  // namespace
+}  // namespace rproxy

@@ -1,0 +1,134 @@
+// ACL semantics (§3.5): matching, wildcard objects, group tokens, compound
+// principals, restriction templates, revocation.
+#include "authz/acl.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rproxy::authz {
+namespace {
+
+AuthorityContext authority_of(std::vector<PrincipalName> principals,
+                              std::vector<GroupName> groups = {}) {
+  AuthorityContext ctx;
+  ctx.principals = std::move(principals);
+  ctx.groups = std::move(groups);
+  return ctx;
+}
+
+TEST(Acl, SimpleEntryMatches) {
+  Acl acl;
+  acl.add(AclEntry{{"alice"}, {"read"}, {"/doc"}, {}});
+  EXPECT_TRUE(acl.match(authority_of({"alice"}), "read", "/doc").is_ok());
+  EXPECT_EQ(acl.match(authority_of({"bob"}), "read", "/doc").code(),
+            util::ErrorCode::kPermissionDenied);
+  EXPECT_FALSE(acl.match(authority_of({"alice"}), "write", "/doc").is_ok());
+  EXPECT_FALSE(acl.match(authority_of({"alice"}), "read", "/other").is_ok());
+}
+
+TEST(Acl, EmptyOperationsMeansAllOperations) {
+  Acl acl;
+  acl.add(AclEntry{{"alice"}, {}, {"/doc"}, {}});
+  EXPECT_TRUE(acl.match(authority_of({"alice"}), "write", "/doc").is_ok());
+}
+
+TEST(Acl, EmptyObjectsMeansAllObjects) {
+  Acl acl;
+  acl.add(AclEntry{{"alice"}, {"read"}, {}, {}});
+  EXPECT_TRUE(
+      acl.match(authority_of({"alice"}), "read", "/anything").is_ok());
+}
+
+TEST(Acl, WildcardObject) {
+  Acl acl;
+  acl.add(AclEntry{{"alice"}, {"read"}, {"*"}, {}});
+  EXPECT_TRUE(acl.match(authority_of({"alice"}), "read", "/x").is_ok());
+}
+
+TEST(Acl, GroupTokenMatchesAssertedGroup) {
+  const GroupName staff{"group-server", "staff"};
+  Acl acl;
+  acl.add(AclEntry{{acl_group_token(staff)}, {"read"}, {"/doc"}, {}});
+  EXPECT_TRUE(
+      acl.match(authority_of({"alice"}, {staff}), "read", "/doc").is_ok());
+  EXPECT_FALSE(
+      acl.match(authority_of({"alice"}), "read", "/doc").is_ok());
+  // A group with the same local name from a DIFFERENT server must not
+  // match (§3.3: global names include the group server).
+  const GroupName impostor{"other-server", "staff"};
+  EXPECT_FALSE(acl.match(authority_of({"alice"}, {impostor}), "read", "/doc")
+                   .is_ok());
+}
+
+TEST(Acl, CompoundEntryRequiresAllPrincipals) {
+  // §3.5: concurrence of multiple principals.
+  Acl acl;
+  acl.add(AclEntry{{"alice", "host-trusted"}, {"admin"}, {}, {}});
+  EXPECT_FALSE(acl.match(authority_of({"alice"}), "admin", "x").is_ok());
+  EXPECT_FALSE(
+      acl.match(authority_of({"host-trusted"}), "admin", "x").is_ok());
+  EXPECT_TRUE(
+      acl.match(authority_of({"alice", "host-trusted"}), "admin", "x")
+          .is_ok());
+}
+
+TEST(Acl, EmptyPrincipalListNeverMatches) {
+  Acl acl;
+  acl.add(AclEntry{{}, {}, {}, {}});
+  EXPECT_FALSE(acl.match(authority_of({"alice"}), "read", "x").is_ok());
+}
+
+TEST(Acl, FirstMatchingEntryWins) {
+  core::RestrictionSet first_restrictions;
+  first_restrictions.add(core::QuotaRestriction{"usd", 1});
+  Acl acl;
+  acl.add(AclEntry{{"alice"}, {"read"}, {"/doc"}, first_restrictions});
+  acl.add(AclEntry{{"alice"}, {"read"}, {"/doc"}, {}});
+  auto entry = acl.match(authority_of({"alice"}), "read", "/doc");
+  ASSERT_TRUE(entry.is_ok());
+  EXPECT_EQ(entry.value()->restrictions, first_restrictions);
+}
+
+TEST(Acl, MatchingEntriesEnumeratesAll) {
+  Acl acl;
+  acl.add(AclEntry{{"alice"}, {"read"}, {"/a"}, {}});
+  acl.add(AclEntry{{"alice"}, {"write"}, {"/b"}, {}});
+  acl.add(AclEntry{{"bob"}, {"read"}, {"/a"}, {}});
+  EXPECT_EQ(acl.matching_entries(authority_of({"alice"})).size(), 2u);
+  EXPECT_EQ(acl.matching_entries(authority_of({"carol"})).size(), 0u);
+}
+
+TEST(Acl, RemovePrincipalRevokes) {
+  // §3.1: revoking the grantor's rights kills all capabilities it issued.
+  Acl acl;
+  acl.add(AclEntry{{"alice"}, {"read"}, {"/doc"}, {}});
+  acl.add(AclEntry{{"alice", "bob"}, {"write"}, {"/doc"}, {}});
+  acl.add(AclEntry{{"carol"}, {"read"}, {"/doc"}, {}});
+  EXPECT_EQ(acl.remove_principal("alice"), 2u);
+  EXPECT_FALSE(acl.match(authority_of({"alice"}), "read", "/doc").is_ok());
+  EXPECT_TRUE(acl.match(authority_of({"carol"}), "read", "/doc").is_ok());
+}
+
+TEST(Acl, CodecRoundTrip) {
+  core::RestrictionSet rs;
+  rs.add(core::QuotaRestriction{"pages", 3});
+  Acl acl;
+  acl.add(AclEntry{{"alice", "bob"}, {"read", "write"}, {"/a", "/b"}, rs});
+  auto decoded = wire::decode_from_bytes<Acl>(wire::encode_to_bytes(acl));
+  ASSERT_TRUE(decoded.is_ok());
+  ASSERT_EQ(decoded.value().entries().size(), 1u);
+  EXPECT_EQ(decoded.value().entries()[0].principals,
+            acl.entries()[0].principals);
+  EXPECT_EQ(decoded.value().entries()[0].restrictions, rs);
+}
+
+TEST(AuthorityContext, Covers) {
+  const GroupName staff{"gs", "staff"};
+  const AuthorityContext ctx = authority_of({"alice"}, {staff});
+  EXPECT_TRUE(ctx.covers("alice"));
+  EXPECT_TRUE(ctx.covers(acl_group_token(staff)));
+  EXPECT_FALSE(ctx.covers("bob"));
+  EXPECT_FALSE(ctx.covers("group:gs/other"));
+}
+
+}  // namespace
+}  // namespace rproxy::authz

@@ -1,0 +1,225 @@
+// Authorization server tests (Fig 3, §3.2): the grant protocol, database
+// consultation, narrowing, restriction templates, and proxy usability.
+#include "authz/authorization_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+class AuthzServerTest : public ::testing::Test {
+ protected:
+  AuthzServerTest() {
+    world_.add_principal("alice");
+    world_.add_principal("authz-server");
+    world_.add_principal("file-server");
+
+    authz::AuthorizationServer::Config config;
+    config.name = "authz-server";
+    config.own_key = world_.principal("authz-server").krb_key;
+    config.net = &world_.net;
+    config.clock = &world_.clock;
+    config.kdc = World::kKdcName;
+    config.resolver = &world_.resolver;
+    config.pk_root = world_.name_server.root_key();
+    server_ = std::make_unique<authz::AuthorizationServer>(config);
+    world_.net.attach("authz-server", *server_);
+
+    authz::Acl acl;
+    acl.add(authz::AclEntry{{"alice"}, {"read"}, {"/doc"}, {}});
+    server_->set_acl("file-server", acl);
+
+    alice_kdc_ = std::make_unique<kdc::KdcClient>(world_.kdc_client("alice"));
+    auto tgt = alice_kdc_->authenticate(4 * util::kHour);
+    EXPECT_TRUE(tgt.is_ok());
+    tgt_ = tgt.value();
+    auto creds =
+        alice_kdc_->get_ticket(tgt_, "authz-server", 4 * util::kHour);
+    EXPECT_TRUE(creds.is_ok());
+    creds_for_authz_ = creds.value();
+  }
+
+  util::Result<core::Proxy> request(
+      std::vector<core::ObjectRights> rights = {},
+      core::RestrictionSet extra = {}) {
+    authz::AuthzClient client(world_.net, world_.clock, *alice_kdc_);
+    return client.request_authorization(creds_for_authz_, "authz-server",
+                                        "file-server", std::move(rights),
+                                        30 * util::kMinute, nullptr,
+                                        std::move(extra));
+  }
+
+  World world_;
+  std::unique_ptr<authz::AuthorizationServer> server_;
+  std::unique_ptr<kdc::KdcClient> alice_kdc_;
+  kdc::Credentials tgt_;
+  kdc::Credentials creds_for_authz_;
+};
+
+TEST_F(AuthzServerTest, GrantsProxyToAuthorizedClient) {
+  auto proxy = request();
+  ASSERT_TRUE(proxy.is_ok()) << proxy.status();
+  EXPECT_EQ(proxy.value().grantor, "authz-server");
+  EXPECT_TRUE(proxy.value().is_delegate());  // grantee = alice
+
+  // The granted restrictions authorize exactly the database rights.
+  const auto* authorized =
+      proxy.value().claimed_restrictions.find<core::AuthorizedRestriction>();
+  ASSERT_NE(authorized, nullptr);
+  ASSERT_EQ(authorized->rights.size(), 1u);
+  EXPECT_EQ(authorized->rights[0].object, "/doc");
+  EXPECT_EQ(authorized->rights[0].operations,
+            std::vector<Operation>{"read"});
+}
+
+TEST_F(AuthzServerTest, GrantedProxyVerifiesAtEndServer) {
+  auto proxy = request();
+  ASSERT_TRUE(proxy.is_ok());
+
+  core::ProxyVerifier::Config vc;
+  vc.server_name = "file-server";
+  vc.server_key = world_.principal("file-server").krb_key;
+  core::ProxyVerifier verifier(std::move(vc));
+  auto verified =
+      verifier.verify_chain(proxy.value().chain, world_.clock.now());
+  ASSERT_TRUE(verified.is_ok()) << verified.status();
+  EXPECT_EQ(verified.value().grantor, "authz-server");
+
+  // Alice (as the named grantee) can prove possession with the unsealed
+  // proxy key... the proxy is a delegate proxy, so she authenticates
+  // personally; but the proxy key she received must also match.
+  EXPECT_TRUE(verified.value().sym_proxy_key ==
+              crypto::SymmetricKey::from_bytes(proxy.value().secret));
+}
+
+TEST_F(AuthzServerTest, DeniesUnauthorizedClient) {
+  world_.add_principal("mallory");
+  kdc::KdcClient mallory = world_.kdc_client("mallory");
+  auto tgt = mallory.authenticate(util::kHour);
+  ASSERT_TRUE(tgt.is_ok());
+  auto creds = mallory.get_ticket(tgt.value(), "authz-server", util::kHour);
+  ASSERT_TRUE(creds.is_ok());
+  authz::AuthzClient client(world_.net, world_.clock, mallory);
+  EXPECT_EQ(client
+                .request_authorization(creds.value(), "authz-server",
+                                       "file-server", {},
+                                       30 * util::kMinute)
+                .code(),
+            util::ErrorCode::kPermissionDenied);
+}
+
+TEST_F(AuthzServerTest, DeniesUnknownEndServer) {
+  authz::AuthzClient client(world_.net, world_.clock, *alice_kdc_);
+  EXPECT_EQ(client
+                .request_authorization(creds_for_authz_, "authz-server",
+                                       "ghost-server", {},
+                                       30 * util::kMinute)
+                .code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST_F(AuthzServerTest, NarrowingWithinDatabaseAllowed) {
+  auto proxy =
+      request({core::ObjectRights{"/doc", {"read"}}});
+  ASSERT_TRUE(proxy.is_ok()) << proxy.status();
+}
+
+TEST_F(AuthzServerTest, NarrowingBeyondDatabaseDenied) {
+  EXPECT_EQ(request({core::ObjectRights{"/doc", {"write"}}}).code(),
+            util::ErrorCode::kPermissionDenied);
+  EXPECT_EQ(request({core::ObjectRights{"/secret", {"read"}}}).code(),
+            util::ErrorCode::kPermissionDenied);
+}
+
+TEST_F(AuthzServerTest, EntryRestrictionTemplateCopiedIntoProxy) {
+  // §3.5: "the restrictions field of a matching access-control-list entry
+  // can be copied to the restrictions field of the resulting proxy."
+  core::RestrictionSet template_rs;
+  template_rs.add(core::QuotaRestriction{"reads", 10});
+  authz::Acl acl;
+  acl.add(authz::AclEntry{{"alice"}, {"read"}, {"/doc"}, template_rs});
+  server_->set_acl("file-server", acl);
+
+  auto proxy = request();
+  ASSERT_TRUE(proxy.is_ok());
+  const auto* quota =
+      proxy.value().claimed_restrictions.find<core::QuotaRestriction>();
+  ASSERT_NE(quota, nullptr);
+  EXPECT_EQ(quota->currency, "reads");
+  EXPECT_EQ(quota->limit, 10u);
+}
+
+TEST_F(AuthzServerTest, ClientExtraRestrictionsIncluded) {
+  core::RestrictionSet extra;
+  extra.add(core::AcceptOnceRestriction{99});
+  auto proxy = request({}, extra);
+  ASSERT_TRUE(proxy.is_ok());
+  const auto* once =
+      proxy.value().claimed_restrictions.find<core::AcceptOnceRestriction>();
+  ASSERT_NE(once, nullptr);
+  EXPECT_EQ(once->identifier, 99u);
+}
+
+TEST_F(AuthzServerTest, ReplayedRequestRejected) {
+  net::RecordingTap tap;
+  world_.net.add_tap(tap);
+  ASSERT_TRUE(request().is_ok());
+  const auto requests = tap.of_type(net::MsgType::kAuthzRequest);
+  ASSERT_EQ(requests.size(), 1u);
+  auto replayed = world_.net.inject(requests.front());
+  ASSERT_TRUE(replayed.is_ok());
+  EXPECT_EQ(net::status_of(replayed.value()).code(),
+            util::ErrorCode::kReplay);
+}
+
+TEST_F(AuthzServerTest, ProxySecretSealedFromEavesdropper) {
+  // The reply's sealed_secret must not open without alice's session key.
+  net::RecordingTap tap;
+  world_.net.add_tap(tap);
+  ASSERT_TRUE(request().is_ok());
+  const auto replies = tap.of_type(net::MsgType::kAuthzReply);
+  ASSERT_EQ(replies.size(), 1u);
+  auto payload = wire::decode_from_bytes<authz::ProxyGrantReplyPayload>(
+      replies.front().payload);
+  ASSERT_TRUE(payload.is_ok());
+  EXPECT_FALSE(crypto::aead_open(
+                   crypto::SymmetricKey::generate().derive_subkey(
+                       authz::kProxySecretSealPurpose),
+                   payload.value().sealed_secret)
+                   .is_ok());
+}
+
+TEST_F(AuthzServerTest, PkIssueModeProducesPkProxy) {
+  authz::AuthorizationServer::Config config;
+  config.name = "authz-server";
+  config.own_key = world_.principal("authz-server").krb_key;
+  config.net = &world_.net;
+  config.clock = &world_.clock;
+  config.kdc = World::kKdcName;
+  config.issue_mode = core::ProxyMode::kPublicKey;
+  config.identity_key = world_.principal("authz-server").identity;
+  config.resolver = &world_.resolver;
+  config.pk_root = world_.name_server.root_key();
+  authz::AuthorizationServer pk_server(config);
+  authz::Acl acl;
+  acl.add(authz::AclEntry{{"alice"}, {"read"}, {"/doc"}, {}});
+  pk_server.set_acl("file-server", acl);
+  world_.net.attach("authz-server", pk_server);
+
+  authz::AuthzClient client(world_.net, world_.clock, *alice_kdc_);
+  auto proxy = client.request_authorization(
+      creds_for_authz_, "authz-server", "file-server", {},
+      30 * util::kMinute);
+  ASSERT_TRUE(proxy.is_ok()) << proxy.status();
+  EXPECT_EQ(proxy.value().chain.mode, core::ProxyMode::kPublicKey);
+
+  // Restore the original server for other tests.
+  world_.net.attach("authz-server", *server_);
+}
+
+}  // namespace
+}  // namespace rproxy

@@ -1,0 +1,151 @@
+// Capability helpers (§3.1) exercised end-to-end against a FileServer.
+#include "authz/capability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+class CapabilityTest : public ::testing::Test {
+ protected:
+  CapabilityTest() {
+    world_.add_principal("alice");
+    world_.add_principal("bob");
+    world_.add_principal("file-server");
+
+    file_server_ = std::make_unique<server::FileServer>(
+        world_.end_server_config("file-server"));
+    file_server_->put_file("/doc", "paper draft");
+    file_server_->put_file("/secret", "keys");
+    // alice has full access; capabilities impersonate her.
+    file_server_->acl().add(authz::AclEntry{{"alice"}, {}, {}, {}});
+    world_.net.attach("file-server", *file_server_);
+  }
+
+  core::Proxy alice_read_capability_pk() {
+    return authz::make_capability_pk(
+        "alice", world_.principal("alice").identity, "file-server",
+        {core::ObjectRights{"/doc", {"read"}}}, world_.clock.now(),
+        util::kHour);
+  }
+
+  World world_;
+  std::unique_ptr<server::FileServer> file_server_;
+};
+
+TEST_F(CapabilityTest, PkCapabilityGrantsExactlyTheRight) {
+  const core::Proxy cap = alice_read_capability_pk();
+  server::AppClient bob(world_.net, world_.clock, "bob");
+
+  auto read = bob.invoke_with_proxy("file-server", cap, "read", "/doc");
+  ASSERT_TRUE(read.is_ok()) << read.status();
+  EXPECT_EQ(util::to_string(read.value()), "paper draft");
+
+  // Same capability cannot write /doc or read /secret.
+  EXPECT_EQ(bob.invoke_with_proxy("file-server", cap, "write", "/doc",
+                                  {}, util::to_bytes(std::string_view("x")))
+                .code(),
+            util::ErrorCode::kRestrictionViolated);
+  EXPECT_EQ(bob.invoke_with_proxy("file-server", cap, "read", "/secret")
+                .code(),
+            util::ErrorCode::kRestrictionViolated);
+}
+
+TEST_F(CapabilityTest, KrbCapabilityWorksToo) {
+  kdc::KdcClient alice = world_.kdc_client("alice");
+  auto tgt = alice.authenticate(util::kHour);
+  ASSERT_TRUE(tgt.is_ok());
+  auto creds = alice.get_ticket(tgt.value(), "file-server", util::kHour);
+  ASSERT_TRUE(creds.is_ok());
+  const core::Proxy cap = authz::make_capability_krb(
+      alice, creds.value(), {core::ObjectRights{"/doc", {"read"}}},
+      world_.clock.now());
+
+  server::AppClient bob(world_.net, world_.clock, "bob");
+  auto read = bob.invoke_with_proxy("file-server", cap, "read", "/doc");
+  ASSERT_TRUE(read.is_ok()) << read.status();
+  EXPECT_EQ(util::to_string(read.value()), "paper draft");
+}
+
+TEST_F(CapabilityTest, CapabilityPassesFreelyBetweenBearers) {
+  // "The capability is then passed to others who can themselves pass it
+  // on" — transferring chain+key is all it takes.
+  const core::Proxy cap = alice_read_capability_pk();
+  core::Proxy carols_copy = cap;  // bob hands it to carol
+  server::AppClient carol(world_.net, world_.clock, "carol");
+  EXPECT_TRUE(
+      carol.invoke_with_proxy("file-server", carols_copy, "read", "/doc")
+          .is_ok());
+}
+
+TEST_F(CapabilityTest, NarrowedCapabilityOnlyShrinks) {
+  // /doc read+write capability, narrowed to read-only before passing on.
+  const core::Proxy broad = authz::make_capability_pk(
+      "alice", world_.principal("alice").identity, "file-server",
+      {core::ObjectRights{"/doc", {"read", "write"}}}, world_.clock.now(),
+      util::kHour);
+  auto narrow = authz::narrow_capability(
+      broad, {core::ObjectRights{"/doc", {"read"}}}, world_.clock.now(),
+      util::kHour);
+  ASSERT_TRUE(narrow.is_ok());
+
+  server::AppClient bob(world_.net, world_.clock, "bob");
+  EXPECT_TRUE(bob.invoke_with_proxy("file-server", narrow.value(), "read",
+                                    "/doc")
+                  .is_ok());
+  EXPECT_EQ(bob.invoke_with_proxy("file-server", narrow.value(), "write",
+                                  "/doc", {},
+                                  util::to_bytes(std::string_view("x")))
+                .code(),
+            util::ErrorCode::kRestrictionViolated);
+  // The broad original still writes.
+  EXPECT_TRUE(bob.invoke_with_proxy("file-server", broad, "write", "/doc",
+                                    {},
+                                    util::to_bytes(std::string_view("new")))
+                  .is_ok());
+}
+
+TEST_F(CapabilityTest, RevocationViaGrantorRights) {
+  // §3.1: "one can revoke a capability by changing the access rights
+  // available to the grantor of the capability."
+  const core::Proxy cap = alice_read_capability_pk();
+  server::AppClient bob(world_.net, world_.clock, "bob");
+  ASSERT_TRUE(
+      bob.invoke_with_proxy("file-server", cap, "read", "/doc").is_ok());
+
+  file_server_->acl().remove_principal("alice");
+  EXPECT_EQ(bob.invoke_with_proxy("file-server", cap, "read", "/doc").code(),
+            util::ErrorCode::kPermissionDenied);
+}
+
+TEST_F(CapabilityTest, CapabilityExpires) {
+  // §3.1: "the resulting capability would have an expiration time.  This
+  // is a feature."
+  const core::Proxy cap = alice_read_capability_pk();
+  world_.clock.advance(2 * util::kHour);
+  server::AppClient bob(world_.net, world_.clock, "bob");
+  EXPECT_EQ(bob.invoke_with_proxy("file-server", cap, "read", "/doc").code(),
+            util::ErrorCode::kExpired);
+}
+
+TEST_F(CapabilityTest, CapabilityRestrictedToItsEndServer) {
+  world_.add_principal("other-server");
+  auto other = std::make_unique<server::FileServer>(
+      world_.end_server_config("other-server"));
+  other->put_file("/doc", "other contents");
+  other->acl().add(authz::AclEntry{{"alice"}, {}, {}, {}});
+  world_.net.attach("other-server", *other);
+
+  const core::Proxy cap = alice_read_capability_pk();  // for file-server
+  server::AppClient bob(world_.net, world_.clock, "bob");
+  EXPECT_EQ(
+      bob.invoke_with_proxy("other-server", cap, "read", "/doc").code(),
+      util::ErrorCode::kRestrictionViolated);  // issued-for mismatch (§7.3)
+}
+
+}  // namespace
+}  // namespace rproxy

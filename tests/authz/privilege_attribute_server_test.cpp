@@ -1,0 +1,176 @@
+// Privilege attribute server (§5's DCE paragraph): one PAC carries every
+// membership; end-servers consume it like any group proxy.
+#include "authz/privilege_attribute_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+class PacTest : public ::testing::Test {
+ protected:
+  PacTest() {
+    world_.add_principal("alice");
+    world_.add_principal("pac-server");
+    world_.add_principal("file-server");
+
+    authz::PrivilegeAttributeServer::Config config;
+    config.name = "pac-server";
+    config.own_key = world_.principal("pac-server").krb_key;
+    config.net = &world_.net;
+    config.clock = &world_.clock;
+    config.kdc = World::kKdcName;
+    pac_server_ =
+        std::make_unique<authz::PrivilegeAttributeServer>(config);
+    pac_server_->add_member("staff", "alice");
+    pac_server_->add_member("engineering", "alice");
+    pac_server_->add_member("admins", "someone-else");
+    world_.net.attach("pac-server", *pac_server_);
+
+    file_server_ = std::make_unique<server::FileServer>(
+        world_.end_server_config("file-server"));
+    file_server_->put_file("/doc", "contents");
+    world_.net.attach("file-server", *file_server_);
+
+    alice_ = std::make_unique<kdc::KdcClient>(world_.kdc_client("alice"));
+    auto tgt = alice_->authenticate(4 * util::kHour);
+    EXPECT_TRUE(tgt.is_ok());
+    tgt_ = tgt.value();
+  }
+
+  util::Result<core::Proxy> get_pac() {
+    auto creds = alice_->get_ticket(tgt_, "pac-server", util::kHour);
+    EXPECT_TRUE(creds.is_ok());
+    authz::PacClient client(world_.net, world_.clock, *alice_);
+    return client.request_pac(creds.value(), "pac-server", "file-server",
+                              30 * util::kMinute);
+  }
+
+  World world_;
+  std::unique_ptr<authz::PrivilegeAttributeServer> pac_server_;
+  std::unique_ptr<server::FileServer> file_server_;
+  std::unique_ptr<kdc::KdcClient> alice_;
+  kdc::Credentials tgt_;
+};
+
+TEST_F(PacTest, PacListsAllMemberships) {
+  auto pac = get_pac();
+  ASSERT_TRUE(pac.is_ok()) << pac.status();
+  const auto* membership = pac.value()
+                               .claimed_restrictions
+                               .find<core::GroupMembershipRestriction>();
+  ASSERT_NE(membership, nullptr);
+  // alice is in staff + engineering, NOT admins.
+  ASSERT_EQ(membership->groups.size(), 2u);
+  EXPECT_EQ(membership->groups[0], (GroupName{"pac-server", "engineering"}));
+  EXPECT_EQ(membership->groups[1], (GroupName{"pac-server", "staff"}));
+}
+
+TEST_F(PacTest, OnePacSatisfiesMultipleGroupEntries) {
+  // The end-server has two group-gated entries; ONE PAC presentation
+  // covers both (the round-trip economy vs per-group proxies).
+  file_server_->acl().add(authz::AclEntry{
+      {authz::acl_group_token(GroupName{"pac-server", "staff"})},
+      {"read"},
+      {"/doc"},
+      {}});
+  file_server_->acl().add(authz::AclEntry{
+      {authz::acl_group_token(GroupName{"pac-server", "engineering"})},
+      {"write"},
+      {"/doc"},
+      {}});
+
+  auto pac = get_pac();
+  ASSERT_TRUE(pac.is_ok());
+  auto creds = alice_->get_ticket(tgt_, "file-server", util::kHour);
+  ASSERT_TRUE(creds.is_ok());
+  server::AppClient app(world_.net, world_.clock, "alice");
+
+  const auto with_pac = [&](const Operation& op, util::Bytes args) {
+    return app.invoke(
+        "file-server", op, "/doc", {}, std::move(args),
+        [&](util::BytesView challenge, util::BytesView rdigest,
+            server::AppRequestPayload& req) {
+          core::PresentedCredential cred;
+          cred.chain = pac.value().chain;
+          cred.proof = core::prove_delegate_krb(*alice_, creds.value(),
+                                                challenge, "file-server",
+                                                world_.clock.now(), rdigest);
+          req.group_credentials.push_back(cred);
+        });
+  };
+
+  EXPECT_TRUE(with_pac("read", {}).is_ok());   // via staff entry
+  EXPECT_TRUE(
+      with_pac("write", util::to_bytes(std::string_view("v2"))).is_ok());
+  EXPECT_EQ(with_pac("delete", {}).code(),
+            util::ErrorCode::kPermissionDenied);  // no entry covers delete
+}
+
+TEST_F(PacTest, MemberOfNothingDenied) {
+  world_.add_principal("stranger");
+  kdc::KdcClient stranger = world_.kdc_client("stranger");
+  auto tgt = stranger.authenticate(util::kHour);
+  ASSERT_TRUE(tgt.is_ok());
+  auto creds = stranger.get_ticket(tgt.value(), "pac-server", util::kHour);
+  ASSERT_TRUE(creds.is_ok());
+  authz::PacClient client(world_.net, world_.clock, stranger);
+  EXPECT_EQ(client
+                .request_pac(creds.value(), "pac-server", "file-server",
+                             util::kMinute)
+                .code(),
+            util::ErrorCode::kPermissionDenied);
+}
+
+TEST_F(PacTest, PacBoundToPrincipal) {
+  // Mallory cannot present alice's PAC: its grantee restriction names
+  // alice, and group assertions fail without her identity.
+  world_.add_principal("mallory");
+  file_server_->acl().add(authz::AclEntry{
+      {authz::acl_group_token(GroupName{"pac-server", "staff"})},
+      {"read"},
+      {"/doc"},
+      {}});
+  auto pac = get_pac();
+  ASSERT_TRUE(pac.is_ok());
+
+  const testing::Principal& mallory = world_.principal("mallory");
+  server::AppClient app(world_.net, world_.clock, "mallory");
+  auto theft = app.invoke(
+      "file-server", "read", "/doc", {}, {},
+      [&](util::BytesView challenge, util::BytesView rdigest,
+          server::AppRequestPayload& req) {
+        core::PresentedCredential cred;
+        cred.chain = pac.value().chain;
+        cred.proof = core::prove_delegate_pk(mallory.cert, mallory.identity,
+                                             challenge, "file-server",
+                                             world_.clock.now(), rdigest);
+        req.group_credentials.push_back(cred);
+      });
+  EXPECT_EQ(theft.code(), util::ErrorCode::kPermissionDenied);
+}
+
+TEST_F(PacTest, MembershipChangesAffectNewPacsOnly) {
+  auto pac_before = get_pac();
+  ASSERT_TRUE(pac_before.is_ok());
+  pac_server_->remove_member("engineering", "alice");
+  auto pac_after = get_pac();
+  ASSERT_TRUE(pac_after.is_ok());
+  EXPECT_EQ(pac_before.value()
+                .claimed_restrictions
+                .find<core::GroupMembershipRestriction>()
+                ->groups.size(),
+            2u);
+  EXPECT_EQ(pac_after.value()
+                .claimed_restrictions
+                .find<core::GroupMembershipRestriction>()
+                ->groups.size(),
+            1u);
+}
+
+}  // namespace
+}  // namespace rproxy

@@ -1,0 +1,116 @@
+// ProxyIssuer: the minting machinery shared by authorization, group and
+// accounting servers — ticket caching, issued-for injection, pk mode.
+#include "authz/proxy_issuer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.hpp"
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+class ProxyIssuerTest : public ::testing::Test {
+ protected:
+  ProxyIssuerTest() {
+    world_.add_principal("issuer");
+    world_.add_principal("target-a");
+    world_.add_principal("target-b");
+    world_.net.set_default_latency(0);
+  }
+
+  authz::ProxyIssuer make_issuer(core::ProxyMode mode) {
+    authz::ProxyIssuer::Config config;
+    config.self = "issuer";
+    config.mode = mode;
+    config.net = &world_.net;
+    config.clock = &world_.clock;
+    config.own_key = world_.principal("issuer").krb_key;
+    config.kdc = World::kKdcName;
+    config.identity_key = world_.principal("issuer").identity;
+    return authz::ProxyIssuer(config);
+  }
+
+  World world_;
+};
+
+TEST_F(ProxyIssuerTest, KrbIssueProducesVerifiableProxy) {
+  authz::ProxyIssuer issuer = make_issuer(core::ProxyMode::kSymmetric);
+  auto proxy = issuer.issue("target-a", {}, 30 * util::kMinute);
+  ASSERT_TRUE(proxy.is_ok()) << proxy.status();
+  EXPECT_EQ(proxy.value().chain.mode, core::ProxyMode::kSymmetric);
+
+  core::ProxyVerifier::Config vc;
+  vc.server_name = "target-a";
+  vc.server_key = world_.principal("target-a").krb_key;
+  core::ProxyVerifier verifier(std::move(vc));
+  EXPECT_TRUE(
+      verifier.verify_chain(proxy.value().chain, world_.clock.now()).is_ok());
+}
+
+TEST_F(ProxyIssuerTest, IssuedForAlwaysAdded) {
+  authz::ProxyIssuer issuer = make_issuer(core::ProxyMode::kPublicKey);
+  auto proxy = issuer.issue("target-a", {}, 30 * util::kMinute);
+  ASSERT_TRUE(proxy.is_ok());
+  const auto* issued_for = proxy.value()
+                               .claimed_restrictions
+                               .find<core::IssuedForRestriction>();
+  ASSERT_NE(issued_for, nullptr);
+  EXPECT_EQ(issued_for->servers, std::vector<PrincipalName>{"target-a"});
+}
+
+TEST_F(ProxyIssuerTest, TicketCacheAvoidsRepeatKdcTraffic) {
+  authz::ProxyIssuer issuer = make_issuer(core::ProxyMode::kSymmetric);
+  ASSERT_TRUE(issuer.issue("target-a", {}, util::kMinute).is_ok());
+  world_.net.reset_stats();
+  ASSERT_TRUE(issuer.issue("target-a", {}, util::kMinute).is_ok());
+  EXPECT_EQ(world_.net.stats().rpcs, 0u);  // cached ticket, no KDC contact
+
+  // A new target needs one TGS exchange (TGT already cached).
+  ASSERT_TRUE(issuer.issue("target-b", {}, util::kMinute).is_ok());
+  EXPECT_EQ(world_.net.stats().rpcs, 1u);
+}
+
+TEST_F(ProxyIssuerTest, CacheClearedForcesFreshExchange) {
+  authz::ProxyIssuer issuer = make_issuer(core::ProxyMode::kSymmetric);
+  ASSERT_TRUE(issuer.issue("target-a", {}, util::kMinute).is_ok());
+  issuer.clear_ticket_cache();
+  world_.net.reset_stats();
+  ASSERT_TRUE(issuer.issue("target-a", {}, util::kMinute).is_ok());
+  EXPECT_GE(world_.net.stats().rpcs, 2u);  // AS + TGS again
+}
+
+TEST_F(ProxyIssuerTest, ExpiredCacheRefetches) {
+  authz::ProxyIssuer issuer = make_issuer(core::ProxyMode::kSymmetric);
+  ASSERT_TRUE(issuer.issue("target-a", {}, util::kMinute).is_ok());
+  world_.clock.advance(10 * util::kHour);  // everything expired
+  world_.net.reset_stats();
+  auto proxy = issuer.issue("target-a", {}, util::kMinute);
+  ASSERT_TRUE(proxy.is_ok()) << proxy.status();
+  EXPECT_GE(world_.net.stats().rpcs, 2u);
+  EXPECT_GT(proxy.value().expires_at, world_.clock.now());
+}
+
+TEST_F(ProxyIssuerTest, PkModeNeedsNoNetwork) {
+  authz::ProxyIssuer issuer = make_issuer(core::ProxyMode::kPublicKey);
+  world_.net.reset_stats();
+  ASSERT_TRUE(issuer.issue("target-a", {}, util::kMinute).is_ok());
+  EXPECT_EQ(world_.net.stats().rpcs, 0u);
+}
+
+TEST_F(ProxyIssuerTest, CallerRestrictionsPreserved) {
+  authz::ProxyIssuer issuer = make_issuer(core::ProxyMode::kSymmetric);
+  core::RestrictionSet set;
+  set.add(core::QuotaRestriction{"usd", 9});
+  auto proxy = issuer.issue("target-a", set, util::kMinute);
+  ASSERT_TRUE(proxy.is_ok());
+  const auto* quota =
+      proxy.value().claimed_restrictions.find<core::QuotaRestriction>();
+  ASSERT_NE(quota, nullptr);
+  EXPECT_EQ(quota->limit, 9u);
+}
+
+}  // namespace
+}  // namespace rproxy

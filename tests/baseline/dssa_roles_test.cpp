@@ -1,0 +1,153 @@
+// DSSA-style role delegation baseline (§5): correctness, the fixed-rights
+// property, and the costs the paper criticizes.
+#include "baseline/dssa_roles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using baseline::DssaRegistry;
+using testing::World;
+
+class DssaTest : public ::testing::Test {
+ protected:
+  DssaTest() : registry_("role-registry") {
+    world_.net.attach("role-registry", registry_);
+  }
+
+  World world_;
+  DssaRegistry registry_;
+};
+
+TEST_F(DssaTest, CreateDelegateVerify) {
+  auto role = baseline::dssa_create_role(
+      world_.net, "alice", "role-registry",
+      {core::ObjectRights{"/doc", {"read"}}});
+  ASSERT_TRUE(role.is_ok()) << role.status();
+
+  const baseline::DssaDelegationCert cert = baseline::dssa_delegate(
+      role.value().role, role.value().key, "bob", world_.clock.now(),
+      util::kHour);
+
+  auto owner = baseline::dssa_verify(world_.net, "file-server",
+                                     "role-registry", cert, "bob", "read",
+                                     "/doc", world_.clock.now());
+  ASSERT_TRUE(owner.is_ok()) << owner.status();
+  EXPECT_EQ(owner.value(), "alice");
+}
+
+TEST_F(DssaTest, RoleRightsAreFixed) {
+  // The criticism: restricting differently means creating ANOTHER role.
+  auto role = baseline::dssa_create_role(
+      world_.net, "alice", "role-registry",
+      {core::ObjectRights{"/doc", {"read"}}});
+  ASSERT_TRUE(role.is_ok());
+  const baseline::DssaDelegationCert cert = baseline::dssa_delegate(
+      role.value().role, role.value().key, "bob", world_.clock.now(),
+      util::kHour);
+
+  EXPECT_EQ(baseline::dssa_verify(world_.net, "file-server",
+                                  "role-registry", cert, "bob", "write",
+                                  "/doc", world_.clock.now())
+                .code(),
+            util::ErrorCode::kRestrictionViolated);
+  EXPECT_EQ(baseline::dssa_verify(world_.net, "file-server",
+                                  "role-registry", cert, "bob", "read",
+                                  "/other", world_.clock.now())
+                .code(),
+            util::ErrorCode::kRestrictionViolated);
+}
+
+TEST_F(DssaTest, EachDistinctRestrictionNeedsARoleCreation) {
+  // Quantifies "cumbersome when delegating on the fly": N distinct
+  // restriction sets -> N registry round trips.
+  world_.net.reset_stats();
+  for (int i = 0; i < 5; ++i) {
+    auto role = baseline::dssa_create_role(
+        world_.net, "alice", "role-registry",
+        {core::ObjectRights{"/doc-" + std::to_string(i), {"read"}}});
+    ASSERT_TRUE(role.is_ok());
+  }
+  EXPECT_EQ(registry_.roles_created(), 5u);
+  EXPECT_EQ(world_.net.stats().rpcs, 5u);
+}
+
+TEST_F(DssaTest, VerificationNeedsTheRegistry) {
+  auto role = baseline::dssa_create_role(
+      world_.net, "alice", "role-registry",
+      {core::ObjectRights{"/doc", {"read"}}});
+  ASSERT_TRUE(role.is_ok());
+  const baseline::DssaDelegationCert cert = baseline::dssa_delegate(
+      role.value().role, role.value().key, "bob", world_.clock.now(),
+      util::kHour);
+
+  world_.net.fail_link("file-server", "role-registry");
+  EXPECT_FALSE(baseline::dssa_verify(world_.net, "file-server",
+                                     "role-registry", cert, "bob", "read",
+                                     "/doc", world_.clock.now())
+                   .is_ok());
+}
+
+TEST_F(DssaTest, WrongDelegateRejected) {
+  auto role = baseline::dssa_create_role(
+      world_.net, "alice", "role-registry",
+      {core::ObjectRights{"/doc", {"read"}}});
+  ASSERT_TRUE(role.is_ok());
+  const baseline::DssaDelegationCert cert = baseline::dssa_delegate(
+      role.value().role, role.value().key, "bob", world_.clock.now(),
+      util::kHour);
+  EXPECT_EQ(baseline::dssa_verify(world_.net, "file-server",
+                                  "role-registry", cert, "mallory", "read",
+                                  "/doc", world_.clock.now())
+                .code(),
+            util::ErrorCode::kNotGrantee);
+}
+
+TEST_F(DssaTest, ForgedDelegationRejected) {
+  auto role = baseline::dssa_create_role(
+      world_.net, "alice", "role-registry",
+      {core::ObjectRights{"/doc", {"read"}}});
+  ASSERT_TRUE(role.is_ok());
+  const baseline::DssaDelegationCert cert = baseline::dssa_delegate(
+      role.value().role, crypto::SigningKeyPair::generate(),  // wrong key
+      "bob", world_.clock.now(), util::kHour);
+  EXPECT_EQ(baseline::dssa_verify(world_.net, "file-server",
+                                  "role-registry", cert, "bob", "read",
+                                  "/doc", world_.clock.now())
+                .code(),
+            util::ErrorCode::kBadSignature);
+}
+
+TEST_F(DssaTest, ExpiredDelegationRejected) {
+  auto role = baseline::dssa_create_role(
+      world_.net, "alice", "role-registry",
+      {core::ObjectRights{"/doc", {"read"}}});
+  ASSERT_TRUE(role.is_ok());
+  const baseline::DssaDelegationCert cert = baseline::dssa_delegate(
+      role.value().role, role.value().key, "bob", world_.clock.now(),
+      util::kMinute);
+  world_.clock.advance(util::kHour);
+  EXPECT_EQ(baseline::dssa_verify(world_.net, "file-server",
+                                  "role-registry", cert, "bob", "read",
+                                  "/doc", world_.clock.now())
+                .code(),
+            util::ErrorCode::kExpired);
+}
+
+TEST_F(DssaTest, UnknownRoleRejected) {
+  baseline::DssaDelegationCert cert;
+  cert.role = "ghost/role-1";
+  cert.delegate = "bob";
+  cert.expires_at = world_.clock.now() + util::kHour;
+  EXPECT_EQ(baseline::dssa_verify(world_.net, "file-server",
+                                  "role-registry", cert, "bob", "read",
+                                  "/doc", world_.clock.now())
+                .code(),
+            util::ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace rproxy

@@ -1,0 +1,103 @@
+// Traditional capability baseline, including the eavesdrop attack the
+// proxy model defeats (§3.1).
+#include "baseline/plain_capability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/random.hpp"
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using baseline::PlainCapabilityServer;
+using testing::World;
+
+class PlainCapTest : public ::testing::Test {
+ protected:
+  PlainCapTest() : server_("cap-server", world_.clock) {
+    server_.put_file("/doc", "contents");
+    world_.net.attach("cap-server", server_);
+  }
+
+  World world_;
+  PlainCapabilityServer server_;
+};
+
+TEST_F(PlainCapTest, MintedCapabilityWorks) {
+  const util::Bytes token = server_.mint("read", "/doc", util::kHour);
+  auto result = baseline::plain_cap_invoke(world_.net, "alice", "cap-server",
+                                           token, "read", "/doc");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(util::to_string(result.value()), "contents");
+}
+
+TEST_F(PlainCapTest, WrongOperationOrObjectDenied) {
+  const util::Bytes token = server_.mint("read", "/doc", util::kHour);
+  EXPECT_FALSE(baseline::plain_cap_invoke(world_.net, "alice", "cap-server",
+                                          token, "write", "/doc")
+                   .is_ok());
+  EXPECT_FALSE(baseline::plain_cap_invoke(world_.net, "alice", "cap-server",
+                                          token, "read", "/other")
+                   .is_ok());
+}
+
+TEST_F(PlainCapTest, UnknownTokenDenied) {
+  EXPECT_EQ(baseline::plain_cap_invoke(world_.net, "alice", "cap-server",
+                                       crypto::random_bytes(16), "read",
+                                       "/doc")
+                .code(),
+            util::ErrorCode::kPermissionDenied);
+}
+
+TEST_F(PlainCapTest, Expires) {
+  const util::Bytes token = server_.mint("read", "/doc", util::kMinute);
+  world_.clock.advance(2 * util::kMinute);
+  EXPECT_EQ(baseline::plain_cap_invoke(world_.net, "alice", "cap-server",
+                                       token, "read", "/doc")
+                .code(),
+            util::ErrorCode::kExpired);
+}
+
+TEST_F(PlainCapTest, RevocationIsPerToken) {
+  const util::Bytes token = server_.mint("read", "/doc", util::kHour);
+  const util::Bytes copy = server_.mint("read", "/doc", util::kHour);
+  server_.revoke(token);
+  EXPECT_FALSE(baseline::plain_cap_invoke(world_.net, "alice", "cap-server",
+                                          token, "read", "/doc")
+                   .is_ok());
+  // The copy (a separately minted token for the same right) still works —
+  // unlike proxy capabilities, revocation does not cover all copies.
+  EXPECT_TRUE(baseline::plain_cap_invoke(world_.net, "alice", "cap-server",
+                                         copy, "read", "/doc")
+                  .is_ok());
+}
+
+TEST_F(PlainCapTest, EavesdropperStealsTheCapability) {
+  // THE attack: a wiretap observes one legitimate use and extracts a fully
+  // working capability.  Contrast with integration/attack_test.cpp where
+  // the same tap against a restricted proxy yields nothing usable.
+  net::RecordingTap tap;
+  world_.net.add_tap(tap);
+
+  const util::Bytes token = server_.mint("read", "/doc", util::kHour);
+  ASSERT_TRUE(baseline::plain_cap_invoke(world_.net, "alice", "cap-server",
+                                         token, "read", "/doc")
+                  .is_ok());
+
+  // Mallory parses the captured request and reuses the token.
+  const auto captured = tap.of_type(net::MsgType::kAppRequest);
+  ASSERT_EQ(captured.size(), 1u);
+  auto payload = wire::decode_from_bytes<baseline::PlainCapRequestPayload>(
+      captured.front().payload);
+  ASSERT_TRUE(payload.is_ok());
+
+  auto stolen_use = baseline::plain_cap_invoke(
+      world_.net, "mallory", "cap-server", payload.value().token, "read",
+      "/doc");
+  ASSERT_TRUE(stolen_use.is_ok());  // the theft WORKS here
+  EXPECT_EQ(util::to_string(stolen_use.value()), "contents");
+}
+
+}  // namespace
+}  // namespace rproxy

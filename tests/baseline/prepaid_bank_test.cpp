@@ -1,0 +1,84 @@
+// Amoeba-style prepaid bank baseline (§5).
+#include "baseline/prepaid_bank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using baseline::PrepaidBank;
+using testing::World;
+
+class PrepaidBankTest : public ::testing::Test {
+ protected:
+  PrepaidBankTest() : bank_("bank") {
+    world_.net.attach("bank", bank_);
+    bank_.open_account("client", accounting::Balances{{"usd", 100}});
+    bank_.open_account("server", {});
+  }
+
+  World world_;
+  PrepaidBank bank_;
+};
+
+TEST_F(PrepaidBankTest, PrepayMovesFunds) {
+  auto reply =
+      baseline::prepay(world_.net, "client", "bank", "server", "usd", 40);
+  ASSERT_TRUE(reply.is_ok()) << reply.status();
+  EXPECT_EQ(reply.value().server_balance_for_client, 40);
+  EXPECT_EQ(bank_.balance("client", "usd"), 60);
+  EXPECT_EQ(bank_.prepaid("server", "client", "usd"), 40);
+}
+
+TEST_F(PrepaidBankTest, PrepayBeyondBalanceRejected) {
+  EXPECT_EQ(baseline::prepay(world_.net, "client", "bank", "server", "usd",
+                             101)
+                .code(),
+            util::ErrorCode::kInsufficientFunds);
+}
+
+TEST_F(PrepaidBankTest, ServiceDrawsDownPrepaidFunds) {
+  ASSERT_TRUE(
+      baseline::prepay(world_.net, "client", "bank", "server", "usd", 40)
+          .is_ok());
+  // "The server will then provide services until the pre-paid funds have
+  // been exhausted."
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(bank_.draw_down("server", "client", "usd", 10).is_ok());
+  }
+  EXPECT_EQ(bank_.draw_down("server", "client", "usd", 10).code(),
+            util::ErrorCode::kInsufficientFunds);
+  EXPECT_EQ(bank_.balance("server", "usd"), 40);
+}
+
+TEST_F(PrepaidBankTest, UnspentFundsStrandedAtServer) {
+  // The shape the check model avoids: the client over-provisions and the
+  // remainder sits in the server's pool.
+  ASSERT_TRUE(
+      baseline::prepay(world_.net, "client", "bank", "server", "usd", 50)
+          .is_ok());
+  ASSERT_TRUE(bank_.draw_down("server", "client", "usd", 10).is_ok());
+  EXPECT_EQ(bank_.prepaid("server", "client", "usd"), 40);  // stranded
+  EXPECT_EQ(bank_.balance("client", "usd"), 50);
+}
+
+TEST_F(PrepaidBankTest, UnknownAccountRejected) {
+  EXPECT_EQ(
+      baseline::prepay(world_.net, "ghost", "bank", "server", "usd", 1)
+          .code(),
+      util::ErrorCode::kNotFound);
+}
+
+TEST_F(PrepaidBankTest, MultipleCurrencies) {
+  bank_.open_account("client2", accounting::Balances{{"pages", 30}});
+  ASSERT_TRUE(
+      baseline::prepay(world_.net, "client2", "bank", "server", "pages", 30)
+          .is_ok());
+  EXPECT_EQ(bank_.prepaid("server", "client2", "pages"), 30);
+  EXPECT_EQ(bank_.prepaid("server", "client2", "usd"), 0);
+}
+
+}  // namespace
+}  // namespace rproxy

@@ -1,0 +1,100 @@
+// Pull-model (Grapevine-style) authorization baseline.
+#include "baseline/pull_authorization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using baseline::PullAuthEndServer;
+using baseline::RegistrationServer;
+using testing::World;
+
+class PullAuthTest : public ::testing::Test {
+ protected:
+  PullAuthTest()
+      : registration_("registration"),
+        end_server_("pull-server", "registration", world_.net,
+                    world_.clock) {
+    world_.net.attach("registration", registration_);
+    world_.net.attach("pull-server", end_server_);
+    registration_.grant("alice", "read", "/doc");
+  }
+
+  World world_;
+  RegistrationServer registration_;
+  PullAuthEndServer end_server_;
+};
+
+TEST_F(PullAuthTest, AuthorizedClientServed) {
+  EXPECT_TRUE(baseline::pull_invoke(world_.net, "alice", "pull-server",
+                                    "read", "/doc")
+                  .is_ok());
+  EXPECT_EQ(end_server_.operations_served(), 1u);
+}
+
+TEST_F(PullAuthTest, UnauthorizedClientDenied) {
+  EXPECT_EQ(baseline::pull_invoke(world_.net, "bob", "pull-server", "read",
+                                  "/doc")
+                .code(),
+            util::ErrorCode::kPermissionDenied);
+}
+
+TEST_F(PullAuthTest, EveryRequestCostsARegistrationQuery) {
+  // The defining cost of the pull model (§5).
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(baseline::pull_invoke(world_.net, "alice", "pull-server",
+                                      "read", "/doc")
+                    .is_ok());
+  }
+  EXPECT_EQ(end_server_.registration_queries(), 5u);
+  EXPECT_EQ(registration_.queries_served(), 5u);
+}
+
+TEST_F(PullAuthTest, RevocationIsImmediate) {
+  // The pull model's one advantage: central revocation takes effect on the
+  // next request.
+  ASSERT_TRUE(baseline::pull_invoke(world_.net, "alice", "pull-server",
+                                    "read", "/doc")
+                  .is_ok());
+  registration_.revoke("alice", "read", "/doc");
+  EXPECT_FALSE(baseline::pull_invoke(world_.net, "alice", "pull-server",
+                                     "read", "/doc")
+                   .is_ok());
+}
+
+TEST_F(PullAuthTest, CachingCutsQueriesButDelaysRevocation) {
+  PullAuthEndServer cached("cached-server", "registration", world_.net,
+                           world_.clock, 10 * util::kMinute);
+  world_.net.attach("cached-server", cached);
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(baseline::pull_invoke(world_.net, "alice", "cached-server",
+                                      "read", "/doc")
+                    .is_ok());
+  }
+  EXPECT_EQ(cached.registration_queries(), 1u);
+
+  // Revocation does NOT take effect within the cache TTL — the classic
+  // /etc/group staleness problem.
+  registration_.revoke("alice", "read", "/doc");
+  EXPECT_TRUE(baseline::pull_invoke(world_.net, "alice", "cached-server",
+                                    "read", "/doc")
+                  .is_ok());
+  world_.clock.advance(11 * util::kMinute);
+  EXPECT_FALSE(baseline::pull_invoke(world_.net, "alice", "cached-server",
+                                     "read", "/doc")
+                   .is_ok());
+}
+
+TEST_F(PullAuthTest, RegistrationServerDownBlocksAllRequests) {
+  world_.net.detach("registration");
+  EXPECT_FALSE(baseline::pull_invoke(world_.net, "alice", "pull-server",
+                                     "read", "/doc")
+                   .is_ok());
+}
+
+}  // namespace
+}  // namespace rproxy

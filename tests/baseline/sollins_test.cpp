@@ -1,0 +1,116 @@
+// Sollins cascaded-authentication baseline: correctness, and the defining
+// property that verification requires contacting the auth server.
+#include "baseline/sollins.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using baseline::SollinsAuthServer;
+using baseline::SollinsPassport;
+using testing::World;
+
+class SollinsTest : public ::testing::Test {
+ protected:
+  SollinsTest() : auth_server_("sollins-auth", world_.clock) {
+    world_.net.attach("sollins-auth", auth_server_);
+    alice_secret_ = auth_server_.register_principal("alice");
+    proxy_a_secret_ = auth_server_.register_principal("service-a");
+    proxy_b_secret_ = auth_server_.register_principal("service-b");
+  }
+
+  SollinsPassport chain_of_two() {
+    core::RestrictionSet first;
+    first.add(core::QuotaRestriction{"usd", 100});
+    SollinsPassport p = baseline::sollins_create(
+        "alice", alice_secret_, "service-a", first, world_.clock.now(),
+        util::kHour);
+    core::RestrictionSet second;
+    second.add(core::QuotaRestriction{"usd", 10});
+    return baseline::sollins_extend(p, "service-a", proxy_a_secret_,
+                                    "service-b", second,
+                                    world_.clock.now(), util::kHour);
+  }
+
+  World world_;
+  SollinsAuthServer auth_server_;
+  crypto::SymmetricKey alice_secret_;
+  crypto::SymmetricKey proxy_a_secret_;
+  crypto::SymmetricKey proxy_b_secret_;
+};
+
+TEST_F(SollinsTest, ValidChainVerifies) {
+  auto reply = auth_server_.verify(chain_of_two(), world_.clock.now());
+  ASSERT_TRUE(reply.is_ok()) << reply.status();
+  EXPECT_TRUE(reply.value().valid);
+  EXPECT_EQ(reply.value().origin, "alice");
+  EXPECT_EQ(reply.value().holder, "service-b");
+  EXPECT_EQ(reply.value().effective.size(), 2u);  // additive restrictions
+}
+
+TEST_F(SollinsTest, TamperedLinkRejected) {
+  SollinsPassport p = chain_of_two();
+  p.links[1].restrictions = core::RestrictionSet{};
+  EXPECT_EQ(auth_server_.verify(p, world_.clock.now()).code(),
+            util::ErrorCode::kBadSignature);
+}
+
+TEST_F(SollinsTest, NonContiguousChainRejected) {
+  SollinsPassport p = chain_of_two();
+  p.links.erase(p.links.begin());  // drop the first hop
+  EXPECT_EQ(auth_server_.verify(p, world_.clock.now()).code(),
+            util::ErrorCode::kProtocolError);
+}
+
+TEST_F(SollinsTest, ExpiredLinkRejected) {
+  SollinsPassport p = chain_of_two();
+  world_.clock.advance(2 * util::kHour);
+  EXPECT_EQ(auth_server_.verify(p, world_.clock.now()).code(),
+            util::ErrorCode::kExpired);
+}
+
+TEST_F(SollinsTest, UnregisteredPrincipalRejected) {
+  const crypto::SymmetricKey ghost = crypto::SymmetricKey::generate();
+  SollinsPassport p = baseline::sollins_create(
+      "ghost", ghost, "service-a", {}, world_.clock.now(), util::kHour);
+  EXPECT_EQ(auth_server_.verify(p, world_.clock.now()).code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST_F(SollinsTest, ForgedMacRejected) {
+  // service-a forges a link claiming to come from alice.
+  SollinsPassport p = baseline::sollins_create(
+      "alice", proxy_a_secret_ /* wrong secret */, "service-a", {},
+      world_.clock.now(), util::kHour);
+  EXPECT_EQ(auth_server_.verify(p, world_.clock.now()).code(),
+            util::ErrorCode::kBadSignature);
+}
+
+TEST_F(SollinsTest, RemoteVerificationCostsARoundTrip) {
+  // The paper's point (§3.4): the END-SERVER cannot verify locally — it
+  // holds no principal secrets — so it pays a network round trip.
+  const SollinsPassport p = chain_of_two();
+  world_.net.reset_stats();
+  auto reply = baseline::sollins_verify_remote(world_.net, "end-server",
+                                               "sollins-auth", p);
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_TRUE(reply.value().valid);
+  EXPECT_EQ(world_.net.stats().rpcs, 1u);
+  EXPECT_EQ(world_.net.stats().messages, 2u);
+}
+
+TEST_F(SollinsTest, PassportCodecRoundTrip) {
+  const SollinsPassport p = chain_of_two();
+  auto decoded =
+      wire::decode_from_bytes<SollinsPassport>(wire::encode_to_bytes(p));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().id, p.id);
+  EXPECT_EQ(decoded.value().links.size(), 2u);
+  EXPECT_EQ(decoded.value().links[1].mac, p.links[1].mac);
+}
+
+}  // namespace
+}  // namespace rproxy

@@ -1,0 +1,50 @@
+#include "core/accept_once_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rproxy::core {
+namespace {
+
+using util::kSecond;
+
+TEST(AcceptOnceCache, FirstUseAccepted) {
+  AcceptOnceCache cache;
+  EXPECT_TRUE(
+      cache.check_and_insert("alice", 7, 100 * kSecond, 0).is_ok());
+}
+
+TEST(AcceptOnceCache, DuplicateRejected) {
+  AcceptOnceCache cache;
+  ASSERT_TRUE(
+      cache.check_and_insert("alice", 7, 100 * kSecond, 0).is_ok());
+  EXPECT_EQ(
+      cache.check_and_insert("alice", 7, 100 * kSecond, kSecond).code(),
+      util::ErrorCode::kReplay);
+}
+
+TEST(AcceptOnceCache, GrantorScoping) {
+  AcceptOnceCache cache;
+  ASSERT_TRUE(
+      cache.check_and_insert("alice", 7, 100 * kSecond, 0).is_ok());
+  EXPECT_TRUE(cache.check_and_insert("bob", 7, 100 * kSecond, 0).is_ok());
+}
+
+TEST(AcceptOnceCache, ExpiryReleasesIdentifier) {
+  AcceptOnceCache cache;
+  ASSERT_TRUE(cache.check_and_insert("alice", 7, 10 * kSecond, 0).is_ok());
+  EXPECT_TRUE(
+      cache.check_and_insert("alice", 7, 100 * kSecond, 20 * kSecond)
+          .is_ok());
+}
+
+TEST(AcceptOnceCache, SeenQuery) {
+  AcceptOnceCache cache;
+  EXPECT_FALSE(cache.seen("alice", 7, 0));
+  ASSERT_TRUE(cache.check_and_insert("alice", 7, 100 * kSecond, 0).is_ok());
+  EXPECT_TRUE(cache.seen("alice", 7, 0));
+  EXPECT_FALSE(cache.seen("alice", 7, 200 * kSecond));  // expired
+  EXPECT_FALSE(cache.seen("bob", 7, 0));
+}
+
+}  // namespace
+}  // namespace rproxy::core

@@ -1,0 +1,229 @@
+// Cascaded proxies (Fig 4, §3.4): bearer and delegate cascading, additive
+// restrictions, lifetime clamping, audit trails.
+#include "core/cascade.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.hpp"
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+class CascadeTest : public ::testing::Test {
+ protected:
+  CascadeTest() {
+    world_.add_principal("alice");
+    world_.add_principal("intermediate");
+    world_.add_principal("file-server");
+  }
+
+  core::ProxyVerifier server_verifier() {
+    core::ProxyVerifier::Config config;
+    config.server_name = "file-server";
+    config.server_key = world_.principal("file-server").krb_key;
+    config.resolver = &world_.resolver;
+    config.pk_root = world_.name_server.root_key();
+    return core::ProxyVerifier(std::move(config));
+  }
+
+  core::Proxy root_pk(core::RestrictionSet set = {}) {
+    return core::grant_pk_proxy("alice",
+                                world_.principal("alice").identity,
+                                std::move(set), world_.clock.now(),
+                                util::kHour);
+  }
+
+  core::Proxy root_krb(core::RestrictionSet set = {}) {
+    kdc::KdcClient client = world_.kdc_client("alice");
+    auto tgt = client.authenticate(util::kHour);
+    EXPECT_TRUE(tgt.is_ok());
+    auto creds =
+        client.get_ticket(tgt.value(), "file-server", util::kHour);
+    EXPECT_TRUE(creds.is_ok());
+    return core::grant_krb_proxy(client, creds.value(), std::move(set),
+                                 world_.clock.now());
+  }
+
+  World world_;
+};
+
+TEST_F(CascadeTest, PkBearerCascadeVerifies) {
+  core::RestrictionSet root_set;
+  root_set.add(core::QuotaRestriction{"usd", 100});
+  core::RestrictionSet link_set;
+  link_set.add(core::QuotaRestriction{"usd", 10});
+
+  auto child = core::extend_bearer(root_pk(root_set), link_set,
+                                   world_.clock.now(), util::kHour);
+  ASSERT_TRUE(child.is_ok());
+  EXPECT_EQ(child.value().chain.certs.size(), 2u);
+
+  auto verified = server_verifier().verify_chain(child.value().chain,
+                                                 world_.clock.now());
+  ASSERT_TRUE(verified.is_ok()) << verified.status();
+  EXPECT_EQ(verified.value().grantor, "alice");
+  EXPECT_EQ(verified.value().chain_length, 2u);
+  // Restrictions accumulate (Fig 4): both quotas present, conjunction
+  // makes the tighter one binding.
+  EXPECT_EQ(verified.value().effective_restrictions,
+            root_set.merged(link_set));
+}
+
+TEST_F(CascadeTest, SymBearerCascadeVerifiesAndUnwrapsKeys) {
+  core::RestrictionSet link_set;
+  link_set.add(core::QuotaRestriction{"usd", 10});
+  auto child = core::extend_bearer(root_krb(), link_set, world_.clock.now(),
+                                   util::kHour);
+  ASSERT_TRUE(child.is_ok());
+  auto verified = server_verifier().verify_chain(child.value().chain,
+                                                 world_.clock.now());
+  ASSERT_TRUE(verified.is_ok()) << verified.status();
+  // The server recovered the FINAL proxy key (§3.4: only the final proxy
+  // key is given to the subordinate).
+  EXPECT_TRUE(verified.value().sym_proxy_key ==
+              crypto::SymmetricKey::from_bytes(child.value().secret));
+}
+
+TEST_F(CascadeTest, DeepChainsVerify) {
+  for (const bool pk : {true, false}) {
+    core::Proxy proxy = pk ? root_pk() : root_krb();
+    for (int i = 0; i < 8; ++i) {
+      core::RestrictionSet set;
+      set.add(core::QuotaRestriction{"hop", static_cast<uint64_t>(100 - i)});
+      auto next = core::extend_bearer(proxy, set, world_.clock.now(),
+                                      util::kHour);
+      ASSERT_TRUE(next.is_ok());
+      proxy = std::move(next).value();
+    }
+    auto verified =
+        server_verifier().verify_chain(proxy.chain, world_.clock.now());
+    ASSERT_TRUE(verified.is_ok()) << verified.status();
+    EXPECT_EQ(verified.value().chain_length, 9u);
+    EXPECT_EQ(verified.value().effective_restrictions.size(), 8u);
+  }
+}
+
+TEST_F(CascadeTest, LinkLifetimeClampedToParent) {
+  const core::Proxy parent = root_pk();
+  auto child = core::extend_bearer(parent, {}, world_.clock.now(),
+                                   100 * util::kHour);
+  ASSERT_TRUE(child.is_ok());
+  EXPECT_EQ(child.value().expires_at, parent.expires_at);
+}
+
+TEST_F(CascadeTest, TamperedLinkRejected) {
+  core::RestrictionSet link_set;
+  link_set.add(core::QuotaRestriction{"usd", 10});
+  auto child = core::extend_bearer(root_pk(), link_set, world_.clock.now(),
+                                   util::kHour);
+  ASSERT_TRUE(child.is_ok());
+  core::Proxy tampered = child.value();
+  tampered.chain.certs[1].restrictions = core::RestrictionSet{};
+  EXPECT_EQ(server_verifier()
+                .verify_chain(tampered.chain, world_.clock.now())
+                .code(),
+            util::ErrorCode::kBadSignature);
+}
+
+TEST_F(CascadeTest, DroppedMiddleLinkRejected) {
+  // Chain a->b->c; presenting root+c without b must fail (the signature of
+  // c verifies only under b's proxy key).
+  auto b = core::extend_bearer(root_pk(), {}, world_.clock.now(),
+                               util::kHour);
+  ASSERT_TRUE(b.is_ok());
+  auto c = core::extend_bearer(b.value(), {}, world_.clock.now(),
+                               util::kHour);
+  ASSERT_TRUE(c.is_ok());
+  core::Proxy skipped = c.value();
+  skipped.chain.certs.erase(skipped.chain.certs.begin() + 1);
+  EXPECT_EQ(server_verifier()
+                .verify_chain(skipped.chain, world_.clock.now())
+                .code(),
+            util::ErrorCode::kBadSignature);
+}
+
+TEST_F(CascadeTest, DelegateCascadeLeavesAuditTrail) {
+  // Root names the intermediate as grantee; the intermediate extends with
+  // its identity signature — "the use of a delegate proxy leaves an audit
+  // trail since the new proxy identifies the intermediate server" (§3.4).
+  core::RestrictionSet root_set;
+  root_set.add(core::GranteeRestriction{{"intermediate"}, 1});
+  auto child = core::extend_delegate(
+      root_pk(root_set), "intermediate",
+      world_.principal("intermediate").identity, {}, world_.clock.now(),
+      util::kHour);
+  ASSERT_TRUE(child.is_ok());
+
+  auto verified = server_verifier().verify_chain(child.value().chain,
+                                                 world_.clock.now());
+  ASSERT_TRUE(verified.is_ok()) << verified.status();
+  ASSERT_EQ(verified.value().audit_trail.size(), 1u);
+  EXPECT_EQ(verified.value().audit_trail[0], "intermediate");
+}
+
+TEST_F(CascadeTest, UnnamedIntermediateRejected) {
+  // An intermediate NOT named as grantee cannot extend delegate-style.
+  core::RestrictionSet root_set;
+  root_set.add(core::GranteeRestriction{{"someone-else"}, 1});
+  auto child = core::extend_delegate(
+      root_pk(root_set), "intermediate",
+      world_.principal("intermediate").identity, {}, world_.clock.now(),
+      util::kHour);
+  ASSERT_TRUE(child.is_ok());  // construction succeeds...
+  EXPECT_EQ(server_verifier()
+                .verify_chain(child.value().chain, world_.clock.now())
+                .code(),
+            util::ErrorCode::kNotGrantee);  // ...verification refuses
+}
+
+TEST_F(CascadeTest, DelegateCascadeOnBearerProxyRejected) {
+  // No grantee restriction at all: identity-signed links have nothing to
+  // anchor to.
+  auto child = core::extend_delegate(
+      root_pk(), "intermediate", world_.principal("intermediate").identity,
+      {}, world_.clock.now(), util::kHour);
+  ASSERT_TRUE(child.is_ok());
+  EXPECT_EQ(server_verifier()
+                .verify_chain(child.value().chain, world_.clock.now())
+                .code(),
+            util::ErrorCode::kNotGrantee);
+}
+
+TEST_F(CascadeTest, SymDelegateCascadeUnsupported) {
+  // §6.3: the conventional realization cascades bearer-style only.
+  auto child = core::extend_delegate(
+      root_krb(), "intermediate", world_.principal("intermediate").identity,
+      {}, world_.clock.now(), util::kHour);
+  EXPECT_EQ(child.code(), util::ErrorCode::kProtocolError);
+}
+
+TEST_F(CascadeTest, ForgedIntermediateSignatureRejected) {
+  core::RestrictionSet root_set;
+  root_set.add(core::GranteeRestriction{{"intermediate"}, 1});
+  auto child = core::extend_delegate(
+      root_pk(root_set), "intermediate",
+      crypto::SigningKeyPair::generate(),  // not the intermediate's key
+      {}, world_.clock.now(), util::kHour);
+  ASSERT_TRUE(child.is_ok());
+  EXPECT_EQ(server_verifier()
+                .verify_chain(child.value().chain, world_.clock.now())
+                .code(),
+            util::ErrorCode::kBadSignature);
+}
+
+TEST_F(CascadeTest, ExpiredLinkRejectedEvenIfRootValid) {
+  auto child = core::extend_bearer(root_pk(), {}, world_.clock.now(),
+                                   util::kMinute);
+  ASSERT_TRUE(child.is_ok());
+  world_.clock.advance(2 * util::kMinute);
+  EXPECT_EQ(server_verifier()
+                .verify_chain(child.value().chain, world_.clock.now())
+                .code(),
+            util::ErrorCode::kExpired);
+}
+
+}  // namespace
+}  // namespace rproxy

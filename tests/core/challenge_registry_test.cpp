@@ -1,0 +1,56 @@
+#include "core/challenge_registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rproxy::core {
+namespace {
+
+using util::kMinute;
+using util::kSecond;
+
+TEST(ChallengeRegistry, IssueAndTake) {
+  ChallengeRegistry registry;
+  const auto c = registry.issue(0);
+  EXPECT_EQ(c.nonce.size(), 32u);
+  auto taken = registry.take(c.id, kSecond);
+  ASSERT_TRUE(taken.is_ok());
+  EXPECT_EQ(taken.value(), c.nonce);
+}
+
+TEST(ChallengeRegistry, SingleUse) {
+  ChallengeRegistry registry;
+  const auto c = registry.issue(0);
+  ASSERT_TRUE(registry.take(c.id, 0).is_ok());
+  EXPECT_EQ(registry.take(c.id, 0).code(), util::ErrorCode::kProtocolError);
+}
+
+TEST(ChallengeRegistry, UnknownIdRejected) {
+  ChallengeRegistry registry;
+  EXPECT_EQ(registry.take(12345, 0).code(), util::ErrorCode::kProtocolError);
+}
+
+TEST(ChallengeRegistry, ExpiryEnforced) {
+  ChallengeRegistry registry(kMinute);
+  const auto c = registry.issue(0);
+  EXPECT_EQ(registry.take(c.id, 2 * kMinute).code(),
+            util::ErrorCode::kExpired);
+}
+
+TEST(ChallengeRegistry, DistinctChallenges) {
+  ChallengeRegistry registry;
+  const auto a = registry.issue(0);
+  const auto b = registry.issue(0);
+  EXPECT_NE(a.id, b.id);
+  EXPECT_NE(a.nonce, b.nonce);
+}
+
+TEST(ChallengeRegistry, StaleChallengesPurgedOnIssue) {
+  ChallengeRegistry registry(kMinute);
+  for (int i = 0; i < 100; ++i) (void)registry.issue(0);
+  EXPECT_EQ(registry.outstanding(), 100u);
+  (void)registry.issue(10 * kMinute);  // everything older expired
+  EXPECT_EQ(registry.outstanding(), 1u);
+}
+
+}  // namespace
+}  // namespace rproxy::core

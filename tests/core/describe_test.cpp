@@ -1,0 +1,70 @@
+#include "core/describe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cascade.hpp"
+#include "core/proxy.hpp"
+#include "crypto/signature.hpp"
+
+namespace rproxy::core {
+namespace {
+
+TEST(Describe, EachRestrictionType) {
+  EXPECT_EQ(describe(Restriction{GranteeRestriction{{"alice", "bob"}, 2}}),
+            "grantee{alice,bob;2}");
+  EXPECT_EQ(describe(Restriction{ForUseByGroupRestriction{
+                {GroupName{"gs", "staff"}}, 1}}),
+            "for-use-by-group{gs/staff;1}");
+  EXPECT_EQ(describe(Restriction{IssuedForRestriction{{"s1", "s2"}}}),
+            "issued-for{s1,s2}");
+  EXPECT_EQ(describe(Restriction{QuotaRestriction{"usd", 100}}),
+            "quota{usd<=100}");
+  EXPECT_EQ(describe(Restriction{AuthorizedRestriction{
+                {ObjectRights{"/doc", {"read", "write"}},
+                 ObjectRights{"/all", {}}}}}),
+            "authorized{/doc:read,write,/all}");
+  EXPECT_EQ(describe(Restriction{GroupMembershipRestriction{
+                {GroupName{"gs", "staff"}}}}),
+            "group-membership{gs/staff}");
+  EXPECT_EQ(describe(Restriction{AcceptOnceRestriction{42}}),
+            "accept-once{42}");
+}
+
+TEST(Describe, NestedLimit) {
+  LimitRestriction limit;
+  limit.servers = {"print-server"};
+  limit.inner = {Restriction{QuotaRestriction{"pages", 5}}};
+  EXPECT_EQ(describe(Restriction{limit}),
+            "limit{print-server: quota{pages<=5}}");
+}
+
+TEST(Describe, Set) {
+  RestrictionSet set;
+  set.add(QuotaRestriction{"usd", 1});
+  set.add(AcceptOnceRestriction{7});
+  EXPECT_EQ(describe(set), "[quota{usd<=1}, accept-once{7}]");
+  EXPECT_EQ(describe(RestrictionSet{}), "[]");
+}
+
+TEST(Describe, CertificateAndChain) {
+  const crypto::SigningKeyPair key = crypto::SigningKeyPair::generate();
+  RestrictionSet set;
+  set.add(QuotaRestriction{"usd", 5});
+  const Proxy proxy =
+      grant_pk_proxy("alice", key, set, 1000 * util::kSecond, util::kHour);
+
+  const std::string cert_text = describe(proxy.chain.certs[0]);
+  EXPECT_NE(cert_text.find("grantor=alice"), std::string::npos);
+  EXPECT_NE(cert_text.find("quota{usd<=5}"), std::string::npos);
+  EXPECT_NE(cert_text.find("pk"), std::string::npos);
+
+  auto extended = extend_bearer(proxy, RestrictionSet{},
+                                1000 * util::kSecond, util::kHour);
+  ASSERT_TRUE(extended.is_ok());
+  const std::string chain_text = describe(extended.value().chain);
+  EXPECT_NE(chain_text.find("public-key, 2 links"), std::string::npos);
+  EXPECT_NE(chain_text.find("bearer-link"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rproxy::core

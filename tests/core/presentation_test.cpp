@@ -1,0 +1,215 @@
+// Possession proofs (§2): bearer challenge-response and delegate personal
+// authentication, with transcript binding.
+#include "core/presentation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.hpp"
+#include "crypto/random.hpp"
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+class PresentationTest : public ::testing::Test {
+ protected:
+  PresentationTest() {
+    world_.add_principal("alice");
+    world_.add_principal("bob");
+    world_.add_principal("file-server");
+    challenge_ = crypto::random_bytes(32);
+    rdigest_ = core::request_digest("read", "/doc", {});
+  }
+
+  core::ProxyVerifier server_verifier(kdc::ReplayCache* cache = nullptr) {
+    core::ProxyVerifier::Config config;
+    config.server_name = "file-server";
+    config.server_key = world_.principal("file-server").krb_key;
+    config.resolver = &world_.resolver;
+    config.pk_root = world_.name_server.root_key();
+    config.replay_cache = cache;
+    return core::ProxyVerifier(std::move(config));
+  }
+
+  core::Proxy pk_proxy() {
+    return core::grant_pk_proxy("alice",
+                                world_.principal("alice").identity, {},
+                                world_.clock.now(), util::kHour);
+  }
+
+  core::Proxy krb_proxy() {
+    kdc::KdcClient client = world_.kdc_client("alice");
+    auto tgt = client.authenticate(util::kHour);
+    EXPECT_TRUE(tgt.is_ok());
+    auto creds = client.get_ticket(tgt.value(), "file-server", util::kHour);
+    EXPECT_TRUE(creds.is_ok());
+    return core::grant_krb_proxy(client, creds.value(), {},
+                                 world_.clock.now());
+  }
+
+  World world_;
+  util::Bytes challenge_;
+  util::Bytes rdigest_;
+};
+
+TEST_F(PresentationTest, BearerSigProofVerifies) {
+  const core::Proxy proxy = pk_proxy();
+  const core::ProxyVerifier verifier = server_verifier();
+  auto verified = verifier.verify_chain(proxy.chain, world_.clock.now());
+  ASSERT_TRUE(verified.is_ok());
+
+  const core::PossessionProof proof = core::prove_bearer(
+      proxy, challenge_, "file-server", world_.clock.now(), rdigest_);
+  EXPECT_EQ(proof.kind, core::PossessionProof::Kind::kBearerSig);
+  auto who = verifier.verify_possession(verified.value(), proof, challenge_,
+                                        rdigest_, world_.clock.now());
+  ASSERT_TRUE(who.is_ok()) << who.status();
+  EXPECT_TRUE(who.value().empty());  // bearer: no identity proven
+}
+
+TEST_F(PresentationTest, BearerMacProofVerifies) {
+  const core::Proxy proxy = krb_proxy();
+  const core::ProxyVerifier verifier = server_verifier();
+  auto verified = verifier.verify_chain(proxy.chain, world_.clock.now());
+  ASSERT_TRUE(verified.is_ok());
+
+  const core::PossessionProof proof = core::prove_bearer(
+      proxy, challenge_, "file-server", world_.clock.now(), rdigest_);
+  EXPECT_EQ(proof.kind, core::PossessionProof::Kind::kBearerMac);
+  EXPECT_TRUE(verifier
+                  .verify_possession(verified.value(), proof, challenge_,
+                                     rdigest_, world_.clock.now())
+                  .is_ok());
+}
+
+TEST_F(PresentationTest, ProofBoundToChallenge) {
+  const core::Proxy proxy = pk_proxy();
+  const core::ProxyVerifier verifier = server_verifier();
+  auto verified = verifier.verify_chain(proxy.chain, world_.clock.now());
+  ASSERT_TRUE(verified.is_ok());
+  const core::PossessionProof proof = core::prove_bearer(
+      proxy, challenge_, "file-server", world_.clock.now(), rdigest_);
+  const util::Bytes other_challenge = crypto::random_bytes(32);
+  EXPECT_EQ(verifier
+                .verify_possession(verified.value(), proof, other_challenge,
+                                   rdigest_, world_.clock.now())
+                .code(),
+            util::ErrorCode::kBadSignature);
+}
+
+TEST_F(PresentationTest, ProofBoundToRequestDigest) {
+  // A proof for "read /doc" cannot authorize "delete /doc".
+  const core::Proxy proxy = pk_proxy();
+  const core::ProxyVerifier verifier = server_verifier();
+  auto verified = verifier.verify_chain(proxy.chain, world_.clock.now());
+  ASSERT_TRUE(verified.is_ok());
+  const core::PossessionProof proof = core::prove_bearer(
+      proxy, challenge_, "file-server", world_.clock.now(), rdigest_);
+  const util::Bytes other = core::request_digest("delete", "/doc", {});
+  EXPECT_EQ(verifier
+                .verify_possession(verified.value(), proof, challenge_,
+                                   other, world_.clock.now())
+                .code(),
+            util::ErrorCode::kBadSignature);
+}
+
+TEST_F(PresentationTest, StaleProofRejected) {
+  const core::Proxy proxy = pk_proxy();
+  const core::ProxyVerifier verifier = server_verifier();
+  auto verified = verifier.verify_chain(proxy.chain, world_.clock.now());
+  ASSERT_TRUE(verified.is_ok());
+  const core::PossessionProof proof = core::prove_bearer(
+      proxy, challenge_, "file-server", world_.clock.now(), rdigest_);
+  world_.clock.advance(util::kHour / 2);
+  EXPECT_EQ(verifier
+                .verify_possession(verified.value(), proof, challenge_,
+                                   rdigest_, world_.clock.now())
+                .code(),
+            util::ErrorCode::kExpired);
+}
+
+TEST_F(PresentationTest, WrongKeyCannotProve) {
+  // Bob steals the chain (certificates only) but lacks the proxy key.
+  const core::Proxy proxy = pk_proxy();
+  core::Proxy stolen = proxy;
+  stolen.secret = crypto::SigningKeyPair::generate().private_bytes();
+  const core::ProxyVerifier verifier = server_verifier();
+  auto verified = verifier.verify_chain(stolen.chain, world_.clock.now());
+  ASSERT_TRUE(verified.is_ok());
+  const core::PossessionProof proof = core::prove_bearer(
+      stolen, challenge_, "file-server", world_.clock.now(), rdigest_);
+  EXPECT_EQ(verifier
+                .verify_possession(verified.value(), proof, challenge_,
+                                   rdigest_, world_.clock.now())
+                .code(),
+            util::ErrorCode::kBadSignature);
+}
+
+TEST_F(PresentationTest, DelegateKrbProofAuthenticatesGrantee) {
+  kdc::ReplayCache cache;
+  const core::ProxyVerifier verifier = server_verifier(&cache);
+  const core::Proxy proxy = pk_proxy();  // any chain; proof is what matters
+  auto verified = verifier.verify_chain(proxy.chain, world_.clock.now());
+  ASSERT_TRUE(verified.is_ok());
+
+  kdc::KdcClient bob = world_.kdc_client("bob");
+  auto tgt = bob.authenticate(util::kHour);
+  ASSERT_TRUE(tgt.is_ok());
+  auto creds = bob.get_ticket(tgt.value(), "file-server", util::kHour);
+  ASSERT_TRUE(creds.is_ok());
+
+  const core::PossessionProof proof = core::prove_delegate_krb(
+      bob, creds.value(), challenge_, "file-server", world_.clock.now(),
+      rdigest_);
+  auto who = verifier.verify_possession(verified.value(), proof, challenge_,
+                                        rdigest_, world_.clock.now());
+  ASSERT_TRUE(who.is_ok()) << who.status();
+  ASSERT_EQ(who.value().size(), 1u);
+  EXPECT_EQ(who.value()[0], "bob");
+}
+
+TEST_F(PresentationTest, DelegatePkProofAuthenticatesGrantee) {
+  const core::ProxyVerifier verifier = server_verifier();
+  const core::Proxy proxy = pk_proxy();
+  auto verified = verifier.verify_chain(proxy.chain, world_.clock.now());
+  ASSERT_TRUE(verified.is_ok());
+
+  const testing::Principal& bob = world_.principal("bob");
+  const core::PossessionProof proof = core::prove_delegate_pk(
+      bob.cert, bob.identity, challenge_, "file-server", world_.clock.now(),
+      rdigest_);
+  auto who = verifier.verify_possession(verified.value(), proof, challenge_,
+                                        rdigest_, world_.clock.now());
+  ASSERT_TRUE(who.is_ok()) << who.status();
+  ASSERT_EQ(who.value().size(), 1u);
+  EXPECT_EQ(who.value()[0], "bob");
+}
+
+TEST_F(PresentationTest, VerifyIdentityRejectsBearerProofs) {
+  const core::ProxyVerifier verifier = server_verifier();
+  const core::Proxy proxy = pk_proxy();
+  const core::PossessionProof proof = core::prove_bearer(
+      proxy, challenge_, "file-server", world_.clock.now(), rdigest_);
+  EXPECT_EQ(verifier
+                .verify_identity(proof, challenge_, rdigest_,
+                                 world_.clock.now())
+                .code(),
+            util::ErrorCode::kProtocolError);
+}
+
+TEST_F(PresentationTest, ProofCodecRoundTrip) {
+  const core::Proxy proxy = pk_proxy();
+  const core::PossessionProof proof = core::prove_bearer(
+      proxy, challenge_, "file-server", world_.clock.now(), rdigest_);
+  auto decoded = wire::decode_from_bytes<core::PossessionProof>(
+      wire::encode_to_bytes(proof));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().kind, proof.kind);
+  EXPECT_EQ(decoded.value().blob, proof.blob);
+  EXPECT_EQ(decoded.value().timestamp, proof.timestamp);
+}
+
+}  // namespace
+}  // namespace rproxy

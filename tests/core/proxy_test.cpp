@@ -1,0 +1,148 @@
+// Granting proxies in both realizations (Fig 1, Fig 6, §6.2).
+#include "core/proxy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/verifier.hpp"
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+class PkProxyTest : public ::testing::Test {
+ protected:
+  PkProxyTest() { world_.add_principal("alice"); }
+
+  core::RestrictionSet sample_restrictions() {
+    core::RestrictionSet set;
+    set.add(core::IssuedForRestriction{{"file-server"}});
+    set.add(core::AuthorizedRestriction{
+        {core::ObjectRights{"/doc", {"read"}}}});
+    return set;
+  }
+
+  World world_;
+};
+
+TEST_F(PkProxyTest, GrantEmbedsCertificateAndSecret) {
+  const testing::Principal& alice = world_.principal("alice");
+  const core::Proxy proxy =
+      core::grant_pk_proxy("alice", alice.identity, sample_restrictions(),
+                           world_.clock.now(), util::kHour);
+
+  EXPECT_EQ(proxy.chain.mode, core::ProxyMode::kPublicKey);
+  ASSERT_EQ(proxy.chain.certs.size(), 1u);
+  EXPECT_FALSE(proxy.chain.krb_root.has_value());
+  EXPECT_EQ(proxy.chain.certs[0].grantor, "alice");
+  EXPECT_EQ(proxy.chain.certs[0].signer,
+            core::SignerKind::kGrantorIdentity);
+  EXPECT_EQ(proxy.secret.size(), 32u);  // Ed25519 seed
+  EXPECT_EQ(proxy.grantor, "alice");
+  EXPECT_EQ(proxy.expires_at, world_.clock.now() + util::kHour);
+  EXPECT_FALSE(proxy.is_delegate());
+}
+
+TEST_F(PkProxyTest, CertificateSignatureCoversRestrictions) {
+  const testing::Principal& alice = world_.principal("alice");
+  core::Proxy proxy =
+      core::grant_pk_proxy("alice", alice.identity, sample_restrictions(),
+                           world_.clock.now(), util::kHour);
+  const core::ProxyCertificate& cert = proxy.chain.certs[0];
+  EXPECT_TRUE(crypto::verify(alice.identity.public_key(),
+                             cert.signed_bytes(), cert.signature));
+
+  // Stripping a restriction invalidates the signature.
+  core::ProxyCertificate tampered = cert;
+  tampered.restrictions = core::RestrictionSet{};
+  EXPECT_FALSE(crypto::verify(alice.identity.public_key(),
+                              tampered.signed_bytes(), tampered.signature));
+}
+
+TEST_F(PkProxyTest, EmbeddedProxyKeyMatchesSecret) {
+  const testing::Principal& alice = world_.principal("alice");
+  const core::Proxy proxy =
+      core::grant_pk_proxy("alice", alice.identity, {},
+                           world_.clock.now(), util::kHour);
+  const crypto::SigningKeyPair secret =
+      crypto::SigningKeyPair::from_private_bytes(proxy.secret);
+  EXPECT_EQ(proxy.chain.certs[0].proxy_key_material,
+            secret.public_key().bytes());
+}
+
+TEST_F(PkProxyTest, ChainCodecRoundTrip) {
+  const testing::Principal& alice = world_.principal("alice");
+  const core::Proxy proxy =
+      core::grant_pk_proxy("alice", alice.identity, sample_restrictions(),
+                           world_.clock.now(), util::kHour);
+  auto decoded = wire::decode_from_bytes<core::ProxyChain>(
+      wire::encode_to_bytes(proxy.chain));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().certs.size(), 1u);
+  EXPECT_EQ(decoded.value().certs[0].signature,
+            proxy.chain.certs[0].signature);
+  EXPECT_EQ(decoded.value().certs[0].restrictions,
+            proxy.chain.certs[0].restrictions);
+}
+
+class KrbProxyTest : public ::testing::Test {
+ protected:
+  KrbProxyTest() {
+    world_.add_principal("alice");
+    world_.add_principal("file-server");
+    client_ = std::make_unique<kdc::KdcClient>(world_.kdc_client("alice"));
+    auto tgt = client_->authenticate(util::kHour);
+    EXPECT_TRUE(tgt.is_ok());
+    auto creds = client_->get_ticket(tgt.value(), "file-server", util::kHour);
+    EXPECT_TRUE(creds.is_ok());
+    creds_ = creds.value();
+  }
+
+  World world_;
+  std::unique_ptr<kdc::KdcClient> client_;
+  kdc::Credentials creds_;
+};
+
+TEST_F(KrbProxyTest, GrantPacksTicketAndAuthenticator) {
+  core::RestrictionSet set;
+  set.add(core::QuotaRestriction{"pages", 3});
+  const core::Proxy proxy =
+      core::grant_krb_proxy(*client_, creds_, set, world_.clock.now());
+
+  EXPECT_EQ(proxy.chain.mode, core::ProxyMode::kSymmetric);
+  ASSERT_TRUE(proxy.chain.krb_root.has_value());
+  EXPECT_TRUE(proxy.chain.certs.empty());
+  EXPECT_EQ(proxy.secret.size(), crypto::kSymmetricKeySize);
+  EXPECT_EQ(proxy.grantor, "alice");
+  EXPECT_EQ(proxy.expires_at, creds_.expires_at);
+
+  // The end-server can unwrap it: ticket opens with its key; the
+  // authenticator carries the subkey (= the proxy key) and restrictions.
+  auto ticket = kdc::open_ticket(proxy.chain.krb_root->ticket,
+                                 world_.principal("file-server").krb_key);
+  ASSERT_TRUE(ticket.is_ok());
+  auto auth = kdc::open_authenticator(
+      proxy.chain.krb_root->sealed_authenticator,
+      ticket.value().session_key);
+  ASSERT_TRUE(auth.is_ok());
+  EXPECT_EQ(auth.value().subkey, proxy.secret);
+  auto restored =
+      core::RestrictionSet::from_blobs(auth.value().authorization_data);
+  ASSERT_TRUE(restored.is_ok());
+  EXPECT_EQ(restored.value(), set);
+}
+
+TEST_F(KrbProxyTest, ProxyBoundToEndServer) {
+  // §6.3: "each proxy can be used at only a particular end-server" — the
+  // ticket will not open with another server's key.
+  world_.add_principal("other-server");
+  const core::Proxy proxy =
+      core::grant_krb_proxy(*client_, creds_, {}, world_.clock.now());
+  EXPECT_FALSE(kdc::open_ticket(proxy.chain.krb_root->ticket,
+                                world_.principal("other-server").krb_key)
+                   .is_ok());
+}
+
+}  // namespace
+}  // namespace rproxy

@@ -1,0 +1,263 @@
+// Evaluation semantics of each restriction type (§7) against a request
+// context, including the conjunction rule (every restriction must pass).
+#include <gtest/gtest.h>
+
+#include "core/restriction_set.hpp"
+
+namespace rproxy::core {
+namespace {
+
+using util::ErrorCode;
+
+RequestContext base_context() {
+  RequestContext ctx;
+  ctx.end_server = "file-server";
+  ctx.operation = "read";
+  ctx.object = "/doc";
+  ctx.now = 1000 * util::kSecond;
+  ctx.grantor = "alice";
+  ctx.credential_expiry = 2000 * util::kSecond;
+  return ctx;
+}
+
+TEST(EvalGrantee, PassesWhenDelegateAuthenticated) {
+  RequestContext ctx = base_context();
+  ctx.effective_identities = {"bob"};
+  EXPECT_TRUE(
+      evaluate_restriction(GranteeRestriction{{"bob"}, 1}, ctx).is_ok());
+}
+
+TEST(EvalGrantee, FailsWithoutIdentity) {
+  RequestContext ctx = base_context();
+  EXPECT_EQ(
+      evaluate_restriction(GranteeRestriction{{"bob"}, 1}, ctx).code(),
+      ErrorCode::kNotGrantee);
+}
+
+TEST(EvalGrantee, FailsForWrongIdentity) {
+  RequestContext ctx = base_context();
+  ctx.effective_identities = {"mallory"};
+  EXPECT_EQ(
+      evaluate_restriction(GranteeRestriction{{"bob"}, 1}, ctx).code(),
+      ErrorCode::kNotGrantee);
+}
+
+TEST(EvalGrantee, KOfNConcurrence) {
+  // §7.1: "the number of principals from the list needed to exercise the
+  // proxy".
+  RequestContext ctx = base_context();
+  ctx.effective_identities = {"bob"};
+  EXPECT_FALSE(
+      evaluate_restriction(GranteeRestriction{{"bob", "carol"}, 2}, ctx)
+          .is_ok());
+  ctx.effective_identities = {"bob", "carol"};
+  EXPECT_TRUE(
+      evaluate_restriction(GranteeRestriction{{"bob", "carol"}, 2}, ctx)
+          .is_ok());
+}
+
+TEST(EvalGrantee, RequiredZeroTreatedAsOne) {
+  RequestContext ctx = base_context();
+  EXPECT_FALSE(
+      evaluate_restriction(GranteeRestriction{{"bob"}, 0}, ctx).is_ok());
+}
+
+TEST(EvalForUseByGroup, RequiresAssertedMembership) {
+  const GroupName staff{"gs", "staff"};
+  RequestContext ctx = base_context();
+  EXPECT_FALSE(
+      evaluate_restriction(ForUseByGroupRestriction{{staff}, 1}, ctx)
+          .is_ok());
+  ctx.asserted_groups = {staff};
+  EXPECT_TRUE(
+      evaluate_restriction(ForUseByGroupRestriction{{staff}, 1}, ctx)
+          .is_ok());
+}
+
+TEST(EvalForUseByGroup, SeparationOfPrivilege) {
+  // §7.2: require membership in multiple groups with disjoint members.
+  const GroupName a{"gs", "operators"}, b{"gs", "auditors"};
+  RequestContext ctx = base_context();
+  ctx.asserted_groups = {a};
+  EXPECT_FALSE(
+      evaluate_restriction(ForUseByGroupRestriction{{a, b}, 2}, ctx)
+          .is_ok());
+  ctx.asserted_groups = {a, b};
+  EXPECT_TRUE(
+      evaluate_restriction(ForUseByGroupRestriction{{a, b}, 2}, ctx)
+          .is_ok());
+}
+
+TEST(EvalIssuedFor, MatchesServerList) {
+  RequestContext ctx = base_context();
+  EXPECT_TRUE(evaluate_restriction(
+                  IssuedForRestriction{{"other", "file-server"}}, ctx)
+                  .is_ok());
+  EXPECT_EQ(
+      evaluate_restriction(IssuedForRestriction{{"other"}}, ctx).code(),
+      ErrorCode::kRestrictionViolated);
+}
+
+TEST(EvalQuota, BoundsAmounts) {
+  RequestContext ctx = base_context();
+  ctx.amounts = {{"pages", 5}};
+  EXPECT_TRUE(
+      evaluate_restriction(QuotaRestriction{"pages", 5}, ctx).is_ok());
+  ctx.amounts = {{"pages", 6}};
+  EXPECT_FALSE(
+      evaluate_restriction(QuotaRestriction{"pages", 5}, ctx).is_ok());
+}
+
+TEST(EvalQuota, AbsentCurrencyIsZero) {
+  RequestContext ctx = base_context();
+  EXPECT_TRUE(
+      evaluate_restriction(QuotaRestriction{"usd", 0}, ctx).is_ok());
+}
+
+TEST(EvalAuthorized, ExactObjectAndOperation) {
+  RequestContext ctx = base_context();
+  EXPECT_TRUE(evaluate_restriction(
+                  AuthorizedRestriction{{ObjectRights{"/doc", {"read"}}}},
+                  ctx)
+                  .is_ok());
+  EXPECT_FALSE(evaluate_restriction(
+                   AuthorizedRestriction{{ObjectRights{"/doc", {"write"}}}},
+                   ctx)
+                   .is_ok());
+  EXPECT_FALSE(evaluate_restriction(
+                   AuthorizedRestriction{{ObjectRights{"/other", {"read"}}}},
+                   ctx)
+                   .is_ok());
+}
+
+TEST(EvalAuthorized, EmptyOperationsMeansAll) {
+  RequestContext ctx = base_context();
+  EXPECT_TRUE(evaluate_restriction(
+                  AuthorizedRestriction{{ObjectRights{"/doc", {}}}}, ctx)
+                  .is_ok());
+}
+
+TEST(EvalAuthorized, WildcardObject) {
+  RequestContext ctx = base_context();
+  EXPECT_TRUE(evaluate_restriction(
+                  AuthorizedRestriction{{ObjectRights{"*", {"read"}}}}, ctx)
+                  .is_ok());
+}
+
+TEST(EvalAuthorized, EmptyListDeniesEverything) {
+  RequestContext ctx = base_context();
+  EXPECT_FALSE(
+      evaluate_restriction(AuthorizedRestriction{{}}, ctx).is_ok());
+}
+
+TEST(EvalGroupMembership, OnlyBindsAssertions) {
+  const GroupName staff{"gs", "staff"}, admins{"gs", "admins"};
+  RequestContext ctx = base_context();
+  // Not asserting: passes trivially.
+  EXPECT_TRUE(evaluate_restriction(GroupMembershipRestriction{{staff}}, ctx)
+                  .is_ok());
+  // Asserting a listed group: passes.
+  ctx.asserting_group = staff;
+  EXPECT_TRUE(evaluate_restriction(GroupMembershipRestriction{{staff}}, ctx)
+                  .is_ok());
+  // Asserting an unlisted group: fails (§7.6).
+  ctx.asserting_group = admins;
+  EXPECT_FALSE(
+      evaluate_restriction(GroupMembershipRestriction{{staff}}, ctx)
+          .is_ok());
+}
+
+TEST(EvalAcceptOnce, SecondUseRejected) {
+  AcceptOnceCache cache;
+  RequestContext ctx = base_context();
+  ctx.accept_once = &cache;
+  EXPECT_TRUE(
+      evaluate_restriction(AcceptOnceRestriction{7}, ctx).is_ok());
+  EXPECT_EQ(evaluate_restriction(AcceptOnceRestriction{7}, ctx).code(),
+            ErrorCode::kReplay);
+}
+
+TEST(EvalAcceptOnce, ScopedByGrantor) {
+  // §7.7: "any subsequent proxy FROM THE SAME GRANTOR bearing the same
+  // identifier" — different grantors may reuse identifiers.
+  AcceptOnceCache cache;
+  RequestContext ctx = base_context();
+  ctx.accept_once = &cache;
+  ctx.grantor = "alice";
+  EXPECT_TRUE(evaluate_restriction(AcceptOnceRestriction{7}, ctx).is_ok());
+  ctx.grantor = "bob";
+  EXPECT_TRUE(evaluate_restriction(AcceptOnceRestriction{7}, ctx).is_ok());
+}
+
+TEST(EvalAcceptOnce, AcceptedAgainAfterExpiry) {
+  AcceptOnceCache cache;
+  RequestContext ctx = base_context();
+  ctx.accept_once = &cache;
+  ctx.credential_expiry = ctx.now + 10 * util::kSecond;
+  EXPECT_TRUE(evaluate_restriction(AcceptOnceRestriction{7}, ctx).is_ok());
+  ctx.now = ctx.credential_expiry + util::kSecond;
+  EXPECT_TRUE(evaluate_restriction(AcceptOnceRestriction{7}, ctx).is_ok());
+}
+
+TEST(EvalAcceptOnce, NoCacheFailsClosed) {
+  RequestContext ctx = base_context();
+  ctx.accept_once = nullptr;
+  EXPECT_EQ(evaluate_restriction(AcceptOnceRestriction{7}, ctx).code(),
+            ErrorCode::kRestrictionViolated);
+}
+
+TEST(EvalLimit, EnforcedOnlyOnNamedServers) {
+  LimitRestriction limit;
+  limit.servers = {"print-server"};
+  limit.inner = {Restriction{QuotaRestriction{"pages", 1}}};
+
+  RequestContext ctx = base_context();  // end_server = file-server
+  ctx.amounts = {{"pages", 100}};
+  // Not a named server: ignored (§7.8).
+  EXPECT_TRUE(evaluate_restriction(Restriction{limit}, ctx).is_ok());
+  // Named server: enforced.
+  ctx.end_server = "print-server";
+  EXPECT_FALSE(evaluate_restriction(Restriction{limit}, ctx).is_ok());
+}
+
+TEST(EvalSet, ConjunctionOverAllRestrictions) {
+  RestrictionSet set;
+  set.add(IssuedForRestriction{{"file-server"}});
+  set.add(AuthorizedRestriction{{ObjectRights{"/doc", {"read"}}}});
+  set.add(QuotaRestriction{"pages", 10});
+
+  RequestContext ok = base_context();
+  EXPECT_TRUE(set.evaluate(ok).is_ok());
+
+  RequestContext bad_server = base_context();
+  bad_server.end_server = "elsewhere";
+  EXPECT_FALSE(set.evaluate(bad_server).is_ok());
+
+  RequestContext bad_op = base_context();
+  bad_op.operation = "write";
+  EXPECT_FALSE(set.evaluate(bad_op).is_ok());
+}
+
+TEST(EvalSet, EmptySetPermitsEverything) {
+  // An unrestricted proxy grants the grantor's full rights; restrictions
+  // are what subtracts.
+  RestrictionSet set;
+  RequestContext ctx = base_context();
+  EXPECT_TRUE(set.evaluate(ctx).is_ok());
+}
+
+TEST(EvalSet, AddingRestrictionsNeverWidens) {
+  // Property spot-check: if a set denies, any superset denies too.
+  RestrictionSet narrow;
+  narrow.add(AuthorizedRestriction{{ObjectRights{"/other", {"read"}}}});
+  RequestContext ctx = base_context();
+  ASSERT_FALSE(narrow.evaluate(ctx).is_ok());
+
+  RestrictionSet wider = narrow;
+  wider.add(IssuedForRestriction{{"file-server"}});  // itself permissive
+  RequestContext ctx2 = base_context();
+  EXPECT_FALSE(wider.evaluate(ctx2).is_ok());
+}
+
+}  // namespace
+}  // namespace rproxy::core

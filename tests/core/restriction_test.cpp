@@ -1,0 +1,147 @@
+// Restriction type and codec tests (§7).
+#include "core/restriction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/restriction_set.hpp"
+
+namespace rproxy::core {
+namespace {
+
+Restriction round_trip(const Restriction& r) {
+  auto decoded =
+      wire::decode_from_bytes<Restriction>(wire::encode_to_bytes(r));
+  EXPECT_TRUE(decoded.is_ok()) << decoded.status();
+  return decoded.is_ok() ? decoded.value() : Restriction{};
+}
+
+TEST(RestrictionCodec, Grantee) {
+  const Restriction r = GranteeRestriction{{"alice", "bob"}, 2};
+  EXPECT_EQ(round_trip(r), r);
+  EXPECT_EQ(r.tag(), Restriction::Tag::kGrantee);
+  EXPECT_EQ(r.type_name(), "grantee");
+}
+
+TEST(RestrictionCodec, ForUseByGroup) {
+  const Restriction r = ForUseByGroupRestriction{
+      {GroupName{"gs", "staff"}, GroupName{"gs2", "admins"}}, 1};
+  EXPECT_EQ(round_trip(r), r);
+  EXPECT_EQ(r.type_name(), "for-use-by-group");
+}
+
+TEST(RestrictionCodec, IssuedFor) {
+  const Restriction r = IssuedForRestriction{{"s1", "s2"}};
+  EXPECT_EQ(round_trip(r), r);
+}
+
+TEST(RestrictionCodec, Quota) {
+  const Restriction r = QuotaRestriction{"pages", 1000};
+  EXPECT_EQ(round_trip(r), r);
+}
+
+TEST(RestrictionCodec, Authorized) {
+  const Restriction r = AuthorizedRestriction{
+      {ObjectRights{"/etc/passwd", {"read"}},
+       ObjectRights{"/tmp", {}}}};
+  EXPECT_EQ(round_trip(r), r);
+}
+
+TEST(RestrictionCodec, GroupMembership) {
+  const Restriction r =
+      GroupMembershipRestriction{{GroupName{"gs", "staff"}}};
+  EXPECT_EQ(round_trip(r), r);
+}
+
+TEST(RestrictionCodec, AcceptOnce) {
+  const Restriction r = AcceptOnceRestriction{0xdeadbeefULL};
+  EXPECT_EQ(round_trip(r), r);
+}
+
+TEST(RestrictionCodec, LimitRestrictionNested) {
+  LimitRestriction limit;
+  limit.servers = {"print-server"};
+  limit.inner = {Restriction{QuotaRestriction{"pages", 5}},
+                 Restriction{AuthorizedRestriction{
+                     {ObjectRights{"queue-a", {"print"}}}}}};
+  const Restriction r = limit;
+  EXPECT_EQ(round_trip(r), r);
+}
+
+TEST(RestrictionCodec, DeeplyNestedLimit) {
+  LimitRestriction inner;
+  inner.servers = {"s2"};
+  inner.inner = {Restriction{QuotaRestriction{"usd", 1}}};
+  LimitRestriction outer;
+  outer.servers = {"s1"};
+  outer.inner = {Restriction{inner}};
+  const Restriction r = outer;
+  EXPECT_EQ(round_trip(r), r);
+}
+
+TEST(RestrictionCodec, UnknownTagFailsClosed) {
+  wire::Encoder enc;
+  enc.u16(999);  // no such restriction type
+  enc.str("whatever");
+  EXPECT_EQ(wire::decode_from_bytes<Restriction>(enc.view()).code(),
+            util::ErrorCode::kParseError);
+}
+
+TEST(RestrictionSetCodec, RoundTrip) {
+  RestrictionSet set;
+  set.add(GranteeRestriction{{"alice"}, 1});
+  set.add(QuotaRestriction{"usd", 100});
+  set.add(AcceptOnceRestriction{7});
+  auto decoded = wire::decode_from_bytes<RestrictionSet>(
+      wire::encode_to_bytes(set));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), set);
+}
+
+TEST(RestrictionSet, BlobsRoundTrip) {
+  RestrictionSet set;
+  set.add(IssuedForRestriction{{"s"}});
+  set.add(QuotaRestriction{"usd", 1});
+  auto restored = RestrictionSet::from_blobs(set.to_blobs());
+  ASSERT_TRUE(restored.is_ok());
+  EXPECT_EQ(restored.value(), set);
+}
+
+TEST(RestrictionSet, MalformedBlobFailsClosed) {
+  EXPECT_EQ(
+      RestrictionSet::from_blobs({util::Bytes{0xff, 0xff}}).code(),
+      util::ErrorCode::kParseError);
+}
+
+TEST(RestrictionSet, MergePreservesOrderAndEverything) {
+  RestrictionSet a;
+  a.add(QuotaRestriction{"usd", 1});
+  RestrictionSet b;
+  b.add(QuotaRestriction{"usd", 2});
+  b.add(AcceptOnceRestriction{1});
+  const RestrictionSet merged = a.merged(b);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged.items()[0], a.items()[0]);
+  EXPECT_EQ(merged.items()[1], b.items()[0]);
+  EXPECT_EQ(merged.items()[2], b.items()[1]);
+}
+
+TEST(RestrictionSet, IsDelegate) {
+  RestrictionSet bearer;
+  bearer.add(QuotaRestriction{"usd", 1});
+  EXPECT_FALSE(bearer.is_delegate());
+  bearer.add(GranteeRestriction{{"alice"}, 1});
+  EXPECT_TRUE(bearer.is_delegate());
+}
+
+TEST(RestrictionSet, FindReturnsFirstOfType) {
+  RestrictionSet set;
+  set.add(QuotaRestriction{"usd", 1});
+  set.add(QuotaRestriction{"pages", 2});
+  const auto* q = set.find<QuotaRestriction>();
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->currency, "usd");
+  EXPECT_EQ(set.find<GranteeRestriction>(), nullptr);
+}
+
+}  // namespace
+}  // namespace rproxy::core

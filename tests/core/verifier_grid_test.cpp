@@ -1,0 +1,188 @@
+// Parameterized sweep over the full presentation matrix:
+//   realization  x  chain length  x  proxy kind  x  proof kind
+// asserting, for every combination, exactly whether it must be accepted —
+// the verifier's contract stated as a grid instead of anecdotes.
+#include <gtest/gtest.h>
+
+#include "authz/credential_eval.hpp"
+#include "core/cascade.hpp"
+#include "crypto/random.hpp"
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+enum class Realization { kPk, kSym };
+enum class ProxyKind { kBearer, kDelegate };  // grantee restriction or not
+enum class ProofKind { kBearer, kDelegateAsGrantee, kDelegateAsStranger };
+
+struct GridCase {
+  Realization realization;
+  int chain_length;  // 1..3
+  ProxyKind proxy_kind;
+  ProofKind proof_kind;
+};
+
+std::string case_name(const ::testing::TestParamInfo<GridCase>& info) {
+  const GridCase& c = info.param;
+  std::string name;
+  name += c.realization == Realization::kPk ? "Pk" : "Sym";
+  name += "Len" + std::to_string(c.chain_length);
+  name += c.proxy_kind == ProxyKind::kBearer ? "Bearer" : "Delegate";
+  switch (c.proof_kind) {
+    case ProofKind::kBearer: name += "KeyProof"; break;
+    case ProofKind::kDelegateAsGrantee: name += "GranteeProof"; break;
+    case ProofKind::kDelegateAsStranger: name += "StrangerProof"; break;
+  }
+  return name;
+}
+
+/// The contract: which combinations must succeed.
+bool expected_ok(const GridCase& c) {
+  switch (c.proof_kind) {
+    case ProofKind::kBearer:
+      // Key possession satisfies bearer proxies; a delegate proxy's
+      // grantee restriction then fails for lack of identity.
+      return c.proxy_kind == ProxyKind::kBearer;
+    case ProofKind::kDelegateAsGrantee:
+      // Personal auth as the named grantee satisfies delegate proxies;
+      // bearer chains REJECT identity-only proofs (anti-theft rule).
+      return c.proxy_kind == ProxyKind::kDelegate;
+    case ProofKind::kDelegateAsStranger:
+      return false;  // never
+  }
+  return false;
+}
+
+class VerifierGridTest : public ::testing::TestWithParam<GridCase> {
+ protected:
+  VerifierGridTest() {
+    world_.add_principal("alice");
+    world_.add_principal("grantee");
+    world_.add_principal("stranger");
+    world_.add_principal("file-server");
+    world_.net.set_default_latency(0);
+  }
+
+  World world_;
+};
+
+TEST_P(VerifierGridTest, MatrixContractHolds) {
+  const GridCase c = GetParam();
+
+  // --- Build the root proxy. -------------------------------------------
+  core::RestrictionSet root_set;
+  if (c.proxy_kind == ProxyKind::kDelegate) {
+    root_set.add(core::GranteeRestriction{{"grantee"}, 1});
+  }
+  root_set.add(core::IssuedForRestriction{{"file-server"}});
+
+  core::Proxy proxy;
+  if (c.realization == Realization::kPk) {
+    proxy = core::grant_pk_proxy("alice",
+                                 world_.principal("alice").identity,
+                                 root_set, world_.clock.now(), util::kHour);
+  } else {
+    kdc::KdcClient alice = world_.kdc_client("alice");
+    auto tgt = alice.authenticate(util::kHour);
+    ASSERT_TRUE(tgt.is_ok());
+    auto creds = alice.get_ticket(tgt.value(), "file-server", util::kHour);
+    ASSERT_TRUE(creds.is_ok());
+    proxy = core::grant_krb_proxy(alice, creds.value(), root_set,
+                                  world_.clock.now());
+  }
+
+  // --- Extend bearer-style to the requested length. --------------------
+  for (int i = 1; i < c.chain_length; ++i) {
+    auto extended = core::extend_bearer(proxy, {}, world_.clock.now(),
+                                        util::kHour);
+    ASSERT_TRUE(extended.is_ok());
+    proxy = std::move(extended).value();
+  }
+
+  // --- Build the proof. --------------------------------------------------
+  const util::Bytes challenge = crypto::random_bytes(32);
+  const util::Bytes rdigest = core::request_digest("read", "/doc", {});
+  core::PresentedCredential presented;
+  presented.chain = proxy.chain;
+  switch (c.proof_kind) {
+    case ProofKind::kBearer:
+      presented.proof = core::prove_bearer(proxy, challenge, "file-server",
+                                           world_.clock.now(), rdigest);
+      break;
+    case ProofKind::kDelegateAsGrantee: {
+      const testing::Principal& who = world_.principal("grantee");
+      presented.proof = core::prove_delegate_pk(who.cert, who.identity,
+                                                challenge, "file-server",
+                                                world_.clock.now(), rdigest);
+      break;
+    }
+    case ProofKind::kDelegateAsStranger: {
+      const testing::Principal& who = world_.principal("stranger");
+      presented.proof = core::prove_delegate_pk(who.cert, who.identity,
+                                                challenge, "file-server",
+                                                world_.clock.now(), rdigest);
+      break;
+    }
+  }
+
+  // --- Verify through the shared credential-evaluation path, then
+  //     evaluate the chain's restrictions like an end-server would. ------
+  core::ProxyVerifier::Config vc;
+  vc.server_name = "file-server";
+  vc.server_key = world_.principal("file-server").krb_key;
+  vc.resolver = &world_.resolver;
+  vc.pk_root = world_.name_server.root_key();
+  const core::ProxyVerifier verifier(std::move(vc));
+
+  auto evaluated = authz::evaluate_credentials(verifier, {presented}, {},
+                                               challenge, rdigest,
+                                               world_.clock.now());
+  bool ok = evaluated.is_ok();
+  if (ok) {
+    const authz::VerifiedCredential& cred =
+        evaluated.value().credentials.front();
+    core::RequestContext ctx;
+    ctx.end_server = "file-server";
+    ctx.operation = "read";
+    ctx.object = "/doc";
+    ctx.now = world_.clock.now();
+    ctx.effective_identities = evaluated.value().identities;
+    ctx.grantor = cred.proxy.grantor;
+    ctx.credential_expiry = cred.proxy.expires_at;
+    ok = cred.proxy.effective_restrictions.evaluate(ctx).is_ok();
+  }
+
+  EXPECT_EQ(ok, expected_ok(c)) << case_name({GetParam(), 0});
+
+  // Whatever else holds: a verified chain always reports alice as grantor.
+  if (evaluated.is_ok()) {
+    EXPECT_EQ(evaluated.value().credentials.front().proxy.grantor, "alice");
+    EXPECT_EQ(evaluated.value().credentials.front().proxy.chain_length,
+              static_cast<std::size_t>(c.chain_length));
+  }
+}
+
+std::vector<GridCase> all_cases() {
+  std::vector<GridCase> cases;
+  for (Realization realization : {Realization::kPk, Realization::kSym}) {
+    for (int length : {1, 2, 3}) {
+      for (ProxyKind proxy_kind : {ProxyKind::kBearer, ProxyKind::kDelegate}) {
+        for (ProofKind proof_kind :
+             {ProofKind::kBearer, ProofKind::kDelegateAsGrantee,
+              ProofKind::kDelegateAsStranger}) {
+          cases.push_back({realization, length, proxy_kind, proof_kind});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, VerifierGridTest,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+}  // namespace
+}  // namespace rproxy

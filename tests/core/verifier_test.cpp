@@ -1,0 +1,208 @@
+// End-server chain verification (both realizations).
+#include "core/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/proxy.hpp"
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+class VerifierTest : public ::testing::Test {
+ protected:
+  VerifierTest() {
+    world_.add_principal("alice");
+    world_.add_principal("file-server");
+  }
+
+  core::ProxyVerifier server_verifier() {
+    core::ProxyVerifier::Config config;
+    config.server_name = "file-server";
+    config.server_key = world_.principal("file-server").krb_key;
+    config.resolver = &world_.resolver;
+    config.pk_root = world_.name_server.root_key();
+    return core::ProxyVerifier(std::move(config));
+  }
+
+  core::Proxy pk_proxy(core::RestrictionSet set = {},
+                       util::Duration lifetime = util::kHour) {
+    return core::grant_pk_proxy("alice",
+                                world_.principal("alice").identity,
+                                std::move(set), world_.clock.now(),
+                                lifetime);
+  }
+
+  core::Proxy krb_proxy(core::RestrictionSet set = {}) {
+    kdc::KdcClient client = world_.kdc_client("alice");
+    auto tgt = client.authenticate(util::kHour);
+    EXPECT_TRUE(tgt.is_ok());
+    auto creds =
+        client.get_ticket(tgt.value(), "file-server", util::kHour);
+    EXPECT_TRUE(creds.is_ok());
+    return core::grant_krb_proxy(client, creds.value(), std::move(set),
+                                 world_.clock.now());
+  }
+
+  World world_;
+};
+
+TEST_F(VerifierTest, PkChainVerifies) {
+  core::RestrictionSet set;
+  set.add(core::QuotaRestriction{"usd", 5});
+  const core::Proxy proxy = pk_proxy(set);
+  auto verified = server_verifier().verify_chain(proxy.chain,
+                                                 world_.clock.now());
+  ASSERT_TRUE(verified.is_ok()) << verified.status();
+  EXPECT_EQ(verified.value().grantor, "alice");
+  EXPECT_EQ(verified.value().mode, core::ProxyMode::kPublicKey);
+  EXPECT_EQ(verified.value().effective_restrictions, set);
+  EXPECT_EQ(verified.value().chain_length, 1u);
+  EXPECT_TRUE(verified.value().audit_trail.empty());
+}
+
+TEST_F(VerifierTest, KrbChainVerifies) {
+  core::RestrictionSet set;
+  set.add(core::QuotaRestriction{"usd", 5});
+  const core::Proxy proxy = krb_proxy(set);
+  auto verified = server_verifier().verify_chain(proxy.chain,
+                                                 world_.clock.now());
+  ASSERT_TRUE(verified.is_ok()) << verified.status();
+  EXPECT_EQ(verified.value().grantor, "alice");
+  EXPECT_EQ(verified.value().mode, core::ProxyMode::kSymmetric);
+  EXPECT_EQ(verified.value().effective_restrictions, set);
+  EXPECT_TRUE(verified.value().sym_proxy_key ==
+              crypto::SymmetricKey::from_bytes(proxy.secret));
+}
+
+TEST_F(VerifierTest, ExpiredPkChainRejected) {
+  const core::Proxy proxy = pk_proxy({}, util::kMinute);
+  world_.clock.advance(2 * util::kMinute);
+  EXPECT_EQ(server_verifier()
+                .verify_chain(proxy.chain, world_.clock.now())
+                .code(),
+            util::ErrorCode::kExpired);
+}
+
+TEST_F(VerifierTest, ExpiredKrbChainRejected) {
+  const core::Proxy proxy = krb_proxy();
+  world_.clock.advance(2 * util::kHour);
+  EXPECT_EQ(server_verifier()
+                .verify_chain(proxy.chain, world_.clock.now())
+                .code(),
+            util::ErrorCode::kExpired);
+}
+
+TEST_F(VerifierTest, TamperedPkRestrictionsRejected) {
+  core::RestrictionSet set;
+  set.add(core::QuotaRestriction{"usd", 5});
+  core::Proxy proxy = pk_proxy(set);
+  // Attacker "removes" the quota restriction from the certificate.
+  proxy.chain.certs[0].restrictions = core::RestrictionSet{};
+  EXPECT_EQ(server_verifier()
+                .verify_chain(proxy.chain, world_.clock.now())
+                .code(),
+            util::ErrorCode::kBadSignature);
+}
+
+TEST_F(VerifierTest, TamperedKrbAuthzDataRejected) {
+  core::RestrictionSet set;
+  set.add(core::QuotaRestriction{"usd", 5});
+  core::Proxy proxy = krb_proxy(set);
+  // AEAD protects the authenticator: flipping a bit breaks it.
+  proxy.chain.krb_root->sealed_authenticator[20] ^= 1;
+  EXPECT_EQ(server_verifier()
+                .verify_chain(proxy.chain, world_.clock.now())
+                .code(),
+            util::ErrorCode::kBadSignature);
+}
+
+TEST_F(VerifierTest, UnknownGrantorRejected) {
+  const crypto::SigningKeyPair ghost_key = crypto::SigningKeyPair::generate();
+  const core::Proxy proxy = core::grant_pk_proxy(
+      "ghost", ghost_key, {}, world_.clock.now(), util::kHour);
+  EXPECT_EQ(server_verifier()
+                .verify_chain(proxy.chain, world_.clock.now())
+                .code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST_F(VerifierTest, ForgedGrantorSignatureRejected) {
+  // Mallory signs a certificate claiming to be alice.
+  const crypto::SigningKeyPair mallory = crypto::SigningKeyPair::generate();
+  const core::Proxy proxy = core::grant_pk_proxy(
+      "alice", mallory, {}, world_.clock.now(), util::kHour);
+  EXPECT_EQ(server_verifier()
+                .verify_chain(proxy.chain, world_.clock.now())
+                .code(),
+            util::ErrorCode::kBadSignature);
+}
+
+TEST_F(VerifierTest, KrbProxyForOtherServerRejected) {
+  world_.add_principal("other-server");
+  kdc::KdcClient client = world_.kdc_client("alice");
+  auto tgt = client.authenticate(util::kHour);
+  ASSERT_TRUE(tgt.is_ok());
+  auto creds = client.get_ticket(tgt.value(), "other-server", util::kHour);
+  ASSERT_TRUE(creds.is_ok());
+  const core::Proxy proxy =
+      core::grant_krb_proxy(client, creds.value(), {}, world_.clock.now());
+  // file-server cannot open a ticket sealed for other-server.
+  EXPECT_EQ(server_verifier()
+                .verify_chain(proxy.chain, world_.clock.now())
+                .code(),
+            util::ErrorCode::kBadSignature);
+}
+
+TEST_F(VerifierTest, SymOnlyServerRejectsPkChains) {
+  core::ProxyVerifier::Config config;
+  config.server_name = "file-server";
+  config.server_key = world_.principal("file-server").krb_key;
+  core::ProxyVerifier verifier(std::move(config));
+  EXPECT_EQ(verifier.verify_chain(pk_proxy().chain, world_.clock.now())
+                .code(),
+            util::ErrorCode::kProtocolError);
+}
+
+TEST_F(VerifierTest, PkOnlyServerRejectsSymChains) {
+  core::ProxyVerifier::Config config;
+  config.server_name = "file-server";
+  config.resolver = &world_.resolver;
+  core::ProxyVerifier verifier(std::move(config));
+  EXPECT_EQ(verifier.verify_chain(krb_proxy().chain, world_.clock.now())
+                .code(),
+            util::ErrorCode::kProtocolError);
+}
+
+TEST_F(VerifierTest, EmptyPkChainRejected) {
+  core::ProxyChain chain;
+  chain.mode = core::ProxyMode::kPublicKey;
+  EXPECT_EQ(server_verifier().verify_chain(chain, world_.clock.now()).code(),
+            util::ErrorCode::kParseError);
+}
+
+TEST_F(VerifierTest, KrbProxyWithoutSubkeyRejected) {
+  // A plain AP request (no subkey) is personal authentication, not a proxy.
+  kdc::KdcClient client = world_.kdc_client("alice");
+  auto tgt = client.authenticate(util::kHour);
+  ASSERT_TRUE(tgt.is_ok());
+  auto creds = client.get_ticket(tgt.value(), "file-server", util::kHour);
+  ASSERT_TRUE(creds.is_ok());
+  core::ProxyChain chain;
+  chain.mode = core::ProxyMode::kSymmetric;
+  chain.krb_root = client.make_ap_request(creds.value());
+  EXPECT_EQ(server_verifier().verify_chain(chain, world_.clock.now()).code(),
+            util::ErrorCode::kProtocolError);
+}
+
+TEST_F(VerifierTest, MapResolverResolves) {
+  core::MapKeyResolver resolver;
+  resolver.add("alice", world_.principal("alice").identity.public_key());
+  EXPECT_TRUE(resolver.resolve("alice").is_ok());
+  EXPECT_EQ(resolver.resolve("bob").code(), util::ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace rproxy

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "crypto/aead.hpp"
+#include "crypto/digest.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/random.hpp"
+#include "crypto/signature.hpp"
+
+namespace rproxy::crypto {
+namespace {
+
+using util::Bytes;
+using util::to_bytes;
+using util::to_hex;
+
+TEST(Digest, KnownVector) {
+  // SHA-256("abc")
+  EXPECT_EQ(
+      to_hex(sha256_bytes(to_bytes(std::string_view("abc")))),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Digest, EmptyInput) {
+  EXPECT_EQ(
+      to_hex(sha256_bytes({})),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Digest, Deterministic) {
+  const Bytes data = random_bytes(1024);
+  EXPECT_EQ(sha256(data), sha256(data));
+}
+
+TEST(Random, DistinctDraws) {
+  EXPECT_NE(random_bytes(32), random_bytes(32));
+  EXPECT_NE(random_u64(), random_u64());  // astronomically unlikely to fail
+}
+
+TEST(Random, RequestedSizes) {
+  EXPECT_EQ(random_bytes(0).size(), 0u);
+  EXPECT_EQ(random_bytes(1).size(), 1u);
+  EXPECT_EQ(random_bytes(1000).size(), 1000u);
+}
+
+TEST(DeterministicRng, Reproducible) {
+  DeterministicRng a(42), b(42), c(43);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(DeterministicRng, BoundedDraw) {
+  DeterministicRng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(10), 10u);
+  }
+}
+
+TEST(SymmetricKey, GenerateDistinct) {
+  EXPECT_FALSE(SymmetricKey::generate() == SymmetricKey::generate());
+}
+
+TEST(SymmetricKey, PasswordDerivationDeterministic) {
+  const SymmetricKey a = SymmetricKey::derive_from_password("pw", "alice");
+  const SymmetricKey b = SymmetricKey::derive_from_password("pw", "alice");
+  const SymmetricKey c = SymmetricKey::derive_from_password("pw", "bob");
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SymmetricKey, SubkeysDifferByPurpose) {
+  const SymmetricKey k = SymmetricKey::generate();
+  EXPECT_FALSE(k.derive_subkey("a") == k.derive_subkey("b"));
+  EXPECT_TRUE(k.derive_subkey("a") == k.derive_subkey("a"));
+  EXPECT_FALSE(k.derive_subkey("a") == k);
+}
+
+TEST(SymmetricKey, FingerprintStableAndShort) {
+  const SymmetricKey k = SymmetricKey::generate();
+  EXPECT_EQ(k.fingerprint(), k.fingerprint());
+  EXPECT_EQ(k.fingerprint().size(), 8u);
+}
+
+TEST(Hmac, VerifyRoundTrip) {
+  const SymmetricKey k = SymmetricKey::generate();
+  const Bytes data = to_bytes(std::string_view("message"));
+  const Bytes mac = hmac_sha256(k, data);
+  EXPECT_EQ(mac.size(), kMacSize);
+  EXPECT_TRUE(hmac_verify(k, data, mac));
+}
+
+TEST(Hmac, RejectsTamperedData) {
+  const SymmetricKey k = SymmetricKey::generate();
+  Bytes data = to_bytes(std::string_view("message"));
+  const Bytes mac = hmac_sha256(k, data);
+  data[0] ^= 1;
+  EXPECT_FALSE(hmac_verify(k, data, mac));
+}
+
+TEST(Hmac, RejectsWrongKey) {
+  const Bytes data = to_bytes(std::string_view("message"));
+  const Bytes mac = hmac_sha256(SymmetricKey::generate(), data);
+  EXPECT_FALSE(hmac_verify(SymmetricKey::generate(), data, mac));
+}
+
+TEST(Hmac, RejectsWrongLengthMac) {
+  const SymmetricKey k = SymmetricKey::generate();
+  const Bytes data = to_bytes(std::string_view("m"));
+  Bytes mac = hmac_sha256(k, data);
+  mac.pop_back();
+  EXPECT_FALSE(hmac_verify(k, data, mac));
+}
+
+TEST(Aead, SealOpenRoundTrip) {
+  const SymmetricKey k = SymmetricKey::generate();
+  const Bytes plaintext = to_bytes(std::string_view("secret payload"));
+  const Bytes box = aead_seal(k, plaintext);
+  auto opened = aead_open(k, box);
+  ASSERT_TRUE(opened.is_ok());
+  EXPECT_EQ(opened.value(), plaintext);
+}
+
+TEST(Aead, EmptyPlaintext) {
+  const SymmetricKey k = SymmetricKey::generate();
+  const Bytes box = aead_seal(k, {});
+  auto opened = aead_open(k, box);
+  ASSERT_TRUE(opened.is_ok());
+  EXPECT_TRUE(opened.value().empty());
+}
+
+TEST(Aead, AssociatedDataBinds) {
+  const SymmetricKey k = SymmetricKey::generate();
+  const Bytes aad = to_bytes(std::string_view("context"));
+  const Bytes box = aead_seal(k, to_bytes(std::string_view("p")), aad);
+  EXPECT_TRUE(aead_open(k, box, aad).is_ok());
+  EXPECT_EQ(aead_open(k, box, to_bytes(std::string_view("other"))).code(),
+            util::ErrorCode::kBadSignature);
+  EXPECT_EQ(aead_open(k, box).code(), util::ErrorCode::kBadSignature);
+}
+
+TEST(Aead, RejectsWrongKey) {
+  const Bytes box =
+      aead_seal(SymmetricKey::generate(), to_bytes(std::string_view("p")));
+  EXPECT_EQ(aead_open(SymmetricKey::generate(), box).code(),
+            util::ErrorCode::kBadSignature);
+}
+
+TEST(Aead, RejectsTamperedCiphertext) {
+  const SymmetricKey k = SymmetricKey::generate();
+  Bytes box = aead_seal(k, to_bytes(std::string_view("payload")));
+  box[box.size() / 2] ^= 1;
+  EXPECT_FALSE(aead_open(k, box).is_ok());
+}
+
+TEST(Aead, RejectsTruncatedBox) {
+  const SymmetricKey k = SymmetricKey::generate();
+  Bytes box = aead_seal(k, to_bytes(std::string_view("payload")));
+  box.resize(kNonceSize + kTagSize - 1);
+  EXPECT_EQ(aead_open(k, box).code(), util::ErrorCode::kParseError);
+}
+
+TEST(Aead, NonDeterministic) {
+  const SymmetricKey k = SymmetricKey::generate();
+  const Bytes p = to_bytes(std::string_view("same"));
+  EXPECT_NE(aead_seal(k, p), aead_seal(k, p));  // fresh nonce each time
+}
+
+TEST(Signature, SignVerifyRoundTrip) {
+  const SigningKeyPair pair = SigningKeyPair::generate();
+  const Bytes data = to_bytes(std::string_view("claim"));
+  const Bytes sig = sign(pair, data);
+  EXPECT_EQ(sig.size(), kSignatureSize);
+  EXPECT_TRUE(verify(pair.public_key(), data, sig));
+}
+
+TEST(Signature, RejectsTamperedData) {
+  const SigningKeyPair pair = SigningKeyPair::generate();
+  Bytes data = to_bytes(std::string_view("claim"));
+  const Bytes sig = sign(pair, data);
+  data[0] ^= 1;
+  EXPECT_FALSE(verify(pair.public_key(), data, sig));
+}
+
+TEST(Signature, RejectsWrongKey) {
+  const SigningKeyPair pair = SigningKeyPair::generate();
+  const Bytes data = to_bytes(std::string_view("claim"));
+  const Bytes sig = sign(pair, data);
+  EXPECT_FALSE(verify(SigningKeyPair::generate().public_key(), data, sig));
+}
+
+TEST(Signature, RejectsMalformedSignature) {
+  const SigningKeyPair pair = SigningKeyPair::generate();
+  const Bytes data = to_bytes(std::string_view("claim"));
+  EXPECT_FALSE(verify(pair.public_key(), data, Bytes{1, 2, 3}));
+}
+
+TEST(Signature, KeyPairFromSeedIsStable) {
+  const SigningKeyPair pair = SigningKeyPair::generate();
+  const SigningKeyPair again =
+      SigningKeyPair::from_private_bytes(pair.private_bytes());
+  EXPECT_TRUE(pair.public_key() == again.public_key());
+  const Bytes data = to_bytes(std::string_view("x"));
+  EXPECT_TRUE(verify(again.public_key(), data, sign(pair, data)));
+}
+
+TEST(Signature, VerifyStatusMapsToBadSignature) {
+  const SigningKeyPair pair = SigningKeyPair::generate();
+  const Bytes data = to_bytes(std::string_view("x"));
+  EXPECT_TRUE(
+      verify_status(pair.public_key(), data, sign(pair, data), "t").is_ok());
+  EXPECT_EQ(
+      verify_status(pair.public_key(), data, Bytes(64, 0), "t").code(),
+      util::ErrorCode::kBadSignature);
+}
+
+}  // namespace
+}  // namespace rproxy::crypto

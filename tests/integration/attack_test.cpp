@@ -1,0 +1,283 @@
+// Attack suite: the adversary taps, replays, and tampers; the proxy model
+// must hold where the paper claims it does (§2, §3.1, §6.2, §7.7).
+#include <gtest/gtest.h>
+
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+class AttackTest : public ::testing::Test {
+ protected:
+  AttackTest() {
+    world_.add_principal("alice");
+    world_.add_principal("bob");
+    world_.add_principal("file-server");
+    file_server_ = std::make_unique<server::FileServer>(
+        world_.end_server_config("file-server"));
+    file_server_->put_file("/doc", "contents");
+    file_server_->acl().add(authz::AclEntry{{"alice"}, {}, {}, {}});
+    world_.net.attach("file-server", *file_server_);
+  }
+
+  core::Proxy read_capability() {
+    return authz::make_capability_pk(
+        "alice", world_.principal("alice").identity, "file-server",
+        {core::ObjectRights{"/doc", {"read"}}}, world_.clock.now(),
+        util::kHour);
+  }
+
+  World world_;
+  std::unique_ptr<server::FileServer> file_server_;
+};
+
+TEST_F(AttackTest, EavesdropperCannotUseObservedPresentation) {
+  // §3.1: "an attacker can not obtain such a capability by tapping the
+  // network to observe the presentation of capabilities by legitimate
+  // users."  The wiretap sees the certificate but never the proxy key.
+  net::RecordingTap tap;
+  world_.net.add_tap(tap);
+
+  const core::Proxy cap = read_capability();
+  server::AppClient bob(world_.net, world_.clock, "bob");
+  ASSERT_TRUE(
+      bob.invoke_with_proxy("file-server", cap, "read", "/doc").is_ok());
+
+  // Mallory extracts the chain from the observed request and tries to use
+  // it with a fresh challenge.
+  const auto captured = tap.of_type(net::MsgType::kAppRequest);
+  ASSERT_EQ(captured.size(), 1u);
+  auto observed = wire::decode_from_bytes<server::AppRequestPayload>(
+      captured.front().payload);
+  ASSERT_TRUE(observed.is_ok());
+  const core::ProxyChain stolen_chain =
+      observed.value().credentials[0].chain;
+
+  server::AppClient mallory(world_.net, world_.clock, "mallory");
+  auto theft = mallory.invoke(
+      "file-server", "read", "/doc", {}, {},
+      [&](util::BytesView challenge, util::BytesView rdigest,
+          server::AppRequestPayload& req) {
+        core::PresentedCredential cred;
+        cred.chain = stolen_chain;
+        // Mallory has no proxy key; best effort is signing with her own.
+        core::Proxy fake;
+        fake.chain = stolen_chain;
+        fake.secret = crypto::SigningKeyPair::generate().private_bytes();
+        cred.proof = core::prove_bearer(fake, challenge, "file-server",
+                                        world_.clock.now(), rdigest);
+        req.credentials.push_back(cred);
+      });
+  EXPECT_EQ(theft.code(), util::ErrorCode::kBadSignature);
+}
+
+TEST_F(AttackTest, ReplayedPresentationRejected) {
+  // Replaying the entire observed request fails: the challenge was
+  // consumed by the legitimate use.
+  net::RecordingTap tap;
+  world_.net.add_tap(tap);
+  const core::Proxy cap = read_capability();
+  server::AppClient bob(world_.net, world_.clock, "bob");
+  ASSERT_TRUE(
+      bob.invoke_with_proxy("file-server", cap, "read", "/doc").is_ok());
+
+  const auto captured = tap.of_type(net::MsgType::kAppRequest);
+  ASSERT_EQ(captured.size(), 1u);
+  auto replayed = world_.net.inject(captured.front());
+  ASSERT_TRUE(replayed.is_ok());
+  EXPECT_EQ(net::status_of(replayed.value()).code(),
+            util::ErrorCode::kProtocolError);
+}
+
+TEST_F(AttackTest, InFlightRestrictionStrippingDetected) {
+  // A man-in-the-middle rewrites the presented chain to drop the
+  // operations restriction; the signature no longer covers the content.
+  const core::Proxy cap = read_capability();
+
+  net::TamperTap tamper([](const net::Envelope& e)
+                            -> std::optional<net::Envelope> {
+    if (e.type != net::MsgType::kAppRequest) return std::nullopt;
+    auto payload =
+        wire::decode_from_bytes<server::AppRequestPayload>(e.payload);
+    if (!payload.is_ok() || payload.value().credentials.empty()) {
+      return std::nullopt;
+    }
+    server::AppRequestPayload changed = payload.value();
+    changed.credentials[0].chain.certs[0].restrictions =
+        core::RestrictionSet{};
+    net::Envelope out = e;
+    out.payload = wire::encode_to_bytes(changed);
+    return out;
+  });
+  world_.net.add_tap(tamper);
+
+  server::AppClient bob(world_.net, world_.clock, "bob");
+  EXPECT_EQ(bob.invoke_with_proxy("file-server", cap, "read", "/doc").code(),
+            util::ErrorCode::kBadSignature);
+}
+
+TEST_F(AttackTest, GranteeCannotRemoveRestrictionsWhenCascading) {
+  // §2: "it is not possible to remove restrictions."  A grantee extending
+  // a chain chooses the NEW link's restrictions, but the parent link's
+  // restrictions still bind because the whole chain is verified.
+  const core::Proxy cap = read_capability();  // read /doc only
+  auto widened = core::extend_bearer(cap, core::RestrictionSet{},
+                                     world_.clock.now(), util::kHour);
+  ASSERT_TRUE(widened.is_ok());
+
+  server::AppClient bob(world_.net, world_.clock, "bob");
+  // Still cannot write: the root's authorized(read /doc) applies.
+  EXPECT_EQ(bob.invoke_with_proxy("file-server", widened.value(), "write",
+                                  "/doc", {},
+                                  util::to_bytes(std::string_view("x")))
+                .code(),
+            util::ErrorCode::kRestrictionViolated);
+  // Read still works.
+  EXPECT_TRUE(bob.invoke_with_proxy("file-server", widened.value(), "read",
+                                    "/doc")
+                  .is_ok());
+}
+
+TEST_F(AttackTest, ProofForOneOperationCannotAuthorizeAnother) {
+  // Capture a read request in flight and rewrite it into a delete request;
+  // the proof binds the request digest, so the rewrite must fail.
+  core::Proxy cap = authz::make_capability_pk(
+      "alice", world_.principal("alice").identity, "file-server",
+      {core::ObjectRights{"/doc", {"read", "delete"}}}, world_.clock.now(),
+      util::kHour);
+
+  net::TamperTap tamper([](const net::Envelope& e)
+                            -> std::optional<net::Envelope> {
+    if (e.type != net::MsgType::kAppRequest) return std::nullopt;
+    auto payload =
+        wire::decode_from_bytes<server::AppRequestPayload>(e.payload);
+    if (!payload.is_ok()) return std::nullopt;
+    server::AppRequestPayload changed = payload.value();
+    changed.operation = "delete";
+    net::Envelope out = e;
+    out.payload = wire::encode_to_bytes(changed);
+    return out;
+  });
+  world_.net.add_tap(tamper);
+
+  server::AppClient bob(world_.net, world_.clock, "bob");
+  EXPECT_EQ(bob.invoke_with_proxy("file-server", cap, "read", "/doc").code(),
+            util::ErrorCode::kBadSignature);
+  EXPECT_TRUE(file_server_->has_file("/doc"));  // nothing was deleted
+}
+
+TEST_F(AttackTest, StolenDelegateProxyUselessWithoutIdentity) {
+  // A delegate proxy names bob; mallory holding the chain AND the proxy
+  // key still fails (she cannot authenticate as bob).
+  core::RestrictionSet set;
+  set.add(core::GranteeRestriction{{"bob"}, 1});
+  set.add(core::IssuedForRestriction{{"file-server"}});
+  const core::Proxy proxy =
+      core::grant_pk_proxy("alice", world_.principal("alice").identity, set,
+                           world_.clock.now(), util::kHour);
+
+  world_.add_principal("mallory");
+  const testing::Principal& mallory_p = world_.principal("mallory");
+  server::AppClient mallory(world_.net, world_.clock, "mallory");
+  auto theft = mallory.invoke(
+      "file-server", "read", "/doc", {}, {},
+      [&](util::BytesView challenge, util::BytesView rdigest,
+          server::AppRequestPayload& req) {
+        core::PresentedCredential cred;
+        cred.chain = proxy.chain;
+        cred.proof = core::prove_delegate_pk(
+            mallory_p.cert, mallory_p.identity, challenge, "file-server",
+            world_.clock.now(), rdigest);
+        req.credentials.push_back(cred);
+      });
+  EXPECT_EQ(theft.code(), util::ErrorCode::kNotGrantee);
+}
+
+TEST_F(AttackTest, AcceptOnceBlocksDoubleUse) {
+  // §7.7 at the end-server: a proxy marked accept-once works exactly once.
+  core::RestrictionSet set;
+  set.add(core::AuthorizedRestriction{
+      {core::ObjectRights{"/doc", {"read"}}}});
+  set.add(core::IssuedForRestriction{{"file-server"}});
+  set.add(core::AcceptOnceRestriction{4242});
+  const core::Proxy proxy =
+      core::grant_pk_proxy("alice", world_.principal("alice").identity, set,
+                           world_.clock.now(), util::kHour);
+
+  server::AppClient bob(world_.net, world_.clock, "bob");
+  EXPECT_TRUE(
+      bob.invoke_with_proxy("file-server", proxy, "read", "/doc").is_ok());
+  EXPECT_EQ(
+      bob.invoke_with_proxy("file-server", proxy, "read", "/doc").code(),
+      util::ErrorCode::kReplay);
+}
+
+TEST_F(AttackTest, StolenBearerChainWithOwnIdentityRejected) {
+  // Subtle variant of the eavesdrop attack: instead of forging a bearer
+  // proof (which fails on the key), Mallory presents the observed BEARER
+  // chain with a perfectly valid personal authentication of HERSELF.  The
+  // chain has no grantee restriction to stop her — the server must insist
+  // on a proxy-key proof for bearer chains.
+  world_.add_principal("mallory");
+  const core::Proxy cap = read_capability();
+  const testing::Principal& mallory_p = world_.principal("mallory");
+
+  server::AppClient mallory(world_.net, world_.clock, "mallory");
+  auto theft = mallory.invoke(
+      "file-server", "read", "/doc", {}, {},
+      [&](util::BytesView challenge, util::BytesView rdigest,
+          server::AppRequestPayload& req) {
+        core::PresentedCredential cred;
+        cred.chain = cap.chain;  // observed on the wire
+        cred.proof = core::prove_delegate_pk(
+            mallory_p.cert, mallory_p.identity, challenge, "file-server",
+            world_.clock.now(), rdigest);
+        req.credentials.push_back(cred);
+      });
+  EXPECT_EQ(theft.code(), util::ErrorCode::kProtocolError);
+}
+
+TEST_F(AttackTest, KrbProxyEavesdropAlsoDefeated) {
+  // Same eavesdrop attack against the conventional realization.
+  kdc::KdcClient alice = world_.kdc_client("alice");
+  auto tgt = alice.authenticate(util::kHour);
+  ASSERT_TRUE(tgt.is_ok());
+  auto creds = alice.get_ticket(tgt.value(), "file-server", util::kHour);
+  ASSERT_TRUE(creds.is_ok());
+  const core::Proxy cap = authz::make_capability_krb(
+      alice, creds.value(), {core::ObjectRights{"/doc", {"read"}}},
+      world_.clock.now());
+
+  net::RecordingTap tap;
+  world_.net.add_tap(tap);
+  server::AppClient bob(world_.net, world_.clock, "bob");
+  ASSERT_TRUE(
+      bob.invoke_with_proxy("file-server", cap, "read", "/doc").is_ok());
+
+  const auto captured = tap.of_type(net::MsgType::kAppRequest);
+  ASSERT_EQ(captured.size(), 1u);
+  auto observed = wire::decode_from_bytes<server::AppRequestPayload>(
+      captured.front().payload);
+  ASSERT_TRUE(observed.is_ok());
+
+  server::AppClient mallory(world_.net, world_.clock, "mallory");
+  auto theft = mallory.invoke(
+      "file-server", "read", "/doc", {}, {},
+      [&](util::BytesView challenge, util::BytesView rdigest,
+          server::AppRequestPayload& req) {
+        core::PresentedCredential cred;
+        cred.chain = observed.value().credentials[0].chain;
+        core::Proxy fake;
+        fake.chain = cred.chain;
+        fake.secret = crypto::SymmetricKey::generate().bytes();
+        cred.proof = core::prove_bearer(fake, challenge, "file-server",
+                                        world_.clock.now(), rdigest);
+        req.credentials.push_back(cred);
+      });
+  EXPECT_EQ(theft.code(), util::ErrorCode::kBadSignature);
+}
+
+}  // namespace
+}  // namespace rproxy

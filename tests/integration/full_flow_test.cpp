@@ -1,0 +1,254 @@
+// End-to-end flows across the whole stack: Fig 3's authorization protocol
+// driving a real end-server, group-backed access (§3.3), and delegated
+// authorization (§3.5).
+#include <gtest/gtest.h>
+
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+class FullFlowTest : public ::testing::Test {
+ protected:
+  FullFlowTest() {
+    world_.add_principal("alice");
+    world_.add_principal("authz-server");
+    world_.add_principal("group-server");
+    world_.add_principal("file-server");
+
+    file_server_ = std::make_unique<server::FileServer>(
+        world_.end_server_config("file-server"));
+    file_server_->put_file("/doc", "quarterly report");
+    world_.net.attach("file-server", *file_server_);
+
+    authz::AuthorizationServer::Config ac;
+    ac.name = "authz-server";
+    ac.own_key = world_.principal("authz-server").krb_key;
+    ac.net = &world_.net;
+    ac.clock = &world_.clock;
+    ac.kdc = World::kKdcName;
+    ac.resolver = &world_.resolver;
+    ac.pk_root = world_.name_server.root_key();
+    authz_server_ = std::make_unique<authz::AuthorizationServer>(ac);
+    world_.net.attach("authz-server", *authz_server_);
+
+    authz::GroupServer::Config gc;
+    gc.name = "group-server";
+    gc.own_key = world_.principal("group-server").krb_key;
+    gc.net = &world_.net;
+    gc.clock = &world_.clock;
+    gc.kdc = World::kKdcName;
+    gc.resolver = &world_.resolver;
+    gc.pk_root = world_.name_server.root_key();
+    group_server_ = std::make_unique<authz::GroupServer>(gc);
+    world_.net.attach("group-server", *group_server_);
+
+    alice_kdc_ = std::make_unique<kdc::KdcClient>(world_.kdc_client("alice"));
+    auto tgt = alice_kdc_->authenticate(4 * util::kHour);
+    EXPECT_TRUE(tgt.is_ok());
+    tgt_ = tgt.value();
+  }
+
+  kdc::Credentials creds_for(const PrincipalName& server) {
+    auto creds = alice_kdc_->get_ticket(tgt_, server, util::kHour);
+    EXPECT_TRUE(creds.is_ok()) << creds.status();
+    return creds.value();
+  }
+
+  World world_;
+  std::unique_ptr<server::FileServer> file_server_;
+  std::unique_ptr<authz::AuthorizationServer> authz_server_;
+  std::unique_ptr<authz::GroupServer> group_server_;
+  std::unique_ptr<kdc::KdcClient> alice_kdc_;
+  kdc::Credentials tgt_;
+};
+
+TEST_F(FullFlowTest, Figure3AuthorizationProtocol) {
+  // End-server delegates authorization for /doc to the authz server (§3.2:
+  // "an end-server ... would grant full or the maximum desired access to
+  // the authorization server") by putting it on the ACL.
+  file_server_->acl().add(
+      authz::AclEntry{{"authz-server"}, {}, {}, {}});
+  authz::Acl db;
+  db.add(authz::AclEntry{{"alice"}, {"read"}, {"/doc"}, {}});
+  authz_server_->set_acl("file-server", db);
+
+  // Message 1+2 (Fig 3): authenticated request, proxy grant.
+  authz::AuthzClient authz_client(world_.net, world_.clock, *alice_kdc_);
+  auto proxy = authz_client.request_authorization(
+      creds_for("authz-server"), "authz-server", "file-server", {},
+      30 * util::kMinute);
+  ASSERT_TRUE(proxy.is_ok()) << proxy.status();
+
+  // Message 3: present the proxy.  The authorization proxy is a delegate
+  // proxy naming alice, so she proves her identity to the end-server.
+  const kdc::Credentials file_creds = creds_for("file-server");
+  server::AppClient app(world_.net, world_.clock, "alice");
+  auto result = app.invoke(
+      "file-server", "read", "/doc", {}, {},
+      [&](util::BytesView challenge, util::BytesView rdigest,
+          server::AppRequestPayload& req) {
+        core::PresentedCredential cred;
+        cred.chain = proxy.value().chain;
+        cred.proof = core::prove_delegate_krb(*alice_kdc_, file_creds,
+                                              challenge, "file-server",
+                                              world_.clock.now(), rdigest);
+        req.credentials.push_back(cred);
+      });
+  ASSERT_TRUE(result.is_ok()) << result.status();
+  EXPECT_EQ(util::to_string(result.value()), "quarterly report");
+
+  // The authorization was scoped: write is refused.
+  auto write = app.invoke(
+      "file-server", "write", "/doc", {},
+      util::to_bytes(std::string_view("defaced")),
+      [&](util::BytesView challenge, util::BytesView rdigest,
+          server::AppRequestPayload& req) {
+        core::PresentedCredential cred;
+        cred.chain = proxy.value().chain;
+        cred.proof = core::prove_delegate_krb(*alice_kdc_, file_creds,
+                                              challenge, "file-server",
+                                              world_.clock.now(), rdigest);
+        req.credentials.push_back(cred);
+      });
+  EXPECT_EQ(write.code(), util::ErrorCode::kRestrictionViolated);
+}
+
+TEST_F(FullFlowTest, GroupBackedAccess) {
+  // §3.3: the end-server puts a group name on its ACL; the client obtains
+  // a group proxy and presents it with the request.
+  group_server_->add_member("staff", "alice");
+  file_server_->acl().add(authz::AclEntry{
+      {authz::acl_group_token(GroupName{"group-server", "staff"})},
+      {"read"},
+      {"/doc"},
+      {}});
+
+  authz::GroupClient group_client(world_.net, world_.clock, *alice_kdc_);
+  auto group_proxy = group_client.request_membership(
+      creds_for("group-server"), "group-server", "staff", "file-server",
+      30 * util::kMinute);
+  ASSERT_TRUE(group_proxy.is_ok()) << group_proxy.status();
+
+  const kdc::Credentials file_creds = creds_for("file-server");
+  server::AppClient app(world_.net, world_.clock, "alice");
+  auto result = app.invoke(
+      "file-server", "read", "/doc", {}, {},
+      [&](util::BytesView challenge, util::BytesView rdigest,
+          server::AppRequestPayload& req) {
+        core::PresentedCredential cred;
+        cred.chain = group_proxy.value().chain;
+        cred.proof = core::prove_delegate_krb(*alice_kdc_, file_creds,
+                                              challenge, "file-server",
+                                              world_.clock.now(), rdigest);
+        req.group_credentials.push_back(cred);
+      });
+  ASSERT_TRUE(result.is_ok()) << result.status();
+  EXPECT_EQ(util::to_string(result.value()), "quarterly report");
+}
+
+TEST_F(FullFlowTest, GroupProxyAloneDoesNotGrantUnlistedRights) {
+  group_server_->add_member("staff", "alice");
+  file_server_->acl().add(authz::AclEntry{
+      {authz::acl_group_token(GroupName{"group-server", "staff"})},
+      {"read"},
+      {"/doc"},
+      {}});
+  authz::GroupClient group_client(world_.net, world_.clock, *alice_kdc_);
+  auto group_proxy = group_client.request_membership(
+      creds_for("group-server"), "group-server", "staff", "file-server",
+      30 * util::kMinute);
+  ASSERT_TRUE(group_proxy.is_ok());
+
+  const kdc::Credentials file_creds = creds_for("file-server");
+  server::AppClient app(world_.net, world_.clock, "alice");
+  auto del = app.invoke(
+      "file-server", "delete", "/doc", {}, {},
+      [&](util::BytesView challenge, util::BytesView rdigest,
+          server::AppRequestPayload& req) {
+        core::PresentedCredential cred;
+        cred.chain = group_proxy.value().chain;
+        cred.proof = core::prove_delegate_krb(*alice_kdc_, file_creds,
+                                              challenge, "file-server",
+                                              world_.clock.now(), rdigest);
+        req.group_credentials.push_back(cred);
+      });
+  EXPECT_EQ(del.code(), util::ErrorCode::kPermissionDenied);
+}
+
+TEST_F(FullFlowTest, GroupViaAuthorizationServer) {
+  // §3.3 last paragraph: the group proxy is presented to the authorization
+  // server, which returns an authorization proxy.
+  group_server_->add_member("staff", "alice");
+  file_server_->acl().add(authz::AclEntry{{"authz-server"}, {}, {}, {}});
+  authz::Acl db;
+  db.add(authz::AclEntry{
+      {authz::acl_group_token(GroupName{"group-server", "staff"})},
+      {"read"},
+      {"/doc"},
+      {}});
+  authz_server_->set_acl("file-server", db);
+
+  // Group proxy issued FOR the authorization server.
+  authz::GroupClient group_client(world_.net, world_.clock, *alice_kdc_);
+  auto group_proxy = group_client.request_membership(
+      creds_for("group-server"), "group-server", "staff", "authz-server",
+      30 * util::kMinute);
+  ASSERT_TRUE(group_proxy.is_ok()) << group_proxy.status();
+
+  const kdc::Credentials authz_creds = creds_for("authz-server");
+  authz::AuthzClient authz_client(world_.net, world_.clock, *alice_kdc_);
+  auto proxy = authz_client.request_authorization(
+      authz_creds, "authz-server", "file-server", {}, 30 * util::kMinute,
+      [&](util::BytesView challenge)
+          -> std::vector<core::PresentedCredential> {
+        core::PresentedCredential cred;
+        cred.chain = group_proxy.value().chain;
+        cred.proof = core::prove_delegate_krb(*alice_kdc_, authz_creds,
+                                              challenge, "authz-server",
+                                              world_.clock.now(), {});
+        return {cred};
+      });
+  ASSERT_TRUE(proxy.is_ok()) << proxy.status();
+
+  const kdc::Credentials file_creds = creds_for("file-server");
+  server::AppClient app(world_.net, world_.clock, "alice");
+  auto result = app.invoke(
+      "file-server", "read", "/doc", {}, {},
+      [&](util::BytesView challenge, util::BytesView rdigest,
+          server::AppRequestPayload& req) {
+        core::PresentedCredential cred;
+        cred.chain = proxy.value().chain;
+        cred.proof = core::prove_delegate_krb(*alice_kdc_, file_creds,
+                                              challenge, "file-server",
+                                              world_.clock.now(), rdigest);
+        req.credentials.push_back(cred);
+      });
+  ASSERT_TRUE(result.is_ok()) << result.status();
+}
+
+TEST_F(FullFlowTest, OfflineVerificationAfterGrant) {
+  // The paper's efficiency claim: once the proxy is granted, presentations
+  // involve ONLY client <-> end-server messages (no third party).
+  file_server_->acl().add(authz::AclEntry{{"alice"}, {}, {}, {}});
+  const core::Proxy cap = authz::make_capability_pk(
+      "alice", world_.principal("alice").identity, "file-server",
+      {core::ObjectRights{"/doc", {"read"}}}, world_.clock.now(),
+      util::kHour);
+
+  net::RecordingTap tap;
+  world_.net.add_tap(tap);
+  server::AppClient bob(world_.net, world_.clock, "bob");
+  ASSERT_TRUE(
+      bob.invoke_with_proxy("file-server", cap, "read", "/doc").is_ok());
+  for (const net::Envelope& e : tap.log()) {
+    EXPECT_TRUE((e.from == "bob" && e.to == "file-server") ||
+                (e.from == "file-server" && e.to == "bob"))
+        << e.from << " -> " << e.to;
+  }
+}
+
+}  // namespace
+}  // namespace rproxy

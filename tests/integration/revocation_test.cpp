@@ -1,0 +1,119 @@
+// Revocation semantics (§3.1): proxy capabilities are revoked by changing
+// the grantor's rights, which kills ALL capabilities (and copies, and
+// cascaded derivations) issued by that grantor — but not those issued by
+// other grantors.
+#include <gtest/gtest.h>
+
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+class RevocationTest : public ::testing::Test {
+ protected:
+  RevocationTest() {
+    world_.add_principal("alice");
+    world_.add_principal("carol");
+    world_.add_principal("file-server");
+    server_ = std::make_unique<server::FileServer>(
+        world_.end_server_config("file-server"));
+    server_->put_file("/doc", "contents");
+    server_->acl().add(authz::AclEntry{{"alice"}, {}, {}, {}});
+    server_->acl().add(authz::AclEntry{{"carol"}, {}, {}, {}});
+    world_.net.attach("file-server", *server_);
+  }
+
+  core::Proxy capability_from(const PrincipalName& grantor) {
+    return authz::make_capability_pk(
+        grantor, world_.principal(grantor).identity, "file-server",
+        {core::ObjectRights{"/doc", {"read"}}}, world_.clock.now(),
+        util::kHour);
+  }
+
+  World world_;
+  std::unique_ptr<server::FileServer> server_;
+};
+
+TEST_F(RevocationTest, RevokingGrantorKillsAllItsCapabilities) {
+  const core::Proxy cap1 = capability_from("alice");
+  const core::Proxy cap2 = capability_from("alice");
+  const core::Proxy copy_of_cap1 = cap1;
+
+  server::AppClient bob(world_.net, world_.clock, "bob");
+  ASSERT_TRUE(
+      bob.invoke_with_proxy("file-server", cap1, "read", "/doc").is_ok());
+
+  server_->acl().remove_principal("alice");
+
+  for (const core::Proxy* cap : {&cap1, &cap2, &copy_of_cap1}) {
+    EXPECT_EQ(
+        bob.invoke_with_proxy("file-server", *cap, "read", "/doc").code(),
+        util::ErrorCode::kPermissionDenied);
+  }
+}
+
+TEST_F(RevocationTest, OtherGrantorsUnaffected) {
+  // "...but not those that had been issued by others."
+  const core::Proxy from_alice = capability_from("alice");
+  const core::Proxy from_carol = capability_from("carol");
+  server_->acl().remove_principal("alice");
+
+  server::AppClient bob(world_.net, world_.clock, "bob");
+  EXPECT_FALSE(
+      bob.invoke_with_proxy("file-server", from_alice, "read", "/doc")
+          .is_ok());
+  EXPECT_TRUE(
+      bob.invoke_with_proxy("file-server", from_carol, "read", "/doc")
+          .is_ok());
+}
+
+TEST_F(RevocationTest, CascadedDerivationsAlsoRevoked) {
+  const core::Proxy cap = capability_from("alice");
+  auto derived =
+      core::extend_bearer(cap, {}, world_.clock.now(), util::kHour);
+  ASSERT_TRUE(derived.is_ok());
+
+  server_->acl().remove_principal("alice");
+  server::AppClient bob(world_.net, world_.clock, "bob");
+  EXPECT_EQ(bob.invoke_with_proxy("file-server", derived.value(), "read",
+                                  "/doc")
+                .code(),
+            util::ErrorCode::kPermissionDenied);
+}
+
+TEST_F(RevocationTest, ReinstatementRestoresCapabilities) {
+  // The flip side of ACL-based revocation: restoring the grantor's entry
+  // resurrects still-unexpired capabilities.
+  const core::Proxy cap = capability_from("alice");
+  server_->acl().remove_principal("alice");
+  server::AppClient bob(world_.net, world_.clock, "bob");
+  ASSERT_FALSE(
+      bob.invoke_with_proxy("file-server", cap, "read", "/doc").is_ok());
+
+  server_->acl().add(authz::AclEntry{{"alice"}, {}, {}, {}});
+  EXPECT_TRUE(
+      bob.invoke_with_proxy("file-server", cap, "read", "/doc").is_ok());
+}
+
+TEST_F(RevocationTest, KrbRealizationRevokesTheSameWay) {
+  kdc::KdcClient alice = world_.kdc_client("alice");
+  auto tgt = alice.authenticate(util::kHour);
+  ASSERT_TRUE(tgt.is_ok());
+  auto creds = alice.get_ticket(tgt.value(), "file-server", util::kHour);
+  ASSERT_TRUE(creds.is_ok());
+  const core::Proxy cap = authz::make_capability_krb(
+      alice, creds.value(), {core::ObjectRights{"/doc", {"read"}}},
+      world_.clock.now());
+
+  server::AppClient bob(world_.net, world_.clock, "bob");
+  ASSERT_TRUE(
+      bob.invoke_with_proxy("file-server", cap, "read", "/doc").is_ok());
+  server_->acl().remove_principal("alice");
+  EXPECT_EQ(bob.invoke_with_proxy("file-server", cap, "read", "/doc").code(),
+            util::ErrorCode::kPermissionDenied);
+}
+
+}  // namespace
+}  // namespace rproxy

@@ -1,0 +1,225 @@
+// Separation of privilege (§3.5, §7.1, §7.2) end to end:
+//  * k-of-n grantee concurrence on a single delegate proxy;
+//  * for-use-by-group requiring memberships in two disjoint groups;
+//  * compound ACL entries combining a user and a host principal.
+#include <gtest/gtest.h>
+
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+class SeparationTest : public ::testing::Test {
+ protected:
+  SeparationTest() {
+    world_.add_principal("alice");
+    world_.add_principal("operator1");
+    world_.add_principal("operator2");
+    world_.add_principal("group-server");
+    world_.add_principal("vault");
+
+    vault_ = std::make_unique<server::FileServer>(
+        world_.end_server_config("vault"));
+    vault_->put_file("/master-key", "hunter2");
+    vault_->acl().add(authz::AclEntry{{"alice"}, {}, {}, {}});
+    world_.net.attach("vault", *vault_);
+
+    authz::GroupServer::Config gc;
+    gc.name = "group-server";
+    gc.own_key = world_.principal("group-server").krb_key;
+    gc.net = &world_.net;
+    gc.clock = &world_.clock;
+    gc.kdc = World::kKdcName;
+    group_server_ = std::make_unique<authz::GroupServer>(gc);
+    group_server_->add_member("operators", "operator1");
+    group_server_->add_member("auditors", "operator2");
+    world_.net.attach("group-server", *group_server_);
+  }
+
+  /// Runs a vault read presented by `presenter` with the given credentials.
+  util::Result<util::Bytes> read_vault(
+      const PrincipalName& presenter,
+      const std::vector<const core::Proxy*>& proxies,
+      const std::vector<const core::Proxy*>& group_proxies,
+      const std::vector<PrincipalName>& identities) {
+    server::AppClient app(world_.net, world_.clock, presenter);
+    return app.invoke(
+        "vault", "read", "/master-key", {}, {},
+        [&](util::BytesView challenge, util::BytesView rdigest,
+            server::AppRequestPayload& req) {
+          for (const core::Proxy* p : proxies) {
+            core::PresentedCredential cred;
+            cred.chain = p->chain;
+            cred.proof = core::prove_bearer(*p, challenge, "vault",
+                                            world_.clock.now(), rdigest);
+            req.credentials.push_back(cred);
+          }
+          for (const core::Proxy* p : group_proxies) {
+            core::PresentedCredential cred;
+            cred.chain = p->chain;
+            // Group proxies are delegate proxies; their proof comes from
+            // the first identity below (tests use one presenter identity).
+            const testing::Principal& who =
+                world_.principal(identities.front());
+            cred.proof = core::prove_delegate_pk(who.cert, who.identity,
+                                                 challenge, "vault",
+                                                 world_.clock.now(),
+                                                 rdigest);
+            req.group_credentials.push_back(cred);
+          }
+          if (!identities.empty()) {
+            const testing::Principal& who =
+                world_.principal(identities.front());
+            req.identity = core::prove_delegate_pk(who.cert, who.identity,
+                                                   challenge, "vault",
+                                                   world_.clock.now(),
+                                                   rdigest);
+          }
+        });
+  }
+
+  World world_;
+  std::unique_ptr<server::FileServer> vault_;
+  std::unique_ptr<authz::GroupServer> group_server_;
+};
+
+TEST_F(SeparationTest, TwoOfTwoGranteesRequired) {
+  // alice's proxy requires BOTH operators to exercise it (§7.1's k-of-n).
+  core::RestrictionSet set;
+  set.add(core::GranteeRestriction{{"operator1", "operator2"}, 2});
+  set.add(core::IssuedForRestriction{{"vault"}});
+  const core::Proxy proxy =
+      core::grant_pk_proxy("alice", world_.principal("alice").identity, set,
+                           world_.clock.now(), util::kHour);
+
+  // operator1 alone: refused.
+  server::AppClient app(world_.net, world_.clock, "operator1");
+  auto solo = app.invoke(
+      "vault", "read", "/master-key", {}, {},
+      [&](util::BytesView challenge, util::BytesView rdigest,
+          server::AppRequestPayload& req) {
+        core::PresentedCredential cred;
+        cred.chain = proxy.chain;
+        const testing::Principal& op1 = world_.principal("operator1");
+        cred.proof = core::prove_delegate_pk(op1.cert, op1.identity,
+                                             challenge, "vault",
+                                             world_.clock.now(), rdigest);
+        req.credentials.push_back(cred);
+      });
+  EXPECT_EQ(solo.code(), util::ErrorCode::kNotGrantee);
+
+  // Both operators authenticate on the same request: allowed.
+  auto both = app.invoke(
+      "vault", "read", "/master-key", {}, {},
+      [&](util::BytesView challenge, util::BytesView rdigest,
+          server::AppRequestPayload& req) {
+        core::PresentedCredential cred;
+        cred.chain = proxy.chain;
+        const testing::Principal& op1 = world_.principal("operator1");
+        cred.proof = core::prove_delegate_pk(op1.cert, op1.identity,
+                                             challenge, "vault",
+                                             world_.clock.now(), rdigest);
+        req.credentials.push_back(cred);
+        // operator2's identity rides as the standalone identity proof.
+        const testing::Principal& op2 = world_.principal("operator2");
+        req.identity = core::prove_delegate_pk(op2.cert, op2.identity,
+                                               challenge, "vault",
+                                               world_.clock.now(), rdigest);
+      });
+  ASSERT_TRUE(both.is_ok()) << both.status();
+}
+
+TEST_F(SeparationTest, DisjointGroupConcurrence) {
+  // §7.2: "require assertion of membership in multiple groups with
+  // disjoint members."  The proxy demands operators AND auditors; no
+  // single person is in both groups.
+  core::RestrictionSet set;
+  set.add(core::ForUseByGroupRestriction{
+      {GroupName{"group-server", "operators"},
+       GroupName{"group-server", "auditors"}},
+      2});
+  set.add(core::IssuedForRestriction{{"vault"}});
+  const core::Proxy proxy =
+      core::grant_pk_proxy("alice", world_.principal("alice").identity, set,
+                           world_.clock.now(), util::kHour);
+
+  // Build group proxies for each operator (issued for the vault).
+  const auto group_proxy = [&](const PrincipalName& member,
+                               const std::string& group) {
+    kdc::KdcClient client = world_.kdc_client(member);
+    auto tgt = client.authenticate(util::kHour);
+    EXPECT_TRUE(tgt.is_ok());
+    auto creds =
+        client.get_ticket(tgt.value(), "group-server", util::kHour);
+    EXPECT_TRUE(creds.is_ok());
+    authz::GroupClient gc(world_.net, world_.clock, client);
+    auto proxy_result = gc.request_membership(creds.value(), "group-server",
+                                              group, "vault", util::kHour);
+    EXPECT_TRUE(proxy_result.is_ok()) << proxy_result.status();
+    return proxy_result.value();
+  };
+  const core::Proxy op_membership = group_proxy("operator1", "operators");
+  const core::Proxy aud_membership = group_proxy("operator2", "auditors");
+
+  server::AppClient app(world_.net, world_.clock, "operator1");
+  const auto attempt = [&](bool include_auditor) {
+    return app.invoke(
+        "vault", "read", "/master-key", {}, {},
+        [&](util::BytesView challenge, util::BytesView rdigest,
+            server::AppRequestPayload& req) {
+          core::PresentedCredential main;
+          main.chain = proxy.chain;
+          main.proof = core::prove_bearer(proxy, challenge, "vault",
+                                          world_.clock.now(), rdigest);
+          req.credentials.push_back(main);
+
+          const testing::Principal& op1 = world_.principal("operator1");
+          core::PresentedCredential g1;
+          g1.chain = op_membership.chain;
+          g1.proof = core::prove_delegate_pk(op1.cert, op1.identity,
+                                             challenge, "vault",
+                                             world_.clock.now(), rdigest);
+          req.group_credentials.push_back(g1);
+
+          if (include_auditor) {
+            const testing::Principal& op2 = world_.principal("operator2");
+            core::PresentedCredential g2;
+            g2.chain = aud_membership.chain;
+            g2.proof = core::prove_delegate_pk(op2.cert, op2.identity,
+                                               challenge, "vault",
+                                               world_.clock.now(), rdigest);
+            req.group_credentials.push_back(g2);
+          }
+        });
+  };
+
+  EXPECT_EQ(attempt(false).code(), util::ErrorCode::kRestrictionViolated);
+  auto with_both = attempt(true);
+  ASSERT_TRUE(with_both.is_ok()) << with_both.status();
+}
+
+TEST_F(SeparationTest, UserPlusHostCompoundEntry) {
+  // §3.5: "the need for both user and host credentials for certain
+  // operations."
+  world_.add_principal("workstation-7");
+  vault_->acl().add(authz::AclEntry{
+      {"operator1", "workstation-7"}, {"read"}, {"/master-key"}, {}});
+
+  const core::Proxy host_voucher = core::grant_pk_proxy(
+      "workstation-7", world_.principal("workstation-7").identity,
+      core::RestrictionSet{core::IssuedForRestriction{{"vault"}}},
+      world_.clock.now(), util::kHour);
+
+  // operator1's identity alone does not satisfy the compound entry...
+  auto solo = read_vault("operator1", {}, {}, {"operator1"});
+  EXPECT_EQ(solo.code(), util::ErrorCode::kPermissionDenied);
+  // ...but identity + the host's proxy does.
+  auto with_host =
+      read_vault("operator1", {&host_voucher}, {}, {"operator1"});
+  ASSERT_TRUE(with_host.is_ok()) << with_host.status();
+}
+
+}  // namespace
+}  // namespace rproxy

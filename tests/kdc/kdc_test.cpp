@@ -1,0 +1,192 @@
+// AS/TGS exchange tests (§6.2): initial authentication, ticket issuance,
+// and the additive-restriction rule on re-issued tickets.
+#include <gtest/gtest.h>
+
+#include "core/restriction_set.hpp"
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+class KdcTest : public ::testing::Test {
+ protected:
+  KdcTest() {
+    world_.add_principal("alice");
+    world_.add_principal("file-server");
+  }
+
+  World world_;
+};
+
+TEST_F(KdcTest, AsExchangeYieldsTgt) {
+  kdc::KdcClient client = world_.kdc_client("alice");
+  auto tgt = client.authenticate(util::kHour);
+  ASSERT_TRUE(tgt.is_ok()) << tgt.status();
+  EXPECT_EQ(tgt.value().server, World::kKdcName);
+  EXPECT_GT(tgt.value().expires_at, world_.clock.now());
+}
+
+TEST_F(KdcTest, UnknownPrincipalRejected) {
+  kdc::KdcClient client(world_.net, world_.clock, "mallory",
+                        crypto::SymmetricKey::generate(), World::kKdcName);
+  EXPECT_EQ(client.authenticate(util::kHour).code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST_F(KdcTest, WrongPasswordCannotDecryptReply) {
+  kdc::KdcClient client(world_.net, world_.clock, "alice",
+                        crypto::SymmetricKey::generate(), World::kKdcName);
+  EXPECT_EQ(client.authenticate(util::kHour).code(),
+            util::ErrorCode::kBadSignature);
+}
+
+TEST_F(KdcTest, TgsExchangeYieldsServiceTicket) {
+  kdc::KdcClient client = world_.kdc_client("alice");
+  auto tgt = client.authenticate(util::kHour);
+  ASSERT_TRUE(tgt.is_ok());
+  auto creds = client.get_ticket(tgt.value(), "file-server", util::kHour);
+  ASSERT_TRUE(creds.is_ok()) << creds.status();
+  EXPECT_EQ(creds.value().server, "file-server");
+
+  // The file server can open the ticket and sees alice.
+  auto body = kdc::open_ticket(creds.value().ticket,
+                               world_.principal("file-server").krb_key);
+  ASSERT_TRUE(body.is_ok());
+  EXPECT_EQ(body.value().client, "alice");
+  EXPECT_TRUE(body.value().session_key == creds.value().session_key);
+}
+
+TEST_F(KdcTest, TicketForUnknownServerRejected) {
+  kdc::KdcClient client = world_.kdc_client("alice");
+  auto tgt = client.authenticate(util::kHour);
+  ASSERT_TRUE(tgt.is_ok());
+  EXPECT_EQ(client.get_ticket(tgt.value(), "ghost", util::kHour).code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST_F(KdcTest, ServiceTicketLifetimeClampedToTgt) {
+  kdc::KdcClient client = world_.kdc_client("alice");
+  auto tgt = client.authenticate(30 * util::kMinute);
+  ASSERT_TRUE(tgt.is_ok());
+  auto creds = client.get_ticket(tgt.value(), "file-server", 8 * util::kHour);
+  ASSERT_TRUE(creds.is_ok());
+  EXPECT_LE(creds.value().expires_at, tgt.value().expires_at);
+}
+
+TEST_F(KdcTest, InitialRestrictionsCarryIntoTickets) {
+  core::RestrictionSet initial;
+  initial.add(core::IssuedForRestriction{{"file-server"}});
+
+  kdc::KdcClient client = world_.kdc_client("alice");
+  auto tgt = client.authenticate(util::kHour, initial.to_blobs());
+  ASSERT_TRUE(tgt.is_ok());
+  auto creds = client.get_ticket(tgt.value(), "file-server", util::kHour);
+  ASSERT_TRUE(creds.is_ok());
+
+  auto body = kdc::open_ticket(creds.value().ticket,
+                               world_.principal("file-server").krb_key);
+  ASSERT_TRUE(body.is_ok());
+  auto restored =
+      core::RestrictionSet::from_blobs(body.value().authorization_data);
+  ASSERT_TRUE(restored.is_ok());
+  EXPECT_EQ(restored.value(), initial);
+}
+
+TEST_F(KdcTest, TgsAddsButNeverRemovesRestrictions) {
+  core::RestrictionSet initial;
+  initial.add(core::QuotaRestriction{"pages", 10});
+
+  kdc::KdcClient client = world_.kdc_client("alice");
+  auto tgt = client.authenticate(util::kHour, initial.to_blobs());
+  ASSERT_TRUE(tgt.is_ok());
+
+  core::RestrictionSet added;
+  added.add(core::AuthorizedRestriction{
+      {core::ObjectRights{"/tmp/report", {"read"}}}});
+  auto creds = client.get_ticket(tgt.value(), "file-server", util::kHour,
+                                 added.to_blobs());
+  ASSERT_TRUE(creds.is_ok());
+
+  auto body = kdc::open_ticket(creds.value().ticket,
+                               world_.principal("file-server").krb_key);
+  ASSERT_TRUE(body.is_ok());
+  // Both the TGT's restriction and the addition must be present.
+  EXPECT_EQ(body.value().authorization_data.size(), 2u);
+  auto restored =
+      core::RestrictionSet::from_blobs(body.value().authorization_data);
+  ASSERT_TRUE(restored.is_ok());
+  EXPECT_EQ(restored.value(), initial.merged(added));
+}
+
+TEST_F(KdcTest, TgsRejectsNonTgtTicket) {
+  kdc::KdcClient client = world_.kdc_client("alice");
+  auto tgt = client.authenticate(util::kHour);
+  ASSERT_TRUE(tgt.is_ok());
+  auto file_creds =
+      client.get_ticket(tgt.value(), "file-server", util::kHour);
+  ASSERT_TRUE(file_creds.is_ok());
+  // Presenting a file-server ticket to the TGS must fail: the KDC cannot
+  // even open it (sealed under the file server's key).
+  EXPECT_FALSE(
+      client.get_ticket(file_creds.value(), "file-server", util::kHour)
+          .is_ok());
+}
+
+TEST_F(KdcTest, ExpiredTgtRejectedByTgs) {
+  kdc::KdcClient client = world_.kdc_client("alice");
+  auto tgt = client.authenticate(util::kMinute);
+  ASSERT_TRUE(tgt.is_ok());
+  world_.clock.advance(2 * util::kHour);
+  EXPECT_EQ(
+      client.get_ticket(tgt.value(), "file-server", util::kHour).code(),
+      util::ErrorCode::kExpired);
+}
+
+TEST_F(KdcTest, TgsReplayRejected) {
+  kdc::KdcClient client = world_.kdc_client("alice");
+  auto tgt = client.authenticate(util::kHour);
+  ASSERT_TRUE(tgt.is_ok());
+
+  // Capture the TGS request and replay it verbatim.
+  net::RecordingTap tap;
+  world_.net.add_tap(tap);
+  ASSERT_TRUE(
+      client.get_ticket(tgt.value(), "file-server", util::kHour).is_ok());
+  const auto requests = tap.of_type(net::MsgType::kTgsRequest);
+  ASSERT_EQ(requests.size(), 1u);
+  auto replayed = world_.net.inject(requests.front());
+  ASSERT_TRUE(replayed.is_ok());
+  EXPECT_EQ(net::status_of(replayed.value()).code(),
+            util::ErrorCode::kReplay);
+}
+
+TEST_F(KdcTest, AsReplyNonceBindsRequest) {
+  // A captured AS reply for a different request must be rejected by the
+  // client (nonce mismatch).  We simulate by answering with a stale reply.
+  kdc::KdcClient client = world_.kdc_client("alice");
+  net::RecordingTap tap;
+  world_.net.add_tap(tap);
+  ASSERT_TRUE(client.authenticate(util::kHour).is_ok());
+  const auto replies = tap.of_type(net::MsgType::kAsReply);
+  ASSERT_EQ(replies.size(), 1u);
+  world_.net.clear_taps();
+
+  // Replay the old reply in response to a new request.
+  net::TamperTap replayer(
+      [captured = replies.front()](
+          const net::Envelope& e) -> std::optional<net::Envelope> {
+        if (e.type != net::MsgType::kAsReply) return std::nullopt;
+        net::Envelope old = captured;
+        old.from = e.from;
+        old.to = e.to;
+        return old;
+      });
+  world_.net.add_tap(replayer);
+  EXPECT_EQ(client.authenticate(util::kHour).code(),
+            util::ErrorCode::kProtocolError);
+}
+
+}  // namespace
+}  // namespace rproxy

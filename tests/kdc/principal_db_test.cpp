@@ -1,0 +1,51 @@
+#include "kdc/principal_db.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rproxy::kdc {
+namespace {
+
+TEST(PrincipalDb, RegisterAndLookup) {
+  PrincipalDb db;
+  const crypto::SymmetricKey key = crypto::SymmetricKey::generate();
+  db.register_principal("alice", key);
+  ASSERT_TRUE(db.exists("alice"));
+  auto found = db.key_of("alice");
+  ASSERT_TRUE(found.is_ok());
+  EXPECT_TRUE(found.value() == key);
+}
+
+TEST(PrincipalDb, UnknownPrincipal) {
+  PrincipalDb db;
+  EXPECT_FALSE(db.exists("ghost"));
+  EXPECT_EQ(db.key_of("ghost").code(), util::ErrorCode::kNotFound);
+}
+
+TEST(PrincipalDb, PasswordDerivationIsSalted) {
+  PrincipalDb db;
+  const crypto::SymmetricKey a = db.register_with_password("alice", "pw");
+  const crypto::SymmetricKey b = db.register_with_password("bob", "pw");
+  // Same password, different principals -> different keys (name salts).
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(db.key_of("alice").value() == a);
+}
+
+TEST(PrincipalDb, ReRegistrationReplaces) {
+  PrincipalDb db;
+  db.register_with_password("alice", "old");
+  const crypto::SymmetricKey fresh =
+      db.register_with_password("alice", "new");
+  EXPECT_TRUE(db.key_of("alice").value() == fresh);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(PrincipalDb, RemoveRevokes) {
+  PrincipalDb db;
+  db.register_with_password("alice", "pw");
+  db.remove("alice");
+  EXPECT_FALSE(db.exists("alice"));
+  EXPECT_EQ(db.size(), 0u);
+}
+
+}  // namespace
+}  // namespace rproxy::kdc

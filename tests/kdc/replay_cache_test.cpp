@@ -1,0 +1,72 @@
+#include "kdc/replay_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rproxy::kdc {
+namespace {
+
+using util::kSecond;
+
+TEST(ReplayCache, FirstUseAccepted) {
+  ReplayCache cache;
+  EXPECT_TRUE(cache
+                  .check_and_insert(util::Bytes{1, 2, 3}, 100 * kSecond,
+                                    10 * kSecond)
+                  .is_ok());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ReplayCache, RepeatRejectedWithinWindow) {
+  ReplayCache cache;
+  const util::Bytes item = {1, 2, 3};
+  ASSERT_TRUE(cache.check_and_insert(item, 100 * kSecond, 10 * kSecond)
+                  .is_ok());
+  EXPECT_EQ(cache.check_and_insert(item, 100 * kSecond, 20 * kSecond).code(),
+            util::ErrorCode::kReplay);
+}
+
+TEST(ReplayCache, RepeatAcceptedAfterExpiry) {
+  ReplayCache cache;
+  const util::Bytes item = {1, 2, 3};
+  ASSERT_TRUE(
+      cache.check_and_insert(item, 100 * kSecond, 10 * kSecond).is_ok());
+  EXPECT_TRUE(
+      cache.check_and_insert(item, 300 * kSecond, 200 * kSecond).is_ok());
+}
+
+TEST(ReplayCache, DistinctItemsIndependent) {
+  ReplayCache cache;
+  EXPECT_TRUE(cache.check_and_insert(util::Bytes{1}, 100 * kSecond, 0)
+                  .is_ok());
+  EXPECT_TRUE(cache.check_and_insert(util::Bytes{2}, 100 * kSecond, 0)
+                  .is_ok());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ReplayCache, PurgeDropsExpired) {
+  ReplayCache cache;
+  ASSERT_TRUE(cache.check_and_insert(util::Bytes{1}, 10 * kSecond, 0)
+                  .is_ok());
+  ASSERT_TRUE(cache.check_and_insert(util::Bytes{2}, 100 * kSecond, 0)
+                  .is_ok());
+  cache.purge(50 * kSecond);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ReplayCache, AmortizedPurgeKeepsCacheBounded) {
+  ReplayCache cache;
+  // Insert many short-lived items over advancing time; the opportunistic
+  // purge inside check_and_insert must keep old ones from accumulating.
+  for (int i = 0; i < 1000; ++i) {
+    const util::TimePoint now = i * 2 * kSecond;
+    ASSERT_TRUE(cache
+                    .check_and_insert(util::Bytes{static_cast<uint8_t>(i),
+                                                  static_cast<uint8_t>(i >> 8)},
+                                      now + kSecond, now)
+                    .is_ok());
+  }
+  EXPECT_LT(cache.size(), 10u);
+}
+
+}  // namespace
+}  // namespace rproxy::kdc

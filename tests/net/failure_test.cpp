@@ -1,0 +1,98 @@
+// Failure injection: link cuts must fail operations cleanly — no double
+// credits, no stuck state — and restored links must work again.
+#include <gtest/gtest.h>
+
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+TEST(LinkFailure, RpcOverFailedLinkFails) {
+  World world;
+  world.add_principal("alice");
+  kdc::KdcClient client = world.kdc_client("alice");
+  world.net.fail_link("alice", World::kKdcName);
+  EXPECT_EQ(client.authenticate(util::kHour).code(),
+            util::ErrorCode::kNotFound);
+  world.net.restore_link("alice", World::kKdcName);
+  EXPECT_TRUE(client.authenticate(util::kHour).is_ok());
+}
+
+TEST(LinkFailure, OtherLinksUnaffected) {
+  World world;
+  world.add_principal("alice");
+  world.add_principal("bob");
+  world.net.fail_link("bob", World::kKdcName);
+  kdc::KdcClient alice = world.kdc_client("alice");
+  EXPECT_TRUE(alice.authenticate(util::kHour).is_ok());
+}
+
+TEST(LinkFailure, ClearingBouncesCleanlyWhenDraweeUnreachable) {
+  // The payee's bank credits provisionally, cannot reach the drawee, and
+  // must revert — no money is created.
+  World world;
+  world.add_principal("client");
+  world.add_principal("merchant");
+  world.add_principal("bank1");
+  world.add_principal("bank2");
+  accounting::AccountingServer bank1(world.accounting_config("bank1"));
+  accounting::AccountingServer bank2(world.accounting_config("bank2"));
+  world.net.attach("bank1", bank1);
+  world.net.attach("bank2", bank2);
+  bank2.open_account("client-acct", "client",
+                     accounting::Balances{{"usd", 100}});
+  bank1.open_account("merchant-acct", "merchant");
+
+  const accounting::Check check = accounting::write_check(
+      "client", world.principal("client").identity,
+      AccountId{"bank2", "client-acct"}, "merchant", "usd", 10, 1,
+      world.clock.now(), util::kHour);
+
+  world.net.fail_link("bank1", "bank2");
+  auto merchant = world.accounting_client("merchant");
+  auto result = merchant.endorse_and_deposit("bank1", check,
+                                             "merchant-acct");
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(bank1.account("merchant-acct")->balances().balance("usd"), 0);
+  EXPECT_EQ(bank1.uncollected_total(), 0);
+  EXPECT_EQ(bank2.account("client-acct")->balances().balance("usd"), 100);
+
+  // After the partition heals, the SAME check still clears (it never
+  // reached the drawee, so the check number is unspent).
+  world.net.restore_link("bank1", "bank2");
+  auto retry =
+      merchant.endorse_and_deposit("bank1", check, "merchant-acct");
+  ASSERT_TRUE(retry.is_ok()) << retry.status();
+  EXPECT_EQ(bank1.account("merchant-acct")->balances().balance("usd"), 10);
+}
+
+TEST(LinkFailure, ProxyPresentationsSurviveThirdPartyOutages) {
+  // The paper's availability point: once granted, a proxy keeps working
+  // even with the KDC and name server down — verification is offline.
+  World world;
+  world.add_principal("alice");
+  world.add_principal("file-server");
+  server::FileServer file_server(world.end_server_config("file-server"));
+  file_server.put_file("/doc", "contents");
+  file_server.acl().add(authz::AclEntry{{"alice"}, {}, {}, {}});
+  world.net.attach("file-server", file_server);
+
+  const core::Proxy cap = authz::make_capability_pk(
+      "alice", world.principal("alice").identity, "file-server",
+      {core::ObjectRights{"/doc", {"read"}}}, world.clock.now(),
+      util::kHour);
+
+  // Take the whole infrastructure down.
+  world.net.detach(World::kKdcName);
+  world.net.detach(World::kNameServerName);
+
+  server::AppClient bob(world.net, world.clock, "bob");
+  auto result = bob.invoke_with_proxy("file-server", cap, "read", "/doc");
+  ASSERT_TRUE(result.is_ok()) << result.status();
+  EXPECT_EQ(util::to_string(result.value()), "contents");
+}
+
+}  // namespace
+}  // namespace rproxy

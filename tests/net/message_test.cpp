@@ -1,0 +1,58 @@
+#include "net/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rproxy::net {
+namespace {
+
+TEST(ErrorPayload, RoundTripsStatus) {
+  const util::Status original =
+      util::fail(util::ErrorCode::kExpired, "the ticket expired");
+  const ErrorPayload payload = ErrorPayload::from_status(original);
+  auto decoded =
+      wire::decode_from_bytes<ErrorPayload>(wire::encode_to_bytes(payload));
+  ASSERT_TRUE(decoded.is_ok());
+  const util::Status restored = decoded.value().to_status();
+  EXPECT_EQ(restored.code(), util::ErrorCode::kExpired);
+  EXPECT_EQ(restored.message(), "the ticket expired");
+}
+
+TEST(ErrorPayload, OkStatus) {
+  const ErrorPayload payload = ErrorPayload::from_status(util::Status::ok());
+  EXPECT_TRUE(payload.to_status().is_ok());
+}
+
+TEST(MakeErrorReply, SwapsEndpoints) {
+  Envelope req;
+  req.from = "client";
+  req.to = "server";
+  req.type = MsgType::kAppRequest;
+  const Envelope reply = make_error_reply(
+      req, util::fail(util::ErrorCode::kNotFound, "x"));
+  EXPECT_EQ(reply.from, "server");
+  EXPECT_EQ(reply.to, "client");
+  EXPECT_EQ(reply.type, MsgType::kError);
+  EXPECT_EQ(status_of(reply).code(), util::ErrorCode::kNotFound);
+}
+
+TEST(StatusOf, NonErrorEnvelopeIsOk) {
+  Envelope e;
+  e.type = MsgType::kAppReply;
+  EXPECT_TRUE(status_of(e).is_ok());
+}
+
+TEST(StatusOf, MalformedErrorPayload) {
+  Envelope e;
+  e.type = MsgType::kError;
+  e.payload = {0x01};  // truncated
+  EXPECT_EQ(status_of(e).code(), util::ErrorCode::kParseError);
+}
+
+TEST(MsgTypeNames, NewTypesNamed) {
+  EXPECT_EQ(msg_type_name(MsgType::kCashierRequest), "CashierRequest");
+  EXPECT_EQ(msg_type_name(MsgType::kRoleCreate), "RoleCreate");
+  EXPECT_EQ(msg_type_name(MsgType::kRoleLookupReply), "RoleLookupReply");
+}
+
+}  // namespace
+}  // namespace rproxy::net

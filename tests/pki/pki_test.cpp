@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "crypto/random.hpp"
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+class PkiTest : public ::testing::Test {
+ protected:
+  PkiTest() { world_.add_principal("alice"); }
+  World world_;
+};
+
+TEST_F(PkiTest, IdentityCertVerifies) {
+  const testing::Principal& alice = world_.principal("alice");
+  EXPECT_TRUE(pki::verify_identity_cert(alice.cert,
+                                        world_.name_server.root_key(),
+                                        world_.clock.now())
+                  .is_ok());
+}
+
+TEST_F(PkiTest, CertRejectsWrongRoot) {
+  const testing::Principal& alice = world_.principal("alice");
+  EXPECT_EQ(
+      pki::verify_identity_cert(alice.cert,
+                                crypto::SigningKeyPair::generate()
+                                    .public_key(),
+                                world_.clock.now())
+          .code(),
+      util::ErrorCode::kBadSignature);
+}
+
+TEST_F(PkiTest, CertExpires) {
+  const testing::Principal& alice = world_.principal("alice");
+  world_.clock.advance(9 * util::kHour);
+  EXPECT_EQ(pki::verify_identity_cert(alice.cert,
+                                      world_.name_server.root_key(),
+                                      world_.clock.now())
+                .code(),
+            util::ErrorCode::kExpired);
+}
+
+TEST_F(PkiTest, CertTamperedSubjectRejected) {
+  pki::IdentityCert cert = world_.principal("alice").cert;
+  cert.subject = "mallory";
+  EXPECT_EQ(pki::verify_identity_cert(cert, world_.name_server.root_key(),
+                                      world_.clock.now())
+                .code(),
+            util::ErrorCode::kBadSignature);
+}
+
+TEST_F(PkiTest, NetworkLookupReturnsVerifiedCert) {
+  auto cert = world_.lookup("bob", "alice");
+  ASSERT_TRUE(cert.is_ok()) << cert.status();
+  EXPECT_EQ(cert.value().subject, "alice");
+  EXPECT_TRUE(cert.value().public_key ==
+              world_.principal("alice").identity.public_key());
+}
+
+TEST_F(PkiTest, LookupUnknownSubjectFails) {
+  EXPECT_EQ(world_.lookup("bob", "ghost").code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST_F(PkiTest, RemovedKeyNoLongerServed) {
+  world_.name_server.remove("alice");
+  EXPECT_EQ(world_.lookup("bob", "alice").code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST_F(PkiTest, CertCodecRoundTrip) {
+  const pki::IdentityCert cert = world_.principal("alice").cert;
+  auto decoded =
+      wire::decode_from_bytes<pki::IdentityCert>(wire::encode_to_bytes(cert));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().subject, cert.subject);
+  EXPECT_TRUE(decoded.value().public_key == cert.public_key);
+  EXPECT_EQ(decoded.value().signature, cert.signature);
+}
+
+class PkAuthTest : public PkiTest {
+ protected:
+  util::Bytes challenge_ = crypto::random_bytes(32);
+};
+
+TEST_F(PkAuthTest, ProofVerifies) {
+  const testing::Principal& alice = world_.principal("alice");
+  const pki::PkAuthProof proof =
+      pki::pk_authenticate(alice.cert, alice.identity, challenge_,
+                           "file-server", world_.clock.now());
+  auto who = pki::verify_pk_auth(proof, world_.name_server.root_key(),
+                                 challenge_, "file-server",
+                                 world_.clock.now());
+  ASSERT_TRUE(who.is_ok());
+  EXPECT_EQ(who.value(), "alice");
+}
+
+TEST_F(PkAuthTest, ProofBoundToChallenge) {
+  const testing::Principal& alice = world_.principal("alice");
+  const pki::PkAuthProof proof =
+      pki::pk_authenticate(alice.cert, alice.identity, challenge_,
+                           "file-server", world_.clock.now());
+  const util::Bytes other = crypto::random_bytes(32);
+  EXPECT_EQ(pki::verify_pk_auth(proof, world_.name_server.root_key(), other,
+                                "file-server", world_.clock.now())
+                .code(),
+            util::ErrorCode::kBadSignature);
+}
+
+TEST_F(PkAuthTest, ProofBoundToServer) {
+  const testing::Principal& alice = world_.principal("alice");
+  const pki::PkAuthProof proof =
+      pki::pk_authenticate(alice.cert, alice.identity, challenge_,
+                           "file-server", world_.clock.now());
+  EXPECT_EQ(pki::verify_pk_auth(proof, world_.name_server.root_key(),
+                                challenge_, "other-server",
+                                world_.clock.now())
+                .code(),
+            util::ErrorCode::kBadSignature);
+}
+
+TEST_F(PkAuthTest, StaleProofRejected) {
+  const testing::Principal& alice = world_.principal("alice");
+  const pki::PkAuthProof proof =
+      pki::pk_authenticate(alice.cert, alice.identity, challenge_,
+                           "file-server", world_.clock.now());
+  world_.clock.advance(10 * util::kMinute);
+  EXPECT_EQ(pki::verify_pk_auth(proof, world_.name_server.root_key(),
+                                challenge_, "file-server",
+                                world_.clock.now())
+                .code(),
+            util::ErrorCode::kExpired);
+}
+
+TEST_F(PkAuthTest, ForeignKeyCannotImpersonate) {
+  // Mallory signs with her own key but presents alice's certificate.
+  const testing::Principal& alice = world_.principal("alice");
+  const crypto::SigningKeyPair mallory = crypto::SigningKeyPair::generate();
+  const pki::PkAuthProof proof = pki::pk_authenticate(
+      alice.cert, mallory, challenge_, "file-server", world_.clock.now());
+  EXPECT_EQ(pki::verify_pk_auth(proof, world_.name_server.root_key(),
+                                challenge_, "file-server",
+                                world_.clock.now())
+                .code(),
+            util::ErrorCode::kBadSignature);
+}
+
+}  // namespace
+}  // namespace rproxy

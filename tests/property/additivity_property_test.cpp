@@ -1,0 +1,162 @@
+// Property: restrictions are ADDITIVE (§2, §6.2).  For any chain of
+// cascaded proxies and any request, if a prefix of the chain denies the
+// request, every extension of the chain denies it too — extending a chain
+// can never widen what it permits.  Parameterized over PRNG seeds.
+#include <gtest/gtest.h>
+
+#include "core/cascade.hpp"
+#include "core/verifier.hpp"
+#include "crypto/random.hpp"
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using crypto::DeterministicRng;
+using testing::World;
+
+core::RestrictionSet random_link_restrictions(DeterministicRng& rng) {
+  core::RestrictionSet set;
+  if (rng.next_below(3) == 0) {
+    set.add(core::QuotaRestriction{"usd", rng.next_below(100)});
+  }
+  if (rng.next_below(3) == 0) {
+    std::vector<core::ObjectRights> rights;
+    if (rng.next_below(4) != 0) {
+      rights.push_back(core::ObjectRights{
+          "/" + std::to_string(rng.next_below(3)),
+          rng.next_below(2) == 0 ? std::vector<Operation>{"read"}
+                                 : std::vector<Operation>{}});
+    }
+    set.add(core::AuthorizedRestriction{std::move(rights)});
+  }
+  if (rng.next_below(4) == 0) {
+    set.add(core::IssuedForRestriction{
+        {rng.next_below(2) == 0 ? "file-server" : "other-server"}});
+  }
+  return set;
+}
+
+core::RequestContext random_context(DeterministicRng& rng,
+                                    util::TimePoint now) {
+  core::RequestContext ctx;
+  ctx.end_server = "file-server";
+  ctx.operation = rng.next_below(2) == 0 ? "read" : "write";
+  ctx.object = "/" + std::to_string(rng.next_below(3));
+  ctx.amounts = {{"usd", rng.next_below(120)}};
+  ctx.now = now;
+  ctx.grantor = "alice";
+  ctx.credential_expiry = now + util::kHour;
+  return ctx;
+}
+
+class AdditivityProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdditivityProperty, ExtensionNeverWidensPermissions) {
+  DeterministicRng rng(GetParam());
+  World world;
+  world.add_principal("alice");
+  world.add_principal("file-server");
+
+  core::ProxyVerifier::Config vc;
+  vc.server_name = "file-server";
+  vc.server_key = world.principal("file-server").krb_key;
+  vc.resolver = &world.resolver;
+  vc.pk_root = world.name_server.root_key();
+  const core::ProxyVerifier verifier(std::move(vc));
+
+  for (int trial = 0; trial < 10; ++trial) {
+    // Build a random chain of 1..5 links; evaluate the same random
+    // requests against every prefix.
+    core::Proxy proxy = core::grant_pk_proxy(
+        "alice", world.principal("alice").identity,
+        random_link_restrictions(rng), world.clock.now(), util::kHour);
+    std::vector<core::RestrictionSet> prefix_sets;
+    {
+      auto verified = verifier.verify_chain(proxy.chain, world.clock.now());
+      ASSERT_TRUE(verified.is_ok());
+      prefix_sets.push_back(verified.value().effective_restrictions);
+    }
+    const auto links = 1 + rng.next_below(4);
+    for (std::uint64_t i = 0; i < links; ++i) {
+      auto extended =
+          core::extend_bearer(proxy, random_link_restrictions(rng),
+                              world.clock.now(), util::kHour);
+      ASSERT_TRUE(extended.is_ok());
+      proxy = std::move(extended).value();
+      auto verified = verifier.verify_chain(proxy.chain, world.clock.now());
+      ASSERT_TRUE(verified.is_ok()) << verified.status();
+      prefix_sets.push_back(verified.value().effective_restrictions);
+    }
+
+    for (int req = 0; req < 20; ++req) {
+      const core::RequestContext base =
+          random_context(rng, world.clock.now());
+      bool denied_so_far = false;
+      for (std::size_t len = 0; len < prefix_sets.size(); ++len) {
+        core::RequestContext ctx = base;  // fresh copy per evaluation
+        const bool allowed = prefix_sets[len].evaluate(ctx).is_ok();
+        if (denied_so_far) {
+          EXPECT_FALSE(allowed)
+              << "chain extension WIDENED permissions at prefix " << len;
+        }
+        denied_so_far = denied_so_far || !allowed;
+      }
+    }
+  }
+}
+
+TEST_P(AdditivityProperty, EffectiveSetIsConcatenationOfLinks) {
+  DeterministicRng rng(GetParam());
+  World world;
+  world.add_principal("alice");
+  world.add_principal("file-server");
+
+  core::ProxyVerifier::Config vc;
+  vc.server_name = "file-server";
+  vc.server_key = world.principal("file-server").krb_key;
+  vc.resolver = &world.resolver;
+  vc.pk_root = world.name_server.root_key();
+  const core::ProxyVerifier verifier(std::move(vc));
+
+  core::RestrictionSet expected = random_link_restrictions(rng);
+  core::Proxy proxy =
+      core::grant_pk_proxy("alice", world.principal("alice").identity,
+                           expected, world.clock.now(), util::kHour);
+  for (int i = 0; i < 4; ++i) {
+    const core::RestrictionSet added = random_link_restrictions(rng);
+    expected = expected.merged(added);
+    auto extended = core::extend_bearer(proxy, added, world.clock.now(),
+                                        util::kHour);
+    ASSERT_TRUE(extended.is_ok());
+    proxy = std::move(extended).value();
+  }
+  auto verified = verifier.verify_chain(proxy.chain, world.clock.now());
+  ASSERT_TRUE(verified.is_ok());
+  EXPECT_EQ(verified.value().effective_restrictions, expected);
+}
+
+TEST_P(AdditivityProperty, MergedSetEvaluationEqualsConjunction) {
+  // evaluate(A merged B) == evaluate(A) && evaluate(B) for contexts
+  // without stateful restrictions (no accept-once in generated sets).
+  DeterministicRng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const core::RestrictionSet a = random_link_restrictions(rng);
+    const core::RestrictionSet b = random_link_restrictions(rng);
+    const core::RequestContext base = random_context(rng, 0);
+
+    core::RequestContext ctx_a = base;
+    core::RequestContext ctx_b = base;
+    core::RequestContext ctx_ab = base;
+    const bool allowed_a = a.evaluate(ctx_a).is_ok();
+    const bool allowed_b = b.evaluate(ctx_b).is_ok();
+    const bool allowed_ab = a.merged(b).evaluate(ctx_ab).is_ok();
+    EXPECT_EQ(allowed_ab, allowed_a && allowed_b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdditivityProperty,
+                         ::testing::Values(7, 11, 13, 17, 19, 23, 29, 31));
+
+}  // namespace
+}  // namespace rproxy

@@ -1,0 +1,158 @@
+// Property: accounting conserves value (§4).  Random mixes of transfers,
+// checks (valid, duplicate, overdrawn) and certifications never create or
+// destroy funds: on a single server totals are exactly constant; across
+// servers every payor debit is matched by a settlement credit.
+#include <gtest/gtest.h>
+
+#include "crypto/random.hpp"
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using accounting::AccountingServer;
+using crypto::DeterministicRng;
+using testing::World;
+
+class ConservationProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ConservationProperty, SingleServerTotalInvariant) {
+  DeterministicRng rng(GetParam());
+  World world;
+  world.add_principal("alice");
+  world.add_principal("bob");
+  world.add_principal("bank");
+
+  AccountingServer bank(world.accounting_config("bank"));
+  world.net.attach("bank", bank);
+  bank.open_account("alice-acct", "alice",
+                    accounting::Balances{{"usd", 1000}});
+  bank.open_account("bob-acct", "bob", accounting::Balances{{"usd", 500}});
+
+  auto alice = world.accounting_client("alice");
+  auto bob = world.accounting_client("bob");
+
+  const auto total = [&] {
+    return bank.account("alice-acct")->balances().balance("usd") +
+           bank.account("bob-acct")->balances().balance("usd");
+  };
+  const std::int64_t initial = total();
+
+  std::uint64_t next_ckno = 1;
+  for (int op = 0; op < 40; ++op) {
+    switch (rng.next_below(4)) {
+      case 0: {  // transfer (may fail on funds; either way conserves)
+        (void)alice.transfer("bank", "alice-acct", "bob-acct", "usd",
+                             rng.next_below(400));
+        break;
+      }
+      case 1: {  // reverse transfer
+        (void)bob.transfer("bank", "bob-acct", "alice-acct", "usd",
+                           rng.next_below(400));
+        break;
+      }
+      case 2: {  // check alice -> bob, sometimes duplicate number
+        const std::uint64_t ckno =
+            rng.next_below(4) == 0 && next_ckno > 1
+                ? rng.next_below(next_ckno)  // deliberate duplicate
+                : next_ckno++;
+        const accounting::Check check = accounting::write_check(
+            "alice", world.principal("alice").identity,
+            AccountId{"bank", "alice-acct"}, "bob", "usd",
+            rng.next_below(300), ckno, world.clock.now(), util::kHour);
+        (void)bob.endorse_and_deposit("bank", check, "bob-acct");
+        break;
+      }
+      default: {  // certification hold (no value moves, only availability)
+        (void)alice.certify("bank", "alice-acct", "bob", "usd",
+                            rng.next_below(200), 1'000'000 + next_ckno++,
+                            "bob");
+        break;
+      }
+    }
+    ASSERT_EQ(total(), initial) << "op " << op << " violated conservation";
+    ASSERT_GE(bank.account("alice-acct")->balances().balance("usd"), 0);
+    ASSERT_GE(bank.account("bob-acct")->balances().balance("usd"), 0);
+  }
+}
+
+TEST_P(ConservationProperty, CrossServerFlowsMatch) {
+  DeterministicRng rng(GetParam());
+  World world;
+  world.add_principal("client");
+  world.add_principal("merchant");
+  world.add_principal("bankA");
+  world.add_principal("bankB");
+
+  AccountingServer bankA(world.accounting_config("bankA"));
+  AccountingServer bankB(world.accounting_config("bankB"));
+  world.net.attach("bankA", bankA);
+  world.net.attach("bankB", bankB);
+  bankB.open_account("client-acct", "client",
+                     accounting::Balances{{"usd", 1000}});
+  bankA.open_account("merchant-acct", "merchant");
+
+  auto merchant = world.accounting_client("merchant");
+
+  std::int64_t expected_cleared = 0;
+  std::uint64_t ckno = 1;
+  for (int op = 0; op < 25; ++op) {
+    const std::uint64_t amount = rng.next_below(150);
+    const accounting::Check check = accounting::write_check(
+        "client", world.principal("client").identity,
+        AccountId{"bankB", "client-acct"}, "merchant", "usd", amount,
+        ckno++, world.clock.now(), util::kHour);
+    auto result =
+        merchant.endorse_and_deposit("bankA", check, "merchant-acct");
+    if (result.is_ok()) {
+      expected_cleared += static_cast<std::int64_t>(amount);
+    }
+
+    // Invariants after every operation:
+    //  * client's losses equal total cleared;
+    //  * merchant's gains equal total cleared;
+    //  * bankA's settlement asset at bankB equals total cleared;
+    //  * nothing is left provisionally credited (no uncollected residue).
+    ASSERT_EQ(bankB.account("client-acct")->balances().balance("usd"),
+              1000 - expected_cleared);
+    ASSERT_EQ(bankA.account("merchant-acct")->balances().balance("usd"),
+              expected_cleared);
+    const accounting::Account* peer = bankB.account("peer:bankA");
+    ASSERT_EQ(peer == nullptr ? 0 : peer->balances().balance("usd"),
+              expected_cleared);
+    ASSERT_EQ(bankA.uncollected_total(), 0);
+  }
+  // With 25 draws of up to 150 against 1000, some checks must have
+  // bounced; make sure the property covered both outcomes.
+  EXPECT_GT(bankA.checks_bounced() + bankA.checks_cleared(), 0u);
+}
+
+TEST_P(ConservationProperty, HoldsNeverExceedBalances) {
+  DeterministicRng rng(GetParam());
+  World world;
+  world.add_principal("client");
+  world.add_principal("bank");
+  AccountingServer bank(world.accounting_config("bank"));
+  world.net.attach("bank", bank);
+  bank.open_account("acct", "client", accounting::Balances{{"usd", 300}});
+  auto client = world.accounting_client("client");
+
+  for (int i = 0; i < 30; ++i) {
+    (void)client.certify("bank", "acct", "payee", "usd",
+                         rng.next_below(200), 5000 + i, "payee",
+                         world.clock.now() +
+                             static_cast<util::Duration>(
+                                 rng.next_below(30)) * util::kMinute);
+    if (rng.next_below(3) == 0) world.clock.advance(10 * util::kMinute);
+    const accounting::Account* acct = bank.account("acct");
+    ASSERT_LE(acct->held("usd"), acct->balances().balance("usd"));
+    ASSERT_GE(acct->available("usd"), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConservationProperty,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace rproxy

@@ -1,0 +1,52 @@
+#include "server/audit_log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rproxy::server {
+namespace {
+
+AuditRecord record(bool allowed, const Operation& op = "read") {
+  AuditRecord r;
+  r.time = 1000;
+  r.operation = op;
+  r.object = "/doc";
+  r.authority = "alice";
+  r.allowed = allowed;
+  r.detail = allowed ? "ok" : "denied";
+  return r;
+}
+
+TEST(AuditLog, CountsOutcomes) {
+  AuditLog log;
+  log.append(record(true));
+  log.append(record(false));
+  log.append(record(true));
+  EXPECT_EQ(log.records().size(), 3u);
+  EXPECT_EQ(log.allowed_count(), 2u);
+  EXPECT_EQ(log.denied_count(), 1u);
+}
+
+TEST(AuditLog, PreservesOrderAndFields) {
+  AuditLog log;
+  AuditRecord r = record(true, "write");
+  r.identities = {"bob"};
+  r.via = {"intermediate"};
+  log.append(r);
+  const AuditRecord& stored = log.records().front();
+  EXPECT_EQ(stored.operation, "write");
+  EXPECT_EQ(stored.identities, std::vector<PrincipalName>{"bob"});
+  EXPECT_EQ(stored.via, std::vector<PrincipalName>{"intermediate"});
+  EXPECT_EQ(stored.authority, "alice");
+}
+
+TEST(AuditLog, ClearResets) {
+  AuditLog log;
+  log.append(record(true));
+  log.clear();
+  EXPECT_TRUE(log.records().empty());
+  EXPECT_EQ(log.allowed_count(), 0u);
+  EXPECT_EQ(log.denied_count(), 0u);
+}
+
+}  // namespace
+}  // namespace rproxy::server

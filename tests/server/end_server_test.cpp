@@ -1,0 +1,245 @@
+// End-server framework tests: challenges, credential processing, ACL
+// dispatch, identity access, group assertions, concurrence, audit.
+#include "server/end_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+class EndServerTest : public ::testing::Test {
+ protected:
+  EndServerTest() {
+    world_.add_principal("alice");
+    world_.add_principal("bob");
+    world_.add_principal("file-server");
+    server_ = std::make_unique<server::FileServer>(
+        world_.end_server_config("file-server"));
+    server_->put_file("/doc", "contents");
+    world_.net.attach("file-server", *server_);
+  }
+
+  core::Proxy alice_capability() {
+    return authz::make_capability_pk(
+        "alice", world_.principal("alice").identity, "file-server",
+        {core::ObjectRights{"/doc", {"read"}}}, world_.clock.now(),
+        util::kHour);
+  }
+
+  World world_;
+  std::unique_ptr<server::FileServer> server_;
+};
+
+TEST_F(EndServerTest, ChallengeIsSingleUse) {
+  server_->acl().add(authz::AclEntry{{"alice"}, {}, {}, {}});
+  const core::Proxy cap = alice_capability();
+  server::AppClient bob(world_.net, world_.clock, "bob");
+
+  auto challenge = bob.get_challenge("file-server");
+  ASSERT_TRUE(challenge.is_ok());
+
+  const auto build = [&](server::AppRequestPayload& req) {
+    req.operation = "read";
+    req.object = "/doc";
+    req.challenge_id = challenge.value().id;
+    core::PresentedCredential cred;
+    cred.chain = cap.chain;
+    cred.proof =
+        core::prove_bearer(cap, challenge.value().nonce, "file-server",
+                           world_.clock.now(), req.digest());
+    req.credentials.push_back(cred);
+  };
+
+  server::AppRequestPayload req;
+  build(req);
+  auto first = world_.net.rpc("bob", "file-server",
+                              net::MsgType::kAppRequest,
+                              wire::encode_to_bytes(req));
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_TRUE(net::status_of(first.value()).is_ok());
+
+  // Replaying the exact same request (same challenge) must fail.
+  auto second = world_.net.rpc("bob", "file-server",
+                               net::MsgType::kAppRequest,
+                               wire::encode_to_bytes(req));
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(net::status_of(second.value()).code(),
+            util::ErrorCode::kProtocolError);
+}
+
+TEST_F(EndServerTest, ExpiredChallengeRejected) {
+  server_->acl().add(authz::AclEntry{{"alice"}, {}, {}, {}});
+  const core::Proxy cap = alice_capability();
+  server::AppClient bob(world_.net, world_.clock, "bob");
+  auto challenge = bob.get_challenge("file-server");
+  ASSERT_TRUE(challenge.is_ok());
+  world_.clock.advance(util::kHour);
+
+  server::AppRequestPayload req;
+  req.operation = "read";
+  req.object = "/doc";
+  req.challenge_id = challenge.value().id;
+  core::PresentedCredential cred;
+  cred.chain = cap.chain;
+  cred.proof = core::prove_bearer(cap, challenge.value().nonce,
+                                  "file-server", world_.clock.now(),
+                                  req.digest());
+  req.credentials.push_back(cred);
+
+  auto reply = world_.net.rpc("bob", "file-server",
+                              net::MsgType::kAppRequest,
+                              wire::encode_to_bytes(req));
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(net::status_of(reply.value()).code(), util::ErrorCode::kExpired);
+}
+
+TEST_F(EndServerTest, IdentityOnlyAccessForLocalUsers) {
+  // §3.5: "local users might appear directly in the access-control-list".
+  server_->acl().add(authz::AclEntry{{"bob"}, {"read"}, {"/doc"}, {}});
+  server::AppClient bob(world_.net, world_.clock, "bob");
+  const testing::Principal& bob_p = world_.principal("bob");
+
+  auto result = bob.invoke(
+      "file-server", "read", "/doc", {}, {},
+      [&](util::BytesView challenge, util::BytesView rdigest,
+          server::AppRequestPayload& req) {
+        req.identity = core::prove_delegate_pk(bob_p.cert, bob_p.identity,
+                                               challenge, "file-server",
+                                               world_.clock.now(), rdigest);
+      });
+  ASSERT_TRUE(result.is_ok()) << result.status();
+  EXPECT_EQ(util::to_string(result.value()), "contents");
+}
+
+TEST_F(EndServerTest, NoCredentialsDenied) {
+  server::AppClient bob(world_.net, world_.clock, "bob");
+  auto result = bob.invoke("file-server", "read", "/doc", {}, {},
+                           [](util::BytesView, util::BytesView,
+                              server::AppRequestPayload&) {});
+  EXPECT_EQ(result.code(), util::ErrorCode::kPermissionDenied);
+}
+
+TEST_F(EndServerTest, DelegateProxyRequiresNamedGrantee) {
+  // alice grants a delegate proxy naming bob; carol cannot use it even
+  // with the proxy key.
+  world_.add_principal("carol");
+  server_->acl().add(authz::AclEntry{{"alice"}, {}, {}, {}});
+  core::RestrictionSet set;
+  set.add(core::GranteeRestriction{{"bob"}, 1});
+  set.add(core::IssuedForRestriction{{"file-server"}});
+  const core::Proxy proxy =
+      core::grant_pk_proxy("alice", world_.principal("alice").identity, set,
+                           world_.clock.now(), util::kHour);
+
+  const auto present_as = [&](const PrincipalName& who) {
+    const testing::Principal& p = world_.principal(who);
+    server::AppClient client(world_.net, world_.clock, who);
+    return client.invoke(
+        "file-server", "read", "/doc", {}, {},
+        [&](util::BytesView challenge, util::BytesView rdigest,
+            server::AppRequestPayload& req) {
+          core::PresentedCredential cred;
+          cred.chain = proxy.chain;
+          cred.proof = core::prove_delegate_pk(p.cert, p.identity, challenge,
+                                               "file-server",
+                                               world_.clock.now(), rdigest);
+          req.credentials.push_back(cred);
+        });
+  };
+
+  EXPECT_TRUE(present_as("bob").is_ok());
+  EXPECT_EQ(present_as("carol").code(), util::ErrorCode::kNotGrantee);
+}
+
+TEST_F(EndServerTest, ConcurrenceViaTwoProxies) {
+  // §3.5: compound entry requires proxies from two grantors.
+  world_.add_principal("carol");
+  server_->acl().add(
+      authz::AclEntry{{"alice", "carol"}, {"read"}, {"/doc"}, {}});
+
+  const core::Proxy from_alice = alice_capability();
+  const core::Proxy from_carol = authz::make_capability_pk(
+      "carol", world_.principal("carol").identity, "file-server",
+      {core::ObjectRights{"/doc", {"read"}}}, world_.clock.now(),
+      util::kHour);
+
+  server::AppClient bob(world_.net, world_.clock, "bob");
+  const auto with = [&](std::vector<const core::Proxy*> proxies) {
+    return bob.invoke(
+        "file-server", "read", "/doc", {}, {},
+        [&](util::BytesView challenge, util::BytesView rdigest,
+            server::AppRequestPayload& req) {
+          for (const core::Proxy* p : proxies) {
+            core::PresentedCredential cred;
+            cred.chain = p->chain;
+            cred.proof = core::prove_bearer(*p, challenge, "file-server",
+                                            world_.clock.now(), rdigest);
+            req.credentials.push_back(cred);
+          }
+        });
+  };
+
+  EXPECT_EQ(with({&from_alice}).code(), util::ErrorCode::kPermissionDenied);
+  EXPECT_TRUE(with({&from_alice, &from_carol}).is_ok());
+}
+
+TEST_F(EndServerTest, AclEntryRestrictionsEnforcedLocally) {
+  // §3.5: entries carry restrictions enforced on use.
+  core::RestrictionSet entry_rs;
+  entry_rs.add(core::QuotaRestriction{"pages", 2});
+  server_->acl().add(authz::AclEntry{{"alice"}, {}, {}, entry_rs});
+  const core::Proxy cap = authz::make_capability_pk(
+      "alice", world_.principal("alice").identity, "file-server",
+      {core::ObjectRights{"/doc", {"read"}}}, world_.clock.now(),
+      util::kHour);
+  server::AppClient bob(world_.net, world_.clock, "bob");
+  EXPECT_TRUE(bob.invoke_with_proxy("file-server", cap, "read", "/doc",
+                                    {{"pages", 2}})
+                  .is_ok());
+  EXPECT_EQ(bob.invoke_with_proxy("file-server", cap, "read", "/doc",
+                                  {{"pages", 3}})
+                .code(),
+            util::ErrorCode::kRestrictionViolated);
+}
+
+TEST_F(EndServerTest, AuditLogRecordsOutcomes) {
+  server_->acl().add(authz::AclEntry{{"alice"}, {}, {}, {}});
+  const core::Proxy cap = alice_capability();
+  server::AppClient bob(world_.net, world_.clock, "bob");
+  ASSERT_TRUE(
+      bob.invoke_with_proxy("file-server", cap, "read", "/doc").is_ok());
+  ASSERT_FALSE(
+      bob.invoke_with_proxy("file-server", cap, "read", "/secret").is_ok());
+
+  EXPECT_EQ(server_->audit().allowed_count(), 1u);
+  EXPECT_EQ(server_->audit().denied_count(), 1u);
+  const server::AuditRecord& ok = server_->audit().records()[0];
+  EXPECT_EQ(ok.operation, "read");
+  EXPECT_EQ(ok.object, "/doc");
+  EXPECT_EQ(ok.authority, "alice");
+  EXPECT_TRUE(ok.allowed);
+}
+
+TEST_F(EndServerTest, MalformedRequestRejected) {
+  auto reply = world_.net.rpc("bob", "file-server",
+                              net::MsgType::kAppRequest,
+                              util::Bytes{1, 2, 3});
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(net::status_of(reply.value()).code(),
+            util::ErrorCode::kParseError);
+}
+
+TEST_F(EndServerTest, UnknownMessageTypeRejected) {
+  auto reply = world_.net.rpc("bob", "file-server",
+                              net::MsgType::kAsRequest, {});
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(net::status_of(reply.value()).code(),
+            util::ErrorCode::kProtocolError);
+}
+
+}  // namespace
+}  // namespace rproxy

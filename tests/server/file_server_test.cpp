@@ -1,0 +1,85 @@
+#include "server/file_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+class FileServerTest : public ::testing::Test {
+ protected:
+  FileServerTest() {
+    world_.add_principal("alice");
+    world_.add_principal("file-server");
+    server_ = std::make_unique<server::FileServer>(
+        world_.end_server_config("file-server"));
+    server_->acl().add(authz::AclEntry{{"alice"}, {}, {}, {}});
+    server_->put_file("/a", "alpha");
+    world_.net.attach("file-server", *server_);
+    cap_ = authz::make_capability_pk(
+        "alice", world_.principal("alice").identity, "file-server",
+        {core::ObjectRights{"*", {}}}, world_.clock.now(), util::kHour);
+  }
+
+  util::Result<util::Bytes> invoke(const Operation& op,
+                                   const ObjectName& object,
+                                   util::Bytes args = {}) {
+    server::AppClient client(world_.net, world_.clock, "alice");
+    return client.invoke_with_proxy("file-server", cap_, op, object, {},
+                                    std::move(args));
+  }
+
+  World world_;
+  std::unique_ptr<server::FileServer> server_;
+  core::Proxy cap_;
+};
+
+TEST_F(FileServerTest, Read) {
+  auto result = invoke("read", "/a");
+  ASSERT_TRUE(result.is_ok()) << result.status();
+  EXPECT_EQ(util::to_string(result.value()), "alpha");
+}
+
+TEST_F(FileServerTest, ReadMissingFileFails) {
+  EXPECT_EQ(invoke("read", "/missing").code(), util::ErrorCode::kNotFound);
+}
+
+TEST_F(FileServerTest, WriteCreatesAndOverwrites) {
+  ASSERT_TRUE(
+      invoke("write", "/b", util::to_bytes(std::string_view("beta")))
+          .is_ok());
+  EXPECT_EQ(server_->file_contents("/b").value(), "beta");
+  ASSERT_TRUE(
+      invoke("write", "/b", util::to_bytes(std::string_view("BETA")))
+          .is_ok());
+  EXPECT_EQ(server_->file_contents("/b").value(), "BETA");
+}
+
+TEST_F(FileServerTest, Delete) {
+  ASSERT_TRUE(invoke("delete", "/a").is_ok());
+  EXPECT_FALSE(server_->has_file("/a"));
+  EXPECT_EQ(invoke("delete", "/a").code(), util::ErrorCode::kNotFound);
+}
+
+TEST_F(FileServerTest, ListReturnsCount) {
+  server_->put_file("/c", "x");
+  auto result = invoke("list", "");
+  ASSERT_TRUE(result.is_ok());
+  wire::Decoder dec(result.value());
+  EXPECT_EQ(dec.u32(), 2u);  // /a and /c
+}
+
+TEST_F(FileServerTest, UnknownOperationRejected) {
+  EXPECT_EQ(invoke("chmod", "/a").code(), util::ErrorCode::kProtocolError);
+}
+
+TEST_F(FileServerTest, FailedPerformIsAudited) {
+  ASSERT_FALSE(invoke("read", "/missing").is_ok());
+  EXPECT_EQ(server_->audit().denied_count(), 1u);
+}
+
+}  // namespace
+}  // namespace rproxy

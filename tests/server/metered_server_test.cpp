@@ -1,0 +1,141 @@
+// MeteredServer: the §4 pay-per-operation flow as a reusable server.
+#include "server/metered_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+class MeteredServerTest : public ::testing::Test {
+ protected:
+  MeteredServerTest() {
+    world_.add_principal("client");
+    world_.add_principal("compute");
+    world_.add_principal("bank");
+
+    bank_ = std::make_unique<accounting::AccountingServer>(
+        world_.accounting_config("bank"));
+    world_.net.attach("bank", *bank_);
+    bank_->open_account("client-acct", "client",
+                        accounting::Balances{{"usd", 100}});
+    bank_->open_account("compute-revenue", "compute");
+
+    server_accounting_ = std::make_unique<accounting::AccountingClient>(
+        world_.accounting_client("compute"));
+
+    server::MeteredServer::MeteredConfig config;
+    config.base = world_.end_server_config("compute");
+    config.prices["compute"] = {"usd", 10};
+    config.bank = "bank";
+    config.collect_account = "compute-revenue";
+    config.accounting_client = server_accounting_.get();
+    server_ = std::make_unique<server::MeteredComputeServer>(config);
+    server_->acl().add(authz::AclEntry{{"client"}, {}, {}, {}});
+    world_.net.attach("compute", *server_);
+  }
+
+  /// Runs one paid compute with a (certified) check for `amount`.
+  util::Result<util::Bytes> paid_compute(std::uint64_t amount,
+                                         std::uint64_t ckno,
+                                         bool certify = true) {
+    const testing::Principal& client = world_.principal("client");
+    server::PaymentEnvelope payment;
+    payment.check = accounting::write_check(
+        "client", client.identity, AccountId{"bank", "client-acct"},
+        "compute", "usd", amount, ckno, world_.clock.now(), util::kHour);
+    if (certify) {
+      auto client_acct = world_.accounting_client("client");
+      auto certification = client_acct.certify(
+          "bank", "client-acct", "compute", "usd", amount, ckno, "compute");
+      if (!certification.is_ok()) return certification.status();
+      payment.certification = certification.value().certification;
+    }
+    payment.inner_args = util::to_bytes(std::string_view("21*2"));
+
+    server::AppClient app(world_.net, world_.clock, "client");
+    return app.invoke(
+        "compute", "compute", "job", {},
+        wire::encode_to_bytes(payment),
+        [&](util::BytesView challenge, util::BytesView rdigest,
+            server::AppRequestPayload& req) {
+          req.identity = core::prove_delegate_pk(client.cert,
+                                                 client.identity, challenge,
+                                                 "compute",
+                                                 world_.clock.now(),
+                                                 rdigest);
+        });
+  }
+
+  World world_;
+  std::unique_ptr<accounting::AccountingServer> bank_;
+  std::unique_ptr<accounting::AccountingClient> server_accounting_;
+  std::unique_ptr<server::MeteredComputeServer> server_;
+};
+
+TEST_F(MeteredServerTest, PaidOperationPerformsAndBanks) {
+  auto result = paid_compute(10, 1);
+  ASSERT_TRUE(result.is_ok()) << result.status();
+  EXPECT_EQ(util::to_string(result.value()), "computed:21*2");
+  EXPECT_EQ(server_->payments_banked(), 1u);
+  EXPECT_EQ(bank_->account("compute-revenue")->balances().balance("usd"),
+            10);
+  EXPECT_EQ(bank_->account("client-acct")->balances().balance("usd"), 90);
+}
+
+TEST_F(MeteredServerTest, MissingPaymentRejected) {
+  const testing::Principal& client = world_.principal("client");
+  server::AppClient app(world_.net, world_.clock, "client");
+  auto result = app.invoke(
+      "compute", "compute", "job", {},
+      util::to_bytes(std::string_view("21*2")),  // raw args, no payment
+      [&](util::BytesView challenge, util::BytesView rdigest,
+          server::AppRequestPayload& req) {
+        req.identity = core::prove_delegate_pk(client.cert, client.identity,
+                                               challenge, "compute",
+                                               world_.clock.now(), rdigest);
+      });
+  EXPECT_EQ(result.code(), util::ErrorCode::kInsufficientFunds);
+  EXPECT_EQ(server_->payments_rejected(), 1u);
+}
+
+TEST_F(MeteredServerTest, UnderpaymentRejected) {
+  EXPECT_EQ(paid_compute(5, 2).code(), util::ErrorCode::kInsufficientFunds);
+  // Nothing was performed or banked; the hold from certification remains
+  // until expiry but no funds moved.
+  EXPECT_EQ(bank_->account("compute-revenue")->balances().balance("usd"),
+            0);
+}
+
+TEST_F(MeteredServerTest, UncertifiedCheckRejectedWhenRequired) {
+  EXPECT_EQ(paid_compute(10, 3, /*certify=*/false).code(),
+            util::ErrorCode::kInsufficientFunds);
+}
+
+TEST_F(MeteredServerTest, ReusedCheckNumberFailsAtCertification) {
+  ASSERT_TRUE(paid_compute(10, 4).is_ok());
+  // Same check number again: the drawee refuses to certify a duplicate.
+  EXPECT_EQ(paid_compute(10, 4).code(), util::ErrorCode::kReplay);
+  EXPECT_EQ(server_->payments_banked(), 1u);
+}
+
+TEST_F(MeteredServerTest, FreeOperationNeedsNoPayment) {
+  const testing::Principal& client = world_.principal("client");
+  server::AppClient app(world_.net, world_.clock, "client");
+  auto result = app.invoke(
+      "compute", "ping", "job", {}, util::to_bytes(std::string_view("hi")),
+      [&](util::BytesView challenge, util::BytesView rdigest,
+          server::AppRequestPayload& req) {
+        req.identity = core::prove_delegate_pk(client.cert, client.identity,
+                                               challenge, "compute",
+                                               world_.clock.now(), rdigest);
+      });
+  ASSERT_TRUE(result.is_ok()) << result.status();
+  EXPECT_EQ(util::to_string(result.value()), "computed:hi");
+}
+
+}  // namespace
+}  // namespace rproxy

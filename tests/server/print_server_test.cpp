@@ -1,0 +1,114 @@
+#include "server/print_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+class PrintServerTest : public ::testing::Test {
+ protected:
+  PrintServerTest() {
+    world_.add_principal("alice");
+    world_.add_principal("print-server");
+    server_ = std::make_unique<server::PrintServer>(
+        world_.end_server_config("print-server"));
+    server_->acl().add(authz::AclEntry{{"alice"}, {}, {}, {}});
+    world_.net.attach("print-server", *server_);
+  }
+
+  core::Proxy capability(std::uint64_t page_quota) {
+    core::RestrictionSet set;
+    set.add(core::AuthorizedRestriction{
+        {core::ObjectRights{"queue-a", {"print"}}}});
+    set.add(core::IssuedForRestriction{{"print-server"}});
+    set.add(core::QuotaRestriction{
+        std::string(server::kPagesCurrency), page_quota});
+    return core::grant_pk_proxy("alice", world_.principal("alice").identity,
+                                std::move(set), world_.clock.now(),
+                                util::kHour);
+  }
+
+  util::Result<util::Bytes> print(const core::Proxy& proxy,
+                                  std::uint64_t pages) {
+    server::AppClient client(world_.net, world_.clock, "alice");
+    return client.invoke_with_proxy(
+        "print-server", proxy, "print", "queue-a",
+        {{std::string(server::kPagesCurrency), pages}},
+        util::to_bytes(std::string_view("job body")));
+  }
+
+  World world_;
+  std::unique_ptr<server::PrintServer> server_;
+};
+
+TEST_F(PrintServerTest, PrintWithinQuota) {
+  auto result = print(capability(10), 5);
+  ASSERT_TRUE(result.is_ok()) << result.status();
+  ASSERT_EQ(server_->jobs().size(), 1u);
+  EXPECT_EQ(server_->jobs()[0].pages, 5u);
+  EXPECT_EQ(server_->jobs()[0].queue, "queue-a");
+  EXPECT_EQ(server_->jobs()[0].authority, "alice");
+  EXPECT_EQ(server_->pages_printed(), 5u);
+}
+
+TEST_F(PrintServerTest, QuotaExceededRejected) {
+  EXPECT_EQ(print(capability(10), 11).code(),
+            util::ErrorCode::kRestrictionViolated);
+  EXPECT_TRUE(server_->jobs().empty());
+}
+
+TEST_F(PrintServerTest, PageCountRequired) {
+  const core::Proxy proxy = capability(10);
+  server::AppClient client(world_.net, world_.clock, "alice");
+  EXPECT_EQ(client
+                .invoke_with_proxy("print-server", proxy, "print", "queue-a",
+                                   {},
+                                   util::to_bytes(std::string_view("body")))
+                .code(),
+            util::ErrorCode::kProtocolError);
+}
+
+TEST_F(PrintServerTest, WrongQueueRejected) {
+  const core::Proxy proxy = capability(10);
+  server::AppClient client(world_.net, world_.clock, "alice");
+  EXPECT_EQ(client
+                .invoke_with_proxy("print-server", proxy, "print", "queue-b",
+                                   {{std::string(server::kPagesCurrency), 1}},
+                                   util::to_bytes(std::string_view("body")))
+                .code(),
+            util::ErrorCode::kRestrictionViolated);
+}
+
+TEST_F(PrintServerTest, JobIdsIncrement) {
+  ASSERT_TRUE(print(capability(10), 1).is_ok());
+  auto second = print(capability(10), 1);
+  ASSERT_TRUE(second.is_ok());
+  wire::Decoder dec(second.value());
+  EXPECT_EQ(dec.u64(), 2u);
+}
+
+TEST_F(PrintServerTest, LimitRestrictionScopesQuotaToPrintServer) {
+  // §7.8: a quota wrapped in limit-restriction for the print server is
+  // ignored elsewhere but enforced here.
+  core::RestrictionSet set;
+  set.add(core::AuthorizedRestriction{
+      {core::ObjectRights{"queue-a", {"print"}}}});
+  core::LimitRestriction limit;
+  limit.servers = {"print-server"};
+  limit.inner = {core::Restriction{
+      core::QuotaRestriction{std::string(server::kPagesCurrency), 3}}};
+  set.add(limit);
+  const core::Proxy proxy =
+      core::grant_pk_proxy("alice", world_.principal("alice").identity,
+                           std::move(set), world_.clock.now(), util::kHour);
+
+  EXPECT_TRUE(print(proxy, 3).is_ok());
+  EXPECT_EQ(print(proxy, 4).code(), util::ErrorCode::kRestrictionViolated);
+}
+
+}  // namespace
+}  // namespace rproxy

@@ -1,0 +1,141 @@
+// Shared simulated deployment for tests and benches.
+//
+// Builds a complete world: simulated clock and network, a KDC, a public-key
+// name server, and principals registered in both realizations.  Tests grab
+// what they need; everything is deterministic except key material.
+#pragma once
+
+#include <memory>
+
+#include "accounting/clearing.hpp"
+#include "authz/authorization_server.hpp"
+#include "authz/capability.hpp"
+#include "authz/group_server.hpp"
+#include "baseline/dssa_roles.hpp"
+#include "baseline/plain_capability.hpp"
+#include "baseline/prepaid_bank.hpp"
+#include "baseline/pull_authorization.hpp"
+#include "baseline/sollins.hpp"
+#include "core/cascade.hpp"
+#include "pki/name_server.hpp"
+#include "server/app_client.hpp"
+#include "server/file_server.hpp"
+#include "server/print_server.hpp"
+
+namespace rproxy::testing {
+
+/// KeyResolver backed by the world's name server registry.
+class NameServerResolver final : public core::KeyResolver {
+ public:
+  explicit NameServerResolver(const pki::NameServer& ns) : ns_(&ns) {}
+  util::Result<crypto::VerifyKey> resolve(
+      const PrincipalName& name) const override {
+    return ns_->key_of(name);
+  }
+
+ private:
+  const pki::NameServer* ns_;
+};
+
+struct Principal {
+  PrincipalName name;
+  crypto::SymmetricKey krb_key;       ///< long-term key shared with the KDC
+  crypto::SigningKeyPair identity;    ///< public-key identity
+  pki::IdentityCert cert;             ///< name-server-signed binding
+};
+
+class World {
+ public:
+  static constexpr const char* kKdcName = "kdc";
+  static constexpr const char* kNameServerName = "name-server";
+
+  World()
+      : clock(),
+        net(clock),
+        name_server(kNameServerName, clock),
+        resolver(name_server) {
+    kdc::PrincipalDb db;
+    db.register_with_password(kKdcName, "kdc-master-key");
+    kdc_server = std::make_unique<kdc::KdcServer>(kKdcName, std::move(db),
+                                                  clock);
+    net.attach(kKdcName, *kdc_server);
+    net.attach(kNameServerName, name_server);
+  }
+
+  /// Registers a principal in both realizations and returns its secrets.
+  Principal& add_principal(const PrincipalName& name) {
+    Principal p;
+    p.name = name;
+    p.krb_key = kdc_server->db().register_with_password(name, name + "-pw");
+    p.identity = crypto::SigningKeyPair::generate();
+    name_server.register_key(name, p.identity.public_key());
+    p.cert = name_server.issue_cert(name).value();
+    principals[name] = std::move(p);
+    return principals[name];
+  }
+
+  [[nodiscard]] Principal& principal(const PrincipalName& name) {
+    return principals.at(name);
+  }
+
+  /// A KDC client driver for a registered principal.
+  [[nodiscard]] kdc::KdcClient kdc_client(const PrincipalName& name) {
+    return kdc::KdcClient(net, clock, name, principals.at(name).krb_key,
+                          kKdcName);
+  }
+
+  /// Fresh identity certificate (e.g. after advancing the clock).
+  [[nodiscard]] pki::IdentityCert fresh_cert(const PrincipalName& name) {
+    return name_server.issue_cert(name).value();
+  }
+
+  /// End-server verifier/config accepting both realizations.
+  [[nodiscard]] server::EndServer::Config end_server_config(
+      const PrincipalName& name) {
+    server::EndServer::Config config;
+    config.name = name;
+    config.server_key = principals.at(name).krb_key;
+    config.resolver = &resolver;
+    config.pk_root = name_server.root_key();
+    config.clock = &clock;
+    return config;
+  }
+
+  /// Accounting-server config (public-key realization).
+  [[nodiscard]] accounting::AccountingServer::Config accounting_config(
+      const PrincipalName& name) {
+    accounting::AccountingServer::Config config;
+    config.name = name;
+    config.clock = &clock;
+    config.net = &net;
+    config.resolver = &resolver;
+    config.pk_root = name_server.root_key();
+    config.identity_key = principals.at(name).identity;
+    config.identity_cert = principals.at(name).cert;
+    return config;
+  }
+
+  /// Accounting client for a principal.
+  [[nodiscard]] accounting::AccountingClient accounting_client(
+      const PrincipalName& name) {
+    const Principal& p = principals.at(name);
+    return accounting::AccountingClient(net, clock, name, p.cert,
+                                        p.identity);
+  }
+
+  util::SimClock clock;
+  net::SimNet net;
+  pki::NameServer name_server;
+  NameServerResolver resolver;
+  std::unique_ptr<kdc::KdcServer> kdc_server;
+  std::map<PrincipalName, Principal> principals;
+
+  /// Fetches a signed identity certificate over the network.
+  [[nodiscard]] util::Result<pki::IdentityCert> lookup(
+      const PrincipalName& requester, const PrincipalName& subject) {
+    return pki::lookup_identity(net, requester, kNameServerName,
+                                name_server.root_key(), subject, clock);
+  }
+};
+
+}  // namespace rproxy::testing

@@ -1,0 +1,68 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rproxy::util {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes b = {0x00, 0x01, 0xde, 0xad, 0xbe, 0xef, 0xff};
+  EXPECT_EQ(to_hex(b), "0001deadbeefff");
+  EXPECT_EQ(from_hex("0001deadbeefff"), b);
+  EXPECT_EQ(from_hex("0001DEADBEEFFF"), b);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, FromHexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, FromHexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+}
+
+TEST(Bytes, StringRoundTrip) {
+  const std::string s = "hello\0world";  // embedded NUL cut by literal; use explicit
+  const std::string with_nul("a\0b", 3);
+  EXPECT_EQ(to_string(to_bytes(with_nul)), with_nul);
+  EXPECT_EQ(to_string(to_bytes(s)), s);
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a = {1, 2};
+  const Bytes b = {};
+  const Bytes c = {3};
+  EXPECT_EQ(concat({a, b, c}), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(concat({}).empty());
+}
+
+TEST(Bytes, Append) {
+  Bytes dst = {1};
+  append(dst, Bytes{2, 3});
+  EXPECT_EQ(dst, (Bytes{1, 2, 3}));
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, d));
+  EXPECT_TRUE(constant_time_equal({}, {}));
+}
+
+TEST(Bytes, ToBytesFromView) {
+  const Bytes a = {9, 8, 7};
+  const Bytes copy = to_bytes(BytesView(a));
+  EXPECT_EQ(copy, a);
+}
+
+}  // namespace
+}  // namespace rproxy::util

@@ -1,0 +1,51 @@
+#include "util/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rproxy::util {
+namespace {
+
+TEST(SimClock, StartsAtGivenTime) {
+  SimClock clock(123 * kSecond);
+  EXPECT_EQ(clock.now(), 123 * kSecond);
+}
+
+TEST(SimClock, Advances) {
+  SimClock clock(0);
+  clock.advance(5 * kSecond);
+  clock.advance(500 * kMillisecond);
+  EXPECT_EQ(clock.now(), 5 * kSecond + 500 * kMillisecond);
+}
+
+TEST(SimClock, SetJumpsForward) {
+  SimClock clock(0);
+  clock.set(kHour);
+  EXPECT_EQ(clock.now(), kHour);
+}
+
+TEST(SimClock, DefaultStartIsNonZero) {
+  SimClock clock;
+  EXPECT_GT(clock.now(), 0);
+}
+
+TEST(SystemClock, MonotonicEnough) {
+  SystemClock& clock = SystemClock::instance();
+  const TimePoint a = clock.now();
+  const TimePoint b = clock.now();
+  EXPECT_LE(a, b);
+  EXPECT_GT(a, 0);
+}
+
+TEST(FormatTime, RendersSecondsAndMicros) {
+  EXPECT_EQ(format_time(1 * kSecond + 250), "1.000250s");
+  EXPECT_EQ(format_time(0), "0.000000s");
+}
+
+TEST(DurationConstants, Relationships) {
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+}
+
+}  // namespace
+}  // namespace rproxy::util

@@ -1,0 +1,34 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rproxy::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  ~LoggingTest() override { set_log_level(LogLevel::kOff); }
+};
+
+TEST_F(LoggingTest, DefaultIsOff) {
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, LoggerStreamsDoNotCrashAtAnyLevel) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    set_log_level(level);
+    Logger(LogLevel::kInfo, "test") << "value=" << 42 << " name=" << "x";
+    log_line(LogLevel::kError, "test", "direct line");
+  }
+}
+
+}  // namespace
+}  // namespace rproxy::util

@@ -1,0 +1,72 @@
+#include "util/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rproxy::util {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, FailureCarriesCodeAndMessage) {
+  Status s = fail(ErrorCode::kExpired, "ticket expired");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kExpired);
+  EXPECT_EQ(s.message(), "ticket expired");
+  EXPECT_EQ(s.to_string(), "Expired: ticket expired");
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int code = 0; code <= static_cast<int>(ErrorCode::kInternal); ++code) {
+    EXPECT_NE(error_code_name(static_cast<ErrorCode>(code)), "Unknown");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.code(), ErrorCode::kOk);
+}
+
+TEST(Result, HoldsStatus) {
+  Result<int> r = fail(ErrorCode::kNotFound, "nope");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.code(), ErrorCode::kNotFound);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string taken = std::move(r).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+Status helper_propagates(bool ok) {
+  RPROXY_RETURN_IF_ERROR(ok ? Status::ok()
+                            : fail(ErrorCode::kInternal, "inner"));
+  return Status::ok();
+}
+
+TEST(Macros, ReturnIfError) {
+  EXPECT_TRUE(helper_propagates(true).is_ok());
+  EXPECT_EQ(helper_propagates(false).code(), ErrorCode::kInternal);
+}
+
+Result<int> doubled(Result<int> in) {
+  RPROXY_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(Macros, AssignOrReturn) {
+  EXPECT_EQ(doubled(21).value(), 42);
+  EXPECT_EQ(doubled(fail(ErrorCode::kParseError, "bad")).code(),
+            ErrorCode::kParseError);
+}
+
+}  // namespace
+}  // namespace rproxy::util

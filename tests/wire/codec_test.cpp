@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "wire/decoder.hpp"
+#include "wire/encoder.hpp"
+
+namespace rproxy::wire {
+namespace {
+
+using util::Bytes;
+
+TEST(Encoder, IntegersBigEndian) {
+  Encoder enc;
+  enc.u8(0x01);
+  enc.u16(0x0203);
+  enc.u32(0x04050607);
+  enc.u64(0x08090a0b0c0d0e0fULL);
+  EXPECT_EQ(util::to_hex(enc.view()), "01020304050607""08090a0b0c0d0e0f");
+}
+
+TEST(Codec, IntegerRoundTrip) {
+  Encoder enc;
+  enc.u8(255);
+  enc.u16(65535);
+  enc.u32(4294967295u);
+  enc.u64(18446744073709551615ull);
+  enc.i64(-42);
+  enc.boolean(true);
+  enc.boolean(false);
+
+  Decoder dec(enc.view());
+  EXPECT_EQ(dec.u8(), 255);
+  EXPECT_EQ(dec.u16(), 65535);
+  EXPECT_EQ(dec.u32(), 4294967295u);
+  EXPECT_EQ(dec.u64(), 18446744073709551615ull);
+  EXPECT_EQ(dec.i64(), -42);
+  EXPECT_TRUE(dec.boolean());
+  EXPECT_FALSE(dec.boolean());
+  EXPECT_TRUE(dec.finish().is_ok());
+}
+
+TEST(Codec, BytesAndStrings) {
+  Encoder enc;
+  enc.bytes(Bytes{1, 2, 3});
+  enc.str("hello");
+  enc.bytes({});
+  enc.str("");
+
+  Decoder dec(enc.view());
+  EXPECT_EQ(dec.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(dec.str(), "hello");
+  EXPECT_TRUE(dec.bytes().empty());
+  EXPECT_EQ(dec.str(), "");
+  EXPECT_TRUE(dec.finish().is_ok());
+}
+
+TEST(Codec, RawHasNoPrefix) {
+  Encoder enc;
+  enc.raw(Bytes{9, 9});
+  EXPECT_EQ(enc.size(), 2u);
+  Decoder dec(enc.view());
+  EXPECT_EQ(dec.raw(2), (Bytes{9, 9}));
+  EXPECT_TRUE(dec.finish().is_ok());
+}
+
+TEST(Codec, SequenceRoundTrip) {
+  Encoder enc;
+  const std::vector<std::string> names = {"a", "bb", "ccc"};
+  enc.seq(names, [](Encoder& e, const std::string& s) { e.str(s); });
+
+  Decoder dec(enc.view());
+  const auto decoded =
+      dec.seq<std::string>([](Decoder& d) { return d.str(); });
+  EXPECT_EQ(decoded, names);
+  EXPECT_TRUE(dec.finish().is_ok());
+}
+
+TEST(Decoder, TruncatedIntegerFails) {
+  const Bytes data = {0x01};
+  Decoder dec(data);
+  (void)dec.u32();
+  EXPECT_FALSE(dec.ok());
+  EXPECT_EQ(dec.status().code(), util::ErrorCode::kParseError);
+}
+
+TEST(Decoder, TruncatedBytesFails) {
+  Encoder enc;
+  enc.u32(100);  // claims 100 octets follow
+  enc.raw(Bytes{1, 2, 3});
+  Decoder dec(enc.view());
+  (void)dec.bytes();
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(Decoder, FailureLatches) {
+  const Bytes data = {};
+  Decoder dec(data);
+  (void)dec.u8();
+  EXPECT_FALSE(dec.ok());
+  EXPECT_EQ(dec.u64(), 0u);  // subsequent reads return zero values
+  EXPECT_EQ(dec.str(), "");
+  EXPECT_FALSE(dec.finish().is_ok());
+}
+
+TEST(Decoder, TrailingGarbageRejectedByFinish) {
+  Encoder enc;
+  enc.u8(1);
+  enc.u8(2);
+  Decoder dec(enc.view());
+  (void)dec.u8();
+  EXPECT_TRUE(dec.status().is_ok());
+  EXPECT_FALSE(dec.finish().is_ok());
+}
+
+TEST(Decoder, BadBooleanOctet) {
+  const Bytes data = {7};
+  Decoder dec(data);
+  (void)dec.boolean();
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(Decoder, SequenceCountBomb) {
+  Encoder enc;
+  enc.u32(0xffffffffu);  // absurd element count
+  Decoder dec(enc.view());
+  const auto decoded = dec.seq<std::string>([](Decoder& d) { return d.str(); });
+  EXPECT_TRUE(decoded.empty());
+  EXPECT_FALSE(dec.ok());
+}
+
+struct Pair {
+  std::uint32_t a = 0;
+  std::string b;
+
+  void encode(Encoder& enc) const {
+    enc.u32(a);
+    enc.str(b);
+  }
+  static Pair decode(Decoder& dec) {
+    Pair p;
+    p.a = dec.u32();
+    p.b = dec.str();
+    return p;
+  }
+};
+
+TEST(Codec, StructHelpers) {
+  const Pair p{7, "seven"};
+  const Bytes encoded = encode_to_bytes(p);
+  auto decoded = decode_from_bytes<Pair>(encoded);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().a, 7u);
+  EXPECT_EQ(decoded.value().b, "seven");
+}
+
+TEST(Codec, StructHelperRejectsTrailing) {
+  Bytes encoded = encode_to_bytes(Pair{1, "x"});
+  encoded.push_back(0);
+  EXPECT_EQ(decode_from_bytes<Pair>(encoded).code(),
+            util::ErrorCode::kParseError);
+}
+
+TEST(Encoder, TakeResets) {
+  Encoder enc;
+  enc.u8(1);
+  const Bytes first = enc.take();
+  EXPECT_EQ(first.size(), 1u);
+  EXPECT_EQ(enc.size(), 0u);
+}
+
+}  // namespace
+}  // namespace rproxy::wire

@@ -1,0 +1,113 @@
+#include "workload/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rproxy::workload {
+namespace {
+
+TEST(Workload, DeterministicFromSeed) {
+  WorkloadSpec spec;
+  spec.seed = 7;
+  WorkloadGenerator a(spec), b(spec);
+  const auto ea = a.generate(100);
+  const auto eb = b.generate(100);
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].user, eb[i].user);
+    EXPECT_EQ(ea[i].object, eb[i].object);
+    EXPECT_EQ(ea[i].is_write, eb[i].is_write);
+  }
+}
+
+TEST(Workload, DifferentSeedsDiffer) {
+  WorkloadSpec a_spec, b_spec;
+  a_spec.seed = 1;
+  b_spec.seed = 2;
+  WorkloadGenerator a(a_spec), b(b_spec);
+  const auto ea = a.generate(100);
+  const auto eb = b.generate(100);
+  int differing = 0;
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    if (ea[i].user != eb[i].user || ea[i].object != eb[i].object) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 10);
+}
+
+TEST(Workload, EventsWithinBounds) {
+  WorkloadSpec spec;
+  spec.users = 5;
+  spec.servers = 3;
+  spec.objects_per_server = 7;
+  WorkloadGenerator gen(spec);
+  for (const RequestEvent& e : gen.generate(500)) {
+    EXPECT_LT(e.user, spec.users);
+    EXPECT_LT(e.server, spec.servers);
+    EXPECT_LT(e.object, spec.objects_per_server);
+  }
+}
+
+TEST(Workload, ZipfSkewsTowardTheHead) {
+  WorkloadSpec skewed;
+  skewed.zipf_s = 1.2;
+  skewed.objects_per_server = 64;
+  WorkloadGenerator gen(skewed);
+  const auto events = gen.generate(5000);
+  // Under uniform choice the head object would get ~1/64 ≈ 1.6% of draws;
+  // under the skew it must get substantially more.
+  EXPECT_GT(gen.head_share(events), 0.10);
+}
+
+TEST(Workload, ZeroSkewIsNearUniform) {
+  WorkloadSpec uniform;
+  uniform.zipf_s = 0.0;
+  uniform.objects_per_server = 10;
+  WorkloadGenerator gen(uniform);
+  const auto events = gen.generate(5000);
+  EXPECT_LT(gen.head_share(events), 0.2);  // ~0.1 expected
+}
+
+TEST(Workload, WriteFractionRoughlyHonored) {
+  WorkloadSpec spec;
+  spec.write_pct = 30;
+  WorkloadGenerator gen(spec);
+  const auto events = gen.generate(5000);
+  std::size_t writes = 0;
+  for (const RequestEvent& e : events) writes += e.is_write ? 1 : 0;
+  const double frac = static_cast<double>(writes) / events.size();
+  EXPECT_GT(frac, 0.2);
+  EXPECT_LT(frac, 0.4);
+}
+
+TEST(Workload, MembershipStableAndSeedDependent) {
+  WorkloadSpec spec;
+  spec.users = 50;
+  spec.groups = 4;
+  spec.group_membership_pct = 40;
+  WorkloadGenerator gen(spec);
+  // Stable across calls.
+  for (std::uint32_t g = 0; g < spec.groups; ++g) {
+    EXPECT_EQ(gen.members_of(g), gen.members_of(g));
+  }
+  // Roughly the configured density.
+  std::size_t members = 0;
+  for (std::uint32_t g = 0; g < spec.groups; ++g) {
+    members += gen.members_of(g).size();
+  }
+  const double density =
+      static_cast<double>(members) / (spec.users * spec.groups);
+  EXPECT_GT(density, 0.2);
+  EXPECT_LT(density, 0.6);
+}
+
+TEST(Workload, NamesAreCanonical) {
+  WorkloadGenerator gen(WorkloadSpec{});
+  EXPECT_EQ(gen.user_name(3), "user-3");
+  EXPECT_EQ(gen.server_name(0), "app-server-0");
+  EXPECT_EQ(gen.object_name(12), "/obj/12");
+  EXPECT_EQ(gen.group_name(1), "team-1");
+}
+
+}  // namespace
+}  // namespace rproxy::workload
