@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_service_layering.dir/bench_fig2_service_layering.cpp.o"
+  "CMakeFiles/bench_fig2_service_layering.dir/bench_fig2_service_layering.cpp.o.d"
+  "bench_fig2_service_layering"
+  "bench_fig2_service_layering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_service_layering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

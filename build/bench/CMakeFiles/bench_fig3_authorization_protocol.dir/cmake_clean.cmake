@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_authorization_protocol.dir/bench_fig3_authorization_protocol.cpp.o"
+  "CMakeFiles/bench_fig3_authorization_protocol.dir/bench_fig3_authorization_protocol.cpp.o.d"
+  "bench_fig3_authorization_protocol"
+  "bench_fig3_authorization_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_authorization_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_cascaded_proxies.dir/bench_fig4_cascaded_proxies.cpp.o"
+  "CMakeFiles/bench_fig4_cascaded_proxies.dir/bench_fig4_cascaded_proxies.cpp.o.d"
+  "bench_fig4_cascaded_proxies"
+  "bench_fig4_cascaded_proxies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_cascaded_proxies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_check_clearing.dir/bench_fig5_check_clearing.cpp.o"
+  "CMakeFiles/bench_fig5_check_clearing.dir/bench_fig5_check_clearing.cpp.o.d"
+  "bench_fig5_check_clearing"
+  "bench_fig5_check_clearing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_check_clearing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_public_key_proxy.dir/bench_fig6_public_key_proxy.cpp.o"
+  "CMakeFiles/bench_fig6_public_key_proxy.dir/bench_fig6_public_key_proxy.cpp.o.d"
+  "bench_fig6_public_key_proxy"
+  "bench_fig6_public_key_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_public_key_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_restriction_eval.dir/bench_t1_restriction_eval.cpp.o"
+  "CMakeFiles/bench_t1_restriction_eval.dir/bench_t1_restriction_eval.cpp.o.d"
+  "bench_t1_restriction_eval"
+  "bench_t1_restriction_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_restriction_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_acl_scaling.dir/bench_t2_acl_scaling.cpp.o"
+  "CMakeFiles/bench_t2_acl_scaling.dir/bench_t2_acl_scaling.cpp.o.d"
+  "bench_t2_acl_scaling"
+  "bench_t2_acl_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_acl_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

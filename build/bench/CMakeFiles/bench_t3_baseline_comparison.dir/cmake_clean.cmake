@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_baseline_comparison.dir/bench_t3_baseline_comparison.cpp.o"
+  "CMakeFiles/bench_t3_baseline_comparison.dir/bench_t3_baseline_comparison.cpp.o.d"
+  "bench_t3_baseline_comparison"
+  "bench_t3_baseline_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_baseline_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

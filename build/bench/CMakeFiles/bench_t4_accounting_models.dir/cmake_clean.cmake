@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_accounting_models.dir/bench_t4_accounting_models.cpp.o"
+  "CMakeFiles/bench_t4_accounting_models.dir/bench_t4_accounting_models.cpp.o.d"
+  "bench_t4_accounting_models"
+  "bench_t4_accounting_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_accounting_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

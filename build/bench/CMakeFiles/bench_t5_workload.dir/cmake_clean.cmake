@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t5_workload.dir/bench_t5_workload.cpp.o"
+  "CMakeFiles/bench_t5_workload.dir/bench_t5_workload.cpp.o.d"
+  "bench_t5_workload"
+  "bench_t5_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

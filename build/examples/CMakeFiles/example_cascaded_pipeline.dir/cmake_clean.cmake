@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cascaded_pipeline.dir/cascaded_pipeline.cpp.o"
+  "CMakeFiles/example_cascaded_pipeline.dir/cascaded_pipeline.cpp.o.d"
+  "example_cascaded_pipeline"
+  "example_cascaded_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cascaded_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

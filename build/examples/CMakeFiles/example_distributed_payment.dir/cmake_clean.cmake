@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distributed_payment.dir/distributed_payment.cpp.o"
+  "CMakeFiles/example_distributed_payment.dir/distributed_payment.cpp.o.d"
+  "example_distributed_payment"
+  "example_distributed_payment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distributed_payment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

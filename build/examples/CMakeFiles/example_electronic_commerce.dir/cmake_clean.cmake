@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_electronic_commerce.dir/electronic_commerce.cpp.o"
+  "CMakeFiles/example_electronic_commerce.dir/electronic_commerce.cpp.o.d"
+  "example_electronic_commerce"
+  "example_electronic_commerce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_electronic_commerce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_file_capability.dir/file_capability.cpp.o"
+  "CMakeFiles/example_file_capability.dir/file_capability.cpp.o.d"
+  "example_file_capability"
+  "example_file_capability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_file_capability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_file_capability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_print_quota.dir/print_quota.cpp.o"
+  "CMakeFiles/example_print_quota.dir/print_quota.cpp.o.d"
+  "example_print_quota"
+  "example_print_quota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_print_quota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_print_quota.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rproxy_accounting.dir/accounting/account.cpp.o"
+  "CMakeFiles/rproxy_accounting.dir/accounting/account.cpp.o.d"
+  "CMakeFiles/rproxy_accounting.dir/accounting/accounting_server.cpp.o"
+  "CMakeFiles/rproxy_accounting.dir/accounting/accounting_server.cpp.o.d"
+  "CMakeFiles/rproxy_accounting.dir/accounting/check.cpp.o"
+  "CMakeFiles/rproxy_accounting.dir/accounting/check.cpp.o.d"
+  "CMakeFiles/rproxy_accounting.dir/accounting/clearing.cpp.o"
+  "CMakeFiles/rproxy_accounting.dir/accounting/clearing.cpp.o.d"
+  "CMakeFiles/rproxy_accounting.dir/accounting/currency.cpp.o"
+  "CMakeFiles/rproxy_accounting.dir/accounting/currency.cpp.o.d"
+  "librproxy_accounting.a"
+  "librproxy_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rproxy_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/authz/acl.cpp" "src/CMakeFiles/rproxy_authz.dir/authz/acl.cpp.o" "gcc" "src/CMakeFiles/rproxy_authz.dir/authz/acl.cpp.o.d"
+  "/root/repo/src/authz/authorization_server.cpp" "src/CMakeFiles/rproxy_authz.dir/authz/authorization_server.cpp.o" "gcc" "src/CMakeFiles/rproxy_authz.dir/authz/authorization_server.cpp.o.d"
+  "/root/repo/src/authz/capability.cpp" "src/CMakeFiles/rproxy_authz.dir/authz/capability.cpp.o" "gcc" "src/CMakeFiles/rproxy_authz.dir/authz/capability.cpp.o.d"
+  "/root/repo/src/authz/credential_eval.cpp" "src/CMakeFiles/rproxy_authz.dir/authz/credential_eval.cpp.o" "gcc" "src/CMakeFiles/rproxy_authz.dir/authz/credential_eval.cpp.o.d"
+  "/root/repo/src/authz/group_server.cpp" "src/CMakeFiles/rproxy_authz.dir/authz/group_server.cpp.o" "gcc" "src/CMakeFiles/rproxy_authz.dir/authz/group_server.cpp.o.d"
+  "/root/repo/src/authz/privilege_attribute_server.cpp" "src/CMakeFiles/rproxy_authz.dir/authz/privilege_attribute_server.cpp.o" "gcc" "src/CMakeFiles/rproxy_authz.dir/authz/privilege_attribute_server.cpp.o.d"
+  "/root/repo/src/authz/proxy_issuer.cpp" "src/CMakeFiles/rproxy_authz.dir/authz/proxy_issuer.cpp.o" "gcc" "src/CMakeFiles/rproxy_authz.dir/authz/proxy_issuer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rproxy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_kdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

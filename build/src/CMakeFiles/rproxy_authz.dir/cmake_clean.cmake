@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rproxy_authz.dir/authz/acl.cpp.o"
+  "CMakeFiles/rproxy_authz.dir/authz/acl.cpp.o.d"
+  "CMakeFiles/rproxy_authz.dir/authz/authorization_server.cpp.o"
+  "CMakeFiles/rproxy_authz.dir/authz/authorization_server.cpp.o.d"
+  "CMakeFiles/rproxy_authz.dir/authz/capability.cpp.o"
+  "CMakeFiles/rproxy_authz.dir/authz/capability.cpp.o.d"
+  "CMakeFiles/rproxy_authz.dir/authz/credential_eval.cpp.o"
+  "CMakeFiles/rproxy_authz.dir/authz/credential_eval.cpp.o.d"
+  "CMakeFiles/rproxy_authz.dir/authz/group_server.cpp.o"
+  "CMakeFiles/rproxy_authz.dir/authz/group_server.cpp.o.d"
+  "CMakeFiles/rproxy_authz.dir/authz/privilege_attribute_server.cpp.o"
+  "CMakeFiles/rproxy_authz.dir/authz/privilege_attribute_server.cpp.o.d"
+  "CMakeFiles/rproxy_authz.dir/authz/proxy_issuer.cpp.o"
+  "CMakeFiles/rproxy_authz.dir/authz/proxy_issuer.cpp.o.d"
+  "librproxy_authz.a"
+  "librproxy_authz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rproxy_authz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/dssa_roles.cpp" "src/CMakeFiles/rproxy_baseline.dir/baseline/dssa_roles.cpp.o" "gcc" "src/CMakeFiles/rproxy_baseline.dir/baseline/dssa_roles.cpp.o.d"
+  "/root/repo/src/baseline/plain_capability.cpp" "src/CMakeFiles/rproxy_baseline.dir/baseline/plain_capability.cpp.o" "gcc" "src/CMakeFiles/rproxy_baseline.dir/baseline/plain_capability.cpp.o.d"
+  "/root/repo/src/baseline/prepaid_bank.cpp" "src/CMakeFiles/rproxy_baseline.dir/baseline/prepaid_bank.cpp.o" "gcc" "src/CMakeFiles/rproxy_baseline.dir/baseline/prepaid_bank.cpp.o.d"
+  "/root/repo/src/baseline/pull_authorization.cpp" "src/CMakeFiles/rproxy_baseline.dir/baseline/pull_authorization.cpp.o" "gcc" "src/CMakeFiles/rproxy_baseline.dir/baseline/pull_authorization.cpp.o.d"
+  "/root/repo/src/baseline/sollins.cpp" "src/CMakeFiles/rproxy_baseline.dir/baseline/sollins.cpp.o" "gcc" "src/CMakeFiles/rproxy_baseline.dir/baseline/sollins.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rproxy_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_accounting.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_authz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_kdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

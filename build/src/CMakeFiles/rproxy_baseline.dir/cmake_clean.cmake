@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rproxy_baseline.dir/baseline/dssa_roles.cpp.o"
+  "CMakeFiles/rproxy_baseline.dir/baseline/dssa_roles.cpp.o.d"
+  "CMakeFiles/rproxy_baseline.dir/baseline/plain_capability.cpp.o"
+  "CMakeFiles/rproxy_baseline.dir/baseline/plain_capability.cpp.o.d"
+  "CMakeFiles/rproxy_baseline.dir/baseline/prepaid_bank.cpp.o"
+  "CMakeFiles/rproxy_baseline.dir/baseline/prepaid_bank.cpp.o.d"
+  "CMakeFiles/rproxy_baseline.dir/baseline/pull_authorization.cpp.o"
+  "CMakeFiles/rproxy_baseline.dir/baseline/pull_authorization.cpp.o.d"
+  "CMakeFiles/rproxy_baseline.dir/baseline/sollins.cpp.o"
+  "CMakeFiles/rproxy_baseline.dir/baseline/sollins.cpp.o.d"
+  "librproxy_baseline.a"
+  "librproxy_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rproxy_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

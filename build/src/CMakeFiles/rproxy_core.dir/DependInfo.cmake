@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accept_once_cache.cpp" "src/CMakeFiles/rproxy_core.dir/core/accept_once_cache.cpp.o" "gcc" "src/CMakeFiles/rproxy_core.dir/core/accept_once_cache.cpp.o.d"
+  "/root/repo/src/core/cascade.cpp" "src/CMakeFiles/rproxy_core.dir/core/cascade.cpp.o" "gcc" "src/CMakeFiles/rproxy_core.dir/core/cascade.cpp.o.d"
+  "/root/repo/src/core/challenge_registry.cpp" "src/CMakeFiles/rproxy_core.dir/core/challenge_registry.cpp.o" "gcc" "src/CMakeFiles/rproxy_core.dir/core/challenge_registry.cpp.o.d"
+  "/root/repo/src/core/describe.cpp" "src/CMakeFiles/rproxy_core.dir/core/describe.cpp.o" "gcc" "src/CMakeFiles/rproxy_core.dir/core/describe.cpp.o.d"
+  "/root/repo/src/core/presentation.cpp" "src/CMakeFiles/rproxy_core.dir/core/presentation.cpp.o" "gcc" "src/CMakeFiles/rproxy_core.dir/core/presentation.cpp.o.d"
+  "/root/repo/src/core/proxy.cpp" "src/CMakeFiles/rproxy_core.dir/core/proxy.cpp.o" "gcc" "src/CMakeFiles/rproxy_core.dir/core/proxy.cpp.o.d"
+  "/root/repo/src/core/proxy_certificate.cpp" "src/CMakeFiles/rproxy_core.dir/core/proxy_certificate.cpp.o" "gcc" "src/CMakeFiles/rproxy_core.dir/core/proxy_certificate.cpp.o.d"
+  "/root/repo/src/core/request.cpp" "src/CMakeFiles/rproxy_core.dir/core/request.cpp.o" "gcc" "src/CMakeFiles/rproxy_core.dir/core/request.cpp.o.d"
+  "/root/repo/src/core/restriction.cpp" "src/CMakeFiles/rproxy_core.dir/core/restriction.cpp.o" "gcc" "src/CMakeFiles/rproxy_core.dir/core/restriction.cpp.o.d"
+  "/root/repo/src/core/restriction_set.cpp" "src/CMakeFiles/rproxy_core.dir/core/restriction_set.cpp.o" "gcc" "src/CMakeFiles/rproxy_core.dir/core/restriction_set.cpp.o.d"
+  "/root/repo/src/core/verifier.cpp" "src/CMakeFiles/rproxy_core.dir/core/verifier.cpp.o" "gcc" "src/CMakeFiles/rproxy_core.dir/core/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rproxy_kdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

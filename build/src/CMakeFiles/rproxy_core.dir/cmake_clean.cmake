@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rproxy_core.dir/core/accept_once_cache.cpp.o"
+  "CMakeFiles/rproxy_core.dir/core/accept_once_cache.cpp.o.d"
+  "CMakeFiles/rproxy_core.dir/core/cascade.cpp.o"
+  "CMakeFiles/rproxy_core.dir/core/cascade.cpp.o.d"
+  "CMakeFiles/rproxy_core.dir/core/challenge_registry.cpp.o"
+  "CMakeFiles/rproxy_core.dir/core/challenge_registry.cpp.o.d"
+  "CMakeFiles/rproxy_core.dir/core/describe.cpp.o"
+  "CMakeFiles/rproxy_core.dir/core/describe.cpp.o.d"
+  "CMakeFiles/rproxy_core.dir/core/presentation.cpp.o"
+  "CMakeFiles/rproxy_core.dir/core/presentation.cpp.o.d"
+  "CMakeFiles/rproxy_core.dir/core/proxy.cpp.o"
+  "CMakeFiles/rproxy_core.dir/core/proxy.cpp.o.d"
+  "CMakeFiles/rproxy_core.dir/core/proxy_certificate.cpp.o"
+  "CMakeFiles/rproxy_core.dir/core/proxy_certificate.cpp.o.d"
+  "CMakeFiles/rproxy_core.dir/core/request.cpp.o"
+  "CMakeFiles/rproxy_core.dir/core/request.cpp.o.d"
+  "CMakeFiles/rproxy_core.dir/core/restriction.cpp.o"
+  "CMakeFiles/rproxy_core.dir/core/restriction.cpp.o.d"
+  "CMakeFiles/rproxy_core.dir/core/restriction_set.cpp.o"
+  "CMakeFiles/rproxy_core.dir/core/restriction_set.cpp.o.d"
+  "CMakeFiles/rproxy_core.dir/core/verifier.cpp.o"
+  "CMakeFiles/rproxy_core.dir/core/verifier.cpp.o.d"
+  "librproxy_core.a"
+  "librproxy_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rproxy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aead.cpp" "src/CMakeFiles/rproxy_crypto.dir/crypto/aead.cpp.o" "gcc" "src/CMakeFiles/rproxy_crypto.dir/crypto/aead.cpp.o.d"
+  "/root/repo/src/crypto/digest.cpp" "src/CMakeFiles/rproxy_crypto.dir/crypto/digest.cpp.o" "gcc" "src/CMakeFiles/rproxy_crypto.dir/crypto/digest.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/CMakeFiles/rproxy_crypto.dir/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/rproxy_crypto.dir/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/keys.cpp" "src/CMakeFiles/rproxy_crypto.dir/crypto/keys.cpp.o" "gcc" "src/CMakeFiles/rproxy_crypto.dir/crypto/keys.cpp.o.d"
+  "/root/repo/src/crypto/random.cpp" "src/CMakeFiles/rproxy_crypto.dir/crypto/random.cpp.o" "gcc" "src/CMakeFiles/rproxy_crypto.dir/crypto/random.cpp.o.d"
+  "/root/repo/src/crypto/signature.cpp" "src/CMakeFiles/rproxy_crypto.dir/crypto/signature.cpp.o" "gcc" "src/CMakeFiles/rproxy_crypto.dir/crypto/signature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rproxy_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

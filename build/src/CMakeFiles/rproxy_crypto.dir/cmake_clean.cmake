@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rproxy_crypto.dir/crypto/aead.cpp.o"
+  "CMakeFiles/rproxy_crypto.dir/crypto/aead.cpp.o.d"
+  "CMakeFiles/rproxy_crypto.dir/crypto/digest.cpp.o"
+  "CMakeFiles/rproxy_crypto.dir/crypto/digest.cpp.o.d"
+  "CMakeFiles/rproxy_crypto.dir/crypto/hmac.cpp.o"
+  "CMakeFiles/rproxy_crypto.dir/crypto/hmac.cpp.o.d"
+  "CMakeFiles/rproxy_crypto.dir/crypto/keys.cpp.o"
+  "CMakeFiles/rproxy_crypto.dir/crypto/keys.cpp.o.d"
+  "CMakeFiles/rproxy_crypto.dir/crypto/random.cpp.o"
+  "CMakeFiles/rproxy_crypto.dir/crypto/random.cpp.o.d"
+  "CMakeFiles/rproxy_crypto.dir/crypto/signature.cpp.o"
+  "CMakeFiles/rproxy_crypto.dir/crypto/signature.cpp.o.d"
+  "librproxy_crypto.a"
+  "librproxy_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rproxy_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kdc/authenticator.cpp" "src/CMakeFiles/rproxy_kdc.dir/kdc/authenticator.cpp.o" "gcc" "src/CMakeFiles/rproxy_kdc.dir/kdc/authenticator.cpp.o.d"
+  "/root/repo/src/kdc/kdc_client.cpp" "src/CMakeFiles/rproxy_kdc.dir/kdc/kdc_client.cpp.o" "gcc" "src/CMakeFiles/rproxy_kdc.dir/kdc/kdc_client.cpp.o.d"
+  "/root/repo/src/kdc/kdc_server.cpp" "src/CMakeFiles/rproxy_kdc.dir/kdc/kdc_server.cpp.o" "gcc" "src/CMakeFiles/rproxy_kdc.dir/kdc/kdc_server.cpp.o.d"
+  "/root/repo/src/kdc/principal_db.cpp" "src/CMakeFiles/rproxy_kdc.dir/kdc/principal_db.cpp.o" "gcc" "src/CMakeFiles/rproxy_kdc.dir/kdc/principal_db.cpp.o.d"
+  "/root/repo/src/kdc/replay_cache.cpp" "src/CMakeFiles/rproxy_kdc.dir/kdc/replay_cache.cpp.o" "gcc" "src/CMakeFiles/rproxy_kdc.dir/kdc/replay_cache.cpp.o.d"
+  "/root/repo/src/kdc/ticket.cpp" "src/CMakeFiles/rproxy_kdc.dir/kdc/ticket.cpp.o" "gcc" "src/CMakeFiles/rproxy_kdc.dir/kdc/ticket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rproxy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

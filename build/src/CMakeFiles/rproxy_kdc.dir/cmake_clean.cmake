@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rproxy_kdc.dir/kdc/authenticator.cpp.o"
+  "CMakeFiles/rproxy_kdc.dir/kdc/authenticator.cpp.o.d"
+  "CMakeFiles/rproxy_kdc.dir/kdc/kdc_client.cpp.o"
+  "CMakeFiles/rproxy_kdc.dir/kdc/kdc_client.cpp.o.d"
+  "CMakeFiles/rproxy_kdc.dir/kdc/kdc_server.cpp.o"
+  "CMakeFiles/rproxy_kdc.dir/kdc/kdc_server.cpp.o.d"
+  "CMakeFiles/rproxy_kdc.dir/kdc/principal_db.cpp.o"
+  "CMakeFiles/rproxy_kdc.dir/kdc/principal_db.cpp.o.d"
+  "CMakeFiles/rproxy_kdc.dir/kdc/replay_cache.cpp.o"
+  "CMakeFiles/rproxy_kdc.dir/kdc/replay_cache.cpp.o.d"
+  "CMakeFiles/rproxy_kdc.dir/kdc/ticket.cpp.o"
+  "CMakeFiles/rproxy_kdc.dir/kdc/ticket.cpp.o.d"
+  "librproxy_kdc.a"
+  "librproxy_kdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rproxy_kdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/adversary.cpp" "src/CMakeFiles/rproxy_net.dir/net/adversary.cpp.o" "gcc" "src/CMakeFiles/rproxy_net.dir/net/adversary.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/CMakeFiles/rproxy_net.dir/net/message.cpp.o" "gcc" "src/CMakeFiles/rproxy_net.dir/net/message.cpp.o.d"
+  "/root/repo/src/net/rpc.cpp" "src/CMakeFiles/rproxy_net.dir/net/rpc.cpp.o" "gcc" "src/CMakeFiles/rproxy_net.dir/net/rpc.cpp.o.d"
+  "/root/repo/src/net/simnet.cpp" "src/CMakeFiles/rproxy_net.dir/net/simnet.cpp.o" "gcc" "src/CMakeFiles/rproxy_net.dir/net/simnet.cpp.o.d"
+  "/root/repo/src/net/tcp_transport.cpp" "src/CMakeFiles/rproxy_net.dir/net/tcp_transport.cpp.o" "gcc" "src/CMakeFiles/rproxy_net.dir/net/tcp_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rproxy_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rproxy_net.dir/net/adversary.cpp.o"
+  "CMakeFiles/rproxy_net.dir/net/adversary.cpp.o.d"
+  "CMakeFiles/rproxy_net.dir/net/message.cpp.o"
+  "CMakeFiles/rproxy_net.dir/net/message.cpp.o.d"
+  "CMakeFiles/rproxy_net.dir/net/rpc.cpp.o"
+  "CMakeFiles/rproxy_net.dir/net/rpc.cpp.o.d"
+  "CMakeFiles/rproxy_net.dir/net/simnet.cpp.o"
+  "CMakeFiles/rproxy_net.dir/net/simnet.cpp.o.d"
+  "CMakeFiles/rproxy_net.dir/net/tcp_transport.cpp.o"
+  "CMakeFiles/rproxy_net.dir/net/tcp_transport.cpp.o.d"
+  "librproxy_net.a"
+  "librproxy_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rproxy_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

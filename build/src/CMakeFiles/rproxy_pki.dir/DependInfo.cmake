@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pki/identity_cert.cpp" "src/CMakeFiles/rproxy_pki.dir/pki/identity_cert.cpp.o" "gcc" "src/CMakeFiles/rproxy_pki.dir/pki/identity_cert.cpp.o.d"
+  "/root/repo/src/pki/name_server.cpp" "src/CMakeFiles/rproxy_pki.dir/pki/name_server.cpp.o" "gcc" "src/CMakeFiles/rproxy_pki.dir/pki/name_server.cpp.o.d"
+  "/root/repo/src/pki/pk_auth.cpp" "src/CMakeFiles/rproxy_pki.dir/pki/pk_auth.cpp.o" "gcc" "src/CMakeFiles/rproxy_pki.dir/pki/pk_auth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rproxy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

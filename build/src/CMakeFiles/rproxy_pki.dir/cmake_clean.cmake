@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rproxy_pki.dir/pki/identity_cert.cpp.o"
+  "CMakeFiles/rproxy_pki.dir/pki/identity_cert.cpp.o.d"
+  "CMakeFiles/rproxy_pki.dir/pki/name_server.cpp.o"
+  "CMakeFiles/rproxy_pki.dir/pki/name_server.cpp.o.d"
+  "CMakeFiles/rproxy_pki.dir/pki/pk_auth.cpp.o"
+  "CMakeFiles/rproxy_pki.dir/pki/pk_auth.cpp.o.d"
+  "librproxy_pki.a"
+  "librproxy_pki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rproxy_pki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/app_client.cpp" "src/CMakeFiles/rproxy_server.dir/server/app_client.cpp.o" "gcc" "src/CMakeFiles/rproxy_server.dir/server/app_client.cpp.o.d"
+  "/root/repo/src/server/audit_log.cpp" "src/CMakeFiles/rproxy_server.dir/server/audit_log.cpp.o" "gcc" "src/CMakeFiles/rproxy_server.dir/server/audit_log.cpp.o.d"
+  "/root/repo/src/server/end_server.cpp" "src/CMakeFiles/rproxy_server.dir/server/end_server.cpp.o" "gcc" "src/CMakeFiles/rproxy_server.dir/server/end_server.cpp.o.d"
+  "/root/repo/src/server/file_server.cpp" "src/CMakeFiles/rproxy_server.dir/server/file_server.cpp.o" "gcc" "src/CMakeFiles/rproxy_server.dir/server/file_server.cpp.o.d"
+  "/root/repo/src/server/metered_server.cpp" "src/CMakeFiles/rproxy_server.dir/server/metered_server.cpp.o" "gcc" "src/CMakeFiles/rproxy_server.dir/server/metered_server.cpp.o.d"
+  "/root/repo/src/server/print_server.cpp" "src/CMakeFiles/rproxy_server.dir/server/print_server.cpp.o" "gcc" "src/CMakeFiles/rproxy_server.dir/server/print_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rproxy_accounting.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_authz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_kdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rproxy_server.dir/server/app_client.cpp.o"
+  "CMakeFiles/rproxy_server.dir/server/app_client.cpp.o.d"
+  "CMakeFiles/rproxy_server.dir/server/audit_log.cpp.o"
+  "CMakeFiles/rproxy_server.dir/server/audit_log.cpp.o.d"
+  "CMakeFiles/rproxy_server.dir/server/end_server.cpp.o"
+  "CMakeFiles/rproxy_server.dir/server/end_server.cpp.o.d"
+  "CMakeFiles/rproxy_server.dir/server/file_server.cpp.o"
+  "CMakeFiles/rproxy_server.dir/server/file_server.cpp.o.d"
+  "CMakeFiles/rproxy_server.dir/server/metered_server.cpp.o"
+  "CMakeFiles/rproxy_server.dir/server/metered_server.cpp.o.d"
+  "CMakeFiles/rproxy_server.dir/server/print_server.cpp.o"
+  "CMakeFiles/rproxy_server.dir/server/print_server.cpp.o.d"
+  "librproxy_server.a"
+  "librproxy_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rproxy_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

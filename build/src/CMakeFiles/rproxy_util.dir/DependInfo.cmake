@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bytes.cpp" "src/CMakeFiles/rproxy_util.dir/util/bytes.cpp.o" "gcc" "src/CMakeFiles/rproxy_util.dir/util/bytes.cpp.o.d"
+  "/root/repo/src/util/clock.cpp" "src/CMakeFiles/rproxy_util.dir/util/clock.cpp.o" "gcc" "src/CMakeFiles/rproxy_util.dir/util/clock.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/rproxy_util.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/rproxy_util.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/status.cpp" "src/CMakeFiles/rproxy_util.dir/util/status.cpp.o" "gcc" "src/CMakeFiles/rproxy_util.dir/util/status.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

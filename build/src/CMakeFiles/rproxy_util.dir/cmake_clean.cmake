@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rproxy_util.dir/util/bytes.cpp.o"
+  "CMakeFiles/rproxy_util.dir/util/bytes.cpp.o.d"
+  "CMakeFiles/rproxy_util.dir/util/clock.cpp.o"
+  "CMakeFiles/rproxy_util.dir/util/clock.cpp.o.d"
+  "CMakeFiles/rproxy_util.dir/util/logging.cpp.o"
+  "CMakeFiles/rproxy_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/rproxy_util.dir/util/status.cpp.o"
+  "CMakeFiles/rproxy_util.dir/util/status.cpp.o.d"
+  "librproxy_util.a"
+  "librproxy_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rproxy_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/decoder.cpp" "src/CMakeFiles/rproxy_wire.dir/wire/decoder.cpp.o" "gcc" "src/CMakeFiles/rproxy_wire.dir/wire/decoder.cpp.o.d"
+  "/root/repo/src/wire/encoder.cpp" "src/CMakeFiles/rproxy_wire.dir/wire/encoder.cpp.o" "gcc" "src/CMakeFiles/rproxy_wire.dir/wire/encoder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rproxy_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

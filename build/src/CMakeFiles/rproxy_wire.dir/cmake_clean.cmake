@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rproxy_wire.dir/wire/decoder.cpp.o"
+  "CMakeFiles/rproxy_wire.dir/wire/decoder.cpp.o.d"
+  "CMakeFiles/rproxy_wire.dir/wire/encoder.cpp.o"
+  "CMakeFiles/rproxy_wire.dir/wire/encoder.cpp.o.d"
+  "librproxy_wire.a"
+  "librproxy_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rproxy_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

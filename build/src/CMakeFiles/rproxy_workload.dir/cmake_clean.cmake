@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rproxy_workload.dir/workload/workload.cpp.o"
+  "CMakeFiles/rproxy_workload.dir/workload/workload.cpp.o.d"
+  "librproxy_workload.a"
+  "librproxy_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rproxy_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

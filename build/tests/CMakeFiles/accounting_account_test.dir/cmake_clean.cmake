@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accounting_account_test.dir/accounting/account_test.cpp.o"
+  "CMakeFiles/accounting_account_test.dir/accounting/account_test.cpp.o.d"
+  "accounting_account_test"
+  "accounting_account_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accounting_account_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

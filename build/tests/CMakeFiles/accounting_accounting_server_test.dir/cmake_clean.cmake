@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accounting_accounting_server_test.dir/accounting/accounting_server_test.cpp.o"
+  "CMakeFiles/accounting_accounting_server_test.dir/accounting/accounting_server_test.cpp.o.d"
+  "accounting_accounting_server_test"
+  "accounting_accounting_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accounting_accounting_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

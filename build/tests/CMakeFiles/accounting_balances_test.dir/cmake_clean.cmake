@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accounting_balances_test.dir/accounting/balances_test.cpp.o"
+  "CMakeFiles/accounting_balances_test.dir/accounting/balances_test.cpp.o.d"
+  "accounting_balances_test"
+  "accounting_balances_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accounting_balances_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

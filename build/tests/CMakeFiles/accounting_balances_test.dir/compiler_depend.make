@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for accounting_balances_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for accounting_balances_test.
+# This may be replaced when dependencies are built.

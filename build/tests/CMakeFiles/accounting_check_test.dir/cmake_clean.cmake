@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accounting_check_test.dir/accounting/check_test.cpp.o"
+  "CMakeFiles/accounting_check_test.dir/accounting/check_test.cpp.o.d"
+  "accounting_check_test"
+  "accounting_check_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accounting_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accounting_clearing_binding_test.dir/accounting/clearing_binding_test.cpp.o"
+  "CMakeFiles/accounting_clearing_binding_test.dir/accounting/clearing_binding_test.cpp.o.d"
+  "accounting_clearing_binding_test"
+  "accounting_clearing_binding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accounting_clearing_binding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accounting_multicurrency_test.dir/accounting/multicurrency_test.cpp.o"
+  "CMakeFiles/accounting_multicurrency_test.dir/accounting/multicurrency_test.cpp.o.d"
+  "accounting_multicurrency_test"
+  "accounting_multicurrency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accounting_multicurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

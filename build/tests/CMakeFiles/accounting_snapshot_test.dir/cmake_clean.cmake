@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accounting_snapshot_test.dir/accounting/snapshot_test.cpp.o"
+  "CMakeFiles/accounting_snapshot_test.dir/accounting/snapshot_test.cpp.o.d"
+  "accounting_snapshot_test"
+  "accounting_snapshot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accounting_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authz_acl_test.dir/authz/acl_test.cpp.o"
+  "CMakeFiles/authz_acl_test.dir/authz/acl_test.cpp.o.d"
+  "authz_acl_test"
+  "authz_acl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authz_acl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

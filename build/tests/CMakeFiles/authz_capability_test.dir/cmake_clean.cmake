@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authz_capability_test.dir/authz/capability_test.cpp.o"
+  "CMakeFiles/authz_capability_test.dir/authz/capability_test.cpp.o.d"
+  "authz_capability_test"
+  "authz_capability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authz_capability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authz_group_server_test.dir/authz/group_server_test.cpp.o"
+  "CMakeFiles/authz_group_server_test.dir/authz/group_server_test.cpp.o.d"
+  "authz_group_server_test"
+  "authz_group_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authz_group_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authz_propagation_test.dir/authz/propagation_test.cpp.o"
+  "CMakeFiles/authz_propagation_test.dir/authz/propagation_test.cpp.o.d"
+  "authz_propagation_test"
+  "authz_propagation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authz_propagation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

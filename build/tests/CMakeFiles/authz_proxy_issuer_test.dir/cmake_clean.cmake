@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authz_proxy_issuer_test.dir/authz/proxy_issuer_test.cpp.o"
+  "CMakeFiles/authz_proxy_issuer_test.dir/authz/proxy_issuer_test.cpp.o.d"
+  "authz_proxy_issuer_test"
+  "authz_proxy_issuer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authz_proxy_issuer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

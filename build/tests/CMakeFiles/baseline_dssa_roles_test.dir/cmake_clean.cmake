@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_dssa_roles_test.dir/baseline/dssa_roles_test.cpp.o"
+  "CMakeFiles/baseline_dssa_roles_test.dir/baseline/dssa_roles_test.cpp.o.d"
+  "baseline_dssa_roles_test"
+  "baseline_dssa_roles_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_dssa_roles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for baseline_dssa_roles_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_plain_capability_test.dir/baseline/plain_capability_test.cpp.o"
+  "CMakeFiles/baseline_plain_capability_test.dir/baseline/plain_capability_test.cpp.o.d"
+  "baseline_plain_capability_test"
+  "baseline_plain_capability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_plain_capability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_prepaid_bank_test.dir/baseline/prepaid_bank_test.cpp.o"
+  "CMakeFiles/baseline_prepaid_bank_test.dir/baseline/prepaid_bank_test.cpp.o.d"
+  "baseline_prepaid_bank_test"
+  "baseline_prepaid_bank_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_prepaid_bank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_pull_authorization_test.dir/baseline/pull_authorization_test.cpp.o"
+  "CMakeFiles/baseline_pull_authorization_test.dir/baseline/pull_authorization_test.cpp.o.d"
+  "baseline_pull_authorization_test"
+  "baseline_pull_authorization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_pull_authorization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

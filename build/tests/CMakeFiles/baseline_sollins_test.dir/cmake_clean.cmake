@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_sollins_test.dir/baseline/sollins_test.cpp.o"
+  "CMakeFiles/baseline_sollins_test.dir/baseline/sollins_test.cpp.o.d"
+  "baseline_sollins_test"
+  "baseline_sollins_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_sollins_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrency_thread_safety_test.dir/concurrency/thread_safety_test.cpp.o"
+  "CMakeFiles/concurrency_thread_safety_test.dir/concurrency/thread_safety_test.cpp.o.d"
+  "concurrency_thread_safety_test"
+  "concurrency_thread_safety_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrency_thread_safety_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

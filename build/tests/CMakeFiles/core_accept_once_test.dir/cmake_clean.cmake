@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_accept_once_test.dir/core/accept_once_test.cpp.o"
+  "CMakeFiles/core_accept_once_test.dir/core/accept_once_test.cpp.o.d"
+  "core_accept_once_test"
+  "core_accept_once_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_accept_once_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

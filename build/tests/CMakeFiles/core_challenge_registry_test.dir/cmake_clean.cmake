@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_challenge_registry_test.dir/core/challenge_registry_test.cpp.o"
+  "CMakeFiles/core_challenge_registry_test.dir/core/challenge_registry_test.cpp.o.d"
+  "core_challenge_registry_test"
+  "core_challenge_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_challenge_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

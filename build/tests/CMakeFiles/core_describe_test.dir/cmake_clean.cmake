@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_describe_test.dir/core/describe_test.cpp.o"
+  "CMakeFiles/core_describe_test.dir/core/describe_test.cpp.o.d"
+  "core_describe_test"
+  "core_describe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_describe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_presentation_test.dir/core/presentation_test.cpp.o"
+  "CMakeFiles/core_presentation_test.dir/core/presentation_test.cpp.o.d"
+  "core_presentation_test"
+  "core_presentation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_presentation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

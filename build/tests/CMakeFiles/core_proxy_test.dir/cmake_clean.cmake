@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_proxy_test.dir/core/proxy_test.cpp.o"
+  "CMakeFiles/core_proxy_test.dir/core/proxy_test.cpp.o.d"
+  "core_proxy_test"
+  "core_proxy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_proxy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_restriction_eval_test.dir/core/restriction_eval_test.cpp.o"
+  "CMakeFiles/core_restriction_eval_test.dir/core/restriction_eval_test.cpp.o.d"
+  "core_restriction_eval_test"
+  "core_restriction_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_restriction_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_verifier_grid_test.dir/core/verifier_grid_test.cpp.o"
+  "CMakeFiles/core_verifier_grid_test.dir/core/verifier_grid_test.cpp.o.d"
+  "core_verifier_grid_test"
+  "core_verifier_grid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_verifier_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

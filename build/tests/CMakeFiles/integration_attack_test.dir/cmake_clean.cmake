@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_attack_test.dir/integration/attack_test.cpp.o"
+  "CMakeFiles/integration_attack_test.dir/integration/attack_test.cpp.o.d"
+  "integration_attack_test"
+  "integration_attack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_extensions_test.dir/integration/extensions_test.cpp.o"
+  "CMakeFiles/integration_extensions_test.dir/integration/extensions_test.cpp.o.d"
+  "integration_extensions_test"
+  "integration_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_full_flow_test.dir/integration/full_flow_test.cpp.o"
+  "CMakeFiles/integration_full_flow_test.dir/integration/full_flow_test.cpp.o.d"
+  "integration_full_flow_test"
+  "integration_full_flow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_full_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

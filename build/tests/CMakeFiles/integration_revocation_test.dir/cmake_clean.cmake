@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_revocation_test.dir/integration/revocation_test.cpp.o"
+  "CMakeFiles/integration_revocation_test.dir/integration/revocation_test.cpp.o.d"
+  "integration_revocation_test"
+  "integration_revocation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_revocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_separation_of_privilege_test.dir/integration/separation_of_privilege_test.cpp.o"
+  "CMakeFiles/integration_separation_of_privilege_test.dir/integration/separation_of_privilege_test.cpp.o.d"
+  "integration_separation_of_privilege_test"
+  "integration_separation_of_privilege_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_separation_of_privilege_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

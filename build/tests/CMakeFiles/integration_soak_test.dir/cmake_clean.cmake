@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_soak_test.dir/integration/soak_test.cpp.o"
+  "CMakeFiles/integration_soak_test.dir/integration/soak_test.cpp.o.d"
+  "integration_soak_test"
+  "integration_soak_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_soak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdc_kdc_test.dir/kdc/kdc_test.cpp.o"
+  "CMakeFiles/kdc_kdc_test.dir/kdc/kdc_test.cpp.o.d"
+  "kdc_kdc_test"
+  "kdc_kdc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdc_kdc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdc_principal_db_test.dir/kdc/principal_db_test.cpp.o"
+  "CMakeFiles/kdc_principal_db_test.dir/kdc/principal_db_test.cpp.o.d"
+  "kdc_principal_db_test"
+  "kdc_principal_db_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdc_principal_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

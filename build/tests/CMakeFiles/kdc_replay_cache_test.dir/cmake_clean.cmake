@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdc_replay_cache_test.dir/kdc/replay_cache_test.cpp.o"
+  "CMakeFiles/kdc_replay_cache_test.dir/kdc/replay_cache_test.cpp.o.d"
+  "kdc_replay_cache_test"
+  "kdc_replay_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdc_replay_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

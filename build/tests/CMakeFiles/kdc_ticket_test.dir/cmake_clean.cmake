@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdc_ticket_test.dir/kdc/ticket_test.cpp.o"
+  "CMakeFiles/kdc_ticket_test.dir/kdc/ticket_test.cpp.o.d"
+  "kdc_ticket_test"
+  "kdc_ticket_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdc_ticket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_failure_test.dir/net/failure_test.cpp.o"
+  "CMakeFiles/net_failure_test.dir/net/failure_test.cpp.o.d"
+  "net_failure_test"
+  "net_failure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_message_test.dir/net/message_test.cpp.o"
+  "CMakeFiles/net_message_test.dir/net/message_test.cpp.o.d"
+  "net_message_test"
+  "net_message_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_message_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

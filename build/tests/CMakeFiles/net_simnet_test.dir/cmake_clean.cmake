@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_simnet_test.dir/net/simnet_test.cpp.o"
+  "CMakeFiles/net_simnet_test.dir/net/simnet_test.cpp.o.d"
+  "net_simnet_test"
+  "net_simnet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_simnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_tcp_transport_test.dir/net/tcp_transport_test.cpp.o"
+  "CMakeFiles/net_tcp_transport_test.dir/net/tcp_transport_test.cpp.o.d"
+  "net_tcp_transport_test"
+  "net_tcp_transport_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_tcp_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

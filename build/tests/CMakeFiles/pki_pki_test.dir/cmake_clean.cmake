@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pki_pki_test.dir/pki/pki_test.cpp.o"
+  "CMakeFiles/pki_pki_test.dir/pki/pki_test.cpp.o.d"
+  "pki_pki_test"
+  "pki_pki_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pki_pki_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_roundtrip_property_test.dir/property/roundtrip_property_test.cpp.o"
+  "CMakeFiles/property_roundtrip_property_test.dir/property/roundtrip_property_test.cpp.o.d"
+  "property_roundtrip_property_test"
+  "property_roundtrip_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_roundtrip_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_audit_log_test.dir/server/audit_log_test.cpp.o"
+  "CMakeFiles/server_audit_log_test.dir/server/audit_log_test.cpp.o.d"
+  "server_audit_log_test"
+  "server_audit_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_audit_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_clock_test.dir/util/clock_test.cpp.o"
+  "CMakeFiles/util_clock_test.dir/util/clock_test.cpp.o.d"
+  "util_clock_test"
+  "util_clock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

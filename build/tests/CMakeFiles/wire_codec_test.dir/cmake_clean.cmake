@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_codec_test.dir/wire/codec_test.cpp.o"
+  "CMakeFiles/wire_codec_test.dir/wire/codec_test.cpp.o.d"
+  "wire_codec_test"
+  "wire_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_fuzz_robustness_test.dir/wire/fuzz_robustness_test.cpp.o"
+  "CMakeFiles/wire_fuzz_robustness_test.dir/wire/fuzz_robustness_test.cpp.o.d"
+  "wire_fuzz_robustness_test"
+  "wire_fuzz_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_fuzz_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

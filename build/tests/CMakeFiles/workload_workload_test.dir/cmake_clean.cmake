@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_workload_test.dir/workload/workload_test.cpp.o"
+  "CMakeFiles/workload_workload_test.dir/workload/workload_test.cpp.o.d"
+  "workload_workload_test"
+  "workload_workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
