@@ -192,17 +192,30 @@ AccountingServer::AccountingServer(Config config)
 void AccountingServer::open_account(const std::string& local_name,
                                     const PrincipalName& owner,
                                     Balances initial) {
+  std::lock_guard lock(state_mutex_);
+  open_account_(local_name, owner, std::move(initial));
+}
+
+void AccountingServer::open_account_(const std::string& local_name,
+                                     const PrincipalName& owner,
+                                     Balances initial) {
   Account account(local_name, owner);
   account.balances() = std::move(initial);
   accounts_.insert_or_assign(local_name, std::move(account));
 }
 
 Account* AccountingServer::account(const std::string& local_name) {
+  std::lock_guard lock(state_mutex_);
+  return find_account_(local_name);
+}
+
+const Account* AccountingServer::account(const std::string& local_name) const {
+  std::lock_guard lock(state_mutex_);
   auto it = accounts_.find(local_name);
   return it == accounts_.end() ? nullptr : &it->second;
 }
 
-const Account* AccountingServer::account(const std::string& local_name) const {
+Account* AccountingServer::find_account_(const std::string& local_name) {
   auto it = accounts_.find(local_name);
   return it == accounts_.end() ? nullptr : &it->second;
 }
@@ -213,6 +226,7 @@ constexpr std::string_view kSnapshotSealPurpose = "accounting:snapshot";
 
 util::Bytes AccountingServer::snapshot(
     const crypto::SymmetricKey& key) const {
+  std::lock_guard lock(state_mutex_);
   wire::Encoder enc;
   enc.str("accounting-snapshot-v1");
   enc.str(config_.name);
@@ -294,6 +308,7 @@ util::Status AccountingServer::restore(const crypto::SymmetricKey& key,
   }
   RPROXY_RETURN_IF_ERROR(dec.finish());
 
+  std::lock_guard lock(state_mutex_);
   accounts_ = std::move(accounts);
   certified_ = std::move(certified);
   return util::Status::ok();
@@ -301,10 +316,12 @@ util::Status AccountingServer::restore(const crypto::SymmetricKey& key,
 
 void AccountingServer::set_route(const PrincipalName& drawee,
                                  const PrincipalName& via) {
+  std::lock_guard lock(state_mutex_);
   routes_[drawee] = via;
 }
 
 std::int64_t AccountingServer::uncollected_total() const {
+  std::lock_guard lock(state_mutex_);
   std::int64_t sum = 0;
   for (const auto& [key, pending] : uncollected_) {
     sum += static_cast<std::int64_t>(pending.amount);
@@ -368,7 +385,8 @@ net::Envelope AccountingServer::handle_query_(const net::Envelope& request) {
                            now);
   if (!who.is_ok()) return net::make_error_reply(request, who.status());
 
-  const Account* acct = account(req.account);
+  std::lock_guard lock(state_mutex_);
+  const Account* acct = find_account_(req.account);
   if (acct == nullptr) {
     return net::make_error_reply(
         request, util::fail(ErrorCode::kNotFound,
@@ -409,8 +427,9 @@ net::Envelope AccountingServer::handle_transfer_(
       now);
   if (!who.is_ok()) return net::make_error_reply(request, who.status());
 
-  Account* from = account(req.from_account);
-  Account* to = account(req.to_account);
+  std::lock_guard lock(state_mutex_);
+  Account* from = find_account_(req.from_account);
+  Account* to = find_account_(req.to_account);
   if (from == nullptr || to == nullptr) {
     return net::make_error_reply(
         request, util::fail(ErrorCode::kNotFound, "no such account"));
@@ -445,40 +464,43 @@ net::Envelope AccountingServer::handle_certify_(const net::Envelope& request) {
                            now);
   if (!who.is_ok()) return net::make_error_reply(request, who.status());
 
-  Account* acct = account(req.account);
-  if (acct == nullptr) {
-    return net::make_error_reply(
-        request, util::fail(ErrorCode::kNotFound,
-                            "no account '" + req.account + "'"));
-  }
-  authz::AuthorityContext authority;
-  authority.principals = {who.value()};
-  if (!acct->authorizes(authority, "debit")) {
-    return net::make_error_reply(
-        request, util::fail(ErrorCode::kPermissionDenied,
-                            "'" + who.value() + "' may not draw on '" +
-                                req.account + "'"));
-  }
-
-  const auto key = std::make_pair(who.value(), req.check_number);
-  if (certified_.contains(key) ||
-      accept_once_.seen(who.value(), req.check_number, now)) {
-    // Outstanding hold OR a check with this number already cleared within
-    // its window (§7.7: the check number is remembered until expiry).
-    return net::make_error_reply(
-        request, util::fail(ErrorCode::kReplay,
-                            "check number already certified or spent"));
-  }
-  util::Status held =
-      acct->place_hold(req.currency, static_cast<std::int64_t>(req.amount));
-  if (!held.is_ok()) return net::make_error_reply(request, held);
-
   const util::TimePoint hold_until =
       req.hold_until > now ? req.hold_until : now + util::kHour;
-  certified_[key] = CertifiedHold{who.value(), req.account, req.currency,
-                                  req.amount, hold_until};
+  {
+    std::lock_guard lock(state_mutex_);
+    Account* acct = find_account_(req.account);
+    if (acct == nullptr) {
+      return net::make_error_reply(
+          request, util::fail(ErrorCode::kNotFound,
+                              "no account '" + req.account + "'"));
+    }
+    authz::AuthorityContext authority;
+    authority.principals = {who.value()};
+    if (!acct->authorizes(authority, "debit")) {
+      return net::make_error_reply(
+          request, util::fail(ErrorCode::kPermissionDenied,
+                              "'" + who.value() + "' may not draw on '" +
+                                  req.account + "'"));
+    }
 
-  // The certification proxy: this server asserts, to the target server,
+    const auto key = std::make_pair(who.value(), req.check_number);
+    if (certified_.contains(key) ||
+        accept_once_.seen(who.value(), req.check_number, now)) {
+      // Outstanding hold OR a check with this number already cleared within
+      // its window (§7.7: the check number is remembered until expiry).
+      return net::make_error_reply(
+          request, util::fail(ErrorCode::kReplay,
+                              "check number already certified or spent"));
+    }
+    util::Status held =
+        acct->place_hold(req.currency, static_cast<std::int64_t>(req.amount));
+    if (!held.is_ok()) return net::make_error_reply(request, held);
+
+    certified_[key] = CertifiedHold{who.value(), req.account, req.currency,
+                                    req.amount, hold_until};
+  }
+
+  // The certification proxy (signed outside the state lock): this server asserts, to the target server,
   // that the hold exists.  Delegate proxy for the payor (no secret to
   // transfer).
   core::RestrictionSet restrictions;
@@ -512,33 +534,37 @@ net::Envelope AccountingServer::handle_cashier_(
                            now);
   if (!who.is_ok()) return net::make_error_reply(request, who.status());
 
-  Account* acct = account(req.account);
-  if (acct == nullptr) {
-    return net::make_error_reply(
-        request, util::fail(ErrorCode::kNotFound,
-                            "no account '" + req.account + "'"));
-  }
-  authz::AuthorityContext authority;
-  authority.principals = {who.value()};
-  if (!acct->authorizes(authority, "debit")) {
-    return net::make_error_reply(
-        request, util::fail(ErrorCode::kPermissionDenied,
-                            "'" + who.value() + "' may not draw on '" +
-                                req.account + "'"));
-  }
+  {
+    std::lock_guard lock(state_mutex_);
+    Account* acct = find_account_(req.account);
+    if (acct == nullptr) {
+      return net::make_error_reply(
+          request, util::fail(ErrorCode::kNotFound,
+                              "no account '" + req.account + "'"));
+    }
+    authz::AuthorityContext authority;
+    authority.principals = {who.value()};
+    if (!acct->authorizes(authority, "debit")) {
+      return net::make_error_reply(
+          request, util::fail(ErrorCode::kPermissionDenied,
+                              "'" + who.value() + "' may not draw on '" +
+                                  req.account + "'"));
+    }
 
-  // Funds move NOW — that is what makes the check good as gold.
-  util::Status debited =
-      acct->debit(req.currency, static_cast<std::int64_t>(req.amount));
-  if (!debited.is_ok()) return net::make_error_reply(request, debited);
-  if (account(std::string(kCashierAccount)) == nullptr) {
-    open_account(std::string(kCashierAccount), config_.name);
+    // Funds move NOW — that is what makes the check good as gold.
+    util::Status debited =
+        acct->debit(req.currency, static_cast<std::int64_t>(req.amount));
+    if (!debited.is_ok()) return net::make_error_reply(request, debited);
+    if (find_account_(std::string(kCashierAccount)) == nullptr) {
+      open_account_(std::string(kCashierAccount), config_.name);
+    }
+    find_account_(std::string(kCashierAccount))
+        ->credit(req.currency, static_cast<std::int64_t>(req.amount));
   }
-  account(std::string(kCashierAccount))
-      ->credit(req.currency, static_cast<std::int64_t>(req.amount));
 
   // The check is drawn on the bank's own cashier account and signed by the
-  // bank — the payor's identity and account do not appear in it.
+  // bank (outside the state lock) — the payor's identity and account do not
+  // appear in it.
   CashierReplyPayload reply;
   reply.check = write_check(
       config_.name, config_.identity_key,
@@ -598,7 +624,8 @@ util::Result<DepositReplyPayload> AccountingServer::settle_(
   RPROXY_RETURN_IF_ERROR(
       verified.effective_restrictions.evaluate(ctx));
 
-  Account* payor = account(terms.payor_local_account);
+  std::lock_guard lock(state_mutex_);
+  Account* payor = find_account_(terms.payor_local_account);
   if (payor == nullptr) {
     return util::fail(ErrorCode::kNotFound,
                       "check drawn on unknown account '" +
@@ -633,11 +660,11 @@ util::Result<DepositReplyPayload> AccountingServer::settle_(
 
   // Credit the collector.  Settlement accounts for peer accounting servers
   // are auto-created.
-  Account* collect = account(req.collect_account);
+  Account* collect = find_account_(req.collect_account);
   if (collect == nullptr) {
     if (req.collect_account.rfind("peer:", 0) == 0) {
-      open_account(req.collect_account, presenter);
-      collect = account(req.collect_account);
+      open_account_(req.collect_account, presenter);
+      collect = find_account_(req.collect_account);
     } else {
       return util::fail(ErrorCode::kNotFound,
                         "no collection account '" + req.collect_account +
@@ -661,38 +688,52 @@ util::Result<DepositReplyPayload> AccountingServer::collect_foreign_(
   RPROXY_ASSIGN_OR_RETURN(CheckTerms terms,
                           parse_check_terms(req.check, verified));
 
-  Account* collect = account(req.collect_account);
-  if (collect == nullptr) {
-    // Settlement accounts for peer accounting servers (multi-hop clearing)
-    // are auto-created, like in settle_().
-    if (req.collect_account.rfind("peer:", 0) == 0) {
-      open_account(req.collect_account,
-                   req.collect_account.substr(5));
-      collect = account(req.collect_account);
-    } else {
-      return util::fail(ErrorCode::kNotFound, "no collection account '" +
-                                                  req.collect_account + "'");
-    }
-  }
-
-  // "marks the resources added to S's account as uncollected"
-  collect->credit(terms.currency, static_cast<std::int64_t>(req.amount));
   const auto pending_key =
       std::make_pair(terms.drawee_server, terms.check_number);
-  uncollected_[pending_key] =
-      Uncollected{req.collect_account, terms.currency, req.amount};
+  PrincipalName next;
+  {
+    // Provisional credit under the state lock; the lock is NOT held across
+    // the collection RPC below (two banks collecting from each other in
+    // parallel would deadlock, and a slow drawee must not stall this node).
+    std::lock_guard lock(state_mutex_);
+    Account* collect = find_account_(req.collect_account);
+    if (collect == nullptr) {
+      // Settlement accounts for peer accounting servers (multi-hop
+      // clearing) are auto-created, like in settle_().
+      if (req.collect_account.rfind("peer:", 0) == 0) {
+        open_account_(req.collect_account,
+                      req.collect_account.substr(5));
+        collect = find_account_(req.collect_account);
+      } else {
+        return util::fail(ErrorCode::kNotFound, "no collection account '" +
+                                                    req.collect_account + "'");
+      }
+    }
+
+    if (uncollected_.contains(pending_key)) {
+      // Another thread is already collecting this very check.
+      return util::fail(ErrorCode::kReplay,
+                        "check is already being collected");
+    }
+
+    // "marks the resources added to S's account as uncollected"
+    collect->credit(terms.currency, static_cast<std::int64_t>(req.amount));
+    uncollected_[pending_key] =
+        Uncollected{req.collect_account, terms.currency, req.amount};
+
+    // "adds its own endorsement and forwards the check"
+    auto it = routes_.find(terms.drawee_server);
+    next = it == routes_.end() ? terms.drawee_server : it->second;
+  }
 
   const auto undo = [&]() {
-    (void)collect->debit(terms.currency,
-                         static_cast<std::int64_t>(req.amount));
+    std::lock_guard lock(state_mutex_);
+    if (Account* collect = find_account_(req.collect_account)) {
+      (void)collect->debit(terms.currency,
+                           static_cast<std::int64_t>(req.amount));
+    }
     uncollected_.erase(pending_key);
   };
-
-  // "adds its own endorsement and forwards the check"
-  const PrincipalName next = [&] {
-    auto it = routes_.find(terms.drawee_server);
-    return it == routes_.end() ? terms.drawee_server : it->second;
-  }();
   auto endorsed = endorse_check(req.check, config_.name,
                                 config_.identity_key, next, now);
   if (!endorsed.is_ok()) {
@@ -729,7 +770,10 @@ util::Result<DepositReplyPayload> AccountingServer::collect_foreign_(
     return forwarded.status();
   }
 
-  uncollected_.erase(pending_key);
+  {
+    std::lock_guard lock(state_mutex_);
+    uncollected_.erase(pending_key);
+  }
   DepositReplyPayload reply;
   reply.cleared = true;
   reply.hops = forwarded.value().hops + 1;
@@ -737,9 +781,10 @@ util::Result<DepositReplyPayload> AccountingServer::collect_foreign_(
 }
 
 void AccountingServer::purge_expired_holds_(util::TimePoint now) {
+  std::lock_guard lock(state_mutex_);
   for (auto it = certified_.begin(); it != certified_.end();) {
     if (it->second.expires_at < now) {
-      if (Account* acct = account(it->second.account)) {
+      if (Account* acct = find_account_(it->second.account)) {
         acct->release_hold(it->second.currency,
                            static_cast<std::int64_t>(it->second.amount));
       }

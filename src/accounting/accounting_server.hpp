@@ -11,6 +11,9 @@
 // single-use challenge; checks themselves are verified as proxy chains.
 #pragma once
 
+#include <atomic>
+#include <mutex>
+
 #include "accounting/account.hpp"
 #include "accounting/check.hpp"
 #include "core/challenge_registry.hpp"
@@ -171,6 +174,10 @@ class AccountingServer final : public net::Node {
   /// Opens (or replaces) an account.
   void open_account(const std::string& local_name,
                     const PrincipalName& owner, Balances initial = {});
+  /// Direct account access for setup and single-threaded inspection.  The
+  /// returned pointer is NOT protected against concurrent handle() calls;
+  /// quiesce the server (or use the query RPC) before dereferencing while
+  /// serving.
   [[nodiscard]] Account* account(const std::string& local_name);
   [[nodiscard]] const Account* account(const std::string& local_name) const;
 
@@ -195,10 +202,10 @@ class AccountingServer final : public net::Node {
   /// Value credited but not yet collected from peer servers.
   [[nodiscard]] std::int64_t uncollected_total() const;
   [[nodiscard]] std::uint64_t checks_cleared() const {
-    return checks_cleared_;
+    return checks_cleared_.load();
   }
   [[nodiscard]] std::uint64_t checks_bounced() const {
-    return checks_bounced_;
+    return checks_bounced_.load();
   }
 
   net::Envelope handle(const net::Envelope& request) override;
@@ -242,10 +249,21 @@ class AccountingServer final : public net::Node {
 
   void purge_expired_holds_(util::TimePoint now);
 
+  /// Account lookup with state_mutex_ already held.
+  [[nodiscard]] Account* find_account_(const std::string& local_name);
+  /// open_account with state_mutex_ already held.
+  void open_account_(const std::string& local_name,
+                     const PrincipalName& owner, Balances initial = {});
+
   Config config_;
   core::ProxyVerifier verifier_;
   core::ChallengeRegistry challenges_;
   core::AcceptOnceCache accept_once_;
+  /// Guards accounts_, routes_, certified_, uncollected_.  Held only for
+  /// local state transitions — NEVER across the network call that collects
+  /// a foreign check from a peer server (two banks collecting from each
+  /// other must not deadlock, and a slow peer must not stall the node).
+  mutable std::mutex state_mutex_;
   std::map<std::string, Account> accounts_;
   std::map<PrincipalName, PrincipalName> routes_;
   /// Outstanding certified checks keyed by (payor, check number).
@@ -254,8 +272,8 @@ class AccountingServer final : public net::Node {
   /// Credits pending collection keyed by (drawee server, check number).
   std::map<std::pair<PrincipalName, std::uint64_t>, Uncollected>
       uncollected_;
-  std::uint64_t checks_cleared_ = 0;
-  std::uint64_t checks_bounced_ = 0;
+  std::atomic<std::uint64_t> checks_cleared_{0};
+  std::atomic<std::uint64_t> checks_bounced_{0};
 };
 
 }  // namespace rproxy::accounting

@@ -92,10 +92,12 @@ AuthorizationServer::AuthorizationServer(Config config)
 }
 
 void AuthorizationServer::set_acl(const PrincipalName& end_server, Acl acl) {
+  std::lock_guard lock(db_mutex_);
   db_[end_server] = std::move(acl);
 }
 
 Acl* AuthorizationServer::acl_for(const PrincipalName& end_server) {
+  std::lock_guard lock(db_mutex_);
   auto it = db_.find(end_server);
   return it == db_.end() ? nullptr : &it->second;
 }
@@ -132,7 +134,10 @@ util::Result<ProxyGrantReplyPayload> AuthorizationServer::grant_(
       evaluate_credentials(verifier_, {}, req.supporting, challenge, {},
                            now));
 
-  // 3. Consult the database.
+  // 3. Consult the database.  The entries returned point into db_, so the
+  //    lock is held until the restriction set has been assembled (copied)
+  //    from them; it is released before the proxy is minted in step 6.
+  std::unique_lock db_lock(db_mutex_);
   auto db_it = db_.find(req.end_server);
   if (db_it == db_.end()) {
     return util::fail(ErrorCode::kNotFound,
@@ -221,6 +226,7 @@ util::Result<ProxyGrantReplyPayload> AuthorizationServer::grant_(
   propagate(supporting.credentials);
   propagate(supporting.group_credentials);
   restrictions = restrictions.merged(req.extra_restrictions);
+  db_lock.unlock();
 
   // 6. Mint and seal (Fig 3, message 2).
   const util::Duration lifetime = std::clamp<util::Duration>(

@@ -17,6 +17,8 @@
 // server", §3.2/3.5).
 #pragma once
 
+#include <mutex>
+
 #include "authz/credential_eval.hpp"
 #include "authz/proxy_issuer.hpp"
 #include "kdc/kdc_client.hpp"
@@ -86,6 +88,8 @@ class AuthorizationServer final : public net::Node {
   /// The per-end-server authorization database.  An entry's restrictions
   /// are "copied to the restrictions field of the resulting proxy" (§3.5).
   void set_acl(const PrincipalName& end_server, Acl acl);
+  /// Live pointer into the database — for setup and quiescent inspection
+  /// only, not while requests are being served concurrently.
   [[nodiscard]] Acl* acl_for(const PrincipalName& end_server);
 
   net::Envelope handle(const net::Envelope& request) override;
@@ -100,6 +104,10 @@ class AuthorizationServer final : public net::Node {
   ProxyIssuer issuer_;
   core::ProxyVerifier verifier_;
   kdc::ReplayCache replay_cache_;
+  /// Guards db_; held while consulting the database and assembling the
+  /// granted restrictions, released before the proxy is minted (minting
+  /// may reach the KDC over the network).
+  mutable std::mutex db_mutex_;
   std::map<PrincipalName, Acl> db_;
 };
 

@@ -54,17 +54,20 @@ GroupServer::GroupServer(Config config)
 
 void GroupServer::add_member(const std::string& group,
                              const std::string& member) {
+  std::lock_guard lock(groups_mutex_);
   groups_[group].insert(member);
 }
 
 void GroupServer::remove_member(const std::string& group,
                                 const std::string& member) {
+  std::lock_guard lock(groups_mutex_);
   auto it = groups_.find(group);
   if (it != groups_.end()) it->second.erase(member);
 }
 
 bool GroupServer::is_member(const std::string& group,
                             const std::string& member) const {
+  std::lock_guard lock(groups_mutex_);
   auto it = groups_.find(group);
   return it != groups_.end() && it->second.contains(member);
 }
@@ -93,15 +96,22 @@ util::Result<ProxyGrantReplyPayload> GroupServer::grant_(
       kdc::verify_ap_request(req.ap, config_.own_key, now, ap_options));
   const PrincipalName& client = ap.ticket.client;
 
-  auto group_it = groups_.find(req.group);
-  if (group_it == groups_.end()) {
-    return util::fail(ErrorCode::kNotFound,
-                      "no such group '" + req.group + "'");
+  // Snapshot the member set so the lock is not held across the (expensive)
+  // supporting-credential verification below.
+  std::set<std::string> members;
+  {
+    std::lock_guard lock(groups_mutex_);
+    auto group_it = groups_.find(req.group);
+    if (group_it == groups_.end()) {
+      return util::fail(ErrorCode::kNotFound,
+                        "no such group '" + req.group + "'");
+    }
+    members = group_it->second;
   }
 
   // Direct membership, or membership via a nested group asserted by a
   // supporting proxy from another group server.
-  bool member = group_it->second.contains(client);
+  bool member = members.contains(client);
   if (!member && !req.supporting.empty()) {
     const util::Bytes challenge = supporting_challenge(req.ap);
     RPROXY_ASSIGN_OR_RETURN(
@@ -111,7 +121,7 @@ util::Result<ProxyGrantReplyPayload> GroupServer::grant_(
     member = std::any_of(
         supporting.asserted_groups.begin(), supporting.asserted_groups.end(),
         [&](const GroupName& g) {
-          return group_it->second.contains(acl_group_token(g));
+          return members.contains(acl_group_token(g));
         });
   }
   if (!member) {

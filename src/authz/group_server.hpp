@@ -10,6 +10,7 @@
 // the proxy asserts one group, for one principal, at one end-server.
 #pragma once
 
+#include <mutex>
 #include <set>
 
 #include "authz/authorization_server.hpp"
@@ -73,6 +74,8 @@ class GroupServer final : public net::Node {
   ProxyIssuer issuer_;
   core::ProxyVerifier verifier_;
   kdc::ReplayCache replay_cache_;
+  /// Guards groups_ (membership may be edited while requests are served).
+  mutable std::mutex groups_mutex_;
   std::map<std::string, std::set<std::string>> groups_;
 };
 

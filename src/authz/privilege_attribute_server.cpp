@@ -34,17 +34,20 @@ PrivilegeAttributeServer::PrivilegeAttributeServer(Config config)
 
 void PrivilegeAttributeServer::add_member(const std::string& group,
                                           const PrincipalName& member) {
+  std::lock_guard lock(groups_mutex_);
   groups_[group].insert(member);
 }
 
 void PrivilegeAttributeServer::remove_member(const std::string& group,
                                              const PrincipalName& member) {
+  std::lock_guard lock(groups_mutex_);
   auto it = groups_.find(group);
   if (it != groups_.end()) it->second.erase(member);
 }
 
 std::vector<std::string> PrivilegeAttributeServer::groups_of(
     const PrincipalName& member) const {
+  std::lock_guard lock(groups_mutex_);
   std::vector<std::string> out;
   for (const auto& [group, members] : groups_) {
     if (members.contains(member)) out.push_back(group);

@@ -14,6 +14,7 @@
 // end-server machinery.
 #pragma once
 
+#include <mutex>
 #include <set>
 
 #include "authz/authorization_server.hpp"
@@ -62,6 +63,8 @@ class PrivilegeAttributeServer final : public net::Node {
   Config config_;
   ProxyIssuer issuer_;
   kdc::ReplayCache replay_cache_;
+  /// Guards groups_ (membership may be edited while PACs are granted).
+  mutable std::mutex groups_mutex_;
   std::map<std::string, std::set<PrincipalName>> groups_;
 };
 

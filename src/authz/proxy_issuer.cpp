@@ -10,6 +10,7 @@ ProxyIssuer::ProxyIssuer(Config config) : config_(std::move(config)) {
 }
 
 void ProxyIssuer::clear_ticket_cache() {
+  std::lock_guard lock(cache_mutex_);
   tgt_.reset();
   ticket_cache_.clear();
 }
@@ -21,18 +22,31 @@ util::Result<kdc::Credentials> ProxyIssuer::creds_for_(
   // on the edge of expiry.
   const util::TimePoint needed_until = now + lifetime;
 
-  if (auto it = ticket_cache_.find(target);
-      it != ticket_cache_.end() && it->second.expires_at >= needed_until) {
-    return it->second;
+  // Cache checks hold the lock; the KDC exchanges do not (a network call
+  // under a lock would serialize every concurrent grant and could deadlock
+  // against the transport).  Racing misses fetch twice — harmless.
+  std::optional<kdc::Credentials> tgt;
+  {
+    std::lock_guard lock(cache_mutex_);
+    if (auto it = ticket_cache_.find(target);
+        it != ticket_cache_.end() && it->second.expires_at >= needed_until) {
+      return it->second;
+    }
+    if (tgt_.has_value() && tgt_->expires_at >= needed_until) {
+      tgt = *tgt_;
+    }
   }
-  if (!tgt_.has_value() || tgt_->expires_at < needed_until) {
-    RPROXY_ASSIGN_OR_RETURN(kdc::Credentials tgt,
+  if (!tgt.has_value()) {
+    RPROXY_ASSIGN_OR_RETURN(kdc::Credentials fresh,
                             kdc_client_->authenticate(8 * util::kHour));
-    tgt_ = std::move(tgt);
+    tgt = fresh;
+    std::lock_guard lock(cache_mutex_);
+    tgt_ = std::move(fresh);
   }
   RPROXY_ASSIGN_OR_RETURN(
       kdc::Credentials creds,
-      kdc_client_->get_ticket(*tgt_, target, lifetime));
+      kdc_client_->get_ticket(*tgt, target, lifetime));
+  std::lock_guard lock(cache_mutex_);
   ticket_cache_[target] = creds;
   return creds;
 }

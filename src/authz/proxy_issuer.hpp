@@ -8,6 +8,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 
 #include "core/proxy.hpp"
 
@@ -54,6 +55,10 @@ class ProxyIssuer {
 
   Config config_;
   std::optional<kdc::KdcClient> kdc_client_;
+  /// Guards tgt_ and ticket_cache_.  Released across the KDC exchanges —
+  /// concurrent misses may fetch the same ticket twice (benign; last write
+  /// wins) but never hold a lock while on the network.
+  mutable std::mutex cache_mutex_;
   std::optional<kdc::Credentials> tgt_;
   std::map<PrincipalName, kdc::Credentials> ticket_cache_;
 };

@@ -6,10 +6,16 @@ namespace rproxy::core {
 
 ChallengeRegistry::Challenge ChallengeRegistry::issue(util::TimePoint now) {
   std::lock_guard lock(mutex_);
-  // Opportunistically drop stale entries so abandoned challenges do not
-  // accumulate in long-running servers.
-  for (auto it = challenges_.begin(); it != challenges_.end();) {
-    it = it->second.second < now ? challenges_.erase(it) : std::next(it);
+  // Amortized cleanup, same idiom as ReplayCache: a full sweep at most
+  // once per second keeps abandoned challenges from accumulating without
+  // making every issue() O(outstanding) under the lock — a per-call sweep
+  // turns the hot challenge path quadratic when most challenges go
+  // unconsumed (e.g. scanners, retries, load tests).
+  if (now - last_purge_ >= util::kSecond) {
+    for (auto it = challenges_.begin(); it != challenges_.end();) {
+      it = it->second.second < now ? challenges_.erase(it) : std::next(it);
+    }
+    last_purge_ = now;
   }
   Challenge c;
   c.id = crypto::random_u64();

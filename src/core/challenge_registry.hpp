@@ -38,6 +38,7 @@ class ChallengeRegistry {
  private:
   mutable std::mutex mutex_;
   util::Duration ttl_;
+  util::TimePoint last_purge_ = 0;
   std::map<std::uint64_t, std::pair<util::Bytes, util::TimePoint>>
       challenges_;
 };

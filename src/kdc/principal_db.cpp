@@ -4,6 +4,7 @@ namespace rproxy::kdc {
 
 void PrincipalDb::register_principal(const PrincipalName& name,
                                      crypto::SymmetricKey key) {
+  std::lock_guard lock(mutex_);
   keys_[name] = key;
 }
 
@@ -15,14 +16,19 @@ crypto::SymmetricKey PrincipalDb::register_with_password(
   return key;
 }
 
-void PrincipalDb::remove(const PrincipalName& name) { keys_.erase(name); }
+void PrincipalDb::remove(const PrincipalName& name) {
+  std::lock_guard lock(mutex_);
+  keys_.erase(name);
+}
 
 bool PrincipalDb::exists(const PrincipalName& name) const {
+  std::lock_guard lock(mutex_);
   return keys_.contains(name);
 }
 
 util::Result<crypto::SymmetricKey> PrincipalDb::key_of(
     const PrincipalName& name) const {
+  std::lock_guard lock(mutex_);
   auto it = keys_.find(name);
   if (it == keys_.end()) {
     return util::fail(util::ErrorCode::kNotFound,

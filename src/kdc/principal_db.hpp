@@ -6,6 +6,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 
 #include "crypto/keys.hpp"
 #include "util/names.hpp"
@@ -13,8 +14,24 @@
 
 namespace rproxy::kdc {
 
+/// Internally thread-safe: the KDC serves AS/TGS exchanges on concurrent
+/// transport threads while tests register and revoke principals.  Copyable
+/// (servers keep their own copy); copies get a fresh mutex.
 class PrincipalDb {
  public:
+  PrincipalDb() = default;
+  PrincipalDb(const PrincipalDb& other) : keys_(other.copy_keys_()) {}
+  PrincipalDb(PrincipalDb&& other) noexcept
+      : keys_(other.take_keys_()) {}
+  PrincipalDb& operator=(const PrincipalDb& other) {
+    if (this != &other) set_keys_(other.copy_keys_());
+    return *this;
+  }
+  PrincipalDb& operator=(PrincipalDb&& other) noexcept {
+    if (this != &other) set_keys_(other.take_keys_());
+    return *this;
+  }
+
   /// Registers (or replaces) a principal's long-term key.
   void register_principal(const PrincipalName& name,
                           crypto::SymmetricKey key);
@@ -34,10 +51,29 @@ class PrincipalDb {
   [[nodiscard]] util::Result<crypto::SymmetricKey> key_of(
       const PrincipalName& name) const;
 
-  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return keys_.size();
+  }
 
  private:
-  std::map<PrincipalName, crypto::SymmetricKey> keys_;
+  using KeyMap = std::map<PrincipalName, crypto::SymmetricKey>;
+
+  [[nodiscard]] KeyMap copy_keys_() const {
+    std::lock_guard lock(mutex_);
+    return keys_;
+  }
+  [[nodiscard]] KeyMap take_keys_() noexcept {
+    std::lock_guard lock(mutex_);
+    return std::move(keys_);
+  }
+  void set_keys_(KeyMap keys) {
+    std::lock_guard lock(mutex_);
+    keys_ = std::move(keys);
+  }
+
+  mutable std::mutex mutex_;
+  KeyMap keys_;
 };
 
 }  // namespace rproxy::kdc

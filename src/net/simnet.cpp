@@ -2,9 +2,15 @@
 
 namespace rproxy::net {
 
-void SimNet::attach(NodeId id, Node& node) { nodes_[std::move(id)] = &node; }
+void SimNet::attach(NodeId id, Node& node) {
+  std::lock_guard lock(mutex_);
+  nodes_[std::move(id)] = &node;
+}
 
-void SimNet::detach(const NodeId& id) { nodes_.erase(id); }
+void SimNet::detach(const NodeId& id) {
+  std::lock_guard lock(mutex_);
+  nodes_.erase(id);
+}
 
 util::Duration SimNet::latency_(const NodeId& a, const NodeId& b) const {
   auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
@@ -16,6 +22,7 @@ util::Duration SimNet::latency_(const NodeId& a, const NodeId& b) const {
 
 void SimNet::set_link_latency(const NodeId& a, const NodeId& b,
                               util::Duration oneway) {
+  std::lock_guard lock(mutex_);
   auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
   link_latency_[key] = oneway;
 }
@@ -34,14 +41,19 @@ Envelope SimNet::deliver_(Envelope e) {
 }
 
 void SimNet::fail_link(const NodeId& a, const NodeId& b) {
+  std::lock_guard lock(mutex_);
   failed_links_.insert(a < b ? std::make_pair(a, b) : std::make_pair(b, a));
 }
 
 void SimNet::restore_link(const NodeId& a, const NodeId& b) {
+  std::lock_guard lock(mutex_);
   failed_links_.erase(a < b ? std::make_pair(a, b) : std::make_pair(b, a));
 }
 
 util::Result<Envelope> SimNet::rpc(Envelope request) {
+  // One round trip is atomic with respect to other threads; nested rpc()
+  // from the invoked handler re-enters on the same thread.
+  std::lock_guard lock(mutex_);
   {
     const auto& a = request.from;
     const auto& b = request.to;

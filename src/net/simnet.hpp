@@ -10,6 +10,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <utility>
@@ -94,7 +95,10 @@ class SimNet {
   void restore_link(const NodeId& a, const NodeId& b);
 
   [[nodiscard]] const NetStats& stats() const { return stats_; }
-  void reset_stats() { stats_.reset(); }
+  void reset_stats() {
+    std::lock_guard lock(mutex_);
+    stats_.reset();
+  }
 
   [[nodiscard]] util::SimClock& clock() { return clock_; }
 
@@ -104,6 +108,12 @@ class SimNet {
   /// Runs taps and counters for one envelope hop.
   Envelope deliver_(Envelope e);
 
+  /// Serializes rpc() rounds across threads (concurrently dispatched TCP
+  /// handlers reach peer nodes through the SimNet): stats, taps, links and
+  /// node table all mutate under it.  Recursive because handlers nest
+  /// rpc() calls on the same thread (an accounting server collecting from
+  /// a peer mid-deposit).
+  mutable std::recursive_mutex mutex_;
   util::SimClock& clock_;
   std::map<NodeId, Node*> nodes_;
   std::vector<Tap*> taps_;

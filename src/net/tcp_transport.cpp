@@ -2,9 +2,12 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 
 namespace rproxy::net {
@@ -29,51 +32,89 @@ Envelope decode_envelope(wire::Decoder& dec) {
 
 namespace {
 
-/// Reads exactly n bytes; false on EOF/error.
-bool read_exact(int fd, std::uint8_t* buffer, std::size_t n) {
+/// Outcome of a socket read/write, so callers can tell a peer hangup from
+/// a stalled peer (SO_RCVTIMEO/SO_SNDTIMEO expiry) from a hard error.
+enum class IoStatus { kOk, kClosed, kTimeout, kError };
+
+/// Reads exactly n bytes.  Retries on EINTR; EAGAIN/EWOULDBLOCK (the
+/// socket timeout expiring) reports kTimeout rather than a bogus EOF.
+IoStatus read_exact(int fd, std::uint8_t* buffer, std::size_t n) {
   std::size_t done = 0;
   while (done < n) {
-    const ssize_t got = ::read(fd, buffer + done, n - done);
-    if (got <= 0) return false;
-    done += static_cast<std::size_t>(got);
+    const ssize_t got = ::recv(fd, buffer + done, n - done, 0);
+    if (got > 0) {
+      done += static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got == 0) return IoStatus::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kTimeout;
+    return IoStatus::kError;
   }
-  return true;
+  return IoStatus::kOk;
 }
 
-bool write_exact(int fd, const std::uint8_t* buffer, std::size_t n) {
+/// Writes exactly n bytes.  MSG_NOSIGNAL keeps a peer that closed early
+/// from killing the process with SIGPIPE (the write fails with EPIPE
+/// instead).  Short writes (e.g. under SO_SNDTIMEO pressure) resume where
+/// they left off; EINTR retries.
+IoStatus write_exact(int fd, const std::uint8_t* buffer, std::size_t n) {
   std::size_t done = 0;
   while (done < n) {
-    const ssize_t put = ::write(fd, buffer + done, n - done);
-    if (put <= 0) return false;
-    done += static_cast<std::size_t>(put);
+    const ssize_t put = ::send(fd, buffer + done, n - done, MSG_NOSIGNAL);
+    if (put >= 0) {
+      done += static_cast<std::size_t>(put);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kTimeout;
+    return IoStatus::kError;
   }
-  return true;
+  return IoStatus::kOk;
 }
 
 constexpr std::size_t kMaxFrame = 4u << 20;  // 4 MiB: generous for chains
 
-bool read_frame(int fd, util::Bytes& out) {
+IoStatus read_frame(int fd, util::Bytes& out) {
   std::uint8_t header[4];
-  if (!read_exact(fd, header, 4)) return false;
+  IoStatus st = read_exact(fd, header, 4);
+  if (st != IoStatus::kOk) return st;
   const std::uint32_t len = (std::uint32_t{header[0]} << 24) |
                             (std::uint32_t{header[1]} << 16) |
                             (std::uint32_t{header[2]} << 8) |
                             std::uint32_t{header[3]};
-  if (len > kMaxFrame) return false;
+  if (len > kMaxFrame) return IoStatus::kError;
   out.resize(len);
-  return len == 0 || read_exact(fd, out.data(), len);
+  return len == 0 ? IoStatus::kOk : read_exact(fd, out.data(), len);
 }
 
-bool write_frame(int fd, util::BytesView frame) {
+/// Header and body go out as ONE send: a split write would let Nagle hold
+/// the body until the header is acked (a full delayed-ACK stall on quiet
+/// connections), and one syscall is cheaper anyway.
+IoStatus write_frame(int fd, util::BytesView frame) {
   const auto len = static_cast<std::uint32_t>(frame.size());
-  const std::uint8_t header[4] = {
-      static_cast<std::uint8_t>(len >> 24),
-      static_cast<std::uint8_t>(len >> 16),
-      static_cast<std::uint8_t>(len >> 8),
-      static_cast<std::uint8_t>(len),
-  };
-  return write_exact(fd, header, 4) &&
-         (frame.empty() || write_exact(fd, frame.data(), frame.size()));
+  util::Bytes out(4 + frame.size());
+  out[0] = static_cast<std::uint8_t>(len >> 24);
+  out[1] = static_cast<std::uint8_t>(len >> 16);
+  out[2] = static_cast<std::uint8_t>(len >> 8);
+  out[3] = static_cast<std::uint8_t>(len);
+  if (!frame.empty()) std::memcpy(out.data() + 4, frame.data(), frame.size());
+  return write_exact(fd, out.data(), out.size());
+}
+
+/// Applies a wall-clock send+receive timeout (microseconds) to a socket.
+void set_io_timeout(int fd, util::Duration timeout) {
+  if (timeout <= 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout / util::kSecond);
+  tv.tv_usec = static_cast<suseconds_t>(timeout % util::kSecond);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
 }  // namespace
@@ -104,45 +145,76 @@ util::Status TcpServer::start() {
     return util::fail(ErrorCode::kInternal, "getsockname() failed");
   }
   port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 16) < 0) {
+  if (::listen(listen_fd_, 128) < 0) {
     return util::fail(ErrorCode::kInternal, "listen() failed");
   }
   running_.store(true);
-  accept_thread_ = std::thread([this] { accept_loop_(); });
+  workers_.reserve(options_.max_connections);
+  for (std::size_t i = 0; i < options_.max_connections; ++i) {
+    workers_.emplace_back([this] { worker_loop_(); });
+  }
   return util::Status::ok();
 }
 
 void TcpServer::stop() {
   if (!running_.exchange(false)) return;
-  // Closing the listener unblocks accept().
+  // Wakes every worker blocked in accept() (they see EINVAL and exit).
+  // The fd stays open until the workers are joined so its number cannot
+  // be reused under a still-blocked accept.
   ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> connections;
   {
-    std::lock_guard lock(connections_mutex_);
-    connections.swap(connections_);
+    // Force workers out of blocking reads on live connections; each
+    // worker closes its own fd on the way out.
+    std::lock_guard lock(fds_mutex_);
+    for (const int fd : active_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
   }
-  for (std::thread& t : connections) {
-    if (t.joinable()) t.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
   }
+  workers_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
 }
 
-void TcpServer::accept_loop_() {
+std::size_t TcpServer::active_connections() const {
+  std::lock_guard lock(fds_mutex_);
+  return active_fds_.size();
+}
+
+void TcpServer::worker_loop_() {
   while (running_.load()) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (!running_.load()) return;
-      continue;
+      continue;  // EINTR or a transient accept error
     }
-    std::lock_guard lock(connections_mutex_);
-    connections_.emplace_back([this, fd] { serve_connection_(fd); });
+    set_io_timeout(fd, options_.io_timeout);
+    set_nodelay(fd);
+    {
+      // Registered under the same lock stop() uses to shutdown() live
+      // fds: either stop() sees the fd here, or the running_ re-check
+      // below (ordered by fds_mutex_) sees the stop.
+      std::lock_guard lock(fds_mutex_);
+      if (!running_.load()) {
+        ::close(fd);
+        return;
+      }
+      active_fds_.insert(fd);
+    }
+    serve_connection_(fd);
+    {
+      std::lock_guard lock(fds_mutex_);
+      active_fds_.erase(fd);
+    }
+    ::close(fd);
   }
 }
 
 void TcpServer::serve_connection_(int fd) {
   util::Bytes frame;
-  while (running_.load() && read_frame(fd, frame)) {
+  while (running_.load() && read_frame(fd, frame) == IoStatus::kOk) {
     wire::Decoder dec(frame);
     Envelope request = decode_envelope(dec);
     Envelope reply;
@@ -156,9 +228,8 @@ void TcpServer::serve_connection_(int fd) {
             request, util::fail(ErrorCode::kNotFound,
                                 "no node '" + request.to + "' here"));
       } else {
-        // Handlers were written for the single-threaded simulation:
-        // serialize dispatch so they keep those assumptions.
-        std::lock_guard lock(dispatch_mutex_);
+        // Concurrent dispatch: handlers lock their own state (see
+        // DESIGN.md "Concurrency model").
         reply = it->second->handle(request);
         reply.from = request.to;
         reply.to = request.from;
@@ -167,47 +238,81 @@ void TcpServer::serve_connection_(int fd) {
     served_.fetch_add(1);
     wire::Encoder enc;
     encode_envelope(enc, reply);
-    if (!write_frame(fd, enc.view())) break;
+    if (write_frame(fd, enc.view()) != IoStatus::kOk) break;
   }
-  ::close(fd);
 }
 
-util::Result<Envelope> tcp_rpc(const std::string& host, std::uint16_t port,
-                               const Envelope& request) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return util::fail(ErrorCode::kInternal, "socket() failed");
+util::Status TcpClient::connect(const std::string& host, std::uint16_t port,
+                                util::Duration timeout) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return util::fail(ErrorCode::kInternal, "socket() failed");
+  set_io_timeout(fd_, timeout);
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
+    close();
     return util::fail(ErrorCode::kInternal, "bad address '" + host + "'");
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    close();
     return util::fail(ErrorCode::kNotFound,
                       "cannot connect to " + host + ":" +
                           std::to_string(port));
   }
+  set_nodelay(fd_);
+  return util::Status::ok();
+}
 
+util::Result<Envelope> TcpClient::rpc(const Envelope& request) {
+  if (fd_ < 0) {
+    return util::fail(ErrorCode::kInternal, "not connected");
+  }
   wire::Encoder enc;
   encode_envelope(enc, request);
-  if (!write_frame(fd, enc.view())) {
-    ::close(fd);
-    return util::fail(ErrorCode::kInternal, "send failed");
+  switch (write_frame(fd_, enc.view())) {
+    case IoStatus::kOk:
+      break;
+    case IoStatus::kTimeout:
+      close();
+      return util::fail(ErrorCode::kTimeout, "send timed out");
+    default:
+      close();
+      return util::fail(ErrorCode::kInternal, "send failed");
   }
   util::Bytes frame;
-  if (!read_frame(fd, frame)) {
-    ::close(fd);
-    return util::fail(ErrorCode::kInternal, "connection closed mid-reply");
+  switch (read_frame(fd_, frame)) {
+    case IoStatus::kOk:
+      break;
+    case IoStatus::kTimeout:
+      close();
+      return util::fail(ErrorCode::kTimeout,
+                        "no reply within the receive timeout");
+    default:
+      close();
+      return util::fail(ErrorCode::kInternal, "connection closed mid-reply");
   }
-  ::close(fd);
-
   wire::Decoder dec(frame);
   Envelope reply = decode_envelope(dec);
   RPROXY_RETURN_IF_ERROR(dec.finish());
   return reply;
+}
+
+void TcpClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Result<Envelope> tcp_rpc(const std::string& host, std::uint16_t port,
+                               const Envelope& request,
+                               util::Duration timeout) {
+  TcpClient client;
+  RPROXY_RETURN_IF_ERROR(client.connect(host, port, timeout));
+  return client.rpc(request);
 }
 
 }  // namespace rproxy::net

@@ -10,11 +10,23 @@
 // Framing: u32 big-endian length, then the wire-encoded Envelope
 // (`from, to, type: u16, payload`).  One request/reply per connection
 // round; connections may be reused sequentially.
+//
+// Concurrency: requests are dispatched CONCURRENTLY by a bounded pool of
+// pre-spawned worker threads that block in accept() on the shared
+// listener — a connection never spawns (or joins) a thread, so the hot
+// path has no thread churn and excess clients simply queue in the kernel
+// backlog.  Node handlers must therefore be thread-safe (every server in
+// this library locks its own state; see DESIGN.md "Concurrency model").
+// There is no global dispatch lock.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <map>
 #include <mutex>
+#include <set>
 #include <thread>
+#include <vector>
 
 #include "net/message.hpp"
 #include "net/simnet.hpp"
@@ -26,26 +38,39 @@ void encode_envelope(wire::Encoder& enc, const Envelope& e);
 [[nodiscard]] Envelope decode_envelope(wire::Decoder& dec);
 
 /// Hosts one or more Nodes behind a TCP listener.  Dispatch is routed by
-/// Envelope::to; node handlers run serialized under one lock (handlers are
-/// written for the single-threaded simulation; the transport must not
-/// change their concurrency assumptions).
+/// Envelope::to and runs concurrently across connections; handlers must be
+/// thread-safe.
 class TcpServer {
  public:
+  struct Options {
+    /// Size of the worker pool == upper bound on concurrently served
+    /// connections.  Further connections wait in the kernel accept
+    /// backlog until a worker frees up; none are dropped.
+    std::size_t max_connections = 16;
+    /// Per-connection socket receive/send timeout in wall-clock
+    /// microseconds; 0 disables.  A timed-out connection is closed and
+    /// its worker returns to accept(), so stalled peers cannot pin
+    /// workers forever.
+    util::Duration io_timeout = 0;
+  };
+
   TcpServer() = default;
+  explicit TcpServer(Options options) : options_(options) {}
   ~TcpServer() { stop(); }
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  /// Registers a node (must outlive the server).
+  /// Registers a node (must outlive the server; attach before start()).
   void attach(NodeId id, Node& node);
 
-  /// Binds 127.0.0.1 on an ephemeral port and starts the accept loop.
+  /// Binds 127.0.0.1 on an ephemeral port and starts the worker pool.
   [[nodiscard]] util::Status start();
 
   /// The bound port (valid after start()).
   [[nodiscard]] std::uint16_t port() const { return port_; }
 
-  /// Stops the accept loop and joins all connection threads.
+  /// Wakes every worker (listening or mid-connection), joins the pool,
+  /// and closes the listener.
   void stop();
 
   /// Requests served so far.
@@ -53,24 +78,64 @@ class TcpServer {
     return served_.load();
   }
 
+  /// Connections currently being served (for tests and monitoring).
+  [[nodiscard]] std::size_t active_connections() const;
+
  private:
-  void accept_loop_();
+  void worker_loop_();
   void serve_connection_(int fd);
 
   std::map<NodeId, Node*> nodes_;
-  std::mutex dispatch_mutex_;
+  Options options_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
-  std::thread accept_thread_;
-  std::vector<std::thread> connections_;
-  std::mutex connections_mutex_;
+  std::vector<std::thread> workers_;
+
+  /// Guards active_fds_ (the connections currently being served, so
+  /// stop() can shutdown() them out of blocking reads).
+  mutable std::mutex fds_mutex_;
+  std::set<int> active_fds_;
   std::atomic<std::uint64_t> served_{0};
 };
 
-/// One blocking request/reply round trip over TCP.
+/// A persistent client connection: many request/reply rounds over one
+/// TCP connection (the server serves frames until the peer closes).
+/// Reuse matters beyond latency — a connection-per-request client leaves
+/// a client-side TIME_WAIT per call and exhausts the ephemeral port
+/// range under load.  Not thread-safe; use one per client thread.
+class TcpClient {
+ public:
+  TcpClient() = default;
+  ~TcpClient() { close(); }
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  /// Connects and applies `timeout` (wall-clock microseconds, 0 = wait
+  /// forever) to every subsequent send/receive.
+  [[nodiscard]] util::Status connect(const std::string& host,
+                                     std::uint16_t port,
+                                     util::Duration timeout = 0);
+
+  /// One blocking request/reply round.  A stalled server surfaces as
+  /// ErrorCode::kTimeout; any I/O failure closes the connection.
+  [[nodiscard]] util::Result<Envelope> rpc(const Envelope& request);
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// One blocking request/reply round trip over TCP on a fresh connection
+/// (connect, exchange, close).  `timeout` bounds each socket send/receive
+/// in wall-clock microseconds (0 = wait forever); a stalled server
+/// surfaces as ErrorCode::kTimeout instead of hanging the caller.  For
+/// anything hotter than occasional calls, hold a TcpClient instead.
 [[nodiscard]] util::Result<Envelope> tcp_rpc(const std::string& host,
                                              std::uint16_t port,
-                                             const Envelope& request);
+                                             const Envelope& request,
+                                             util::Duration timeout = 0);
 
 }  // namespace rproxy::net

@@ -11,15 +11,18 @@ NameServer::NameServer(PrincipalName name, const util::Clock& clock,
 
 void NameServer::register_key(const PrincipalName& subject,
                               const crypto::VerifyKey& key) {
+  std::lock_guard lock(registry_mutex_);
   registry_[subject] = key;
 }
 
 void NameServer::remove(const PrincipalName& subject) {
+  std::lock_guard lock(registry_mutex_);
   registry_.erase(subject);
 }
 
 util::Result<crypto::VerifyKey> NameServer::key_of(
     const PrincipalName& subject) const {
+  std::lock_guard lock(registry_mutex_);
   auto it = registry_.find(subject);
   if (it == registry_.end()) {
     return util::fail(util::ErrorCode::kNotFound,

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 
 #include "net/rpc.hpp"
 #include "pki/identity_cert.hpp"
@@ -69,6 +70,9 @@ class NameServer final : public net::Node {
   const util::Clock& clock_;
   util::Duration cert_lifetime_;
   crypto::SigningKeyPair signing_key_;
+  /// Guards registry_: key_of() runs on concurrent verifier threads while
+  /// tests register or revoke keys.
+  mutable std::mutex registry_mutex_;
   std::map<PrincipalName, crypto::VerifyKey> registry_;
 };
 

@@ -5,13 +5,17 @@
 namespace rproxy::server {
 
 std::size_t AuditLog::allowed_count() const {
+  std::lock_guard lock(mutex_);
   return static_cast<std::size_t>(
       std::count_if(records_.begin(), records_.end(),
                     [](const AuditRecord& r) { return r.allowed; }));
 }
 
 std::size_t AuditLog::denied_count() const {
-  return records_.size() - allowed_count();
+  std::lock_guard lock(mutex_);
+  std::size_t allowed = 0;
+  for (const AuditRecord& r : records_) allowed += r.allowed ? 1 : 0;
+  return records_.size() - allowed;
 }
 
 }  // namespace rproxy::server

@@ -5,6 +5,7 @@
 // under whose authority, through whom.
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -28,18 +29,29 @@ struct AuditRecord {
   std::string detail;  ///< denial reason or operation summary
 };
 
+/// Appends and counters are thread-safe (concurrently dispatched handlers
+/// audit every decision).  records() hands out a reference to the live
+/// vector and is for inspection only after the server has quiesced — it
+/// must not be called while requests are still in flight.
 class AuditLog {
  public:
-  void append(AuditRecord record) { records_.push_back(std::move(record)); }
+  void append(AuditRecord record) {
+    std::lock_guard lock(mutex_);
+    records_.push_back(std::move(record));
+  }
 
   [[nodiscard]] const std::vector<AuditRecord>& records() const {
     return records_;
   }
   [[nodiscard]] std::size_t allowed_count() const;
   [[nodiscard]] std::size_t denied_count() const;
-  void clear() { records_.clear(); }
+  void clear() {
+    std::lock_guard lock(mutex_);
+    records_.clear();
+  }
 
  private:
+  mutable std::mutex mutex_;
   std::vector<AuditRecord> records_;
 };
 

@@ -89,7 +89,10 @@ class EndServer : public net::Node {
 
   explicit EndServer(Config config);
 
-  /// Local access-control list (§3.5).
+  /// Local access-control list (§3.5).  Edit at setup time only: handle()
+  /// reads it without a lock, so mutating while requests are in flight is
+  /// a race.  The per-request state (challenges, replay caches, audit log)
+  /// is internally synchronized; see DESIGN.md "Concurrency model".
   [[nodiscard]] authz::Acl& acl() { return acl_; }
   [[nodiscard]] const authz::Acl& acl() const { return acl_; }
 

@@ -5,15 +5,18 @@ namespace rproxy::server {
 using util::ErrorCode;
 
 void FileServer::put_file(const ObjectName& path, std::string contents) {
+  std::lock_guard lock(files_mutex_);
   files_[path] = std::move(contents);
 }
 
 bool FileServer::has_file(const ObjectName& path) const {
+  std::lock_guard lock(files_mutex_);
   return files_.contains(path);
 }
 
 util::Result<std::string> FileServer::file_contents(
     const ObjectName& path) const {
+  std::lock_guard lock(files_mutex_);
   auto it = files_.find(path);
   if (it == files_.end()) {
     return util::fail(ErrorCode::kNotFound, "no such file '" + path + "'");
@@ -24,10 +27,14 @@ util::Result<std::string> FileServer::file_contents(
 util::Result<util::Bytes> FileServer::perform(const AppRequestPayload& request,
                                               const AuthorizedRequest& info) {
   (void)info;
+  std::lock_guard lock(files_mutex_);
   if (request.operation == "read") {
-    RPROXY_ASSIGN_OR_RETURN(std::string contents,
-                            file_contents(request.object));
-    return util::to_bytes(contents);
+    auto it = files_.find(request.object);
+    if (it == files_.end()) {
+      return util::fail(ErrorCode::kNotFound,
+                        "no such file '" + request.object + "'");
+    }
+    return util::to_bytes(it->second);
   }
   if (request.operation == "write") {
     files_[request.object] = util::to_string(request.args);

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 
 #include "server/end_server.hpp"
 
@@ -23,13 +24,18 @@ class FileServer final : public EndServer {
   [[nodiscard]] bool has_file(const ObjectName& path) const;
   [[nodiscard]] util::Result<std::string> file_contents(
       const ObjectName& path) const;
-  [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+  [[nodiscard]] std::size_t file_count() const {
+    std::lock_guard lock(files_mutex_);
+    return files_.size();
+  }
 
  protected:
   util::Result<util::Bytes> perform(const AppRequestPayload& request,
                                     const AuthorizedRequest& info) override;
 
  private:
+  /// Guards files_: perform() runs on concurrent transport threads.
+  mutable std::mutex files_mutex_;
   std::map<ObjectName, std::string> files_;
 };
 

@@ -8,6 +8,8 @@
 // before performing, and banks the check afterwards (Fig 5's E1).
 #pragma once
 
+#include <atomic>
+
 #include "accounting/clearing.hpp"
 #include "server/end_server.hpp"
 
@@ -49,10 +51,10 @@ class MeteredServer : public EndServer {
   explicit MeteredServer(MeteredConfig config);
 
   [[nodiscard]] std::uint64_t payments_banked() const {
-    return payments_banked_;
+    return payments_banked_.load();
   }
   [[nodiscard]] std::uint64_t payments_rejected() const {
-    return payments_rejected_;
+    return payments_rejected_.load();
   }
 
  protected:
@@ -66,8 +68,10 @@ class MeteredServer : public EndServer {
 
  private:
   MeteredConfig config_;
-  std::uint64_t payments_banked_ = 0;
-  std::uint64_t payments_rejected_ = 0;
+  /// Atomic: perform() runs on concurrent transport threads and the price
+  /// list is the only other state (read-only after construction).
+  std::atomic<std::uint64_t> payments_banked_{0};
+  std::atomic<std::uint64_t> payments_rejected_{0};
 };
 
 /// A metered echo service used by tests and the examples: operation

@@ -20,6 +20,7 @@ util::Result<util::Bytes> PrintServer::perform(
   job.queue = request.object;
   job.pages = pages;
   job.body = util::to_string(request.args);
+  std::lock_guard lock(jobs_mutex_);
   jobs_.push_back(std::move(job));
   pages_printed_ += pages;
 

@@ -7,6 +7,7 @@
 // balance.
 #pragma once
 
+#include <mutex>
 #include <vector>
 
 #include "server/end_server.hpp"
@@ -27,14 +28,21 @@ class PrintServer final : public EndServer {
  public:
   using EndServer::EndServer;
 
+  /// For inspection after the server has quiesced; do not call while
+  /// requests are in flight (returns a reference to the live queue).
   [[nodiscard]] const std::vector<PrintJob>& jobs() const { return jobs_; }
-  [[nodiscard]] std::uint64_t pages_printed() const { return pages_printed_; }
+  [[nodiscard]] std::uint64_t pages_printed() const {
+    std::lock_guard lock(jobs_mutex_);
+    return pages_printed_;
+  }
 
  protected:
   util::Result<util::Bytes> perform(const AppRequestPayload& request,
                                     const AuthorizedRequest& info) override;
 
  private:
+  /// Guards jobs_ and pages_printed_ against concurrent perform() calls.
+  mutable std::mutex jobs_mutex_;
   std::vector<PrintJob> jobs_;
   std::uint64_t pages_printed_ = 0;
 };

@@ -19,12 +19,13 @@ std::string format_time(TimePoint t) {
 
 void SimClock::advance(Duration d) {
   assert(d >= 0 && "time never flows backward");
-  now_ += d;
+  now_.fetch_add(d, std::memory_order_relaxed);
 }
 
 void SimClock::set(TimePoint t) {
-  assert(t >= now_ && "time never flows backward");
-  now_ = t;
+  assert(t >= now_.load(std::memory_order_relaxed) &&
+         "time never flows backward");
+  now_.store(t, std::memory_order_relaxed);
 }
 
 TimePoint SystemClock::now() const {

@@ -8,6 +8,7 @@
 // calling the OS.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -38,7 +39,9 @@ class Clock {
   [[nodiscard]] virtual TimePoint now() const = 0;
 };
 
-/// Deterministic clock under test/simulation control.
+/// Deterministic clock under test/simulation control.  Reads and advances
+/// are atomic, so concurrently dispatched handlers may read the clock
+/// while the simulation (or SimNet latency charging) moves it forward.
 class SimClock final : public Clock {
  public:
   /// Starts at `start` (defaults to a nonzero value so that accidental
@@ -46,7 +49,9 @@ class SimClock final : public Clock {
   explicit SimClock(TimePoint start = 1'000'000'000LL * kSecond)
       : now_(start) {}
 
-  [[nodiscard]] TimePoint now() const override { return now_; }
+  [[nodiscard]] TimePoint now() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
 
   /// Moves time forward.  Precondition: d >= 0 (time never flows backward).
   void advance(Duration d);
@@ -55,7 +60,7 @@ class SimClock final : public Clock {
   void set(TimePoint t);
 
  private:
-  TimePoint now_;
+  std::atomic<TimePoint> now_;
 };
 
 /// Wall-clock time from the OS; used by examples and benches that interact

@@ -15,6 +15,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kPermissionDenied: return "PermissionDenied";
     case ErrorCode::kInsufficientFunds: return "InsufficientFunds";
     case ErrorCode::kProtocolError: return "ProtocolError";
+    case ErrorCode::kTimeout: return "Timeout";
     case ErrorCode::kInternal: return "Internal";
   }
   return "Unknown";

@@ -43,6 +43,8 @@ enum class ErrorCode {
   kInsufficientFunds,
   /// A protocol message arrived out of order or with a bad field.
   kProtocolError,
+  /// A network operation did not complete within its deadline.
+  kTimeout,
   /// Catch-all for internal invariant failures surfaced as errors.
   kInternal,
 };

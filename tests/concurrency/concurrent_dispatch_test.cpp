@@ -1,0 +1,345 @@
+// Concurrent dispatch over real TCP: many client threads, many nodes, one
+// TcpServer with no global dispatch lock.
+//
+// The invariants under fire are the financial ones: concurrent authenticated
+// transfers must neither lose nor duplicate postings (conservation), a
+// single-use challenge must have exactly one winner no matter how many
+// connections race it, and a check number must certify exactly once (§7.7).
+// Run under -fsanitize=thread (RPROXY_SANITIZE=thread) to also prove the
+// absence of data races in the per-node locking.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "accounting/accounting_server.hpp"
+#include "core/request.hpp"
+#include "net/tcp_transport.hpp"
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+struct Empty {
+  void encode(wire::Encoder&) const {}
+  static Empty decode(wire::Decoder&) { return {}; }
+};
+
+constexpr int kClients = 8;
+constexpr int kTransfersPerClient = 25;
+constexpr std::uint64_t kInitialBalance = 1'000;
+
+class ConcurrentDispatch : public ::testing::Test {
+ protected:
+  ConcurrentDispatch() {
+    world_.add_principal("bank");
+    world_.add_principal("file-server");
+    for (int i = 0; i < kClients; ++i) {
+      world_.add_principal(client_name(i));
+    }
+
+    bank_ = std::make_unique<accounting::AccountingServer>(
+        world_.accounting_config("bank"));
+    for (int i = 0; i < kClients; ++i) {
+      bank_->open_account(client_name(i), client_name(i),
+                          accounting::Balances{{{"credits", kInitialBalance}}});
+    }
+    bank_->open_account("pot", "bank");
+
+    file_server_ = std::make_unique<server::FileServer>(
+        world_.end_server_config("file-server"));
+    file_server_->put_file("/doc", "concurrent");
+    for (int i = 0; i < kClients; ++i) {
+      file_server_->acl().add(authz::AclEntry{{client_name(i)}, {}, {}, {}});
+    }
+
+    tcp_.attach("kdc", *world_.kdc_server);
+    tcp_.attach("bank", *bank_);
+    tcp_.attach("file-server", *file_server_);
+    const util::Status started = tcp_.start();
+    EXPECT_TRUE(started.is_ok()) << started;
+  }
+
+  static std::string client_name(int i) {
+    return "client-" + std::to_string(i);
+  }
+
+  /// Typed round trip over TCP (each call opens its own connection, so it
+  /// is safe to issue from any thread).
+  template <typename ReplyT, typename RequestT>
+  util::Result<ReplyT> call(const PrincipalName& from,
+                            const PrincipalName& to, net::MsgType req_type,
+                            net::MsgType reply_type,
+                            const RequestT& request) {
+    net::Envelope e;
+    e.from = from;
+    e.to = to;
+    e.type = req_type;
+    e.payload = wire::encode_to_bytes(request);
+    RPROXY_ASSIGN_OR_RETURN(net::Envelope reply,
+                            net::tcp_rpc("127.0.0.1", tcp_.port(), e));
+    RPROXY_RETURN_IF_ERROR(net::expect_type(reply, reply_type));
+    return wire::decode_from_bytes<ReplyT>(reply.payload);
+  }
+
+  /// One authenticated 1-credit transfer from `who`'s account to "pot",
+  /// entirely over TCP: challenge round trip, then the signed transfer.
+  util::Status transfer_one(int who) {
+    const std::string name = client_name(who);
+    RPROXY_ASSIGN_OR_RETURN(
+        server::ChallengePayload challenge,
+        (call<server::ChallengePayload>(
+            name, "bank", net::MsgType::kPresentChallengeRequest,
+            net::MsgType::kPresentChallengeReply, Empty{})));
+
+    accounting::TransferPayload req;
+    req.challenge_id = challenge.id;
+    req.from_account = name;
+    req.to_account = "pot";
+    req.currency = "credits";
+    req.amount = 1;
+    const testing::Principal& p = world_.principal(name);
+    req.identity = core::prove_delegate_pk(
+        p.cert, p.identity, challenge.nonce, "bank", world_.clock.now(),
+        core::request_digest("transfer", name + "->pot",
+                             {{"credits", 1}}));
+    RPROXY_ASSIGN_OR_RETURN(
+        accounting::TransferReplyPayload reply,
+        (call<accounting::TransferReplyPayload>(
+            name, "bank", net::MsgType::kTransferRequest,
+            net::MsgType::kTransferReply, req)));
+    if (!reply.ok) {
+      return util::fail(util::ErrorCode::kInternal, "transfer not ok");
+    }
+    return util::Status::ok();
+  }
+
+  World world_;
+  std::unique_ptr<accounting::AccountingServer> bank_;
+  std::unique_ptr<server::FileServer> file_server_;
+  net::TcpServer tcp_;
+};
+
+// Conservation under concurrency: kClients threads each post
+// kTransfersPerClient 1-credit transfers into the shared pot.  Every
+// posting must land exactly once.
+TEST_F(ConcurrentDispatch, ConcurrentTransfersConserveBalances) {
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([this, i, &failures] {
+      for (int t = 0; t < kTransfersPerClient; ++t) {
+        const util::Status posted = transfer_one(i);
+        if (!posted.is_ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const std::uint64_t expected_pot =
+      static_cast<std::uint64_t>(kClients) * kTransfersPerClient;
+  EXPECT_EQ(bank_->account("pot")->balances().balance("credits"),
+            static_cast<std::int64_t>(expected_pot));
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(bank_->account(client_name(i))->balances().balance("credits"),
+              static_cast<std::int64_t>(kInitialBalance -
+                                        kTransfersPerClient));
+  }
+  EXPECT_GE(tcp_.requests_served(),
+            2 * static_cast<std::uint64_t>(kClients) * kTransfersPerClient);
+}
+
+// A single-use challenge presented by many racing connections has exactly
+// one winner: the replayed presentations must all be rejected.
+TEST_F(ConcurrentDispatch, ChallengeReplayHasSingleWinner) {
+  const core::Proxy cap = authz::make_capability_pk(
+      "client-0", world_.principal("client-0").identity, "file-server",
+      {core::ObjectRights{"/doc", {"read"}}}, world_.clock.now(),
+      util::kHour);
+  auto challenge = call<server::ChallengePayload>(
+      "client-0", "file-server", net::MsgType::kPresentChallengeRequest,
+      net::MsgType::kPresentChallengeReply, Empty{});
+  ASSERT_TRUE(challenge.is_ok()) << challenge.status();
+
+  server::AppRequestPayload req;
+  req.operation = "read";
+  req.object = "/doc";
+  req.challenge_id = challenge.value().id;
+  core::PresentedCredential cred;
+  cred.chain = cap.chain;
+  cred.proof =
+      core::prove_bearer(cap, challenge.value().nonce, "file-server",
+                         world_.clock.now(), req.digest());
+  req.credentials.push_back(cred);
+
+  net::Envelope e;
+  e.from = "client-0";
+  e.to = "file-server";
+  e.type = net::MsgType::kAppRequest;
+  e.payload = wire::encode_to_bytes(req);
+
+  constexpr int kRacers = 8;
+  std::atomic<int> successes{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kRacers);
+  for (int i = 0; i < kRacers; ++i) {
+    threads.emplace_back([this, &e, &successes] {
+      auto reply = net::tcp_rpc("127.0.0.1", tcp_.port(), e);
+      if (reply.is_ok() && net::status_of(reply.value()).is_ok()) {
+        successes.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(successes.load(), 1);
+}
+
+// The same check number certified by racing connections: exactly one hold
+// may be placed (the accept-once discipline of §7.7 under concurrency).
+TEST_F(ConcurrentDispatch, ConcurrentCertifySameCheckNumberSingleWinner) {
+  constexpr int kRacers = 6;
+  constexpr std::uint64_t kCheckNumber = 7;
+  std::atomic<int> successes{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kRacers);
+  for (int i = 0; i < kRacers; ++i) {
+    threads.emplace_back([this, &successes] {
+      auto challenge = call<server::ChallengePayload>(
+          "client-0", "bank", net::MsgType::kPresentChallengeRequest,
+          net::MsgType::kPresentChallengeReply, Empty{});
+      if (!challenge.is_ok()) return;
+
+      accounting::CertifyPayload req;
+      req.challenge_id = challenge.value().id;
+      req.account = "client-0";
+      req.payee = "client-1";
+      req.currency = "credits";
+      req.amount = 10;
+      req.check_number = kCheckNumber;
+      req.target_server = "file-server";
+      const testing::Principal& p = world_.principal("client-0");
+      req.identity = core::prove_delegate_pk(
+          p.cert, p.identity, challenge.value().nonce, "bank",
+          world_.clock.now(),
+          core::request_digest("certify", "client-0", {{"credits", 10}}));
+      auto reply = call<accounting::CertifyReplyPayload>(
+          "client-0", "bank", net::MsgType::kCertifyRequest,
+          net::MsgType::kCertifyReply, req);
+      if (reply.is_ok()) successes.fetch_add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(successes.load(), 1);
+  // Exactly one hold's worth of funds is encumbered.
+  EXPECT_EQ(bank_->account("client-0")->held("credits"), 10);
+}
+
+// Different nodes exercised simultaneously through one transport: Kerberos
+// AS exchanges against the KDC interleaved with capability presentations
+// at the file server and transfers at the bank.
+TEST_F(ConcurrentDispatch, MixedNodesServeConcurrently) {
+  constexpr int kPerRole = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+
+  for (int i = 0; i < kPerRole; ++i) {
+    // KDC role.
+    threads.emplace_back([this, i, &failures] {
+      kdc::AsRequestPayload req;
+      req.client = client_name(i);
+      req.nonce = 1000 + static_cast<std::uint64_t>(i);
+      req.requested_lifetime = util::kHour;
+      auto reply = call<kdc::KdcReplyPayload>(
+          client_name(i), "kdc", net::MsgType::kAsRequest,
+          net::MsgType::kAsReply, req);
+      if (!reply.is_ok()) failures.fetch_add(1);
+    });
+    // File-server role.
+    threads.emplace_back([this, i, &failures] {
+      const std::string name = client_name(i);
+      const core::Proxy cap = authz::make_capability_pk(
+          name, world_.principal(name).identity, "file-server",
+          {core::ObjectRights{"/doc", {"read"}}}, world_.clock.now(),
+          util::kHour);
+      auto challenge = call<server::ChallengePayload>(
+          name, "file-server", net::MsgType::kPresentChallengeRequest,
+          net::MsgType::kPresentChallengeReply, Empty{});
+      if (!challenge.is_ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      server::AppRequestPayload req;
+      req.operation = "read";
+      req.object = "/doc";
+      req.challenge_id = challenge.value().id;
+      core::PresentedCredential cred;
+      cred.chain = cap.chain;
+      cred.proof = core::prove_bearer(cap, challenge.value().nonce,
+                                      "file-server", world_.clock.now(),
+                                      req.digest());
+      req.credentials.push_back(cred);
+      auto reply = call<server::AppReplyPayload>(
+          name, "file-server", net::MsgType::kAppRequest,
+          net::MsgType::kAppReply, req);
+      if (!reply.is_ok() ||
+          util::to_string(reply.value().result) != "concurrent") {
+        failures.fetch_add(1);
+      }
+    });
+    // Bank role.
+    threads.emplace_back([this, i, &failures] {
+      if (!transfer_one(i).is_ok()) failures.fetch_add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(bank_->account("pot")->balances().balance("credits"), kPerRole);
+  EXPECT_EQ(file_server_->audit().allowed_count(),
+            static_cast<std::size_t>(kPerRole));
+}
+
+// The bounded worker pool must not deadlock or drop connections when more
+// clients arrive than there are slots.
+TEST(ConcurrentDispatchLimits, MoreClientsThanWorkerSlots) {
+  World world;
+  world.add_principal("file-server");
+  server::FileServer file_server(world.end_server_config("file-server"));
+
+  net::TcpServer::Options options;
+  options.max_connections = 2;
+  net::TcpServer tcp(options);
+  tcp.attach("file-server", file_server);
+  ASSERT_TRUE(tcp.start().is_ok());
+
+  constexpr int kRacers = 10;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kRacers);
+  for (int i = 0; i < kRacers; ++i) {
+    threads.emplace_back([&tcp, &failures] {
+      for (int t = 0; t < 5; ++t) {
+        net::Envelope e;
+        e.from = "bob";
+        e.to = "file-server";
+        e.type = net::MsgType::kPresentChallengeRequest;
+        auto reply = net::tcp_rpc("127.0.0.1", tcp.port(), e);
+        if (!reply.is_ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(tcp.requests_served(), 50u);
+  tcp.stop();
+  EXPECT_EQ(tcp.active_connections(), 0u);
+}
+
+}  // namespace
+}  // namespace rproxy

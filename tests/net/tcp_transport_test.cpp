@@ -183,5 +183,33 @@ TEST_F(TcpWorld, ManySequentialRequests) {
   EXPECT_GE(tcp_.requests_served(), 50u);
 }
 
+TEST_F(TcpWorld, PersistentConnectionServesManyRequests) {
+  net::TcpClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", tcp_.port()).is_ok());
+  net::Envelope e;
+  e.from = "bob";
+  e.to = "file-server";
+  e.type = net::MsgType::kPresentChallengeRequest;
+  for (int i = 0; i < 50; ++i) {
+    auto reply = client.rpc(e);
+    ASSERT_TRUE(reply.is_ok()) << reply.status();
+    EXPECT_EQ(reply.value().type, net::MsgType::kPresentChallengeReply);
+  }
+  // All 50 rounds rode ONE connection: exactly one worker slot was used.
+  EXPECT_EQ(tcp_.active_connections(), 1u);
+  client.close();
+  EXPECT_GE(tcp_.requests_served(), 50u);
+}
+
+TEST(TcpClientStandalone, RpcWithoutConnectFailsCleanly) {
+  net::TcpClient client;
+  EXPECT_FALSE(client.connected());
+  net::Envelope e;
+  e.from = "bob";
+  e.to = "anyone";
+  e.type = net::MsgType::kAppRequest;
+  EXPECT_FALSE(client.rpc(e).is_ok());
+}
+
 }  // namespace
 }  // namespace rproxy
