@@ -222,15 +222,17 @@ bench/CMakeFiles/bench_t4_accounting_models.dir/bench_t4_accounting_models.cpp.o
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/accounting/clearing.hpp \
  /root/repo/src/accounting/accounting_server.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/accounting/account.hpp \
  /root/repo/src/accounting/currency.hpp /root/repo/src/util/status.hpp \
  /usr/include/c++/12/optional /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/wire/decoder.hpp \
- /root/repo/src/wire/encoder.hpp /root/repo/src/authz/acl.hpp \
- /root/repo/src/core/restriction_set.hpp /root/repo/src/core/request.hpp \
- /root/repo/src/core/accept_once_cache.hpp /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/wire/decoder.hpp /root/repo/src/wire/encoder.hpp \
+ /root/repo/src/authz/acl.hpp /root/repo/src/core/restriction_set.hpp \
+ /root/repo/src/core/request.hpp \
+ /root/repo/src/core/accept_once_cache.hpp \
  /root/repo/src/kdc/replay_cache.hpp /root/repo/src/crypto/digest.hpp \
  /root/repo/src/util/clock.hpp /root/repo/src/util/names.hpp \
  /root/repo/src/core/restriction.hpp /root/repo/src/accounting/check.hpp \

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t6_concurrent_dispatch.dir/bench_t6_concurrent_dispatch.cpp.o"
+  "CMakeFiles/bench_t6_concurrent_dispatch.dir/bench_t6_concurrent_dispatch.cpp.o.d"
+  "bench_t6_concurrent_dispatch"
+  "bench_t6_concurrent_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t6_concurrent_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

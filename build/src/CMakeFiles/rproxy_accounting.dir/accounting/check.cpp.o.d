@@ -181,23 +181,7 @@ src/CMakeFiles/rproxy_accounting.dir/accounting/check.cpp.o: \
  /usr/include/c++/12/bits/std_mutex.h \
  /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/kdc/replay_cache.hpp /root/repo/src/crypto/digest.hpp \
- /root/repo/src/util/clock.hpp /root/repo/src/util/names.hpp \
- /root/repo/src/core/restriction.hpp /root/repo/src/crypto/aead.hpp \
- /root/repo/src/crypto/keys.hpp /root/repo/src/crypto/hmac.hpp \
- /root/repo/src/crypto/signature.hpp /root/repo/src/kdc/authenticator.hpp \
- /root/repo/src/kdc/ticket.hpp /root/repo/src/kdc/kdc_client.hpp \
- /root/repo/src/kdc/kdc_server.hpp /root/repo/src/kdc/principal_db.hpp \
- /root/repo/src/net/rpc.hpp /root/repo/src/net/message.hpp \
- /root/repo/src/net/simnet.hpp /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h \
- /usr/include/c++/12/bits/shared_ptr.h \
- /usr/include/c++/12/bits/shared_ptr_base.h \
- /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/ext/concurrence.h \
- /usr/include/c++/12/bits/shared_ptr_atomic.h \
+ /root/repo/src/util/clock.hpp /usr/include/c++/12/atomic \
  /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \
  /usr/include/c++/12/bits/atomic_wait.h /usr/include/c++/12/climits \
@@ -220,6 +204,22 @@ src/CMakeFiles/rproxy_accounting.dir/accounting/check.cpp.o: \
  /usr/include/x86_64-linux-gnu/asm/unistd.h \
  /usr/include/x86_64-linux-gnu/asm/unistd_64.h \
  /usr/include/x86_64-linux-gnu/bits/syscall.h \
+ /root/repo/src/util/names.hpp /root/repo/src/core/restriction.hpp \
+ /root/repo/src/crypto/aead.hpp /root/repo/src/crypto/keys.hpp \
+ /root/repo/src/crypto/hmac.hpp /root/repo/src/crypto/signature.hpp \
+ /root/repo/src/kdc/authenticator.hpp /root/repo/src/kdc/ticket.hpp \
+ /root/repo/src/kdc/kdc_client.hpp /root/repo/src/kdc/kdc_server.hpp \
+ /root/repo/src/kdc/principal_db.hpp /root/repo/src/net/rpc.hpp \
+ /root/repo/src/net/message.hpp /root/repo/src/net/simnet.hpp \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr_base.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/ext/concurrence.h \
+ /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/ranges_algobase.h \

@@ -198,7 +198,11 @@ src/CMakeFiles/rproxy_net.dir/net/simnet.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/set \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/vector \
@@ -218,5 +222,5 @@ src/CMakeFiles/rproxy_net.dir/net/simnet.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
  /root/repo/src/util/status.hpp /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/wire/decoder.hpp \
- /root/repo/src/wire/encoder.hpp /root/repo/src/util/clock.hpp
+ /root/repo/src/wire/decoder.hpp /root/repo/src/wire/encoder.hpp \
+ /root/repo/src/util/clock.hpp /usr/include/c++/12/atomic

@@ -212,9 +212,11 @@ tests/CMakeFiles/baseline_pull_authorization_test.dir/baseline/pull_authorizatio
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/net/adversary.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/net/adversary.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
@@ -222,8 +224,8 @@ tests/CMakeFiles/baseline_pull_authorization_test.dir/baseline/pull_authorizatio
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/util/clock.hpp /root/repo/src/util/names.hpp \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
+ /root/repo/src/util/clock.hpp /usr/include/c++/12/atomic \
+ /root/repo/src/util/names.hpp /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \
@@ -244,7 +246,7 @@ tests/CMakeFiles/baseline_pull_authorization_test.dir/baseline/pull_authorizatio
  /usr/include/x86_64-linux-gnu/bits/types/struct_statx.h \
  /usr/include/c++/12/iostream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/locale \
- /usr/include/c++/12/bits/locale_facets_nonio.h /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
  /usr/include/libintl.h /usr/include/c++/12/bits/codecvt.h \
@@ -288,7 +290,6 @@ tests/CMakeFiles/baseline_pull_authorization_test.dir/baseline/pull_authorizatio
  /root/miniconda/include/gtest/gtest-death-test.h \
  /root/miniconda/include/gtest/internal/gtest-death-test-internal.h \
  /root/miniconda/include/gtest/gtest-matchers.h \
- /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
@@ -303,9 +304,7 @@ tests/CMakeFiles/baseline_pull_authorization_test.dir/baseline/pull_authorizatio
  /root/repo/src/accounting/account.hpp \
  /root/repo/src/accounting/currency.hpp /root/repo/src/authz/acl.hpp \
  /root/repo/src/core/restriction_set.hpp /root/repo/src/core/request.hpp \
- /root/repo/src/core/accept_once_cache.hpp /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/core/accept_once_cache.hpp \
  /root/repo/src/kdc/replay_cache.hpp /root/repo/src/crypto/digest.hpp \
  /root/repo/src/core/restriction.hpp /root/repo/src/accounting/check.hpp \
  /root/repo/src/core/cascade.hpp /root/repo/src/core/proxy.hpp \

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/concurrency/concurrent_dispatch_test.cpp" "tests/CMakeFiles/concurrency_concurrent_dispatch_test.dir/concurrency/concurrent_dispatch_test.cpp.o" "gcc" "tests/CMakeFiles/concurrency_concurrent_dispatch_test.dir/concurrency/concurrent_dispatch_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rproxy_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_accounting.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_authz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_kdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rproxy_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrency_concurrent_dispatch_test.dir/concurrency/concurrent_dispatch_test.cpp.o"
+  "CMakeFiles/concurrency_concurrent_dispatch_test.dir/concurrency/concurrent_dispatch_test.cpp.o.d"
+  "concurrency_concurrent_dispatch_test"
+  "concurrency_concurrent_dispatch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrency_concurrent_dispatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for concurrency_concurrent_dispatch_test.
+# This may be replaced when dependencies are built.
