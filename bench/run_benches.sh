@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs every built benchmark binary and collects per-bench JSON at the repo
+# root as BENCH_<name>.json (e.g. bench/bench_t7_verify_cache ->
+# BENCH_t7_verify_cache.json).
+#
+# Usage: bench/run_benches.sh [build-dir] [extra benchmark args...]
+#   build-dir defaults to "build"; it must already contain compiled bench
+#   binaries (cmake --build <build-dir> --target bench_...).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-build}"
+shift || true
+
+BENCH_DIR="$ROOT/$BUILD_DIR/bench"
+if [[ ! -d "$BENCH_DIR" ]]; then
+  echo "error: no bench directory at $BENCH_DIR (build first)" >&2
+  exit 1
+fi
+
+found=0
+for bin in "$BENCH_DIR"/bench_*; do
+  [[ -f "$bin" && -x "$bin" ]] || continue
+  found=1
+  name="$(basename "$bin")"
+  out="$ROOT/BENCH_${name#bench_}.json"
+  echo "== $name -> $(basename "$out")"
+  "$bin" --benchmark_out="$out" --benchmark_out_format=json "$@"
+done
+
+if [[ "$found" -eq 0 ]]; then
+  echo "error: no bench_* binaries in $BENCH_DIR" >&2
+  exit 1
+fi

@@ -187,6 +187,8 @@ AccountingServer::AccountingServer(Config config)
           .pk_root = config_.pk_root,
           .replay_cache = nullptr,
           .max_skew = config_.max_skew,
+          .verify_cache_capacity = config_.verify_cache_capacity,
+          .verify_cache_ttl = config_.verify_cache_ttl,
       }) {}
 
 void AccountingServer::open_account(const std::string& local_name,

@@ -167,6 +167,10 @@ class AccountingServer final : public net::Node {
     /// collecting from peers).
     pki::IdentityCert identity_cert;
     util::Duration max_skew = 2 * util::kMinute;
+    /// Verified-chain cache for check chains (see
+    /// core::ProxyVerifier::Config); 0 disables.
+    std::size_t verify_cache_capacity = 1024;
+    util::Duration verify_cache_ttl = 5 * util::kMinute;
   };
 
   explicit AccountingServer(Config config);

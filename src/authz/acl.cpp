@@ -61,10 +61,47 @@ bool all_covered(const AclEntry& entry, const AuthorityContext& authority) {
 }
 }  // namespace
 
+void Acl::add(AclEntry entry) {
+  entries_.push_back(std::move(entry));
+  index_entry_(entries_.size() - 1);
+}
+
+void Acl::index_entry_(std::size_t i) {
+  const AclEntry& entry = entries_[i];
+  if (entry.principals.empty()) {
+    unindexed_.push_back(i);
+  } else {
+    by_principal_[entry.principals.front()].push_back(i);
+  }
+}
+
+void Acl::rebuild_index_() {
+  by_principal_.clear();
+  unindexed_.clear();
+  for (std::size_t i = 0; i < entries_.size(); ++i) index_entry_(i);
+}
+
+std::vector<std::size_t> Acl::candidates_(
+    const AuthorityContext& authority) const {
+  std::vector<std::size_t> out(unindexed_);
+  const auto probe = [&](const std::string& token) {
+    auto it = by_principal_.find(token);
+    if (it != by_principal_.end()) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  };
+  for (const PrincipalName& p : authority.principals) probe(p);
+  for (const GroupName& g : authority.groups) probe(acl_group_token(g));
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 util::Result<const AclEntry*> Acl::match(const AuthorityContext& authority,
                                          const Operation& operation,
                                          const ObjectName& object) const {
-  for (const AclEntry& entry : entries_) {
+  for (std::size_t i : candidates_(authority)) {
+    const AclEntry& entry = entries_[i];
     if (all_covered(entry, authority) && grants(entry, operation, object)) {
       return &entry;
     }
@@ -77,7 +114,8 @@ util::Result<const AclEntry*> Acl::match(const AuthorityContext& authority,
 std::vector<const AclEntry*> Acl::matching_entries(
     const AuthorityContext& authority) const {
   std::vector<const AclEntry*> out;
-  for (const AclEntry& entry : entries_) {
+  for (std::size_t i : candidates_(authority)) {
+    const AclEntry& entry = entries_[i];
     if (all_covered(entry, authority)) out.push_back(&entry);
   }
   return out;
@@ -92,6 +130,7 @@ std::size_t Acl::remove_principal(const std::string& principal) {
       std::count_if(entries_.begin(), entries_.end(), is_named);
   entries_.erase(std::remove_if(entries_.begin(), entries_.end(), is_named),
                  entries_.end());
+  if (removed > 0) rebuild_index_();
   return static_cast<std::size_t>(removed);
 }
 
@@ -104,6 +143,7 @@ Acl Acl::decode(wire::Decoder& dec) {
   Acl acl;
   acl.entries_ =
       dec.seq<AclEntry>([](wire::Decoder& d) { return AclEntry::decode(d); });
+  acl.rebuild_index_();
   return acl;
 }
 

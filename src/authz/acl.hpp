@@ -17,6 +17,8 @@
 //    that a single user can't act alone").
 #pragma once
 
+#include <unordered_map>
+
 #include "core/restriction_set.hpp"
 
 namespace rproxy::authz {
@@ -54,7 +56,7 @@ struct AuthorityContext {
 
 class Acl {
  public:
-  void add(AclEntry entry) { entries_.push_back(std::move(entry)); }
+  void add(AclEntry entry);
 
   [[nodiscard]] const std::vector<AclEntry>& entries() const {
     return entries_;
@@ -80,7 +82,28 @@ class Acl {
   static Acl decode(wire::Decoder& dec);
 
  private:
+  /// Entries whose index slot can be probed for `authority`, ascending so
+  /// iteration preserves first-match order.
+  [[nodiscard]] std::vector<std::size_t> candidates_(
+      const AuthorityContext& authority) const;
+  void index_entry_(std::size_t i);
+  void rebuild_index_();
+
   std::vector<AclEntry> entries_;
+  /// Principal -> entry index.  An entry matches only when ALL of its
+  /// principals are covered, and coverage is an exact token comparison, so
+  /// anchoring each entry under its FIRST principal is complete: probing
+  /// the index with every authority token (principals and group tokens)
+  /// surfaces every possibly-matching entry.  Candidates still run through
+  /// the full all-covered + grants predicates, so semantics are unchanged;
+  /// the index only prunes entries whose first principal no authority
+  /// token names.
+  std::unordered_map<std::string, std::vector<std::size_t>> by_principal_;
+  /// Entries the anchor rule cannot index (empty principal list).  Today
+  /// such entries never match (compound concurrence requires at least one
+  /// principal) but they stay scannable so a semantics change here cannot
+  /// silently drop them.
+  std::vector<std::size_t> unindexed_;
 };
 
 }  // namespace rproxy::authz

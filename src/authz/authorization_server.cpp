@@ -84,6 +84,8 @@ AuthorizationServer::AuthorizationServer(Config config)
           .resolver = config.resolver,
           .pk_root = config.pk_root,
           .replay_cache = nullptr,  // set below; needs a stable address
+          .verify_cache_capacity = config.verify_cache_capacity,
+          .verify_cache_ttl = config.verify_cache_ttl,
       }) {
   // The verifier's replay cache must live in this object.
   core::ProxyVerifier::Config vc = verifier_.config();

@@ -81,6 +81,10 @@ class AuthorizationServer final : public net::Node {
     const core::KeyResolver* resolver = nullptr;
     std::optional<crypto::VerifyKey> pk_root;
     util::Duration max_proxy_lifetime = 1 * util::kHour;
+    /// Verified-chain cache for supporting credentials (see
+    /// core::ProxyVerifier::Config); 0 disables.
+    std::size_t verify_cache_capacity = 1024;
+    util::Duration verify_cache_ttl = 5 * util::kMinute;
   };
 
   explicit AuthorizationServer(Config config);

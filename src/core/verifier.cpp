@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/verify_cache.hpp"
+
 namespace rproxy::core {
 
 using util::ErrorCode;
@@ -16,7 +18,42 @@ util::Result<crypto::VerifyKey> MapKeyResolver::resolve(
   return it->second;
 }
 
+ProxyVerifier::ProxyVerifier(Config config) : config_(std::move(config)) {
+  if (config_.verify_cache_capacity > 0) {
+    cache_ = std::make_unique<ChainVerifyCache>(config_.verify_cache_capacity,
+                                                config_.verify_cache_ttl);
+  }
+}
+
+ProxyVerifier::~ProxyVerifier() = default;
+ProxyVerifier::ProxyVerifier(ProxyVerifier&&) noexcept = default;
+ProxyVerifier& ProxyVerifier::operator=(ProxyVerifier&&) noexcept = default;
+
+ChainCacheStats ProxyVerifier::cache_stats() const {
+  return cache_ ? cache_->stats() : ChainCacheStats{};
+}
+
+void ProxyVerifier::clear_cache() {
+  if (cache_) cache_->clear();
+}
+
 util::Result<VerifiedProxy> ProxyVerifier::verify_chain(
+    const ProxyChain& chain, util::TimePoint now) const {
+  if (!cache_) return verify_chain_uncached_(chain, now);
+  const crypto::Digest key = ChainVerifyCache::key_of(chain);
+  if (std::optional<VerifiedProxy> hit =
+          cache_->lookup(key, now, config_.max_skew)) {
+    return std::move(*hit);
+  }
+  util::Result<VerifiedProxy> verified = verify_chain_uncached_(chain, now);
+  // Only successful verifications are remembered: a rejection stays as
+  // cheap or expensive as it was, and no attacker-chosen garbage occupies
+  // cache slots.
+  if (verified.is_ok()) cache_->insert(key, chain, verified.value(), now);
+  return verified;
+}
+
+util::Result<VerifiedProxy> ProxyVerifier::verify_chain_uncached_(
     const ProxyChain& chain, util::TimePoint now) const {
   switch (chain.mode) {
     case ProxyMode::kSymmetric:

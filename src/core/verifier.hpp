@@ -9,9 +9,24 @@
 // over Sollins' cascaded authentication (§3.4).
 #pragma once
 
+#include <memory>
+
 #include "core/presentation.hpp"
 
 namespace rproxy::core {
+
+class ChainVerifyCache;
+
+/// Counters of the verified-chain cache (zeros when the cache is disabled).
+struct ChainCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  /// Entries dropped on lookup because the chain expired or the reuse TTL
+  /// lapsed — both fall through to full re-verification.
+  std::uint64_t expired_drops = 0;
+  std::size_t size = 0;
+};
 
 /// Resolves principal names to identity verification keys (public-key
 /// realization).  Typically backed by pki::NameServer::key_of or a cache of
@@ -73,9 +88,21 @@ class ProxyVerifier {
     kdc::ReplayCache* replay_cache = nullptr;
     /// Freshness window for possession proofs and authenticators.
     util::Duration max_skew = 2 * util::kMinute;
+    /// Verified-chain cache: byte-identical chains skip signature, MAC and
+    /// ticket re-verification.  Time validity, possession proofs, replay
+    /// and accept-once checks, and restriction evaluation always re-run
+    /// per presentation.  0 disables the cache (A/B in tests and benches).
+    std::size_t verify_cache_capacity = 1024;
+    /// Bounded reuse window for cached verifications (§3.1: reuse is
+    /// legitimate only while the grant still stands; the TTL caps how long
+    /// a since-revoked grantor identity key keeps being honoured).
+    util::Duration verify_cache_ttl = 5 * util::kMinute;
   };
 
-  explicit ProxyVerifier(Config config) : config_(std::move(config)) {}
+  explicit ProxyVerifier(Config config);
+  ~ProxyVerifier();
+  ProxyVerifier(ProxyVerifier&&) noexcept;
+  ProxyVerifier& operator=(ProxyVerifier&&) noexcept;
 
   /// Validates the chain and recovers the final proxy key.  Does NOT
   /// evaluate restrictions against a request (the caller does that with
@@ -102,13 +129,25 @@ class ProxyVerifier {
 
   [[nodiscard]] const Config& config() const { return config_; }
 
+  /// Counters of the verified-chain cache; all-zero when disabled.
+  [[nodiscard]] ChainCacheStats cache_stats() const;
+
+  /// Drops every cached verification (e.g. after an out-of-band
+  /// revocation whose window must not wait out the TTL).
+  void clear_cache();
+
  private:
+  [[nodiscard]] util::Result<VerifiedProxy> verify_chain_uncached_(
+      const ProxyChain& chain, util::TimePoint now) const;
   [[nodiscard]] util::Result<VerifiedProxy> verify_sym_chain_(
       const ProxyChain& chain, util::TimePoint now) const;
   [[nodiscard]] util::Result<VerifiedProxy> verify_pk_chain_(
       const ProxyChain& chain, util::TimePoint now) const;
 
   Config config_;
+  /// Internally synchronized; mutable because a cache probe does not change
+  /// the observable verification outcome.
+  mutable std::unique_ptr<ChainVerifyCache> cache_;
 };
 
 }  // namespace rproxy::core

@@ -1,0 +1,95 @@
+#include "core/verify_cache.hpp"
+
+#include <algorithm>
+
+#include "crypto/digest.hpp"
+
+namespace rproxy::core {
+
+ChainVerifyCache::ChainVerifyCache(std::size_t capacity, util::Duration ttl)
+    : capacity_(capacity), ttl_(ttl) {}
+
+crypto::Digest ChainVerifyCache::key_of(const ProxyChain& chain) {
+  wire::Encoder enc;
+  chain.encode(enc);
+  return crypto::sha256(enc.view());
+}
+
+std::optional<VerifiedProxy> ChainVerifyCache::lookup(
+    const crypto::Digest& key, util::TimePoint now, util::Duration max_skew) {
+  std::lock_guard lock(mutex_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    misses_ += 1;
+    return std::nullopt;
+  }
+  Entry& entry = it->second;
+  if (now > entry.value.expires_at || now >= entry.cached_until) {
+    // Past the chain's own expiry (full verification will reproduce the
+    // exact kExpired diagnosis) or past the reuse TTL (re-derive so a
+    // revoked grantor key stops being honoured).  Either way the entry is
+    // dead for all future `now`s.
+    lru_.erase(entry.lru);
+    map_.erase(it);
+    expired_drops_ += 1;
+    misses_ += 1;
+    return std::nullopt;
+  }
+  if (entry.value.mode == ProxyMode::kPublicKey &&
+      entry.max_issued_at > now + max_skew) {
+    // The uncached path rejects future-dated links; keep the entry (it
+    // becomes valid once the clock catches up) but do not serve it.
+    misses_ += 1;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, entry.lru);
+  hits_ += 1;
+  return entry.value;
+}
+
+void ChainVerifyCache::insert(const crypto::Digest& key,
+                              const ProxyChain& chain,
+                              const VerifiedProxy& verified,
+                              util::TimePoint now) {
+  if (capacity_ == 0) return;
+  util::TimePoint max_issued_at = 0;
+  for (const ProxyCertificate& cert : chain.certs) {
+    max_issued_at = std::max(max_issued_at, cert.issued_at);
+  }
+
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = map_.try_emplace(key);
+  if (inserted) {
+    lru_.push_front(key);
+    it->second.lru = lru_.begin();
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+  }
+  it->second.value = verified;
+  it->second.max_issued_at = max_issued_at;
+  it->second.cached_until = now + ttl_;
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    evictions_ += 1;
+  }
+}
+
+void ChainVerifyCache::clear() {
+  std::lock_guard lock(mutex_);
+  map_.clear();
+  lru_.clear();
+}
+
+ChainCacheStats ChainVerifyCache::stats() const {
+  std::lock_guard lock(mutex_);
+  ChainCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.expired_drops = expired_drops_;
+  s.size = map_.size();
+  return s;
+}
+
+}  // namespace rproxy::core

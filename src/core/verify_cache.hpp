@@ -1,0 +1,94 @@
+// Verified-chain cache: the check-once/reuse-many fast path.
+//
+// Chain verification is a pure function of the presented octets and the
+// verifier's long-term configuration: signatures, cascade MACs, ticket
+// decryption and the structural rules depend on nothing else.  Re-verifying
+// a byte-identical chain therefore re-derives a value already in hand, and
+// §3.1's revocation discussion legitimises the reuse — a verification
+// outcome remains good while the grantor's restrictions still hold.
+//
+// What the cache may elide is exactly that pure work, nothing else.  All
+// per-presentation checks stay OUTSIDE and run on every request: possession
+// proofs, challenge single-use, replay caches, accept-once identifiers, and
+// restriction evaluation against the live request.
+//
+// Entries are expiry-aware twice over:
+//  * a hit past the chain's own earliest expiry is dropped, and the caller
+//    falls through to full verification, which reports the same kExpired
+//    diagnosis the uncached path always gave;
+//  * a bounded reuse TTL caps how long any outcome may be served, bounding
+//    the revocation window — a grantor identity key replaced at the name
+//    server is honoured for at most one TTL after the swap.
+#pragma once
+
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "core/verifier.hpp"
+
+namespace rproxy::core {
+
+class ChainVerifyCache {
+ public:
+  /// `capacity` bounds the number of cached chains (LRU eviction);
+  /// `ttl` bounds how long one verification outcome may be reused.
+  ChainVerifyCache(std::size_t capacity, util::Duration ttl);
+
+  /// Cache key: SHA-256 over the chain's deterministic wire encoding —
+  /// mode, the Kerberos root (ticket + sealed authenticator) when present,
+  /// and every link including its signature.  One flipped byte anywhere in
+  /// the presented chain yields a different key.
+  [[nodiscard]] static crypto::Digest key_of(const ProxyChain& chain);
+
+  /// Returns the cached verification outcome, or nullopt when the caller
+  /// must verify in full: unknown key, entry past the chain expiry or the
+  /// reuse TTL (dropped), or a pk link dated further in the future than
+  /// `max_skew` allows at `now` (kept; it may become valid later).
+  [[nodiscard]] std::optional<VerifiedProxy> lookup(const crypto::Digest& key,
+                                                    util::TimePoint now,
+                                                    util::Duration max_skew);
+
+  /// Remembers a successful verification of `chain`.
+  void insert(const crypto::Digest& key, const ProxyChain& chain,
+              const VerifiedProxy& verified, util::TimePoint now);
+
+  void clear();
+
+  [[nodiscard]] ChainCacheStats stats() const;
+
+ private:
+  struct DigestHash {
+    std::size_t operator()(const crypto::Digest& d) const {
+      // SHA-256 output is uniform; the first eight octets are a fine hash.
+      std::size_t h = 0;
+      for (int i = 0; i < 8; ++i) h = (h << 8) | d[static_cast<size_t>(i)];
+      return h;
+    }
+  };
+  struct Entry {
+    VerifiedProxy value;
+    /// Latest issuance instant along the chain — re-checked against
+    /// now + max_skew on every pk-mode hit, mirroring the uncached
+    /// issued-in-the-future rejection.
+    util::TimePoint max_issued_at = 0;
+    /// Insertion time + ttl; the chain's own expiry is checked separately
+    /// against VerifiedProxy::expires_at so the boundary matches the
+    /// uncached path exactly.
+    util::TimePoint cached_until = 0;
+    std::list<crypto::Digest>::iterator lru;
+  };
+
+  std::size_t capacity_;
+  util::Duration ttl_;
+  mutable std::mutex mutex_;
+  std::list<crypto::Digest> lru_;  ///< front = most recently used
+  std::unordered_map<crypto::Digest, Entry, DigestHash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t expired_drops_ = 0;
+};
+
+}  // namespace rproxy::core

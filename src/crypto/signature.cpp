@@ -2,10 +2,15 @@
 
 #include <openssl/evp.h>
 
+#include <array>
 #include <cassert>
+#include <cstring>
+#include <list>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 
 namespace rproxy::crypto {
 
@@ -19,13 +24,106 @@ struct MdCtxFree {
   void operator()(EVP_MD_CTX* c) const { EVP_MD_CTX_free(c); }
 };
 using MdCtxPtr = std::unique_ptr<EVP_MD_CTX, MdCtxFree>;
+
+/// Bounded LRU of EVP_PKEY objects keyed by the raw 32-octet key material.
+/// Cached keys are used read-only (EVP_DigestSign/Verify never mutate the
+/// pkey), which OpenSSL supports concurrently; each get() hands back its
+/// own reference so an eviction never frees a key mid-use.
+class PkeyCache {
+ public:
+  static constexpr std::size_t kCapacity = 256;
+  using RawKey = std::array<std::uint8_t, 32>;
+
+  explicit PkeyCache(bool is_private) : is_private_(is_private) {}
+
+  [[nodiscard]] PkeyPtr get(util::BytesView raw) {
+    if (raw.size() != 32) return make_(raw);  // uncacheable shape
+    RawKey key{};
+    std::memcpy(key.data(), raw.data(), key.size());
+    {
+      std::lock_guard lock(mutex_);
+      auto it = map_.find(key);
+      if (it != map_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru);
+        hits_ += 1;
+        EVP_PKEY_up_ref(it->second.pkey.get());
+        return PkeyPtr(it->second.pkey.get());
+      }
+      misses_ += 1;
+    }
+    PkeyPtr fresh = make_(raw);  // EVP construction outside the lock
+    if (!fresh) return fresh;
+    std::lock_guard lock(mutex_);
+    auto [it, inserted] = map_.try_emplace(key);
+    if (inserted) {
+      lru_.push_front(key);
+      it->second.lru = lru_.begin();
+      EVP_PKEY_up_ref(fresh.get());
+      it->second.pkey = PkeyPtr(fresh.get());
+      while (map_.size() > kCapacity) {
+        map_.erase(lru_.back());
+        lru_.pop_back();
+      }
+    }
+    return fresh;
+  }
+
+  [[nodiscard]] std::uint64_t hits() const {
+    std::lock_guard lock(mutex_);
+    return hits_;
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    std::lock_guard lock(mutex_);
+    return misses_;
+  }
+
+ private:
+  [[nodiscard]] PkeyPtr make_(util::BytesView raw) const {
+    return PkeyPtr(
+        is_private_
+            ? EVP_PKEY_new_raw_private_key(EVP_PKEY_ED25519, nullptr,
+                                           raw.data(), raw.size())
+            : EVP_PKEY_new_raw_public_key(EVP_PKEY_ED25519, nullptr,
+                                          raw.data(), raw.size()));
+  }
+
+  struct Entry {
+    PkeyPtr pkey;
+    std::list<RawKey>::iterator lru;
+  };
+  struct RawKeyHash {
+    std::size_t operator()(const RawKey& k) const {
+      // Key material is uniformly distributed (Ed25519 points / CSPRNG
+      // seeds); the first eight octets are a sufficient hash.
+      std::size_t h;
+      std::memcpy(&h, k.data(), sizeof(h));
+      return h;
+    }
+  };
+
+  const bool is_private_;
+  mutable std::mutex mutex_;
+  std::list<RawKey> lru_;
+  std::unordered_map<RawKey, Entry, RawKeyHash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+PkeyCache& verify_key_cache() {
+  static PkeyCache cache(/*is_private=*/false);
+  return cache;
+}
+
+PkeyCache& sign_key_cache() {
+  static PkeyCache cache(/*is_private=*/true);
+  return cache;
+}
 }  // namespace
 
 util::Bytes sign(const SigningKeyPair& pair, util::BytesView data) {
   assert(pair.valid() && "cannot sign with an empty key pair");
   const util::Bytes seed = pair.private_bytes();
-  PkeyPtr pkey(EVP_PKEY_new_raw_private_key(EVP_PKEY_ED25519, nullptr,
-                                            seed.data(), seed.size()));
+  PkeyPtr pkey = sign_key_cache().get(seed);
   if (!pkey) throw std::runtime_error("EVP_PKEY_new_raw_private_key failed");
 
   MdCtxPtr ctx(EVP_MD_CTX_new());
@@ -47,8 +145,7 @@ util::Bytes sign(const SigningKeyPair& pair, util::BytesView data) {
 bool verify(const VerifyKey& key, util::BytesView data,
             util::BytesView signature) {
   if (signature.size() != kSignatureSize) return false;
-  PkeyPtr pkey(EVP_PKEY_new_raw_public_key(
-      EVP_PKEY_ED25519, nullptr, key.view().data(), key.view().size()));
+  PkeyPtr pkey = verify_key_cache().get(key.view());
   if (!pkey) return false;
 
   MdCtxPtr ctx(EVP_MD_CTX_new());
@@ -66,6 +163,15 @@ util::Status verify_status(const VerifyKey& key, util::BytesView data,
   if (verify(key, data, signature)) return util::Status::ok();
   return util::fail(util::ErrorCode::kBadSignature,
                     "signature check failed on " + std::string(what));
+}
+
+KeyCacheStats key_cache_stats() {
+  KeyCacheStats s;
+  s.verify_hits = verify_key_cache().hits();
+  s.verify_misses = verify_key_cache().misses();
+  s.sign_hits = sign_key_cache().hits();
+  s.sign_misses = sign_key_cache().misses();
+  return s;
 }
 
 }  // namespace rproxy::crypto

@@ -28,4 +28,17 @@ inline constexpr std::size_t kSignatureSize = 64;
                                          util::BytesView signature,
                                          std::string_view what);
 
+/// Counters for the process-wide EVP key-object caches.  sign() and
+/// verify() memoize EVP_PKEY construction keyed by the raw key octets, so
+/// repeated operations under the same key (a busy server's signing key, a
+/// popular grantor's verify key) stop paying EVP_PKEY_new_raw_*_key per
+/// call.
+struct KeyCacheStats {
+  std::uint64_t verify_hits = 0;
+  std::uint64_t verify_misses = 0;
+  std::uint64_t sign_hits = 0;
+  std::uint64_t sign_misses = 0;
+};
+[[nodiscard]] KeyCacheStats key_cache_stats();
+
 }  // namespace rproxy::crypto

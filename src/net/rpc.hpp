@@ -27,16 +27,23 @@ template <typename ReplyT, typename RequestT>
   return wire::decode_from_bytes<ReplyT>(reply.payload);
 }
 
-/// Builds a success reply to `req` carrying an encodable payload.
-template <typename PayloadT>
-[[nodiscard]] Envelope make_reply(const Envelope& req, MsgType type,
-                                  const PayloadT& payload) {
+/// Builds a success reply to `req` carrying pre-encoded octets, which are
+/// moved — not copied — into the envelope.
+[[nodiscard]] inline Envelope make_reply(const Envelope& req, MsgType type,
+                                         util::Bytes payload) {
   Envelope reply;
   reply.from = req.to;
   reply.to = req.from;
   reply.type = type;
-  reply.payload = wire::encode_to_bytes(payload);
+  reply.payload = std::move(payload);
   return reply;
+}
+
+/// Builds a success reply to `req` carrying an encodable payload.
+template <typename PayloadT>
+[[nodiscard]] Envelope make_reply(const Envelope& req, MsgType type,
+                                  const PayloadT& payload) {
+  return make_reply(req, type, wire::encode_to_bytes(payload));
 }
 
 }  // namespace rproxy::net

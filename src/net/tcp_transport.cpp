@@ -15,6 +15,10 @@ namespace rproxy::net {
 using util::ErrorCode;
 
 void encode_envelope(wire::Encoder& enc, const Envelope& e) {
+  // Exact frame size: two length-prefixed strings, the type, and the
+  // length-prefixed payload — one allocation for the whole frame.
+  enc.reserve(3 * sizeof(std::uint32_t) + sizeof(std::uint16_t) +
+              e.from.size() + e.to.size() + e.payload.size());
   enc.str(e.from);
   enc.str(e.to);
   enc.u16(static_cast<std::uint16_t>(e.type));

@@ -79,6 +79,8 @@ EndServer::EndServer(Config config)
           .resolver = config_.resolver,
           .pk_root = config_.pk_root,
           .replay_cache = &replay_cache_,
+          .verify_cache_capacity = config_.verify_cache_capacity,
+          .verify_cache_ttl = config_.verify_cache_ttl,
       }),
       challenges_(config_.challenge_ttl) {}
 

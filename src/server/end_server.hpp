@@ -85,6 +85,9 @@ class EndServer : public net::Node {
     const util::Clock* clock = nullptr;
     /// Unclaimed challenges expire after this long.
     util::Duration challenge_ttl = 2 * util::kMinute;
+    /// Verified-chain cache (see core::ProxyVerifier::Config); 0 disables.
+    std::size_t verify_cache_capacity = 1024;
+    util::Duration verify_cache_ttl = 5 * util::kMinute;
   };
 
   explicit EndServer(Config config);

@@ -1,5 +1,7 @@
 #include "wire/encoder.hpp"
 
+#include <algorithm>
+
 namespace rproxy::wire {
 
 void Encoder::u8(std::uint8_t v) { out_.push_back(v); }
@@ -26,17 +28,27 @@ void Encoder::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
 void Encoder::boolean(bool v) { u8(v ? 1 : 0); }
 
 void Encoder::bytes(util::BytesView v) {
+  reserve(sizeof(std::uint32_t) + v.size());
   u32(static_cast<std::uint32_t>(v.size()));
   raw(v);
 }
 
 void Encoder::str(std::string_view v) {
+  reserve(sizeof(std::uint32_t) + v.size());
   u32(static_cast<std::uint32_t>(v.size()));
   out_.insert(out_.end(), v.begin(), v.end());
 }
 
 void Encoder::raw(util::BytesView v) {
+  reserve(v.size());
   out_.insert(out_.end(), v.begin(), v.end());
+}
+
+void Encoder::reserve(std::size_t additional) {
+  const std::size_t need = out_.size() + additional;
+  if (need > out_.capacity()) {
+    out_.reserve(std::max(need, out_.capacity() * 2));
+  }
 }
 
 }  // namespace rproxy::wire

@@ -37,6 +37,11 @@ class Encoder {
   /// whose size is fixed by context, and for concatenating sub-encodings).
   void raw(util::BytesView v);
 
+  /// Ensures room for `additional` more octets.  Grows geometrically so a
+  /// run of sized appends costs O(n) amortized rather than one exact
+  /// reallocation per call.
+  void reserve(std::size_t additional);
+
   /// Encodes a homogeneous sequence: u32 count, then each element through
   /// `fn(Encoder&, element)`.
   template <typename Range, typename Fn>

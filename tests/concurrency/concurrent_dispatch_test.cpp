@@ -341,5 +341,117 @@ TEST(ConcurrentDispatchLimits, MoreClientsThanWorkerSlots) {
   EXPECT_EQ(tcp.active_connections(), 0u);
 }
 
+// Verified-chain cache under concurrency: two file servers behind one
+// transport, identical except that one has the chain-verification cache
+// enabled and the other disabled.  Many threads hammer both with the same
+// mix — one chain shared by every thread (maximum cache contention), one
+// distinct chain per thread, and a tampered chain — and every decision
+// must agree between the two servers.  Under TSan this also proves the
+// cache's internal locking.
+TEST(ConcurrentVerifyCache, CacheOnOffDecisionParityUnderLoad) {
+  World world;
+  world.add_principal("alice");
+  world.add_principal("fs-cached");
+  world.add_principal("fs-plain");
+
+  server::EndServer::Config cached_config = world.end_server_config("fs-cached");
+  cached_config.verify_cache_capacity = 1024;
+  server::FileServer cached(std::move(cached_config));
+  server::EndServer::Config plain_config = world.end_server_config("fs-plain");
+  plain_config.verify_cache_capacity = 0;
+  server::FileServer plain(std::move(plain_config));
+  for (server::FileServer* fs : {&cached, &plain}) {
+    fs->put_file("/doc", "parity");
+    fs->acl().add(authz::AclEntry{{"alice"}, {}, {}, {}});
+  }
+
+  net::TcpServer tcp;
+  tcp.attach("fs-cached", cached);
+  tcp.attach("fs-plain", plain);
+  ASSERT_TRUE(tcp.start().is_ok());
+
+  const auto make_chain = [&](std::size_t depth) {
+    core::Proxy proxy = core::grant_pk_proxy(
+        "alice", world.principal("alice").identity, {}, world.clock.now(),
+        util::kHour);
+    for (std::size_t i = 1; i < depth; ++i) {
+      proxy = core::extend_bearer(proxy, {}, world.clock.now(), util::kHour)
+                  .value();
+    }
+    return proxy;
+  };
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 15;
+  const core::Proxy shared = make_chain(4);
+  std::vector<core::Proxy> distinct;
+  distinct.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) distinct.push_back(make_chain(2));
+  core::ProxyChain tampered = shared.chain;
+  tampered.certs[1].signature[3] ^= 0x40;
+
+  // Timestamp-mode presentation of `chain` proved with `signer`'s secret;
+  // returns the reply's error code (kOk on acceptance).
+  const auto present = [&](const PrincipalName& to,
+                           const core::ProxyChain& chain,
+                           const core::Proxy& signer) {
+    server::AppRequestPayload req;
+    req.operation = "read";
+    req.object = "/doc";
+    req.credentials.push_back(core::PresentedCredential{
+        chain, core::prove_bearer(signer, {}, to, world.clock.now(),
+                                  req.digest())});
+    net::Envelope e;
+    e.from = "alice";
+    e.to = to;
+    e.type = net::MsgType::kAppRequest;
+    e.payload = wire::encode_to_bytes(req);
+    auto reply = net::tcp_rpc("127.0.0.1", tcp.port(), e);
+    if (!reply.is_ok()) return reply.status().code();
+    return net::status_of(reply.value()).code();
+  };
+
+  std::atomic<int> disagreements{0};
+  std::atomic<int> accepted_pairs{0};
+  std::atomic<int> rejected_pairs{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        const struct {
+          const core::ProxyChain* chain;
+          const core::Proxy* signer;
+          bool expect_ok;
+        } cases[] = {
+            {&shared.chain, &shared, true},
+            {&distinct[static_cast<std::size_t>(t)].chain,
+             &distinct[static_cast<std::size_t>(t)], true},
+            {&tampered, &shared, false},
+        };
+        for (const auto& c : cases) {
+          const util::ErrorCode with_cache =
+              present("fs-cached", *c.chain, *c.signer);
+          const util::ErrorCode without =
+              present("fs-plain", *c.chain, *c.signer);
+          if (with_cache != without) disagreements.fetch_add(1);
+          const bool ok = with_cache == util::ErrorCode::kOk;
+          if (ok != c.expect_ok) disagreements.fetch_add(1);
+          (ok ? accepted_pairs : rejected_pairs).fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  tcp.stop();
+
+  EXPECT_EQ(disagreements.load(), 0);
+  EXPECT_EQ(accepted_pairs.load(), kThreads * kRounds * 2);
+  EXPECT_EQ(rejected_pairs.load(), kThreads * kRounds);
+  // The cached server actually took the fast path.
+  EXPECT_GE(cached.verifier().cache_stats().hits, 1u);
+  EXPECT_EQ(plain.verifier().cache_stats().hits, 0u);
+}
+
 }  // namespace
 }  // namespace rproxy

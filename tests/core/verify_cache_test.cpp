@@ -1,0 +1,381 @@
+// Chain-verification cache correctness.
+//
+// The cache may elide signature/MAC/ticket re-verification for
+// byte-identical chains, and NOTHING else: expiry, proof freshness,
+// challenge single-use, replay protection, accept-once and restriction
+// evaluation must behave identically with the cache on or off.  Most tests
+// here run the same scenario against a cached and an uncached verifier (or
+// end-server) and assert the outcomes agree.
+#include <gtest/gtest.h>
+
+#include "authz/capability.hpp"
+#include "core/verifier.hpp"
+#include "server/file_server.hpp"
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+core::RestrictionSet one_quota(std::uint64_t n) {
+  core::RestrictionSet set;
+  set.add(core::QuotaRestriction{"usd", n});
+  return set;
+}
+
+class VerifyCacheTest : public ::testing::Test {
+ protected:
+  VerifyCacheTest() {
+    world_.add_principal("alice");
+    world_.add_principal("file-server");
+  }
+
+  core::ProxyVerifier make_verifier(std::size_t capacity,
+                                    util::Duration ttl = 5 * util::kMinute) {
+    core::ProxyVerifier::Config vc;
+    vc.server_name = "file-server";
+    vc.server_key = world_.principal("file-server").krb_key;
+    vc.resolver = &world_.resolver;
+    vc.pk_root = world_.name_server.root_key();
+    vc.verify_cache_capacity = capacity;
+    vc.verify_cache_ttl = ttl;
+    return core::ProxyVerifier(std::move(vc));
+  }
+
+  core::Proxy pk_chain(std::size_t depth, util::Duration lifetime) {
+    core::Proxy proxy =
+        core::grant_pk_proxy("alice", world_.principal("alice").identity,
+                             one_quota(100), world_.clock.now(), lifetime);
+    for (std::size_t i = 1; i < depth; ++i) {
+      proxy = core::extend_bearer(proxy, one_quota(100 - i),
+                                  world_.clock.now(), lifetime)
+                  .value();
+    }
+    return proxy;
+  }
+
+  World world_;
+};
+
+TEST_F(VerifyCacheTest, WarmHitSkipsReverification) {
+  const core::Proxy proxy = pk_chain(4, util::kHour);
+  const core::ProxyVerifier verifier = make_verifier(1024);
+
+  auto first = verifier.verify_chain(proxy.chain, world_.clock.now());
+  ASSERT_TRUE(first.is_ok()) << first.status();
+  auto second = verifier.verify_chain(proxy.chain, world_.clock.now());
+  ASSERT_TRUE(second.is_ok()) << second.status();
+
+  const core::ChainCacheStats stats = verifier.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.size, 1u);
+
+  // The cached result is indistinguishable from the fresh one.
+  EXPECT_EQ(first.value().grantor, second.value().grantor);
+  EXPECT_EQ(first.value().expires_at, second.value().expires_at);
+  EXPECT_EQ(first.value().chain_length, second.value().chain_length);
+  EXPECT_EQ(wire::encode_to_bytes(first.value().effective_restrictions),
+            wire::encode_to_bytes(second.value().effective_restrictions));
+}
+
+TEST_F(VerifyCacheTest, ExpiredChainRejectedAfterWarmHit) {
+  const core::Proxy proxy = pk_chain(2, 10 * util::kMinute);
+  // TTL longer than the chain lifetime so expiry, not the TTL, triggers.
+  const core::ProxyVerifier cached = make_verifier(1024, util::kHour);
+  const core::ProxyVerifier uncached = make_verifier(0);
+
+  ASSERT_TRUE(cached.verify_chain(proxy.chain, world_.clock.now()).is_ok());
+  ASSERT_TRUE(cached.verify_chain(proxy.chain, world_.clock.now()).is_ok());
+  EXPECT_EQ(cached.cache_stats().hits, 1u);
+
+  world_.clock.advance(util::kHour);
+  auto with_cache = cached.verify_chain(proxy.chain, world_.clock.now());
+  auto without = uncached.verify_chain(proxy.chain, world_.clock.now());
+  ASSERT_FALSE(with_cache.is_ok());
+  ASSERT_FALSE(without.is_ok());
+  EXPECT_EQ(with_cache.status().code(), util::ErrorCode::kExpired);
+  // Exact parity: the cached path falls through to full verification, so
+  // even the message matches the uncached verifier's.
+  EXPECT_EQ(with_cache.status().to_string(), without.status().to_string());
+  EXPECT_EQ(cached.cache_stats().expired_drops, 1u);
+}
+
+TEST_F(VerifyCacheTest, TamperedChainMissesCacheAndFails) {
+  const core::Proxy proxy = pk_chain(3, util::kHour);
+  const core::ProxyVerifier cached = make_verifier(1024);
+  const core::ProxyVerifier uncached = make_verifier(0);
+
+  ASSERT_TRUE(cached.verify_chain(proxy.chain, world_.clock.now()).is_ok());
+
+  // Flip one bit of a middle certificate's signature.
+  core::ProxyChain tampered = proxy.chain;
+  tampered.certs[1].signature[5] ^= 0x01;
+  auto with_cache = cached.verify_chain(tampered, world_.clock.now());
+  auto without = uncached.verify_chain(tampered, world_.clock.now());
+  ASSERT_FALSE(with_cache.is_ok());
+  ASSERT_FALSE(without.is_ok());
+  EXPECT_EQ(with_cache.status().code(), without.status().code());
+
+  // The tampered bytes hash to a different key: a miss, never a hit, and
+  // the failed verification is not cached afterwards.
+  const core::ChainCacheStats stats = cached.cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.size, 1u);
+}
+
+TEST_F(VerifyCacheTest, TtlLapseForcesReverification) {
+  const core::Proxy proxy = pk_chain(2, util::kHour);
+  const core::ProxyVerifier verifier =
+      make_verifier(1024, /*ttl=*/util::kMinute);
+
+  ASSERT_TRUE(verifier.verify_chain(proxy.chain, world_.clock.now()).is_ok());
+  world_.clock.advance(2 * util::kMinute);
+  // Chain still valid but the reuse window lapsed: full re-verification.
+  ASSERT_TRUE(verifier.verify_chain(proxy.chain, world_.clock.now()).is_ok());
+
+  const core::ChainCacheStats stats = verifier.cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.expired_drops, 1u);
+}
+
+TEST_F(VerifyCacheTest, CapacityBoundEvicts) {
+  const core::ProxyVerifier verifier = make_verifier(2);
+  std::vector<core::Proxy> proxies;
+  for (int i = 0; i < 3; ++i) proxies.push_back(pk_chain(1, util::kHour));
+
+  for (const core::Proxy& p : proxies) {
+    ASSERT_TRUE(verifier.verify_chain(p.chain, world_.clock.now()).is_ok());
+  }
+  const core::ChainCacheStats stats = verifier.cache_stats();
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+
+  // The evicted (least recently used) chain re-verifies fine — as a miss.
+  ASSERT_TRUE(
+      verifier.verify_chain(proxies[0].chain, world_.clock.now()).is_ok());
+  EXPECT_EQ(verifier.cache_stats().misses, 4u);
+}
+
+TEST_F(VerifyCacheTest, SymmetricChainWarmHit) {
+  world_.net.set_default_latency(0);
+  kdc::KdcClient client = world_.kdc_client("alice");
+  auto tgt = client.authenticate(8 * util::kHour);
+  ASSERT_TRUE(tgt.is_ok()) << tgt.status();
+  auto creds =
+      client.get_ticket(tgt.value(), "file-server", 8 * util::kHour);
+  ASSERT_TRUE(creds.is_ok()) << creds.status();
+  const core::Proxy proxy = core::grant_krb_proxy(
+      client, creds.value(), one_quota(7), world_.clock.now());
+
+  const core::ProxyVerifier verifier = make_verifier(1024);
+  auto first = verifier.verify_chain(proxy.chain, world_.clock.now());
+  ASSERT_TRUE(first.is_ok()) << first.status();
+  auto second = verifier.verify_chain(proxy.chain, world_.clock.now());
+  ASSERT_TRUE(second.is_ok()) << second.status();
+  EXPECT_EQ(verifier.cache_stats().hits, 1u);
+  EXPECT_EQ(first.value().grantor, second.value().grantor);
+}
+
+TEST_F(VerifyCacheTest, ClearCacheDropsEntries) {
+  const core::Proxy proxy = pk_chain(2, util::kHour);
+  core::ProxyVerifier verifier = make_verifier(1024);
+  ASSERT_TRUE(verifier.verify_chain(proxy.chain, world_.clock.now()).is_ok());
+  verifier.clear_cache();
+  EXPECT_EQ(verifier.cache_stats().size, 0u);
+  ASSERT_TRUE(verifier.verify_chain(proxy.chain, world_.clock.now()).is_ok());
+  EXPECT_EQ(verifier.cache_stats().misses, 2u);
+}
+
+TEST_F(VerifyCacheTest, DisabledCacheReportsZeroStats) {
+  const core::Proxy proxy = pk_chain(2, util::kHour);
+  const core::ProxyVerifier verifier = make_verifier(0);
+  ASSERT_TRUE(verifier.verify_chain(proxy.chain, world_.clock.now()).is_ok());
+  ASSERT_TRUE(verifier.verify_chain(proxy.chain, world_.clock.now()).is_ok());
+  const core::ChainCacheStats stats = verifier.cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.size, 0u);
+}
+
+// --- End-server level: per-presentation checks still bite on cache hits ---
+
+class VerifyCacheEndServerTest : public ::testing::Test {
+ protected:
+  VerifyCacheEndServerTest() {
+    world_.add_principal("alice");
+    world_.add_principal("bob");
+    world_.add_principal("file-server");
+  }
+
+  std::unique_ptr<server::FileServer> make_server(std::size_t capacity) {
+    server::EndServer::Config config =
+        world_.end_server_config("file-server");
+    config.verify_cache_capacity = capacity;
+    auto server = std::make_unique<server::FileServer>(std::move(config));
+    server->put_file("/doc", "contents");
+    server->acl().add(authz::AclEntry{{"alice"}, {}, {}, {}});
+    return server;
+  }
+
+  core::Proxy alice_capability() {
+    return authz::make_capability_pk(
+        "alice", world_.principal("alice").identity, "file-server",
+        {core::ObjectRights{"/doc", {"read"}}}, world_.clock.now(),
+        util::kHour);
+  }
+
+  World world_;
+};
+
+TEST_F(VerifyCacheEndServerTest, ReplayedChallengeRejectedOnCacheHit) {
+  auto server = make_server(1024);
+  world_.net.attach("file-server", *server);
+  const core::Proxy cap = alice_capability();
+  server::AppClient bob(world_.net, world_.clock, "bob");
+
+  // Warm the cache with a successful presentation.
+  ASSERT_TRUE(
+      bob.invoke_with_proxy("file-server", cap, "read", "/doc").is_ok());
+  ASSERT_GE(server->verifier().cache_stats().size, 1u);
+
+  // Replay an already-consumed challenge with the (cached) chain: the
+  // single-use challenge check runs before and regardless of the cache.
+  auto challenge = bob.get_challenge("file-server");
+  ASSERT_TRUE(challenge.is_ok());
+  server::AppRequestPayload req;
+  req.operation = "read";
+  req.object = "/doc";
+  req.challenge_id = challenge.value().id;
+  req.credentials.push_back(core::PresentedCredential{
+      cap.chain, core::prove_bearer(cap, challenge.value().nonce,
+                                    "file-server", world_.clock.now(),
+                                    req.digest())});
+  auto first = world_.net.rpc("bob", "file-server",
+                              net::MsgType::kAppRequest,
+                              wire::encode_to_bytes(req));
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_TRUE(net::status_of(first.value()).is_ok());
+  EXPECT_GE(server->verifier().cache_stats().hits, 1u);
+
+  auto replayed = world_.net.rpc("bob", "file-server",
+                                 net::MsgType::kAppRequest,
+                                 wire::encode_to_bytes(req));
+  ASSERT_TRUE(replayed.is_ok());
+  EXPECT_EQ(net::status_of(replayed.value()).code(),
+            util::ErrorCode::kProtocolError);
+}
+
+TEST_F(VerifyCacheEndServerTest, TimestampProofReplayRejectedOnCacheHit) {
+  auto server = make_server(1024);
+  world_.net.attach("file-server", *server);
+  const core::Proxy cap = alice_capability();
+
+  server::AppRequestPayload req;
+  req.operation = "read";
+  req.object = "/doc";
+  req.credentials.push_back(core::PresentedCredential{
+      cap.chain, core::prove_bearer(cap, {}, "file-server",
+                                    world_.clock.now(), req.digest())});
+  const util::Bytes encoded = wire::encode_to_bytes(req);
+
+  auto first = world_.net.rpc("bob", "file-server",
+                              net::MsgType::kAppRequest, encoded);
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_TRUE(net::status_of(first.value()).is_ok());
+
+  // Byte-identical re-presentation: chain would hit the cache, but the
+  // replay cache rejects the reused proof first.
+  auto replayed = world_.net.rpc("bob", "file-server",
+                                 net::MsgType::kAppRequest, encoded);
+  ASSERT_TRUE(replayed.is_ok());
+  EXPECT_EQ(net::status_of(replayed.value()).code(),
+            util::ErrorCode::kReplay);
+}
+
+TEST_F(VerifyCacheEndServerTest, AcceptOnceSingleUseThroughCache) {
+  // Identical scenario against a cached and an uncached server: an
+  // accept-once credential works exactly once on both.
+  for (const std::size_t capacity : {std::size_t{1024}, std::size_t{0}}) {
+    World world;
+    world.add_principal("alice");
+    world.add_principal("bob");
+    world.add_principal("file-server");
+    server::EndServer::Config config = world.end_server_config("file-server");
+    config.verify_cache_capacity = capacity;
+    server::FileServer server(std::move(config));
+    server.put_file("/doc", "contents");
+    server.acl().add(authz::AclEntry{{"alice"}, {}, {}, {}});
+    world.net.attach("file-server", server);
+
+    core::RestrictionSet set;
+    set.add(core::AuthorizedRestriction{
+        {core::ObjectRights{"/doc", {"read"}}}});
+    set.add(core::AcceptOnceRestriction{42});
+    const core::Proxy proxy =
+        core::grant_pk_proxy("alice", world.principal("alice").identity, set,
+                             world.clock.now(), util::kHour);
+
+    server::AppClient bob(world.net, world.clock, "bob");
+    auto first = bob.invoke_with_proxy("file-server", proxy, "read", "/doc");
+    ASSERT_TRUE(first.is_ok()) << "capacity=" << capacity << ": "
+                               << first.status();
+    // Fresh challenge and proof, same chain (cache hit when enabled): the
+    // accept-once identifier is already burned.
+    auto second = bob.invoke_with_proxy("file-server", proxy, "read", "/doc");
+    ASSERT_FALSE(second.is_ok()) << "capacity=" << capacity;
+    EXPECT_EQ(second.code(), util::ErrorCode::kReplay)
+        << "capacity=" << capacity;
+    if (capacity > 0) {
+      EXPECT_GE(server.verifier().cache_stats().hits, 1u);
+    }
+  }
+}
+
+TEST_F(VerifyCacheEndServerTest, CacheOnOffDecisionParity) {
+  // One scenario battery, two servers differing only in cache capacity;
+  // every outcome must agree.
+  auto cached = make_server(1024);
+  auto uncached = make_server(0);
+  // Distinct node names so both can live on one SimNet.
+  world_.net.attach("file-server", *cached);
+
+  const core::Proxy good = alice_capability();
+  core::ProxyChain tampered_chain = good.chain;
+  tampered_chain.certs[0].signature[0] ^= 0x80;
+
+  const auto outcome = [&](server::EndServer& srv,
+                           const core::ProxyChain& chain,
+                           const Operation& op) {
+    server::AppRequestPayload req;
+    req.operation = op;
+    req.object = "/doc";
+    req.credentials.push_back(core::PresentedCredential{
+        chain, core::prove_bearer(good, {}, "file-server",
+                                  world_.clock.now(), req.digest())});
+    net::Envelope env;
+    env.from = "bob";
+    env.to = "file-server";
+    env.type = net::MsgType::kAppRequest;
+    env.payload = wire::encode_to_bytes(req);
+    return net::status_of(srv.handle(env)).code();
+  };
+
+  // Twice each so the second cached round goes through hits.
+  for (int round = 0; round < 2; ++round) {
+    EXPECT_EQ(outcome(*cached, good.chain, "read"),
+              outcome(*uncached, good.chain, "read"));
+    EXPECT_EQ(outcome(*cached, tampered_chain, "read"),
+              outcome(*uncached, tampered_chain, "read"));
+    EXPECT_EQ(outcome(*cached, good.chain, "delete"),
+              outcome(*uncached, good.chain, "delete"));
+  }
+  EXPECT_GE(cached->verifier().cache_stats().hits, 1u);
+  EXPECT_EQ(uncached->verifier().cache_stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace rproxy
