@@ -1,0 +1,107 @@
+// T8 — cost of the fault-injection layer and of clearing under faults
+// (DESIGN.md "Fault model & exactly-once clearing", EXPERIMENTS.md T8).
+//
+// Two questions: (1) what the seeded fault dice cost on the rpc fast path
+// when no fault fires — the overhead every test pays for having the layer
+// compiled in and armed; (2) what a clearing pass costs end-to-end when
+// messages are actually dropped, duplicated and delayed and the client
+// retries into the servers' exactly-once dedup tables.  Counters report
+// injected faults and dedup replays per cleared check.
+#include "bench_util.hpp"
+#include "net/retry.hpp"
+
+namespace {
+
+using namespace rproxy;
+
+class EchoNode final : public net::Node {
+ public:
+  net::Envelope handle(const net::Envelope& request) override {
+    net::Envelope reply = request;
+    std::swap(reply.from, reply.to);
+    reply.type = net::MsgType::kAppReply;
+    return reply;
+  }
+};
+
+/// Arg 0: bare rpc, no plan installed.  Arg 1: a plan is installed but
+/// every probability is zero, so each rpc pays exactly the dice rolls and
+/// window lookup and nothing else.
+void BM_RpcFaultPlanOverhead(benchmark::State& state) {
+  util::SimClock clock;
+  net::SimNet net(clock);
+  net.set_default_latency(0);
+  EchoNode echo;
+  net.attach("client", echo);
+  net.attach("echo", echo);
+  if (state.range(0) == 1) {
+    net.set_fault_plan(net::FaultPlan::uniform(1993, net::FaultSpec{}));
+  }
+  for (auto _ : state) {
+    auto reply = net.rpc("client", "echo", net::MsgType::kAppRequest, {});
+    benchmark::DoNotOptimize(reply);
+    if (!reply.is_ok()) state.SkipWithError("echo rpc failed");
+  }
+  state.counters["plan_armed"] =
+      benchmark::Counter(static_cast<double>(state.range(0)));
+}
+BENCHMARK(BM_RpcFaultPlanOverhead)->Arg(0)->Arg(1);
+
+/// One-hop clearing (Fig 5's scenario) under a seeded fault plan with a
+/// retrying merchant.  Wall time includes retries and their dedup replays;
+/// the occasional check that exhausts every attempt is counted, not fatal.
+void BM_ClearingUnderFaults(benchmark::State& state) {
+  testing::World world;
+  world.add_principal("client");
+  world.add_principal("merchant");
+  world.add_principal("bank0");
+  world.add_principal("bank1");
+  world.net.set_default_latency(0);
+  accounting::AccountingServer bank0(world.accounting_config("bank0"));
+  accounting::AccountingServer bank1(world.accounting_config("bank1"));
+  world.net.attach("bank0", bank0);
+  world.net.attach("bank1", bank1);
+  bank0.open_account("merchant-acct", "merchant");
+  bank1.open_account("client-acct", "client",
+                     accounting::Balances{{"usd", 1LL << 40}});
+
+  net::FaultSpec spec;
+  spec.drop_request = 0.02;
+  spec.drop_reply = 0.02;
+  spec.duplicate = 0.02;
+  spec.extra_delay = 0.05;
+  spec.extra_delay_max = 2 * util::kMillisecond;
+  world.net.set_fault_plan(net::FaultPlan::uniform(1993, spec));
+
+  auto merchant = world.accounting_client("merchant");
+  net::RetryPolicy retry;
+  retry.max_attempts = 8;
+  retry.initial_backoff = 1 * util::kMillisecond;
+  merchant.set_retry_policy(retry);
+
+  std::uint64_t ckno = 1;
+  std::uint64_t gave_up = 0;
+  world.net.reset_stats();
+  for (auto _ : state) {
+    const accounting::Check check = accounting::write_check(
+        "client", world.principal("client").identity,
+        AccountId{"bank1", "client-acct"}, "merchant", "usd", 1, ckno++,
+        world.clock.now(), 100 * util::kHour);
+    auto cleared =
+        merchant.endorse_and_deposit("bank0", check, "merchant-acct");
+    benchmark::DoNotOptimize(cleared);
+    if (!cleared.is_ok()) gave_up += 1;  // retries exhausted — expected, rare
+  }
+  const net::NetStats& stats = world.net.stats();
+  const double n = static_cast<double>(state.iterations());
+  state.counters["faults_per_op"] =
+      benchmark::Counter(static_cast<double>(stats.faults_total()) / n);
+  state.counters["dedup_per_op"] = benchmark::Counter(
+      static_cast<double>(bank0.deduped_replies() + bank1.deduped_replies()) /
+      n);
+  state.counters["gave_up"] =
+      benchmark::Counter(static_cast<double>(gave_up));
+}
+BENCHMARK(BM_ClearingUnderFaults);
+
+}  // namespace

@@ -101,10 +101,15 @@ int main() {
   show_balances(bank1, "revenue");
   show_balances(bank2, "peer:bank1");
 
-  // --- Double spend: depositing the same check number again bounces. ------
+  // --- Double spend: depositing the same check number again is answered
+  // idempotently — the bank replays the original reply and moves nothing
+  // (§7.7's accept-once identifier doubles as the exactly-once dedup key).
   auto again = payee.endorse_and_deposit("bank1", check, "revenue");
-  std::printf("\ndepositing check #1001 again -> %s\n",
-              again.status().to_string().c_str());
+  std::printf("\ndepositing check #1001 again -> %s (dedup replays of the "
+              "original reply: %llu; no funds moved)\n",
+              again.is_ok() ? "OK" : again.status().to_string().c_str(),
+              static_cast<unsigned long long>(bank1.deduped_replies()));
+  show_balances(bank1, "revenue");
 
   // --- Certified check (§4's second mechanism). ---------------------------
   accounting::AccountingClient payer(net, clock, "client", client.cert,

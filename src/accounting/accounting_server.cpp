@@ -37,6 +37,18 @@ util::Bytes deposit_digest(const DepositPayload& req) {
   return core::request_digest("deposit", req.collect_account,
                               {{req.check.currency, req.amount}});
 }
+
+/// Dedup key of a deposit: the check chain's root grantor (the payor who
+/// signed the check — available in the clear, authoritatively re-verified
+/// on the non-dedup path) plus the check number.  Keying on cleartext is
+/// safe: a forged key can only replay a reply that already crossed the
+/// wire, never move money.
+std::optional<std::pair<PrincipalName, std::uint64_t>> deposit_dedup_key(
+    const DepositPayload& req) {
+  if (req.check.chain.certs.empty()) return std::nullopt;
+  return std::make_pair(req.check.chain.certs.front().grantor,
+                        req.check.check_number);
+}
 }  // namespace
 
 void AccountQueryPayload::encode(wire::Encoder& enc) const {
@@ -228,9 +240,19 @@ constexpr std::string_view kSnapshotSealPurpose = "accounting:snapshot";
 
 util::Bytes AccountingServer::snapshot(
     const crypto::SymmetricKey& key) const {
+  const auto encode_dedup = [](wire::Encoder& e, const DedupTable& table) {
+    e.u32(static_cast<std::uint32_t>(table.size()));
+    for (const auto& [key, op] : table) {
+      e.str(key.first);
+      e.u64(key.second);
+      e.bytes(op.reply_payload);
+      e.i64(op.expires_at);
+    }
+  };
+
   std::lock_guard lock(state_mutex_);
   wire::Encoder enc;
-  enc.str("accounting-snapshot-v1");
+  enc.str("accounting-snapshot-v2");
   enc.str(config_.name);
   enc.u32(static_cast<std::uint32_t>(accounts_.size()));
   for (const auto& [name, account] : accounts_) {
@@ -260,6 +282,8 @@ util::Bytes AccountingServer::snapshot(
     enc.u64(hold.amount);
     enc.i64(hold.expires_at);
   }
+  encode_dedup(enc, completed_deposits_);
+  encode_dedup(enc, completed_certifies_);
   return crypto::aead_seal(key.derive_subkey(kSnapshotSealPurpose),
                            enc.view());
 }
@@ -270,7 +294,7 @@ util::Status AccountingServer::restore(const crypto::SymmetricKey& key,
       util::Bytes plain,
       crypto::aead_open(key.derive_subkey(kSnapshotSealPurpose), snapshot));
   wire::Decoder dec(plain);
-  if (dec.str() != "accounting-snapshot-v1") {
+  if (dec.str() != "accounting-snapshot-v2") {
     return util::fail(ErrorCode::kParseError, "not a snapshot");
   }
   const std::string server = dec.str();
@@ -308,11 +332,29 @@ util::Status AccountingServer::restore(const crypto::SymmetricKey& key,
     hold.expires_at = dec.i64();
     certified[cert_key] = hold;
   }
+  const auto decode_dedup = [&dec]() {
+    DedupTable table;
+    const std::uint32_t count = dec.u32();
+    for (std::uint32_t i = 0; i < count && dec.ok(); ++i) {
+      DedupKey key;
+      key.first = dec.str();
+      key.second = dec.u64();
+      CompletedOp op;
+      op.reply_payload = dec.bytes();
+      op.expires_at = dec.i64();
+      table.insert_or_assign(std::move(key), std::move(op));
+    }
+    return table;
+  };
+  DedupTable deposits = decode_dedup();
+  DedupTable certifies = decode_dedup();
   RPROXY_RETURN_IF_ERROR(dec.finish());
 
   std::lock_guard lock(state_mutex_);
   accounts_ = std::move(accounts);
   certified_ = std::move(certified);
+  completed_deposits_ = std::move(deposits);
+  completed_certifies_ = std::move(certifies);
   return util::Status::ok();
 }
 
@@ -468,8 +510,21 @@ net::Envelope AccountingServer::handle_certify_(const net::Envelope& request) {
 
   const util::TimePoint hold_until =
       req.hold_until > now ? req.hold_until : now + util::kHour;
+  const DedupKey dedup_key{who.value(), req.check_number};
   {
     std::lock_guard lock(state_mutex_);
+    // Exactly-once: a retried certify (fresh challenge after a lost
+    // reply) gets the original certification back instead of a kReplay
+    // bounce — the hold it describes is still in place.  Keyed post-
+    // authentication, so only the payor can fetch it.
+    if (config_.enable_dedup) {
+      if (const CompletedOp* done =
+              find_completed_(completed_certifies_, dedup_key)) {
+        deduped_replies_ += 1;
+        return net::make_reply(request, net::MsgType::kCertifyReply,
+                               util::Bytes(done->reply_payload));
+      }
+    }
     Account* acct = find_account_(req.account);
     if (acct == nullptr) {
       return net::make_error_reply(
@@ -500,27 +555,37 @@ net::Envelope AccountingServer::handle_certify_(const net::Envelope& request) {
 
     certified_[key] = CertifiedHold{who.value(), req.account, req.currency,
                                     req.amount, hold_until};
-  }
 
-  // The certification proxy (signed outside the state lock): this server asserts, to the target server,
-  // that the hold exists.  Delegate proxy for the payor (no secret to
-  // transfer).
-  core::RestrictionSet restrictions;
-  restrictions.add(core::AuthorizedRestriction{
-      {core::ObjectRights{certified_check_object(req.check_number),
-                          {"assert"}}}});
-  restrictions.add(core::GranteeRestriction{{who.value()}, 1});
-  if (!req.target_server.empty()) {
-    restrictions.add(core::IssuedForRestriction{{req.target_server}});
-  }
-  const core::Proxy certification =
-      core::grant_pk_proxy(config_.name, config_.identity_key,
-                           std::move(restrictions), now, hold_until - now);
+    // The certification proxy: this server asserts, to the target server,
+    // that the hold exists.  Delegate proxy for the payor (no secret to
+    // transfer).  Signed while still holding the state lock so that
+    // hold placement and the dedup record are one atomic step — a racer
+    // arriving between them would see the hold but no stored reply and
+    // bounce with a spurious kReplay.  (No network I/O happens here, so
+    // the never-hold-locks-across-network rule is respected.)
+    core::RestrictionSet restrictions;
+    restrictions.add(core::AuthorizedRestriction{
+        {core::ObjectRights{certified_check_object(req.check_number),
+                            {"assert"}}}});
+    restrictions.add(core::GranteeRestriction{{who.value()}, 1});
+    if (!req.target_server.empty()) {
+      restrictions.add(core::IssuedForRestriction{{req.target_server}});
+    }
+    const core::Proxy certification =
+        core::grant_pk_proxy(config_.name, config_.identity_key,
+                             std::move(restrictions), now, hold_until - now);
 
-  CertifyReplyPayload reply;
-  reply.certification = certification.chain;
-  reply.expires_at = certification.expires_at;
-  return net::make_reply(request, net::MsgType::kCertifyReply, reply);
+    CertifyReplyPayload reply;
+    reply.certification = certification.chain;
+    reply.expires_at = certification.expires_at;
+    util::Bytes reply_payload = wire::encode_to_bytes(reply);
+    if (config_.enable_dedup) {
+      record_completed_(completed_certifies_, dedup_key,
+                        util::Bytes(reply_payload), hold_until, now);
+    }
+    return net::make_reply(request, net::MsgType::kCertifyReply,
+                           std::move(reply_payload));
+  }
 }
 
 net::Envelope AccountingServer::handle_cashier_(
@@ -581,6 +646,22 @@ net::Envelope AccountingServer::handle_deposit_(const net::Envelope& request) {
   const DepositPayload& req = parsed.value();
   const util::TimePoint now = config_.clock->now();
 
+  // Exactly-once: a duplicated or retried deposit of an already-settled
+  // check replays the original reply instead of moving money twice.  The
+  // lookup runs BEFORE authentication — a verbatim duplicate's single-use
+  // challenge is already consumed, and the stored reply (cleared/hops)
+  // discloses nothing the first reply didn't.
+  const auto dedup_key = deposit_dedup_key(req);
+  if (config_.enable_dedup && dedup_key.has_value()) {
+    std::lock_guard lock(state_mutex_);
+    if (const CompletedOp* done =
+            find_completed_(completed_deposits_, *dedup_key)) {
+      deduped_replies_ += 1;
+      return net::make_reply(request, net::MsgType::kDepositReply,
+                             util::Bytes(done->reply_payload));
+    }
+  }
+
   auto who = authenticate_(req.identity, req.challenge_id,
                            deposit_digest(req), now);
   if (!who.is_ok()) return net::make_error_reply(request, who.status());
@@ -594,8 +675,18 @@ net::Envelope AccountingServer::handle_deposit_(const net::Envelope& request) {
     return net::make_error_reply(request, reply.status());
   }
   checks_cleared_ += 1;
+  util::Bytes reply_payload = wire::encode_to_bytes(reply.value());
+  if (config_.enable_dedup && dedup_key.has_value()) {
+    // Only completed settlements are remembered: a bounced deposit left no
+    // state behind, so retrying it afresh is both safe and desired.
+    const util::TimePoint expiry =
+        req.check.expires_at > now ? req.check.expires_at : now + util::kHour;
+    std::lock_guard lock(state_mutex_);
+    record_completed_(completed_deposits_, *dedup_key,
+                      util::Bytes(reply_payload), expiry, now);
+  }
   return net::make_reply(request, net::MsgType::kDepositReply,
-                         reply.value());
+                         std::move(reply_payload));
 }
 
 util::Result<DepositReplyPayload> AccountingServer::settle_(
@@ -743,31 +834,37 @@ util::Result<DepositReplyPayload> AccountingServer::collect_foreign_(
     return endorsed.status();
   }
 
-  // Collect from the next server as an authenticated client.
-  auto challenge = net::call<ChallengeReply>(
-      *config_.net, config_.name, next,
-      net::MsgType::kPresentChallengeRequest,
-      net::MsgType::kPresentChallengeReply, EmptyPayload{});
-  if (!challenge.is_ok()) {
-    undo();
-    return challenge.status();
-  }
-
-  DepositPayload forward;
-  forward.check = std::move(endorsed).value();
-  forward.collect_account = "peer:" + config_.name;
-  forward.amount = req.amount;
-  forward.challenge_id = challenge.value().id;
-  forward.identity = core::prove_delegate_pk(
-      config_.identity_cert, config_.identity_key, challenge.value().nonce,
-      next, config_.clock->now(), deposit_digest(forward));
-
-  auto forwarded = net::call<DepositReplyPayload>(
-      *config_.net, config_.name, next, net::MsgType::kCheckDeposit,
-      net::MsgType::kDepositReply, forward);
+  // Collect from the next server as an authenticated client.  The whole
+  // challenge+deposit exchange retries as a unit on transport errors: a
+  // lost reply leaves the peer's challenge consumed, so each attempt
+  // fetches a fresh challenge and re-proves identity.  If the lost-reply
+  // deposit actually settled, the peer's dedup table replays its original
+  // reply — exactly-once end to end.
+  auto forwarded = net::with_retries(
+      *config_.net, config_.collect_retry,
+      [&]() -> util::Result<DepositReplyPayload> {
+        RPROXY_ASSIGN_OR_RETURN(
+            ChallengeReply challenge,
+            (net::call<ChallengeReply>(
+                *config_.net, config_.name, next,
+                net::MsgType::kPresentChallengeRequest,
+                net::MsgType::kPresentChallengeReply, EmptyPayload{})));
+        DepositPayload forward;
+        forward.check = endorsed.value();
+        forward.collect_account = "peer:" + config_.name;
+        forward.amount = req.amount;
+        forward.challenge_id = challenge.id;
+        forward.identity = core::prove_delegate_pk(
+            config_.identity_cert, config_.identity_key, challenge.nonce,
+            next, config_.clock->now(), deposit_digest(forward));
+        return net::call<DepositReplyPayload>(
+            *config_.net, config_.name, next, net::MsgType::kCheckDeposit,
+            net::MsgType::kDepositReply, forward);
+      });
   if (!forwarded.is_ok()) {
-    // Check returned (insufficient resources, forged, or misdrawn): undo
-    // the provisional credit and surface the bounce.
+    // Check returned (insufficient resources, forged, unreachable after
+    // all retries, or misdrawn): undo the provisional credit and surface
+    // the bounce.
     undo();
     return forwarded.status();
   }
@@ -795,6 +892,42 @@ void AccountingServer::purge_expired_holds_(util::TimePoint now) {
       ++it;
     }
   }
+  // Dedup entries die with their check — §7.7's "until the expiration
+  // time on the check" applies to the replayed reply just as it does to
+  // the remembered check number.
+  for (DedupTable* table : {&completed_deposits_, &completed_certifies_}) {
+    for (auto it = table->begin(); it != table->end();) {
+      it = it->second.expires_at < now ? table->erase(it) : std::next(it);
+    }
+  }
+}
+
+const AccountingServer::CompletedOp* AccountingServer::find_completed_(
+    const DedupTable& table, const DedupKey& key) const {
+  auto it = table.find(key);
+  return it == table.end() ? nullptr : &it->second;
+}
+
+void AccountingServer::record_completed_(DedupTable& table, DedupKey key,
+                                         util::Bytes reply_payload,
+                                         util::TimePoint expires_at,
+                                         util::TimePoint now) {
+  if (table.size() >= config_.dedup_capacity) {
+    for (auto it = table.begin(); it != table.end();) {
+      it = it->second.expires_at < now ? table.erase(it) : std::next(it);
+    }
+    // Backstop when nothing has expired: evict the entry closest to
+    // expiry (it is the one a retry is least likely to still need).
+    if (table.size() >= config_.dedup_capacity) {
+      auto victim = table.begin();
+      for (auto it = table.begin(); it != table.end(); ++it) {
+        if (it->second.expires_at < victim->second.expires_at) victim = it;
+      }
+      table.erase(victim);
+    }
+  }
+  table.insert_or_assign(std::move(key),
+                         CompletedOp{std::move(reply_payload), expires_at});
 }
 
 }  // namespace rproxy::accounting

@@ -17,6 +17,7 @@
 #include "accounting/account.hpp"
 #include "accounting/check.hpp"
 #include "core/challenge_registry.hpp"
+#include "net/retry.hpp"
 #include "net/rpc.hpp"
 #include "pki/pk_auth.hpp"
 
@@ -171,6 +172,19 @@ class AccountingServer final : public net::Node {
     /// core::ProxyVerifier::Config); 0 disables.
     std::size_t verify_cache_capacity = 1024;
     util::Duration verify_cache_ttl = 5 * util::kMinute;
+    /// Exactly-once clearing: remember the reply of every completed
+    /// kCheckDeposit / kCertifyRequest keyed on the check's (grantor,
+    /// check number) — the paper's own numbered-check restriction — and
+    /// replay it on a duplicated or retried request instead of moving
+    /// money twice.  Disable only to demonstrate the failure mode.
+    bool enable_dedup = true;
+    /// Backstop bound on the dedup tables (entries otherwise expire with
+    /// their check).
+    std::size_t dedup_capacity = 8192;
+    /// Retry policy for collecting from peer servers (the Fig 5 forward
+    /// path).  Safe because peers replay completed deposits from their
+    /// dedup tables; retries only fire on transport errors.
+    net::RetryPolicy collect_retry;
   };
 
   explicit AccountingServer(Config config);
@@ -190,12 +204,15 @@ class AccountingServer final : public net::Node {
   /// by the Fig 5 hop sweep).
   void set_route(const PrincipalName& drawee, const PrincipalName& via);
 
-  /// Sealed state snapshot: every account (name, owner, balances) and the
-  /// outstanding certified holds, AEAD-sealed under `key` so a stored
-  /// snapshot cannot be tampered with.  Replay caches are deliberately NOT
-  /// snapshotted: restoring must never forget an already-spent check
-  /// number mid-window, so operators restore snapshots only after the
-  /// longest check lifetime has passed (or keep the process alive).
+  /// Sealed state snapshot: every account (name, owner, balances), the
+  /// outstanding certified holds, and the exactly-once dedup tables,
+  /// AEAD-sealed under `key` so a stored snapshot cannot be tampered
+  /// with.  The dedup tables ride along so a crash-restarted server keeps
+  /// replaying completed deposits instead of settling them twice.  The
+  /// time-windowed replay caches (challenges, accept-once) are NOT
+  /// snapshotted: restoring can forget an already-spent check number
+  /// mid-window, so operators restore snapshots only from a quiescent
+  /// point or after the longest check lifetime has passed.
   [[nodiscard]] util::Bytes snapshot(const crypto::SymmetricKey& key) const;
 
   /// Restores a snapshot taken with the same key, replacing all accounts
@@ -210,6 +227,11 @@ class AccountingServer final : public net::Node {
   }
   [[nodiscard]] std::uint64_t checks_bounced() const {
     return checks_bounced_.load();
+  }
+  /// Requests answered from the dedup tables (duplicates / retries that
+  /// did NOT move money again).
+  [[nodiscard]] std::uint64_t deduped_replies() const {
+    return deduped_replies_.load();
   }
 
   net::Envelope handle(const net::Envelope& request) override;
@@ -229,6 +251,14 @@ class AccountingServer final : public net::Node {
     Currency currency;
     std::uint64_t amount = 0;
   };
+  /// A completed operation's encoded reply payload, replayed on duplicate
+  /// or retried requests until the underlying check expires.
+  struct CompletedOp {
+    util::Bytes reply_payload;
+    util::TimePoint expires_at = 0;
+  };
+  using DedupKey = std::pair<PrincipalName, std::uint64_t>;
+  using DedupTable = std::map<DedupKey, CompletedOp>;
 
   /// Authenticates a request's identity proof against its challenge and
   /// request digest; returns the principal.
@@ -253,6 +283,15 @@ class AccountingServer final : public net::Node {
 
   void purge_expired_holds_(util::TimePoint now);
 
+  /// Dedup lookup with state_mutex_ already held; nullptr on miss.
+  [[nodiscard]] const CompletedOp* find_completed_(const DedupTable& table,
+                                                   const DedupKey& key) const;
+  /// Records a completed op, purging expired entries and enforcing the
+  /// capacity backstop.  state_mutex_ must be held.
+  void record_completed_(DedupTable& table, DedupKey key,
+                         util::Bytes reply_payload,
+                         util::TimePoint expires_at, util::TimePoint now);
+
   /// Account lookup with state_mutex_ already held.
   [[nodiscard]] Account* find_account_(const std::string& local_name);
   /// open_account with state_mutex_ already held.
@@ -276,8 +315,16 @@ class AccountingServer final : public net::Node {
   /// Credits pending collection keyed by (drawee server, check number).
   std::map<std::pair<PrincipalName, std::uint64_t>, Uncollected>
       uncollected_;
+  /// Exactly-once replay tables (guarded by state_mutex_): completed
+  /// deposits keyed by (check grantor, check number), completed
+  /// certifications keyed by (payor, check number).  Snapshotted — unlike
+  /// the time-windowed replay caches, these ARE the durable exactly-once
+  /// log a restarted server needs to keep honoring retried operations.
+  DedupTable completed_deposits_;
+  DedupTable completed_certifies_;
   std::atomic<std::uint64_t> checks_cleared_{0};
   std::atomic<std::uint64_t> checks_bounced_{0};
+  std::atomic<std::uint64_t> deduped_replies_{0};
 };
 
 }  // namespace rproxy::accounting

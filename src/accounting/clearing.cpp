@@ -43,12 +43,13 @@ AccountingClient::AccountingClient(net::SimNet& net, const util::Clock& clock,
 
 util::Result<core::ChallengeRegistry::Challenge>
 AccountingClient::get_challenge_(const PrincipalName& server) {
+  // Challenge fetches are pure reads — always safe to retry.
   RPROXY_ASSIGN_OR_RETURN(
       ChallengeReply reply,
-      (net::call<ChallengeReply>(net_, self_, server,
-                                 net::MsgType::kPresentChallengeRequest,
-                                 net::MsgType::kPresentChallengeReply,
-                                 EmptyPayload{})));
+      (net::retry_call<ChallengeReply>(net_, retry_, self_, server,
+                                       net::MsgType::kPresentChallengeRequest,
+                                       net::MsgType::kPresentChallengeReply,
+                                       EmptyPayload{})));
   core::ChallengeRegistry::Challenge c;
   c.id = reply.id;
   c.nonce = std::move(reply.nonce);
@@ -65,16 +66,22 @@ core::PossessionProof AccountingClient::prove_(
 
 util::Result<AccountReplyPayload> AccountingClient::query(
     const PrincipalName& server, const std::string& account) {
-  RPROXY_ASSIGN_OR_RETURN(core::ChallengeRegistry::Challenge challenge,
-                          get_challenge_(server));
-  AccountQueryPayload req;
-  req.challenge_id = challenge.id;
-  req.account = account;
-  req.identity = prove_(challenge.nonce, server,
-                        core::request_digest("query", account, {}));
-  return net::call<AccountReplyPayload>(net_, self_, server,
-                                        net::MsgType::kAccountQuery,
-                                        net::MsgType::kAccountReply, req);
+  // Every operation retries as a whole challenge+request unit (the
+  // challenge is single-use, so a fresh one is fetched per attempt).
+  return net::with_retries(
+      net_, retry_, [&]() -> util::Result<AccountReplyPayload> {
+        RPROXY_ASSIGN_OR_RETURN(core::ChallengeRegistry::Challenge challenge,
+                                get_challenge_(server));
+        AccountQueryPayload req;
+        req.challenge_id = challenge.id;
+        req.account = account;
+        req.identity = prove_(challenge.nonce, server,
+                              core::request_digest("query", account, {}));
+        return net::call<AccountReplyPayload>(net_, self_, server,
+                                              net::MsgType::kAccountQuery,
+                                              net::MsgType::kAccountReply,
+                                              req);
+      });
 }
 
 util::Status AccountingClient::transfer(const PrincipalName& server,
@@ -82,6 +89,9 @@ util::Status AccountingClient::transfer(const PrincipalName& server,
                                         const std::string& to_account,
                                         const Currency& currency,
                                         std::uint64_t amount) {
+  // Transfers carry no check number, so the server has no dedup key for
+  // them: a lost reply leaves the outcome unknown and a blind retry could
+  // move the money twice.  Only the challenge fetch retries.
   auto challenge = get_challenge_(server);
   RPROXY_RETURN_IF_ERROR(
       challenge.is_ok() ? util::Status::ok() : challenge.status());
@@ -106,42 +116,56 @@ util::Result<CertifyReplyPayload> AccountingClient::certify(
     const PrincipalName& payee, const Currency& currency,
     std::uint64_t amount, std::uint64_t check_number,
     const PrincipalName& target_server, util::TimePoint hold_until) {
-  RPROXY_ASSIGN_OR_RETURN(core::ChallengeRegistry::Challenge challenge,
-                          get_challenge_(server));
-  CertifyPayload req;
-  req.challenge_id = challenge.id;
-  req.account = account;
-  req.payee = payee;
-  req.currency = currency;
-  req.amount = amount;
-  req.check_number = check_number;
-  req.target_server = target_server;
-  req.hold_until = hold_until;
-  req.identity = prove_(challenge.nonce, server,
-                        core::request_digest("certify", account,
-                                             {{currency, amount}}));
-  return net::call<CertifyReplyPayload>(net_, self_, server,
-                                        net::MsgType::kCertifyRequest,
-                                        net::MsgType::kCertifyReply, req);
+  // Retried as a unit: the server's certify dedup table (keyed on payor +
+  // check number) replays the original certification if a lost reply's
+  // hold is already in place.
+  return net::with_retries(
+      net_, retry_, [&]() -> util::Result<CertifyReplyPayload> {
+        RPROXY_ASSIGN_OR_RETURN(core::ChallengeRegistry::Challenge challenge,
+                                get_challenge_(server));
+        CertifyPayload req;
+        req.challenge_id = challenge.id;
+        req.account = account;
+        req.payee = payee;
+        req.currency = currency;
+        req.amount = amount;
+        req.check_number = check_number;
+        req.target_server = target_server;
+        req.hold_until = hold_until;
+        req.identity = prove_(challenge.nonce, server,
+                              core::request_digest("certify", account,
+                                                   {{currency, amount}}));
+        return net::call<CertifyReplyPayload>(net_, self_, server,
+                                              net::MsgType::kCertifyRequest,
+                                              net::MsgType::kCertifyReply,
+                                              req);
+      });
 }
 
 util::Result<DepositReplyPayload> AccountingClient::deposit(
     const PrincipalName& server, Check endorsed_check,
     const std::string& collect_account, std::uint64_t amount) {
-  RPROXY_ASSIGN_OR_RETURN(core::ChallengeRegistry::Challenge challenge,
-                          get_challenge_(server));
-  DepositPayload req;
-  req.challenge_id = challenge.id;
-  req.check = std::move(endorsed_check);
-  req.collect_account = collect_account;
-  req.amount = amount;
-  req.identity =
-      prove_(challenge.nonce, server,
-             core::request_digest("deposit", collect_account,
-                                  {{req.check.currency, amount}}));
-  return net::call<DepositReplyPayload>(net_, self_, server,
-                                        net::MsgType::kCheckDeposit,
-                                        net::MsgType::kDepositReply, req);
+  // Retried as a unit: if a lost reply's deposit actually cleared, the
+  // server's deposit dedup table (keyed on the check's grantor + number)
+  // replays the original reply instead of settling the check twice.
+  return net::with_retries(
+      net_, retry_, [&]() -> util::Result<DepositReplyPayload> {
+        RPROXY_ASSIGN_OR_RETURN(core::ChallengeRegistry::Challenge challenge,
+                                get_challenge_(server));
+        DepositPayload req;
+        req.challenge_id = challenge.id;
+        req.check = endorsed_check;
+        req.collect_account = collect_account;
+        req.amount = amount;
+        req.identity =
+            prove_(challenge.nonce, server,
+                   core::request_digest("deposit", collect_account,
+                                        {{req.check.currency, amount}}));
+        return net::call<DepositReplyPayload>(net_, self_, server,
+                                              net::MsgType::kCheckDeposit,
+                                              net::MsgType::kDepositReply,
+                                              req);
+      });
 }
 
 util::Result<DepositReplyPayload> AccountingClient::endorse_and_deposit(
@@ -157,6 +181,8 @@ util::Result<Check> AccountingClient::buy_cashier_check(
     const PrincipalName& server, const std::string& account,
     const PrincipalName& payee, const Currency& currency,
     std::uint64_t amount) {
+  // Like transfer: the bank mints a fresh check number per purchase, so
+  // there is no idempotency key — only the challenge fetch retries.
   RPROXY_ASSIGN_OR_RETURN(core::ChallengeRegistry::Challenge challenge,
                           get_challenge_(server));
   CashierPayload req;

@@ -13,6 +13,16 @@ class AccountingClient {
                    PrincipalName self, pki::IdentityCert identity_cert,
                    crypto::SigningKeyPair identity_key);
 
+  /// Retry policy for every operation (default: no retries, preserving
+  /// strict one-shot semantics for callers that count messages).  Each
+  /// attempt is a full challenge+request exchange — single-use challenges
+  /// cannot be resent — and relies on the server's dedup tables to make
+  /// retried deposits/certifies exactly-once.
+  void set_retry_policy(net::RetryPolicy policy) { retry_ = policy; }
+  [[nodiscard]] const net::RetryPolicy& retry_policy() const {
+    return retry_;
+  }
+
   /// Balances of an account (requires query permission).
   [[nodiscard]] util::Result<AccountReplyPayload> query(
       const PrincipalName& server, const std::string& account);
@@ -65,6 +75,7 @@ class AccountingClient {
   PrincipalName self_;
   pki::IdentityCert identity_cert_;
   crypto::SigningKeyPair identity_key_;
+  net::RetryPolicy retry_ = net::RetryPolicy::none();
 };
 
 /// End-server side of a certified check (§4): validates that

@@ -1,0 +1,47 @@
+#include "net/fault.hpp"
+
+#include <algorithm>
+
+namespace rproxy::net {
+
+const FaultSpec& FaultPlan::spec_for(const NodeId& a, const NodeId& b) const {
+  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  if (auto it = per_link.find(key); it != per_link.end()) return it->second;
+  return defaults;
+}
+
+FaultDecision FaultInjector::roll(const NodeId& a, const NodeId& b) {
+  const FaultSpec& spec = plan_.spec_for(a, b);
+  FaultDecision d;
+  // Fixed draw order and count (see header): unreachable, drop_request,
+  // drop_reply, duplicate, extra_delay gate, extra_delay amount.
+  d.unreachable = rng_.chance(spec.unreachable);
+  d.drop_request = rng_.chance(spec.drop_request);
+  d.drop_reply = rng_.chance(spec.drop_reply);
+  d.duplicate = rng_.chance(spec.duplicate);
+  const bool delayed = rng_.chance(spec.extra_delay);
+  std::int64_t amount = 0;
+  if (spec.extra_delay_max > 0) {
+    amount = rng_.range(1, spec.extra_delay_max);
+  } else {
+    (void)rng_.next_u64();
+  }
+  if (delayed) d.extra_delay = amount;
+  return d;
+}
+
+bool FaultInjector::in_window(const NodeId& a, const NodeId& b,
+                              util::TimePoint now) const {
+  auto it = windows_.find(key_(a, b));
+  return it != windows_.end() && now < it->second;
+}
+
+void FaultInjector::open_window(const NodeId& a, const NodeId& b,
+                                util::TimePoint now, util::Duration duration) {
+  const util::Duration window =
+      duration >= 0 ? duration : plan_.spec_for(a, b).unreachable_window;
+  util::TimePoint& until = windows_[key_(a, b)];
+  until = std::max(until, now + window);
+}
+
+}  // namespace rproxy::net

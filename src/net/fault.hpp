@@ -1,0 +1,113 @@
+// Deterministic fault injection for SimNet.
+//
+// A FaultPlan describes, per link, the probability of the classic message-
+// level failures a clearing chain must survive (DESIGN.md "Fault model"):
+// a request lost in transit, a reply lost after the handler ran (the
+// dangerous one — state changed, caller times out), a duplicated delivery,
+// extra per-hop delay, and a transient unreachable window.  All decisions
+// are drawn from a util::Rng seeded by the plan, so a failing chaos run is
+// replayed exactly by re-running its seed.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace rproxy::net {
+
+using NodeId = std::string;
+
+/// Per-link fault probabilities.  All probabilities are per-rpc.
+struct FaultSpec {
+  /// Request vanishes in transit; the handler never runs; caller times out.
+  double drop_request = 0.0;
+  /// Handler runs, reply vanishes; caller times out.  Retrying without an
+  /// idempotent server double-applies the operation.
+  double drop_reply = 0.0;
+  /// Request is delivered twice (the handler runs twice); the duplicate's
+  /// reply is discarded, as a network duplicate's would be.
+  double duplicate = 0.0;
+  /// An extra hop delay in [1, extra_delay_max] is charged to the clock.
+  double extra_delay = 0.0;
+  util::Duration extra_delay_max = 20 * util::kMillisecond;
+  /// The link becomes unreachable (kUnavailable) for unreachable_window of
+  /// simulated time — a transient partition, unlike fail_link's hard cut.
+  double unreachable = 0.0;
+  util::Duration unreachable_window = 50 * util::kMillisecond;
+
+  [[nodiscard]] bool any() const {
+    return drop_request > 0 || drop_reply > 0 || duplicate > 0 ||
+           extra_delay > 0 || unreachable > 0;
+  }
+};
+
+/// A seeded plan: default probabilities plus per-link overrides.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  FaultSpec defaults;
+  /// Keys are normalized (min, max) pairs; use set_link().
+  std::map<std::pair<NodeId, NodeId>, FaultSpec> per_link;
+
+  void set_link(const NodeId& a, const NodeId& b, FaultSpec spec) {
+    per_link[a < b ? std::make_pair(a, b) : std::make_pair(b, a)] = spec;
+  }
+  [[nodiscard]] const FaultSpec& spec_for(const NodeId& a,
+                                          const NodeId& b) const;
+
+  /// Plan applying `spec` to every link.
+  [[nodiscard]] static FaultPlan uniform(std::uint64_t seed, FaultSpec spec) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.defaults = spec;
+    return plan;
+  }
+};
+
+/// What the injector decided for one rpc.  At most one terminal action is
+/// applied by SimNet (priority: unreachable > drop_request > drop_reply);
+/// duplicate and extra_delay compose with anything.
+struct FaultDecision {
+  bool unreachable = false;
+  bool drop_request = false;
+  bool drop_reply = false;
+  bool duplicate = false;
+  util::Duration extra_delay = 0;
+};
+
+/// Owns the PRNG and the open unreachable windows.  Not thread-safe on its
+/// own; SimNet calls it under its rpc mutex.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan)
+      : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+  /// Rolls every die for one rpc over (a, b).  Always draws the same
+  /// number of random values regardless of probabilities, so the decision
+  /// sequence is a pure function of the seed and the rpc order.
+  [[nodiscard]] FaultDecision roll(const NodeId& a, const NodeId& b);
+
+  /// True while a transient window is open over (a, b).
+  [[nodiscard]] bool in_window(const NodeId& a, const NodeId& b,
+                               util::TimePoint now) const;
+
+  /// Opens (or extends) a transient window closing at now + the link's
+  /// configured window (or `duration` when >= 0).
+  void open_window(const NodeId& a, const NodeId& b, util::TimePoint now,
+                   util::Duration duration = -1);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  static std::pair<NodeId, NodeId> key_(const NodeId& a, const NodeId& b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
+  FaultPlan plan_;
+  util::Rng rng_;
+  std::map<std::pair<NodeId, NodeId>, util::TimePoint> windows_;
+};
+
+}  // namespace rproxy::net

@@ -1,0 +1,33 @@
+#include "net/retry.hpp"
+
+#include <algorithm>
+
+namespace rproxy::net {
+
+bool RetryPolicy::transport_error(const util::Status& s) {
+  switch (s.code()) {
+    case util::ErrorCode::kTimeout:
+    case util::ErrorCode::kUnavailable:
+    case util::ErrorCode::kNotFound:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool RetryPolicy::should_retry(const util::Status& s, int attempt) const {
+  return attempt < max_attempts && transport_error(s);
+}
+
+util::Duration RetryPolicy::backoff_before(int attempt) const {
+  if (attempt <= 1 || initial_backoff <= 0) return 0;
+  double wait = static_cast<double>(initial_backoff);
+  for (int i = 2; i < attempt; ++i) {
+    wait *= multiplier;
+    if (wait >= static_cast<double>(max_backoff)) break;
+  }
+  return std::min<util::Duration>(static_cast<util::Duration>(wait),
+                                  max_backoff);
+}
+
+}  // namespace rproxy::net

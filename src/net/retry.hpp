@@ -1,0 +1,79 @@
+// Bounded-retry policy with exponential backoff over SimNet.
+//
+// Transport faults (lost request, lost reply, transient partition, crashed
+// peer) surface as kTimeout / kUnavailable / kNotFound; those are the ONLY
+// errors a retry can fix, and the only ones retried.  Protocol-level
+// failures — bad signature, insufficient funds, replay, permission denied —
+// are deterministic verdicts: retrying them wastes messages and, worse,
+// can turn one logical operation into two.  Backoff is charged to the
+// SimClock so simulated time reflects what a real client would wait, and a
+// transient unreachable window actually closes between attempts.
+#pragma once
+
+#include "net/rpc.hpp"
+
+namespace rproxy::net {
+
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retries).
+  int max_attempts = 4;
+  /// Wait before the first retry; doubles (times `multiplier`) per retry.
+  util::Duration initial_backoff = 5 * util::kMillisecond;
+  double multiplier = 2.0;
+  /// Ceiling on any single wait.
+  util::Duration max_backoff = 1 * util::kSecond;
+
+  /// Policy that never retries (current-behavior default for clients).
+  [[nodiscard]] static RetryPolicy none() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+
+  /// True for the transport-error class (kTimeout, kUnavailable,
+  /// kNotFound): the outcome of the operation is UNKNOWN — it may or may
+  /// not have executed — so retrying is correct only against idempotent
+  /// handlers.  kNotFound is included because a crashed node detached from
+  /// the net is indistinguishable from one about to restart.
+  [[nodiscard]] static bool transport_error(const util::Status& s);
+
+  /// Whether a failed attempt number `attempt` (1-based) should be
+  /// retried under this policy.
+  [[nodiscard]] bool should_retry(const util::Status& s, int attempt) const;
+
+  /// Backoff charged before attempt `attempt` (2-based: the wait between
+  /// attempt N-1 and attempt N), bounded by max_backoff.
+  [[nodiscard]] util::Duration backoff_before(int attempt) const;
+};
+
+/// Runs `fn` (returning util::Result<T> or util::Status) up to
+/// policy.max_attempts times, charging backoff to the net's clock between
+/// attempts.  Each attempt re-invokes `fn`, so callers rebuild per-attempt
+/// state (fresh challenge, fresh possession proof) inside it.
+template <typename Fn>
+[[nodiscard]] auto with_retries(SimNet& net, const RetryPolicy& policy,
+                                Fn&& fn) -> decltype(fn()) {
+  auto result = fn();
+  for (int attempt = 1;
+       !result.is_ok() && policy.should_retry(result.status(), attempt);
+       ++attempt) {
+    net.clock().advance(policy.backoff_before(attempt + 1));
+    result = fn();
+  }
+  return result;
+}
+
+/// Typed round trip with retries: the encoded request is resent verbatim.
+/// Only correct for requests that stay valid across attempts (no embedded
+/// single-use challenge) or idempotent handlers that replay their reply.
+template <typename ReplyT, typename RequestT>
+[[nodiscard]] util::Result<ReplyT> retry_call(
+    SimNet& net, const RetryPolicy& policy, const NodeId& from,
+    const NodeId& to, MsgType req_type, MsgType reply_type,
+    const RequestT& request) {
+  return with_retries(net, policy, [&] {
+    return call<ReplyT>(net, from, to, req_type, reply_type, request);
+  });
+}
+
+}  // namespace rproxy::net

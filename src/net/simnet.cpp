@@ -50,19 +50,74 @@ void SimNet::restore_link(const NodeId& a, const NodeId& b) {
   failed_links_.erase(a < b ? std::make_pair(a, b) : std::make_pair(b, a));
 }
 
+void SimNet::set_fault_plan(FaultPlan plan) {
+  std::lock_guard lock(mutex_);
+  injector_ = std::make_unique<FaultInjector>(std::move(plan));
+}
+
+void SimNet::clear_fault_plan() {
+  std::lock_guard lock(mutex_);
+  injector_.reset();
+}
+
+bool SimNet::fault_plan_active() const {
+  std::lock_guard lock(mutex_);
+  return injector_ != nullptr;
+}
+
+void SimNet::open_unreachable_window(const NodeId& a, const NodeId& b,
+                                     util::Duration duration) {
+  std::lock_guard lock(mutex_);
+  if (injector_ == nullptr) {
+    injector_ = std::make_unique<FaultInjector>(FaultPlan{});
+  }
+  injector_->open_window(a, b, clock_.now(), duration);
+}
+
 util::Result<Envelope> SimNet::rpc(Envelope request) {
   // One round trip is atomic with respect to other threads; nested rpc()
   // from the invoked handler re-enters on the same thread.
   std::lock_guard lock(mutex_);
-  {
-    const auto& a = request.from;
-    const auto& b = request.to;
-    if (failed_links_.contains(a < b ? std::make_pair(a, b)
-                                     : std::make_pair(b, a))) {
-      return util::fail(util::ErrorCode::kNotFound,
-                        "link " + a + " <-> " + b + " is down");
+  const NodeId from = request.from;
+  const NodeId to = request.to;
+  if (failed_links_.contains(from < to ? std::make_pair(from, to)
+                                       : std::make_pair(to, from))) {
+    return util::fail(util::ErrorCode::kUnavailable,
+                      "link " + from + " <-> " + to + " is down");
+  }
+
+  FaultDecision fault;
+  if (injector_ != nullptr) {
+    if (injector_->in_window(from, to, clock_.now())) {
+      stats_.faults_unreachable += 1;
+      return util::fail(util::ErrorCode::kUnavailable,
+                        "link " + from + " <-> " + to +
+                            " transiently unreachable");
+    }
+    fault = injector_->roll(from, to);
+    if (fault.unreachable) {
+      injector_->open_window(from, to, clock_.now());
+      stats_.faults_unreachable += 1;
+      return util::fail(util::ErrorCode::kUnavailable,
+                        "link " + from + " <-> " + to +
+                            " transiently unreachable");
+    }
+    if (fault.extra_delay > 0) {
+      stats_.faults_extra_delays += 1;
+      stats_.simulated_latency += fault.extra_delay;
+      clock_.advance(fault.extra_delay);
     }
   }
+
+  if (fault.drop_request) {
+    // The request went onto the wire (taps see it, latency is charged) and
+    // vanished; the handler never runs.
+    (void)deliver_(std::move(request));
+    stats_.faults_dropped_requests += 1;
+    return util::fail(util::ErrorCode::kTimeout,
+                      "request " + from + " -> " + to + " lost in transit");
+  }
+
   const Envelope delivered = deliver_(std::move(request));
   auto it = nodes_.find(delivered.to);
   if (it == nodes_.end()) {
@@ -71,8 +126,29 @@ util::Result<Envelope> SimNet::rpc(Envelope request) {
   }
   stats_.rpcs += 1;
   Envelope reply = it->second->handle(delivered);
+
+  if (fault.duplicate) {
+    // A network duplicate: the handler runs again on a verbatim copy; the
+    // duplicate's reply is discarded the way a late duplicate's would be.
+    // Idempotent handlers must make this a no-op (dedup tables).
+    stats_.faults_duplicated += 1;
+    const Envelope dup = deliver_(Envelope(delivered));
+    if (auto dup_it = nodes_.find(dup.to); dup_it != nodes_.end()) {
+      (void)dup_it->second->handle(dup);
+    }
+  }
+
   reply.from = delivered.to;
   reply.to = delivered.from;
+
+  if (fault.drop_reply) {
+    // The handler ran — state changed — but the caller never learns; this
+    // is the case that forces retries plus idempotency.
+    (void)deliver_(std::move(reply));
+    stats_.faults_dropped_replies += 1;
+    return util::fail(util::ErrorCode::kTimeout,
+                      "reply " + to + " -> " + from + " lost in transit");
+  }
   return deliver_(std::move(reply));
 }
 

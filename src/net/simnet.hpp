@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/adversary.hpp"
+#include "net/fault.hpp"
 #include "net/message.hpp"
 #include "util/clock.hpp"
 #include "util/status.hpp"
@@ -43,6 +44,19 @@ struct NetStats {
   std::uint64_t rpcs = 0;       ///< request/reply round trips
   util::Duration simulated_latency = 0;  ///< total latency charged
 
+  // Fault-injection counters (see FaultPlan); all zero without a plan.
+  std::uint64_t faults_dropped_requests = 0;  ///< requests lost in transit
+  std::uint64_t faults_dropped_replies = 0;   ///< replies lost after handling
+  std::uint64_t faults_duplicated = 0;        ///< requests delivered twice
+  std::uint64_t faults_extra_delays = 0;      ///< rpcs charged extra delay
+  std::uint64_t faults_unreachable = 0;  ///< rpcs bounced off a transient
+                                         ///< unreachable window
+
+  [[nodiscard]] std::uint64_t faults_total() const {
+    return faults_dropped_requests + faults_dropped_replies +
+           faults_duplicated + faults_extra_delays + faults_unreachable;
+  }
+
   void reset() { *this = NetStats{}; }
 };
 
@@ -62,7 +76,9 @@ class SimNet {
   void detach(const NodeId& id);
 
   /// One round trip: delivers `request` to its destination, returns the
-  /// reply.  Fails with kNotFound if the destination is not attached.
+  /// reply.  Fails with kNotFound if the destination is not attached,
+  /// kUnavailable if the link is cut or inside a transient window, and
+  /// kTimeout when the installed fault plan dropped the request or reply.
   /// Latency: one link delay each way.
   [[nodiscard]] util::Result<Envelope> rpc(Envelope request);
 
@@ -88,11 +104,28 @@ class SimNet {
                         util::Duration oneway);
 
   /// Cuts (or restores) the link between two nodes: rpcs over a failed
-  /// link return kNotFound, as if the peer were unreachable.  Models
+  /// link return kUnavailable (distinct from kNotFound's "node never
+  /// attached", so callers can tell a typo from an outage).  Models hard
   /// partitions for failure-injection tests (e.g. a clearing chain whose
   /// upstream bank is down must bounce, not double-credit).
   void fail_link(const NodeId& a, const NodeId& b);
   void restore_link(const NodeId& a, const NodeId& b);
+
+  /// Installs a seeded fault plan (replacing any previous one; open
+  /// transient windows are dropped).  Every subsequent rpc rolls the
+  /// plan's per-link dice: dropped requests/replies surface as kTimeout,
+  /// transient windows as kUnavailable, duplicates invoke the destination
+  /// handler twice, and extra delay is charged to the clock.  Counters
+  /// land in NetStats.
+  void set_fault_plan(FaultPlan plan);
+  void clear_fault_plan();
+  [[nodiscard]] bool fault_plan_active() const;
+
+  /// Scripted transient outage: opens an unreachable window over (a, b)
+  /// for `duration` of simulated time, independent of any plan
+  /// probabilities.  Used by tests that need a deterministic window.
+  void open_unreachable_window(const NodeId& a, const NodeId& b,
+                               util::Duration duration);
 
   [[nodiscard]] const NetStats& stats() const { return stats_; }
   void reset_stats() {
@@ -120,6 +153,8 @@ class SimNet {
   util::Duration default_latency_ = 500 * util::kMicrosecond;
   std::map<std::pair<NodeId, NodeId>, util::Duration> link_latency_;
   std::set<std::pair<NodeId, NodeId>> failed_links_;
+  /// Present only while a fault plan is installed.
+  std::unique_ptr<FaultInjector> injector_;
   NetStats stats_;
 };
 

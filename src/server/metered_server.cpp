@@ -77,24 +77,51 @@ util::Result<util::Bytes> MeteredServer::perform(
     }
   }
 
+  // Reserve the check's accept-once identifier before doing any work: a
+  // number this server already banked buys nothing a second time, and the
+  // single-winner insert handles concurrent duplicates.
+  const auto check_key =
+      std::make_pair(envelope.check.chain.certs.empty()
+                         ? envelope.check.payor_account.server + "/" +
+                               envelope.check.payor_account.account
+                         : envelope.check.chain.certs.front().grantor,
+                     envelope.check.check_number);
+  {
+    std::lock_guard lock(banked_mutex_);
+    if (!banked_checks_.insert(check_key).second) {
+      payments_rejected_ += 1;
+      return util::fail(ErrorCode::kReplay,
+                        "check #" +
+                            std::to_string(envelope.check.check_number) +
+                            " was already used to pay for an operation");
+    }
+  }
+
   // Perform first, then bank the check (Fig 5: "Upon completion of C's
   // request, S endorses the check and deposits it").
-  RPROXY_ASSIGN_OR_RETURN(util::Bytes result,
-                          perform_paid(request, info, envelope.inner_args));
-
-  if (config_.accounting_client != nullptr) {
+  auto result = perform_paid(request, info, envelope.inner_args);
+  util::Status banked_status = util::Status::ok();
+  if (result.is_ok() && config_.accounting_client != nullptr) {
     auto banked = config_.accounting_client->endorse_and_deposit(
         config_.bank, envelope.check, config_.collect_account);
-    if (!banked.is_ok()) {
-      // The work is done but the check bounced: surface it (out-of-band
-      // recovery per §4); the audit log records the denial reason.
-      payments_rejected_ += 1;
-      return util::fail(ErrorCode::kInsufficientFunds,
-                        "service performed but payment bounced: " +
-                            banked.status().to_string());
-    }
-    payments_banked_ += 1;
+    banked_status = banked.status();
   }
+  if (!result.is_ok() || !banked_status.is_ok()) {
+    // The operation failed or the check bounced: release the reservation
+    // so the client can retry with the same (still-unspent) check.
+    std::lock_guard lock(banked_mutex_);
+    banked_checks_.erase(check_key);
+  }
+  RPROXY_RETURN_IF_ERROR(result.status());
+  if (!banked_status.is_ok()) {
+    // The work is done but the check bounced: surface it (out-of-band
+    // recovery per §4); the audit log records the denial reason.
+    payments_rejected_ += 1;
+    return util::fail(ErrorCode::kInsufficientFunds,
+                      "service performed but payment bounced: " +
+                          banked_status.to_string());
+  }
+  if (config_.accounting_client != nullptr) payments_banked_ += 1;
   return result;
 }
 

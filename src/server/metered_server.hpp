@@ -9,6 +9,8 @@
 #pragma once
 
 #include <atomic>
+#include <mutex>
+#include <set>
 
 #include "accounting/clearing.hpp"
 #include "server/end_server.hpp"
@@ -72,6 +74,13 @@ class MeteredServer : public EndServer {
   /// list is the only other state (read-only after construction).
   std::atomic<std::uint64_t> payments_banked_{0};
   std::atomic<std::uint64_t> payments_rejected_{0};
+  /// Payee-side accept-once (§7.7): the bank answers a duplicate deposit
+  /// idempotently, so deposit success no longer proves NEW funds arrived —
+  /// this server must itself refuse a check it already banked, or one
+  /// payment would buy two operations.  Reserved before performing (so
+  /// concurrent duplicates race to a single winner), released on bounce.
+  std::mutex banked_mutex_;
+  std::set<std::pair<PrincipalName, std::uint64_t>> banked_checks_;
 };
 
 /// A metered echo service used by tests and the examples: operation

@@ -1,0 +1,52 @@
+#include "util/rng.hpp"
+
+namespace rproxy::util {
+
+namespace {
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ull;
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : state_(seed != 0 ? seed : kGolden) {}
+
+std::uint64_t Rng::next_u64() {
+  // SplitMix64 (Steele, Lea, Flood 2014).
+  state_ += kGolden;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double Rng::next_double() {
+  // 53 high bits -> [0, 1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) {
+    (void)next_u64();  // burn one draw so the sequence length is
+                       // probability-independent (replay stability)
+    return false;
+  }
+  if (p >= 1.0) {
+    (void)next_u64();
+    return true;
+  }
+  return next_double() < p;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  // Multiply-shift range reduction; bias is < 2^-64 per draw, far below
+  // anything a fault plan can observe.
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(
+                  below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace rproxy::util

@@ -1,0 +1,44 @@
+// Deterministic pseudo-random numbers for simulation and fault injection.
+//
+// The chaos suite's whole contract is "failures print the seed for replay",
+// so every random decision in the simulated network must come from a PRNG
+// whose sequence is a pure function of its seed — never from the OS entropy
+// pool (crypto/random.hpp stays reserved for key material).  SplitMix64 is
+// small, fast, passes BigCrush, and its output is stable across platforms,
+// which keeps a replayed seed byte-for-byte faithful.
+#pragma once
+
+#include <cstdint>
+
+namespace rproxy::util {
+
+class Rng {
+ public:
+  /// Seed 0 is remapped to a fixed nonzero constant so that a
+  /// default-constructed plan still produces a usable sequence.
+  explicit Rng(std::uint64_t seed);
+
+  /// Next 64 uniformly distributed bits.
+  [[nodiscard]] std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double();
+
+  /// True with probability `p` (clamped to [0, 1]).
+  [[nodiscard]] bool chance(double p);
+
+  /// Uniform integer in [0, bound).  Precondition: bound > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.  Precondition: lo <= hi.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Derives an independent child generator (e.g. one per link) whose
+  /// sequence does not interleave with this one's.
+  [[nodiscard]] Rng split();
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace rproxy::util

@@ -16,6 +16,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kInsufficientFunds: return "InsufficientFunds";
     case ErrorCode::kProtocolError: return "ProtocolError";
     case ErrorCode::kTimeout: return "Timeout";
+    case ErrorCode::kUnavailable: return "Unavailable";
     case ErrorCode::kInternal: return "Internal";
   }
   return "Unknown";

@@ -45,6 +45,11 @@ enum class ErrorCode {
   kProtocolError,
   /// A network operation did not complete within its deadline.
   kTimeout,
+  /// The peer exists but cannot currently be reached (cut link, transient
+  /// partition, crash-restart window).  Distinct from kNotFound — "the node
+  /// was never attached" — so retry policies can tell a typo from an
+  /// outage.
+  kUnavailable,
   /// Catch-all for internal invariant failures surfaced as errors.
   kInternal,
 };

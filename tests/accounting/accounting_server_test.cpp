@@ -125,20 +125,49 @@ TEST_F(AccountingServerTest, CrossServerCheckClears) {
   EXPECT_EQ(bank1_->uncollected_total(), 0);
 }
 
-TEST_F(AccountingServerTest, DuplicateCheckNumberRejected) {
+TEST_F(AccountingServerTest, DuplicateCheckNumberRepliesIdempotently) {
   // §4: "If, within that period, another check with the same number is
-  // seen, it is rejected."
+  // seen, it is rejected."  With exactly-once clearing the rejection is
+  // invisible to the payee — the dedup table replays the original reply —
+  // but the money still moves exactly once.
   const Check check = write_check(10, 3);
   auto payee = world_.accounting_client("app-server");
   ASSERT_TRUE(
       payee.endorse_and_deposit("bank1", check, "server-account").is_ok());
   auto again = payee.endorse_and_deposit("bank1", check, "server-account");
-  EXPECT_EQ(again.code(), util::ErrorCode::kReplay);
-  // The bounced duplicate did not double-credit.
+  ASSERT_TRUE(again.is_ok()) << again.status();
+  EXPECT_TRUE(again.value().cleared);
+  EXPECT_EQ(bank1_->deduped_replies(), 1u);
+  // The replayed duplicate did not double-credit.
   EXPECT_EQ(bank1_->account("server-account")->balances().balance("usd"),
             10);
   EXPECT_EQ(bank2_->account("client-account")->balances().balance("usd"),
             90);
+}
+
+TEST_F(AccountingServerTest, DuplicateCheckNumberRejectedWithoutDedup) {
+  // The paper's own accept-once rejection is still underneath: disable the
+  // dedup layer and the duplicate bounces as a replay.  Same-server settle
+  // so no dedup-enabled peer can mask the rejection.
+  auto config = world_.accounting_config("bank2");
+  config.enable_dedup = false;
+  accounting::AccountingServer plain_bank(std::move(config));
+  world_.net.attach("bank2", plain_bank);
+  plain_bank.open_account("client-account", "client",
+                          accounting::Balances{{"usd", 100}});
+  plain_bank.open_account("server-account", "app-server");
+
+  const Check check = write_check(10, 3);
+  auto payee = world_.accounting_client("app-server");
+  ASSERT_TRUE(
+      payee.endorse_and_deposit("bank2", check, "server-account").is_ok());
+  auto again = payee.endorse_and_deposit("bank2", check, "server-account");
+  EXPECT_EQ(again.code(), util::ErrorCode::kReplay);
+  EXPECT_EQ(plain_bank.account("server-account")->balances().balance("usd"),
+            10);
+  EXPECT_EQ(plain_bank.account("client-account")->balances().balance("usd"),
+            90);
+  EXPECT_EQ(plain_bank.deduped_replies(), 0u);
 }
 
 TEST_F(AccountingServerTest, InsufficientFundsCheckBounces) {
@@ -280,7 +309,30 @@ TEST_F(CertifiedCheckTest, CertifiedCheckSettlesFromHold) {
             60);
 }
 
-TEST_F(CertifiedCheckTest, DuplicateCertificationRejected) {
+TEST_F(CertifiedCheckTest, DuplicateCertificationRepliesIdempotently) {
+  // A re-certify of the same check number (a retry after a lost reply)
+  // gets the ORIGINAL certification back; the hold is not doubled.
+  auto client = world_.accounting_client("client");
+  auto first = client.certify("bank2", "client-account", "app-server",
+                              "usd", 10, 103, "app-server");
+  ASSERT_TRUE(first.is_ok()) << first.status();
+  auto again = client.certify("bank2", "client-account", "app-server",
+                              "usd", 10, 103, "app-server");
+  ASSERT_TRUE(again.is_ok()) << again.status();
+  EXPECT_EQ(wire::encode_to_bytes(first.value()),
+            wire::encode_to_bytes(again.value()));
+  EXPECT_EQ(bank2_->deduped_replies(), 1u);
+  EXPECT_EQ(bank2_->account("client-account")->held("usd"), 10);
+}
+
+TEST_F(CertifiedCheckTest, DuplicateCertificationRejectedWithoutDedup) {
+  auto config = world_.accounting_config("bank2");
+  config.enable_dedup = false;
+  accounting::AccountingServer plain_bank(std::move(config));
+  world_.net.attach("bank2", plain_bank);
+  plain_bank.open_account("client-account", "client",
+                          accounting::Balances{{"usd", 100}});
+
   auto client = world_.accounting_client("client");
   ASSERT_TRUE(client
                   .certify("bank2", "client-account", "app-server", "usd",

@@ -88,7 +88,7 @@ TEST_F(ClearingBindingTest, InflatedAmountRejected) {
   EXPECT_EQ(bank_->account("client-acct")->balances().balance("usd"), 100);
 }
 
-TEST_F(ClearingBindingTest, ReplayedDepositRejected) {
+TEST_F(ClearingBindingTest, ReplayedDepositCannotDoubleCredit) {
   net::RecordingTap tap;
   world_.net.add_tap(tap);
   auto merchant = world_.accounting_client("merchant");
@@ -99,9 +99,13 @@ TEST_F(ClearingBindingTest, ReplayedDepositRejected) {
   ASSERT_EQ(deposits.size(), 1u);
   auto replayed = world_.net.inject(deposits.front());
   ASSERT_TRUE(replayed.is_ok());
-  // The challenge was consumed by the legitimate deposit.
-  EXPECT_FALSE(net::status_of(replayed.value()).is_ok());
+  // The dedup table answers the replay with the ORIGINAL reply — bytes the
+  // wiretapper already saw — and moves no money.  (Without dedup the
+  // consumed challenge would bounce it; either way Mallory gains nothing.)
+  EXPECT_TRUE(net::status_of(replayed.value()).is_ok());
+  EXPECT_EQ(bank_->deduped_replies(), 1u);
   EXPECT_EQ(bank_->account("merchant-acct")->balances().balance("usd"), 25);
+  EXPECT_EQ(bank_->account("client-acct")->balances().balance("usd"), 75);
 }
 
 }  // namespace

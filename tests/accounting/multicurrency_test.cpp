@@ -98,19 +98,23 @@ TEST_F(MultiCurrencyTest, QuotaRestrictionIsCurrencyScoped) {
                    .is_ok());
 }
 
-TEST_F(MultiCurrencyTest, SameCheckNumberDifferentCurrencyStillReplay) {
+TEST_F(MultiCurrencyTest, SameCheckNumberDifferentCurrencySpent) {
   // The accept-once identifier is scoped per grantor, NOT per currency —
-  // reusing a check number in another currency is still a replay (§7.7).
+  // a check number reused in another currency is already spent (§7.7).
+  // The exactly-once dedup table shares that scope, so the duplicate is
+  // answered with the ORIGINAL deposit's reply and no pages move.
   auto merchant = world_.accounting_client("merchant");
   ASSERT_TRUE(merchant
                   .endorse_and_deposit("bank", write_check("usd", 10, 7),
                                        "merchant-acct")
                   .is_ok());
-  EXPECT_EQ(merchant
-                .endorse_and_deposit("bank", write_check("pages", 10, 7),
-                                     "merchant-acct")
-                .code(),
-            util::ErrorCode::kReplay);
+  auto reused = merchant.endorse_and_deposit(
+      "bank", write_check("pages", 10, 7), "merchant-acct");
+  ASSERT_TRUE(reused.is_ok()) << reused.status();
+  EXPECT_EQ(bank_->deduped_replies(), 1u);
+  EXPECT_EQ(bank_->account("merchant-acct")->balances().balance("pages"), 0);
+  EXPECT_EQ(bank_->account("client-acct")->balances().balance("pages"), 500);
+  EXPECT_EQ(bank_->account("merchant-acct")->balances().balance("usd"), 10);
 }
 
 }  // namespace

@@ -201,6 +201,10 @@ TEST_F(ConcurrentDispatch, ChallengeReplayHasSingleWinner) {
 
 // The same check number certified by racing connections: exactly one hold
 // may be placed (the accept-once discipline of §7.7 under concurrency).
+// The exactly-once dedup table answers every loser with the WINNER's
+// certification — identical terms are one logical certify, however many
+// connections carry it — so all racers report success while the bank's
+// state records a single hold.
 TEST_F(ConcurrentDispatch, ConcurrentCertifySameCheckNumberSingleWinner) {
   constexpr int kRacers = 6;
   constexpr std::uint64_t kCheckNumber = 7;
@@ -235,7 +239,8 @@ TEST_F(ConcurrentDispatch, ConcurrentCertifySameCheckNumberSingleWinner) {
   }
   for (std::thread& t : threads) t.join();
 
-  EXPECT_EQ(successes.load(), 1);
+  EXPECT_EQ(successes.load(), kRacers);
+  EXPECT_EQ(bank_->deduped_replies(), static_cast<std::uint64_t>(kRacers - 1));
   // Exactly one hold's worth of funds is encumbered.
   EXPECT_EQ(bank_->account("client-0")->held("credits"), 10);
 }

@@ -1,7 +1,10 @@
 // Failure injection: link cuts must fail operations cleanly — no double
-// credits, no stuck state — and restored links must work again.
+// credits, no stuck state — and restored links must work again.  Fault-plan
+// actions (transient windows, duplicates, drops) must be observable in
+// NetStats and must map to the right error codes.
 #include <gtest/gtest.h>
 
+#include "net/fault.hpp"
 #include "testing/env.hpp"
 
 namespace rproxy {
@@ -14,10 +17,27 @@ TEST(LinkFailure, RpcOverFailedLinkFails) {
   world.add_principal("alice");
   kdc::KdcClient client = world.kdc_client("alice");
   world.net.fail_link("alice", World::kKdcName);
+  // A cut link is an outage (kUnavailable), NOT kNotFound — that code is
+  // reserved for "no such node was ever attached".
   EXPECT_EQ(client.authenticate(util::kHour).code(),
-            util::ErrorCode::kNotFound);
+            util::ErrorCode::kUnavailable);
   world.net.restore_link("alice", World::kKdcName);
   EXPECT_TRUE(client.authenticate(util::kHour).is_ok());
+}
+
+TEST(LinkFailure, CutLinkDistinctFromUnknownNode) {
+  World world;
+  world.add_principal("alice");
+  // Unknown destination: kNotFound.
+  EXPECT_EQ(world.net.rpc("alice", "ghost", net::MsgType::kAppRequest, {})
+                .code(),
+            util::ErrorCode::kNotFound);
+  // Cut link to a real node: kUnavailable.
+  world.net.fail_link("alice", World::kKdcName);
+  EXPECT_EQ(world.net
+                .rpc("alice", World::kKdcName, net::MsgType::kAppRequest, {})
+                .code(),
+            util::ErrorCode::kUnavailable);
 }
 
 TEST(LinkFailure, OtherLinksUnaffected) {
@@ -92,6 +112,157 @@ TEST(LinkFailure, ProxyPresentationsSurviveThirdPartyOutages) {
   auto result = bob.invoke_with_proxy("file-server", cap, "read", "/doc");
   ASSERT_TRUE(result.is_ok()) << result.status();
   EXPECT_EQ(util::to_string(result.value()), "contents");
+}
+
+/// Minimal node counting how many times it was invoked.
+class CountingEchoNode final : public net::Node {
+ public:
+  net::Envelope handle(const net::Envelope& request) override {
+    handled += 1;
+    net::Envelope reply;
+    reply.type = net::MsgType::kAppReply;
+    reply.payload = request.payload;
+    return reply;
+  }
+  int handled = 0;
+};
+
+TEST(FaultPlan, TransientUnreachableWindowClosesWithTime) {
+  util::SimClock clock;
+  net::SimNet net(clock);
+  CountingEchoNode echo;
+  net.attach("echo", echo);
+
+  // Scripted window: deterministic, independent of plan probabilities.
+  net.open_unreachable_window("client", "echo", 100 * util::kMillisecond);
+  auto during = net.rpc("client", "echo", net::MsgType::kAppRequest, {});
+  EXPECT_EQ(during.code(), util::ErrorCode::kUnavailable);
+  EXPECT_EQ(net.stats().faults_unreachable, 1u);
+  EXPECT_EQ(echo.handled, 0);
+
+  // The window closes once simulated time passes it.
+  clock.advance(101 * util::kMillisecond);
+  auto after = net.rpc("client", "echo", net::MsgType::kAppRequest, {});
+  EXPECT_TRUE(after.is_ok()) << after.status();
+  EXPECT_EQ(echo.handled, 1);
+  EXPECT_EQ(net.stats().faults_unreachable, 1u);
+}
+
+TEST(FaultPlan, UnreachableFaultOpensWindowAndCounts) {
+  util::SimClock clock;
+  net::SimNet net(clock);
+  CountingEchoNode echo;
+  net.attach("echo", echo);
+
+  net::FaultSpec spec;
+  spec.unreachable = 1.0;
+  spec.unreachable_window = 50 * util::kMillisecond;
+  net.set_fault_plan(net::FaultPlan::uniform(7, spec));
+
+  EXPECT_EQ(net.rpc("client", "echo", net::MsgType::kAppRequest, {}).code(),
+            util::ErrorCode::kUnavailable);
+  EXPECT_GE(net.stats().faults_unreachable, 1u);
+  EXPECT_EQ(echo.handled, 0);
+
+  // Clearing the plan drops the open window.
+  net.clear_fault_plan();
+  EXPECT_TRUE(
+      net.rpc("client", "echo", net::MsgType::kAppRequest, {}).is_ok());
+  EXPECT_EQ(echo.handled, 1);
+}
+
+TEST(FaultPlan, DuplicateDeliveryInvokesHandlerTwice) {
+  util::SimClock clock;
+  net::SimNet net(clock);
+  CountingEchoNode echo;
+  net.attach("echo", echo);
+
+  net::FaultSpec spec;
+  spec.duplicate = 1.0;
+  net.set_fault_plan(net::FaultPlan::uniform(7, spec));
+
+  auto reply = net.rpc("client", "echo", net::MsgType::kAppRequest, {});
+  ASSERT_TRUE(reply.is_ok()) << reply.status();
+  EXPECT_EQ(echo.handled, 2);  // original + duplicate
+  EXPECT_EQ(net.stats().faults_duplicated, 1u);
+  // Request, duplicate, and reply all crossed the wire.
+  EXPECT_EQ(net.stats().messages, 3u);
+}
+
+TEST(FaultPlan, DropRequestSurfacesTimeoutWithoutInvokingHandler) {
+  util::SimClock clock;
+  net::SimNet net(clock);
+  CountingEchoNode echo;
+  net.attach("echo", echo);
+
+  net::FaultSpec spec;
+  spec.drop_request = 1.0;
+  net.set_fault_plan(net::FaultPlan::uniform(7, spec));
+
+  auto reply = net.rpc("client", "echo", net::MsgType::kAppRequest, {});
+  EXPECT_EQ(reply.code(), util::ErrorCode::kTimeout);
+  EXPECT_EQ(echo.handled, 0);
+  EXPECT_EQ(net.stats().faults_dropped_requests, 1u);
+}
+
+TEST(FaultPlan, DropReplyRunsHandlerButSurfacesTimeout) {
+  util::SimClock clock;
+  net::SimNet net(clock);
+  CountingEchoNode echo;
+  net.attach("echo", echo);
+
+  net::FaultSpec spec;
+  spec.drop_reply = 1.0;
+  net.set_fault_plan(net::FaultPlan::uniform(7, spec));
+
+  auto reply = net.rpc("client", "echo", net::MsgType::kAppRequest, {});
+  EXPECT_EQ(reply.code(), util::ErrorCode::kTimeout);
+  EXPECT_EQ(echo.handled, 1);  // the dangerous case: state changed
+  EXPECT_EQ(net.stats().faults_dropped_replies, 1u);
+}
+
+TEST(FaultPlan, ExtraDelayChargesClockAndCounts) {
+  util::SimClock clock;
+  net::SimNet net(clock);
+  CountingEchoNode echo;
+  net.attach("echo", echo);
+  net.set_default_latency(0);
+
+  net::FaultSpec spec;
+  spec.extra_delay = 1.0;
+  spec.extra_delay_max = 5 * util::kMillisecond;
+  net.set_fault_plan(net::FaultPlan::uniform(7, spec));
+
+  const util::TimePoint before = clock.now();
+  auto reply = net.rpc("client", "echo", net::MsgType::kAppRequest, {});
+  ASSERT_TRUE(reply.is_ok()) << reply.status();
+  EXPECT_GT(clock.now(), before);
+  EXPECT_LE(clock.now() - before, 5 * util::kMillisecond);
+  EXPECT_EQ(net.stats().faults_extra_delays, 1u);
+}
+
+TEST(FaultPlan, SameSeedSameFaultSequence) {
+  net::FaultSpec spec;
+  spec.drop_request = 0.3;
+  spec.drop_reply = 0.3;
+  spec.duplicate = 0.2;
+
+  const auto run = [&](std::uint64_t seed) {
+    util::SimClock clock;
+    net::SimNet net(clock);
+    CountingEchoNode echo;
+    net.attach("echo", echo);
+    net.set_fault_plan(net::FaultPlan::uniform(seed, spec));
+    std::vector<util::ErrorCode> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(
+          net.rpc("client", "echo", net::MsgType::kAppRequest, {}).code());
+    }
+    return outcomes;
+  };
+
+  EXPECT_EQ(run(42), run(42));    // replayable
+  EXPECT_NE(run(42), run(1043));  // and actually seed-dependent
 }
 
 }  // namespace

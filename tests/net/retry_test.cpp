@@ -1,0 +1,188 @@
+// RetryPolicy unit tests: the backoff schedule, the transport-error
+// classification that decides WHAT gets retried, give-up behavior, and the
+// end-to-end loop against a scripted flaky node.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/retry.hpp"
+#include "net/rpc.hpp"
+#include "util/clock.hpp"
+
+namespace rproxy {
+namespace {
+
+using util::ErrorCode;
+
+TEST(RetryPolicy, BackoffScheduleDoublesAndCaps) {
+  net::RetryPolicy p;
+  p.initial_backoff = 5 * util::kMillisecond;
+  p.multiplier = 2.0;
+  p.max_backoff = 35 * util::kMillisecond;
+
+  struct Row {
+    int attempt;
+    util::Duration expected;
+  };
+  const Row rows[] = {
+      {2, 5 * util::kMillisecond},   // first retry waits the initial backoff
+      {3, 10 * util::kMillisecond},  // then doubles
+      {4, 20 * util::kMillisecond},
+      {5, 35 * util::kMillisecond},  // 40ms clipped to max_backoff
+      {6, 35 * util::kMillisecond},  // and stays clipped
+  };
+  for (const Row& row : rows) {
+    SCOPED_TRACE("attempt " + std::to_string(row.attempt));
+    EXPECT_EQ(p.backoff_before(row.attempt), row.expected);
+  }
+}
+
+TEST(RetryPolicy, OnlyTransportErrorsAreRetryable) {
+  struct Row {
+    ErrorCode code;
+    bool retryable;
+  };
+  const Row rows[] = {
+      // Transport class: the outcome is unknown, a retry can fix it.
+      {ErrorCode::kTimeout, true},
+      {ErrorCode::kUnavailable, true},
+      {ErrorCode::kNotFound, true},
+      // Deterministic verdicts: retrying re-asks a question already
+      // answered (and a retried transfer could move money twice).
+      {ErrorCode::kPermissionDenied, false},
+      {ErrorCode::kProtocolError, false},
+      {ErrorCode::kBadSignature, false},
+      {ErrorCode::kReplay, false},
+      {ErrorCode::kInsufficientFunds, false},
+      {ErrorCode::kExpired, false},
+      {ErrorCode::kParseError, false},
+      {ErrorCode::kInternal, false},
+  };
+  net::RetryPolicy p;
+  p.max_attempts = 4;
+  for (const Row& row : rows) {
+    SCOPED_TRACE(util::error_code_name(row.code));
+    const util::Status s = util::fail(row.code, "scripted");
+    EXPECT_EQ(net::RetryPolicy::transport_error(s), row.retryable);
+    EXPECT_EQ(p.should_retry(s, 1), row.retryable);
+  }
+}
+
+TEST(RetryPolicy, ShouldRetryStopsAtMaxAttempts) {
+  net::RetryPolicy p;
+  p.max_attempts = 3;
+  const util::Status timeout = util::fail(ErrorCode::kTimeout, "t");
+  EXPECT_TRUE(p.should_retry(timeout, 1));
+  EXPECT_TRUE(p.should_retry(timeout, 2));
+  EXPECT_FALSE(p.should_retry(timeout, 3));  // attempt 3 was the last
+  EXPECT_FALSE(net::RetryPolicy::none().should_retry(timeout, 1));
+}
+
+/// Scripted flaky node: fails with `fail_code` for the first
+/// `failures_before_success` requests, then echoes successfully.
+class FlakyNode final : public net::Node {
+ public:
+  FlakyNode(int failures_before_success, ErrorCode fail_code)
+      : failures_(failures_before_success), fail_code_(fail_code) {}
+
+  net::Envelope handle(const net::Envelope& request) override {
+    attempts += 1;
+    if (attempts <= failures_) {
+      return net::make_error_reply(request,
+                                   util::fail(fail_code_, "scripted fault"));
+    }
+    net::Envelope reply;
+    reply.type = net::MsgType::kAppReply;
+    reply.payload = request.payload;
+    return reply;
+  }
+
+  int attempts = 0;
+
+ private:
+  int failures_;
+  ErrorCode fail_code_;
+};
+
+struct EchoPayload {
+  std::uint64_t n = 0;
+  void encode(wire::Encoder& enc) const { enc.u64(n); }
+  static EchoPayload decode(wire::Decoder& dec) {
+    EchoPayload p;
+    p.n = dec.u64();
+    return p;
+  }
+};
+
+TEST(RetryLoop, FlakyNodeSucceedsOnAttemptK) {
+  util::SimClock clock;
+  net::SimNet net(clock);
+  net.set_default_latency(0);
+  FlakyNode flaky(/*failures_before_success=*/2, ErrorCode::kUnavailable);
+  net.attach("flaky", flaky);
+
+  net::RetryPolicy p;
+  p.max_attempts = 4;
+  p.initial_backoff = 5 * util::kMillisecond;
+  const util::TimePoint before = clock.now();
+  auto reply = net::retry_call<EchoPayload>(
+      net, p, "client", "flaky", net::MsgType::kAppRequest,
+      net::MsgType::kAppReply, EchoPayload{99});
+  ASSERT_TRUE(reply.is_ok()) << reply.status();
+  EXPECT_EQ(reply.value().n, 99u);
+  EXPECT_EQ(flaky.attempts, 3);
+  // Two waits were charged to the simulated clock: 5ms then 10ms.
+  EXPECT_EQ(clock.now() - before, 15 * util::kMillisecond);
+}
+
+TEST(RetryLoop, GivesUpAfterMaxAttempts) {
+  util::SimClock clock;
+  net::SimNet net(clock);
+  FlakyNode flaky(/*failures_before_success=*/100, ErrorCode::kTimeout);
+  net.attach("flaky", flaky);
+
+  net::RetryPolicy p;
+  p.max_attempts = 3;
+  auto reply = net::retry_call<EchoPayload>(
+      net, p, "client", "flaky", net::MsgType::kAppRequest,
+      net::MsgType::kAppReply, EchoPayload{1});
+  EXPECT_EQ(reply.code(), ErrorCode::kTimeout);
+  EXPECT_EQ(flaky.attempts, 3);
+}
+
+TEST(RetryLoop, ProtocolErrorsAreNeverRetried) {
+  util::SimClock clock;
+  net::SimNet net(clock);
+  FlakyNode flaky(/*failures_before_success=*/100,
+                  ErrorCode::kPermissionDenied);
+  net.attach("flaky", flaky);
+
+  net::RetryPolicy p;
+  p.max_attempts = 8;
+  auto reply = net::retry_call<EchoPayload>(
+      net, p, "client", "flaky", net::MsgType::kAppRequest,
+      net::MsgType::kAppReply, EchoPayload{1});
+  EXPECT_EQ(reply.code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(flaky.attempts, 1);  // the verdict is final, one attempt only
+}
+
+TEST(RetryLoop, WithRetriesWorksOverStatusReturningFn) {
+  util::SimClock clock;
+  net::SimNet net(clock);
+  net::RetryPolicy p;
+  p.max_attempts = 5;
+
+  int calls = 0;
+  auto result =
+      net::with_retries(net, p, [&]() -> util::Result<int> {
+        calls += 1;
+        if (calls < 4) return util::fail(ErrorCode::kUnavailable, "down");
+        return calls;
+      });
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value(), 4);
+  EXPECT_EQ(calls, 4);
+}
+
+}  // namespace
+}  // namespace rproxy
