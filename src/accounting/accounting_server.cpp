@@ -207,7 +207,11 @@ void AccountingServer::open_account(const std::string& local_name,
                                     const PrincipalName& owner,
                                     Balances initial) {
   std::lock_guard lock(state_mutex_);
+  AccountOpenRecord record{local_name, owner, initial};
   open_account_(local_name, owner, std::move(initial));
+  // Setup API: a journal failure here marks the server storage-dead (it
+  // will refuse all requests), which is all a void API can do.
+  (void)journal_append_(JournalRecordType::kAccountOpen, record);
 }
 
 void AccountingServer::open_account_(const std::string& local_name,
@@ -240,6 +244,12 @@ constexpr std::string_view kSnapshotSealPurpose = "accounting:snapshot";
 
 util::Bytes AccountingServer::snapshot(
     const crypto::SymmetricKey& key) const {
+  std::lock_guard lock(state_mutex_);
+  return snapshot_locked_(key);
+}
+
+util::Bytes AccountingServer::snapshot_locked_(
+    const crypto::SymmetricKey& key) const {
   const auto encode_dedup = [](wire::Encoder& e, const DedupTable& table) {
     e.u32(static_cast<std::uint32_t>(table.size()));
     for (const auto& [key, op] : table) {
@@ -250,9 +260,8 @@ util::Bytes AccountingServer::snapshot(
     }
   };
 
-  std::lock_guard lock(state_mutex_);
   wire::Encoder enc;
-  enc.str("accounting-snapshot-v2");
+  enc.str("accounting-snapshot-v3");
   enc.str(config_.name);
   enc.u32(static_cast<std::uint32_t>(accounts_.size()));
   for (const auto& [name, account] : accounts_) {
@@ -284,6 +293,12 @@ util::Bytes AccountingServer::snapshot(
   }
   encode_dedup(enc, completed_deposits_);
   encode_dedup(enc, completed_certifies_);
+  // v3: the clearing routes (v2 snapshots predate this field).
+  enc.u32(static_cast<std::uint32_t>(routes_.size()));
+  for (const auto& [drawee, via] : routes_) {
+    enc.str(drawee);
+    enc.str(via);
+  }
   return crypto::aead_seal(key.derive_subkey(kSnapshotSealPurpose),
                            enc.view());
 }
@@ -294,8 +309,12 @@ util::Status AccountingServer::restore(const crypto::SymmetricKey& key,
       util::Bytes plain,
       crypto::aead_open(key.derive_subkey(kSnapshotSealPurpose), snapshot));
   wire::Decoder dec(plain);
-  if (dec.str() != "accounting-snapshot-v2") {
-    return util::fail(ErrorCode::kParseError, "not a snapshot");
+  const std::string version = dec.str();
+  if (version != "accounting-snapshot-v2" &&
+      version != "accounting-snapshot-v3") {
+    return util::fail(ErrorCode::kParseError,
+                      "not an accounting snapshot (unknown version '" +
+                          version + "')");
   }
   const std::string server = dec.str();
   if (server != config_.name) {
@@ -348,6 +367,15 @@ util::Status AccountingServer::restore(const crypto::SymmetricKey& key,
   };
   DedupTable deposits = decode_dedup();
   DedupTable certifies = decode_dedup();
+  std::map<PrincipalName, PrincipalName> routes;
+  if (version == "accounting-snapshot-v3") {
+    const std::uint32_t route_count = dec.u32();
+    for (std::uint32_t i = 0; i < route_count && dec.ok(); ++i) {
+      const PrincipalName drawee = dec.str();
+      const PrincipalName via = dec.str();
+      routes[drawee] = via;
+    }
+  }
   RPROXY_RETURN_IF_ERROR(dec.finish());
 
   std::lock_guard lock(state_mutex_);
@@ -355,13 +383,391 @@ util::Status AccountingServer::restore(const crypto::SymmetricKey& key,
   certified_ = std::move(certified);
   completed_deposits_ = std::move(deposits);
   completed_certifies_ = std::move(certifies);
+  // A v2 snapshot says nothing about routes; leave them as configured.
+  if (version == "accounting-snapshot-v3") routes_ = std::move(routes);
   return util::Status::ok();
 }
+
+// ---- Write-ahead journal records -----------------------------------------
+
+void AccountingServer::AccountOpenRecord::encode(wire::Encoder& enc) const {
+  enc.str(name);
+  enc.str(owner);
+  initial.encode(enc);
+}
+
+AccountingServer::AccountOpenRecord AccountingServer::AccountOpenRecord::decode(
+    wire::Decoder& dec) {
+  AccountOpenRecord r;
+  r.name = dec.str();
+  r.owner = dec.str();
+  r.initial = Balances::decode(dec);
+  return r;
+}
+
+void AccountingServer::RouteSetRecord::encode(wire::Encoder& enc) const {
+  enc.str(drawee);
+  enc.str(via);
+}
+
+AccountingServer::RouteSetRecord AccountingServer::RouteSetRecord::decode(
+    wire::Decoder& dec) {
+  RouteSetRecord r;
+  r.drawee = dec.str();
+  r.via = dec.str();
+  return r;
+}
+
+void AccountingServer::TransferRecord::encode(wire::Encoder& enc) const {
+  enc.str(from_account);
+  enc.str(to_account);
+  enc.str(currency);
+  enc.u64(amount);
+}
+
+AccountingServer::TransferRecord AccountingServer::TransferRecord::decode(
+    wire::Decoder& dec) {
+  TransferRecord r;
+  r.from_account = dec.str();
+  r.to_account = dec.str();
+  r.currency = dec.str();
+  r.amount = dec.u64();
+  return r;
+}
+
+void AccountingServer::CertifyRecord::encode(wire::Encoder& enc) const {
+  enc.str(payor);
+  enc.str(account);
+  enc.str(currency);
+  enc.u64(amount);
+  enc.u64(check_number);
+  enc.i64(hold_until);
+  enc.bytes(reply_payload);
+}
+
+AccountingServer::CertifyRecord AccountingServer::CertifyRecord::decode(
+    wire::Decoder& dec) {
+  CertifyRecord r;
+  r.payor = dec.str();
+  r.account = dec.str();
+  r.currency = dec.str();
+  r.amount = dec.u64();
+  r.check_number = dec.u64();
+  r.hold_until = dec.i64();
+  r.reply_payload = dec.bytes();
+  return r;
+}
+
+void AccountingServer::SettleRecord::encode(wire::Encoder& enc) const {
+  enc.str(grantor);
+  enc.u64(check_number);
+  enc.str(payor_account);
+  enc.str(collect_account);
+  enc.str(collect_owner);
+  enc.str(currency);
+  enc.u64(amount);
+  enc.boolean(from_hold);
+  enc.u64(hold_release);
+  enc.i64(expires_at);
+  enc.bytes(reply_payload);
+}
+
+AccountingServer::SettleRecord AccountingServer::SettleRecord::decode(
+    wire::Decoder& dec) {
+  SettleRecord r;
+  r.grantor = dec.str();
+  r.check_number = dec.u64();
+  r.payor_account = dec.str();
+  r.collect_account = dec.str();
+  r.collect_owner = dec.str();
+  r.currency = dec.str();
+  r.amount = dec.u64();
+  r.from_hold = dec.boolean();
+  r.hold_release = dec.u64();
+  r.expires_at = dec.i64();
+  r.reply_payload = dec.bytes();
+  return r;
+}
+
+void AccountingServer::ForeignSettledRecord::encode(wire::Encoder& enc) const {
+  enc.str(grantor);
+  enc.u64(check_number);
+  enc.str(collect_account);
+  enc.str(collect_owner);
+  enc.str(currency);
+  enc.u64(amount);
+  enc.i64(expires_at);
+  enc.bytes(reply_payload);
+}
+
+AccountingServer::ForeignSettledRecord
+AccountingServer::ForeignSettledRecord::decode(wire::Decoder& dec) {
+  ForeignSettledRecord r;
+  r.grantor = dec.str();
+  r.check_number = dec.u64();
+  r.collect_account = dec.str();
+  r.collect_owner = dec.str();
+  r.currency = dec.str();
+  r.amount = dec.u64();
+  r.expires_at = dec.i64();
+  r.reply_payload = dec.bytes();
+  return r;
+}
+
+void AccountingServer::CashierRecord::encode(wire::Encoder& enc) const {
+  enc.str(account);
+  enc.str(currency);
+  enc.u64(amount);
+}
+
+AccountingServer::CashierRecord AccountingServer::CashierRecord::decode(
+    wire::Decoder& dec) {
+  CashierRecord r;
+  r.account = dec.str();
+  r.currency = dec.str();
+  r.amount = dec.u64();
+  return r;
+}
+
+template <typename Record>
+util::Status AccountingServer::journal_append_(JournalRecordType type,
+                                               const Record& record) {
+  if (!log_.has_value()) return util::Status::ok();
+  if (storage_dead_.load()) {
+    return util::fail(ErrorCode::kUnavailable,
+                      "accounting storage already failed");
+  }
+  util::Result<std::uint64_t> lsn = log_->append(
+      static_cast<std::uint16_t>(type), wire::encode_to_bytes(record));
+  if (!lsn.is_ok()) {
+    // The mutation this record covers was applied in memory but is NOT
+    // durable.  Treat the process as dead: handle() refuses everything
+    // from here on, so the divergent in-memory state is never served.
+    storage_dead_.store(true);
+    return lsn.status();
+  }
+  return util::Status::ok();
+}
+
+util::Status AccountingServer::recover() {
+  if (config_.storage_dir.empty()) return util::Status::ok();
+  if (!config_.storage_key.has_value()) {
+    return util::fail(ErrorCode::kInternal,
+                      "storage_dir is set but storage_key is not");
+  }
+  storage::LogDir::Config log_config;
+  log_config.dir = config_.storage_dir;
+  log_config.journal.fsync_policy = config_.fsync_policy;
+  log_config.journal.batch_records = config_.fsync_batch_records;
+  log_config.journal.crash = config_.crash_point;
+  storage::LogDir::Recovered recovered;
+  RPROXY_ASSIGN_OR_RETURN(storage::LogDir log,
+                          storage::LogDir::open(log_config, &recovered));
+  if (recovered.snapshot.has_value()) {
+    RPROXY_RETURN_IF_ERROR(
+        restore(*config_.storage_key, recovered.snapshot->sealed));
+  }
+  for (const storage::JournalRecord& record : recovered.tail) {
+    RPROXY_RETURN_IF_ERROR(apply_record_(record));
+  }
+  std::lock_guard lock(state_mutex_);
+  log_.emplace(std::move(log));
+  storage_dead_.store(false);
+  return util::Status::ok();
+}
+
+util::Status AccountingServer::checkpoint() {
+  std::lock_guard lock(state_mutex_);
+  if (!log_.has_value()) {
+    return util::fail(ErrorCode::kUnavailable,
+                      "no storage directory recovered");
+  }
+  if (storage_dead_.load()) {
+    return util::fail(ErrorCode::kUnavailable,
+                      "accounting storage already failed");
+  }
+  // Seal and publish under one lock hold: the snapshot must cover exactly
+  // the records appended so far, with no mutation slipping in between.
+  const util::Bytes sealed = snapshot_locked_(*config_.storage_key);
+  const util::Status published = log_->checkpoint(sealed);
+  if (!published.is_ok()) storage_dead_.store(true);
+  return published;
+}
+
+std::uint64_t AccountingServer::journal_next_lsn() const {
+  std::lock_guard lock(state_mutex_);
+  return log_.has_value() ? log_->next_lsn() : 1;
+}
+
+util::Status AccountingServer::apply_record_(
+    const storage::JournalRecord& record) {
+  const util::TimePoint now = config_.clock->now();
+  wire::Decoder dec(record.payload);
+  std::lock_guard lock(state_mutex_);
+  switch (static_cast<JournalRecordType>(record.type)) {
+    case JournalRecordType::kAccountOpen: {
+      AccountOpenRecord rec = AccountOpenRecord::decode(dec);
+      RPROXY_RETURN_IF_ERROR(dec.finish());
+      open_account_(rec.name, rec.owner, std::move(rec.initial));
+      return util::Status::ok();
+    }
+    case JournalRecordType::kRouteSet: {
+      const RouteSetRecord rec = RouteSetRecord::decode(dec);
+      RPROXY_RETURN_IF_ERROR(dec.finish());
+      routes_[rec.drawee] = rec.via;
+      return util::Status::ok();
+    }
+    case JournalRecordType::kTransfer: {
+      const TransferRecord rec = TransferRecord::decode(dec);
+      RPROXY_RETURN_IF_ERROR(dec.finish());
+      return apply_transfer_(rec);
+    }
+    case JournalRecordType::kCertify: {
+      const CertifyRecord rec = CertifyRecord::decode(dec);
+      RPROXY_RETURN_IF_ERROR(dec.finish());
+      return apply_certify_(rec, now);
+    }
+    case JournalRecordType::kSettleLocal: {
+      const SettleRecord rec = SettleRecord::decode(dec);
+      RPROXY_RETURN_IF_ERROR(dec.finish());
+      return apply_settle_(rec, now);
+    }
+    case JournalRecordType::kForeignSettled: {
+      const ForeignSettledRecord rec = ForeignSettledRecord::decode(dec);
+      RPROXY_RETURN_IF_ERROR(dec.finish());
+      return apply_foreign_(rec, now);
+    }
+    case JournalRecordType::kCashier: {
+      const CashierRecord rec = CashierRecord::decode(dec);
+      RPROXY_RETURN_IF_ERROR(dec.finish());
+      return apply_cashier_(rec);
+    }
+  }
+  return util::fail(ErrorCode::kParseError,
+                    "journal record " + std::to_string(record.lsn) +
+                        " has unknown type " + std::to_string(record.type) +
+                        " (written by a newer server?)");
+}
+
+util::Status AccountingServer::apply_transfer_(const TransferRecord& rec) {
+  Account* from = find_account_(rec.from_account);
+  Account* to = find_account_(rec.to_account);
+  if (from == nullptr || to == nullptr) {
+    return util::fail(ErrorCode::kParseError,
+                      "journaled transfer names an unknown account");
+  }
+  RPROXY_RETURN_IF_ERROR(
+      from->debit(rec.currency, static_cast<std::int64_t>(rec.amount)));
+  to->credit(rec.currency, static_cast<std::int64_t>(rec.amount));
+  return util::Status::ok();
+}
+
+util::Status AccountingServer::apply_certify_(const CertifyRecord& rec,
+                                              util::TimePoint now) {
+  const DedupKey key{rec.payor, rec.check_number};
+  if (completed_certifies_.contains(key) || certified_.contains(key)) {
+    return util::Status::ok();  // duplicate replay of an applied record
+  }
+  Account* acct = find_account_(rec.account);
+  if (acct == nullptr) {
+    return util::fail(ErrorCode::kParseError,
+                      "journaled certification names an unknown account");
+  }
+  RPROXY_RETURN_IF_ERROR(
+      acct->place_hold(rec.currency, static_cast<std::int64_t>(rec.amount)));
+  certified_[key] = CertifiedHold{rec.payor, rec.account, rec.currency,
+                                  rec.amount, rec.hold_until};
+  if (config_.enable_dedup) {
+    record_completed_(completed_certifies_, key,
+                      util::Bytes(rec.reply_payload), rec.hold_until, now);
+  }
+  return util::Status::ok();
+}
+
+util::Status AccountingServer::apply_settle_(const SettleRecord& rec,
+                                             util::TimePoint now) {
+  const DedupKey key{rec.grantor, rec.check_number};
+  if (config_.enable_dedup && completed_deposits_.contains(key)) {
+    return util::Status::ok();  // duplicate replay of an applied record
+  }
+  Account* payor = find_account_(rec.payor_account);
+  if (payor == nullptr) {
+    return util::fail(ErrorCode::kParseError,
+                      "journaled settlement names an unknown payor account");
+  }
+  if (rec.from_hold) {
+    RPROXY_RETURN_IF_ERROR(payor->debit_held(
+        rec.currency, static_cast<std::int64_t>(rec.amount)));
+    if (rec.hold_release > 0) {
+      payor->release_hold(rec.currency,
+                          static_cast<std::int64_t>(rec.hold_release));
+    }
+    certified_.erase(key);
+  } else {
+    RPROXY_RETURN_IF_ERROR(
+        payor->debit(rec.currency, static_cast<std::int64_t>(rec.amount)));
+  }
+  Account* collect = find_account_(rec.collect_account);
+  if (collect == nullptr) {
+    open_account_(rec.collect_account, rec.collect_owner);
+    collect = find_account_(rec.collect_account);
+  }
+  collect->credit(rec.currency, static_cast<std::int64_t>(rec.amount));
+  if (config_.enable_dedup) {
+    record_completed_(completed_deposits_, key, util::Bytes(rec.reply_payload),
+                      rec.expires_at, now);
+  }
+  return util::Status::ok();
+}
+
+util::Status AccountingServer::apply_foreign_(const ForeignSettledRecord& rec,
+                                              util::TimePoint now) {
+  const DedupKey key{rec.grantor, rec.check_number};
+  if (config_.enable_dedup && completed_deposits_.contains(key)) {
+    return util::Status::ok();  // duplicate replay of an applied record
+  }
+  // The provisional credit was never journaled (a crash mid-collection
+  // correctly forgets it), so replay performs the credit the record
+  // commits.
+  Account* collect = find_account_(rec.collect_account);
+  if (collect == nullptr) {
+    open_account_(rec.collect_account, rec.collect_owner);
+    collect = find_account_(rec.collect_account);
+  }
+  collect->credit(rec.currency, static_cast<std::int64_t>(rec.amount));
+  if (config_.enable_dedup) {
+    record_completed_(completed_deposits_, key, util::Bytes(rec.reply_payload),
+                      rec.expires_at, now);
+  }
+  return util::Status::ok();
+}
+
+util::Status AccountingServer::apply_cashier_(const CashierRecord& rec) {
+  Account* acct = find_account_(rec.account);
+  if (acct == nullptr) {
+    return util::fail(ErrorCode::kParseError,
+                      "journaled cashier purchase names an unknown account");
+  }
+  RPROXY_RETURN_IF_ERROR(
+      acct->debit(rec.currency, static_cast<std::int64_t>(rec.amount)));
+  if (find_account_(std::string(kCashierAccount)) == nullptr) {
+    open_account_(std::string(kCashierAccount), config_.name);
+  }
+  find_account_(std::string(kCashierAccount))
+      ->credit(rec.currency, static_cast<std::int64_t>(rec.amount));
+  return util::Status::ok();
+}
+
+// --------------------------------------------------------------------------
 
 void AccountingServer::set_route(const PrincipalName& drawee,
                                  const PrincipalName& via) {
   std::lock_guard lock(state_mutex_);
   routes_[drawee] = via;
+  // Setup API: a journal failure here marks the server storage-dead (it
+  // will refuse all requests), which is all a void API can do.
+  (void)journal_append_(JournalRecordType::kRouteSet,
+                        RouteSetRecord{drawee, via});
 }
 
 std::int64_t AccountingServer::uncollected_total() const {
@@ -389,6 +795,17 @@ util::Result<PrincipalName> AccountingServer::authenticate_(
 }
 
 net::Envelope AccountingServer::handle(const net::Envelope& request) {
+  if (storage_dead_.load()) {
+    // The write-ahead journal failed mid-append: the in-memory state is
+    // ahead of disk, so this "process" is dead until restarted through
+    // recover().  Refusing everything (queries included) is what a real
+    // crashed process does.
+    return net::make_error_reply(
+        request,
+        util::fail(ErrorCode::kUnavailable,
+                   "accounting server '" + config_.name +
+                       "' is down (write-ahead journal failed)"));
+  }
   purge_expired_holds_(config_.clock->now());
   switch (request.type) {
     case net::MsgType::kPresentChallengeRequest: {
@@ -492,6 +909,13 @@ net::Envelope AccountingServer::handle_transfer_(
   if (!debited.is_ok()) return net::make_error_reply(request, debited);
   to->credit(req.currency, static_cast<std::int64_t>(req.amount));
 
+  // Write-ahead: the reply leaves only once the record is journaled.
+  const util::Status logged = journal_append_(
+      JournalRecordType::kTransfer,
+      TransferRecord{req.from_account, req.to_account, req.currency,
+                     req.amount});
+  if (!logged.is_ok()) return net::make_error_reply(request, logged);
+
   return net::make_reply(request, net::MsgType::kTransferReply,
                          TransferReplyPayload{true});
 }
@@ -579,6 +1003,14 @@ net::Envelope AccountingServer::handle_certify_(const net::Envelope& request) {
     reply.certification = certification.chain;
     reply.expires_at = certification.expires_at;
     util::Bytes reply_payload = wire::encode_to_bytes(reply);
+    // Write-ahead: the certification (hold + signed reply) must be
+    // durable before the client can see it, or a crash would forget a
+    // hold the payee is about to rely on.
+    const util::Status logged = journal_append_(
+        JournalRecordType::kCertify,
+        CertifyRecord{who.value(), req.account, req.currency, req.amount,
+                      req.check_number, hold_until, reply_payload});
+    if (!logged.is_ok()) return net::make_error_reply(request, logged);
     if (config_.enable_dedup) {
       record_completed_(completed_certifies_, dedup_key,
                         util::Bytes(reply_payload), hold_until, now);
@@ -627,6 +1059,15 @@ net::Envelope AccountingServer::handle_cashier_(
     }
     find_account_(std::string(kCashierAccount))
         ->credit(req.currency, static_cast<std::int64_t>(req.amount));
+
+    // Write-ahead: the funds move must be durable before the bank-signed
+    // check leaves the building.  (The check itself is a bearer
+    // instrument and is not journaled; a crash before the reply simply
+    // never issues it, and replay restores the funded cashier account.)
+    const util::Status logged =
+        journal_append_(JournalRecordType::kCashier,
+                        CashierRecord{req.account, req.currency, req.amount});
+    if (!logged.is_ok()) return net::make_error_reply(request, logged);
   }
 
   // The check is drawn on the bank's own cashier account and signed by the
@@ -733,26 +1174,19 @@ util::Result<DepositReplyPayload> AccountingServer::settle_(
                           "' (misdrawn check)");
   }
 
-  // Certified check?  Settle from the hold.
-  const auto certified_key =
-      std::make_pair(verified.grantor, terms.check_number);
-  if (auto it = certified_.find(certified_key); it != certified_.end()) {
-    RPROXY_RETURN_IF_ERROR(payor->debit_held(
-        terms.currency, static_cast<std::int64_t>(req.amount)));
-    // Any remainder of the hold is released.
-    if (it->second.amount > req.amount) {
-      payor->release_hold(
-          terms.currency,
-          static_cast<std::int64_t>(it->second.amount - req.amount));
-    }
-    certified_.erase(it);
-  } else {
-    RPROXY_RETURN_IF_ERROR(payor->debit(
-        terms.currency, static_cast<std::int64_t>(req.amount)));
-  }
+  SettleRecord record;
+  record.grantor = verified.grantor;
+  record.check_number = terms.check_number;
+  record.payor_account = terms.payor_local_account;
+  record.collect_account = req.collect_account;
+  record.currency = terms.currency;
+  record.amount = req.amount;
+  record.expires_at =
+      req.check.expires_at > now ? req.check.expires_at : now + util::kHour;
 
-  // Credit the collector.  Settlement accounts for peer accounting servers
-  // are auto-created.
+  // Resolve the collection account BEFORE moving any money, so a deposit
+  // naming a bad account bounces cleanly instead of stranding the debit.
+  // Settlement accounts for peer accounting servers are auto-created.
   Account* collect = find_account_(req.collect_account);
   if (collect == nullptr) {
     if (req.collect_account.rfind("peer:", 0) == 0) {
@@ -764,11 +1198,38 @@ util::Result<DepositReplyPayload> AccountingServer::settle_(
                             "'");
     }
   }
+  record.collect_owner = collect->owner();
+
+  // Certified check?  Settle from the hold.
+  const auto certified_key =
+      std::make_pair(verified.grantor, terms.check_number);
+  if (auto it = certified_.find(certified_key); it != certified_.end()) {
+    record.from_hold = true;
+    // Any remainder of the hold is released.
+    if (it->second.amount > req.amount) {
+      record.hold_release = it->second.amount - req.amount;
+    }
+    RPROXY_RETURN_IF_ERROR(payor->debit_held(
+        terms.currency, static_cast<std::int64_t>(req.amount)));
+    if (record.hold_release > 0) {
+      payor->release_hold(terms.currency,
+                          static_cast<std::int64_t>(record.hold_release));
+    }
+    certified_.erase(it);
+  } else {
+    RPROXY_RETURN_IF_ERROR(payor->debit(
+        terms.currency, static_cast<std::int64_t>(req.amount)));
+  }
   collect->credit(terms.currency, static_cast<std::int64_t>(req.amount));
 
   DepositReplyPayload reply;
   reply.cleared = true;
   reply.hops = 0;
+  record.reply_payload = wire::encode_to_bytes(reply);
+  // Write-ahead: the settlement is durable before the cleared reply (and
+  // its dedup entry, recorded by the caller) can exist.
+  RPROXY_RETURN_IF_ERROR(
+      journal_append_(JournalRecordType::kSettleLocal, record));
   return reply;
 }
 
@@ -869,13 +1330,40 @@ util::Result<DepositReplyPayload> AccountingServer::collect_foreign_(
     return forwarded.status();
   }
 
-  {
-    std::lock_guard lock(state_mutex_);
-    uncollected_.erase(pending_key);
-  }
   DepositReplyPayload reply;
   reply.cleared = true;
   reply.hops = forwarded.value().hops + 1;
+
+  {
+    std::lock_guard lock(state_mutex_);
+    uncollected_.erase(pending_key);
+    // Write-ahead commit of the collection.  The provisional credit was
+    // never journaled (a crash mid-collection forgets it; the client
+    // retries and the drawee's dedup table replays the settlement), so
+    // this record carries the credit and replay performs it.
+    ForeignSettledRecord record;
+    record.grantor = verified.grantor;
+    record.check_number = terms.check_number;
+    record.collect_account = req.collect_account;
+    record.currency = terms.currency;
+    record.amount = req.amount;
+    record.expires_at =
+        req.check.expires_at > now ? req.check.expires_at : now + util::kHour;
+    record.reply_payload = wire::encode_to_bytes(reply);
+    Account* collect = find_account_(req.collect_account);
+    if (collect != nullptr) record.collect_owner = collect->owner();
+    const util::Status logged =
+        journal_append_(JournalRecordType::kForeignSettled, record);
+    if (!logged.is_ok()) {
+      // Keep this process's books balanced on the way down: the credit it
+      // could not make durable is rolled back before the error surfaces.
+      if (collect != nullptr) {
+        (void)collect->debit(terms.currency,
+                             static_cast<std::int64_t>(req.amount));
+      }
+      return logged;
+    }
+  }
   return reply;
 }
 

@@ -9,10 +9,16 @@
 //
 // Requests are authenticated with public-key identity proofs bound to a
 // single-use challenge; checks themselves are verified as proxy chains.
+//
+// Durability (DESIGN.md §5e): when `Config::storage_dir` is set, every
+// state mutation appends a typed record to a write-ahead journal before
+// the reply leaves the server, and recover() rebuilds the exact
+// pre-crash state from the latest sealed snapshot plus the journal tail.
 #pragma once
 
 #include <atomic>
 #include <mutex>
+#include <optional>
 
 #include "accounting/account.hpp"
 #include "accounting/check.hpp"
@@ -20,6 +26,7 @@
 #include "net/retry.hpp"
 #include "net/rpc.hpp"
 #include "pki/pk_auth.hpp"
+#include "storage/log_dir.hpp"
 
 namespace rproxy::accounting {
 
@@ -152,6 +159,21 @@ inline constexpr std::string_view kCashierAccount = "cashier";
 /// Object name a certification proxy asserts.
 [[nodiscard]] std::string certified_check_object(std::uint64_t check_number);
 
+/// Record types in the accounting write-ahead journal.  Part of the
+/// durable on-disk format: values are append-only, never renumbered.
+/// Each record is the post-validation EFFECT of one mutation (what to
+/// re-apply on replay), not the request that caused it — replay never
+/// re-verifies signatures or re-evaluates restrictions.
+enum class JournalRecordType : std::uint16_t {
+  kAccountOpen = 1,     ///< open_account / auto-opened settlement account
+  kRouteSet = 2,        ///< set_route
+  kTransfer = 3,        ///< local transfer between two accounts
+  kCertify = 4,         ///< hold placed + certification reply issued
+  kSettleLocal = 5,     ///< check settled as drawee (debit + credit)
+  kForeignSettled = 6,  ///< foreign check collected from the drawee
+  kCashier = 7,         ///< cashier's check funded
+};
+
 class AccountingServer final : public net::Node {
  public:
   struct Config {
@@ -185,6 +207,17 @@ class AccountingServer final : public net::Node {
     /// path).  Safe because peers replay completed deposits from their
     /// dedup tables; retries only fire on transport errors.
     net::RetryPolicy collect_retry;
+    /// Crash durability: when non-empty, recover() opens a write-ahead
+    /// journal + snapshot store here and every mutation is journaled
+    /// before its reply is sent.  Empty = in-memory only (tests,
+    /// benchmarks that don't care about restarts).
+    std::string storage_dir;
+    /// Seals on-disk snapshots; required when storage_dir is set.
+    std::optional<crypto::SymmetricKey> storage_key;
+    storage::FsyncPolicy fsync_policy = storage::FsyncPolicy::kBatch;
+    std::size_t fsync_batch_records = 8;
+    /// Test-only deterministic kill injection for the journal; not owned.
+    storage::CrashPoint* crash_point = nullptr;
   };
 
   explicit AccountingServer(Config config);
@@ -205,20 +238,41 @@ class AccountingServer final : public net::Node {
   void set_route(const PrincipalName& drawee, const PrincipalName& via);
 
   /// Sealed state snapshot: every account (name, owner, balances), the
-  /// outstanding certified holds, and the exactly-once dedup tables,
-  /// AEAD-sealed under `key` so a stored snapshot cannot be tampered
-  /// with.  The dedup tables ride along so a crash-restarted server keeps
-  /// replaying completed deposits instead of settling them twice.  The
-  /// time-windowed replay caches (challenges, accept-once) are NOT
-  /// snapshotted: restoring can forget an already-spent check number
-  /// mid-window, so operators restore snapshots only from a quiescent
-  /// point or after the longest check lifetime has passed.
+  /// outstanding certified holds, the clearing routes, and the
+  /// exactly-once dedup tables, AEAD-sealed under `key` so a stored
+  /// snapshot cannot be tampered with.  The dedup tables ride along so a
+  /// crash-restarted server keeps replaying completed deposits instead of
+  /// settling them twice — duplicate spends are caught by the durable
+  /// tables even though the time-windowed replay caches (challenges,
+  /// accept-once) restart empty.
   [[nodiscard]] util::Bytes snapshot(const crypto::SymmetricKey& key) const;
 
   /// Restores a snapshot taken with the same key, replacing all accounts
-  /// and holds.  Fails (state untouched) on a wrong key or tampering.
+  /// and holds.  Fails (state untouched) on a wrong key, tampering, or a
+  /// truncated / unknown-version payload.  Accepts the current v3 format
+  /// and the earlier v2 (pre-routes) format.
   [[nodiscard]] util::Status restore(const crypto::SymmetricKey& key,
                                      util::BytesView snapshot);
+
+  /// Opens Config::storage_dir and rebuilds state from it: restore the
+  /// newest sealed snapshot, replay the journal tail, resume appending.
+  /// Call once before serving; a fresh directory recovers to empty state.
+  /// No-op without a storage_dir.
+  [[nodiscard]] util::Status recover();
+
+  /// Publishes a sealed snapshot of the current state, rotates the
+  /// journal, and deletes the superseded files (log compaction).  Requires
+  /// a recovered storage dir.
+  [[nodiscard]] util::Status checkpoint();
+
+  /// True once a journal append or sync has failed (crash point fired or
+  /// real I/O error).  The server then refuses all requests — a process
+  /// whose write-ahead log is gone must stop taking work, because it can
+  /// no longer make the promises its replies imply.
+  [[nodiscard]] bool storage_dead() const { return storage_dead_.load(); }
+
+  /// LSN the next journaled mutation will get (1 if storage is off).
+  [[nodiscard]] std::uint64_t journal_next_lsn() const;
 
   /// Value credited but not yet collected from peer servers.
   [[nodiscard]] std::int64_t uncollected_total() const;
@@ -260,6 +314,83 @@ class AccountingServer final : public net::Node {
   using DedupKey = std::pair<PrincipalName, std::uint64_t>;
   using DedupTable = std::map<DedupKey, CompletedOp>;
 
+  // Journal record payloads (see JournalRecordType).  Each is written on
+  // the live path after the in-memory mutation succeeds and re-applied
+  // verbatim by recover().
+  struct AccountOpenRecord {
+    std::string name;
+    PrincipalName owner;
+    Balances initial;
+
+    void encode(wire::Encoder& enc) const;
+    static AccountOpenRecord decode(wire::Decoder& dec);
+  };
+  struct RouteSetRecord {
+    PrincipalName drawee;
+    PrincipalName via;
+
+    void encode(wire::Encoder& enc) const;
+    static RouteSetRecord decode(wire::Decoder& dec);
+  };
+  struct TransferRecord {
+    std::string from_account;
+    std::string to_account;
+    Currency currency;
+    std::uint64_t amount = 0;
+
+    void encode(wire::Encoder& enc) const;
+    static TransferRecord decode(wire::Decoder& dec);
+  };
+  struct CertifyRecord {
+    PrincipalName payor;
+    std::string account;
+    Currency currency;
+    std::uint64_t amount = 0;
+    std::uint64_t check_number = 0;
+    util::TimePoint hold_until = 0;
+    util::Bytes reply_payload;  ///< replayed to dedup'd retries
+
+    void encode(wire::Encoder& enc) const;
+    static CertifyRecord decode(wire::Decoder& dec);
+  };
+  struct SettleRecord {
+    PrincipalName grantor;  ///< check signer = dedup key, certified key
+    std::uint64_t check_number = 0;
+    std::string payor_account;
+    std::string collect_account;
+    PrincipalName collect_owner;  ///< owner if replay must (re)open it
+    Currency currency;
+    std::uint64_t amount = 0;
+    bool from_hold = false;            ///< settled out of a certified hold
+    std::uint64_t hold_release = 0;    ///< unhold remainder beyond amount
+    util::TimePoint expires_at = 0;    ///< dedup-entry lifetime
+    util::Bytes reply_payload;
+
+    void encode(wire::Encoder& enc) const;
+    static SettleRecord decode(wire::Decoder& dec);
+  };
+  struct ForeignSettledRecord {
+    PrincipalName grantor;
+    std::uint64_t check_number = 0;
+    std::string collect_account;
+    PrincipalName collect_owner;
+    Currency currency;
+    std::uint64_t amount = 0;
+    util::TimePoint expires_at = 0;
+    util::Bytes reply_payload;
+
+    void encode(wire::Encoder& enc) const;
+    static ForeignSettledRecord decode(wire::Decoder& dec);
+  };
+  struct CashierRecord {
+    std::string account;
+    Currency currency;
+    std::uint64_t amount = 0;
+
+    void encode(wire::Encoder& enc) const;
+    static CashierRecord decode(wire::Decoder& dec);
+  };
+
   /// Authenticates a request's identity proof against its challenge and
   /// request digest; returns the principal.
   [[nodiscard]] util::Result<PrincipalName> authenticate_(
@@ -298,6 +429,34 @@ class AccountingServer final : public net::Node {
   void open_account_(const std::string& local_name,
                      const PrincipalName& owner, Balances initial = {});
 
+  /// snapshot() with state_mutex_ already held (checkpoint() must seal
+  /// and publish under one lock hold so no append slips in between).
+  [[nodiscard]] util::Bytes snapshot_locked_(
+      const crypto::SymmetricKey& key) const;
+
+  /// Appends one typed record to the journal (state_mutex_ held).  No-op
+  /// without storage; on failure marks the server storage-dead and
+  /// returns the error — the caller turns it into an error reply and the
+  /// mutation it covers is considered lost with the "process".
+  template <typename Record>
+  [[nodiscard]] util::Status journal_append_(JournalRecordType type,
+                                             const Record& record);
+
+  /// Replay dispatch for recover(): decodes `record` and re-applies it.
+  [[nodiscard]] util::Status apply_record_(
+      const storage::JournalRecord& record);
+  /// Per-type appliers (state_mutex_ held).  Settle/certify/foreign are
+  /// idempotent against their dedup entry so a record that survives in
+  /// both a snapshot and the journal tail applies once.
+  [[nodiscard]] util::Status apply_transfer_(const TransferRecord& rec);
+  [[nodiscard]] util::Status apply_certify_(const CertifyRecord& rec,
+                                            util::TimePoint now);
+  [[nodiscard]] util::Status apply_settle_(const SettleRecord& rec,
+                                           util::TimePoint now);
+  [[nodiscard]] util::Status apply_foreign_(const ForeignSettledRecord& rec,
+                                            util::TimePoint now);
+  [[nodiscard]] util::Status apply_cashier_(const CashierRecord& rec);
+
   Config config_;
   core::ProxyVerifier verifier_;
   core::ChallengeRegistry challenges_;
@@ -322,6 +481,10 @@ class AccountingServer final : public net::Node {
   /// log a restarted server needs to keep honoring retried operations.
   DedupTable completed_deposits_;
   DedupTable completed_certifies_;
+  /// The write-ahead log; engaged by recover() when storage is on.
+  /// Appends happen under state_mutex_.
+  std::optional<storage::LogDir> log_;
+  std::atomic<bool> storage_dead_{false};
   std::atomic<std::uint64_t> checks_cleared_{0};
   std::atomic<std::uint64_t> checks_bounced_{0};
   std::atomic<std::uint64_t> deduped_replies_{0};

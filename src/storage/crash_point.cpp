@@ -1,0 +1,32 @@
+#include "storage/crash_point.hpp"
+
+namespace rproxy::storage {
+
+void CrashPoint::arm(const CrashPlan& plan) {
+  util::Rng rng(plan.seed);
+  kill_at_ = static_cast<std::uint64_t>(
+      rng.range(static_cast<std::int64_t>(plan.min_appends),
+                static_cast<std::int64_t>(
+                    plan.max_appends < plan.min_appends ? plan.min_appends
+                                                        : plan.max_appends)));
+  tear_fraction_ = rng.next_double();
+  tear_ = plan.tear_mid_write;
+  writes_ = 0;
+  dead_ = false;
+}
+
+std::size_t CrashPoint::admit(std::size_t size) {
+  if (dead_) return 0;
+  if (kill_at_ == 0) return size;  // inert
+  writes_ += 1;
+  if (writes_ < kill_at_) return size;
+  dead_ = true;
+  if (!tear_) return 0;
+  // Torn write: a seeded prefix of the frame reaches the file.  The
+  // fraction was fixed at arm() time so the byte offset is a pure function
+  // of the seed and the frame being written.
+  return static_cast<std::size_t>(tear_fraction_ *
+                                  static_cast<double>(size));
+}
+
+}  // namespace rproxy::storage

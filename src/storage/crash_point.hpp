@@ -1,0 +1,66 @@
+// Deterministic crash-point injection for the storage layer.
+//
+// The durability contract is "a process may be killed at ANY byte and
+// recovery still reaches exactly-once state", which is untestable with
+// real kill(2) — the schedule is not reproducible.  A CrashPoint instead
+// simulates the kill inside the journal's write path: the K-th admitted
+// write is cut short at a seeded byte offset (a torn record on disk,
+// exactly what a mid-write power loss leaves) and every write after it is
+// refused, as a dead process would.  K and the tear offset are drawn from
+// a util::Rng, so a failing crash-recovery run replays from its seed just
+// like a net::FaultPlan schedule does.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace rproxy::storage {
+
+/// Seeded description of one simulated kill.
+struct CrashPlan {
+  std::uint64_t seed = 1;
+  /// The fatal write index K is drawn uniformly from [min, max].
+  std::uint64_t min_appends = 1;
+  std::uint64_t max_appends = 32;
+  /// True: the K-th write lands partially (torn record at a seeded byte).
+  /// False: the process dies just before the K-th write (clean boundary).
+  bool tear_mid_write = true;
+};
+
+/// Gate the journal writer routes every frame write through.  Inert until
+/// arm()ed, so a server can journal its setup traffic (account creation,
+/// an initial checkpoint) and only then start the doomsday clock.
+class CrashPoint {
+ public:
+  /// Inert: admits everything, never dies.
+  CrashPoint() = default;
+
+  explicit CrashPoint(const CrashPlan& plan) { arm(plan); }
+
+  /// Draws the kill write index and tear fraction from the plan's seed.
+  void arm(const CrashPlan& plan);
+
+  /// Called once per frame write with the frame's size; returns how many
+  /// bytes actually reach the file.  Returns `size` while alive, a seeded
+  /// partial count on the fatal write, and 0 forever after.
+  [[nodiscard]] std::size_t admit(std::size_t size);
+
+  /// True once the kill point has fired.
+  [[nodiscard]] bool dead() const { return dead_; }
+
+  /// The fatal write index (0 while unarmed).
+  [[nodiscard]] std::uint64_t kill_at() const { return kill_at_; }
+
+  /// Writes admitted so far (including the torn one).
+  [[nodiscard]] std::uint64_t writes_seen() const { return writes_; }
+
+ private:
+  std::uint64_t kill_at_ = 0;  ///< 0 = inert
+  double tear_fraction_ = 0.0;
+  bool tear_ = false;
+  std::uint64_t writes_ = 0;
+  bool dead_ = false;
+};
+
+}  // namespace rproxy::storage

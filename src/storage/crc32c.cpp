@@ -1,0 +1,36 @@
+#include "storage/crc32c.hpp"
+
+#include <array>
+
+namespace rproxy::storage {
+
+namespace {
+
+/// Castagnoli polynomial, reflected form.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c(util::BytesView data, std::uint32_t init) {
+  std::uint32_t crc = ~init;
+  for (const std::uint8_t byte : data) {
+    crc = kTable[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace rproxy::storage

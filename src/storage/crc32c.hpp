@@ -1,0 +1,23 @@
+// CRC32C (Castagnoli) checksum.
+//
+// The journal frames every record with a CRC32C so recovery can tell a
+// torn tail (a write cut short by a crash) from valid data.  CRC32C is the
+// storage-industry convention for this job (ext4, btrfs, LevelDB/RocksDB
+// logs, iSCSI) because the Castagnoli polynomial detects all the small
+// burst errors a half-written sector produces.  This is the portable
+// table-driven form — journal appends are I/O-bound, not checksum-bound,
+// so hardware CRC instructions are not worth a platform dependency.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace rproxy::storage {
+
+/// CRC32C of `data`, seeded with `init` (pass a previous result to chain
+/// checksums over discontiguous buffers).
+[[nodiscard]] std::uint32_t crc32c(util::BytesView data,
+                                   std::uint32_t init = 0);
+
+}  // namespace rproxy::storage

@@ -1,0 +1,329 @@
+#include "storage/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "storage/crc32c.hpp"
+
+namespace rproxy::storage {
+
+using util::ErrorCode;
+
+namespace {
+
+/// "RPJ1": rproxy journal, format 1.
+constexpr std::uint32_t kMagic = 0x52504A31u;
+constexpr std::size_t kFileHeaderSize = 4 + 4 + 8 + 4;  // magic ver lsn crc
+constexpr std::size_t kFrameHeaderSize = 4 + 2 + 4;     // len type crc
+
+void put_u32(util::Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u16(util::Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u64(util::Bytes& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((std::uint16_t{p[0]} << 8) |
+                                    std::uint16_t{p[1]});
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return (std::uint64_t{get_u32(p)} << 32) | std::uint64_t{get_u32(p + 4)};
+}
+
+util::Bytes encode_file_header(std::uint64_t base_lsn) {
+  util::Bytes header;
+  header.reserve(kFileHeaderSize);
+  put_u32(header, kMagic);
+  put_u32(header, 1);  // format version
+  put_u64(header, base_lsn);
+  put_u32(header, crc32c({header.data(), header.size()}));
+  return header;
+}
+
+/// CRC input of a frame: the length and type octets followed by the
+/// payload, i.e. everything except the CRC field itself.
+std::uint32_t frame_crc(std::uint32_t len, std::uint16_t type,
+                        util::BytesView payload) {
+  util::Bytes head;
+  head.reserve(6);
+  put_u32(head, len);
+  put_u16(head, type);
+  return crc32c(payload, crc32c({head.data(), head.size()}));
+}
+
+util::Bytes encode_frame(std::uint16_t type, util::BytesView payload) {
+  util::Bytes frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  put_u32(frame, len);
+  put_u16(frame, type);
+  put_u32(frame, frame_crc(len, type, payload));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+util::Status io_fail(const std::string& what, const std::string& path) {
+  return util::fail(ErrorCode::kUnavailable,
+                    what + " '" + path + "': " + std::strerror(errno));
+}
+
+/// write(2) with EINTR retry and short-write continuation.
+util::Status write_all(int fd, util::BytesView data,
+                       const std::string& path) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io_fail("journal write", path);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return util::Status::ok();
+}
+
+util::Result<util::Bytes> read_whole_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return io_fail("journal open", path);
+  util::Bytes data;
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return io_fail("journal read", path);
+    }
+    if (n == 0) break;
+    data.insert(data.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return data;
+}
+
+}  // namespace
+
+std::string_view fsync_policy_name(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNever:
+      return "never";
+    case FsyncPolicy::kBatch:
+      return "batch";
+    case FsyncPolicy::kEveryRecord:
+      return "every_record";
+  }
+  return "?";
+}
+
+util::Result<JournalReader::Scan> JournalReader::read(
+    const std::string& path) {
+  RPROXY_ASSIGN_OR_RETURN(util::Bytes data, read_whole_file(path));
+  if (data.size() < kFileHeaderSize) {
+    return util::fail(ErrorCode::kParseError,
+                      "journal '" + path + "' shorter than its header");
+  }
+  if (get_u32(data.data()) != kMagic) {
+    return util::fail(ErrorCode::kParseError,
+                      "'" + path + "' is not a journal (bad magic)");
+  }
+  const std::uint32_t version = get_u32(data.data() + 4);
+  if (version != 1) {
+    return util::fail(ErrorCode::kParseError,
+                      "journal '" + path + "' has unknown format version " +
+                          std::to_string(version));
+  }
+  if (crc32c({data.data(), kFileHeaderSize - 4}) !=
+      get_u32(data.data() + kFileHeaderSize - 4)) {
+    return util::fail(ErrorCode::kParseError,
+                      "journal '" + path + "' header checksum mismatch");
+  }
+
+  Scan scan;
+  scan.base_lsn = get_u64(data.data() + 8);
+  std::size_t pos = kFileHeaderSize;
+  // Walk frames until the data runs out or a frame fails its CRC.  Either
+  // way the rest of the file is a torn tail: frames are appended in order
+  // and each is a single write, so nothing after a bad frame can be
+  // trusted (its very length prefix may be garbage).
+  while (pos < data.size()) {
+    if (data.size() - pos < kFrameHeaderSize) {
+      scan.tail_truncated = true;
+      break;
+    }
+    const std::uint32_t len = get_u32(data.data() + pos);
+    const std::uint16_t type = get_u16(data.data() + pos + 4);
+    const std::uint32_t crc = get_u32(data.data() + pos + 6);
+    if (len > kMaxJournalRecordBytes ||
+        len > data.size() - pos - kFrameHeaderSize) {
+      scan.tail_truncated = true;
+      break;
+    }
+    const util::BytesView payload{data.data() + pos + kFrameHeaderSize, len};
+    if (frame_crc(len, type, payload) != crc) {
+      scan.tail_truncated = true;
+      break;
+    }
+    JournalRecord record;
+    record.lsn = scan.base_lsn + scan.records.size();
+    record.type = type;
+    record.payload = util::to_bytes(payload);
+    scan.records.push_back(std::move(record));
+    pos += kFrameHeaderSize + len;
+  }
+  scan.valid_bytes = scan.tail_truncated
+                         ? static_cast<std::uint64_t>(pos)
+                         : static_cast<std::uint64_t>(data.size());
+  return scan;
+}
+
+util::Result<JournalWriter> JournalWriter::create(const std::string& path,
+                                                  std::uint64_t base_lsn,
+                                                  Config config) {
+  const int fd = ::open(path.c_str(),
+                        O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  if (fd < 0) return io_fail("journal create", path);
+  const util::Bytes header = encode_file_header(base_lsn);
+  util::Status written = write_all(fd, header, path);
+  if (written.is_ok() && config.fsync_policy != FsyncPolicy::kNever &&
+      ::fsync(fd) != 0) {
+    written = io_fail("journal fsync", path);
+  }
+  if (!written.is_ok()) {
+    ::close(fd);
+    return written;
+  }
+  JournalWriter writer;
+  writer.path_ = path;
+  writer.fd_ = fd;
+  writer.next_lsn_ = base_lsn;
+  writer.config_ = config;
+  return writer;
+}
+
+util::Result<JournalWriter> JournalWriter::open(const std::string& path,
+                                                Config config) {
+  RPROXY_ASSIGN_OR_RETURN(JournalReader::Scan scan,
+                          JournalReader::read(path));
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) return io_fail("journal open", path);
+  // Truncate the torn tail (if any) so new frames start on a clean
+  // boundary, then append from there.
+  if (::ftruncate(fd, static_cast<off_t>(scan.valid_bytes)) != 0) {
+    const util::Status st = io_fail("journal truncate", path);
+    ::close(fd);
+    return st;
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    const util::Status st = io_fail("journal seek", path);
+    ::close(fd);
+    return st;
+  }
+  JournalWriter writer;
+  writer.path_ = path;
+  writer.fd_ = fd;
+  writer.next_lsn_ = scan.base_lsn + scan.records.size();
+  writer.config_ = config;
+  return writer;
+}
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      next_lsn_(other.next_lsn_),
+      config_(other.config_),
+      unsynced_records_(other.unsynced_records_),
+      dead_(other.dead_) {
+  other.fd_ = -1;
+}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    next_lsn_ = other.next_lsn_;
+    config_ = other.config_;
+    unsynced_records_ = other.unsynced_records_;
+    dead_ = other.dead_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) {
+    if (!dead_ && config_.fsync_policy != FsyncPolicy::kNever) {
+      ::fsync(fd_);
+    }
+    ::close(fd_);
+  }
+}
+
+util::Result<std::uint64_t> JournalWriter::append(std::uint16_t type,
+                                                  util::BytesView payload) {
+  if (dead_ || fd_ < 0) {
+    return util::fail(ErrorCode::kUnavailable,
+                      "journal '" + path_ + "' is dead (crashed)");
+  }
+  if (payload.size() > kMaxJournalRecordBytes) {
+    return util::fail(ErrorCode::kInternal, "journal record too large");
+  }
+  const util::Bytes frame = encode_frame(type, payload);
+  std::size_t admitted = frame.size();
+  if (config_.crash != nullptr) {
+    admitted = config_.crash->admit(frame.size());
+  }
+  RPROXY_RETURN_IF_ERROR(
+      write_all(fd_, {frame.data(), admitted}, path_));
+  if (admitted < frame.size()) {
+    // Simulated kill mid-write: the torn frame is on disk, the record is
+    // NOT durable, and this "process" no longer accepts work.
+    dead_ = true;
+    return util::fail(ErrorCode::kUnavailable,
+                      "journal '" + path_ + "' crashed mid-append (write " +
+                          std::to_string(config_.crash->writes_seen()) +
+                          ")");
+  }
+  const std::uint64_t lsn = next_lsn_;
+  next_lsn_ += 1;
+  unsynced_records_ += 1;
+  const bool want_sync =
+      config_.fsync_policy == FsyncPolicy::kEveryRecord ||
+      (config_.fsync_policy == FsyncPolicy::kBatch &&
+       unsynced_records_ >= std::max<std::size_t>(config_.batch_records, 1));
+  if (want_sync) RPROXY_RETURN_IF_ERROR(sync());
+  return lsn;
+}
+
+util::Status JournalWriter::sync() {
+  if (dead_ || fd_ < 0) {
+    return util::fail(ErrorCode::kUnavailable,
+                      "journal '" + path_ + "' is dead (crashed)");
+  }
+  if (::fsync(fd_) != 0) return io_fail("journal fsync", path_);
+  unsynced_records_ = 0;
+  return util::Status::ok();
+}
+
+}  // namespace rproxy::storage

@@ -1,0 +1,125 @@
+// CRC32C-framed, length-prefixed append-only journal.
+//
+// The write-ahead log under the accounting durability layer (DESIGN.md
+// §5e).  A journal file is a fixed header (magic, format version, the LSN
+// of its first record) followed by frames:
+//
+//   [u32 payload length][u16 record type][u32 crc32c][payload ...]
+//
+// with the CRC computed over length, type and payload, so any torn byte —
+// in the header or the body — fails the check.  Each frame is issued as a
+// single write; a crash can therefore leave at most one partial frame, at
+// the tail.  Recovery truncates that torn tail and resumes appending
+// instead of failing: losing the record whose reply was never sent is the
+// correct outcome, the client retries it.
+//
+// Durability is a policy knob: `kNever` trusts the OS page cache (fastest,
+// loses the tail on power failure), `kBatch` fsyncs every N appends, and
+// `kEveryRecord` fsyncs per append (the strict write-ahead guarantee).
+// bench_t9_journal measures the spread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/crash_point.hpp"
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace rproxy::storage {
+
+/// When appends reach stable storage.
+enum class FsyncPolicy {
+  kNever,        ///< never fsync; the OS decides
+  kBatch,        ///< fsync every `batch_records` appends
+  kEveryRecord,  ///< fsync after every append
+};
+
+[[nodiscard]] std::string_view fsync_policy_name(FsyncPolicy policy);
+
+/// One recovered record.
+struct JournalRecord {
+  std::uint64_t lsn = 0;  ///< 1-based, file base + position
+  std::uint16_t type = 0;
+  util::Bytes payload;
+};
+
+/// Sequentially scans a journal file, validating every frame.
+class JournalReader {
+ public:
+  struct Scan {
+    std::uint64_t base_lsn = 0;          ///< from the file header
+    std::vector<JournalRecord> records;  ///< every intact record, in order
+    /// True when a partial or corrupt final frame was dropped; the valid
+    /// prefix ends at `valid_bytes`.
+    bool tail_truncated = false;
+    std::uint64_t valid_bytes = 0;  ///< header + intact frames
+  };
+
+  /// Reads the whole file.  A torn tail is NOT an error (see Scan); a
+  /// missing file or bad header is.
+  [[nodiscard]] static util::Result<Scan> read(const std::string& path);
+};
+
+/// Appender.  Not thread-safe; callers serialize (the accounting server
+/// appends under its state mutex).
+class JournalWriter {
+ public:
+  struct Config {
+    FsyncPolicy fsync_policy = FsyncPolicy::kBatch;
+    std::size_t batch_records = 8;
+    /// Test-only kill injection; not owned.  When the crash point fires,
+    /// the fatal frame lands torn on disk and append() reports
+    /// kUnavailable — the caller must treat the process as dead.
+    CrashPoint* crash = nullptr;
+  };
+
+  /// Creates a fresh journal whose first record will carry `base_lsn`.
+  /// Fails if the file already exists.
+  [[nodiscard]] static util::Result<JournalWriter> create(
+      const std::string& path, std::uint64_t base_lsn, Config config);
+
+  /// Opens an existing journal for appending: scans it, truncates a torn
+  /// tail, and positions at the end of the valid prefix.
+  [[nodiscard]] static util::Result<JournalWriter> open(
+      const std::string& path, Config config);
+
+  JournalWriter(JournalWriter&& other) noexcept;
+  JournalWriter& operator=(JournalWriter&& other) noexcept;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+  ~JournalWriter();
+
+  /// Appends one record and applies the fsync policy; returns its LSN.
+  /// kUnavailable after a crash-point kill (the frame may be torn on
+  /// disk; the caller must not send the reply the record covers).
+  [[nodiscard]] util::Result<std::uint64_t> append(std::uint16_t type,
+                                                   util::BytesView payload);
+
+  /// Forces an fsync regardless of policy.
+  [[nodiscard]] util::Status sync();
+
+  /// LSN the next append will return.
+  [[nodiscard]] std::uint64_t next_lsn() const { return next_lsn_; }
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  JournalWriter() = default;
+
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t next_lsn_ = 1;
+  Config config_;
+  std::size_t unsynced_records_ = 0;
+  bool dead_ = false;  ///< crash point fired or unrecoverable I/O error
+};
+
+/// Largest accepted record payload.  A corrupt length prefix must not make
+/// recovery attempt a multi-gigabyte allocation; anything above this is
+/// treated as a torn tail.
+inline constexpr std::uint32_t kMaxJournalRecordBytes = 64u << 20;
+
+}  // namespace rproxy::storage

@@ -1,0 +1,82 @@
+// One durable state directory: snapshots + the active journal.
+//
+// LogDir ties the two primitives into the recovery protocol the
+// accounting server relies on (DESIGN.md §5e):
+//
+//   * open():  load the newest sealed snapshot (LSN N), replay the
+//     journal records with LSN > N, truncate a torn tail, resume
+//     appending.  A crash at ANY byte of any prior write lands in one of
+//     these cases.
+//   * checkpoint(): publish a snapshot at the current LSN, rotate to a
+//     fresh journal starting at LSN+1, and delete the superseded journal
+//     and snapshot files (log compaction — snapshot N supersedes every
+//     record <= N).
+//
+// Journal files are `journal-<base LSN>.wal`; by construction at most one
+// has a base above the newest snapshot (rotation only happens inside
+// checkpoint), and files at or below it contain only superseded records.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/journal.hpp"
+#include "storage/snapshot_store.hpp"
+
+namespace rproxy::storage {
+
+class LogDir {
+ public:
+  struct Config {
+    std::string dir;
+    JournalWriter::Config journal;
+  };
+
+  /// What open() recovered; the caller restores the snapshot and replays
+  /// the tail into its in-memory state.
+  struct Recovered {
+    std::optional<SnapshotStore::Loaded> snapshot;
+    std::vector<JournalRecord> tail;  ///< records with LSN > snapshot LSN
+    bool tail_truncated = false;      ///< a torn final record was dropped
+  };
+
+  /// Opens (creating the directory if needed) and recovers.
+  [[nodiscard]] static util::Result<LogDir> open(const Config& config,
+                                                 Recovered* recovered);
+
+  LogDir(LogDir&&) = default;
+  LogDir& operator=(LogDir&&) = default;
+
+  /// Appends one typed record; returns its LSN.
+  [[nodiscard]] util::Result<std::uint64_t> append(std::uint16_t type,
+                                                   util::BytesView payload);
+
+  /// Forces the journal to stable storage.
+  [[nodiscard]] util::Status sync();
+
+  /// Publishes `sealed_snapshot` as covering everything appended so far,
+  /// rotates the journal, and compacts superseded files.
+  [[nodiscard]] util::Status checkpoint(util::BytesView sealed_snapshot);
+
+  /// LSN the next append will return.
+  [[nodiscard]] std::uint64_t next_lsn() const {
+    return journal_->next_lsn();
+  }
+
+  [[nodiscard]] const std::string& dir() const { return config_.dir; }
+
+ private:
+  explicit LogDir(Config config)
+      : config_(std::move(config)), snapshots_(config_.dir) {}
+
+  [[nodiscard]] std::string journal_path_(std::uint64_t base_lsn) const;
+
+  Config config_;
+  SnapshotStore snapshots_;
+  /// optional<> only for two-phase construction; always set after open().
+  std::optional<JournalWriter> journal_;
+};
+
+}  // namespace rproxy::storage

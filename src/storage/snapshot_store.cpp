@@ -1,0 +1,137 @@
+#include "storage/snapshot_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace rproxy::storage {
+
+using util::ErrorCode;
+
+namespace {
+
+constexpr std::string_view kPrefix = "snapshot-";
+constexpr std::string_view kSuffix = ".snap";
+
+/// snapshot-<20-digit lsn>.snap, zero-padded so lexical order = LSN order.
+std::string snapshot_name(std::uint64_t lsn) {
+  std::string digits = std::to_string(lsn);
+  return std::string(kPrefix) +
+         std::string(20 - std::min<std::size_t>(digits.size(), 20), '0') +
+         digits + std::string(kSuffix);
+}
+
+std::optional<std::uint64_t> parse_snapshot_name(const std::string& name) {
+  if (name.size() <= kPrefix.size() + kSuffix.size() ||
+      name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+      name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+          0) {
+    return std::nullopt;
+  }
+  const std::string digits = name.substr(
+      kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  return std::strtoull(digits.c_str(), nullptr, 10);
+}
+
+util::Status io_fail(const std::string& what, const std::string& path) {
+  return util::fail(ErrorCode::kUnavailable,
+                    what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::string SnapshotStore::path_for_(std::uint64_t lsn) const {
+  return dir_ + "/" + snapshot_name(lsn);
+}
+
+util::Status SnapshotStore::save(std::uint64_t lsn,
+                                 util::BytesView sealed) const {
+  const std::string final_path = path_for_(lsn);
+  const std::string tmp_path = final_path + ".tmp";
+  const int fd =
+      ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+             0644);
+  if (fd < 0) return io_fail("snapshot create", tmp_path);
+  std::size_t off = 0;
+  while (off < sealed.size()) {
+    const ssize_t n = ::write(fd, sealed.data() + off, sealed.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const util::Status st = io_fail("snapshot write", tmp_path);
+      ::close(fd);
+      return st;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const util::Status st = io_fail("snapshot fsync", tmp_path);
+    ::close(fd);
+    return st;
+  }
+  ::close(fd);
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return io_fail("snapshot rename", final_path);
+  }
+  // fsync the directory so the rename itself is durable.
+  const int dir_fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return util::Status::ok();
+}
+
+util::Result<std::optional<SnapshotStore::Loaded>>
+SnapshotStore::load_latest() const {
+  const std::vector<std::uint64_t> lsns = list();
+  if (lsns.empty()) return std::optional<Loaded>{};
+  const std::uint64_t lsn = lsns.back();
+  const std::string path = path_for_(lsn);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::fail(ErrorCode::kUnavailable,
+                      "cannot read snapshot '" + path + "'");
+  }
+  Loaded loaded;
+  loaded.lsn = lsn;
+  loaded.sealed.assign(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  return std::optional<Loaded>{std::move(loaded)};
+}
+
+std::vector<std::uint64_t> SnapshotStore::list() const {
+  std::vector<std::uint64_t> lsns;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const auto lsn = parse_snapshot_name(entry.path().filename().string());
+    if (lsn.has_value()) lsns.push_back(*lsn);
+  }
+  std::sort(lsns.begin(), lsns.end());
+  return lsns;
+}
+
+void SnapshotStore::prune_keep_latest() const {
+  const std::vector<std::uint64_t> lsns = list();
+  std::error_code ec;
+  for (std::size_t i = 0; i + 1 < lsns.size(); ++i) {
+    std::filesystem::remove(path_for_(lsns[i]), ec);
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (entry.path().extension() == ".tmp") {
+      std::error_code rm_ec;
+      std::filesystem::remove(entry.path(), rm_ec);
+    }
+  }
+}
+
+}  // namespace rproxy::storage

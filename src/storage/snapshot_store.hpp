@@ -1,0 +1,52 @@
+// Persistent snapshot files with atomic replacement.
+//
+// A snapshot is an opaque sealed blob (the accounting server AEAD-seals
+// its state, so storage is untrusted) named by the journal LSN it covers:
+// `snapshot-<lsn>.snap` supersedes every journal record with LSN <= lsn.
+// Writes are crash-atomic the classic way: write to a `.tmp`, fsync the
+// file, rename(2) into place, fsync the directory.  A crash leaves either
+// the old snapshot set or the new one, never a half-written `.snap`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace rproxy::storage {
+
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Atomically publishes `sealed` as the snapshot covering `lsn`.
+  [[nodiscard]] util::Status save(std::uint64_t lsn,
+                                  util::BytesView sealed) const;
+
+  struct Loaded {
+    std::uint64_t lsn = 0;
+    util::Bytes sealed;
+  };
+
+  /// The newest snapshot, or nullopt on a fresh directory.  Stray `.tmp`
+  /// files (a crash mid-save) are ignored.
+  [[nodiscard]] util::Result<std::optional<Loaded>> load_latest() const;
+
+  /// LSNs of every published snapshot, ascending.
+  [[nodiscard]] std::vector<std::uint64_t> list() const;
+
+  /// Deletes every snapshot except the newest, plus leftover `.tmp` files.
+  void prune_keep_latest() const;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  [[nodiscard]] std::string path_for_(std::uint64_t lsn) const;
+
+  std::string dir_;
+};
+
+}  // namespace rproxy::storage

@@ -1,12 +1,23 @@
 // Sealed accounting snapshots: durability without trusting the storage.
 #include <gtest/gtest.h>
 
+#include "crypto/aead.hpp"
 #include "testing/env.hpp"
 
 namespace rproxy {
 namespace {
 
 using testing::World;
+
+/// Seals raw plaintext exactly as AccountingServer::snapshot does, so the
+/// negative-path tests can hand the server structurally-corrupt payloads
+/// that pass the AEAD check (storage tampering is caught by the seal; the
+/// decoder must survive everything else).
+util::Bytes seal_as_snapshot(const crypto::SymmetricKey& key,
+                             util::BytesView plaintext) {
+  return crypto::aead_seal(key.derive_subkey("accounting:snapshot"),
+                           plaintext);
+}
 
 class SnapshotTest : public ::testing::Test {
  protected:
@@ -86,6 +97,111 @@ TEST_F(SnapshotTest, ForeignSnapshotRejected) {
   const util::Bytes saved = other.snapshot(snapshot_key_);
   EXPECT_EQ(bank_->restore(snapshot_key_, saved).code(),
             util::ErrorCode::kProtocolError);
+}
+
+TEST_F(SnapshotTest, TruncatedSealedBlobRejected) {
+  util::Bytes saved = bank_->snapshot(snapshot_key_);
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{1}, saved.size() / 2,
+        saved.size() - 1}) {
+    util::Bytes cut(saved.begin(),
+                    saved.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_FALSE(bank_->restore(snapshot_key_, cut).is_ok())
+        << "kept " << keep << " bytes";
+  }
+  // State untouched through all of it.
+  EXPECT_EQ(bank_->account("client-acct")->balances().balance("usd"), 100);
+}
+
+TEST_F(SnapshotTest, UnknownVersionRejectedCleanly) {
+  wire::Encoder enc;
+  enc.str("accounting-snapshot-v9");
+  enc.str("bank");
+  const util::Status st =
+      bank_->restore(snapshot_key_, seal_as_snapshot(snapshot_key_,
+                                                     enc.view()));
+  EXPECT_EQ(st.code(), util::ErrorCode::kParseError);
+  EXPECT_EQ(bank_->account("client-acct")->balances().balance("usd"), 100);
+}
+
+TEST_F(SnapshotTest, TruncatedPlaintextNeverHalfApplies) {
+  // A structurally valid prefix — correct version, server name, and an
+  // account count promising more data than exists.  The decoder must
+  // latch, restore must fail, and NO account may have been replaced.
+  wire::Encoder enc;
+  enc.str("accounting-snapshot-v3");
+  enc.str("bank");
+  enc.u32(7);  // seven accounts allegedly follow; none do
+  const util::Status st =
+      bank_->restore(snapshot_key_, seal_as_snapshot(snapshot_key_,
+                                                     enc.view()));
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(bank_->account("client-acct")->balances().balance("usd"), 100);
+  EXPECT_EQ(bank_->account("client-acct")->balances().balance("pages"), 7);
+}
+
+TEST_F(SnapshotTest, GarbageHoldAmountsNeverHalfApply) {
+  // One full account whose hold exceeds its balance — place_hold must
+  // refuse, and the failure must not leave the decoded prefix applied.
+  wire::Encoder enc;
+  enc.str("accounting-snapshot-v3");
+  enc.str("bank");
+  enc.u32(1);
+  enc.str("client-acct");
+  enc.str("client");
+  accounting::Balances{{"usd", 10}}.encode(enc);
+  enc.u32(1);
+  enc.str("usd");
+  enc.i64(10'000);  // hold far beyond the balance
+  const util::Status st =
+      bank_->restore(snapshot_key_, seal_as_snapshot(snapshot_key_,
+                                                     enc.view()));
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(bank_->account("client-acct")->balances().balance("usd"), 100);
+  EXPECT_EQ(bank_->account("client-acct")->held("usd"), 0);
+}
+
+TEST_F(SnapshotTest, V2SnapshotStillRestores) {
+  // Hand-built previous-generation snapshot (no routes section): upgrade
+  // compatibility — a server must come back from a pre-upgrade file.
+  wire::Encoder enc;
+  enc.str("accounting-snapshot-v2");
+  enc.str("bank");
+  enc.u32(1);
+  enc.str("client-acct");
+  enc.str("client");
+  accounting::Balances{{"usd", 62}}.encode(enc);
+  enc.u32(1);
+  enc.str("usd");
+  enc.i64(12);
+  enc.u32(0);  // no certified holds
+  enc.u32(0);  // no completed deposits
+  enc.u32(0);  // no completed certifies
+  ASSERT_TRUE(bank_
+                  ->restore(snapshot_key_,
+                            seal_as_snapshot(snapshot_key_, enc.view()))
+                  .is_ok());
+  EXPECT_EQ(bank_->account("client-acct")->balances().balance("usd"), 62);
+  EXPECT_EQ(bank_->account("client-acct")->held("usd"), 12);
+  EXPECT_EQ(bank_->account("client-acct")->available("usd"), 50);
+  // v2 predates route persistence: accounts it does not mention are gone
+  // (restore replaces), and the restore reports success.
+  EXPECT_EQ(bank_->account("merchant-acct"), nullptr);
+}
+
+TEST_F(SnapshotTest, TrailingGarbageRejected) {
+  util::Bytes saved = bank_->snapshot(snapshot_key_);
+  // Re-seal the valid plaintext plus trailing junk: dec.finish() must
+  // refuse bytes the decoder did not consume.
+  auto plain = crypto::aead_open(
+      snapshot_key_.derive_subkey("accounting:snapshot"), saved);
+  ASSERT_TRUE(plain.is_ok());
+  util::Bytes padded = plain.value();
+  padded.push_back(0xAB);
+  EXPECT_FALSE(
+      bank_->restore(snapshot_key_, seal_as_snapshot(snapshot_key_, padded))
+          .is_ok());
+  EXPECT_EQ(bank_->account("client-acct")->balances().balance("usd"), 100);
 }
 
 TEST_F(SnapshotTest, ConservationAcrossSnapshotRestore) {

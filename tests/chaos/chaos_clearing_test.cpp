@@ -12,10 +12,14 @@
 
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "storage/crash_point.hpp"
+#include "storage/snapshot_store.hpp"
 #include "testing/env.hpp"
+#include "testing/tempdir.hpp"
 #include "util/rng.hpp"
 
 namespace rproxy {
@@ -208,6 +212,242 @@ TEST(ChaosClearing, DisablingDedupBreaksExactlyOnce) {
   EXPECT_GE(violations, 1)
       << "no seed produced a double-spend/lost-money violation with dedup "
          "disabled; the chaos schedule is too gentle to prove anything";
+}
+
+// ---- Crash-recovery matrix (storage-backed banks, seeded kills) ----------
+//
+// Same three-bank clearing chain, but every bank journals to disk and one
+// seed-chosen bank is killed at a seeded journal offset MID-RUN, while the
+// network faults are also firing.  The harness restarts the dead bank and
+// keeps clearing; with the write-ahead journal the books must come out
+// exactly as if the crash never happened.  The ablation restarts from the
+// periodic snapshot alone (no tail replay) and must produce violations on
+// the same schedules — proof the journal, not luck, carries the invariant.
+
+struct CrashOutcome {
+  int protocol_errors = 0;
+  int unconverged = 0;
+  std::int64_t merchant = 0;
+  std::int64_t expected_total = 0;
+  int payor_mismatches = 0;
+  std::int64_t uncollected = 0;
+  int restarts = 0;
+  /// Retries answered from the restarted victim's RECOVERED dedup table.
+  std::uint64_t victim_deduped_after_restart = 0;
+};
+
+CrashOutcome run_crash_recovery_chaos(std::uint64_t seed,
+                                      bool replay_journal,
+                                      const std::string& victim) {
+  World world;
+  rproxy::testing::TempDir tmp;
+  const crypto::SymmetricKey storage_key = crypto::SymmetricKey::generate();
+  const std::vector<std::string> payors = {"alice", "bob", "carol"};
+  for (const auto& p : payors) world.add_principal(p);
+  world.add_principal("merchant");
+  world.add_principal("bank1");
+  world.add_principal("bank2");
+  world.add_principal("bank3");
+
+  storage::CrashPoint crash;  // inert until armed below
+  std::map<std::string, std::unique_ptr<accounting::AccountingServer>> banks;
+  const auto boot = [&](const std::string& name, bool with_storage,
+                        storage::CrashPoint* cp) {
+    auto config = world.accounting_config(name);
+    if (with_storage) {
+      config.storage_dir = tmp.sub(name);
+      config.storage_key = storage_key;
+      config.crash_point = cp;
+    }
+    auto server =
+        std::make_unique<accounting::AccountingServer>(std::move(config));
+    EXPECT_TRUE(server->recover().is_ok());
+    world.net.attach(name, *server);
+    banks[name] = std::move(server);
+  };
+  for (const char* name : {"bank1", "bank2", "bank3"}) {
+    boot(name, /*with_storage=*/true, name == victim ? &crash : nullptr);
+  }
+  banks["bank1"]->set_route("bank3", "bank2");
+  banks["bank1"]->open_account("merchant-acct", "merchant");
+  for (const auto& p : payors) {
+    banks["bank3"]->open_account(
+        p + "-acct", p, accounting::Balances{{"usd", kInitialBalance}});
+  }
+  // Periodic-snapshot point: everything after this lives only in the
+  // journal tail until the next checkpoint (which never comes).
+  for (auto& [name, bank] : banks) {
+    EXPECT_TRUE(bank->checkpoint().is_ok()) << name;
+  }
+
+  util::Rng rng(seed);
+  struct PendingCheck {
+    accounting::Check check;
+    std::uint64_t amount = 0;
+  };
+  std::vector<PendingCheck> checks;
+  std::map<std::string, std::int64_t> spent;
+  CrashOutcome out;
+  std::uint64_t number = 1;
+  for (const auto& p : payors) {
+    for (int i = 0; i < kChecksPerPayor; ++i) {
+      const auto amount = static_cast<std::uint64_t>(rng.range(1, 50));
+      checks.push_back(
+          {accounting::write_check(p, world.principal(p).identity,
+                                   AccountId{"bank3", p + "-acct"},
+                                   "merchant", "usd", amount, number++,
+                                   world.clock.now(), util::kHour),
+           amount});
+      spent[p] += static_cast<std::int64_t>(amount);
+      out.expected_total += static_cast<std::int64_t>(amount);
+    }
+  }
+
+  // Arm the kill: the victim dies at a seeded append within the run.
+  storage::CrashPlan plan;
+  plan.seed = seed * 977 + 13;
+  plan.min_appends = 1;
+  plan.max_appends = 6;
+  plan.tear_mid_write = (seed % 2) == 0;
+  crash.arm(plan);
+
+  net::FaultSpec spec;
+  spec.drop_request = 0.05;
+  spec.drop_reply = 0.08;
+  spec.duplicate = 0.05;
+  spec.extra_delay = 0.10;
+  spec.extra_delay_max = 5 * util::kMillisecond;
+  world.net.set_fault_plan(net::FaultPlan::uniform(seed, spec));
+
+  auto merchant = world.accounting_client("merchant");
+  net::RetryPolicy retry;
+  retry.max_attempts = 6;
+  merchant.set_retry_policy(retry);
+
+  const auto restart_victim = [&] {
+    out.restarts += 1;
+    if (replay_journal) {
+      // Real recovery: newest snapshot + journal tail.
+      boot(victim, /*with_storage=*/true, nullptr);
+    } else {
+      // Ablation: pretend the journal does not exist — only the periodic
+      // snapshot survives the crash, so every acknowledged mutation since
+      // the last checkpoint is silently lost.
+      storage::SnapshotStore store(tmp.sub(victim));
+      auto latest = store.load_latest();
+      EXPECT_TRUE(latest.is_ok() && latest.value().has_value());
+      boot(victim, /*with_storage=*/false, nullptr);
+      EXPECT_TRUE(
+          banks[victim]
+              ->restore(storage_key, latest.value()->sealed)
+              .is_ok());
+    }
+  };
+
+  std::vector<bool> cleared(checks.size(), false);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::size_t i = 0; i < checks.size(); ++i) {
+      if (cleared[i]) continue;
+      auto result = merchant.endorse_and_deposit("bank1", checks[i].check,
+                                                 "merchant-acct");
+      if (result.is_ok()) {
+        cleared[i] = true;
+      } else if (!net::RetryPolicy::transport_error(result.status())) {
+        out.protocol_errors += 1;
+      }
+      if (banks[victim]->storage_dead()) restart_victim();
+    }
+  }
+
+  // Faults stop; every remaining check must clear against the restarted
+  // bank (extra attempts cover a kill that fires this late).
+  world.net.clear_fault_plan();
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    if (cleared[i]) continue;
+    for (int attempt = 0; attempt < 3 && !cleared[i]; ++attempt) {
+      auto result = merchant.endorse_and_deposit("bank1", checks[i].check,
+                                                 "merchant-acct");
+      if (result.is_ok()) {
+        cleared[i] = true;
+      } else if (banks[victim]->storage_dead()) {
+        restart_victim();
+      } else {
+        break;
+      }
+    }
+    if (!cleared[i]) out.unconverged += 1;
+  }
+
+  out.merchant =
+      banks["bank1"]->account("merchant-acct")->balances().balance("usd");
+  for (const auto& p : payors) {
+    if (banks["bank3"]->account(p + "-acct")->balances().balance("usd") !=
+        kInitialBalance - spent[p]) {
+      out.payor_mismatches += 1;
+    }
+  }
+  out.uncollected = banks["bank1"]->uncollected_total() +
+                    banks["bank2"]->uncollected_total();
+  if (out.restarts > 0) {
+    out.victim_deduped_after_restart = banks[victim]->deduped_replies();
+  }
+  return out;
+}
+
+TEST(ChaosClearing, KillAnyBankMidRunAndTheJournalPreservesTheBooks) {
+  const std::vector<std::string> victims = {"bank1", "bank2", "bank3"};
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t s = 1; s <= 12; ++s) seeds.push_back(s);
+  if (const char* env = std::getenv("CHAOS_SEED")) {
+    seeds.push_back(std::strtoull(env, nullptr, 10));
+  }
+
+  int total_restarts = 0;
+  std::uint64_t recovered_dedup_replays = 0;
+  for (const std::uint64_t seed : seeds) {
+    const std::string victim = victims[seed % victims.size()];
+    SCOPED_TRACE("replay with CHAOS_SEED=" + std::to_string(seed) +
+                 " (victim " + victim + ")");
+    const CrashOutcome out =
+        run_crash_recovery_chaos(seed, /*replay_journal=*/true, victim);
+    EXPECT_EQ(out.protocol_errors, 0);
+    EXPECT_EQ(out.unconverged, 0);
+    EXPECT_EQ(out.merchant, out.expected_total);
+    EXPECT_EQ(out.payor_mismatches, 0);
+    EXPECT_EQ(out.uncollected, 0);
+    // The kill must actually have fired: a matrix that never crashes
+    // anyone proves nothing.
+    EXPECT_GE(out.restarts, 1);
+    total_restarts += out.restarts;
+    recovered_dedup_replays += out.victim_deduped_after_restart;
+  }
+  EXPECT_GE(total_restarts, static_cast<int>(seeds.size()));
+  // At least one retried in-flight operation must have been answered from
+  // a RECOVERED dedup table — the exact state a journal-less restart loses.
+  EXPECT_GT(recovered_dedup_replays, 0u);
+}
+
+TEST(ChaosClearing, SnapshotOnlyRestartLosesAcknowledgedState) {
+  // Teeth: the identical harness, but the victim restarts from the
+  // periodic snapshot alone.  Acknowledged settlements since the last
+  // checkpoint vanish, so some seed must leave the books wrong — payors
+  // refunded for cleared checks (victim bank3) or merchant credits gone
+  // (victim bank1).  If every seed passes, the matrix has stopped testing
+  // anything.
+  int violations = 0;
+  for (std::uint64_t seed = 1; seed <= 8 && violations == 0; ++seed) {
+    const std::string victim = (seed % 2) == 0 ? "bank1" : "bank3";
+    const CrashOutcome out =
+        run_crash_recovery_chaos(seed, /*replay_journal=*/false, victim);
+    if (out.restarts == 0) continue;  // kill never fired; seed proves nothing
+    if (out.merchant != out.expected_total || out.payor_mismatches > 0 ||
+        out.unconverged > 0 || out.protocol_errors > 0) {
+      violations += 1;
+    }
+  }
+  EXPECT_GE(violations, 1)
+      << "snapshot-only restarts never corrupted the books; the crash "
+         "schedule is too gentle to prove the journal matters";
 }
 
 TEST(ChaosClearing, CrashRestartFromSnapshotKeepsExactlyOnce) {

@@ -1,0 +1,95 @@
+// Seeded crash injection: determinism is the whole point.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "storage/crash_point.hpp"
+
+namespace rproxy {
+namespace {
+
+using storage::CrashPlan;
+using storage::CrashPoint;
+
+TEST(CrashPointTest, InertByDefault) {
+  CrashPoint crash;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(crash.admit(64), 64u);
+  }
+  EXPECT_FALSE(crash.dead());
+  EXPECT_EQ(crash.kill_at(), 0u);
+}
+
+TEST(CrashPointTest, SameSeedSameSchedule) {
+  CrashPlan plan;
+  plan.seed = 1234;
+  plan.min_appends = 1;
+  plan.max_appends = 64;
+  CrashPoint a(plan);
+  CrashPoint b(plan);
+  EXPECT_EQ(a.kill_at(), b.kill_at());
+  for (int i = 0; i < 80; ++i) {
+    EXPECT_EQ(a.admit(100), b.admit(100)) << "write " << i;
+  }
+  EXPECT_TRUE(a.dead());
+  EXPECT_TRUE(b.dead());
+}
+
+TEST(CrashPointTest, SeedsSpreadAcrossTheRange) {
+  std::set<std::uint64_t> kill_points;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    CrashPlan plan;
+    plan.seed = seed;
+    plan.min_appends = 1;
+    plan.max_appends = 10;
+    CrashPoint crash(plan);
+    ASSERT_GE(crash.kill_at(), 1u);
+    ASSERT_LE(crash.kill_at(), 10u);
+    kill_points.insert(crash.kill_at());
+  }
+  // 40 seeds over 10 slots must not collapse onto a couple of values.
+  EXPECT_GE(kill_points.size(), 5u);
+}
+
+TEST(CrashPointTest, TornWriteAdmitsAProperPrefix) {
+  CrashPlan plan;
+  plan.seed = 7;
+  plan.min_appends = 1;
+  plan.max_appends = 1;
+  plan.tear_mid_write = true;
+  CrashPoint crash(plan);
+  const std::size_t admitted = crash.admit(1000);
+  EXPECT_LT(admitted, 1000u);
+  EXPECT_TRUE(crash.dead());
+  EXPECT_EQ(crash.admit(1000), 0u);  // dead stays dead
+}
+
+TEST(CrashPointTest, CleanBoundaryKillAdmitsNothing) {
+  CrashPlan plan;
+  plan.seed = 7;
+  plan.min_appends = 3;
+  plan.max_appends = 3;
+  plan.tear_mid_write = false;
+  CrashPoint crash(plan);
+  EXPECT_EQ(crash.admit(10), 10u);
+  EXPECT_EQ(crash.admit(10), 10u);
+  EXPECT_EQ(crash.admit(10), 0u);  // dies ON the boundary, nothing torn
+  EXPECT_TRUE(crash.dead());
+}
+
+TEST(CrashPointTest, RearmRestartsTheClock) {
+  CrashPlan plan;
+  plan.seed = 11;
+  plan.min_appends = 2;
+  plan.max_appends = 2;
+  CrashPoint crash(plan);
+  EXPECT_EQ(crash.admit(8), 8u);
+  (void)crash.admit(8);
+  EXPECT_TRUE(crash.dead());
+  crash.arm(plan);
+  EXPECT_FALSE(crash.dead());
+  EXPECT_EQ(crash.admit(8), 8u);
+}
+
+}  // namespace
+}  // namespace rproxy

@@ -1,0 +1,264 @@
+// Snapshot persistence and the LogDir recovery protocol.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "storage/log_dir.hpp"
+#include "storage/snapshot_store.hpp"
+#include "testing/tempdir.hpp"
+
+namespace rproxy {
+namespace {
+
+using storage::JournalWriter;
+using storage::LogDir;
+using storage::SnapshotStore;
+using testing::TempDir;
+
+util::Bytes blob(const std::string& text) { return util::to_bytes(text); }
+
+TEST(SnapshotStoreTest, SaveAndLoadLatest) {
+  TempDir dir;
+  SnapshotStore store(dir.path());
+  ASSERT_TRUE(store.save(5, blob("at five")).is_ok());
+  ASSERT_TRUE(store.save(12, blob("at twelve")).is_ok());
+
+  auto latest = store.load_latest();
+  ASSERT_TRUE(latest.is_ok());
+  ASSERT_TRUE(latest.value().has_value());
+  EXPECT_EQ(latest.value()->lsn, 12u);
+  EXPECT_EQ(latest.value()->sealed, blob("at twelve"));
+  EXPECT_EQ(store.list(), (std::vector<std::uint64_t>{5, 12}));
+}
+
+TEST(SnapshotStoreTest, FreshDirectoryHasNoSnapshot) {
+  TempDir dir;
+  SnapshotStore store(dir.path());
+  auto latest = store.load_latest();
+  ASSERT_TRUE(latest.is_ok());
+  EXPECT_FALSE(latest.value().has_value());
+}
+
+TEST(SnapshotStoreTest, StrayTmpFromACrashedSaveIsIgnoredAndPruned) {
+  TempDir dir;
+  SnapshotStore store(dir.path());
+  ASSERT_TRUE(store.save(3, blob("real")).is_ok());
+  {
+    // A crash between write and rename leaves a `.tmp` behind.
+    std::ofstream out(dir.sub("snapshot-00000000000000000009.snap.tmp"),
+                      std::ios::binary);
+    out << "half-written";
+  }
+  auto latest = store.load_latest();
+  ASSERT_TRUE(latest.is_ok());
+  ASSERT_TRUE(latest.value().has_value());
+  EXPECT_EQ(latest.value()->lsn, 3u);
+
+  store.prune_keep_latest();
+  std::size_t files = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir.path())) {
+    (void)entry;
+    files += 1;
+  }
+  EXPECT_EQ(files, 1u);  // only snapshot-3 survives
+}
+
+TEST(SnapshotStoreTest, PruneKeepsOnlyTheNewest) {
+  TempDir dir;
+  SnapshotStore store(dir.path());
+  for (const std::uint64_t lsn : {1u, 2u, 3u, 4u}) {
+    ASSERT_TRUE(store.save(lsn, blob("s")).is_ok());
+  }
+  store.prune_keep_latest();
+  EXPECT_EQ(store.list(), (std::vector<std::uint64_t>{4}));
+}
+
+TEST(LogDirTest, FreshDirectoryStartsAtLsnOne) {
+  TempDir dir;
+  LogDir::Config config;
+  config.dir = dir.sub("state");
+  LogDir::Recovered recovered;
+  auto log = LogDir::open(config, &recovered);
+  ASSERT_TRUE(log.is_ok());
+  EXPECT_FALSE(recovered.snapshot.has_value());
+  EXPECT_TRUE(recovered.tail.empty());
+  EXPECT_EQ(log.value().next_lsn(), 1u);
+}
+
+TEST(LogDirTest, ReopenReplaysTheTail) {
+  TempDir dir;
+  LogDir::Config config;
+  config.dir = dir.sub("state");
+  {
+    LogDir::Recovered recovered;
+    auto log = LogDir::open(config, &recovered);
+    ASSERT_TRUE(log.is_ok());
+    ASSERT_TRUE(log.value().append(1, blob("a")).is_ok());
+    ASSERT_TRUE(log.value().append(2, blob("b")).is_ok());
+  }
+  LogDir::Recovered recovered;
+  auto log = LogDir::open(config, &recovered);
+  ASSERT_TRUE(log.is_ok());
+  EXPECT_FALSE(recovered.snapshot.has_value());
+  ASSERT_EQ(recovered.tail.size(), 2u);
+  EXPECT_EQ(recovered.tail[0].lsn, 1u);
+  EXPECT_EQ(recovered.tail[1].payload, blob("b"));
+  EXPECT_EQ(log.value().next_lsn(), 3u);
+}
+
+TEST(LogDirTest, CheckpointRotatesCompactsAndSupersedesTheTail) {
+  TempDir dir;
+  LogDir::Config config;
+  config.dir = dir.sub("state");
+  {
+    LogDir::Recovered recovered;
+    auto log = LogDir::open(config, &recovered);
+    ASSERT_TRUE(log.is_ok());
+    ASSERT_TRUE(log.value().append(1, blob("a")).is_ok());
+    ASSERT_TRUE(log.value().append(1, blob("b")).is_ok());
+    ASSERT_TRUE(log.value().checkpoint(blob("sealed state at 2")).is_ok());
+    // Records after the checkpoint form the new tail.
+    ASSERT_TRUE(log.value().append(1, blob("c")).is_ok());
+  }
+  LogDir::Recovered recovered;
+  auto log = LogDir::open(config, &recovered);
+  ASSERT_TRUE(log.is_ok());
+  ASSERT_TRUE(recovered.snapshot.has_value());
+  EXPECT_EQ(recovered.snapshot->lsn, 2u);
+  EXPECT_EQ(recovered.snapshot->sealed, blob("sealed state at 2"));
+  ASSERT_EQ(recovered.tail.size(), 1u);
+  EXPECT_EQ(recovered.tail[0].lsn, 3u);
+  EXPECT_EQ(recovered.tail[0].payload, blob("c"));
+  EXPECT_EQ(log.value().next_lsn(), 4u);
+
+  // Compaction: exactly one journal and one snapshot on disk.
+  std::size_t journals = 0, snapshots = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(config.dir)) {
+    const std::string name = entry.path().filename().string();
+    journals += name.find(".wal") != std::string::npos ? 1 : 0;
+    snapshots += name.find(".snap") != std::string::npos ? 1 : 0;
+  }
+  EXPECT_EQ(journals, 1u);
+  EXPECT_EQ(snapshots, 1u);
+}
+
+TEST(LogDirTest, BackToBackCheckpointsDoNotCollide) {
+  TempDir dir;
+  LogDir::Config config;
+  config.dir = dir.sub("state");
+  LogDir::Recovered recovered;
+  auto log = LogDir::open(config, &recovered);
+  ASSERT_TRUE(log.is_ok());
+  ASSERT_TRUE(log.value().append(1, blob("a")).is_ok());
+  ASSERT_TRUE(log.value().checkpoint(blob("s1")).is_ok());
+  // Nothing appended since: the active journal is already positioned
+  // right after the covered LSN and must be reused, not recreated.
+  ASSERT_TRUE(log.value().checkpoint(blob("s2")).is_ok());
+  ASSERT_TRUE(log.value().append(1, blob("b")).is_ok());
+  ASSERT_TRUE(log.value().checkpoint(blob("s3")).is_ok());
+
+  LogDir::Recovered again;
+  auto reopened = LogDir::open(config, &again);
+  ASSERT_TRUE(reopened.is_ok());
+  ASSERT_TRUE(again.snapshot.has_value());
+  EXPECT_EQ(again.snapshot->lsn, 2u);
+  EXPECT_EQ(again.snapshot->sealed, blob("s3"));
+  EXPECT_TRUE(again.tail.empty());
+}
+
+TEST(LogDirTest, TornTailInTheFinalJournalIsRecoverable) {
+  TempDir dir;
+  LogDir::Config config;
+  config.dir = dir.sub("state");
+  {
+    LogDir::Recovered recovered;
+    auto log = LogDir::open(config, &recovered);
+    ASSERT_TRUE(log.is_ok());
+    ASSERT_TRUE(log.value().append(1, blob("kept")).is_ok());
+    ASSERT_TRUE(log.value().append(1, blob("torn")).is_ok());
+  }
+  const std::string journal =
+      config.dir + "/journal-00000000000000000001.wal";
+  std::filesystem::resize_file(
+      journal, std::filesystem::file_size(journal) - 2);
+
+  LogDir::Recovered recovered;
+  auto log = LogDir::open(config, &recovered);
+  ASSERT_TRUE(log.is_ok());
+  EXPECT_TRUE(recovered.tail_truncated);
+  ASSERT_EQ(recovered.tail.size(), 1u);
+  EXPECT_EQ(recovered.tail[0].payload, blob("kept"));
+  // The torn record's LSN is reused by the next append.
+  EXPECT_EQ(log.value().next_lsn(), 2u);
+}
+
+TEST(LogDirTest, TornInteriorJournalIsFatal) {
+  TempDir dir;
+  const std::string state = dir.sub("state");
+  std::filesystem::create_directories(state);
+  // Hand-build a corrupt history: journal 1 with a torn tail, journal 4
+  // after it.  Records 2..3 are unrecoverable, so refusing to serve beats
+  // silently conjuring a gap into the account books.
+  {
+    auto first = JournalWriter::create(
+        state + "/journal-00000000000000000001.wal", 1, {});
+    ASSERT_TRUE(first.is_ok());
+    ASSERT_TRUE(first.value().append(1, blob("a")).is_ok());
+    ASSERT_TRUE(first.value().append(1, blob("b")).is_ok());
+  }
+  const std::string first_path = state + "/journal-00000000000000000001.wal";
+  std::filesystem::resize_file(first_path,
+                               std::filesystem::file_size(first_path) - 1);
+  {
+    auto second = JournalWriter::create(
+        state + "/journal-00000000000000000004.wal", 4, {});
+    ASSERT_TRUE(second.is_ok());
+    ASSERT_TRUE(second.value().append(1, blob("d")).is_ok());
+  }
+
+  LogDir::Config config;
+  config.dir = state;
+  LogDir::Recovered recovered;
+  EXPECT_EQ(LogDir::open(config, &recovered).code(),
+            util::ErrorCode::kParseError);
+}
+
+TEST(LogDirTest, JournalsCoveredByTheSnapshotAreSwept) {
+  TempDir dir;
+  const std::string state = dir.sub("state");
+  std::filesystem::create_directories(state);
+  // A snapshot at LSN 2 plus the journal it superseded (base 1) and the
+  // live journal (base 3) — the exact layout a crash between snapshot
+  // publication and journal deletion leaves behind.
+  SnapshotStore store(state);
+  ASSERT_TRUE(store.save(2, blob("covers 1-2")).is_ok());
+  {
+    auto old_journal = JournalWriter::create(
+        state + "/journal-00000000000000000001.wal", 1, {});
+    ASSERT_TRUE(old_journal.is_ok());
+    ASSERT_TRUE(old_journal.value().append(1, blob("superseded")).is_ok());
+  }
+  {
+    auto live = JournalWriter::create(
+        state + "/journal-00000000000000000003.wal", 3, {});
+    ASSERT_TRUE(live.is_ok());
+    ASSERT_TRUE(live.value().append(1, blob("fresh")).is_ok());
+  }
+
+  LogDir::Config config;
+  config.dir = state;
+  LogDir::Recovered recovered;
+  auto log = LogDir::open(config, &recovered);
+  ASSERT_TRUE(log.is_ok());
+  ASSERT_TRUE(recovered.snapshot.has_value());
+  ASSERT_EQ(recovered.tail.size(), 1u);
+  EXPECT_EQ(recovered.tail[0].payload, blob("fresh"));
+  EXPECT_FALSE(std::filesystem::exists(
+      state + "/journal-00000000000000000001.wal"));
+}
+
+}  // namespace
+}  // namespace rproxy

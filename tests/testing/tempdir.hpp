@@ -1,0 +1,38 @@
+// RAII temporary directory for storage tests and benches.
+#pragma once
+
+#include <stdlib.h>
+
+#include <filesystem>
+#include <string>
+
+namespace rproxy::testing {
+
+/// mkdtemp-backed scratch directory, recursively removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    std::string pattern =
+        (std::filesystem::temp_directory_path() / "rproxy-test-XXXXXX")
+            .string();
+    char* made = ::mkdtemp(pattern.data());
+    path_ = made != nullptr ? made : pattern;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  /// A path inside the directory (not created).
+  [[nodiscard]] std::string sub(const std::string& name) const {
+    return path_ + "/" + name;
+  }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace rproxy::testing
