@@ -1,0 +1,171 @@
+// T10 — what revocation costs, and how fast it takes effect.
+//
+// The revocation registry sits on the verify-cache warm path: every cache
+// hit performs one atomic version load (plus an epoch walk when anything
+// anywhere was revoked since the entry was cached).  These benches pin
+// down:
+//   * BM_WarmVerifyRevocation — warm verify_chain() with the registry
+//     attached vs detached, across chain depths;
+//   * BM_WarmPathOverhead     — one-shot A/B at depth 4 reporting
+//     detached_us, attached_us and overhead_pct as counters; the
+//     acceptance number: overhead_pct must stay under 5;
+//   * BM_RevocationPropagation — the end-to-end price of a revocation
+//     taking effect: bump ⇒ the very next presentation falls through to
+//     full verification (stale drop) and re-caches; reported per cycle;
+//   * BM_RevocationEventRate  — raw mutation throughput (bump), i.e. the
+//     cost a revocation event imposes on its SOURCE (ACL edit, key
+//     rotation), independent of any verifier.
+#include <chrono>
+
+#include "bench_util.hpp"
+#include "core/revocation.hpp"
+#include "core/verifier.hpp"
+
+namespace {
+
+using namespace rproxy;
+
+core::RestrictionSet one_quota(std::int64_t i) {
+  core::RestrictionSet set;
+  set.add(core::QuotaRestriction{"usd", static_cast<uint64_t>(1000 - i)});
+  return set;
+}
+
+/// Depth-`depth` pk bearer cascade rooted at alice.
+core::Proxy make_chain(testing::World& world, std::int64_t depth) {
+  core::Proxy proxy =
+      core::grant_pk_proxy("alice", world.principal("alice").identity,
+                           one_quota(0), world.clock.now(), util::kHour);
+  for (std::int64_t i = 1; i < depth; ++i) {
+    proxy = core::extend_bearer(proxy, one_quota(i), world.clock.now(),
+                                util::kHour)
+                .value();
+  }
+  return proxy;
+}
+
+core::ProxyVerifier make_verifier(testing::World& world,
+                                  bool with_revocation) {
+  core::ProxyVerifier::Config vc;
+  vc.server_name = "file-server";
+  vc.resolver = &world.resolver;
+  vc.pk_root = world.name_server.root_key();
+  vc.verify_cache_capacity = 1024;
+  vc.verify_cache_ttl = 8 * util::kHour;
+  if (with_revocation) vc.revocation = &world.revocation;
+  return core::ProxyVerifier(std::move(vc));
+}
+
+/// Warm verify_chain() with the registry attached (revocation=1) or
+/// detached (revocation=0), across chain depths.
+void BM_WarmVerifyRevocation(benchmark::State& state) {
+  const std::int64_t depth = state.range(0);
+  const bool attached = state.range(1) != 0;
+  testing::World world;
+  world.add_principal("alice");
+  world.add_principal("file-server");
+  const core::Proxy proxy = make_chain(world, depth);
+  const core::ProxyVerifier verifier = make_verifier(world, attached);
+
+  for (auto _ : state) {
+    auto verified = verifier.verify_chain(proxy.chain, world.clock.now());
+    benchmark::DoNotOptimize(verified);
+    if (!verified.is_ok()) state.SkipWithError("verify failed");
+  }
+  const core::ChainCacheStats stats = verifier.cache_stats();
+  state.counters["cache_hits"] =
+      benchmark::Counter(static_cast<double>(stats.hits));
+  state.counters["stale_drops"] =
+      benchmark::Counter(static_cast<double>(stats.revocation_stale_drops));
+}
+BENCHMARK(BM_WarmVerifyRevocation)
+    ->ArgsProduct({{1, 4, 8}, {0, 1}})
+    ->ArgNames({"depth", "revocation"});
+
+/// One-shot A/B at depth 4: the epoch check must cost <5% of a warm hit.
+void BM_WarmPathOverhead(benchmark::State& state) {
+  constexpr std::int64_t kDepth = 4;
+  constexpr int kReps = 20000;
+  testing::World world;
+  world.add_principal("alice");
+  world.add_principal("file-server");
+  const core::Proxy proxy = make_chain(world, kDepth);
+  const core::ProxyVerifier detached = make_verifier(world, false);
+  const core::ProxyVerifier attached = make_verifier(world, true);
+
+  using clock = std::chrono::steady_clock;
+  double detached_us = 0;
+  double attached_us = 0;
+  for (auto _ : state) {
+    const auto t0 = clock::now();
+    for (int i = 0; i < kReps; ++i) {
+      auto v = detached.verify_chain(proxy.chain, world.clock.now());
+      benchmark::DoNotOptimize(v);
+      if (!v.is_ok()) state.SkipWithError("detached verify failed");
+    }
+    const auto t1 = clock::now();
+    for (int i = 0; i < kReps; ++i) {
+      auto v = attached.verify_chain(proxy.chain, world.clock.now());
+      benchmark::DoNotOptimize(v);
+      if (!v.is_ok()) state.SkipWithError("attached verify failed");
+    }
+    const auto t2 = clock::now();
+    const auto us = [](clock::duration d) {
+      return std::chrono::duration<double, std::micro>(d).count() / kReps;
+    };
+    detached_us = us(t1 - t0);
+    attached_us = us(t2 - t1);
+  }
+  state.counters["detached_us"] = benchmark::Counter(detached_us);
+  state.counters["attached_us"] = benchmark::Counter(attached_us);
+  state.counters["overhead_pct"] = benchmark::Counter(
+      detached_us > 0 ? (attached_us / detached_us - 1.0) * 100.0 : 0);
+}
+BENCHMARK(BM_WarmPathOverhead)->Iterations(1);
+
+/// How fast a revocation takes effect, and what the taking costs: one
+/// cycle = bump(alice) + the next presentation (stale drop + full
+/// re-verification + re-cache).  There is no propagation delay to
+/// measure — the NEXT lookup already sees the event — so the cycle time
+/// IS the end-to-end revocation latency at the verifier.
+void BM_RevocationPropagation(benchmark::State& state) {
+  constexpr std::int64_t kDepth = 4;
+  testing::World world;
+  world.add_principal("alice");
+  world.add_principal("file-server");
+  const core::Proxy proxy = make_chain(world, kDepth);
+  const core::ProxyVerifier verifier = make_verifier(world, true);
+  // Warm the entry once.
+  if (!verifier.verify_chain(proxy.chain, world.clock.now()).is_ok()) {
+    state.SkipWithError("initial verify failed");
+    return;
+  }
+
+  for (auto _ : state) {
+    world.revocation.bump("alice");
+    auto v = verifier.verify_chain(proxy.chain, world.clock.now());
+    benchmark::DoNotOptimize(v);
+    if (!v.is_ok()) state.SkipWithError("re-verify failed");
+  }
+  const core::ChainCacheStats stats = verifier.cache_stats();
+  // Every iteration must have fallen through — hits here would mean the
+  // bump did NOT take effect on the next presentation.
+  state.counters["stale_drops"] =
+      benchmark::Counter(static_cast<double>(stats.revocation_stale_drops));
+  state.counters["cache_hits"] =
+      benchmark::Counter(static_cast<double>(stats.hits));
+}
+BENCHMARK(BM_RevocationPropagation);
+
+/// Raw cost of publishing a revocation event (no verifier involved).
+void BM_RevocationEventRate(benchmark::State& state) {
+  core::RevocationRegistry registry;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    registry.bump("grantor-" + std::to_string(i++ % 64));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RevocationEventRate);
+
+}  // namespace

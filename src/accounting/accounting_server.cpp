@@ -201,7 +201,14 @@ AccountingServer::AccountingServer(Config config)
           .max_skew = config_.max_skew,
           .verify_cache_capacity = config_.verify_cache_capacity,
           .verify_cache_ttl = config_.verify_cache_ttl,
+          .revocation = config_.revocation,
       }) {}
+
+AccountingServer::~AccountingServer() {
+  if (revocation_listener_ != 0 && config_.revocation != nullptr) {
+    config_.revocation->remove_listener(revocation_listener_);
+  }
+}
 
 void AccountingServer::open_account(const std::string& local_name,
                                     const PrincipalName& owner,
@@ -261,7 +268,7 @@ util::Bytes AccountingServer::snapshot_locked_(
   };
 
   wire::Encoder enc;
-  enc.str("accounting-snapshot-v3");
+  enc.str("accounting-snapshot-v4");
   enc.str(config_.name);
   enc.u32(static_cast<std::uint32_t>(accounts_.size()));
   for (const auto& [name, account] : accounts_) {
@@ -299,6 +306,16 @@ util::Bytes AccountingServer::snapshot_locked_(
     enc.str(drawee);
     enc.str(via);
   }
+  // v4: the revocation-registry state, as an opaque blob (empty when no
+  // registry is attached).  Restoring MERGES it — registry state is
+  // monotonic, so snapshot + journal-tail replay is idempotent.
+  {
+    wire::Encoder revocation;
+    if (config_.revocation != nullptr) {
+      config_.revocation->encode_state(revocation);
+    }
+    enc.bytes(revocation.view());
+  }
   return crypto::aead_seal(key.derive_subkey(kSnapshotSealPurpose),
                            enc.view());
 }
@@ -311,11 +328,14 @@ util::Status AccountingServer::restore(const crypto::SymmetricKey& key,
   wire::Decoder dec(plain);
   const std::string version = dec.str();
   if (version != "accounting-snapshot-v2" &&
-      version != "accounting-snapshot-v3") {
+      version != "accounting-snapshot-v3" &&
+      version != "accounting-snapshot-v4") {
     return util::fail(ErrorCode::kParseError,
                       "not an accounting snapshot (unknown version '" +
                           version + "')");
   }
+  const bool has_routes = version != "accounting-snapshot-v2";
+  const bool has_revocation = version == "accounting-snapshot-v4";
   const std::string server = dec.str();
   if (server != config_.name) {
     return util::fail(ErrorCode::kProtocolError,
@@ -368,7 +388,7 @@ util::Status AccountingServer::restore(const crypto::SymmetricKey& key,
   DedupTable deposits = decode_dedup();
   DedupTable certifies = decode_dedup();
   std::map<PrincipalName, PrincipalName> routes;
-  if (version == "accounting-snapshot-v3") {
+  if (has_routes) {
     const std::uint32_t route_count = dec.u32();
     for (std::uint32_t i = 0; i < route_count && dec.ok(); ++i) {
       const PrincipalName drawee = dec.str();
@@ -376,7 +396,18 @@ util::Status AccountingServer::restore(const crypto::SymmetricKey& key,
       routes[drawee] = via;
     }
   }
+  util::Bytes revocation_state;
+  if (has_revocation) revocation_state = dec.bytes();
   RPROXY_RETURN_IF_ERROR(dec.finish());
+
+  // Merge the revocation state BEFORE swapping in the rest: a merge
+  // failure (tampered/truncated blob) must leave accounts untouched too.
+  if (!revocation_state.empty() && config_.revocation != nullptr) {
+    wire::Decoder revocation_dec(revocation_state);
+    RPROXY_RETURN_IF_ERROR(
+        config_.revocation->merge_state(revocation_dec));
+    RPROXY_RETURN_IF_ERROR(revocation_dec.finish());
+  }
 
   std::lock_guard lock(state_mutex_);
   accounts_ = std::move(accounts);
@@ -384,7 +415,7 @@ util::Status AccountingServer::restore(const crypto::SymmetricKey& key,
   completed_deposits_ = std::move(deposits);
   completed_certifies_ = std::move(certifies);
   // A v2 snapshot says nothing about routes; leave them as configured.
-  if (version == "accounting-snapshot-v3") routes_ = std::move(routes);
+  if (has_routes) routes_ = std::move(routes);
   return util::Status::ok();
 }
 
@@ -570,9 +601,24 @@ util::Status AccountingServer::recover() {
   for (const storage::JournalRecord& record : recovered.tail) {
     RPROXY_RETURN_IF_ERROR(apply_record_(record));
   }
-  std::lock_guard lock(state_mutex_);
-  log_.emplace(std::move(log));
-  storage_dead_.store(false);
+  {
+    std::lock_guard lock(state_mutex_);
+    log_.emplace(std::move(log));
+    storage_dead_.store(false);
+  }
+  // From here on, every revocation event anyone reports into the shared
+  // registry is journaled like any other mutation, so a crash-restarted
+  // server re-applies it (snapshot merge + tail replay) before serving.
+  // apply()/merge_state() do not re-notify listeners, so replay cannot
+  // echo records back into the journal.
+  if (config_.revocation != nullptr && revocation_listener_ == 0) {
+    revocation_listener_ = config_.revocation->add_listener(
+        [this](const core::RevocationRegistry::Event& event) {
+          std::lock_guard lock(state_mutex_);
+          if (!log_.has_value() || storage_dead_.load()) return;
+          (void)journal_append_(JournalRecordType::kRevocation, event);
+        });
+  }
   return util::Status::ok();
 }
 
@@ -641,6 +687,15 @@ util::Status AccountingServer::apply_record_(
       const CashierRecord rec = CashierRecord::decode(dec);
       RPROXY_RETURN_IF_ERROR(dec.finish());
       return apply_cashier_(rec);
+    }
+    case JournalRecordType::kRevocation: {
+      const core::RevocationRegistry::Event event =
+          core::RevocationRegistry::Event::decode(dec);
+      RPROXY_RETURN_IF_ERROR(dec.finish());
+      // Idempotent: epochs/cutoffs take the max, list entries accumulate —
+      // a record also covered by the snapshot merge applies once.
+      if (config_.revocation != nullptr) config_.revocation->apply(event);
+      return util::Status::ok();
     }
   }
   return util::fail(ErrorCode::kParseError,

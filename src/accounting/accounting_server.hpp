@@ -23,6 +23,7 @@
 #include "accounting/account.hpp"
 #include "accounting/check.hpp"
 #include "core/challenge_registry.hpp"
+#include "core/revocation.hpp"
 #include "net/retry.hpp"
 #include "net/rpc.hpp"
 #include "pki/pk_auth.hpp"
@@ -172,6 +173,7 @@ enum class JournalRecordType : std::uint16_t {
   kSettleLocal = 5,     ///< check settled as drawee (debit + credit)
   kForeignSettled = 6,  ///< foreign check collected from the drawee
   kCashier = 7,         ///< cashier's check funded
+  kRevocation = 8,      ///< revocation-registry event observed
 };
 
 class AccountingServer final : public net::Node {
@@ -218,9 +220,15 @@ class AccountingServer final : public net::Node {
     std::size_t fsync_batch_records = 8;
     /// Test-only deterministic kill injection for the journal; not owned.
     storage::CrashPoint* crash_point = nullptr;
+    /// Shared revocation registry: check verification consults it, and —
+    /// when storage is on — every registry event is journaled and folded
+    /// into snapshots, so revocations survive a crash-restart.  nullptr
+    /// disables revocation.
+    core::RevocationRegistry* revocation = nullptr;
   };
 
   explicit AccountingServer(Config config);
+  ~AccountingServer() override;
 
   /// Opens (or replaces) an account.
   void open_account(const std::string& local_name,
@@ -248,9 +256,12 @@ class AccountingServer final : public net::Node {
   [[nodiscard]] util::Bytes snapshot(const crypto::SymmetricKey& key) const;
 
   /// Restores a snapshot taken with the same key, replacing all accounts
-  /// and holds.  Fails (state untouched) on a wrong key, tampering, or a
-  /// truncated / unknown-version payload.  Accepts the current v3 format
-  /// and the earlier v2 (pre-routes) format.
+  /// and holds; revocation state (v4+) is MERGED into the attached
+  /// registry (its state is monotonic, so merging is safe and
+  /// order-insensitive).  Fails (state untouched) on a wrong key,
+  /// tampering, or a truncated / unknown-version payload.  Accepts the
+  /// current v4 format and the earlier v3 (pre-revocation) and v2
+  /// (pre-routes) formats.
   [[nodiscard]] util::Status restore(const crypto::SymmetricKey& key,
                                      util::BytesView snapshot);
 
@@ -484,6 +495,10 @@ class AccountingServer final : public net::Node {
   /// The write-ahead log; engaged by recover() when storage is on.
   /// Appends happen under state_mutex_.
   std::optional<storage::LogDir> log_;
+  /// Registry listener token (journals revocation events); 0 = none
+  /// registered.  Registered by recover() when both storage and a registry
+  /// are configured, removed by the destructor.
+  std::uint64_t revocation_listener_ = 0;
   std::atomic<bool> storage_dead_{false};
   std::atomic<std::uint64_t> checks_cleared_{0};
   std::atomic<std::uint64_t> checks_bounced_{0};

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/revocation.hpp"
+
 namespace rproxy::authz {
 
 std::string acl_group_token(const GroupName& g) {
@@ -40,9 +42,13 @@ bool AuthorityContext::covers(const std::string& token) const {
 namespace {
 bool grants(const AclEntry& entry, const Operation& operation,
             const ObjectName& object) {
+  // Both lists use the same matching rule: empty means everything, and the
+  // "*" wildcard matches everything too.
   if (!entry.operations.empty() &&
-      std::find(entry.operations.begin(), entry.operations.end(),
-                operation) == entry.operations.end()) {
+      std::none_of(entry.operations.begin(), entry.operations.end(),
+                   [&](const Operation& op) {
+                     return op == operation || op == "*";
+                   })) {
     return false;
   }
   if (entry.objects.empty()) return true;
@@ -130,7 +136,10 @@ std::size_t Acl::remove_principal(const std::string& principal) {
       std::count_if(entries_.begin(), entries_.end(), is_named);
   entries_.erase(std::remove_if(entries_.begin(), entries_.end(), is_named),
                  entries_.end());
-  if (removed > 0) rebuild_index_();
+  if (removed > 0) {
+    rebuild_index_();
+    if (revocation_ != nullptr) revocation_->bump(principal);
+  }
   return static_cast<std::size_t>(removed);
 }
 

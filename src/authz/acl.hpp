@@ -21,6 +21,10 @@
 
 #include "core/restriction_set.hpp"
 
+namespace rproxy::core {
+class RevocationRegistry;
+}
+
 namespace rproxy::authz {
 
 /// Renders a group name in ACL-entry syntax.
@@ -31,7 +35,7 @@ struct AclEntry {
   /// Principals (or group tokens) that must ALL concur for this entry to
   /// match.  A single-element list is the common case.
   std::vector<std::string> principals;
-  /// Operations granted; empty means all operations.
+  /// Operations granted; empty means all operations ("*" also matches all).
   std::vector<Operation> operations;
   /// Objects covered; empty means all objects ("*" also matches all).
   std::vector<ObjectName> objects;
@@ -75,8 +79,18 @@ class Acl {
       const AuthorityContext& authority) const;
 
   /// Removes every entry naming `principal` (revocation: §3.1 — revoking a
-  /// grantor's access kills all capabilities that grantor issued).
+  /// grantor's access kills all capabilities that grantor issued).  When a
+  /// revocation registry is attached and anything was removed, bumps the
+  /// principal's revocation epoch so warm verify-cache entries rooted at it
+  /// fall through to full verification (whose per-request ACL check then
+  /// rejects).
   std::size_t remove_principal(const std::string& principal);
+
+  /// Attaches the shared revocation registry (not serialized; survives
+  /// copies of the Acl object itself only as the same pointer value).
+  void set_revocation(core::RevocationRegistry* registry) {
+    revocation_ = registry;
+  }
 
   void encode(wire::Encoder& enc) const;
   static Acl decode(wire::Decoder& dec);
@@ -104,6 +118,8 @@ class Acl {
   /// principal) but they stay scannable so a semantics change here cannot
   /// silently drop them.
   std::vector<std::size_t> unindexed_;
+  /// Shared revocation registry; nullptr when revocation is not wired up.
+  core::RevocationRegistry* revocation_ = nullptr;
 };
 
 }  // namespace rproxy::authz

@@ -77,6 +77,7 @@ AuthorizationServer::AuthorizationServer(Config config)
           .own_key = config.own_key,
           .kdc = config.kdc,
           .identity_key = config.identity_key,
+          .revocation = config.revocation,
       }),
       verifier_(core::ProxyVerifier::Config{
           .server_name = config.name,
@@ -86,6 +87,7 @@ AuthorizationServer::AuthorizationServer(Config config)
           .replay_cache = nullptr,  // set below; needs a stable address
           .verify_cache_capacity = config.verify_cache_capacity,
           .verify_cache_ttl = config.verify_cache_ttl,
+          .revocation = config.revocation,
       }) {
   // The verifier's replay cache must live in this object.
   core::ProxyVerifier::Config vc = verifier_.config();
@@ -95,7 +97,17 @@ AuthorizationServer::AuthorizationServer(Config config)
 
 void AuthorizationServer::set_acl(const PrincipalName& end_server, Acl acl) {
   std::lock_guard lock(db_mutex_);
+  acl.set_revocation(config_.revocation);
   db_[end_server] = std::move(acl);
+}
+
+std::size_t AuthorizationServer::revoke_grantee(
+    const PrincipalName& principal) {
+  {
+    std::lock_guard lock(db_mutex_);
+    for (auto& [end_server, acl] : db_) acl.remove_principal(principal);
+  }
+  return issuer_.revoke_issued_to(principal, config_.clock->now());
 }
 
 Acl* AuthorizationServer::acl_for(const PrincipalName& end_server) {

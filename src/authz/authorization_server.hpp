@@ -85,6 +85,10 @@ class AuthorizationServer final : public net::Node {
     /// core::ProxyVerifier::Config); 0 disables.
     std::size_t verify_cache_capacity = 1024;
     util::Duration verify_cache_ttl = 5 * util::kMinute;
+    /// Shared revocation registry: ACL edits and revoke_grantee report
+    /// into it, supporting-credential verification checks it.  nullptr
+    /// disables revocation.
+    core::RevocationRegistry* revocation = nullptr;
   };
 
   explicit AuthorizationServer(Config config);
@@ -95,6 +99,14 @@ class AuthorizationServer final : public net::Node {
   /// Live pointer into the database — for setup and quiescent inspection
   /// only, not while requests are being served concurrently.
   [[nodiscard]] Acl* acl_for(const PrincipalName& end_server);
+
+  /// Full revocation of a grantee (§3.1): removes the principal from every
+  /// ACL in the database (no NEW proxies), then puts every still-live proxy
+  /// already issued to it on the registry's revocation list (no continued
+  /// use of OLD ones — their next presentation anywhere is rejected, as is
+  /// any chain derived from them).  Returns the number of issued proxies
+  /// revoked.  Requires Config::revocation for the issued-proxy half.
+  std::size_t revoke_grantee(const PrincipalName& principal);
 
   net::Envelope handle(const net::Envelope& request) override;
 

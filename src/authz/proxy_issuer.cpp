@@ -1,5 +1,9 @@
 #include "authz/proxy_issuer.hpp"
 
+#include <algorithm>
+
+#include "core/revocation_id.hpp"
+
 namespace rproxy::authz {
 
 ProxyIssuer::ProxyIssuer(Config config) : config_(std::move(config)) {
@@ -56,20 +60,89 @@ util::Result<core::Proxy> ProxyIssuer::issue(
     util::Duration lifetime) {
   restrictions.add(core::IssuedForRestriction{{target}});
 
+  // Captured before the restriction set is consumed by the mint: who this
+  // grant names as delegates, for revoke_issued_to later.
+  std::vector<PrincipalName> delegates;
+  if (config_.revocation != nullptr) {
+    for (const core::Restriction& r : restrictions.items()) {
+      if (const auto* g = r.get_if<core::GranteeRestriction>()) {
+        delegates.insert(delegates.end(), g->delegates.begin(),
+                         g->delegates.end());
+      }
+    }
+  }
+  const util::TimePoint fallback_expiry = config_.clock->now() + lifetime;
+
   if (config_.mode == core::ProxyMode::kPublicKey) {
     if (!config_.identity_key.valid()) {
       return util::fail(util::ErrorCode::kInternal,
                         "issuer has no identity key for public-key proxies");
     }
-    return core::grant_pk_proxy(config_.self, config_.identity_key,
-                                std::move(restrictions),
-                                config_.clock->now(), lifetime);
+    core::Proxy proxy = core::grant_pk_proxy(
+        config_.self, config_.identity_key, std::move(restrictions),
+        config_.clock->now(), lifetime);
+    record_issued_(proxy, std::move(delegates), fallback_expiry);
+    return proxy;
   }
 
   RPROXY_ASSIGN_OR_RETURN(kdc::Credentials creds,
                           creds_for_(target, lifetime));
-  return core::grant_krb_proxy(*kdc_client_, creds, std::move(restrictions),
-                               config_.clock->now());
+  core::Proxy proxy = core::grant_krb_proxy(
+      *kdc_client_, creds, std::move(restrictions), config_.clock->now());
+  record_issued_(proxy, std::move(delegates), fallback_expiry);
+  return proxy;
+}
+
+void ProxyIssuer::record_issued_(const core::Proxy& proxy,
+                                 std::vector<PrincipalName> delegates,
+                                 util::TimePoint fallback_expiry) {
+  if (config_.revocation == nullptr) return;
+  const std::optional<core::RevocationId> id =
+      core::revocation_id_of_root(proxy.chain);
+  if (!id.has_value()) return;
+  IssuedRecord record;
+  record.id = *id;
+  record.delegates = std::move(delegates);
+  record.expires_at =
+      proxy.expires_at > 0 ? proxy.expires_at : fallback_expiry;
+  std::lock_guard lock(issued_mutex_);
+  // Amortized prune: expired grants need no revocation — their presentation
+  // already fails with kExpired — so the log stays proportional to LIVE
+  // grants, not to everything ever issued.
+  const util::TimePoint now = config_.clock->now();
+  issued_.erase(std::remove_if(issued_.begin(), issued_.end(),
+                               [&](const IssuedRecord& r) {
+                                 return r.expires_at < now;
+                               }),
+                issued_.end());
+  issued_.push_back(std::move(record));
+}
+
+std::size_t ProxyIssuer::revoke_issued_to(const PrincipalName& delegate,
+                                          util::TimePoint now) {
+  if (config_.revocation == nullptr) return 0;
+  // Collect under the lock, revoke outside it: revoke_cert notifies
+  // registry listeners (journal writers) and must not run under ours.
+  std::vector<core::RevocationId> to_revoke;
+  {
+    std::lock_guard lock(issued_mutex_);
+    auto it = issued_.begin();
+    while (it != issued_.end()) {
+      const bool names_delegate =
+          std::find(it->delegates.begin(), it->delegates.end(), delegate) !=
+          it->delegates.end();
+      if (names_delegate && it->expires_at >= now) {
+        to_revoke.push_back(it->id);
+        it = issued_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const core::RevocationId& id : to_revoke) {
+    config_.revocation->revoke_cert(config_.self, id);
+  }
+  return to_revoke.size();
 }
 
 }  // namespace rproxy::authz

@@ -9,8 +9,10 @@
 
 #include <map>
 #include <mutex>
+#include <vector>
 
 #include "core/proxy.hpp"
+#include "core/revocation.hpp"
 
 namespace rproxy::authz {
 
@@ -31,6 +33,10 @@ class ProxyIssuer {
     PrincipalName kdc;
     /// Public-key realization: the issuer's identity key.
     crypto::SigningKeyPair identity_key;
+    /// Shared revocation registry.  When set, every issued proxy's root
+    /// grant is logged (by RevocationId) so revoke_issued_to can later
+    /// kill specific already-issued proxies.  nullptr disables logging.
+    core::RevocationRegistry* revocation = nullptr;
   };
 
   explicit ProxyIssuer(Config config);
@@ -49,7 +55,28 @@ class ProxyIssuer {
   /// observe message counts).
   void clear_ticket_cache();
 
+  /// Revokes every still-live proxy this issuer granted to `delegate`
+  /// (named in a grantee restriction at issue time): each one's root grant
+  /// goes onto the registry's certificate revocation list, so its NEXT
+  /// presentation — and that of every chain derived from it — is rejected
+  /// with kRevoked.  Returns the number of grants revoked.  Requires
+  /// Config::revocation.
+  std::size_t revoke_issued_to(const PrincipalName& delegate,
+                               util::TimePoint now);
+
  private:
+  /// One issued grant the issuer can later revoke.
+  struct IssuedRecord {
+    core::RevocationId id;
+    std::vector<PrincipalName> delegates;  ///< named grantees, if any
+    util::TimePoint expires_at = 0;
+  };
+
+  /// Logs a freshly minted proxy for later targeted revocation.
+  void record_issued_(const core::Proxy& proxy,
+                      std::vector<PrincipalName> delegates,
+                      util::TimePoint fallback_expiry);
+
   [[nodiscard]] util::Result<kdc::Credentials> creds_for_(
       const PrincipalName& target, util::Duration lifetime);
 
@@ -61,6 +88,10 @@ class ProxyIssuer {
   mutable std::mutex cache_mutex_;
   std::optional<kdc::Credentials> tgt_;
   std::map<PrincipalName, kdc::Credentials> ticket_cache_;
+  /// Guards issued_.  Separate from cache_mutex_ — revocation never touches
+  /// the ticket caches.
+  mutable std::mutex issued_mutex_;
+  std::vector<IssuedRecord> issued_;
 };
 
 }  // namespace rproxy::authz

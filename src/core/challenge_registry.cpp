@@ -4,19 +4,25 @@
 
 namespace rproxy::core {
 
-ChallengeRegistry::Challenge ChallengeRegistry::issue(util::TimePoint now) {
-  std::lock_guard lock(mutex_);
+void ChallengeRegistry::purge_locked_(util::TimePoint now) {
   // Amortized cleanup, same idiom as ReplayCache: a full sweep at most
   // once per second keeps abandoned challenges from accumulating without
-  // making every issue() O(outstanding) under the lock — a per-call sweep
+  // making every call O(outstanding) under the lock — a per-call sweep
   // turns the hot challenge path quadratic when most challenges go
-  // unconsumed (e.g. scanners, retries, load tests).
-  if (now - last_purge_ >= util::kSecond) {
-    for (auto it = challenges_.begin(); it != challenges_.end();) {
-      it = it->second.second < now ? challenges_.erase(it) : std::next(it);
-    }
-    last_purge_ = now;
+  // unconsumed (e.g. scanners, retries, load tests).  Run from both
+  // issue() and take(): a server that stops issuing (quiet period, or a
+  // client population that only ever retries presentations) must still
+  // shed its abandoned challenges.
+  if (now - last_purge_ < util::kSecond) return;
+  for (auto it = challenges_.begin(); it != challenges_.end();) {
+    it = it->second.second < now ? challenges_.erase(it) : std::next(it);
   }
+  last_purge_ = now;
+}
+
+ChallengeRegistry::Challenge ChallengeRegistry::issue(util::TimePoint now) {
+  std::lock_guard lock(mutex_);
+  purge_locked_(now);
   Challenge c;
   c.id = crypto::random_u64();
   c.nonce = crypto::random_bytes(32);
@@ -27,17 +33,22 @@ ChallengeRegistry::Challenge ChallengeRegistry::issue(util::TimePoint now) {
 util::Result<util::Bytes> ChallengeRegistry::take(std::uint64_t id,
                                                   util::TimePoint now) {
   std::lock_guard lock(mutex_);
+  // Look up BEFORE sweeping so an expired-but-not-yet-purged challenge
+  // still reports kExpired rather than "unknown".
   auto it = challenges_.find(id);
   if (it == challenges_.end()) {
+    purge_locked_(now);
     return util::fail(util::ErrorCode::kProtocolError,
                       "unknown or already-used challenge");
   }
   if (it->second.second < now) {
     challenges_.erase(it);
+    purge_locked_(now);
     return util::fail(util::ErrorCode::kExpired, "challenge expired");
   }
   util::Bytes nonce = std::move(it->second.first);
   challenges_.erase(it);
+  purge_locked_(now);
   return nonce;
 }
 

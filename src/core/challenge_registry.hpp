@@ -36,6 +36,10 @@ class ChallengeRegistry {
   [[nodiscard]] std::size_t outstanding() const;
 
  private:
+  /// Sweeps expired challenges, at most once per second.  Caller holds
+  /// mutex_.
+  void purge_locked_(util::TimePoint now);
+
   mutable std::mutex mutex_;
   util::Duration ttl_;
   util::TimePoint last_purge_ = 0;

@@ -1,0 +1,252 @@
+#include "core/revocation.hpp"
+
+#include <algorithm>
+
+namespace rproxy::core {
+
+void RevocationRegistry::Event::encode(wire::Encoder& enc) const {
+  enc.str(grantor);
+  enc.u64(epoch);
+  enc.i64(cut_before);
+  enc.boolean(cert.has_value());
+  if (cert.has_value()) enc.raw(util::BytesView(cert->data(), cert->size()));
+}
+
+RevocationRegistry::Event RevocationRegistry::Event::decode(
+    wire::Decoder& dec) {
+  Event e;
+  e.grantor = dec.str();
+  e.epoch = dec.u64();
+  e.cut_before = dec.i64();
+  if (dec.boolean()) {
+    const util::Bytes raw = dec.raw(crypto::kDigestSize);
+    if (raw.size() == crypto::kDigestSize) {
+      RevocationId id;
+      std::copy(raw.begin(), raw.end(), id.begin());
+      e.cert = id;
+    }
+  }
+  return e;
+}
+
+void RevocationRegistry::mutate_(const PrincipalName& grantor,
+                                 const std::function<void(Record&)>& fn,
+                                 const std::optional<RevocationId>& cert) {
+  Event event;
+  std::vector<std::function<void(const Event&)>> listeners;
+  {
+    std::lock_guard lock(mutex_);
+    Record& record = records_[grantor];
+    fn(record);
+    record.epoch += 1;
+    epoch_bumps_ += 1;
+    event.grantor = grantor;
+    event.epoch = record.epoch;
+    event.cut_before = record.cut_before;
+    event.cert = cert;
+    // Publish AFTER the map mutation: a reader seeing the new version is
+    // guaranteed to observe the new record under the lock.
+    version_.fetch_add(1, std::memory_order_release);
+    for (const auto& [token, listener] : listeners_) {
+      listeners.push_back(listener);
+    }
+  }
+  // Outside the lock: a listener may do arbitrary work (journal appends)
+  // and must not be able to deadlock against concurrent registry readers.
+  for (const auto& listener : listeners) listener(event);
+}
+
+std::uint64_t RevocationRegistry::bump(const PrincipalName& grantor) {
+  std::uint64_t out = 0;
+  mutate_(grantor, [&](Record& r) { out = r.epoch + 1; }, std::nullopt);
+  return out;
+}
+
+void RevocationRegistry::revoke_grants_before(const PrincipalName& grantor,
+                                              util::TimePoint cutoff) {
+  mutate_(
+      grantor,
+      [&](Record& r) {
+        r.cut_before = std::max(r.cut_before, cutoff);
+        grantor_cuts_ += 1;
+      },
+      std::nullopt);
+}
+
+void RevocationRegistry::revoke_cert(const PrincipalName& grantor,
+                                     const RevocationId& id) {
+  mutate_(
+      grantor,
+      [&](Record& r) {
+        if (r.certs.insert(id).second) {
+          revoked_certs_.insert(id);
+          cert_revocations_ += 1;
+          listed_certs_.store(revoked_certs_.size(),
+                              std::memory_order_release);
+        }
+      },
+      id);
+}
+
+std::uint64_t RevocationRegistry::epoch_of(
+    const PrincipalName& grantor) const {
+  std::lock_guard lock(mutex_);
+  auto it = records_.find(grantor);
+  return it == records_.end() ? 0 : it->second.epoch;
+}
+
+std::uint64_t RevocationRegistry::snapshot_epochs(
+    const std::vector<PrincipalName>& grantors,
+    std::vector<std::pair<PrincipalName, std::uint64_t>>& out) const {
+  out.clear();
+  out.reserve(grantors.size());
+  std::lock_guard lock(mutex_);
+  for (const PrincipalName& g : grantors) {
+    auto it = records_.find(g);
+    out.emplace_back(g, it == records_.end() ? 0 : it->second.epoch);
+  }
+  // Read under the same lock hold as the epochs: mutations bump the
+  // version while holding the lock, so this pairing is consistent.
+  return version_.load(std::memory_order_acquire);
+}
+
+bool RevocationRegistry::epochs_current(
+    const std::vector<std::pair<PrincipalName, std::uint64_t>>& recorded)
+    const {
+  std::lock_guard lock(mutex_);
+  for (const auto& [grantor, epoch] : recorded) {
+    auto it = records_.find(grantor);
+    const std::uint64_t current =
+        it == records_.end() ? 0 : it->second.epoch;
+    if (current != epoch) return false;
+  }
+  return true;
+}
+
+util::Status RevocationRegistry::check_link(
+    const PrincipalName& grantor, util::TimePoint granted_at,
+    const std::optional<RevocationId>& id) const {
+  link_checks_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(mutex_);
+  if (id.has_value() && revoked_certs_.count(*id) > 0) {
+    link_rejections_.fetch_add(1, std::memory_order_relaxed);
+    return util::fail(util::ErrorCode::kRevoked,
+                      "certificate revoked by its grantor");
+  }
+  if (!grantor.empty()) {
+    auto it = records_.find(grantor);
+    if (it != records_.end() && granted_at < it->second.cut_before) {
+      link_rejections_.fetch_add(1, std::memory_order_relaxed);
+      return util::fail(util::ErrorCode::kRevoked,
+                        "grant from '" + grantor +
+                            "' revoked (issued before the grantor's "
+                            "revocation cutoff)");
+    }
+  }
+  return util::Status::ok();
+}
+
+void RevocationRegistry::encode_state(wire::Encoder& enc) const {
+  std::lock_guard lock(mutex_);
+  enc.u32(static_cast<std::uint32_t>(records_.size()));
+  for (const auto& [grantor, record] : records_) {
+    enc.str(grantor);
+    enc.u64(record.epoch);
+    enc.i64(record.cut_before);
+    enc.u32(static_cast<std::uint32_t>(record.certs.size()));
+    for (const RevocationId& id : record.certs) {
+      enc.raw(util::BytesView(id.data(), id.size()));
+    }
+  }
+}
+
+util::Status RevocationRegistry::merge_state(wire::Decoder& dec) {
+  std::lock_guard lock(mutex_);
+  const std::uint32_t count = dec.u32();
+  bool changed = false;
+  for (std::uint32_t i = 0; i < count && dec.ok(); ++i) {
+    const PrincipalName grantor = dec.str();
+    const std::uint64_t epoch = dec.u64();
+    const util::TimePoint cut_before = dec.i64();
+    const std::uint32_t cert_count = dec.u32();
+    Record& record = records_[grantor];
+    if (epoch > record.epoch) {
+      record.epoch = epoch;
+      changed = true;
+    }
+    if (cut_before > record.cut_before) {
+      record.cut_before = cut_before;
+      changed = true;
+    }
+    for (std::uint32_t c = 0; c < cert_count && dec.ok(); ++c) {
+      const util::Bytes raw = dec.raw(crypto::kDigestSize);
+      if (raw.size() != crypto::kDigestSize) {
+        return util::fail(util::ErrorCode::kParseError,
+                          "revocation id is not a SHA-256 digest");
+      }
+      RevocationId id;
+      std::copy(raw.begin(), raw.end(), id.begin());
+      if (record.certs.insert(id).second) {
+        revoked_certs_.insert(id);
+        changed = true;
+      }
+    }
+  }
+  if (!dec.ok()) {
+    return util::fail(util::ErrorCode::kParseError,
+                      "truncated revocation state");
+  }
+  if (changed) {
+    listed_certs_.store(revoked_certs_.size(), std::memory_order_release);
+    version_.fetch_add(1, std::memory_order_release);
+  }
+  return util::Status::ok();
+}
+
+void RevocationRegistry::apply(const Event& event) {
+  std::lock_guard lock(mutex_);
+  Record& record = records_[event.grantor];
+  bool changed = false;
+  if (event.epoch > record.epoch) {
+    record.epoch = event.epoch;
+    changed = true;
+  }
+  if (event.cut_before > record.cut_before) {
+    record.cut_before = event.cut_before;
+    changed = true;
+  }
+  if (event.cert.has_value() && record.certs.insert(*event.cert).second) {
+    revoked_certs_.insert(*event.cert);
+    listed_certs_.store(revoked_certs_.size(), std::memory_order_release);
+    changed = true;
+  }
+  if (changed) version_.fetch_add(1, std::memory_order_release);
+}
+
+std::uint64_t RevocationRegistry::add_listener(
+    std::function<void(const Event&)> listener) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t token = next_listener_token_++;
+  listeners_[token] = std::move(listener);
+  return token;
+}
+
+void RevocationRegistry::remove_listener(std::uint64_t token) {
+  std::lock_guard lock(mutex_);
+  listeners_.erase(token);
+}
+
+RevocationStats RevocationRegistry::stats() const {
+  std::lock_guard lock(mutex_);
+  RevocationStats s;
+  s.epoch_bumps = epoch_bumps_;
+  s.grantor_cuts = grantor_cuts_;
+  s.cert_revocations = cert_revocations_;
+  s.link_checks = link_checks_.load(std::memory_order_relaxed);
+  s.link_rejections = link_rejections_.load(std::memory_order_relaxed);
+  s.tracked_grantors = records_.size();
+  s.listed_certs = revoked_certs_.size();
+  return s;
+}
+
+}  // namespace rproxy::core

@@ -1,0 +1,207 @@
+// Revocation registry: making §3.1's "revocable via the grantor's rights"
+// actually take effect on the NEXT presentation, not the next cache TTL.
+//
+// Three revocation events exist in the system — ACL principal removal,
+// name-server unregistration, and KDC key rotation — and each changes
+// ground truth that a warm ChainVerifyCache entry has already baked in.
+// The registry closes that loop with two mechanisms:
+//
+//  * Per-grantor EPOCHS.  Every revocation event bumps a monotonic counter
+//    for the affected principal.  Cache entries record the epoch of every
+//    grantor on their chain (root grantor + named intermediates) at insert
+//    time; a lookup whose recorded epochs are stale falls through to full
+//    verification, which re-derives ground truth (targeted invalidation —
+//    other grantors' warm entries are untouched).  A process-wide version
+//    counter makes the no-revocation warm path a single atomic load.
+//
+//  * Per-grantor REVOCATION RECORDS, consulted by full verification:
+//     - a cutoff instant ("all grants this grantor issued before T are
+//       dead") — what KDC key rotation needs, because a symmetric proxy
+//       ticket still opens fine under the server's key after the grantor's
+//       KDC key rotates, so no cryptographic check would otherwise fail;
+//     - a certificate revocation list (by certificate digest) for killing
+//       one delegation without killing everything the grantor ever issued.
+//
+// Cascaded kill falls out of chain-walk order: verification rejects at the
+// first revoked link, so revoking link i kills every presentation whose
+// chain CONTAINS link i (all deeper derivations), while prefix chains
+// (links < i) never mention it and survive.
+//
+// The registry is shared by every party that observes revocation events
+// (name server, KDC principal database, ACL holders, proxy issuers) and
+// every verifier.  Thread-safe; mutations are serialized, the fast path is
+// lock-free.  State is monotonic (epochs only grow, cutoffs only advance,
+// the list only accumulates), so merging states — snapshot restore, journal
+// replay — is idempotent and order-insensitive.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <unordered_set>
+
+#include "crypto/digest.hpp"
+#include "util/clock.hpp"
+#include "util/names.hpp"
+#include "util/status.hpp"
+#include "wire/decoder.hpp"
+#include "wire/encoder.hpp"
+
+namespace rproxy::core {
+
+/// Identifies one certificate (or Kerberos proxy root) for targeted
+/// revocation: the SHA-256 of its full wire encoding, signature included.
+using RevocationId = crypto::Digest;
+
+/// Counters for observability and the T10 bench.
+struct RevocationStats {
+  std::uint64_t epoch_bumps = 0;      ///< epoch increments (all causes)
+  std::uint64_t grantor_cuts = 0;     ///< revoke_grants_before calls
+  std::uint64_t cert_revocations = 0; ///< certificates added to the list
+  std::uint64_t link_checks = 0;      ///< per-link checks by full verifies
+  std::uint64_t link_rejections = 0;  ///< checks that returned kRevoked
+  std::size_t tracked_grantors = 0;   ///< grantors with any record
+  std::size_t listed_certs = 0;       ///< certificates on the list
+};
+
+class RevocationRegistry {
+ public:
+  /// One state change, as observed by listeners and carried in the
+  /// persistence format.  Values are ABSOLUTE (the grantor's epoch and
+  /// cutoff after the event), so applying events is idempotent and
+  /// replay-safe.
+  struct Event {
+    PrincipalName grantor;
+    std::uint64_t epoch = 0;
+    util::TimePoint cut_before = 0;
+    std::optional<RevocationId> cert;
+
+    void encode(wire::Encoder& enc) const;
+    static Event decode(wire::Decoder& dec);
+  };
+
+  RevocationRegistry() = default;
+  RevocationRegistry(const RevocationRegistry&) = delete;
+  RevocationRegistry& operator=(const RevocationRegistry&) = delete;
+
+  // ---- Revocation events (writers) ----------------------------------
+
+  /// Records that ground truth about `grantor` changed (key replaced,
+  /// unregistered, ACL entry dropped): warm cache entries involving the
+  /// grantor must fall through to full verification.  Returns the new
+  /// epoch.
+  std::uint64_t bump(const PrincipalName& grantor);
+
+  /// Kills every grant `grantor` issued before `cutoff` (typically now):
+  /// full verification rejects any chain link granted by `grantor` whose
+  /// issuance instant precedes the cutoff, with kRevoked.  Grants issued
+  /// after the cutoff (e.g. under a rotated key) are unaffected.  Implies
+  /// a bump.
+  void revoke_grants_before(const PrincipalName& grantor,
+                            util::TimePoint cutoff);
+
+  /// Revokes one certificate issued by `grantor` (identified by root
+  /// grantor so the right warm entries go stale; the certificate itself
+  /// may be any link of a chain rooted at that grantor).  Implies a bump.
+  void revoke_cert(const PrincipalName& grantor, const RevocationId& id);
+
+  // ---- Verification-side checks (readers) ---------------------------
+
+  /// Process-wide mutation counter.  A cache entry whose recorded version
+  /// equals version() cannot be stale — the single-atomic-load fast path.
+  [[nodiscard]] std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// The grantor's current epoch (0 when no event ever touched it).
+  [[nodiscard]] std::uint64_t epoch_of(const PrincipalName& grantor) const;
+
+  /// Atomically snapshots {version, epoch-per-grantor} for a cache entry.
+  [[nodiscard]] std::uint64_t snapshot_epochs(
+      const std::vector<PrincipalName>& grantors,
+      std::vector<std::pair<PrincipalName, std::uint64_t>>& out) const;
+
+  /// True when every recorded (grantor, epoch) pair is still current.
+  /// One lock acquisition for the whole vector.
+  [[nodiscard]] bool epochs_current(
+      const std::vector<std::pair<PrincipalName, std::uint64_t>>& recorded)
+      const;
+
+  /// True when at least one certificate is on the revocation list — lets
+  /// verifiers skip computing RevocationIds entirely in the common case.
+  [[nodiscard]] bool has_cert_revocations() const {
+    return listed_certs_.load(std::memory_order_acquire) > 0;
+  }
+
+  /// Per-link check run by full chain verification.  `grantor` may be
+  /// empty (anonymous bearer cascade links — only the list applies);
+  /// `granted_at` is the link's issuance instant; `id` is the link's
+  /// RevocationId when the caller computed one (i.e. when
+  /// has_cert_revocations()).  kRevoked when the link is dead.
+  [[nodiscard]] util::Status check_link(
+      const PrincipalName& grantor, util::TimePoint granted_at,
+      const std::optional<RevocationId>& id) const;
+
+  // ---- Persistence ---------------------------------------------------
+
+  /// Serializes the full registry state (epochs, cutoffs, list).
+  void encode_state(wire::Encoder& enc) const;
+
+  /// Merges a serialized state into this registry: epochs and cutoffs
+  /// take the max, list entries accumulate.  Idempotent.
+  [[nodiscard]] util::Status merge_state(wire::Decoder& dec);
+
+  /// Applies one event (journal replay).  Idempotent.
+  void apply(const Event& event);
+
+  /// Registers a mutation observer (e.g. a server journaling revocations
+  /// for crash durability).  Invoked outside the registry lock, after the
+  /// mutation is visible.  Returns a token for remove_listener.
+  std::uint64_t add_listener(std::function<void(const Event&)> listener);
+  void remove_listener(std::uint64_t token);
+
+  [[nodiscard]] RevocationStats stats() const;
+
+ private:
+  struct Record {
+    std::uint64_t epoch = 0;
+    /// Grants issued strictly before this instant are dead.
+    util::TimePoint cut_before = 0;
+    /// This grantor's revoked certificates (mirrored in revoked_certs_).
+    std::set<RevocationId> certs;
+  };
+  struct IdHash {
+    std::size_t operator()(const RevocationId& d) const {
+      // SHA-256 output is uniform; the first eight octets are a fine hash.
+      std::size_t h = 0;
+      for (int i = 0; i < 8; ++i) h = (h << 8) | d[static_cast<size_t>(i)];
+      return h;
+    }
+  };
+
+  /// Applies a mutation under the lock, publishes the version bump, then
+  /// notifies listeners outside the lock.
+  void mutate_(const PrincipalName& grantor,
+               const std::function<void(Record&)>& fn,
+               const std::optional<RevocationId>& cert);
+
+  mutable std::mutex mutex_;
+  std::map<PrincipalName, Record> records_;
+  /// Flat membership set so a link check is one O(1) probe regardless of
+  /// which grantor listed the certificate.
+  std::unordered_set<RevocationId, IdHash> revoked_certs_;
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic<std::uint64_t> listed_certs_{0};
+  std::uint64_t epoch_bumps_ = 0;
+  std::uint64_t grantor_cuts_ = 0;
+  std::uint64_t cert_revocations_ = 0;
+  mutable std::atomic<std::uint64_t> link_checks_{0};
+  mutable std::atomic<std::uint64_t> link_rejections_{0};
+  std::map<std::uint64_t, std::function<void(const Event&)>> listeners_;
+  std::uint64_t next_listener_token_ = 1;
+};
+
+}  // namespace rproxy::core

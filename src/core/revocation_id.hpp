@@ -1,0 +1,40 @@
+// RevocationId derivation for the two chain-link shapes.
+//
+// Kept separate from revocation.hpp so the registry itself stays free of
+// proxy-structure dependencies (it is linked below the kdc/pki layers,
+// which observe revocation events but never touch chains).
+#pragma once
+
+#include "core/proxy_certificate.hpp"
+#include "core/revocation.hpp"
+
+namespace rproxy::core {
+
+/// Identifies one certificate link: SHA-256 over its full wire encoding
+/// (signature included, so a re-signed certificate is a different grant).
+[[nodiscard]] inline RevocationId revocation_id_of(
+    const ProxyCertificate& cert) {
+  wire::Encoder enc;
+  cert.encode(enc);
+  return crypto::sha256(enc.view());
+}
+
+/// Identifies a symmetric chain's Kerberos root (ticket + sealed
+/// authenticator — the root "certificate" of §6.2).
+[[nodiscard]] inline RevocationId revocation_id_of(
+    const kdc::ApRequest& krb_root) {
+  wire::Encoder enc;
+  krb_root.encode(enc);
+  return crypto::sha256(enc.view());
+}
+
+/// The id of a chain's ROOT grant — what an issuer records at mint time so
+/// it can later revoke that specific grant.
+[[nodiscard]] inline std::optional<RevocationId> revocation_id_of_root(
+    const ProxyChain& chain) {
+  if (chain.krb_root.has_value()) return revocation_id_of(*chain.krb_root);
+  if (!chain.certs.empty()) return revocation_id_of(chain.certs.front());
+  return std::nullopt;
+}
+
+}  // namespace rproxy::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/revocation_id.hpp"
 #include "core/verify_cache.hpp"
 
 namespace rproxy::core {
@@ -21,7 +22,8 @@ util::Result<crypto::VerifyKey> MapKeyResolver::resolve(
 ProxyVerifier::ProxyVerifier(Config config) : config_(std::move(config)) {
   if (config_.verify_cache_capacity > 0) {
     cache_ = std::make_unique<ChainVerifyCache>(config_.verify_cache_capacity,
-                                                config_.verify_cache_ttl);
+                                                config_.verify_cache_ttl,
+                                                config_.revocation);
   }
 }
 
@@ -103,6 +105,21 @@ util::Result<VerifiedProxy> ProxyVerifier::verify_sym_chain_(
                       "proxy authenticator carries no proxy key (subkey)");
   }
 
+  // Revocation: the authenticator timestamp is the grant's mint instant
+  // (the ticket may long outlive the grant).  This check cannot be elided —
+  // after the grantor's KDC key rotates, the ticket still opens fine under
+  // OUR key, so no cryptographic step above would fail.
+  const RevocationRegistry* revocation = config_.revocation;
+  const bool want_ids =
+      revocation != nullptr && revocation->has_cert_revocations();
+  if (revocation != nullptr) {
+    RPROXY_RETURN_IF_ERROR(revocation->check_link(
+        ticket.client, auth.timestamp,
+        want_ids ? std::optional<RevocationId>(
+                       revocation_id_of(*chain.krb_root))
+                 : std::nullopt));
+  }
+
   VerifiedProxy out;
   out.mode = ProxyMode::kSymmetric;
   out.grantor = ticket.client;
@@ -135,6 +152,14 @@ util::Result<VerifiedProxy> ProxyVerifier::verify_sym_chain_(
                              cert.signed_bytes(), cert.signature)) {
       return util::fail(ErrorCode::kBadSignature,
                         "cascade link MAC does not verify");
+    }
+    if (revocation != nullptr) {
+      // Cascade links are anonymous (keyed by the parent proxy key, no
+      // grantor name), so only the certificate list applies here.
+      RPROXY_RETURN_IF_ERROR(revocation->check_link(
+          PrincipalName{}, cert.issued_at,
+          want_ids ? std::optional<RevocationId>(revocation_id_of(cert))
+                   : std::nullopt));
     }
     RPROXY_ASSIGN_OR_RETURN(
         util::Bytes next_key,
@@ -171,6 +196,10 @@ util::Result<VerifiedProxy> ProxyVerifier::verify_pk_chain_(
 
   VerifiedProxy out;
   out.mode = ProxyMode::kPublicKey;
+
+  const RevocationRegistry* revocation = config_.revocation;
+  const bool want_ids =
+      revocation != nullptr && revocation->has_cert_revocations();
 
   crypto::VerifyKey link_key;  // proxy key of the link verified so far
   for (std::size_t i = 0; i < chain.certs.size(); ++i) {
@@ -246,6 +275,21 @@ util::Result<VerifiedProxy> ProxyVerifier::verify_pk_chain_(
       }
       default:
         return util::fail(ErrorCode::kParseError, "unknown signer kind");
+    }
+
+    if (revocation != nullptr) {
+      // Walk order gives cascaded kill for free: rejecting at the first
+      // revoked link kills every chain that CONTAINS it, while shorter
+      // chains (prefixes) never reach it and survive.  Bearer links carry
+      // no grantor name; only the certificate list applies to them.
+      static const PrincipalName kAnonymous;
+      const PrincipalName& link_grantor =
+          cert.signer == SignerKind::kParentProxyKey ? kAnonymous
+                                                     : cert.grantor;
+      RPROXY_RETURN_IF_ERROR(revocation->check_link(
+          link_grantor, cert.issued_at,
+          want_ids ? std::optional<RevocationId>(revocation_id_of(cert))
+                   : std::nullopt));
     }
 
     if (cert.proxy_key_material.size() != 32) {

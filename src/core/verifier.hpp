@@ -16,6 +16,7 @@
 namespace rproxy::core {
 
 class ChainVerifyCache;
+class RevocationRegistry;
 
 /// Counters of the verified-chain cache (zeros when the cache is disabled).
 struct ChainCacheStats {
@@ -25,6 +26,10 @@ struct ChainCacheStats {
   /// Entries dropped on lookup because the chain expired or the reuse TTL
   /// lapsed — both fall through to full re-verification.
   std::uint64_t expired_drops = 0;
+  /// Entries dropped on lookup because a grantor on the chain was revoked
+  /// against (its revocation epoch moved past the one recorded at insert);
+  /// the caller falls through to full re-verification.
+  std::uint64_t revocation_stale_drops = 0;
   std::size_t size = 0;
 };
 
@@ -93,10 +98,17 @@ class ProxyVerifier {
     /// and accept-once checks, and restriction evaluation always re-run
     /// per presentation.  0 disables the cache (A/B in tests and benches).
     std::size_t verify_cache_capacity = 1024;
-    /// Bounded reuse window for cached verifications (§3.1: reuse is
-    /// legitimate only while the grant still stands; the TTL caps how long
-    /// a since-revoked grantor identity key keeps being honoured).
+    /// Bounded reuse window for cached verifications.  With a
+    /// RevocationRegistry attached this is defence in depth only —
+    /// revocations invalidate warm entries immediately; the TTL caps reuse
+    /// against events no registry ever hears about.
     util::Duration verify_cache_ttl = 5 * util::kMinute;
+    /// Shared revocation registry (§3.1: grants are "revocable via the
+    /// grantor's rights").  When set, (a) full verification rejects links
+    /// whose grant has been revoked (kRevoked) and (b) warm cache entries
+    /// for revoked-against grantors fall through to full verification on
+    /// the very next presentation.  nullptr disables revocation checks.
+    const RevocationRegistry* revocation = nullptr;
   };
 
   explicit ProxyVerifier(Config config);
@@ -132,8 +144,9 @@ class ProxyVerifier {
   /// Counters of the verified-chain cache; all-zero when disabled.
   [[nodiscard]] ChainCacheStats cache_stats() const;
 
-  /// Drops every cached verification (e.g. after an out-of-band
-  /// revocation whose window must not wait out the TTL).
+  /// Drops every cached verification.  A blunt instrument kept for tests
+  /// and operational resets; revocation no longer needs it — a registry
+  /// event invalidates exactly the affected entries on their next lookup.
   void clear_cache();
 
  private:

@@ -6,8 +6,9 @@
 
 namespace rproxy::core {
 
-ChainVerifyCache::ChainVerifyCache(std::size_t capacity, util::Duration ttl)
-    : capacity_(capacity), ttl_(ttl) {}
+ChainVerifyCache::ChainVerifyCache(std::size_t capacity, util::Duration ttl,
+                                   const RevocationRegistry* revocation)
+    : capacity_(capacity), ttl_(ttl), revocation_(revocation) {}
 
 crypto::Digest ChainVerifyCache::key_of(const ProxyChain& chain) {
   wire::Encoder enc;
@@ -42,6 +43,26 @@ std::optional<VerifiedProxy> ChainVerifyCache::lookup(
     misses_ += 1;
     return std::nullopt;
   }
+  if (revocation_ != nullptr) {
+    // One atomic load in the common case: nothing anywhere has been
+    // revoked since this entry's epochs were last confirmed.
+    const std::uint64_t version = revocation_->version();
+    if (version != entry.revocation_version) {
+      if (!revocation_->epochs_current(entry.grantor_epochs)) {
+        // A grantor on THIS chain was revoked against: drop the entry and
+        // fall through to full verification, which re-derives ground
+        // truth.  Entries for untouched grantors keep their warmth.
+        lru_.erase(entry.lru);
+        map_.erase(it);
+        revocation_stale_drops_ += 1;
+        misses_ += 1;
+        return std::nullopt;
+      }
+      // Revocations elsewhere don't concern this chain; remember that so
+      // the next lookup is back to the single atomic load.
+      entry.revocation_version = version;
+    }
+  }
   lru_.splice(lru_.begin(), lru_, entry.lru);
   hits_ += 1;
   return entry.value;
@@ -68,6 +89,19 @@ void ChainVerifyCache::insert(const crypto::Digest& key,
   it->second.value = verified;
   it->second.max_issued_at = max_issued_at;
   it->second.cached_until = now + ttl_;
+  if (revocation_ != nullptr) {
+    // Every NAMED principal whose standing the verification relied on: the
+    // root grantor plus intermediate identities.  Anonymous bearer links
+    // have no name to track; revoking one goes through the root grantor's
+    // certificate list, which bumps the root's epoch.
+    std::vector<PrincipalName> grantors;
+    grantors.push_back(verified.grantor);
+    for (const PrincipalName& name : verified.audit_trail) {
+      if (name != verified.grantor) grantors.push_back(name);
+    }
+    it->second.revocation_version =
+        revocation_->snapshot_epochs(grantors, it->second.grantor_epochs);
+  }
   while (map_.size() > capacity_) {
     map_.erase(lru_.back());
     lru_.pop_back();
@@ -88,6 +122,7 @@ ChainCacheStats ChainVerifyCache::stats() const {
   s.misses = misses_;
   s.evictions = evictions_;
   s.expired_drops = expired_drops_;
+  s.revocation_stale_drops = revocation_stale_drops_;
   s.size = map_.size();
   return s;
 }

@@ -3,22 +3,30 @@
 // Chain verification is a pure function of the presented octets and the
 // verifier's long-term configuration: signatures, cascade MACs, ticket
 // decryption and the structural rules depend on nothing else.  Re-verifying
-// a byte-identical chain therefore re-derives a value already in hand, and
-// §3.1's revocation discussion legitimises the reuse — a verification
-// outcome remains good while the grantor's restrictions still hold.
+// a byte-identical chain therefore re-derives a value already in hand.
 //
 // What the cache may elide is exactly that pure work, nothing else.  All
 // per-presentation checks stay OUTSIDE and run on every request: possession
 // proofs, challenge single-use, replay caches, accept-once identifiers, and
 // restriction evaluation against the live request.
 //
-// Entries are expiry-aware twice over:
+// Entries stay honest about expiry and revocation:
 //  * a hit past the chain's own earliest expiry is dropped, and the caller
 //    falls through to full verification, which reports the same kExpired
 //    diagnosis the uncached path always gave;
-//  * a bounded reuse TTL caps how long any outcome may be served, bounding
-//    the revocation window — a grantor identity key replaced at the name
-//    server is honoured for at most one TTL after the swap.
+//  * a bounded reuse TTL caps how long any outcome may be served even if
+//    no revocation signal ever arrives (defence in depth, not the primary
+//    revocation mechanism);
+//  * when a RevocationRegistry is attached, every entry records the
+//    revocation epoch of each grantor on its chain at insert time.  A
+//    lookup first compares the registry's process-wide version against the
+//    version recorded on the entry — one atomic load when nothing has been
+//    revoked anywhere since — and re-checks the per-grantor epochs when it
+//    differs.  A stale entry is dropped (counted in
+//    revocation_stale_drops) and the caller falls through to full
+//    verification, so a revocation takes effect on the very NEXT
+//    presentation, not the next TTL boundary; entries for untouched
+//    grantors stay warm.
 #pragma once
 
 #include <list>
@@ -26,6 +34,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "core/revocation.hpp"
 #include "core/verifier.hpp"
 
 namespace rproxy::core {
@@ -33,8 +42,11 @@ namespace rproxy::core {
 class ChainVerifyCache {
  public:
   /// `capacity` bounds the number of cached chains (LRU eviction);
-  /// `ttl` bounds how long one verification outcome may be reused.
-  ChainVerifyCache(std::size_t capacity, util::Duration ttl);
+  /// `ttl` bounds how long one verification outcome may be reused;
+  /// `revocation` (optional) makes warm entries observe revocation events
+  /// immediately instead of waiting out the TTL.
+  ChainVerifyCache(std::size_t capacity, util::Duration ttl,
+                   const RevocationRegistry* revocation = nullptr);
 
   /// Cache key: SHA-256 over the chain's deterministic wire encoding —
   /// mode, the Kerberos root (ticket + sealed authenticator) when present,
@@ -77,11 +89,18 @@ class ChainVerifyCache {
     /// against VerifiedProxy::expires_at so the boundary matches the
     /// uncached path exactly.
     util::TimePoint cached_until = 0;
+    /// Revocation epoch of every grantor on the chain (root grantor plus
+    /// named intermediates) as of insert time, and the registry version
+    /// current when they were last confirmed.  A lookup whose version
+    /// matches the registry skips the epoch walk entirely.
+    std::vector<std::pair<PrincipalName, std::uint64_t>> grantor_epochs;
+    std::uint64_t revocation_version = 0;
     std::list<crypto::Digest>::iterator lru;
   };
 
   std::size_t capacity_;
   util::Duration ttl_;
+  const RevocationRegistry* revocation_;
   mutable std::mutex mutex_;
   std::list<crypto::Digest> lru_;  ///< front = most recently used
   std::unordered_map<crypto::Digest, Entry, DigestHash> map_;
@@ -89,6 +108,7 @@ class ChainVerifyCache {
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t expired_drops_ = 0;
+  std::uint64_t revocation_stale_drops_ = 0;
 };
 
 }  // namespace rproxy::core

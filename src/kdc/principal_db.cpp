@@ -1,11 +1,26 @@
 #include "kdc/principal_db.hpp"
 
+#include "core/revocation.hpp"
+
 namespace rproxy::kdc {
 
 void PrincipalDb::register_principal(const PrincipalName& name,
                                      crypto::SymmetricKey key) {
-  std::lock_guard lock(mutex_);
-  keys_[name] = key;
+  bool rotated = false;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = keys_.find(name);
+    rotated = it != keys_.end() && !(it->second == key);
+    keys_[name] = key;
+  }
+  // A key ROTATION revokes the grants minted under the old key.  This must
+  // be an explicit cutoff, not just a cache bump: a proxy ticket the
+  // principal granted is sealed under the END-SERVER's key and would keep
+  // verifying cryptographically forever.  Runs outside our lock (the
+  // registry notifies listeners).
+  if (rotated && revocation_ != nullptr && clock_ != nullptr) {
+    revocation_->revoke_grants_before(name, clock_->now());
+  }
 }
 
 crypto::SymmetricKey PrincipalDb::register_with_password(
@@ -17,8 +32,14 @@ crypto::SymmetricKey PrincipalDb::register_with_password(
 }
 
 void PrincipalDb::remove(const PrincipalName& name) {
-  std::lock_guard lock(mutex_);
-  keys_.erase(name);
+  bool removed = false;
+  {
+    std::lock_guard lock(mutex_);
+    removed = keys_.erase(name) > 0;
+  }
+  if (removed && revocation_ != nullptr && clock_ != nullptr) {
+    revocation_->revoke_grants_before(name, clock_->now());
+  }
 }
 
 bool PrincipalDb::exists(const PrincipalName& name) const {

@@ -9,8 +9,13 @@
 #include <mutex>
 
 #include "crypto/keys.hpp"
+#include "util/clock.hpp"
 #include "util/names.hpp"
 #include "util/status.hpp"
+
+namespace rproxy::core {
+class RevocationRegistry;
+}
 
 namespace rproxy::kdc {
 
@@ -20,15 +25,28 @@ namespace rproxy::kdc {
 class PrincipalDb {
  public:
   PrincipalDb() = default;
-  PrincipalDb(const PrincipalDb& other) : keys_(other.copy_keys_()) {}
+  PrincipalDb(const PrincipalDb& other)
+      : keys_(other.copy_keys_()),
+        revocation_(other.revocation_),
+        clock_(other.clock_) {}
   PrincipalDb(PrincipalDb&& other) noexcept
-      : keys_(other.take_keys_()) {}
+      : keys_(other.take_keys_()),
+        revocation_(other.revocation_),
+        clock_(other.clock_) {}
   PrincipalDb& operator=(const PrincipalDb& other) {
-    if (this != &other) set_keys_(other.copy_keys_());
+    if (this != &other) {
+      set_keys_(other.copy_keys_());
+      revocation_ = other.revocation_;
+      clock_ = other.clock_;
+    }
     return *this;
   }
   PrincipalDb& operator=(PrincipalDb&& other) noexcept {
-    if (this != &other) set_keys_(other.take_keys_());
+    if (this != &other) {
+      set_keys_(other.take_keys_());
+      revocation_ = other.revocation_;
+      clock_ = other.clock_;
+    }
     return *this;
   }
 
@@ -42,8 +60,21 @@ class PrincipalDb {
                                               std::string_view password);
 
   /// Removes a principal; outstanding tickets for it become undecryptable
-  /// the moment the server also rotates (used in revocation tests).
+  /// the moment the server also rotates (used in revocation tests).  With
+  /// a revocation registry attached, also kills every grant the principal
+  /// issued before now — proxy tickets a grantor minted stay decryptable
+  /// under the END-SERVER's key, so removal alone would not stop them.
   void remove(const PrincipalName& name);
+
+  /// Attaches the shared revocation registry.  Key rotation
+  /// (register_principal over an existing, different key) and removal then
+  /// revoke the principal's previously issued grants as of that instant.
+  /// The clock supplies the revocation cutoff.
+  void set_revocation(core::RevocationRegistry* registry,
+                      const util::Clock* clock) {
+    revocation_ = registry;
+    clock_ = clock;
+  }
 
   [[nodiscard]] bool exists(const PrincipalName& name) const;
 
@@ -74,6 +105,10 @@ class PrincipalDb {
 
   mutable std::mutex mutex_;
   KeyMap keys_;
+  /// Shared revocation registry + clock; nullptr when not wired up.
+  /// Copies of the db carry the same pointers.
+  core::RevocationRegistry* revocation_ = nullptr;
+  const util::Clock* clock_ = nullptr;
 };
 
 }  // namespace rproxy::kdc

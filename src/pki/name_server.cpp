@@ -1,5 +1,7 @@
 #include "pki/name_server.hpp"
 
+#include "core/revocation.hpp"
+
 namespace rproxy::pki {
 
 NameServer::NameServer(PrincipalName name, const util::Clock& clock,
@@ -11,13 +13,26 @@ NameServer::NameServer(PrincipalName name, const util::Clock& clock,
 
 void NameServer::register_key(const PrincipalName& subject,
                               const crypto::VerifyKey& key) {
-  std::lock_guard lock(registry_mutex_);
-  registry_[subject] = key;
+  bool rotated = false;
+  {
+    std::lock_guard lock(registry_mutex_);
+    auto it = registry_.find(subject);
+    rotated = it != registry_.end() && !(it->second == key);
+    registry_[subject] = key;
+  }
+  // Outside the registry lock: the revocation registry notifies listeners
+  // and must not nest inside ours.  A brand-new binding (or re-registering
+  // the identical key) revokes nothing.
+  if (rotated && revocation_ != nullptr) revocation_->bump(subject);
 }
 
 void NameServer::remove(const PrincipalName& subject) {
-  std::lock_guard lock(registry_mutex_);
-  registry_.erase(subject);
+  bool removed = false;
+  {
+    std::lock_guard lock(registry_mutex_);
+    removed = registry_.erase(subject) > 0;
+  }
+  if (removed && revocation_ != nullptr) revocation_->bump(subject);
 }
 
 util::Result<crypto::VerifyKey> NameServer::key_of(

@@ -13,6 +13,10 @@
 #include "net/rpc.hpp"
 #include "pki/identity_cert.hpp"
 
+namespace rproxy::core {
+class RevocationRegistry;
+}
+
 namespace rproxy::pki {
 
 /// Lookup request payload.
@@ -40,12 +44,21 @@ class NameServer final : public net::Node {
   NameServer(PrincipalName name, const util::Clock& clock,
              util::Duration cert_lifetime = 8 * util::kHour);
 
-  /// Registers (or replaces) a principal's public key.
+  /// Registers (or replaces) a principal's public key.  Replacing an
+  /// existing binding with a DIFFERENT key is a revocation event: the
+  /// subject's epoch is bumped so verifiers stop honouring warm
+  /// verifications made under the old key.
   void register_key(const PrincipalName& subject,
                     const crypto::VerifyKey& key);
 
-  /// Unregisters a principal (revocation at the naming layer).
+  /// Unregisters a principal (revocation at the naming layer).  Bumps the
+  /// subject's epoch when a binding was actually removed.
   void remove(const PrincipalName& subject);
+
+  /// Attaches the shared revocation registry; nullptr detaches.
+  void set_revocation(core::RevocationRegistry* registry) {
+    revocation_ = registry;
+  }
 
   /// Local (in-process) lookup used by co-located verifiers.
   [[nodiscard]] util::Result<crypto::VerifyKey> key_of(
@@ -74,6 +87,8 @@ class NameServer final : public net::Node {
   /// tests register or revoke keys.
   mutable std::mutex registry_mutex_;
   std::map<PrincipalName, crypto::VerifyKey> registry_;
+  /// Shared revocation registry; nullptr when revocation is not wired up.
+  core::RevocationRegistry* revocation_ = nullptr;
 };
 
 /// Client-side lookup over the network, verifying the returned certificate

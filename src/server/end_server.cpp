@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/request.hpp"
+#include "core/revocation.hpp"
 #include "crypto/random.hpp"
 
 namespace rproxy::server {
@@ -81,8 +82,23 @@ EndServer::EndServer(Config config)
           .replay_cache = &replay_cache_,
           .verify_cache_capacity = config_.verify_cache_capacity,
           .verify_cache_ttl = config_.verify_cache_ttl,
+          .revocation = config_.revocation,
       }),
-      challenges_(config_.challenge_ttl) {}
+      challenges_(config_.challenge_ttl) {
+  acl_.set_revocation(config_.revocation);
+}
+
+std::size_t EndServer::revoke_grantor(const PrincipalName& grantor) {
+  const std::size_t removed = acl_.remove_principal(grantor);
+  if (config_.revocation != nullptr) {
+    // The cutoff (not just the ACL edit) is what kills chains whose root
+    // does not appear on our ACL by name — e.g. symmetric proxies from a
+    // grantor the ACL covers via a group.
+    config_.revocation->revoke_grants_before(grantor,
+                                             config_.clock->now());
+  }
+  return removed;
+}
 
 net::Envelope EndServer::handle(const net::Envelope& request) {
   switch (request.type) {

@@ -88,6 +88,9 @@ class EndServer : public net::Node {
     /// Verified-chain cache (see core::ProxyVerifier::Config); 0 disables.
     std::size_t verify_cache_capacity = 1024;
     util::Duration verify_cache_ttl = 5 * util::kMinute;
+    /// Shared revocation registry: verification checks it, local ACL edits
+    /// and revoke_grantor report into it.  nullptr disables revocation.
+    core::RevocationRegistry* revocation = nullptr;
   };
 
   explicit EndServer(Config config);
@@ -98,6 +101,13 @@ class EndServer : public net::Node {
   /// is internally synchronized; see DESIGN.md "Concurrency model".
   [[nodiscard]] authz::Acl& acl() { return acl_; }
   [[nodiscard]] const authz::Acl& acl() const { return acl_; }
+
+  /// Local revocation of a grantor (§3.1): removes every ACL entry naming
+  /// it AND kills all grants it issued before now, so chains rooted at the
+  /// grantor are rejected on their very next presentation — warm verify
+  /// cache included.  Returns the number of ACL entries removed.  Without
+  /// Config::revocation only the ACL half happens.
+  std::size_t revoke_grantor(const PrincipalName& grantor);
 
   [[nodiscard]] AuditLog& audit() { return audit_; }
   [[nodiscard]] core::AcceptOnceCache& accept_once() { return accept_once_; }

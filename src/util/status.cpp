@@ -18,6 +18,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kTimeout: return "Timeout";
     case ErrorCode::kUnavailable: return "Unavailable";
     case ErrorCode::kInternal: return "Internal";
+    case ErrorCode::kRevoked: return "Revoked";
   }
   return "Unknown";
 }

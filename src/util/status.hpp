@@ -52,6 +52,10 @@ enum class ErrorCode {
   kUnavailable,
   /// Catch-all for internal invariant failures surfaced as errors.
   kInternal,
+  /// A credential (or the grant behind it) has been revoked by its grantor
+  /// (§3.1: "revocable via the grantor's rights").  Distinct from kExpired —
+  /// the credential is inside its validity period but the grant was killed.
+  kRevoked,
 };
 
 /// Human-readable name of an ErrorCode ("BadSignature", ...).

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/revocation.hpp"
+
 namespace rproxy::authz {
 namespace {
 
@@ -42,6 +44,27 @@ TEST(Acl, WildcardObject) {
   Acl acl;
   acl.add(AclEntry{{"alice"}, {"read"}, {"*"}, {}});
   EXPECT_TRUE(acl.match(authority_of({"alice"}), "read", "/x").is_ok());
+}
+
+TEST(Acl, WildcardOperation) {
+  // "*" in the operation list matches every operation, exactly as it does
+  // in the object list.
+  Acl acl;
+  acl.add(AclEntry{{"alice"}, {"*"}, {"/doc"}, {}});
+  EXPECT_TRUE(acl.match(authority_of({"alice"}), "read", "/doc").is_ok());
+  EXPECT_TRUE(acl.match(authority_of({"alice"}), "write", "/doc").is_ok());
+  EXPECT_FALSE(acl.match(authority_of({"alice"}), "read", "/other").is_ok());
+  EXPECT_FALSE(acl.match(authority_of({"bob"}), "read", "/doc").is_ok());
+}
+
+TEST(Acl, WildcardOperationAndObjectAgree) {
+  // Both list kinds honor the wildcard the same way, alone or combined.
+  Acl acl;
+  acl.add(AclEntry{{"alice"}, {"*"}, {"*"}, {}});
+  EXPECT_TRUE(acl.match(authority_of({"alice"}), "anything", "/x").is_ok());
+  Acl mixed;
+  mixed.add(AclEntry{{"alice"}, {"read", "*"}, {"/doc"}, {}});
+  EXPECT_TRUE(mixed.match(authority_of({"alice"}), "purge", "/doc").is_ok());
 }
 
 TEST(Acl, GroupTokenMatchesAssertedGroup) {
@@ -106,6 +129,20 @@ TEST(Acl, RemovePrincipalRevokes) {
   EXPECT_EQ(acl.remove_principal("alice"), 2u);
   EXPECT_FALSE(acl.match(authority_of({"alice"}), "read", "/doc").is_ok());
   EXPECT_TRUE(acl.match(authority_of({"carol"}), "read", "/doc").is_ok());
+}
+
+TEST(Acl, RemovePrincipalBumpsRevocationEpoch) {
+  core::RevocationRegistry registry;
+  Acl acl;
+  acl.set_revocation(&registry);
+  acl.add(AclEntry{{"alice"}, {"read"}, {"/doc"}, {}});
+  acl.add(AclEntry{{"carol"}, {"read"}, {"/doc"}, {}});
+  EXPECT_EQ(acl.remove_principal("alice"), 1u);
+  EXPECT_EQ(registry.epoch_of("alice"), 1u);
+  EXPECT_EQ(registry.epoch_of("carol"), 0u);
+  // Removing a principal with no entries is not a revocation event.
+  EXPECT_EQ(acl.remove_principal("nobody"), 0u);
+  EXPECT_EQ(registry.epoch_of("nobody"), 0u);
 }
 
 TEST(Acl, CodecRoundTrip) {

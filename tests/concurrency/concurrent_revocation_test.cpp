@@ -1,0 +1,164 @@
+// Revocation registry under fire: verifier threads doing warm cache
+// lookups race writer threads bumping epochs, advancing cutoffs, and
+// listing certificates.  Run under -fsanitize=thread
+// (RPROXY_SANITIZE=thread) to prove the lock-free version fast path and
+// the mutation path are race-free.
+//
+// Functional invariants checked while racing:
+//   * a verify never crashes or returns garbage — every outcome is either
+//     kOk or kRevoked;
+//   * once a grantor's cutoff is published, every LATER verify of its
+//     pre-cutoff chain rejects (no resurrection);
+//   * listener callbacks observe each event exactly once.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/revocation.hpp"
+#include "core/verifier.hpp"
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using testing::World;
+
+TEST(ConcurrentRevocation, ReadersRaceWriters) {
+  World world;
+  world.add_principal("file-server");
+  constexpr int kGrantors = 4;
+  constexpr int kReaderThreads = 4;
+  constexpr int kRoundsPerGrantor = 50;
+
+  std::vector<PrincipalName> grantors;
+  std::vector<core::Proxy> proxies;
+  for (int i = 0; i < kGrantors; ++i) {
+    const PrincipalName name = "grantor-" + std::to_string(i);
+    grantors.push_back(name);
+    world.add_principal(name);
+    proxies.push_back(core::grant_pk_proxy(
+        name, world.principal(name).identity, core::RestrictionSet{},
+        world.clock.now(), 8 * util::kHour));
+  }
+
+  core::ProxyVerifier::Config vc;
+  vc.server_name = "file-server";
+  vc.resolver = &world.resolver;
+  vc.pk_root = world.name_server.root_key();
+  vc.verify_cache_capacity = 1024;
+  vc.verify_cache_ttl = 8 * util::kHour;
+  vc.revocation = &world.revocation;
+  const core::ProxyVerifier verifier(std::move(vc));
+  const util::TimePoint now = world.clock.now();
+  for (const core::Proxy& p : proxies) {
+    ASSERT_TRUE(verifier.verify_chain(p.chain, now).is_ok());
+  }
+
+  std::atomic<std::uint64_t> events{0};
+  const std::uint64_t token = world.revocation.add_listener(
+      [&events](const core::RevocationRegistry::Event&) {
+        events.fetch_add(1, std::memory_order_relaxed);
+      });
+
+  // Writers advance each grantor's epoch; the LAST round publishes the
+  // cutoff that kills the grantor's proxy.
+  std::atomic<bool> stop{false};
+  std::vector<std::atomic<bool>> cut(kGrantors);
+  for (auto& c : cut) c.store(false);
+
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> verifies{0};
+  for (int t = 0; t < kReaderThreads; ++t) {
+    threads.emplace_back([&, t] {
+      int i = t % kGrantors;
+      while (!stop.load(std::memory_order_acquire)) {
+        i = (i + 1) % kGrantors;
+        const bool was_cut = cut[static_cast<std::size_t>(i)].load(
+            std::memory_order_acquire);
+        auto result = verifier.verify_chain(proxies[static_cast<std::size_t>(i)].chain, now);
+        verifies.fetch_add(1, std::memory_order_relaxed);
+        if (result.is_ok()) {
+          // Allowed only while the cutoff was not yet published when we
+          // started the verify.
+          EXPECT_FALSE(was_cut) << grantors[static_cast<std::size_t>(i)];
+        } else {
+          EXPECT_EQ(result.status().code(), util::ErrorCode::kRevoked);
+        }
+      }
+    });
+  }
+  for (int g = 0; g < kGrantors; ++g) {
+    threads.emplace_back([&, g] {
+      for (int round = 0; round < kRoundsPerGrantor; ++round) {
+        world.revocation.bump(grantors[static_cast<std::size_t>(g)]);
+      }
+      // Cut strictly after every grant (issued_at < now + 1), THEN raise
+      // the flag: a reader that saw the flag before verifying must find
+      // the cutoff already published.
+      world.revocation.revoke_grants_before(
+          grantors[static_cast<std::size_t>(g)], now + 1);
+      cut[static_cast<std::size_t>(g)].store(true,
+                                             std::memory_order_release);
+    });
+  }
+  for (int g = 0; g < kGrantors; ++g) {
+    threads[static_cast<std::size_t>(kReaderThreads + g)].join();
+  }
+  // Let readers observe the final state a little, then stop them.
+  for (int i = 0; i < kGrantors; ++i) {
+    EXPECT_EQ(verifier.verify_chain(proxies[static_cast<std::size_t>(i)].chain, now)
+                  .status()
+                  .code(),
+              util::ErrorCode::kRevoked);
+  }
+  stop.store(true, std::memory_order_release);
+  for (int t = 0; t < kReaderThreads; ++t) {
+    threads[static_cast<std::size_t>(t)].join();
+  }
+  world.revocation.remove_listener(token);
+
+  // Every mutation notified exactly once: kRoundsPerGrantor bumps plus one
+  // cutoff per grantor.
+  EXPECT_EQ(events.load(),
+            static_cast<std::uint64_t>(kGrantors * (kRoundsPerGrantor + 1)));
+  EXPECT_GT(verifies.load(), 0u);
+  const core::RevocationStats stats = world.revocation.stats();
+  EXPECT_EQ(stats.epoch_bumps,
+            static_cast<std::uint64_t>(kGrantors * (kRoundsPerGrantor + 1)));
+  EXPECT_EQ(stats.grantor_cuts, static_cast<std::uint64_t>(kGrantors));
+}
+
+TEST(ConcurrentRevocation, SnapshotsStayConsistentUnderMutation) {
+  // snapshot_epochs/epochs_current racing writers: a snapshot taken while
+  // nothing mutated must stay current; any bump of a recorded grantor must
+  // eventually flip it stale, and it must never flip back.
+  core::RevocationRegistry registry;
+  const std::vector<PrincipalName> grantors{"a", "b", "c"};
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 2000 && !stop.load(); ++i) {
+      registry.bump(grantors[static_cast<std::size_t>(i) % grantors.size()]);
+    }
+    stop.store(true);
+  });
+
+  while (!stop.load(std::memory_order_acquire)) {
+    std::vector<std::pair<PrincipalName, std::uint64_t>> recorded;
+    const std::uint64_t version = registry.snapshot_epochs(grantors, recorded);
+    ASSERT_EQ(recorded.size(), grantors.size());
+    if (registry.version() == version) {
+      // No mutation since the snapshot ⇒ it must read as current.
+      if (registry.epochs_current(recorded)) continue;
+      // A mutation may have slipped between the two reads; only a version
+      // change excuses staleness.
+      EXPECT_NE(registry.version(), version);
+    }
+  }
+  writer.join();
+}
+
+}  // namespace
+}  // namespace rproxy

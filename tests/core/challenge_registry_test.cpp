@@ -52,5 +52,29 @@ TEST(ChallengeRegistry, StaleChallengesPurgedOnIssue) {
   EXPECT_EQ(registry.outstanding(), 1u);
 }
 
+TEST(ChallengeRegistry, StaleChallengesPurgedOnTake) {
+  // A server that stops issuing challenges (e.g. clients switched to
+  // timestamp mode) must still shed abandoned ones: take() runs the same
+  // amortized sweep as issue().
+  ChallengeRegistry registry(kMinute);
+  for (int i = 0; i < 100; ++i) (void)registry.issue(0);
+  EXPECT_EQ(registry.outstanding(), 100u);
+  // A failing take() long after expiry — with no further issues — drains
+  // the registry rather than leaving 100 corpses forever.
+  EXPECT_FALSE(registry.take(999999, 10 * kMinute).is_ok());
+  EXPECT_EQ(registry.outstanding(), 0u);
+}
+
+TEST(ChallengeRegistry, TakeSweepIsAmortizedOncePerSecond) {
+  ChallengeRegistry registry(kMinute);
+  (void)registry.issue(0);
+  const auto live = registry.issue(10 * kMinute);
+  // First take at t=10min sweeps the stale challenge from t=0...
+  EXPECT_FALSE(registry.take(999999, 10 * kMinute).is_ok());
+  EXPECT_EQ(registry.outstanding(), 1u);
+  // ...and the surviving challenge is still claimable.
+  EXPECT_TRUE(registry.take(live.id, 10 * kMinute + kSecond).is_ok());
+}
+
 }  // namespace
 }  // namespace rproxy::core

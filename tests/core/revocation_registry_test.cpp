@@ -1,0 +1,237 @@
+// RevocationRegistry semantics: epoch monotonicity, cutoffs, the
+// certificate list, snapshot/current checks, persistence (encode/merge,
+// events, apply idempotence), and listener plumbing.
+#include "core/revocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/digest.hpp"
+#include "util/clock.hpp"
+
+namespace rproxy::core {
+namespace {
+
+using util::ErrorCode;
+using util::kMinute;
+
+RevocationId id_of(char fill) {
+  RevocationId id{};
+  id.fill(static_cast<unsigned char>(fill));
+  return id;
+}
+
+TEST(RevocationRegistry, BumpAdvancesEpochAndVersion) {
+  RevocationRegistry registry;
+  EXPECT_EQ(registry.epoch_of("alice"), 0u);
+  EXPECT_EQ(registry.version(), 0u);
+  EXPECT_EQ(registry.bump("alice"), 1u);
+  EXPECT_EQ(registry.bump("alice"), 2u);
+  EXPECT_EQ(registry.epoch_of("alice"), 2u);
+  EXPECT_EQ(registry.epoch_of("bob"), 0u);
+  EXPECT_EQ(registry.version(), 2u);
+}
+
+TEST(RevocationRegistry, CheckLinkCleanByDefault) {
+  RevocationRegistry registry;
+  EXPECT_TRUE(registry.check_link("alice", kMinute, std::nullopt).is_ok());
+  // Anonymous link (bearer cascade): no grantor record can apply.
+  EXPECT_TRUE(
+      registry.check_link(PrincipalName{}, kMinute, std::nullopt).is_ok());
+}
+
+TEST(RevocationRegistry, CutoffKillsOlderGrantsOnly) {
+  RevocationRegistry registry;
+  registry.revoke_grants_before("alice", 10 * kMinute);
+  EXPECT_EQ(registry.check_link("alice", 5 * kMinute, std::nullopt).code(),
+            ErrorCode::kRevoked);
+  // Issued exactly at the cutoff or later: alive (cutoff is exclusive).
+  EXPECT_TRUE(
+      registry.check_link("alice", 10 * kMinute, std::nullopt).is_ok());
+  EXPECT_TRUE(
+      registry.check_link("alice", 11 * kMinute, std::nullopt).is_ok());
+  // Other grantors untouched.
+  EXPECT_TRUE(registry.check_link("bob", 5 * kMinute, std::nullopt).is_ok());
+  // Cutoffs only advance: an earlier cutoff cannot resurrect grants.
+  registry.revoke_grants_before("alice", 2 * kMinute);
+  EXPECT_EQ(registry.check_link("alice", 5 * kMinute, std::nullopt).code(),
+            ErrorCode::kRevoked);
+}
+
+TEST(RevocationRegistry, CertListKillsOneDelegation) {
+  RevocationRegistry registry;
+  EXPECT_FALSE(registry.has_cert_revocations());
+  registry.revoke_cert("alice", id_of(0x41));
+  EXPECT_TRUE(registry.has_cert_revocations());
+  // A listed certificate is dead no matter who presents it (anonymous
+  // cascade links carry no grantor name).
+  EXPECT_EQ(registry.check_link(PrincipalName{}, kMinute, id_of(0x41)).code(),
+            ErrorCode::kRevoked);
+  EXPECT_EQ(registry.check_link("alice", kMinute, id_of(0x41)).code(),
+            ErrorCode::kRevoked);
+  // Unlisted certificates from the same grantor survive.
+  EXPECT_TRUE(registry.check_link("alice", kMinute, id_of(0x42)).is_ok());
+}
+
+TEST(RevocationRegistry, EventsImplyBumps) {
+  RevocationRegistry registry;
+  registry.revoke_grants_before("alice", kMinute);
+  EXPECT_EQ(registry.epoch_of("alice"), 1u);
+  registry.revoke_cert("alice", id_of(1));
+  EXPECT_EQ(registry.epoch_of("alice"), 2u);
+  EXPECT_EQ(registry.version(), 2u);
+}
+
+TEST(RevocationRegistry, SnapshotAndCurrency) {
+  RevocationRegistry registry;
+  registry.bump("alice");
+  std::vector<std::pair<PrincipalName, std::uint64_t>> recorded;
+  const std::uint64_t version =
+      registry.snapshot_epochs({"alice", "bob"}, recorded);
+  EXPECT_EQ(version, registry.version());
+  ASSERT_EQ(recorded.size(), 2u);
+  EXPECT_TRUE(registry.epochs_current(recorded));
+
+  registry.bump("carol");  // unrelated grantor: snapshot stays current
+  EXPECT_TRUE(registry.epochs_current(recorded));
+
+  registry.bump("bob");  // recorded grantor: snapshot goes stale
+  EXPECT_FALSE(registry.epochs_current(recorded));
+}
+
+TEST(RevocationRegistry, StatsCount) {
+  RevocationRegistry registry;
+  registry.bump("alice");
+  registry.revoke_grants_before("bob", kMinute);
+  registry.revoke_cert("bob", id_of(7));
+  (void)registry.check_link("alice", 0, std::nullopt);
+  (void)registry.check_link("bob", 0, std::nullopt);  // rejected by cutoff
+  const RevocationStats s = registry.stats();
+  EXPECT_EQ(s.epoch_bumps, 3u);
+  EXPECT_EQ(s.grantor_cuts, 1u);
+  EXPECT_EQ(s.cert_revocations, 1u);
+  EXPECT_EQ(s.link_checks, 2u);
+  EXPECT_EQ(s.link_rejections, 1u);
+  EXPECT_EQ(s.tracked_grantors, 2u);
+  EXPECT_EQ(s.listed_certs, 1u);
+}
+
+TEST(RevocationRegistry, EventCodecRoundTrip) {
+  RevocationRegistry::Event event;
+  event.grantor = "alice";
+  event.epoch = 7;
+  event.cut_before = 3 * kMinute;
+  event.cert = id_of(0x5a);
+  wire::Encoder enc;
+  event.encode(enc);
+  wire::Decoder dec(enc.view());
+  const auto decoded = RevocationRegistry::Event::decode(dec);
+  ASSERT_TRUE(dec.finish().is_ok());
+  EXPECT_EQ(decoded.grantor, event.grantor);
+  EXPECT_EQ(decoded.epoch, event.epoch);
+  EXPECT_EQ(decoded.cut_before, event.cut_before);
+  ASSERT_TRUE(decoded.cert.has_value());
+  EXPECT_EQ(*decoded.cert, *event.cert);
+}
+
+TEST(RevocationRegistry, ApplyIsIdempotent) {
+  RevocationRegistry source;
+  source.revoke_grants_before("alice", 5 * kMinute);
+  source.revoke_cert("alice", id_of(3));
+
+  RevocationRegistry replayed;
+  std::vector<RevocationRegistry::Event> events;
+  const std::uint64_t token = source.add_listener(
+      [&events](const RevocationRegistry::Event& e) { events.push_back(e); });
+  source.bump("alice");
+  source.remove_listener(token);
+  ASSERT_EQ(events.size(), 1u);
+
+  // Replaying the same event twice (journal replay after a partial crash)
+  // must not advance the epoch twice.
+  replayed.apply(events[0]);
+  const std::uint64_t once = replayed.epoch_of("alice");
+  replayed.apply(events[0]);
+  EXPECT_EQ(replayed.epoch_of("alice"), once);
+  EXPECT_EQ(once, events[0].epoch);
+}
+
+TEST(RevocationRegistry, EncodeMergeRoundTrip) {
+  RevocationRegistry source;
+  source.bump("alice");
+  source.revoke_grants_before("bob", 9 * kMinute);
+  source.revoke_cert("bob", id_of(0x11));
+  source.revoke_cert("carol", id_of(0x22));
+
+  wire::Encoder enc;
+  source.encode_state(enc);
+
+  RevocationRegistry restored;
+  {
+    wire::Decoder dec(enc.view());
+    ASSERT_TRUE(restored.merge_state(dec).is_ok());
+    ASSERT_TRUE(dec.finish().is_ok());
+  }
+  EXPECT_EQ(restored.epoch_of("alice"), source.epoch_of("alice"));
+  EXPECT_EQ(restored.epoch_of("bob"), source.epoch_of("bob"));
+  EXPECT_EQ(restored.check_link("bob", kMinute, std::nullopt).code(),
+            ErrorCode::kRevoked);
+  EXPECT_EQ(
+      restored.check_link(PrincipalName{}, kMinute, id_of(0x22)).code(),
+      ErrorCode::kRevoked);
+
+  // Merging the same state again changes nothing (idempotence).
+  {
+    wire::Decoder dec(enc.view());
+    ASSERT_TRUE(restored.merge_state(dec).is_ok());
+  }
+  EXPECT_EQ(restored.epoch_of("bob"), source.epoch_of("bob"));
+  EXPECT_EQ(restored.stats().listed_certs, 2u);
+
+  // Merging keeps whatever the destination already had that is newer.
+  restored.bump("alice");
+  const std::uint64_t advanced = restored.epoch_of("alice");
+  {
+    wire::Decoder dec(enc.view());
+    ASSERT_TRUE(restored.merge_state(dec).is_ok());
+  }
+  EXPECT_EQ(restored.epoch_of("alice"), advanced);
+}
+
+TEST(RevocationRegistry, ListenerSeesAbsoluteValuesOutsideLock) {
+  RevocationRegistry registry;
+  std::vector<RevocationRegistry::Event> events;
+  const std::uint64_t token = registry.add_listener(
+      [&](const RevocationRegistry::Event& e) {
+        // Re-entering a reader from the listener must not deadlock: the
+        // registry promises to invoke listeners outside its lock.
+        EXPECT_EQ(registry.epoch_of(e.grantor), e.epoch);
+        events.push_back(e);
+      });
+  registry.bump("alice");
+  registry.revoke_grants_before("alice", 4 * kMinute);
+  registry.revoke_cert("bob", id_of(9));
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].epoch, 1u);
+  EXPECT_EQ(events[1].epoch, 2u);
+  EXPECT_EQ(events[1].cut_before, 4 * kMinute);
+  ASSERT_TRUE(events[2].cert.has_value());
+  EXPECT_EQ(*events[2].cert, id_of(9));
+
+  registry.remove_listener(token);
+  registry.bump("alice");
+  EXPECT_EQ(events.size(), 3u);  // removed listener no longer fires
+
+  // apply() must NOT notify listeners (a journaling listener would echo
+  // replayed records back into the journal).
+  const std::uint64_t token2 = registry.add_listener(
+      [&](const RevocationRegistry::Event& e) { events.push_back(e); });
+  RevocationRegistry::Event replay;
+  replay.grantor = "alice";
+  replay.epoch = 99;
+  registry.apply(replay);
+  EXPECT_EQ(events.size(), 3u);
+  registry.remove_listener(token2);
+}
+
+}  // namespace
+}  // namespace rproxy::core

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "authz/capability.hpp"
+#include "core/revocation_id.hpp"
 #include "core/verifier.hpp"
 #include "server/file_server.hpp"
 #include "testing/env.hpp"
@@ -32,7 +33,8 @@ class VerifyCacheTest : public ::testing::Test {
   }
 
   core::ProxyVerifier make_verifier(std::size_t capacity,
-                                    util::Duration ttl = 5 * util::kMinute) {
+                                    util::Duration ttl = 5 * util::kMinute,
+                                    bool with_revocation = false) {
     core::ProxyVerifier::Config vc;
     vc.server_name = "file-server";
     vc.server_key = world_.principal("file-server").krb_key;
@@ -40,6 +42,7 @@ class VerifyCacheTest : public ::testing::Test {
     vc.pk_root = world_.name_server.root_key();
     vc.verify_cache_capacity = capacity;
     vc.verify_cache_ttl = ttl;
+    if (with_revocation) vc.revocation = &world_.revocation;
     return core::ProxyVerifier(std::move(vc));
   }
 
@@ -199,6 +202,98 @@ TEST_F(VerifyCacheTest, DisabledCacheReportsZeroStats) {
   EXPECT_EQ(stats.hits, 0u);
   EXPECT_EQ(stats.misses, 0u);
   EXPECT_EQ(stats.size, 0u);
+}
+
+// --- Revocation epochs: warm entries must not outlive ground truth ---
+
+TEST_F(VerifyCacheTest, RevocationBumpDropsOnlyAffectedEntries) {
+  world_.add_principal("carol");
+  const core::Proxy from_alice = pk_chain(2, util::kHour);
+  const core::Proxy from_carol =
+      core::grant_pk_proxy("carol", world_.principal("carol").identity,
+                           one_quota(5), world_.clock.now(), util::kHour);
+  const core::ProxyVerifier verifier =
+      make_verifier(1024, util::kHour, /*with_revocation=*/true);
+
+  // Warm both grantors' entries.
+  ASSERT_TRUE(
+      verifier.verify_chain(from_alice.chain, world_.clock.now()).is_ok());
+  ASSERT_TRUE(
+      verifier.verify_chain(from_carol.chain, world_.clock.now()).is_ok());
+  EXPECT_EQ(verifier.cache_stats().size, 2u);
+
+  world_.revocation.bump("alice");
+
+  // Alice's entry is dropped (stale epoch) and re-verified in full.  A
+  // bare bump revokes nothing by itself, so the fresh verify still
+  // succeeds and re-caches under the current epoch.
+  auto realice = verifier.verify_chain(from_alice.chain, world_.clock.now());
+  ASSERT_TRUE(realice.is_ok()) << realice.status();
+  core::ChainCacheStats stats = verifier.cache_stats();
+  EXPECT_EQ(stats.revocation_stale_drops, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+
+  // Carol's entry survived the targeted invalidation: a hit, not a drop.
+  ASSERT_TRUE(
+      verifier.verify_chain(from_carol.chain, world_.clock.now()).is_ok());
+  stats = verifier.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.revocation_stale_drops, 1u);
+
+  // And the refreshed alice entry hits again on the next presentation.
+  ASSERT_TRUE(
+      verifier.verify_chain(from_alice.chain, world_.clock.now()).is_ok());
+  EXPECT_EQ(verifier.cache_stats().hits, 2u);
+}
+
+TEST_F(VerifyCacheTest, RevokedGrantorRejectedDespiteWarmCache) {
+  const core::Proxy proxy = pk_chain(3, util::kHour);
+  // TTL and capacity deliberately generous: the registry, not the TTL,
+  // must be what unseats the warm entry.
+  const core::ProxyVerifier cached =
+      make_verifier(1024, util::kHour, /*with_revocation=*/true);
+  const core::ProxyVerifier uncached =
+      make_verifier(0, util::kHour, /*with_revocation=*/true);
+
+  ASSERT_TRUE(cached.verify_chain(proxy.chain, world_.clock.now()).is_ok());
+  ASSERT_TRUE(cached.verify_chain(proxy.chain, world_.clock.now()).is_ok());
+  EXPECT_EQ(cached.cache_stats().hits, 1u);
+
+  world_.clock.advance(util::kMinute);
+  world_.revocation.revoke_grants_before("alice", world_.clock.now());
+
+  // The very next presentation fails — warm cache included — and the
+  // cached verifier's outcome is byte-identical to the uncached one's.
+  auto with_cache = cached.verify_chain(proxy.chain, world_.clock.now());
+  auto without = uncached.verify_chain(proxy.chain, world_.clock.now());
+  ASSERT_FALSE(with_cache.is_ok());
+  ASSERT_FALSE(without.is_ok());
+  EXPECT_EQ(with_cache.status().code(), util::ErrorCode::kRevoked);
+  EXPECT_EQ(with_cache.status().to_string(), without.status().to_string());
+  EXPECT_EQ(cached.cache_stats().revocation_stale_drops, 1u);
+  // The failed re-verification must not be re-cached.
+  EXPECT_EQ(cached.cache_stats().size, 0u);
+}
+
+TEST_F(VerifyCacheTest, CertRevocationKillsOneChainNotTheGrantor) {
+  const core::Proxy narrow = pk_chain(1, util::kHour);
+  const core::Proxy other = pk_chain(1, util::kHour);
+  const core::ProxyVerifier verifier =
+      make_verifier(1024, util::kHour, /*with_revocation=*/true);
+  ASSERT_TRUE(
+      verifier.verify_chain(narrow.chain, world_.clock.now()).is_ok());
+  ASSERT_TRUE(verifier.verify_chain(other.chain, world_.clock.now()).is_ok());
+
+  world_.revocation.revoke_cert(
+      "alice", core::revocation_id_of(narrow.chain.certs[0]));
+
+  auto revoked = verifier.verify_chain(narrow.chain, world_.clock.now());
+  EXPECT_EQ(revoked.status().code(), util::ErrorCode::kRevoked);
+  // The sibling grant re-verifies in full (same grantor ⇒ its entry also
+  // went stale) but remains valid.
+  auto alive = verifier.verify_chain(other.chain, world_.clock.now());
+  ASSERT_TRUE(alive.is_ok()) << alive.status();
+  EXPECT_EQ(verifier.cache_stats().revocation_stale_drops, 2u);
 }
 
 // --- End-server level: per-presentation checks still bite on cache hits ---

@@ -17,6 +17,7 @@
 #include "baseline/pull_authorization.hpp"
 #include "baseline/sollins.hpp"
 #include "core/cascade.hpp"
+#include "core/revocation.hpp"
 #include "pki/name_server.hpp"
 #include "server/app_client.hpp"
 #include "server/file_server.hpp"
@@ -60,6 +61,10 @@ class World {
                                                   clock);
     net.attach(kKdcName, *kdc_server);
     net.attach(kNameServerName, name_server);
+    // One shared revocation registry, wired into the event sources; server
+    // configs built below point their verifiers at it.
+    name_server.set_revocation(&revocation);
+    kdc_server->db().set_revocation(&revocation, &clock);
   }
 
   /// Registers a principal in both realizations and returns its secrets.
@@ -98,6 +103,7 @@ class World {
     config.resolver = &resolver;
     config.pk_root = name_server.root_key();
     config.clock = &clock;
+    config.revocation = &revocation;
     return config;
   }
 
@@ -112,6 +118,7 @@ class World {
     config.pk_root = name_server.root_key();
     config.identity_key = principals.at(name).identity;
     config.identity_cert = principals.at(name).cert;
+    config.revocation = &revocation;
     return config;
   }
 
@@ -125,6 +132,9 @@ class World {
 
   util::SimClock clock;
   net::SimNet net;
+  /// Shared by every revocation event source and every verifier in the
+  /// world.  Declared before the servers that point at it.
+  core::RevocationRegistry revocation;
   pki::NameServer name_server;
   NameServerResolver resolver;
   std::unique_ptr<kdc::KdcServer> kdc_server;
