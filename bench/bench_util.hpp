@@ -9,12 +9,43 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 
 #include "crypto/random.hpp"
 #include "testing/env.hpp"
 
 namespace rproxy::bench {
+
+/// Debug-build guard.  Numbers from an unoptimized build are not
+/// measurements — BENCH_t9_journal.json was once recorded from a debug
+/// tree and understated the library 10x — so a bench binary compiled
+/// without NDEBUG refuses to start unless RPROXY_BENCH_ALLOW_DEBUG=1 is
+/// exported, and even then the emitted JSON is tagged
+/// "rproxy_build_type": "debug" so the file convicts itself.  (The
+/// "library_build_type" field Google Benchmark emits describes the
+/// INSTALLED benchmark library, not this tree — it cannot be trusted for
+/// this.)
+namespace internal {
+inline const bool build_type_guard = [] {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("rproxy_build_type", "release");
+#else
+  if (std::getenv("RPROXY_BENCH_ALLOW_DEBUG") == nullptr) {
+    std::fprintf(
+        stderr,
+        "error: this bench binary was compiled WITHOUT NDEBUG (debug "
+        "build).\nNumbers from it are meaningless; rebuild with "
+        "-DCMAKE_BUILD_TYPE=Release,\nor export "
+        "RPROXY_BENCH_ALLOW_DEBUG=1 to run anyway (smoke tests only).\n");
+    std::exit(3);
+  }
+  benchmark::AddCustomContext("rproxy_build_type", "debug");
+#endif
+  return true;
+}();
+}  // namespace internal
 
 /// Captures SimNet traffic for one run of `op` and attaches the counters
 /// to `state` ("msgs", "bytes", "simlat_us" per operation).

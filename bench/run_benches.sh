@@ -18,6 +18,32 @@ if [[ ! -d "$BENCH_DIR" ]]; then
   exit 1
 fi
 
+# Refuse debug trees: numbers from an unoptimized build are not
+# measurements (BENCH_t9_journal.json was once recorded from one).  The
+# bench binaries enforce the same rule themselves via NDEBUG; this check
+# just fails faster and names the build dir.  RPROXY_BENCH_ALLOW_DEBUG=1
+# overrides both (smoke tests only).
+CACHE="$ROOT/$BUILD_DIR/CMakeCache.txt"
+BUILD_TYPE=""
+if [[ -f "$CACHE" ]]; then
+  BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$CACHE")"
+fi
+case "$BUILD_TYPE" in
+  Release|RelWithDebInfo|MinSizeRel) ;;
+  *)
+    if [[ "${RPROXY_BENCH_ALLOW_DEBUG:-0}" != "1" ]]; then
+      echo "error: build dir '$BUILD_DIR' has CMAKE_BUILD_TYPE='${BUILD_TYPE:-<unset>}'" >&2
+      echo "Benchmark numbers require an optimized build:" >&2
+      echo "  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release" >&2
+      echo "  cmake --build build-release -j" >&2
+      echo "  bench/run_benches.sh build-release" >&2
+      echo "(export RPROXY_BENCH_ALLOW_DEBUG=1 to run a debug tree anyway)" >&2
+      exit 3
+    fi
+    echo "warning: running benches from a '$BUILD_TYPE' tree (RPROXY_BENCH_ALLOW_DEBUG=1)" >&2
+    ;;
+esac
+
 found=0
 for bin in "$BENCH_DIR"/bench_*; do
   [[ -f "$bin" && -x "$bin" ]] || continue

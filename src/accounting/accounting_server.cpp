@@ -560,6 +560,18 @@ AccountingServer::CashierRecord AccountingServer::CashierRecord::decode(
   return r;
 }
 
+namespace {
+/// Highest LSN this serving thread appended under FsyncPolicy::kGroup but
+/// has not yet committed.  Thread-local because the append happens deep
+/// inside a handler (under state_mutex_) while the commit must happen in
+/// handle() AFTER the lock is released — parking on the group barrier
+/// with the state mutex held would serialize every handler on the fsync,
+/// which is exactly what group commit exists to avoid.  LSNs are assigned
+/// monotonically under state_mutex_, so when a handler appends several
+/// records the last LSN covers them all.
+thread_local std::uint64_t t_uncommitted_lsn = 0;
+}  // namespace
+
 template <typename Record>
 util::Status AccountingServer::journal_append_(JournalRecordType type,
                                                const Record& record) {
@@ -576,6 +588,9 @@ util::Status AccountingServer::journal_append_(JournalRecordType type,
     // from here on, so the divergent in-memory state is never served.
     storage_dead_.store(true);
     return lsn.status();
+  }
+  if (config_.fsync_policy == storage::FsyncPolicy::kGroup) {
+    t_uncommitted_lsn = lsn.value();
   }
   return util::Status::ok();
 }
@@ -638,6 +653,13 @@ util::Status AccountingServer::checkpoint() {
   const util::Status published = log_->checkpoint(sealed);
   if (!published.is_ok()) storage_dead_.store(true);
   return published;
+}
+
+storage::JournalWriter::GroupStats AccountingServer::journal_group_stats()
+    const {
+  std::lock_guard lock(state_mutex_);
+  return log_.has_value() ? log_->group_stats()
+                          : storage::JournalWriter::GroupStats{};
 }
 
 std::uint64_t AccountingServer::journal_next_lsn() const {
@@ -861,6 +883,36 @@ net::Envelope AccountingServer::handle(const net::Envelope& request) {
                    "accounting server '" + config_.name +
                        "' is down (write-ahead journal failed)"));
   }
+  // Group-commit barrier (write-ahead rule, DESIGN.md §5b/§5e): a reply
+  // must not leave before the fsync covering the records its handler
+  // appended.  The handler stashes its highest appended LSN in a
+  // thread-local (set inside journal_append_ under state_mutex_); the
+  // commit itself runs HERE, outside the lock, so concurrent handlers
+  // park on one shared fsync instead of serializing the whole server.
+  t_uncommitted_lsn = 0;  // a revocation listener may have left a residue
+  net::Envelope reply = handle_dispatch_(request);
+  if (t_uncommitted_lsn != 0) {
+    const std::uint64_t lsn = t_uncommitted_lsn;
+    t_uncommitted_lsn = 0;
+    // log_ is engaged by recover() before serving starts and stable after.
+    const util::Status committed = log_->commit(lsn);
+    if (!committed.is_ok()) {
+      // The record may or may not be on disk; the in-memory mutation is
+      // applied either way.  Same resolution as an append failure: this
+      // "process" is dead, the reply is withheld, and the client's retry
+      // against a recovered server settles what actually survived.
+      storage_dead_.store(true);
+      return net::make_error_reply(
+          request, util::fail(ErrorCode::kUnavailable,
+                              "accounting server '" + config_.name +
+                                  "' is down (group fsync failed)"));
+    }
+  }
+  return reply;
+}
+
+net::Envelope AccountingServer::handle_dispatch_(
+    const net::Envelope& request) {
   purge_expired_holds_(config_.clock->now());
   switch (request.type) {
     case net::MsgType::kPresentChallengeRequest: {

@@ -285,6 +285,11 @@ class AccountingServer final : public net::Node {
   /// LSN the next journaled mutation will get (1 if storage is off).
   [[nodiscard]] std::uint64_t journal_next_lsn() const;
 
+  /// Group-commit counters of the active journal (all zero unless
+  /// Config::fsync_policy is storage::FsyncPolicy::kGroup).
+  [[nodiscard]] storage::JournalWriter::GroupStats journal_group_stats()
+      const;
+
   /// Value credited but not yet collected from peer servers.
   [[nodiscard]] std::int64_t uncollected_total() const;
   [[nodiscard]] std::uint64_t checks_cleared() const {
@@ -407,6 +412,12 @@ class AccountingServer final : public net::Node {
   [[nodiscard]] util::Result<PrincipalName> authenticate_(
       const core::PossessionProof& identity, std::uint64_t challenge_id,
       util::BytesView request_digest, util::TimePoint now);
+
+  /// The type dispatch behind handle(); handle() wraps it with the
+  /// storage-dead refusal and the group-commit barrier (under
+  /// FsyncPolicy::kGroup no reply leaves before the fsync covering the
+  /// records the handler appended).
+  [[nodiscard]] net::Envelope handle_dispatch_(const net::Envelope& request);
 
   [[nodiscard]] net::Envelope handle_query_(const net::Envelope& request);
   [[nodiscard]] net::Envelope handle_transfer_(const net::Envelope& request);

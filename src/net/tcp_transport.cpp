@@ -77,8 +77,6 @@ IoStatus write_exact(int fd, const std::uint8_t* buffer, std::size_t n) {
   return IoStatus::kOk;
 }
 
-constexpr std::size_t kMaxFrame = 4u << 20;  // 4 MiB: generous for chains
-
 IoStatus read_frame(int fd, util::Bytes& out) {
   std::uint8_t header[4];
   IoStatus st = read_exact(fd, header, 4);
@@ -87,7 +85,7 @@ IoStatus read_frame(int fd, util::Bytes& out) {
                             (std::uint32_t{header[1]} << 16) |
                             (std::uint32_t{header[2]} << 8) |
                             std::uint32_t{header[3]};
-  if (len > kMaxFrame) return IoStatus::kError;
+  if (len > kMaxFrameBytes) return IoStatus::kError;
   out.resize(len);
   return len == 0 ? IoStatus::kOk : read_exact(fd, out.data(), len);
 }
@@ -271,6 +269,11 @@ util::Status TcpClient::connect(const std::string& host, std::uint16_t port,
 }
 
 util::Result<Envelope> TcpClient::rpc(const Envelope& request) {
+  RPROXY_RETURN_IF_ERROR(send(request));
+  return receive();
+}
+
+util::Status TcpClient::send(const Envelope& request) {
   if (fd_ < 0) {
     return util::fail(ErrorCode::kInternal, "not connected");
   }
@@ -278,13 +281,19 @@ util::Result<Envelope> TcpClient::rpc(const Envelope& request) {
   encode_envelope(enc, request);
   switch (write_frame(fd_, enc.view())) {
     case IoStatus::kOk:
-      break;
+      return util::Status::ok();
     case IoStatus::kTimeout:
       close();
       return util::fail(ErrorCode::kTimeout, "send timed out");
     default:
       close();
       return util::fail(ErrorCode::kInternal, "send failed");
+  }
+}
+
+util::Result<Envelope> TcpClient::receive() {
+  if (fd_ < 0) {
+    return util::fail(ErrorCode::kInternal, "not connected");
   }
   util::Bytes frame;
   switch (read_frame(fd_, frame)) {
@@ -302,6 +311,20 @@ util::Result<Envelope> TcpClient::rpc(const Envelope& request) {
   Envelope reply = decode_envelope(dec);
   RPROXY_RETURN_IF_ERROR(dec.finish());
   return reply;
+}
+
+util::Result<std::vector<Envelope>> TcpClient::rpc_pipelined(
+    const std::vector<Envelope>& requests) {
+  for (const Envelope& request : requests) {
+    RPROXY_RETURN_IF_ERROR(send(request));
+  }
+  std::vector<Envelope> replies;
+  replies.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    RPROXY_ASSIGN_OR_RETURN(Envelope reply, receive());
+    replies.push_back(std::move(reply));
+  }
+  return replies;
 }
 
 void TcpClient::close() {

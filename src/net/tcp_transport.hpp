@@ -37,6 +37,11 @@ namespace rproxy::net {
 void encode_envelope(wire::Encoder& enc, const Envelope& e);
 [[nodiscard]] Envelope decode_envelope(wire::Decoder& dec);
 
+/// Largest accepted wire frame (length prefix excluded).  Shared by the
+/// thread-pool server, the event-loop server and the client: a corrupt or
+/// hostile length prefix must never provoke a multi-gigabyte allocation.
+inline constexpr std::size_t kMaxFrameBytes = 4u << 20;  // generous for chains
+
 /// Hosts one or more Nodes behind a TCP listener.  Dispatch is routed by
 /// Envelope::to and runs concurrently across connections; handlers must be
 /// thread-safe.
@@ -120,6 +125,22 @@ class TcpClient {
   /// One blocking request/reply round.  A stalled server surfaces as
   /// ErrorCode::kTimeout; any I/O failure closes the connection.
   [[nodiscard]] util::Result<Envelope> rpc(const Envelope& request);
+
+  /// Pipelining half-calls: send() pushes a request frame without waiting
+  /// for its reply; receive() blocks for the next reply frame.  The server
+  /// contract (both transports) is that replies come back in request
+  /// order, so after k sends the next k receives match them 1:1.  Any I/O
+  /// failure closes the connection.
+  [[nodiscard]] util::Status send(const Envelope& request);
+  [[nodiscard]] util::Result<Envelope> receive();
+
+  /// Sends every request back-to-back, then collects the replies — one
+  /// write burst, many requests in flight at once on the server.  Returns
+  /// replies in request order, or the first I/O error (transport-level
+  /// failures only; per-request errors come back as kError envelopes in
+  /// their slot).
+  [[nodiscard]] util::Result<std::vector<Envelope>> rpc_pipelined(
+      const std::vector<Envelope>& requests);
 
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
   void close();

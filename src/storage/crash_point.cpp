@@ -15,6 +15,14 @@ void CrashPoint::arm(const CrashPlan& plan) {
   dead_ = false;
 }
 
+bool CrashPoint::admit_fsync() {
+  syncs_ += 1;
+  if (fsync_fail_at_ == 0) return true;
+  if (syncs_ < fsync_fail_at_) return true;
+  dead_ = true;
+  return false;
+}
+
 std::size_t CrashPoint::admit(std::size_t size) {
   if (dead_) return 0;
   if (kill_at_ == 0) return size;  // inert

@@ -46,6 +46,19 @@ class CrashPoint {
   /// partial count on the fatal write, and 0 forever after.
   [[nodiscard]] std::size_t admit(std::size_t size);
 
+  /// Arms fsync-failure injection: the k-th admit_fsync() call (1-based)
+  /// and every one after it reports failure — the disk is gone, not just
+  /// one write.  Independent of the write-kill plan; 0 disables.  Models
+  /// the group-commit failure mode where ONE failed fsync must surface to
+  /// every appender parked on the barrier, not only the leader.
+  void fail_fsync_at(std::uint64_t k) { fsync_fail_at_ = k; }
+
+  /// Called once per fsync; false = the fsync "failed".
+  [[nodiscard]] bool admit_fsync();
+
+  /// fsyncs admitted or failed so far.
+  [[nodiscard]] std::uint64_t syncs_seen() const { return syncs_; }
+
   /// True once the kill point has fired.
   [[nodiscard]] bool dead() const { return dead_; }
 
@@ -60,6 +73,8 @@ class CrashPoint {
   double tear_fraction_ = 0.0;
   bool tear_ = false;
   std::uint64_t writes_ = 0;
+  std::uint64_t fsync_fail_at_ = 0;  ///< 0 = inert
+  std::uint64_t syncs_ = 0;
   bool dead_ = false;
 };
 

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
 #include "storage/crc32c.hpp"
 
@@ -132,6 +133,8 @@ std::string_view fsync_policy_name(FsyncPolicy policy) {
       return "batch";
     case FsyncPolicy::kEveryRecord:
       return "every_record";
+    case FsyncPolicy::kGroup:
+      return "group";
   }
   return "?";
 }
@@ -218,6 +221,9 @@ util::Result<JournalWriter> JournalWriter::create(const std::string& path,
   writer.fd_ = fd;
   writer.next_lsn_ = base_lsn;
   writer.config_ = config;
+  writer.appended_lsn_ = base_lsn - 1;
+  writer.commit_ = std::make_unique<CommitState>();
+  writer.commit_->durable_lsn = base_lsn - 1;
   return writer;
 }
 
@@ -244,16 +250,25 @@ util::Result<JournalWriter> JournalWriter::open(const std::string& path,
   writer.fd_ = fd;
   writer.next_lsn_ = scan.base_lsn + scan.records.size();
   writer.config_ = config;
+  // Records that survived the reopen scan count as durable: they were on
+  // disk before this process existed.
+  writer.appended_lsn_ = writer.next_lsn_ - 1;
+  writer.commit_ = std::make_unique<CommitState>();
+  writer.commit_->durable_lsn = writer.next_lsn_ - 1;
   return writer;
 }
 
+// Moves are only legal while no commit() is in flight (construction and
+// LogDir rotation, both of which exclude concurrent committers).
 JournalWriter::JournalWriter(JournalWriter&& other) noexcept
     : path_(std::move(other.path_)),
       fd_(other.fd_),
       next_lsn_(other.next_lsn_),
       config_(other.config_),
       unsynced_records_(other.unsynced_records_),
-      dead_(other.dead_) {
+      dead_(other.dead_.load()),
+      appended_lsn_(other.appended_lsn_),
+      commit_(std::move(other.commit_)) {
   other.fd_ = -1;
 }
 
@@ -265,7 +280,9 @@ JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
     next_lsn_ = other.next_lsn_;
     config_ = other.config_;
     unsynced_records_ = other.unsynced_records_;
-    dead_ = other.dead_;
+    dead_.store(other.dead_.load());
+    appended_lsn_ = other.appended_lsn_;
+    commit_ = std::move(other.commit_);
     other.fd_ = -1;
   }
   return *this;
@@ -273,7 +290,7 @@ JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
 
 JournalWriter::~JournalWriter() {
   if (fd_ >= 0) {
-    if (!dead_ && config_.fsync_policy != FsyncPolicy::kNever) {
+    if (!dead_.load() && config_.fsync_policy != FsyncPolicy::kNever) {
       ::fsync(fd_);
     }
     ::close(fd_);
@@ -282,7 +299,7 @@ JournalWriter::~JournalWriter() {
 
 util::Result<std::uint64_t> JournalWriter::append(std::uint16_t type,
                                                   util::BytesView payload) {
-  if (dead_ || fd_ < 0) {
+  if (dead_.load() || fd_ < 0) {
     return util::fail(ErrorCode::kUnavailable,
                       "journal '" + path_ + "' is dead (crashed)");
   }
@@ -299,7 +316,7 @@ util::Result<std::uint64_t> JournalWriter::append(std::uint16_t type,
   if (admitted < frame.size()) {
     // Simulated kill mid-write: the torn frame is on disk, the record is
     // NOT durable, and this "process" no longer accepts work.
-    dead_ = true;
+    dead_.store(true);
     return util::fail(ErrorCode::kUnavailable,
                       "journal '" + path_ + "' crashed mid-append (write " +
                           std::to_string(config_.crash->writes_seen()) +
@@ -308,6 +325,12 @@ util::Result<std::uint64_t> JournalWriter::append(std::uint16_t type,
   const std::uint64_t lsn = next_lsn_;
   next_lsn_ += 1;
   unsynced_records_ += 1;
+  {
+    // The commit leader reads appended_lsn_ from another thread; publish
+    // the fully-written frame under the barrier mutex.
+    std::lock_guard lock(commit_->mutex);
+    appended_lsn_ = lsn;
+  }
   const bool want_sync =
       config_.fsync_policy == FsyncPolicy::kEveryRecord ||
       (config_.fsync_policy == FsyncPolicy::kBatch &&
@@ -316,14 +339,103 @@ util::Result<std::uint64_t> JournalWriter::append(std::uint16_t type,
   return lsn;
 }
 
+util::Status JournalWriter::fsync_now_() {
+  if (config_.crash != nullptr && !config_.crash->admit_fsync()) {
+    dead_.store(true);
+    return util::fail(ErrorCode::kUnavailable,
+                      "journal '" + path_ + "' fsync failed (crash point, "
+                      "sync " + std::to_string(config_.crash->syncs_seen()) +
+                          ")");
+  }
+  if (::fsync(fd_) != 0) {
+    dead_.store(true);
+    return io_fail("journal fsync", path_);
+  }
+  return util::Status::ok();
+}
+
 util::Status JournalWriter::sync() {
-  if (dead_ || fd_ < 0) {
+  if (dead_.load() || fd_ < 0) {
     return util::fail(ErrorCode::kUnavailable,
                       "journal '" + path_ + "' is dead (crashed)");
   }
-  if (::fsync(fd_) != 0) return io_fail("journal fsync", path_);
+  RPROXY_RETURN_IF_ERROR(fsync_now_());
   unsynced_records_ = 0;
+  std::lock_guard lock(commit_->mutex);
+  commit_->durable_lsn = std::max(commit_->durable_lsn, appended_lsn_);
   return util::Status::ok();
+}
+
+util::Status JournalWriter::commit(std::uint64_t lsn) {
+  if (fd_ < 0) {
+    return util::fail(ErrorCode::kUnavailable,
+                      "journal '" + path_ + "' is dead (crashed)");
+  }
+  if (config_.fsync_policy != FsyncPolicy::kGroup) {
+    // kEveryRecord already flushed in append(); kNever/kBatch make no
+    // per-record promise for commit() to wait on.
+    return dead_.load()
+               ? util::fail(ErrorCode::kUnavailable,
+                            "journal '" + path_ + "' is dead (crashed)")
+               : util::Status::ok();
+  }
+  CommitState& cs = *commit_;
+  std::unique_lock lock(cs.mutex);
+  for (;;) {
+    // Sticky failure first: once any barrier's fsync failed, EVERY parked
+    // appender and every later arrival gets the error, because none of
+    // their records can be promised durable any more.
+    if (!cs.error.is_ok()) return cs.error;
+    if (dead_.load()) {
+      return util::fail(ErrorCode::kUnavailable,
+                        "journal '" + path_ + "' is dead (crashed)");
+    }
+    if (cs.durable_lsn >= lsn) return util::Status::ok();
+    if (!cs.sync_in_progress) break;
+    cs.stats.waits += 1;
+    cs.cv.wait(lock);
+  }
+  // Become the leader: one fsync covers every record fully appended
+  // before it starts — ours included, since our append() returned before
+  // this call.
+  cs.sync_in_progress = true;
+  std::uint64_t target = appended_lsn_;
+  lock.unlock();
+  // Bounded accumulation: appenders already racing toward their own
+  // commit() get a moment to land so this flush covers them too (on a
+  // loaded single core they otherwise never run before the leader
+  // reaches the disk, and groups stay small).  Exits the moment the
+  // append stream quiesces — a lone committer pays a few yields (~µs)
+  // against the fsync it was about to do anyway.
+  for (int round = 0; round < 4; ++round) {
+    std::this_thread::yield();
+    std::uint64_t now = 0;
+    {
+      std::lock_guard relock(cs.mutex);
+      now = appended_lsn_;
+    }
+    if (now == target) break;
+    target = now;
+  }
+  const util::Status synced = fsync_now_();
+  lock.lock();
+  cs.sync_in_progress = false;
+  if (!synced.is_ok()) {
+    cs.error = synced;
+  } else {
+    cs.stats.fsyncs += 1;
+    const std::uint64_t covered = target - cs.durable_lsn;
+    cs.stats.committed += covered;
+    cs.stats.max_group = std::max(cs.stats.max_group, covered);
+    cs.durable_lsn = std::max(cs.durable_lsn, target);
+  }
+  cs.cv.notify_all();
+  return synced;
+}
+
+JournalWriter::GroupStats JournalWriter::group_stats() const {
+  std::lock_guard lock(commit_->mutex);
+  return commit_->stats;
 }
 
 }  // namespace rproxy::storage

@@ -14,12 +14,22 @@
 // correct outcome, the client retries it.
 //
 // Durability is a policy knob: `kNever` trusts the OS page cache (fastest,
-// loses the tail on power failure), `kBatch` fsyncs every N appends, and
-// `kEveryRecord` fsyncs per append (the strict write-ahead guarantee).
-// bench_t9_journal measures the spread.
+// loses the tail on power failure), `kBatch` fsyncs every N appends,
+// `kEveryRecord` fsyncs per append (the strict write-ahead guarantee), and
+// `kGroup` amortizes the strict guarantee across concurrent appenders:
+// append() only buffers, and commit(lsn) parks the caller on a committing
+// leader whose single fsync covers every record appended since the last
+// barrier.  With N writers in flight one disk flush makes N records
+// durable, so durable throughput grows with concurrency instead of
+// serializing on the disk.  bench_t9_journal / bench_t11_event_loop
+// measure the spread.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -35,6 +45,7 @@ enum class FsyncPolicy {
   kNever,        ///< never fsync; the OS decides
   kBatch,        ///< fsync every `batch_records` appends
   kEveryRecord,  ///< fsync after every append
+  kGroup,        ///< fsync on commit(); one barrier covers all appenders
 };
 
 [[nodiscard]] std::string_view fsync_policy_name(FsyncPolicy policy);
@@ -63,8 +74,10 @@ class JournalReader {
   [[nodiscard]] static util::Result<Scan> read(const std::string& path);
 };
 
-/// Appender.  Not thread-safe; callers serialize (the accounting server
-/// appends under its state mutex).
+/// Appender.  append() is not thread-safe; callers serialize (the
+/// accounting server appends under its state mutex).  commit() IS
+/// thread-safe — under FsyncPolicy::kGroup many threads park on it
+/// concurrently, each outside whatever lock serialized its append.
 class JournalWriter {
  public:
   struct Config {
@@ -92,14 +105,38 @@ class JournalWriter {
   JournalWriter& operator=(const JournalWriter&) = delete;
   ~JournalWriter();
 
+  /// Group-commit counters (populated under FsyncPolicy::kGroup).
+  struct GroupStats {
+    std::uint64_t fsyncs = 0;     ///< commit barriers completed
+    std::uint64_t committed = 0;  ///< records those barriers covered
+    std::uint64_t waits = 0;      ///< commit() calls that parked on a leader
+    std::uint64_t max_group = 0;  ///< most records one barrier covered
+  };
+
   /// Appends one record and applies the fsync policy; returns its LSN.
   /// kUnavailable after a crash-point kill (the frame may be torn on
-  /// disk; the caller must not send the reply the record covers).
+  /// disk; the caller must not send the reply the record covers).  Under
+  /// kGroup the record is NOT durable until a commit() at or above its
+  /// LSN returns OK.
   [[nodiscard]] util::Result<std::uint64_t> append(std::uint16_t type,
                                                    util::BytesView payload);
 
+  /// Blocks until every record up to `lsn` is covered by a completed
+  /// fsync.  Thread-safe.  Under kGroup the first arrival becomes the
+  /// commit leader (one fsync covering everything appended so far) and
+  /// later arrivals park on its barrier; under kEveryRecord the guarantee
+  /// already held at append() and this returns immediately.  kNever /
+  /// kBatch make no per-record promise, so commit() is a no-op there too.
+  /// A failed group fsync is STICKY: the failure is reported to every
+  /// parked appender — not just the leader — and to every later call, and
+  /// the journal is dead from then on (storage-dead semantics; a log that
+  /// cannot flush must stop accepting promises).
+  [[nodiscard]] util::Status commit(std::uint64_t lsn);
+
   /// Forces an fsync regardless of policy.
   [[nodiscard]] util::Status sync();
+
+  [[nodiscard]] GroupStats group_stats() const;
 
   /// LSN the next append will return.
   [[nodiscard]] std::uint64_t next_lsn() const { return next_lsn_; }
@@ -107,14 +144,37 @@ class JournalWriter {
   [[nodiscard]] const std::string& path() const { return path_; }
 
  private:
+  /// Shared barrier state for commit(); heap-allocated so the writer
+  /// stays movable (mutexes are not).
+  struct CommitState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool sync_in_progress = false;
+    /// Highest LSN covered by a completed fsync.
+    std::uint64_t durable_lsn = 0;
+    /// Sticky first fsync failure; every waiter and later caller sees it.
+    util::Status error = util::Status::ok();
+    GroupStats stats;
+  };
+
   JournalWriter() = default;
+
+  /// fsync(fd_) with crash-point gating; marks the writer dead on failure.
+  [[nodiscard]] util::Status fsync_now_();
 
   std::string path_;
   int fd_ = -1;
   std::uint64_t next_lsn_ = 1;
   Config config_;
   std::size_t unsynced_records_ = 0;
-  bool dead_ = false;  ///< crash point fired or unrecoverable I/O error
+  /// Crash point fired or unrecoverable I/O error.  Atomic because a
+  /// group-commit leader can mark the writer dead while another thread is
+  /// mid-append.
+  std::atomic<bool> dead_{false};
+  /// Highest LSN whose frame is fully written to the fd.  Guarded by
+  /// commit_->mutex (the commit leader reads it from another thread).
+  std::uint64_t appended_lsn_ = 0;
+  std::unique_ptr<CommitState> commit_;
 };
 
 /// Largest accepted record payload.  A corrupt length prefix must not make

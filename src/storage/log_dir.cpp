@@ -132,7 +132,22 @@ util::Result<std::uint64_t> LogDir::append(std::uint16_t type,
 
 util::Status LogDir::sync() { return journal_->sync(); }
 
+util::Status LogDir::commit(std::uint64_t lsn) {
+  std::shared_lock lock(*rotate_lock_);
+  return journal_->commit(lsn);
+}
+
+JournalWriter::GroupStats LogDir::group_stats() const {
+  std::shared_lock lock(*rotate_lock_);
+  return journal_->group_stats();
+}
+
 util::Status LogDir::checkpoint(util::BytesView sealed_snapshot) {
+  // Exclude committers for the whole rotation: a thread parked on the old
+  // journal's barrier must not see its writer destroyed underneath it.
+  // Their records are covered either way — the snapshot published below
+  // includes everything appended so far.
+  std::unique_lock rotation(*rotate_lock_);
   // Make everything the snapshot covers durable before publishing it —
   // the snapshot asserts "state through LSN N", so N must be on disk.
   RPROXY_RETURN_IF_ERROR(journal_->sync());

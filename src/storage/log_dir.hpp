@@ -18,7 +18,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -53,6 +55,17 @@ class LogDir {
   [[nodiscard]] util::Result<std::uint64_t> append(std::uint16_t type,
                                                    util::BytesView payload);
 
+  /// Group commit (FsyncPolicy::kGroup): blocks until every record up to
+  /// `lsn` is covered by a completed fsync; see JournalWriter::commit.
+  /// Unlike append()/checkpoint(), callers invoke this OUTSIDE whatever
+  /// lock serializes their appends — parking many threads on one fsync is
+  /// the whole point.  Safe against a concurrent checkpoint(): commit
+  /// holds the rotation lock shared, checkpoint holds it exclusive.
+  [[nodiscard]] util::Status commit(std::uint64_t lsn);
+
+  /// Group-commit counters of the ACTIVE journal (reset at rotation).
+  [[nodiscard]] JournalWriter::GroupStats group_stats() const;
+
   /// Forces the journal to stable storage.
   [[nodiscard]] util::Status sync();
 
@@ -69,7 +82,9 @@ class LogDir {
 
  private:
   explicit LogDir(Config config)
-      : config_(std::move(config)), snapshots_(config_.dir) {}
+      : config_(std::move(config)),
+        snapshots_(config_.dir),
+        rotate_lock_(std::make_unique<std::shared_mutex>()) {}
 
   [[nodiscard]] std::string journal_path_(std::uint64_t base_lsn) const;
 
@@ -77,6 +92,10 @@ class LogDir {
   SnapshotStore snapshots_;
   /// optional<> only for two-phase construction; always set after open().
   std::optional<JournalWriter> journal_;
+  /// checkpoint() replaces journal_ while commit() may be parked on it
+  /// from threads that do not hold the owner's append lock; heap-held so
+  /// LogDir stays movable.
+  std::unique_ptr<std::shared_mutex> rotate_lock_;
 };
 
 }  // namespace rproxy::storage

@@ -12,6 +12,7 @@
 #include <filesystem>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,11 +38,13 @@ class RecoveryTest : public ::testing::Test {
   std::unique_ptr<accounting::AccountingServer> make_bank(
       const std::string& state_dir,
       storage::CrashPoint* crash = nullptr,
-      const PrincipalName& name = "bank") {
+      const PrincipalName& name = "bank",
+      std::optional<storage::FsyncPolicy> fsync_policy = std::nullopt) {
     auto config = world_.accounting_config(name);
     config.storage_dir = state_dir;
     config.storage_key = storage_key_;
     config.crash_point = crash;
+    if (fsync_policy.has_value()) config.fsync_policy = *fsync_policy;
     auto bank =
         std::make_unique<accounting::AccountingServer>(std::move(config));
     EXPECT_TRUE(bank->recover().is_ok());
@@ -347,6 +350,81 @@ TEST_F(RecoveryTest, ForeignCollectionCrashThenRetryConvergesExactlyOnce) {
   // And the outcome survives yet another restart of B.
   bank_b = make_bank(dir_.sub("bank-b"), nullptr, "bank-b");
   EXPECT_EQ(bank_b->account("payee-acct")->balances().balance("usd"), 30);
+}
+
+// Group commit under a dying disk, swept across fsync barriers: with
+// FsyncPolicy::kGroup a reply leaves only after the fsync covering its
+// record, so when barrier K fails the client has acknowledgments for
+// exactly the ops whose barriers completed — and the recovered state
+// must contain AT LEAST those ops (the write-ahead invariant: successful
+// replies are a subset of recovered records; the op in flight at the
+// failure may or may not have reached the disk, and its reply was
+// withheld either way).
+TEST_F(RecoveryTest, GroupCommitFsyncFailureWithholdsTheUncoveredReply) {
+  constexpr int kTransfers = 5;
+  for (std::uint64_t fail_at = 1; fail_at <= 3; ++fail_at) {
+    SCOPED_TRACE("fsync barrier " + std::to_string(fail_at) + " fails");
+    const std::string state = dir_.sub("bank-g" + std::to_string(fail_at));
+    storage::CrashPoint crash;
+    crash.fail_fsync_at(fail_at);
+    auto bank = make_bank(state, &crash, "bank",
+                          storage::FsyncPolicy::kGroup);
+    bank->open_account("payer-acct", "alice",
+                       accounting::Balances{{"usd", 100}});
+    bank->open_account("payee-acct", "bob");
+
+    // Sequential clients: every transfer is its own commit barrier, so
+    // the first fail_at-1 are acknowledged and transfer fail_at gets the
+    // "group fsync failed" refusal.
+    auto alice = world_.accounting_client("alice");
+    int acked = 0;
+    for (int i = 0; i < kTransfers; ++i) {
+      if (alice.transfer("bank", "payer-acct", "payee-acct", "usd", 10)
+              .is_ok()) {
+        acked += 1;
+      }
+    }
+    EXPECT_EQ(acked, static_cast<int>(fail_at) - 1);
+    EXPECT_TRUE(bank->storage_dead());
+    // Dead means dead: even queries are refused from here on.
+    EXPECT_FALSE(alice.query("bank", "payer-acct").is_ok());
+
+    // Restart and check the write-ahead invariant.
+    bank = make_bank(state);
+    const std::int64_t payer =
+        bank->account("payer-acct")->balances().balance("usd");
+    const std::int64_t payee =
+        bank->account("payee-acct")->balances().balance("usd");
+    EXPECT_LE(payer, 100 - 10 * acked) << "an acknowledged transfer is gone";
+    EXPECT_GE(payer, 100 - 10 * (acked + 1))
+        << "more than the in-flight op leaked past the failed barrier";
+    EXPECT_EQ(payer + payee, 100) << "money minted or burned";
+  }
+}
+
+TEST_F(RecoveryTest, GroupCommitCleanRunMatchesEveryRecordState) {
+  // Without failures, kGroup must be invisible: same recovered state as
+  // the strict policy, same replies — only fewer fsyncs.
+  const std::string state = dir_.sub("bank-group-clean");
+  auto bank =
+      make_bank(state, nullptr, "bank", storage::FsyncPolicy::kGroup);
+  bank->open_account("payer-acct", "alice",
+                     accounting::Balances{{"usd", 100}});
+  bank->open_account("payee-acct", "bob");
+  auto alice = world_.accounting_client("alice");
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        alice.transfer("bank", "payer-acct", "payee-acct", "usd", 10)
+            .is_ok());
+  }
+  const auto stats = bank->journal_group_stats();
+  EXPECT_EQ(stats.fsyncs, 4u);  // one barrier per sequential transfer
+  // Each barrier covered its transfer (plus setup records on the first).
+  EXPECT_GE(stats.committed, 4u);
+
+  bank = make_bank(state, nullptr, "bank", storage::FsyncPolicy::kGroup);
+  EXPECT_EQ(bank->account("payer-acct")->balances().balance("usd"), 60);
+  EXPECT_EQ(bank->account("payee-acct")->balances().balance("usd"), 40);
 }
 
 TEST_F(RecoveryTest, RecoverWithoutKeyFails) {

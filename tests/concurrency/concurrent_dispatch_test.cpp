@@ -1,5 +1,7 @@
 // Concurrent dispatch over real TCP: many client threads, many nodes, one
-// TcpServer with no global dispatch lock.
+// server with no global dispatch lock — parameterized over BOTH transports
+// (the thread-pool TcpServer and the epoll EventLoopServer), since the
+// protocol invariants cannot depend on who schedules the handlers.
 //
 // The invariants under fire are the financial ones: concurrent authenticated
 // transfers must neither lose nor duplicate postings (conservation), a
@@ -15,6 +17,7 @@
 
 #include "accounting/accounting_server.hpp"
 #include "core/request.hpp"
+#include "net/event_loop.hpp"
 #include "net/tcp_transport.hpp"
 #include "testing/env.hpp"
 
@@ -32,7 +35,7 @@ constexpr int kClients = 8;
 constexpr int kTransfersPerClient = 25;
 constexpr std::uint64_t kInitialBalance = 1'000;
 
-class ConcurrentDispatch : public ::testing::Test {
+class ConcurrentDispatch : public ::testing::TestWithParam<const char*> {
  protected:
   ConcurrentDispatch() {
     world_.add_principal("bank");
@@ -56,11 +59,26 @@ class ConcurrentDispatch : public ::testing::Test {
       file_server_->acl().add(authz::AclEntry{{client_name(i)}, {}, {}, {}});
     }
 
-    tcp_.attach("kdc", *world_.kdc_server);
-    tcp_.attach("bank", *bank_);
-    tcp_.attach("file-server", *file_server_);
-    const util::Status started = tcp_.start();
-    EXPECT_TRUE(started.is_ok()) << started;
+    if (std::string(GetParam()) == "pool") {
+      tcp_.attach("kdc", *world_.kdc_server);
+      tcp_.attach("bank", *bank_);
+      tcp_.attach("file-server", *file_server_);
+      const util::Status started = tcp_.start();
+      EXPECT_TRUE(started.is_ok()) << started;
+      port_ = tcp_.port();
+    } else {
+      loop_.attach("kdc", *world_.kdc_server);
+      loop_.attach("bank", *bank_);
+      loop_.attach("file-server", *file_server_);
+      const util::Status started = loop_.start();
+      EXPECT_TRUE(started.is_ok()) << started;
+      port_ = loop_.port();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t served() const {
+    return std::string(GetParam()) == "pool" ? tcp_.requests_served()
+                                             : loop_.requests_served();
   }
 
   static std::string client_name(int i) {
@@ -80,7 +98,7 @@ class ConcurrentDispatch : public ::testing::Test {
     e.type = req_type;
     e.payload = wire::encode_to_bytes(request);
     RPROXY_ASSIGN_OR_RETURN(net::Envelope reply,
-                            net::tcp_rpc("127.0.0.1", tcp_.port(), e));
+                            net::tcp_rpc("127.0.0.1", port_, e));
     RPROXY_RETURN_IF_ERROR(net::expect_type(reply, reply_type));
     return wire::decode_from_bytes<ReplyT>(reply.payload);
   }
@@ -121,12 +139,14 @@ class ConcurrentDispatch : public ::testing::Test {
   std::unique_ptr<accounting::AccountingServer> bank_;
   std::unique_ptr<server::FileServer> file_server_;
   net::TcpServer tcp_;
+  net::EventLoopServer loop_;
+  std::uint16_t port_ = 0;
 };
 
 // Conservation under concurrency: kClients threads each post
 // kTransfersPerClient 1-credit transfers into the shared pot.  Every
 // posting must land exactly once.
-TEST_F(ConcurrentDispatch, ConcurrentTransfersConserveBalances) {
+TEST_P(ConcurrentDispatch, ConcurrentTransfersConserveBalances) {
   std::atomic<int> failures{0};
   std::vector<std::thread> threads;
   threads.reserve(kClients);
@@ -150,13 +170,13 @@ TEST_F(ConcurrentDispatch, ConcurrentTransfersConserveBalances) {
               static_cast<std::int64_t>(kInitialBalance -
                                         kTransfersPerClient));
   }
-  EXPECT_GE(tcp_.requests_served(),
+  EXPECT_GE(served(),
             2 * static_cast<std::uint64_t>(kClients) * kTransfersPerClient);
 }
 
 // A single-use challenge presented by many racing connections has exactly
 // one winner: the replayed presentations must all be rejected.
-TEST_F(ConcurrentDispatch, ChallengeReplayHasSingleWinner) {
+TEST_P(ConcurrentDispatch, ChallengeReplayHasSingleWinner) {
   const core::Proxy cap = authz::make_capability_pk(
       "client-0", world_.principal("client-0").identity, "file-server",
       {core::ObjectRights{"/doc", {"read"}}}, world_.clock.now(),
@@ -189,7 +209,7 @@ TEST_F(ConcurrentDispatch, ChallengeReplayHasSingleWinner) {
   threads.reserve(kRacers);
   for (int i = 0; i < kRacers; ++i) {
     threads.emplace_back([this, &e, &successes] {
-      auto reply = net::tcp_rpc("127.0.0.1", tcp_.port(), e);
+      auto reply = net::tcp_rpc("127.0.0.1", port_, e);
       if (reply.is_ok() && net::status_of(reply.value()).is_ok()) {
         successes.fetch_add(1);
       }
@@ -205,7 +225,7 @@ TEST_F(ConcurrentDispatch, ChallengeReplayHasSingleWinner) {
 // certification — identical terms are one logical certify, however many
 // connections carry it — so all racers report success while the bank's
 // state records a single hold.
-TEST_F(ConcurrentDispatch, ConcurrentCertifySameCheckNumberSingleWinner) {
+TEST_P(ConcurrentDispatch, ConcurrentCertifySameCheckNumberSingleWinner) {
   constexpr int kRacers = 6;
   constexpr std::uint64_t kCheckNumber = 7;
   std::atomic<int> successes{0};
@@ -248,7 +268,7 @@ TEST_F(ConcurrentDispatch, ConcurrentCertifySameCheckNumberSingleWinner) {
 // Different nodes exercised simultaneously through one transport: Kerberos
 // AS exchanges against the KDC interleaved with capability presentations
 // at the file server and transfers at the bank.
-TEST_F(ConcurrentDispatch, MixedNodesServeConcurrently) {
+TEST_P(ConcurrentDispatch, MixedNodesServeConcurrently) {
   constexpr int kPerRole = 4;
   std::atomic<int> failures{0};
   std::vector<std::thread> threads;
@@ -309,6 +329,12 @@ TEST_F(ConcurrentDispatch, MixedNodesServeConcurrently) {
   EXPECT_EQ(file_server_->audit().allowed_count(),
             static_cast<std::size_t>(kPerRole));
 }
+
+INSTANTIATE_TEST_SUITE_P(BothTransports, ConcurrentDispatch,
+                         ::testing::Values("pool", "loop"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
 
 // The bounded worker pool must not deadlock or drop connections when more
 // clients arrive than there are slots.

@@ -3,6 +3,9 @@
 
 #include <filesystem>
 #include <fstream>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "storage/crc32c.hpp"
 #include "storage/journal.hpp"
@@ -281,6 +284,141 @@ TEST(JournalTest, DuplicateFramesRoundTrip) {
   EXPECT_EQ(scan.value().records[0].payload,
             scan.value().records[1].payload);
   EXPECT_NE(scan.value().records[0].lsn, scan.value().records[1].lsn);
+}
+
+TEST(GroupCommitTest, OneBarrierCoversEveryRecordAppendedBeforeIt) {
+  TempDir dir;
+  const std::string path = dir.sub("j.wal");
+  CrashPoint crash;  // inert; only counts fsyncs
+  JournalWriter::Config config;
+  config.fsync_policy = FsyncPolicy::kGroup;
+  config.crash = &crash;
+  auto writer = JournalWriter::create(path, 1, config);
+  ASSERT_TRUE(writer.is_ok());
+
+  // All records land before anyone commits, so the first committer's one
+  // fsync covers all of them and every later committer returns without
+  // touching the disk — deterministically one barrier.
+  constexpr int kThreads = 8;
+  std::vector<std::uint64_t> lsns;
+  for (int i = 0; i < kThreads; ++i) {
+    auto lsn = writer.value().append(1, payload("r" + std::to_string(i)));
+    ASSERT_TRUE(lsn.is_ok());
+    lsns.push_back(lsn.value());
+  }
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      EXPECT_TRUE(writer.value().commit(lsns[static_cast<size_t>(i)]).is_ok());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(crash.syncs_seen(), 1u);
+  const JournalWriter::GroupStats stats = writer.value().group_stats();
+  EXPECT_EQ(stats.fsyncs, 1u);
+  EXPECT_EQ(stats.committed, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(stats.max_group, static_cast<std::uint64_t>(kThreads));
+}
+
+TEST(GroupCommitTest, ConcurrentAppendCommitLoopsLoseNothing) {
+  TempDir dir;
+  const std::string path = dir.sub("j.wal");
+  JournalWriter::Config config;
+  config.fsync_policy = FsyncPolicy::kGroup;
+  auto writer = JournalWriter::create(path, 1, config);
+  ASSERT_TRUE(writer.is_ok());
+
+  // The accounting server's shape: appends serialized by a caller lock,
+  // commits running free.  Every commit that returns OK promises its
+  // record is on disk.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  std::mutex append_mutex;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        std::uint64_t lsn = 0;
+        {
+          std::lock_guard lock(append_mutex);
+          auto appended = writer.value().append(1, payload("x"));
+          ASSERT_TRUE(appended.is_ok());
+          lsn = appended.value();
+        }
+        ASSERT_TRUE(writer.value().commit(lsn).is_ok());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const JournalWriter::GroupStats stats = writer.value().group_stats();
+  EXPECT_EQ(stats.committed, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_GE(stats.fsyncs, 1u);
+  EXPECT_LE(stats.fsyncs, static_cast<std::uint64_t>(kThreads) * kPerThread);
+
+  auto scan = JournalReader::read(path);
+  ASSERT_TRUE(scan.is_ok());
+  EXPECT_EQ(scan.value().records.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(GroupCommitTest, FsyncFailureReachesEveryWaiterAndIsSticky) {
+  TempDir dir;
+  const std::string path = dir.sub("j.wal");
+  CrashPoint crash;
+  crash.fail_fsync_at(1);  // the very first barrier dies
+  JournalWriter::Config config;
+  config.fsync_policy = FsyncPolicy::kGroup;
+  config.crash = &crash;
+  auto writer = JournalWriter::create(path, 1, config);
+  ASSERT_TRUE(writer.is_ok());
+
+  constexpr int kThreads = 6;
+  std::vector<std::uint64_t> lsns;
+  for (int i = 0; i < kThreads; ++i) {
+    auto lsn = writer.value().append(1, payload("doomed"));
+    ASSERT_TRUE(lsn.is_ok());
+    lsns.push_back(lsn.value());
+  }
+  // Every committer — the leader AND everyone parked on its barrier —
+  // must see the failure; a waiter that got OK would release a reply for
+  // a record that never reached the disk.
+  std::vector<util::Status> results(kThreads, util::Status::ok());
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      results[static_cast<size_t>(i)] =
+          writer.value().commit(lsns[static_cast<size_t>(i)]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(results[static_cast<size_t>(i)].code(),
+              util::ErrorCode::kUnavailable)
+        << "waiter " << i << " was not told about the failed fsync";
+  }
+  // Storage-dead semantics: the failure is sticky for later commits AND
+  // appends — a log that cannot flush must stop accepting promises.
+  EXPECT_EQ(writer.value().commit(lsns.back()).code(),
+            util::ErrorCode::kUnavailable);
+  EXPECT_EQ(writer.value().append(1, payload("after")).code(),
+            util::ErrorCode::kUnavailable);
+  EXPECT_TRUE(crash.dead());
+}
+
+TEST(GroupCommitTest, CommitIsANoOpUnderOtherPolicies) {
+  TempDir dir;
+  const std::string path = dir.sub("j.wal");
+  JournalWriter::Config config;
+  config.fsync_policy = FsyncPolicy::kEveryRecord;
+  auto writer = JournalWriter::create(path, 1, config);
+  ASSERT_TRUE(writer.is_ok());
+  auto lsn = writer.value().append(1, payload("already durable"));
+  ASSERT_TRUE(lsn.is_ok());
+  // The guarantee held at append(); commit() just agrees.
+  EXPECT_TRUE(writer.value().commit(lsn.value()).is_ok());
+  EXPECT_EQ(writer.value().group_stats().fsyncs, 0u);
 }
 
 }  // namespace
