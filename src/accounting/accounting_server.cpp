@@ -189,6 +189,54 @@ std::string certified_check_object(std::uint64_t check_number) {
   return "certified-check:" + std::to_string(check_number);
 }
 
+void MigrationSpec::encode(wire::Encoder& enc) const {
+  enc.u64(migration_id);
+  enc.u64(lo);
+  enc.u64(hi);
+  enc.str(source);
+  enc.str(target);
+}
+
+MigrationSpec MigrationSpec::decode(wire::Decoder& dec) {
+  MigrationSpec s;
+  s.migration_id = dec.u64();
+  s.lo = dec.u64();
+  s.hi = dec.u64();
+  s.source = dec.str();
+  s.target = dec.str();
+  return s;
+}
+
+void MigratedAccount::encode(wire::Encoder& enc) const {
+  enc.str(name);
+  enc.str(owner);
+  balances.encode(enc);
+  enc.seq(holds, [](wire::Encoder& e, const Hold& h) {
+    e.str(h.payor);
+    e.u64(h.check_number);
+    e.str(h.currency);
+    e.u64(h.amount);
+    e.i64(h.expires_at);
+  });
+}
+
+MigratedAccount MigratedAccount::decode(wire::Decoder& dec) {
+  MigratedAccount a;
+  a.name = dec.str();
+  a.owner = dec.str();
+  a.balances = Balances::decode(dec);
+  a.holds = dec.seq<Hold>([](wire::Decoder& d) {
+    Hold h;
+    h.payor = d.str();
+    h.check_number = d.u64();
+    h.currency = d.str();
+    h.amount = d.u64();
+    h.expires_at = d.i64();
+    return h;
+  });
+  return a;
+}
+
 AccountingServer::AccountingServer(Config config)
     : config_(std::move(config)),
       verifier_(core::ProxyVerifier::Config{
@@ -268,7 +316,7 @@ util::Bytes AccountingServer::snapshot_locked_(
   };
 
   wire::Encoder enc;
-  enc.str("accounting-snapshot-v4");
+  enc.str("accounting-snapshot-v5");
   enc.str(config_.name);
   enc.u32(static_cast<std::uint32_t>(accounts_.size()));
   for (const auto& [name, account] : accounts_) {
@@ -316,6 +364,13 @@ util::Bytes AccountingServer::snapshot_locked_(
     }
     enc.bytes(revocation.view());
   }
+  // v5: migration state — active source-side freezes and the target-side
+  // set of already-imported migration ids (the exactly-once guard must
+  // survive a checkpoint, exactly like the dedup tables).
+  enc.u32(static_cast<std::uint32_t>(frozen_.size()));
+  for (const auto& [id, spec] : frozen_) spec.encode(enc);
+  enc.u32(static_cast<std::uint32_t>(applied_migrations_.size()));
+  for (const std::uint64_t id : applied_migrations_) enc.u64(id);
   return crypto::aead_seal(key.derive_subkey(kSnapshotSealPurpose),
                            enc.view());
 }
@@ -329,13 +384,16 @@ util::Status AccountingServer::restore(const crypto::SymmetricKey& key,
   const std::string version = dec.str();
   if (version != "accounting-snapshot-v2" &&
       version != "accounting-snapshot-v3" &&
-      version != "accounting-snapshot-v4") {
+      version != "accounting-snapshot-v4" &&
+      version != "accounting-snapshot-v5") {
     return util::fail(ErrorCode::kParseError,
                       "not an accounting snapshot (unknown version '" +
                           version + "')");
   }
   const bool has_routes = version != "accounting-snapshot-v2";
-  const bool has_revocation = version == "accounting-snapshot-v4";
+  const bool has_revocation = version == "accounting-snapshot-v4" ||
+                              version == "accounting-snapshot-v5";
+  const bool has_migration = version == "accounting-snapshot-v5";
   const std::string server = dec.str();
   if (server != config_.name) {
     return util::fail(ErrorCode::kProtocolError,
@@ -398,6 +456,19 @@ util::Status AccountingServer::restore(const crypto::SymmetricKey& key,
   }
   util::Bytes revocation_state;
   if (has_revocation) revocation_state = dec.bytes();
+  std::map<std::uint64_t, MigrationSpec> frozen;
+  std::set<std::uint64_t> applied_migrations;
+  if (has_migration) {
+    const std::uint32_t frozen_count = dec.u32();
+    for (std::uint32_t i = 0; i < frozen_count && dec.ok(); ++i) {
+      MigrationSpec spec = MigrationSpec::decode(dec);
+      frozen[spec.migration_id] = std::move(spec);
+    }
+    const std::uint32_t applied_count = dec.u32();
+    for (std::uint32_t i = 0; i < applied_count && dec.ok(); ++i) {
+      applied_migrations.insert(dec.u64());
+    }
+  }
   RPROXY_RETURN_IF_ERROR(dec.finish());
 
   // Merge the revocation state BEFORE swapping in the rest: a merge
@@ -416,6 +487,9 @@ util::Status AccountingServer::restore(const crypto::SymmetricKey& key,
   completed_certifies_ = std::move(certifies);
   // A v2 snapshot says nothing about routes; leave them as configured.
   if (has_routes) routes_ = std::move(routes);
+  // Pre-v5 snapshots predate sharding: no freezes, nothing imported.
+  frozen_ = std::move(frozen);
+  applied_migrations_ = std::move(applied_migrations);
   return util::Status::ok();
 }
 
@@ -557,6 +631,21 @@ AccountingServer::CashierRecord AccountingServer::CashierRecord::decode(
   r.account = dec.str();
   r.currency = dec.str();
   r.amount = dec.u64();
+  return r;
+}
+
+void AccountingServer::MigrateInRecord::encode(wire::Encoder& enc) const {
+  spec.encode(enc);
+  enc.seq(accounts,
+          [](wire::Encoder& e, const MigratedAccount& a) { a.encode(e); });
+}
+
+AccountingServer::MigrateInRecord AccountingServer::MigrateInRecord::decode(
+    wire::Decoder& dec) {
+  MigrateInRecord r;
+  r.spec = MigrationSpec::decode(dec);
+  r.accounts = dec.seq<MigratedAccount>(
+      [](wire::Decoder& d) { return MigratedAccount::decode(d); });
   return r;
 }
 
@@ -719,6 +808,31 @@ util::Status AccountingServer::apply_record_(
       if (config_.revocation != nullptr) config_.revocation->apply(event);
       return util::Status::ok();
     }
+    case JournalRecordType::kMigrateFreeze: {
+      MigrationSpec spec = MigrationSpec::decode(dec);
+      RPROXY_RETURN_IF_ERROR(dec.finish());
+      frozen_[spec.migration_id] = std::move(spec);
+      return util::Status::ok();
+    }
+    case JournalRecordType::kMigrateIn: {
+      const MigrateInRecord rec = MigrateInRecord::decode(dec);
+      RPROXY_RETURN_IF_ERROR(dec.finish());
+      // Idempotent under the migration id — unless the dedup ablation is
+      // on, in which case a record surviving in both snapshot and journal
+      // tail double-credits (the chaos teeth test).
+      if (config_.enable_dedup &&
+          applied_migrations_.contains(rec.spec.migration_id)) {
+        return util::Status::ok();
+      }
+      apply_migrate_in_(rec);
+      return util::Status::ok();
+    }
+    case JournalRecordType::kMigrateOut: {
+      const MigrationSpec spec = MigrationSpec::decode(dec);
+      RPROXY_RETURN_IF_ERROR(dec.finish());
+      apply_migrate_out_(spec);
+      return util::Status::ok();
+    }
   }
   return util::fail(ErrorCode::kParseError,
                     "journal record " + std::to_string(record.lsn) +
@@ -835,6 +949,52 @@ util::Status AccountingServer::apply_cashier_(const CashierRecord& rec) {
   return util::Status::ok();
 }
 
+void AccountingServer::apply_migrate_in_(const MigrateInRecord& rec) {
+  for (const MigratedAccount& migrated : rec.accounts) {
+    // insert_or_assign: a stale local copy (e.g. a range migrating back)
+    // is replaced wholesale by the exporter's authoritative state.
+    open_account_(migrated.name, migrated.owner, migrated.balances);
+    Account* acct = find_account_(migrated.name);
+    for (const MigratedAccount::Hold& hold : migrated.holds) {
+      // The exported balance already includes the held amount; re-placing
+      // the hold only re-marks it unavailable.  A hold that no longer fits
+      // (possible only under the dedup-off double-import ablation) is
+      // dropped rather than wedging recovery.
+      if (!acct->place_hold(hold.currency,
+                            static_cast<std::int64_t>(hold.amount))
+               .is_ok()) {
+        continue;
+      }
+      certified_[{hold.payor, hold.check_number}] =
+          CertifiedHold{hold.payor, migrated.name, hold.currency, hold.amount,
+                        hold.expires_at};
+    }
+  }
+  if (config_.enable_dedup) {
+    applied_migrations_.insert(rec.spec.migration_id);
+  }
+}
+
+void AccountingServer::apply_migrate_out_(const MigrationSpec& spec) {
+  for (auto it = accounts_.begin(); it != accounts_.end();) {
+    const std::string& name = it->first;
+    const bool exempt = name == kCashierAccount || name.rfind("peer:", 0) == 0;
+    if (!exempt && spec.covers(name)) {
+      for (auto cert = certified_.begin(); cert != certified_.end();) {
+        if (cert->second.account == name) {
+          cert = certified_.erase(cert);
+        } else {
+          ++cert;
+        }
+      }
+      it = accounts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  frozen_.erase(spec.migration_id);
+}
+
 // --------------------------------------------------------------------------
 
 void AccountingServer::set_route(const PrincipalName& drawee,
@@ -845,6 +1005,146 @@ void AccountingServer::set_route(const PrincipalName& drawee,
   // will refuse all requests), which is all a void API can do.
   (void)journal_append_(JournalRecordType::kRouteSet,
                         RouteSetRecord{drawee, via});
+}
+
+util::Status AccountingServer::migration_freeze(const MigrationSpec& spec) {
+  if (spec.source != config_.name) {
+    return util::fail(ErrorCode::kProtocolError,
+                      "freeze addressed to '" + spec.source + "', not '" +
+                          config_.name + "'");
+  }
+  {
+    std::lock_guard lock(state_mutex_);
+    if (!frozen_.contains(spec.migration_id)) {
+      frozen_[spec.migration_id] = spec;
+      const util::Status logged =
+          journal_append_(JournalRecordType::kMigrateFreeze, spec);
+      if (!logged.is_ok()) return logged;
+    }
+  }
+  return commit_pending_();
+}
+
+util::Result<std::vector<MigratedAccount>> AccountingServer::migration_export(
+    const MigrationSpec& spec) const {
+  std::lock_guard lock(state_mutex_);
+  if (!frozen_.contains(spec.migration_id)) {
+    return util::fail(ErrorCode::kProtocolError,
+                      "export of migration " +
+                          std::to_string(spec.migration_id) +
+                          " before its freeze");
+  }
+  std::vector<MigratedAccount> out;
+  for (const auto& [name, account] : accounts_) {
+    const bool exempt = name == kCashierAccount || name.rfind("peer:", 0) == 0;
+    if (exempt || !spec.covers(name)) continue;
+    MigratedAccount migrated;
+    migrated.name = name;
+    migrated.owner = account.owner();
+    migrated.balances = account.balances();
+    for (const auto& [cert_key, hold] : certified_) {
+      if (hold.account == name) {
+        migrated.holds.push_back({hold.payor, cert_key.second, hold.currency,
+                                  hold.amount, hold.expires_at});
+      }
+    }
+    out.push_back(std::move(migrated));
+  }
+  return out;
+}
+
+util::Status AccountingServer::migration_import(
+    const MigrationSpec& spec, const std::vector<MigratedAccount>& accounts) {
+  if (spec.target != config_.name) {
+    return util::fail(ErrorCode::kProtocolError,
+                      "import addressed to '" + spec.target + "', not '" +
+                          config_.name + "'");
+  }
+  {
+    std::lock_guard lock(state_mutex_);
+    if (config_.enable_dedup &&
+        applied_migrations_.contains(spec.migration_id)) {
+      return util::Status::ok();  // re-driven migration: already imported
+    }
+    MigrateInRecord record{spec, accounts};
+    apply_migrate_in_(record);
+    const util::Status logged =
+        journal_append_(JournalRecordType::kMigrateIn, record);
+    if (!logged.is_ok()) return logged;
+  }
+  return commit_pending_();
+}
+
+util::Status AccountingServer::migration_evacuate(const MigrationSpec& spec) {
+  if (spec.source != config_.name) {
+    return util::fail(ErrorCode::kProtocolError,
+                      "evacuate addressed to '" + spec.source + "', not '" +
+                          config_.name + "'");
+  }
+  {
+    std::lock_guard lock(state_mutex_);
+    const bool has_freeze = frozen_.contains(spec.migration_id);
+    bool has_accounts = false;
+    for (const auto& [name, account] : accounts_) {
+      const bool exempt =
+          name == kCashierAccount || name.rfind("peer:", 0) == 0;
+      if (!exempt && spec.covers(name)) {
+        has_accounts = true;
+        break;
+      }
+    }
+    if (has_freeze || has_accounts) {
+      apply_migrate_out_(spec);
+      const util::Status logged =
+          journal_append_(JournalRecordType::kMigrateOut, spec);
+      if (!logged.is_ok()) return logged;
+    }
+  }
+  return commit_pending_();
+}
+
+bool AccountingServer::migration_applied(std::uint64_t migration_id) const {
+  std::lock_guard lock(state_mutex_);
+  return applied_migrations_.contains(migration_id);
+}
+
+std::size_t AccountingServer::frozen_range_count() const {
+  std::lock_guard lock(state_mutex_);
+  return frozen_.size();
+}
+
+util::Status AccountingServer::commit_pending_() {
+  if (t_uncommitted_lsn == 0) return util::Status::ok();
+  const std::uint64_t lsn = t_uncommitted_lsn;
+  t_uncommitted_lsn = 0;
+  const util::Status committed = log_->commit(lsn);
+  if (!committed.is_ok()) storage_dead_.store(true);
+  return committed;
+}
+
+util::Status AccountingServer::shard_gate_(const std::string& account) const {
+  if (account == kCashierAccount || account.rfind("peer:", 0) == 0) {
+    return util::Status::ok();
+  }
+  std::uint64_t version = 0;
+  if (config_.shard != nullptr &&
+      !config_.shard->owns(config_.name, account, &version)) {
+    return util::fail(ErrorCode::kWrongShard,
+                      "account '" + account + "' is not homed on shard '" +
+                          config_.name + "'",
+                      version);
+  }
+  std::lock_guard lock(state_mutex_);
+  for (const auto& [id, spec] : frozen_) {
+    if (spec.covers(account)) {
+      return util::fail(ErrorCode::kWrongShard,
+                        "account '" + account + "' is migrating to shard '" +
+                            spec.target + "' (migration " +
+                            std::to_string(id) + ")",
+                        version);
+    }
+  }
+  return util::Status::ok();
 }
 
 std::int64_t AccountingServer::uncollected_total() const {
@@ -948,6 +1248,9 @@ net::Envelope AccountingServer::handle_query_(const net::Envelope& request) {
   const AccountQueryPayload& req = parsed.value();
   const util::TimePoint now = config_.clock->now();
 
+  const util::Status owned = shard_gate_(req.account);
+  if (!owned.is_ok()) return net::make_error_reply(request, owned);
+
   auto who = authenticate_(req.identity, req.challenge_id,
                            core::request_digest("query", req.account, {}),
                            now);
@@ -986,6 +1289,13 @@ net::Envelope AccountingServer::handle_transfer_(
   if (!parsed.is_ok()) return net::make_error_reply(request, parsed.status());
   const TransferPayload& req = parsed.value();
   const util::TimePoint now = config_.clock->now();
+
+  // Both sides must be local: a cross-shard transfer rides a check cleared
+  // between the shards (ShardRouter does this), never a direct transfer.
+  for (const std::string* account : {&req.from_account, &req.to_account}) {
+    const util::Status owned = shard_gate_(*account);
+    if (!owned.is_ok()) return net::make_error_reply(request, owned);
+  }
 
   auto who = authenticate_(
       req.identity, req.challenge_id,
@@ -1032,6 +1342,9 @@ net::Envelope AccountingServer::handle_certify_(const net::Envelope& request) {
   if (!parsed.is_ok()) return net::make_error_reply(request, parsed.status());
   const CertifyPayload& req = parsed.value();
   const util::TimePoint now = config_.clock->now();
+
+  const util::Status owned = shard_gate_(req.account);
+  if (!owned.is_ok()) return net::make_error_reply(request, owned);
 
   auto who = authenticate_(req.identity, req.challenge_id,
                            core::request_digest("certify", req.account,
@@ -1134,6 +1447,9 @@ net::Envelope AccountingServer::handle_cashier_(
   const CashierPayload& req = parsed.value();
   const util::TimePoint now = config_.clock->now();
 
+  const util::Status owned = shard_gate_(req.account);
+  if (!owned.is_ok()) return net::make_error_reply(request, owned);
+
   auto who = authenticate_(req.identity, req.challenge_id,
                            core::request_digest("cashier", req.account,
                                                 {{req.currency, req.amount}}),
@@ -1210,6 +1526,14 @@ net::Envelope AccountingServer::handle_deposit_(const net::Envelope& request) {
     }
   }
 
+  // The collection account must be homed here.  Gated after the dedup
+  // lookup on purpose: a replayed deposit settled before a migration moved
+  // the account must still get its original reply back.
+  {
+    const util::Status owned = shard_gate_(req.collect_account);
+    if (!owned.is_ok()) return net::make_error_reply(request, owned);
+  }
+
   auto who = authenticate_(req.identity, req.challenge_id,
                            deposit_digest(req), now);
   if (!who.is_ok()) return net::make_error_reply(request, who.status());
@@ -1244,6 +1568,12 @@ util::Result<DepositReplyPayload> AccountingServer::settle_(
                           verifier_.verify_chain(req.check.chain, now));
   RPROXY_ASSIGN_OR_RETURN(CheckTerms terms,
                           parse_check_terms(req.check, verified));
+
+  // The payor account must (still) be homed here: a check drawn on an
+  // account that is frozen for migration — or already handed to another
+  // shard by a cutover this server has seen — must bounce instead of
+  // debiting state the evacuation is about to delete.
+  RPROXY_RETURN_IF_ERROR(shard_gate_(terms.payor_local_account));
 
   // Evaluate the check's restrictions as the drawee: grantee chain (the
   // presenter plus every identity-signed endorsement, plus ourselves as the

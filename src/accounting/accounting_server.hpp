@@ -20,8 +20,11 @@
 #include <mutex>
 #include <optional>
 
+#include <set>
+
 #include "accounting/account.hpp"
 #include "accounting/check.hpp"
+#include "accounting/sharding/shard_map.hpp"
 #include "core/challenge_registry.hpp"
 #include "core/revocation.hpp"
 #include "net/retry.hpp"
@@ -157,6 +160,47 @@ struct CashierReplyPayload {
 /// Local account that backs cashier's checks.
 inline constexpr std::string_view kCashierAccount = "cashier";
 
+/// One rebalance/split operation (DESIGN.md §5g): move every account whose
+/// stable_hash64 falls in [lo, hi] (inclusive) from shard `source` to shard
+/// `target`.  The id makes the whole protocol idempotent — a crashed
+/// migration is simply re-driven under the same id and every completed step
+/// no-ops.
+struct MigrationSpec {
+  std::uint64_t migration_id = 0;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  PrincipalName source;
+  PrincipalName target;
+
+  void encode(wire::Encoder& enc) const;
+  static MigrationSpec decode(wire::Decoder& dec);
+
+  [[nodiscard]] bool covers(std::string_view account) const {
+    const std::uint64_t h = sharding::stable_hash64(account);
+    return h >= lo && h <= hi;
+  }
+};
+
+/// One account's portable state: balances plus its outstanding certified
+/// holds (keyed by payor + check number like the server's own table).
+struct MigratedAccount {
+  struct Hold {
+    PrincipalName payor;
+    std::uint64_t check_number = 0;
+    Currency currency;
+    std::uint64_t amount = 0;
+    util::TimePoint expires_at = 0;
+  };
+
+  std::string name;
+  PrincipalName owner;
+  Balances balances;
+  std::vector<Hold> holds;
+
+  void encode(wire::Encoder& enc) const;
+  static MigratedAccount decode(wire::Decoder& dec);
+};
+
 /// Object name a certification proxy asserts.
 [[nodiscard]] std::string certified_check_object(std::uint64_t check_number);
 
@@ -174,6 +218,9 @@ enum class JournalRecordType : std::uint16_t {
   kForeignSettled = 6,  ///< foreign check collected from the drawee
   kCashier = 7,         ///< cashier's check funded
   kRevocation = 8,      ///< revocation-registry event observed
+  kMigrateFreeze = 9,   ///< source: hash range frozen for migration
+  kMigrateIn = 10,      ///< target: migrated accounts imported
+  kMigrateOut = 11,     ///< source: migrated range evacuated, freeze lifted
 };
 
 class AccountingServer final : public net::Node {
@@ -225,6 +272,13 @@ class AccountingServer final : public net::Node {
     /// into snapshots, so revocations survive a crash-restart.  nullptr
     /// disables revocation.
     core::RevocationRegistry* revocation = nullptr;
+    /// Shard gate (DESIGN.md §5g): when set, every request naming a client
+    /// account this shard does not own under the current map is refused
+    /// with kWrongShard (Status::detail() = deciding map version) so the
+    /// client refreshes its map and re-routes.  Infrastructure accounts
+    /// (cashier, peer:* settlement) are exempt.  nullptr = single-bank
+    /// mode, gate open.  Not owned; must be safe for concurrent lookups.
+    const sharding::ShardView* shard = nullptr;
   };
 
   explicit AccountingServer(Config config);
@@ -260,8 +314,8 @@ class AccountingServer final : public net::Node {
   /// registry (its state is monotonic, so merging is safe and
   /// order-insensitive).  Fails (state untouched) on a wrong key,
   /// tampering, or a truncated / unknown-version payload.  Accepts the
-  /// current v4 format and the earlier v3 (pre-revocation) and v2
-  /// (pre-routes) formats.
+  /// current v5 format and the earlier v4 (pre-migration), v3
+  /// (pre-revocation) and v2 (pre-routes) formats.
   [[nodiscard]] util::Status restore(const crypto::SymmetricKey& key,
                                      util::BytesView snapshot);
 
@@ -289,6 +343,39 @@ class AccountingServer final : public net::Node {
   /// Config::fsync_policy is storage::FsyncPolicy::kGroup).
   [[nodiscard]] storage::JournalWriter::GroupStats journal_group_stats()
       const;
+
+  // ---- Rebalance / migration (DESIGN.md §5g) -----------------------------
+  //
+  // Driven by sharding::migrate_range in freeze -> export -> import (target)
+  // -> map cutover -> evacuate order.  Every step is journaled on the server
+  // it mutates and idempotent under the spec's migration_id, so a crashed
+  // migration is re-driven from the top and completed steps no-op.
+
+  /// Source: stops serving accounts in the spec's range (they answer
+  /// kWrongShard) so the subsequent export is stable.  Journaled; idempotent.
+  [[nodiscard]] util::Status migration_freeze(const MigrationSpec& spec);
+
+  /// Source: portable state of every frozen in-range account (cashier and
+  /// peer:* settlement accounts never migrate).  Requires the freeze.
+  [[nodiscard]] util::Result<std::vector<MigratedAccount>> migration_export(
+      const MigrationSpec& spec) const;
+
+  /// Target: installs the exported accounts and their certified holds.
+  /// Journaled as one kMigrateIn record; idempotent under migration_id
+  /// (re-imports replay nothing — unless Config::enable_dedup is off, the
+  /// chaos ablation that shows why the id tracking exists).
+  [[nodiscard]] util::Status migration_import(
+      const MigrationSpec& spec, const std::vector<MigratedAccount>& accounts);
+
+  /// Source: deletes the migrated accounts and lifts the freeze.  Run only
+  /// after the map cutover points the range at the target.  Journaled;
+  /// idempotent.
+  [[nodiscard]] util::Status migration_evacuate(const MigrationSpec& spec);
+
+  /// True once migration_import(spec) has been applied here.
+  [[nodiscard]] bool migration_applied(std::uint64_t migration_id) const;
+  /// Number of ranges currently frozen for migration on this source.
+  [[nodiscard]] std::size_t frozen_range_count() const;
 
   /// Value credited but not yet collected from peer servers.
   [[nodiscard]] std::int64_t uncollected_total() const;
@@ -406,6 +493,15 @@ class AccountingServer final : public net::Node {
     void encode(wire::Encoder& enc) const;
     static CashierRecord decode(wire::Decoder& dec);
   };
+  /// kMigrateFreeze and kMigrateOut journal the MigrationSpec itself;
+  /// kMigrateIn journals the spec plus the imported accounts.
+  struct MigrateInRecord {
+    MigrationSpec spec;
+    std::vector<MigratedAccount> accounts;
+
+    void encode(wire::Encoder& enc) const;
+    static MigrateInRecord decode(wire::Decoder& dec);
+  };
 
   /// Authenticates a request's identity proof against its challenge and
   /// request digest; returns the principal.
@@ -435,6 +531,22 @@ class AccountingServer final : public net::Node {
       const DepositPayload& req, util::TimePoint now);
 
   void purge_expired_holds_(util::TimePoint now);
+
+  /// Shard gate: OK unless `account` is a client account this shard does
+  /// not own (Config::shard) or one inside a range frozen for migration —
+  /// both answer kWrongShard with the deciding map version in detail().
+  /// Takes state_mutex_ itself; must NOT be called with it held.
+  [[nodiscard]] util::Status shard_gate_(const std::string& account) const;
+
+  /// Commits the thread's pending group-commit LSN (no-op otherwise).
+  /// Mirrors the barrier in handle() for the direct-call migration API;
+  /// call with state_mutex_ released.
+  [[nodiscard]] util::Status commit_pending_();
+
+  /// In-memory effect of a kMigrateIn record (state_mutex_ held).
+  void apply_migrate_in_(const MigrateInRecord& rec);
+  /// In-memory effect of a kMigrateOut record (state_mutex_ held).
+  void apply_migrate_out_(const MigrationSpec& spec);
 
   /// Dedup lookup with state_mutex_ already held; nullptr on miss.
   [[nodiscard]] const CompletedOp* find_completed_(const DedupTable& table,
@@ -503,6 +615,12 @@ class AccountingServer final : public net::Node {
   /// log a restarted server needs to keep honoring retried operations.
   DedupTable completed_deposits_;
   DedupTable completed_certifies_;
+  /// Active migration freezes on this source, keyed by migration id.
+  /// Accounts in a frozen range answer kWrongShard until evacuation.
+  std::map<std::uint64_t, MigrationSpec> frozen_;
+  /// Migration ids already imported here (the exactly-once guard for
+  /// kMigrateIn).  Snapshotted (v5) like the dedup tables.
+  std::set<std::uint64_t> applied_migrations_;
   /// The write-ahead log; engaged by recover() when storage is on.
   /// Appends happen under state_mutex_.
   std::optional<storage::LogDir> log_;

@@ -1,0 +1,66 @@
+#include "accounting/sharding/hash_ring.hpp"
+
+#include <string>
+
+namespace rproxy::accounting::sharding {
+
+std::uint64_t stable_hash64(std::string_view s) {
+  // FNV-1a 64.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  // SplitMix64 finalizer.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+void HashRing::add_shard(const PrincipalName& shard, std::uint32_t vnodes) {
+  remove_shard(shard);
+  std::string label;
+  for (std::uint32_t i = 0; i < vnodes; ++i) {
+    label.assign(shard);
+    label.push_back('#');
+    label.append(std::to_string(i));
+    // Colliding positions keep the lexically-earlier first inserter; with a
+    // 64-bit ring this is astronomically rare and either owner is a valid
+    // deterministic choice (std::map::emplace keeps the existing entry, and
+    // membership changes rebuild arcs from scratch anyway).
+    ring_.emplace(stable_hash64(label), shard);
+  }
+  weights_[shard] = vnodes;
+}
+
+void HashRing::remove_shard(const PrincipalName& shard) {
+  const auto it = weights_.find(shard);
+  if (it == weights_.end()) return;
+  for (auto rit = ring_.begin(); rit != ring_.end();) {
+    if (rit->second == shard) {
+      rit = ring_.erase(rit);
+    } else {
+      ++rit;
+    }
+  }
+  weights_.erase(it);
+}
+
+const PrincipalName* HashRing::shard_for(std::string_view key) const {
+  if (ring_.empty()) return nullptr;
+  const auto it = ring_.lower_bound(stable_hash64(key));
+  if (it == ring_.end()) return &ring_.begin()->second;  // wrap
+  return &it->second;
+}
+
+std::vector<PrincipalName> HashRing::shards() const {
+  std::vector<PrincipalName> out;
+  out.reserve(weights_.size());
+  for (const auto& [name, weight] : weights_) out.push_back(name);
+  return out;
+}
+
+}  // namespace rproxy::accounting::sharding

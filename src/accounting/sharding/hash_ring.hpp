@@ -1,0 +1,66 @@
+// Consistent-hash ring over accounting shards (DESIGN.md §5g).
+//
+// Accounts are partitioned across N accounting-server shards by hashing the
+// account id onto a ring of virtual nodes.  Virtual nodes smooth the load
+// (a shard owns many small arcs instead of one big one), and consistent
+// hashing keeps key movement minimal when a shard joins or leaves: only the
+// arcs adjacent to the affected virtual nodes change owner.
+//
+// Placement must be identical on every node that ever computes it — the
+// router, each shard's own gate, and the migration driver — across
+// processes and across compiler/stdlib versions.  std::hash gives no such
+// guarantee, so the ring hashes with an explicitly specified function
+// (FNV-1a 64 finalized with the SplitMix64 mixer).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "util/names.hpp"
+
+namespace rproxy::accounting::sharding {
+
+/// Platform-stable 64-bit hash: FNV-1a over the octets, then the SplitMix64
+/// finalizer to break up FNV's weak low bits (which would cluster virtual
+/// nodes).  Part of the shard-placement contract — never change it without
+/// a map-version migration story.
+[[nodiscard]] std::uint64_t stable_hash64(std::string_view s);
+
+/// The ring.  Deterministic: the same (shard, vnodes) memberships produce
+/// the same placement everywhere.
+class HashRing {
+ public:
+  /// Virtual nodes per shard when the caller does not say otherwise.  128
+  /// keeps the max/mean shard load under ~1.25 at large key counts (see
+  /// tests/accounting/hash_ring_test.cpp) at a few KiB of ring per shard.
+  static constexpr std::uint32_t kDefaultVnodes = 128;
+
+  /// Adds (or re-adds with a new weight) a shard.  Virtual node i of shard
+  /// S sits at stable_hash64("S#i").
+  void add_shard(const PrincipalName& shard,
+                 std::uint32_t vnodes = kDefaultVnodes);
+
+  /// Removes a shard and all its virtual nodes.
+  void remove_shard(const PrincipalName& shard);
+
+  /// The shard owning `key`: the first virtual node at or clockwise after
+  /// stable_hash64(key), wrapping at the top.  nullptr iff the ring is
+  /// empty.  The pointer is invalidated by the next add/remove.
+  [[nodiscard]] const PrincipalName* shard_for(std::string_view key) const;
+
+  [[nodiscard]] std::size_t shard_count() const { return weights_.size(); }
+  [[nodiscard]] bool empty() const { return ring_.empty(); }
+
+  /// Member shards in name order.
+  [[nodiscard]] std::vector<PrincipalName> shards() const;
+
+ private:
+  /// vnode position -> owning shard.
+  std::map<std::uint64_t, PrincipalName> ring_;
+  /// shard -> vnode count (so re-add/remove can drop exactly its vnodes).
+  std::map<PrincipalName, std::uint32_t> weights_;
+};
+
+}  // namespace rproxy::accounting::sharding

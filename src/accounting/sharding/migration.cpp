@@ -1,0 +1,51 @@
+#include "accounting/sharding/migration.hpp"
+
+namespace rproxy::accounting::sharding {
+
+util::Status migrate_range(AccountingServer& source, AccountingServer& target,
+                           ShardDirectory& dir,
+                           const MigrationSpec& spec) {
+  // 1. Freeze: from here the source answers kWrongShard for the range, so
+  //    the export below reads a stable image.  Journaled; a re-drive after
+  //    a completed run briefly re-freezes an (empty) range and step 5
+  //    lifts it again.
+  RPROXY_RETURN_IF_ERROR(source.migration_freeze(spec));
+
+  // 2. Export the frozen accounts (balances + certified holds).
+  RPROXY_ASSIGN_OR_RETURN(
+      const std::vector<MigratedAccount> accounts,
+      source.migration_export(spec));
+
+  // 3. Import at the target: one journaled record, exactly-once via the
+  //    target's applied-migrations set.
+  RPROXY_RETURN_IF_ERROR(target.migration_import(spec, accounts));
+
+  // 4. Cutover: publish a map that routes the range to the target.  Skip
+  //    the install when a previous (crashed) run already published this
+  //    exact override — bumping the version again would needlessly churn
+  //    every client's map.
+  const auto snapshot = dir.snapshot();
+  ShardMap map = snapshot ? snapshot->map() : ShardMap{};
+  bool published = false;
+  for (const auto& over : map.overrides) {
+    if (over.lo == spec.lo && over.hi == spec.hi &&
+        over.shard == spec.target) {
+      published = true;
+      break;
+    }
+  }
+  if (!published) {
+    map.version += 1;
+    map.overrides.push_back({spec.lo, spec.hi, spec.target});
+    if (!dir.install(std::move(map)) && dir.version() == 0) {
+      return util::fail(util::ErrorCode::kInternal,
+                        "shard map install rejected during cutover");
+    }
+  }
+
+  // 5. Evacuate: the source deletes the moved accounts and lifts the
+  //    freeze (journaled).  From here the range lives only on the target.
+  return source.migration_evacuate(spec);
+}
+
+}  // namespace rproxy::accounting::sharding

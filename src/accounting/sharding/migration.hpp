@@ -1,0 +1,32 @@
+// Range-migration driver: moves a hash range of accounts shard-to-shard.
+//
+// The driver sequences the five migration steps against two in-process
+// AccountingServers and the shared ShardDirectory:
+//
+//   freeze -> export -> import -> map cutover -> evacuate
+//
+// Every step is idempotent under the MigrationSpec's migration_id — freeze
+// and evacuate are journaled on the source, import is one journaled record
+// on the target guarded by its applied-migrations set — so a crash of
+// either shard (or of the driver) at ANY point is recovered by restarting
+// the crashed shard from its journal and re-driving migrate_range with the
+// same spec: completed steps no-op, the rest finish the job.  The chaos
+// suite (tests/chaos/chaos_sharding_test.cpp) kills shards at every
+// CrashPoint in this sequence and asserts global conservation.
+#pragma once
+
+#include "accounting/accounting_server.hpp"
+
+namespace rproxy::accounting::sharding {
+
+/// Drives one range migration end-to-end.  Safe to call again with the
+/// same spec after a crash; returns only when the range is owned by
+/// `spec.target`, the map in `dir` routes it there, and the source has
+/// evacuated the moved accounts.
+[[nodiscard]] util::Status migrate_range(AccountingServer& source,
+                                         AccountingServer& target,
+                                         ShardDirectory& dir,
+                                         const MigrationSpec&
+                                             spec);
+
+}  // namespace rproxy::accounting::sharding

@@ -1,0 +1,96 @@
+#include "accounting/sharding/shard_map.hpp"
+
+namespace rproxy::accounting::sharding {
+
+void ShardMap::encode(wire::Encoder& enc) const {
+  enc.u64(version);
+  enc.seq(shards, [](wire::Encoder& e, const Entry& s) {
+    e.str(s.shard);
+    e.u32(s.vnodes);
+  });
+  enc.seq(overrides, [](wire::Encoder& e, const Override& o) {
+    e.u64(o.lo);
+    e.u64(o.hi);
+    e.str(o.shard);
+  });
+}
+
+ShardMap ShardMap::decode(wire::Decoder& dec) {
+  ShardMap m;
+  m.version = dec.u64();
+  m.shards = dec.seq<Entry>([](wire::Decoder& d) {
+    Entry s;
+    s.shard = d.str();
+    s.vnodes = d.u32();
+    return s;
+  });
+  m.overrides = dec.seq<Override>([](wire::Decoder& d) {
+    Override o;
+    o.lo = d.u64();
+    o.hi = d.u64();
+    o.shard = d.str();
+    return o;
+  });
+  return m;
+}
+
+CompiledMap::CompiledMap(ShardMap map) : map_(std::move(map)) {
+  for (const auto& entry : map_.shards) {
+    ring_.add_shard(entry.shard, entry.vnodes);
+  }
+}
+
+const PrincipalName* CompiledMap::home(std::string_view account) const {
+  const std::uint64_t h = stable_hash64(account);
+  // Later overrides win: a range re-migrated onward just appends its new
+  // home, so scan newest-first.
+  for (auto it = map_.overrides.rbegin(); it != map_.overrides.rend(); ++it) {
+    if (h >= it->lo && h <= it->hi) return &it->shard;
+  }
+  return ring_.shard_for(account);
+}
+
+bool ShardDirectory::install(ShardMap map) {
+  auto compiled = std::make_shared<const CompiledMap>(std::move(map));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (current_ && compiled->version() <= current_->version()) return false;
+  current_ = std::move(compiled);
+  return true;
+}
+
+std::shared_ptr<const CompiledMap> ShardDirectory::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+std::uint64_t ShardDirectory::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_ ? current_->version() : 0;
+}
+
+bool ShardDirectory::owns(const PrincipalName& shard, std::string_view account,
+                          std::uint64_t* version) const {
+  const auto map = snapshot();
+  if (version != nullptr) *version = map ? map->version() : 0;
+  if (!map) return true;  // no map installed: single-bank mode, gate open
+  const PrincipalName* home = map->home(account);
+  return home == nullptr || *home == shard;
+}
+
+PrincipalName ShardDirectory::home(std::string_view account) const {
+  const auto map = snapshot();
+  if (!map) return {};
+  const PrincipalName* h = map->home(account);
+  return h ? *h : PrincipalName{};
+}
+
+ShardMap uniform_map(std::vector<PrincipalName> shards, std::uint64_t version,
+                     std::uint32_t vnodes) {
+  ShardMap m;
+  m.version = version;
+  m.shards.reserve(shards.size());
+  for (auto& s : shards) m.shards.push_back({std::move(s), vnodes});
+  return m;
+}
+
+}  // namespace rproxy::accounting::sharding

@@ -1,0 +1,114 @@
+// Versioned shard map (DESIGN.md §5g).
+//
+// The map is the single routing truth shared — eventually — by routers and
+// shards: a monotonically versioned document naming the member shards (ring
+// placement) plus explicit hash-range overrides laid down by rebalance/
+// migration cutovers.  Shards gate every request against their view of the
+// map and answer kWrongShard (carrying the deciding version in
+// Status::detail()) when they do not own the named account; clients treat
+// that as "refresh the map and re-route once", never as a transport retry.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "accounting/sharding/hash_ring.hpp"
+#include "wire/decoder.hpp"
+#include "wire/encoder.hpp"
+
+namespace rproxy::accounting::sharding {
+
+/// The wire/document form of the map.
+struct ShardMap {
+  struct Entry {
+    PrincipalName shard;
+    std::uint32_t vnodes = HashRing::kDefaultVnodes;
+  };
+  /// A migration cutover: accounts whose stable_hash64 falls in [lo, hi]
+  /// (inclusive) live on `shard` regardless of the ring.  Later overrides
+  /// win over earlier ones, so a re-migrated range just appends.
+  struct Override {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    PrincipalName shard;
+  };
+
+  std::uint64_t version = 0;
+  std::vector<Entry> shards;
+  std::vector<Override> overrides;
+
+  void encode(wire::Encoder& enc) const;
+  static ShardMap decode(wire::Decoder& dec);
+};
+
+/// A map compiled for lookups: ring built, overrides checked newest-first.
+/// Immutable after construction, hence freely shared across threads.
+class CompiledMap {
+ public:
+  explicit CompiledMap(ShardMap map);
+
+  /// The shard owning `account`; nullptr iff the map names no shards.
+  [[nodiscard]] const PrincipalName* home(std::string_view account) const;
+
+  [[nodiscard]] std::uint64_t version() const { return map_.version; }
+  [[nodiscard]] const ShardMap& map() const { return map_; }
+
+ private:
+  ShardMap map_;
+  HashRing ring_;
+};
+
+/// A shard-side (or router-side) view of the current map.  Implementations
+/// must be safe against concurrent lookup/install.
+class ShardView {
+ public:
+  virtual ~ShardView() = default;
+
+  /// True when `shard` owns `account` under the current map.  `version`
+  /// (when non-null) receives the deciding map version — the value a
+  /// kWrongShard error carries back to the client.
+  [[nodiscard]] virtual bool owns(const PrincipalName& shard,
+                                  std::string_view account,
+                                  std::uint64_t* version) const = 0;
+};
+
+/// The standard ShardView: holds the latest installed map and swaps in
+/// strictly newer ones.  One directory instance is typically shared by
+/// every co-located shard plus the map service; a router embeds its own.
+class ShardDirectory final : public ShardView {
+ public:
+  ShardDirectory() = default;
+  explicit ShardDirectory(ShardMap initial) { (void)install(std::move(initial)); }
+
+  /// Installs `map` iff its version is strictly newer than the current
+  /// one (false = stale, ignored).  Version ties are rejected too: equal
+  /// versions must be identical documents, so there is nothing to learn.
+  bool install(ShardMap map);
+
+  /// The current compiled map (nullptr until the first install).
+  [[nodiscard]] std::shared_ptr<const CompiledMap> snapshot() const;
+
+  /// Installed map version; 0 before the first install.
+  [[nodiscard]] std::uint64_t version() const;
+
+  [[nodiscard]] bool owns(const PrincipalName& shard, std::string_view account,
+                          std::uint64_t* version) const override;
+
+  /// The home shard of `account` under the current map; empty string until
+  /// a map with members is installed.
+  [[nodiscard]] PrincipalName home(std::string_view account) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const CompiledMap> current_;
+};
+
+/// Convenience: a uniform ring map over `shards` at `version`.
+[[nodiscard]] ShardMap uniform_map(std::vector<PrincipalName> shards,
+                                   std::uint64_t version,
+                                   std::uint32_t vnodes = HashRing::kDefaultVnodes);
+
+}  // namespace rproxy::accounting::sharding

@@ -1,0 +1,140 @@
+#include "accounting/sharding/shard_router.hpp"
+
+#include "crypto/random.hpp"
+#include "net/rpc.hpp"
+
+namespace rproxy::accounting::sharding {
+
+net::Envelope ShardMapService::handle(const net::Envelope& request) {
+  if (request.type != net::MsgType::kShardMapRequest) {
+    return net::make_error_reply(
+        request, util::fail(util::ErrorCode::kProtocolError,
+                                    "unexpected message type for map service"));
+  }
+  const auto map = dir_.snapshot();
+  if (!map) {
+    return net::make_error_reply(
+        request, util::fail(util::ErrorCode::kUnavailable,
+                                    "no shard map installed"));
+  }
+  return net::make_reply(request, net::MsgType::kShardMapReply, map->map());
+}
+
+ShardRouter::ShardRouter(Config config, ShardMap initial_map)
+    : config_(std::move(config)),
+      client_(*config_.net, *config_.clock, config_.self,
+              config_.identity_cert, config_.identity_key),
+      next_check_number_(crypto::random_u64()) {
+  if (initial_map.version != 0 || !initial_map.shards.empty()) {
+    dir_.install(std::move(initial_map));
+  }
+}
+
+util::Result<AccountReplyPayload> ShardRouter::query(
+    const std::string& account) {
+  for (int attempt = 0;; ++attempt) {
+    const PrincipalName shard = dir_.home(account);
+    if (shard.empty()) {
+      return util::fail(util::ErrorCode::kUnavailable,
+                                "no shard map installed in router");
+    }
+    auto result = client_.query(shard, account);
+    if (result.is_ok() ||
+        result.status().code() != util::ErrorCode::kWrongShard ||
+        attempt > 0) {
+      return result;
+    }
+    redirects_.fetch_add(1);
+    // If the refresh itself fails, surface the original kWrongShard: the
+    // refresh error (e.g. kUnavailable with no map service configured)
+    // must not trick a retry layer into blind-retrying a routing error.
+    if (!refresh_map_(result.status().detail()).is_ok()) return result;
+  }
+}
+
+util::Status ShardRouter::transfer(const std::string& from,
+                                   const std::string& to,
+                                   const Currency& currency,
+                                   std::uint64_t amount) {
+  for (int attempt = 0;; ++attempt) {
+    const PrincipalName source = dir_.home(from);
+    const PrincipalName target = dir_.home(to);
+    if (source.empty() || target.empty()) {
+      return util::fail(util::ErrorCode::kUnavailable,
+                                "no shard map installed in router");
+    }
+    util::Status status;
+    if (source == target) {
+      status = client_.transfer(source, from, to, currency, amount);
+      if (status.is_ok()) {
+        intra_.fetch_add(1);
+        return status;
+      }
+    } else {
+      status = cross_shard_transfer_(source, target, from, to, currency,
+                                     amount);
+      if (status.is_ok()) {
+        cross_.fetch_add(1);
+        return status;
+      }
+    }
+    // Exactly one refresh + re-route per operation: kWrongShard means the
+    // routing decision was stale, not that the request can eventually
+    // succeed where it was sent.  Anything else — including a second
+    // kWrongShard after a refresh — surfaces to the caller.
+    if (status.code() != util::ErrorCode::kWrongShard || attempt > 0) {
+      return status;
+    }
+    redirects_.fetch_add(1);
+    if (!refresh_map_(status.detail()).is_ok()) return status;
+  }
+}
+
+util::Status ShardRouter::cross_shard_transfer_(
+    const PrincipalName& source_shard, const PrincipalName& target_shard,
+    const std::string& from, const std::string& to, const Currency& currency,
+    std::uint64_t amount) {
+  // The transfer is a check drawn on the source shard, payable to the
+  // router's principal, deposited at the target shard.  The target collects
+  // through the source (the clearing chain of §4), which settles by
+  // debiting `from` and crediting its inter-shard settlement account; the
+  // target credits `to` when collection succeeds.  Dedup tables on both
+  // shards plus the journal make re-drives of the same check exactly-once.
+  const Check check = write_check(
+      config_.self, config_.identity_key, AccountId{source_shard, from},
+      /*payee=*/config_.self, currency, amount,
+      next_check_number_.fetch_add(1), config_.clock->now(),
+      config_.check_lifetime);
+  auto deposited = client_.endorse_and_deposit(target_shard, check, to);
+  return deposited.status();
+}
+
+util::Status ShardRouter::refresh_map() { return refresh_map_(0); }
+
+util::Status ShardRouter::refresh_map_(std::uint64_t min_version) {
+  if (config_.map_service.empty()) {
+    return util::fail(
+        util::ErrorCode::kUnavailable,
+        "router has no map service to refresh from", min_version);
+  }
+  net::Envelope request;
+  request.from = config_.self;
+  request.to = config_.map_service;
+  request.type = net::MsgType::kShardMapRequest;
+  RPROXY_ASSIGN_OR_RETURN(const net::Envelope reply,
+                          config_.net->rpc(std::move(request)));
+  RPROXY_RETURN_IF_ERROR(net::status_of(reply));
+  if (reply.type != net::MsgType::kShardMapReply) {
+    return util::fail(util::ErrorCode::kProtocolError,
+                              "unexpected reply type from map service");
+  }
+  RPROXY_ASSIGN_OR_RETURN(ShardMap map,
+                          wire::decode_from_bytes<ShardMap>(reply.payload));
+  refreshes_.fetch_add(1);
+  // An older-or-equal map is fine (another thread may have refreshed
+  // first); install() keeps the newest either way.
+  dir_.install(std::move(map));
+  return util::Status::ok();
+}
+
+}  // namespace rproxy::accounting::sharding

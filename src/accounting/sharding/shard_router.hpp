@@ -1,0 +1,140 @@
+// Routing tier over sharded accounting servers (DESIGN.md §5g).
+//
+// The router is a thin client-side library (usable standalone, or embedded
+// in a stateless router node) that owns a versioned shard map and steers
+// each operation to the account's home shard.  Intra-shard transfers go to
+// the one shard directly; cross-shard transfers ride the EXISTING clearing
+// machinery — the payor's shard and the payee's shard are just two "banks"
+// and the transfer is a check cleared between them (§4), so exactly-once
+// dedup (PR 4) and the write-ahead journal (PR 5) already make the path
+// retry- and crash-safe.
+//
+// Authorization stays client<->shard on purpose: possession proofs are
+// bound to a per-shard challenge, so a forwarding middlebox CANNOT re-sign
+// a request on the client's behalf.  The router therefore never proxies
+// credentials — it only decides where the client-signed exchange happens
+// (the capability-decentralization argument of the ICN paper in PAPERS.md).
+//
+// kWrongShard discipline: a shard that does not own the named account
+// answers ErrorCode::kWrongShard with the deciding map version in
+// Status::detail().  The router refreshes its map (from the map service)
+// and re-routes ONCE.  It is deliberately NOT a transport error — the
+// retry layer (net::RetryPolicy) never blind-retries it, because the same
+// request at the same shard can only fail the same way.
+#pragma once
+
+#include <atomic>
+
+#include "accounting/clearing.hpp"
+#include "accounting/sharding/shard_map.hpp"
+
+namespace rproxy::accounting::sharding {
+
+/// Serves the current shard map over kShardMapRequest (read-only; installs
+/// happen through the shared ShardDirectory, typically by the migration
+/// driver).
+class ShardMapService final : public net::Node {
+ public:
+  ShardMapService(PrincipalName name, const ShardDirectory& dir)
+      : name_(std::move(name)), dir_(dir) {}
+
+  net::Envelope handle(const net::Envelope& request) override;
+
+  [[nodiscard]] const PrincipalName& name() const { return name_; }
+
+ private:
+  PrincipalName name_;
+  const ShardDirectory& dir_;
+};
+
+/// Drives authenticated accounting operations for one principal across a
+/// fleet of shards.  Thread-compatible like AccountingClient: share one
+/// router across threads only for the map-refresh paths exercised by the
+/// concurrency tests (map install/lookup are internally locked); the
+/// underlying client operations themselves assume one caller at a time.
+class ShardRouter {
+ public:
+  struct Config {
+    net::SimNet* net = nullptr;
+    const util::Clock* clock = nullptr;
+    PrincipalName self;
+    pki::IdentityCert identity_cert;
+    crypto::SigningKeyPair identity_key;
+    /// Node answering kShardMapRequest; empty disables refresh (the
+    /// router then trusts its installed map and surfaces kWrongShard).
+    PrincipalName map_service;
+    /// Validity of the checks that carry cross-shard transfers.
+    util::Duration check_lifetime = 5 * util::kMinute;
+  };
+
+  ShardRouter(Config config, ShardMap initial_map);
+
+  /// Balances of `account`, routed to its home shard.
+  [[nodiscard]] util::Result<AccountReplyPayload> query(
+      const std::string& account);
+
+  /// Moves funds `from` -> `to`.  Same home shard: one direct transfer.
+  /// Different shards: a check drawn on the source shard, endorsed and
+  /// deposited at the destination shard, which collects from the source
+  /// through the clearing chain.
+  [[nodiscard]] util::Status transfer(const std::string& from,
+                                      const std::string& to,
+                                      const Currency& currency,
+                                      std::uint64_t amount);
+
+  /// Installs a newer map directly (admin/test path; the kWrongShard path
+  /// refreshes from the map service on its own).
+  bool install_map(ShardMap map) { return dir_.install(std::move(map)); }
+
+  /// Forces a map refresh from the map service now.
+  [[nodiscard]] util::Status refresh_map();
+
+  [[nodiscard]] std::uint64_t map_version() const { return dir_.version(); }
+  [[nodiscard]] PrincipalName home(const std::string& account) const {
+    return dir_.home(account);
+  }
+
+  /// Retry policy for the underlying per-shard operations (transport
+  /// errors only; kWrongShard is handled above this layer).
+  void set_retry_policy(net::RetryPolicy policy) {
+    client_.set_retry_policy(policy);
+  }
+
+  // Observability.
+  [[nodiscard]] std::uint64_t intra_shard_transfers() const {
+    return intra_.load();
+  }
+  [[nodiscard]] std::uint64_t cross_shard_transfers() const {
+    return cross_.load();
+  }
+  /// kWrongShard answers that triggered a refresh + re-route.
+  [[nodiscard]] std::uint64_t wrong_shard_redirects() const {
+    return redirects_.load();
+  }
+  [[nodiscard]] std::uint64_t map_refreshes() const {
+    return refreshes_.load();
+  }
+
+  [[nodiscard]] const PrincipalName& self() const { return client_.self(); }
+
+ private:
+  /// Refreshes from the map service because a shard decided with
+  /// `min_version` (0 = unsolicited).
+  [[nodiscard]] util::Status refresh_map_(std::uint64_t min_version);
+
+  [[nodiscard]] util::Status cross_shard_transfer_(
+      const PrincipalName& source_shard, const PrincipalName& target_shard,
+      const std::string& from, const std::string& to,
+      const Currency& currency, std::uint64_t amount);
+
+  Config config_;
+  ShardDirectory dir_;
+  AccountingClient client_;
+  std::atomic<std::uint64_t> next_check_number_;
+  std::atomic<std::uint64_t> intra_{0};
+  std::atomic<std::uint64_t> cross_{0};
+  std::atomic<std::uint64_t> redirects_{0};
+  std::atomic<std::uint64_t> refreshes_{0};
+};
+
+}  // namespace rproxy::accounting::sharding

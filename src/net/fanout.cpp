@@ -1,0 +1,186 @@
+#include "net/fanout.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "net/tcp_transport.hpp"
+
+namespace rproxy::net {
+
+using util::ErrorCode;
+
+util::Status FanoutClient::connect(const std::string& key,
+                                   const std::string& host,
+                                   std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return util::fail(ErrorCode::kInternal, "socket() failed");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return util::fail(ErrorCode::kInternal, "bad address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return util::fail(ErrorCode::kNotFound, "cannot connect to " + host + ":" +
+                                                std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  auto [it, inserted] = connections_.try_emplace(key);
+  if (!inserted && it->second.fd >= 0) ::close(it->second.fd);
+  it->second = Connection{};
+  it->second.fd = fd;
+  return util::Status::ok();
+}
+
+util::Status FanoutClient::send(const std::string& key,
+                                const Envelope& request) {
+  auto it = connections_.find(key);
+  if (it == connections_.end() || it->second.fd < 0) {
+    return util::fail(ErrorCode::kInternal,
+                      "no connection under key '" + key + "'");
+  }
+  wire::Encoder enc;
+  encode_envelope(enc, request);
+  const util::BytesView body = enc.view();
+  const auto len = static_cast<std::uint32_t>(body.size());
+  util::Bytes frame(4 + body.size());
+  frame[0] = static_cast<std::uint8_t>(len >> 24);
+  frame[1] = static_cast<std::uint8_t>(len >> 16);
+  frame[2] = static_cast<std::uint8_t>(len >> 8);
+  frame[3] = static_cast<std::uint8_t>(len);
+  std::memcpy(frame.data() + 4, body.data(), body.size());
+
+  std::size_t done = 0;
+  while (done < frame.size()) {
+    const ssize_t put =
+        ::send(it->second.fd, frame.data() + done, frame.size() - done,
+               MSG_NOSIGNAL);
+    if (put >= 0) {
+      done += static_cast<std::size_t>(put);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    ::close(it->second.fd);
+    it->second.fd = -1;
+    return util::fail(ErrorCode::kUnavailable,
+                      "send to '" + key + "' failed");
+  }
+  it->second.inflight += 1;
+  return util::Status::ok();
+}
+
+bool FanoutClient::peel_frame_(Connection& conn, util::Bytes& frame_out) {
+  if (conn.buffer.size() < 4) return false;
+  const std::uint32_t len = (std::uint32_t{conn.buffer[0]} << 24) |
+                            (std::uint32_t{conn.buffer[1]} << 16) |
+                            (std::uint32_t{conn.buffer[2]} << 8) |
+                            std::uint32_t{conn.buffer[3]};
+  // A hostile/corrupt length is handled by the caller as a dead
+  // connection: surface it as an oversized frame it will never complete.
+  if (len > kMaxFrameBytes || conn.buffer.size() < 4 + std::size_t{len}) {
+    return false;
+  }
+  frame_out.assign(conn.buffer.begin() + 4, conn.buffer.begin() + 4 + len);
+  conn.buffer.erase(conn.buffer.begin(), conn.buffer.begin() + 4 + len);
+  return true;
+}
+
+util::Result<FanoutClient::Completion> FanoutClient::next(int timeout_ms) {
+  if (inflight() == 0) {
+    return util::fail(ErrorCode::kProtocolError, "next() with nothing in flight");
+  }
+  while (true) {
+    // Serve buffered frames first, scanning round-robin from just past the
+    // last key served so a flood on one connection cannot starve others.
+    std::vector<std::string> keys;
+    keys.reserve(connections_.size());
+    for (auto it = connections_.upper_bound(last_served_);
+         it != connections_.end(); ++it) {
+      keys.push_back(it->first);
+    }
+    for (auto it = connections_.begin();
+         it != connections_.end() && it->first <= last_served_; ++it) {
+      keys.push_back(it->first);
+    }
+    for (const std::string& key : keys) {
+      Connection& conn = connections_[key];
+      if (conn.inflight == 0) continue;
+      util::Bytes frame;
+      if (!peel_frame_(conn, frame)) continue;
+      wire::Decoder dec(frame);
+      Envelope reply = decode_envelope(dec);
+      RPROXY_RETURN_IF_ERROR(dec.finish());
+      conn.inflight -= 1;
+      last_served_ = key;
+      return Completion{key, std::move(reply)};
+    }
+
+    // Nothing buffered: poll every connection that still owes a reply.
+    std::vector<pollfd> fds;
+    std::vector<std::string> fd_keys;
+    for (auto& [key, conn] : connections_) {
+      if (conn.inflight == 0 || conn.fd < 0) continue;
+      fds.push_back({conn.fd, POLLIN, 0});
+      fd_keys.push_back(key);
+    }
+    if (fds.empty()) {
+      return util::fail(ErrorCode::kUnavailable,
+                        "all connections owing replies are closed");
+    }
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return util::fail(ErrorCode::kInternal, "poll() failed");
+    }
+    if (ready == 0) {
+      return util::fail(ErrorCode::kTimeout,
+                        "no reply on any connection within the timeout");
+    }
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      Connection& conn = connections_[fd_keys[i]];
+      std::uint8_t chunk[16 * 1024];
+      const ssize_t got = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+      if (got > 0) {
+        conn.buffer.insert(conn.buffer.end(), chunk, chunk + got);
+        continue;
+      }
+      if (got < 0 && errno == EINTR) continue;
+      // Peer hung up (or hard error) while still owing replies.
+      ::close(conn.fd);
+      conn.fd = -1;
+      return util::fail(ErrorCode::kUnavailable,
+                        "connection '" + fd_keys[i] +
+                            "' closed with replies in flight");
+    }
+  }
+}
+
+std::size_t FanoutClient::inflight() const {
+  std::size_t total = 0;
+  for (const auto& [key, conn] : connections_) total += conn.inflight;
+  return total;
+}
+
+void FanoutClient::close() {
+  for (auto& [key, conn] : connections_) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  connections_.clear();
+  last_served_.clear();
+}
+
+}  // namespace rproxy::net

@@ -1,0 +1,77 @@
+// Multi-connection fan-out client.
+//
+// TcpClient::rpc_pipelined keeps many requests in flight, but only on ONE
+// connection — its collect loop blocks on that connection's next reply, so
+// a caller talking to several servers (a shard router spraying transfers
+// across a fleet) would let the slowest server stall replies that other
+// servers have already produced.  FanoutClient holds one pipelined
+// connection per peer and multiplexes the collect side with poll():
+// next() returns the earliest completed reply from ANY connection, while
+// replies on each individual connection still come back in request order
+// (the per-connection server contract is unchanged).
+//
+// Not thread-safe; use one per driving thread, like TcpClient.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "net/message.hpp"
+
+namespace rproxy::net {
+
+class FanoutClient {
+ public:
+  FanoutClient() = default;
+  ~FanoutClient() { close(); }
+  FanoutClient(const FanoutClient&) = delete;
+  FanoutClient& operator=(const FanoutClient&) = delete;
+
+  /// Opens a pipelined connection to host:port under `key` (replacing any
+  /// previous connection with that key).  `key` is the caller's name for
+  /// the peer — e.g. the shard principal — and labels completions.
+  [[nodiscard]] util::Status connect(const std::string& key,
+                                     const std::string& host,
+                                     std::uint16_t port);
+
+  /// Queues `request` on `key`'s connection.  The frame is written
+  /// immediately (requests are small relative to socket buffers, so the
+  /// write does not block in practice) and the reply is collected later
+  /// via next().
+  [[nodiscard]] util::Status send(const std::string& key,
+                                  const Envelope& request);
+
+  struct Completion {
+    std::string key;  ///< connection the reply arrived on
+    Envelope reply;
+  };
+
+  /// Blocks until ANY connection completes a reply and returns it.
+  /// `timeout_ms` < 0 waits forever; expiry surfaces as kTimeout.  Calling
+  /// with nothing in flight is a protocol error.  Drains connections
+  /// fairly (round-robin over readiness), so one chatty peer cannot
+  /// starve the rest.
+  [[nodiscard]] util::Result<Completion> next(int timeout_ms = -1);
+
+  /// Replies still owed across all connections.
+  [[nodiscard]] std::size_t inflight() const;
+
+  void close();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::size_t inflight = 0;
+    util::Bytes buffer;  ///< bytes read but not yet peeled into frames
+  };
+
+  /// Extracts one complete frame from `conn`'s buffer, if present.
+  [[nodiscard]] bool peel_frame_(Connection& conn, util::Bytes& frame_out);
+
+  std::map<std::string, Connection> connections_;
+  /// Round-robin cursor: the key AFTER which the next scan starts.
+  std::string last_served_;
+};
+
+}  // namespace rproxy::net

@@ -32,6 +32,8 @@ std::string_view msg_type_name(MsgType t) {
     case MsgType::kTransferReply: return "TransferReply";
     case MsgType::kCashierRequest: return "CashierRequest";
     case MsgType::kCashierReply: return "CashierReply";
+    case MsgType::kShardMapRequest: return "ShardMapRequest";
+    case MsgType::kShardMapReply: return "ShardMapReply";
     case MsgType::kSollinsVerify: return "SollinsVerify";
     case MsgType::kSollinsVerifyReply: return "SollinsVerifyReply";
     case MsgType::kPullAuthzQuery: return "PullAuthzQuery";
@@ -54,24 +56,27 @@ std::size_t Envelope::wire_size() const {
 void ErrorPayload::encode(wire::Encoder& enc) const {
   enc.u16(code);
   enc.str(message);
+  enc.u64(detail);
 }
 
 ErrorPayload ErrorPayload::decode(wire::Decoder& dec) {
   ErrorPayload p;
   p.code = dec.u16();
   p.message = dec.str();
+  p.detail = dec.u64();
   return p;
 }
 
 util::Status ErrorPayload::to_status() const {
   if (code == 0) return util::Status::ok();
-  return util::Status(static_cast<util::ErrorCode>(code), message);
+  return util::Status(static_cast<util::ErrorCode>(code), message, detail);
 }
 
 ErrorPayload ErrorPayload::from_status(const util::Status& s) {
   ErrorPayload p;
   p.code = static_cast<std::uint16_t>(s.code());
   p.message = s.message();
+  p.detail = s.detail();
   return p;
 }
 

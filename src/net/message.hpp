@@ -65,6 +65,8 @@ enum class MsgType : std::uint16_t {
   kTransferReply = 531,
   kCashierRequest = 540,   ///< buy a cashier's check (drawn on the bank)
   kCashierReply = 541,
+  kShardMapRequest = 550,  ///< client/router -> map service: current map
+  kShardMapReply = 551,
 
   // Baselines (baseline/).
   kSollinsVerify = 600,      ///< end-server -> auth server: verify passport
@@ -94,10 +96,13 @@ struct Envelope {
   [[nodiscard]] std::size_t wire_size() const;
 };
 
-/// Standard error payload: carries a Status back to the caller.
+/// Standard error payload: carries a Status back to the caller.  `detail`
+/// is the Status's machine-readable payload (e.g. the shard-map version
+/// behind a kWrongShard redirect); 0 when unused.
 struct ErrorPayload {
   std::uint16_t code = 0;
   std::string message;
+  std::uint64_t detail = 0;
 
   void encode(wire::Encoder& enc) const;
   static ErrorPayload decode(wire::Decoder& dec);

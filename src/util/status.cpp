@@ -19,6 +19,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kUnavailable: return "Unavailable";
     case ErrorCode::kInternal: return "Internal";
     case ErrorCode::kRevoked: return "Revoked";
+    case ErrorCode::kWrongShard: return "WrongShard";
   }
   return "Unknown";
 }

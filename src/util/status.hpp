@@ -56,6 +56,12 @@ enum class ErrorCode {
   /// (§3.1: "revocable via the grantor's rights").  Distinct from kExpired —
   /// the credential is inside its validity period but the grant was killed.
   kRevoked,
+  /// The request named an account this shard does not own under the current
+  /// shard map.  Status::detail() carries the map version the server decided
+  /// with, so a client can tell a stale local map ("refresh and re-route
+  /// once") from a genuinely misdirected request.  NOT a transport error:
+  /// retry policies must never blind-retry it.
+  kWrongShard,
 };
 
 /// Human-readable name of an ErrorCode ("BadSignature", ...).
@@ -76,6 +82,13 @@ class [[nodiscard]] Status {
     assert(code != ErrorCode::kOk && "use Status::ok() for success");
   }
 
+  /// Constructs a failure carrying a machine-readable detail value (e.g.
+  /// kWrongShard's shard-map version).
+  Status(ErrorCode code, std::string message, std::uint64_t detail)
+      : code_(code), message_(std::move(message)), detail_(detail) {
+    assert(code != ErrorCode::kOk && "use Status::ok() for success");
+  }
+
   /// The OK singleton-by-value.
   [[nodiscard]] static Status ok() { return Status(); }
 
@@ -84,6 +97,8 @@ class [[nodiscard]] Status {
 
   [[nodiscard]] ErrorCode code() const { return code_; }
   [[nodiscard]] const std::string& message() const { return message_; }
+  /// Code-specific machine-readable payload; 0 unless the producer set one.
+  [[nodiscard]] std::uint64_t detail() const { return detail_; }
 
   /// "OK" or "BadSignature: mac mismatch".
   [[nodiscard]] std::string to_string() const;
@@ -95,6 +110,7 @@ class [[nodiscard]] Status {
  private:
   ErrorCode code_ = ErrorCode::kOk;
   std::string message_;
+  std::uint64_t detail_ = 0;
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& s);
@@ -103,6 +119,12 @@ std::ostream& operator<<(std::ostream& os, const Status& s);
 ///   return fail(ErrorCode::kExpired, "proxy expired at ...");
 [[nodiscard]] inline Status fail(ErrorCode code, std::string message) {
   return Status(code, std::move(message));
+}
+
+/// Failure with a machine-readable detail value.
+[[nodiscard]] inline Status fail(ErrorCode code, std::string message,
+                                 std::uint64_t detail) {
+  return Status(code, std::move(message), detail);
 }
 
 /// Outcome of a fallible operation that produces a T on success.

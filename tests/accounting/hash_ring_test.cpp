@@ -1,0 +1,141 @@
+// Consistent-hash ring: the placement function every shard and every
+// client must agree on.  Determinism is therefore load-bearing — the
+// golden values pin the hash across processes, compilers, and future
+// refactors; if one ever changes, every deployed shard map is invalid.
+#include "accounting/sharding/hash_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rproxy::accounting::sharding {
+namespace {
+
+TEST(StableHash, GoldenValuesPinCrossProcessPlacement) {
+  // Computed once from the FNV-1a/SplitMix64 definition; a client built
+  // tomorrow on another machine must place accounts identically.
+  EXPECT_EQ(stable_hash64("alice-acct"), 0xe4ebee4ce121053fULL);
+  EXPECT_EQ(stable_hash64("bob-acct"), 0x60830e75d36d9884ULL);
+  EXPECT_EQ(stable_hash64("acct-000042"), 0x966a4bb29533ddc3ULL);
+  // Vnode labels go through the same function.
+  EXPECT_EQ(stable_hash64("shard-a#0"), 0xf96244b156d20022ULL);
+  EXPECT_NE(stable_hash64(""), 0u);
+}
+
+TEST(StableHash, GoldenRingPlacement) {
+  HashRing ring;
+  ring.add_shard("shard-a", 64);
+  ring.add_shard("shard-b", 64);
+  ring.add_shard("shard-c", 64);
+  EXPECT_EQ(*ring.shard_for("alice-acct"), "shard-a");
+  EXPECT_EQ(*ring.shard_for("bob-acct"), "shard-b");
+  EXPECT_EQ(*ring.shard_for("acct-000042"), "shard-b");
+}
+
+TEST(HashRing, IndependentlyBuiltRingsAgree) {
+  // Same membership, different insertion order: identical placement.
+  HashRing a;
+  a.add_shard("s1", HashRing::kDefaultVnodes);
+  a.add_shard("s2", HashRing::kDefaultVnodes);
+  a.add_shard("s3", HashRing::kDefaultVnodes);
+  HashRing b;
+  b.add_shard("s3", HashRing::kDefaultVnodes);
+  b.add_shard("s1", HashRing::kDefaultVnodes);
+  b.add_shard("s2", HashRing::kDefaultVnodes);
+  for (int i = 0; i < 10000; ++i) {
+    const std::string key = "acct-" + std::to_string(i);
+    ASSERT_EQ(*a.shard_for(key), *b.shard_for(key)) << key;
+  }
+}
+
+TEST(HashRing, EmptyRingPlacesNothing) {
+  HashRing ring;
+  EXPECT_EQ(ring.shard_for("anything"), nullptr);
+  ring.add_shard("only", 8);
+  ring.remove_shard("only");
+  EXPECT_EQ(ring.shard_for("anything"), nullptr);
+}
+
+TEST(HashRing, LoadIsBalancedAcrossAMillionKeys) {
+  // 8 shards x 128 vnodes: per-shard share of 1M keys must be within
+  // ±35% of fair (the standard-deviation bound for 128 vnodes is ~10%,
+  // so this has slack without letting a placement bug through).
+  constexpr int kShards = 8;
+  constexpr int kKeys = 1'000'000;
+  HashRing ring;
+  for (int s = 0; s < kShards; ++s) {
+    ring.add_shard("shard-" + std::to_string(s), HashRing::kDefaultVnodes);
+  }
+  std::map<PrincipalName, int> counts;
+  for (int i = 0; i < kKeys; ++i) {
+    counts[*ring.shard_for("acct-" + std::to_string(i))] += 1;
+  }
+  ASSERT_EQ(counts.size(), static_cast<std::size_t>(kShards));
+  const int fair = kKeys / kShards;
+  for (const auto& [shard, count] : counts) {
+    EXPECT_GT(count, fair * 65 / 100) << shard << " underloaded";
+    EXPECT_LT(count, fair * 135 / 100) << shard << " overloaded";
+  }
+}
+
+TEST(HashRing, AddingAShardMovesOnlyItsShareOfKeys) {
+  constexpr int kKeys = 100'000;
+  HashRing before;
+  for (int s = 0; s < 4; ++s) {
+    before.add_shard("shard-" + std::to_string(s), HashRing::kDefaultVnodes);
+  }
+  HashRing after = before;
+  after.add_shard("shard-4", HashRing::kDefaultVnodes);
+
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "acct-" + std::to_string(i);
+    const PrincipalName& dst = *after.shard_for(key);
+    if (dst != *before.shard_for(key)) {
+      moved += 1;
+      // Consistent hashing's whole point: keys only ever move TO the new
+      // shard, never between the old ones.
+      EXPECT_EQ(dst, "shard-4") << key;
+    }
+  }
+  // The new shard's fair share is 1/5; allow up to 1.6x fair, and require
+  // that a meaningful share actually moved (an all-or-nothing rehash
+  // would fail one of the two).
+  EXPECT_GT(moved, kKeys / 10);
+  EXPECT_LT(moved, kKeys * 32 / 100);
+}
+
+TEST(HashRing, RemovingAShardStrandsNoKeysAndMovesOnlyItsKeys) {
+  constexpr int kKeys = 100'000;
+  HashRing before;
+  for (int s = 0; s < 5; ++s) {
+    before.add_shard("shard-" + std::to_string(s), HashRing::kDefaultVnodes);
+  }
+  HashRing after = before;
+  after.remove_shard("shard-2");
+
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "acct-" + std::to_string(i);
+    const PrincipalName& src = *before.shard_for(key);
+    const PrincipalName& dst = *after.shard_for(key);
+    ASSERT_NE(dst, "shard-2") << key << " still placed on removed shard";
+    if (src != "shard-2") {
+      // Keys not on the removed shard must not move at all.
+      ASSERT_EQ(src, dst) << key;
+    }
+  }
+}
+
+TEST(HashRing, ShardsListsSortedMembership) {
+  HashRing ring;
+  ring.add_shard("zeta", 8);
+  ring.add_shard("alpha", 8);
+  EXPECT_EQ(ring.shards(), (std::vector<PrincipalName>{"alpha", "zeta"}));
+  ring.remove_shard("zeta");
+  EXPECT_EQ(ring.shards(), (std::vector<PrincipalName>{"alpha"}));
+}
+
+}  // namespace
+}  // namespace rproxy::accounting::sharding

@@ -1,0 +1,102 @@
+// Versioned shard map + directory: codec, override precedence, and the
+// install ordering that keeps every party monotonically up to date.
+#include "accounting/sharding/shard_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wire/decoder.hpp"
+#include "wire/encoder.hpp"
+
+namespace rproxy::accounting::sharding {
+namespace {
+
+ShardMap three_shard_map(std::uint64_t version) {
+  return uniform_map({"s1", "s2", "s3"}, version, HashRing::kDefaultVnodes);
+}
+
+TEST(ShardMap, CodecRoundTrips) {
+  ShardMap map = three_shard_map(7);
+  map.overrides.push_back({100, 200, "s2"});
+  map.overrides.push_back({150, 160, "s3"});
+
+  const util::Bytes bytes = wire::encode_to_bytes(map);
+  auto decoded = wire::decode_from_bytes<ShardMap>(bytes);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status();
+  EXPECT_EQ(decoded.value().version, 7u);
+  ASSERT_EQ(decoded.value().shards.size(), 3u);
+  EXPECT_EQ(decoded.value().shards[0].shard, "s1");
+  EXPECT_EQ(decoded.value().shards[0].vnodes, HashRing::kDefaultVnodes);
+  ASSERT_EQ(decoded.value().overrides.size(), 2u);
+  EXPECT_EQ(decoded.value().overrides[1].shard, "s3");
+}
+
+TEST(CompiledMap, OverridesBeatTheRingAndNewestOverrideWins) {
+  ShardMap map = three_shard_map(1);
+  const std::uint64_t h = stable_hash64("pinned-acct");
+  // First migration sends the account's range to s2; a later one moves it
+  // onward to s3.  Both overrides stay in the map; the newest must win.
+  map.overrides.push_back({h, h, "s2"});
+  const CompiledMap once(map);
+  ASSERT_NE(once.home("pinned-acct"), nullptr);
+  EXPECT_EQ(*once.home("pinned-acct"), "s2");
+
+  map.version = 2;
+  map.overrides.push_back({h, h, "s3"});
+  const CompiledMap twice(map);
+  EXPECT_EQ(*twice.home("pinned-acct"), "s3");
+
+  // An account outside every override still follows the ring.
+  const CompiledMap plain(three_shard_map(1));
+  EXPECT_EQ(*twice.home("free-acct"), *plain.home("free-acct"));
+}
+
+TEST(ShardDirectory, InstallsOnlyStrictlyNewerMaps) {
+  ShardDirectory dir;
+  EXPECT_EQ(dir.version(), 0u);
+  EXPECT_TRUE(dir.install(three_shard_map(3)));
+  EXPECT_EQ(dir.version(), 3u);
+  // Same version: rejected (ties would let two different maps with one
+  // version number fight forever).
+  EXPECT_FALSE(dir.install(three_shard_map(3)));
+  EXPECT_FALSE(dir.install(three_shard_map(2)));
+  EXPECT_TRUE(dir.install(three_shard_map(4)));
+  EXPECT_EQ(dir.version(), 4u);
+}
+
+TEST(ShardDirectory, OwnsIsOpenInSingleBankMode) {
+  // No map installed: every server owns every account, so a fleet of one
+  // (or a pre-sharding deployment) needs no configuration at all.
+  ShardDirectory dir;
+  std::uint64_t version = 99;
+  EXPECT_TRUE(dir.owns("anybody", "any-acct", &version));
+  EXPECT_EQ(version, 0u);
+  EXPECT_EQ(dir.home("any-acct"), PrincipalName{});
+}
+
+TEST(ShardDirectory, OwnsFollowsTheInstalledMap) {
+  ShardDirectory dir;
+  ASSERT_TRUE(dir.install(three_shard_map(1)));
+  const PrincipalName home = dir.home("acct-1");
+  ASSERT_FALSE(home.empty());
+  std::uint64_t version = 0;
+  EXPECT_TRUE(dir.owns(home, "acct-1", &version));
+  EXPECT_EQ(version, 1u);
+  for (const char* other : {"s1", "s2", "s3"}) {
+    if (other == home) continue;
+    EXPECT_FALSE(dir.owns(other, "acct-1", nullptr));
+  }
+}
+
+TEST(ShardDirectory, SnapshotIsStableAcrossInstalls) {
+  // A reader holding a snapshot keeps routing against it even while a new
+  // map is installed (shared_ptr pin, no torn reads).
+  ShardDirectory dir;
+  ASSERT_TRUE(dir.install(three_shard_map(1)));
+  const auto pinned = dir.snapshot();
+  ASSERT_TRUE(dir.install(uniform_map({"s1"}, 2, HashRing::kDefaultVnodes)));
+  EXPECT_EQ(pinned->version(), 1u);
+  EXPECT_EQ(dir.snapshot()->version(), 2u);
+}
+
+}  // namespace
+}  // namespace rproxy::accounting::sharding

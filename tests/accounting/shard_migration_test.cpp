@@ -1,0 +1,243 @@
+// Range migration: freeze -> export -> import -> cutover -> evacuate,
+// idempotent at every step, crash-recoverable from the journal, and
+// invisible to clients beyond one kWrongShard redirect.
+#include "accounting/sharding/migration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "accounting/sharding/shard_router.hpp"
+#include "testing/env.hpp"
+#include "testing/tempdir.hpp"
+
+namespace rproxy {
+namespace {
+
+using accounting::AccountingServer;
+using accounting::MigrationSpec;
+using accounting::sharding::ShardDirectory;
+using accounting::sharding::ShardMapService;
+using accounting::sharding::ShardRouter;
+using accounting::sharding::stable_hash64;
+using accounting::sharding::uniform_map;
+using rproxy::testing::World;
+
+/// A spec that moves exactly `account` (lo == hi == its hash).
+MigrationSpec spec_for(const std::string& account, std::uint64_t id,
+                       PrincipalName source, PrincipalName target) {
+  MigrationSpec spec;
+  spec.migration_id = id;
+  spec.lo = stable_hash64(account);
+  spec.hi = spec.lo;
+  spec.source = std::move(source);
+  spec.target = std::move(target);
+  return spec;
+}
+
+struct MigrationWorld {
+  World world;
+  ShardDirectory dir;
+  std::unique_ptr<AccountingServer> s1;
+  std::unique_ptr<AccountingServer> s2;
+  std::string acct;  ///< an account homed on s1 under the v1 map
+
+  MigrationWorld() {
+    world.add_principal("router");
+    world.add_principal("s1");
+    world.add_principal("s2");
+    EXPECT_TRUE(dir.install(uniform_map({"s1", "s2"}, 1)));
+    const auto gated = [&](const char* name) {
+      auto config = world.accounting_config(name);
+      config.shard = &dir;
+      return config;
+    };
+    s1 = std::make_unique<AccountingServer>(gated("s1"));
+    s2 = std::make_unique<AccountingServer>(gated("s2"));
+    world.net.attach("s1", *s1);
+    world.net.attach("s2", *s2);
+    for (int i = 0;; ++i) {
+      const std::string name = "migr-acct-" + std::to_string(i);
+      if (dir.home(name) == "s1") {
+        acct = name;
+        break;
+      }
+    }
+    s1->open_account(acct, "router", accounting::Balances{{"usd", 500}});
+  }
+};
+
+TEST(ShardMigration, MovesTheAccountAndReroutesClients) {
+  MigrationWorld w;
+  const MigrationSpec spec = spec_for(w.acct, 1, "s1", "s2");
+  ASSERT_TRUE(
+      accounting::sharding::migrate_range(*w.s1, *w.s2, w.dir, spec).is_ok());
+
+  // Gone from the source, whole at the target, map bumped with an override.
+  EXPECT_EQ(w.s1->account(w.acct), nullptr);
+  ASSERT_NE(w.s2->account(w.acct), nullptr);
+  EXPECT_EQ(w.s2->account(w.acct)->balances().balance("usd"), 500);
+  EXPECT_EQ(w.dir.version(), 2u);
+  EXPECT_EQ(w.dir.home(w.acct), "s2");
+  EXPECT_EQ(w.s1->frozen_range_count(), 0u);
+  EXPECT_TRUE(w.s2->migration_applied(1));
+
+  // A client with the OLD map redirects once and lands on the target.
+  ShardMapService map_service("shard-map", w.dir);
+  w.world.net.attach("shard-map", map_service);
+  ShardRouter::Config config;
+  config.net = &w.world.net;
+  config.clock = &w.world.clock;
+  config.self = "router";
+  config.identity_cert = w.world.principal("router").cert;
+  config.identity_key = w.world.principal("router").identity;
+  config.map_service = "shard-map";
+  ShardRouter router(std::move(config), uniform_map({"s1", "s2"}, 1));
+  auto reply = router.query(w.acct);
+  ASSERT_TRUE(reply.is_ok()) << reply.status();
+  EXPECT_EQ(reply.value().balances.balance("usd"), 500);
+  EXPECT_EQ(router.wrong_shard_redirects(), 1u);
+  EXPECT_EQ(router.map_version(), 2u);
+}
+
+TEST(ShardMigration, FrozenRangeBouncesWritesUntilCutover) {
+  MigrationWorld w;
+  const MigrationSpec spec = spec_for(w.acct, 1, "s1", "s2");
+  ASSERT_TRUE(w.s1->migration_freeze(spec).is_ok());
+  EXPECT_EQ(w.s1->frozen_range_count(), 1u);
+
+  // Mid-migration, the account is write-fenced at the source...
+  auto client = w.world.accounting_client("router");
+  auto frozen = client.query("s1", w.acct);
+  ASSERT_FALSE(frozen.is_ok());
+  EXPECT_EQ(frozen.status().code(), util::ErrorCode::kWrongShard);
+
+  // ...and a check drawn on it bounces instead of debiting state the
+  // evacuation is about to delete.
+  const accounting::Check check = accounting::write_check(
+      "router", w.world.principal("router").identity, AccountId{"s1", w.acct},
+      "router", "usd", 10, 99, w.world.clock.now(), util::kHour);
+  auto deposit = client.endorse_and_deposit("s1", check, "peer:test");
+  ASSERT_FALSE(deposit.is_ok());
+  EXPECT_EQ(deposit.status().code(), util::ErrorCode::kWrongShard);
+
+  // Finishing the migration lifts the freeze and the account serves again
+  // at the target.
+  ASSERT_TRUE(
+      accounting::sharding::migrate_range(*w.s1, *w.s2, w.dir, spec).is_ok());
+  EXPECT_EQ(w.s1->frozen_range_count(), 0u);
+  EXPECT_TRUE(client.query("s2", w.acct).is_ok());
+}
+
+TEST(ShardMigration, ReDrivingACompletedMigrationIsIdempotent) {
+  MigrationWorld w;
+  const MigrationSpec spec = spec_for(w.acct, 1, "s1", "s2");
+  ASSERT_TRUE(
+      accounting::sharding::migrate_range(*w.s1, *w.s2, w.dir, spec).is_ok());
+  const std::uint64_t version_after = w.dir.version();
+  // Crash-driver re-drive: every step no-ops; balances do not double and
+  // the map is not churned with a new version.
+  ASSERT_TRUE(
+      accounting::sharding::migrate_range(*w.s1, *w.s2, w.dir, spec).is_ok());
+  EXPECT_EQ(w.s2->account(w.acct)->balances().balance("usd"), 500);
+  EXPECT_EQ(w.dir.version(), version_after);
+  EXPECT_EQ(w.s1->account(w.acct), nullptr);
+}
+
+TEST(ShardMigration, CertifiedHoldsTravelWithTheAccount) {
+  MigrationWorld w;
+  auto client = w.world.accounting_client("router");
+  // Certify a check on the account: places a hold of 200.
+  auto certified = client.certify("s1", w.acct, "payee", "usd", 200,
+                                  /*check_number=*/7, "s1");
+  ASSERT_TRUE(certified.is_ok()) << certified.status();
+  ASSERT_EQ(w.s1->account(w.acct)->available("usd"), 300);
+
+  const MigrationSpec spec = spec_for(w.acct, 1, "s1", "s2");
+  ASSERT_TRUE(
+      accounting::sharding::migrate_range(*w.s1, *w.s2, w.dir, spec).is_ok());
+  // The hold still fences the funds at the new home.
+  ASSERT_NE(w.s2->account(w.acct), nullptr);
+  EXPECT_EQ(w.s2->account(w.acct)->balances().balance("usd"), 500);
+  EXPECT_EQ(w.s2->account(w.acct)->available("usd"), 300);
+}
+
+TEST(ShardMigration, SourceCrashAfterFreezeRecoversByRedrive) {
+  // Storage-backed source: freeze is journaled, then the "process" dies.
+  // The rebooted source still fences the range, and re-driving the same
+  // spec completes the migration exactly once.
+  MigrationWorld w;
+  rproxy::testing::TempDir tmp;
+  const crypto::SymmetricKey key = crypto::SymmetricKey::generate();
+  auto config = w.world.accounting_config("s1");
+  config.shard = &w.dir;
+  config.storage_dir = tmp.sub("s1");
+  config.storage_key = key;
+  auto durable = std::make_unique<AccountingServer>(std::move(config));
+  ASSERT_TRUE(durable->recover().is_ok());
+  durable->open_account(w.acct, "router",
+                        accounting::Balances{{"usd", 500}});
+  w.world.net.attach("s1", *durable);
+
+  const MigrationSpec spec = spec_for(w.acct, 1, "s1", "s2");
+  ASSERT_TRUE(durable->migration_freeze(spec).is_ok());
+
+  // Crash: drop the instance, reboot from the journal.
+  durable.reset();
+  auto reboot_config = w.world.accounting_config("s1");
+  reboot_config.shard = &w.dir;
+  reboot_config.storage_dir = tmp.sub("s1");
+  reboot_config.storage_key = key;
+  durable = std::make_unique<AccountingServer>(std::move(reboot_config));
+  ASSERT_TRUE(durable->recover().is_ok());
+  w.world.net.attach("s1", *durable);
+  EXPECT_EQ(durable->frozen_range_count(), 1u) << "freeze lost in the crash";
+
+  ASSERT_TRUE(accounting::sharding::migrate_range(*durable, *w.s2, w.dir, spec)
+                  .is_ok());
+  EXPECT_EQ(durable->account(w.acct), nullptr);
+  EXPECT_EQ(w.s2->account(w.acct)->balances().balance("usd"), 500);
+  EXPECT_EQ(durable->frozen_range_count(), 0u);
+}
+
+TEST(ShardMigration, SnapshotCarriesMigrationState) {
+  // Snapshot v5 must round-trip the frozen set and the applied-migrations
+  // guard: a restore that lost either would re-apply an import (double
+  // money) or serve a range mid-migration.
+  MigrationWorld w;
+  const MigrationSpec spec = spec_for(w.acct, 42, "s1", "s2");
+  ASSERT_TRUE(w.s1->migration_freeze(spec).is_ok());
+  ASSERT_TRUE(w.s2->migration_import(spec, {}).is_ok());
+
+  const crypto::SymmetricKey key = crypto::SymmetricKey::generate();
+  AccountingServer restored_s1(w.world.accounting_config("s1"));
+  ASSERT_TRUE(restored_s1.restore(key, w.s1->snapshot(key)).is_ok());
+  EXPECT_EQ(restored_s1.frozen_range_count(), 1u);
+
+  AccountingServer restored_s2(w.world.accounting_config("s2"));
+  ASSERT_TRUE(restored_s2.restore(key, w.s2->snapshot(key)).is_ok());
+  EXPECT_TRUE(restored_s2.migration_applied(42));
+  EXPECT_FALSE(restored_s2.migration_applied(41));
+}
+
+TEST(ShardMigration, ExportRequiresAFreeze) {
+  MigrationWorld w;
+  const MigrationSpec spec = spec_for(w.acct, 1, "s1", "s2");
+  auto exported = w.s1->migration_export(spec);
+  ASSERT_FALSE(exported.is_ok());
+  EXPECT_EQ(exported.status().code(), util::ErrorCode::kProtocolError);
+}
+
+TEST(ShardMigration, WrongServerRejectsMigrationSteps) {
+  MigrationWorld w;
+  const MigrationSpec spec = spec_for(w.acct, 1, "s1", "s2");
+  // s2 is not the source; s1 is not the target.
+  EXPECT_EQ(w.s2->migration_freeze(spec).code(),
+            util::ErrorCode::kProtocolError);
+  EXPECT_EQ(w.s1->migration_import(spec, {}).code(),
+            util::ErrorCode::kProtocolError);
+}
+
+}  // namespace
+}  // namespace rproxy

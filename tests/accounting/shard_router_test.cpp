@@ -1,0 +1,226 @@
+// ShardRouter: placement-aware routing, cross-shard clearing, and the
+// kWrongShard refresh-and-re-route-once discipline (satellite: kWrongShard
+// must never look like a transport error to the retry layer).
+#include "accounting/sharding/shard_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "accounting/sharding/migration.hpp"
+#include "net/retry.hpp"
+#include "testing/env.hpp"
+
+namespace rproxy {
+namespace {
+
+using accounting::sharding::ShardDirectory;
+using accounting::sharding::ShardMap;
+using accounting::sharding::ShardMapService;
+using accounting::sharding::ShardRouter;
+using accounting::sharding::uniform_map;
+using rproxy::testing::World;
+
+/// Two gated shards, a map service, and a router for principal "router".
+struct ShardedWorld {
+  World world;
+  ShardDirectory dir;
+  std::unique_ptr<accounting::AccountingServer> s1;
+  std::unique_ptr<accounting::AccountingServer> s2;
+  std::unique_ptr<ShardMapService> map_service;
+
+  ShardedWorld() {
+    world.add_principal("router");
+    world.add_principal("s1");
+    world.add_principal("s2");
+    EXPECT_TRUE(dir.install(uniform_map({"s1", "s2"}, 1)));
+    const auto gated = [&](const char* name) {
+      auto config = world.accounting_config(name);
+      config.shard = &dir;
+      return config;
+    };
+    s1 = std::make_unique<accounting::AccountingServer>(gated("s1"));
+    s2 = std::make_unique<accounting::AccountingServer>(gated("s2"));
+    world.net.attach("s1", *s1);
+    world.net.attach("s2", *s2);
+    map_service = std::make_unique<ShardMapService>("shard-map", dir);
+    world.net.attach("shard-map", *map_service);
+  }
+
+  [[nodiscard]] accounting::AccountingServer& shard_of(
+      const std::string& account) {
+    return dir.home(account) == "s1" ? *s1 : *s2;
+  }
+
+  /// Finds `n` account names homed on `shard` under the current map and
+  /// opens them there for "router" with the given balance.
+  std::vector<std::string> open_on(const PrincipalName& shard, int n,
+                                   std::int64_t balance) {
+    std::vector<std::string> names;
+    for (int i = 0; static_cast<int>(names.size()) < n; ++i) {
+      const std::string name =
+          "acct-" + std::string(shard) + "-" + std::to_string(i);
+      if (dir.home(name) != shard) continue;
+      shard_of(name).open_account(name, "router",
+                                  accounting::Balances{{"usd", balance}});
+      names.push_back(name);
+    }
+    return names;
+  }
+
+  [[nodiscard]] ShardRouter router(PrincipalName map_service_name,
+                                   ShardMap initial) {
+    ShardRouter::Config config;
+    config.net = &world.net;
+    config.clock = &world.clock;
+    config.self = "router";
+    config.identity_cert = world.principal("router").cert;
+    config.identity_key = world.principal("router").identity;
+    config.map_service = std::move(map_service_name);
+    return ShardRouter(std::move(config), std::move(initial));
+  }
+};
+
+TEST(ShardRouter, IntraShardTransferGoesDirect) {
+  ShardedWorld w;
+  const auto accts = w.open_on("s1", 2, 100);
+  auto router = w.router("shard-map", uniform_map({"s1", "s2"}, 1));
+
+  ASSERT_TRUE(router.transfer(accts[0], accts[1], "usd", 30).is_ok());
+  EXPECT_EQ(router.intra_shard_transfers(), 1u);
+  EXPECT_EQ(router.cross_shard_transfers(), 0u);
+  EXPECT_EQ(w.s1->account(accts[0])->balances().balance("usd"), 70);
+  EXPECT_EQ(w.s1->account(accts[1])->balances().balance("usd"), 130);
+}
+
+TEST(ShardRouter, CrossShardTransferClearsBetweenShards) {
+  ShardedWorld w;
+  const std::string from = w.open_on("s1", 1, 100)[0];
+  const std::string to = w.open_on("s2", 1, 100)[0];
+  auto router = w.router("shard-map", uniform_map({"s1", "s2"}, 1));
+
+  ASSERT_TRUE(router.transfer(from, to, "usd", 40).is_ok());
+  EXPECT_EQ(router.cross_shard_transfers(), 1u);
+  EXPECT_EQ(w.s1->account(from)->balances().balance("usd"), 60);
+  EXPECT_EQ(w.s2->account(to)->balances().balance("usd"), 140);
+  // The source shard holds the inter-shard claim: its settlement account
+  // for s2 carries what s2's depositors collected.
+  EXPECT_EQ(w.s1->account("peer:s2")->balances().balance("usd"), 40);
+  // Exactly one settlement at the drawee shard, nothing left provisional.
+  EXPECT_EQ(w.s1->checks_cleared(), 1u);
+  EXPECT_EQ(w.s2->uncollected_total(), 0);
+}
+
+TEST(ShardRouter, QueryRoutesToTheHomeShard) {
+  ShardedWorld w;
+  const std::string acct = w.open_on("s2", 1, 77)[0];
+  auto router = w.router("shard-map", uniform_map({"s1", "s2"}, 1));
+  auto reply = router.query(acct);
+  ASSERT_TRUE(reply.is_ok()) << reply.status();
+  EXPECT_EQ(reply.value().balances.balance("usd"), 77);
+}
+
+TEST(ShardRouter, StaleMapRefreshesAndReRoutesOnce) {
+  ShardedWorld w;
+  const std::string acct = w.open_on("s2", 1, 50)[0];
+  // The router boots with a stale map that predates s2: everything homes
+  // on s1.  The fleet (shard gates + map service) has moved on to v2.
+  auto router = w.router("shard-map", uniform_map({"s1"}, /*version=*/1));
+  ASSERT_TRUE(w.dir.install(uniform_map({"s1", "s2"}, 2)));
+
+  auto reply = router.query(acct);
+  ASSERT_TRUE(reply.is_ok()) << reply.status();
+  EXPECT_EQ(reply.value().balances.balance("usd"), 50);
+  EXPECT_EQ(router.wrong_shard_redirects(), 1u);
+  EXPECT_EQ(router.map_refreshes(), 1u);
+  EXPECT_EQ(router.map_version(), 2u);
+}
+
+TEST(ShardRouter, WrongShardIsNotATransportError) {
+  // The load-bearing distinction (satellite 1): a retry policy treats
+  // kTimeout/kUnavailable as transport failures worth re-sending, but
+  // kWrongShard is a ROUTING verdict — re-sending the same request to the
+  // same shard can only fail identically.
+  const util::Status wrong =
+      util::fail(util::ErrorCode::kWrongShard, "not homed here", 7);
+  EXPECT_FALSE(net::RetryPolicy::transport_error(wrong));
+  EXPECT_EQ(wrong.detail(), 7u);
+  EXPECT_TRUE(net::RetryPolicy::transport_error(
+      util::fail(util::ErrorCode::kUnavailable, "link down")));
+
+  // Behavioral proof with a live shard: an aggressively retrying client
+  // asking the wrong shard burns exactly ONE attempt (challenge + request
+  // = 2 rpcs), not max_attempts.  query() retries as a whole unit on
+  // transport errors, so a blind retry here would show up as extra rpcs.
+  ShardedWorld w;
+  const std::string acct = w.open_on("s2", 1, 10)[0];
+  auto client = w.world.accounting_client("router");
+  net::RetryPolicy retry;
+  retry.max_attempts = 6;
+  retry.initial_backoff = 0;
+  client.set_retry_policy(retry);
+
+  const std::uint64_t rpcs_before = w.world.net.stats().rpcs;
+  auto reply = client.query("s1", acct);
+  ASSERT_FALSE(reply.is_ok());
+  EXPECT_EQ(reply.status().code(), util::ErrorCode::kWrongShard)
+      << reply.status();
+  // The shard reports which map version it decided with.
+  EXPECT_EQ(reply.status().detail(), 1u);
+  EXPECT_EQ(w.world.net.stats().rpcs - rpcs_before, 2u)
+      << "kWrongShard was blind-retried";
+}
+
+TEST(ShardRouter, RedirectWithoutMapServiceSurfacesWrongShard) {
+  // No map service configured: the router cannot refresh, so the caller
+  // must see the original kWrongShard (NOT the refresh failure, which a
+  // retry layer might mistake for a transport error).
+  ShardedWorld w;
+  const std::string acct = w.open_on("s2", 1, 10)[0];
+  auto router = w.router(/*map_service_name=*/"", uniform_map({"s1"}, 1));
+  auto reply = router.query(acct);
+  ASSERT_FALSE(reply.is_ok());
+  EXPECT_EQ(reply.status().code(), util::ErrorCode::kWrongShard);
+  EXPECT_EQ(router.wrong_shard_redirects(), 1u);
+  EXPECT_EQ(router.map_refreshes(), 0u);
+}
+
+TEST(ShardRouter, SecondWrongShardAfterRefreshIsSurfaced) {
+  // The map service itself serves a stale map (it IS the fleet map here,
+  // but the shards gate with a directory the test rolls forward without
+  // bumping the service).  Refresh cannot help; the router must give up
+  // after one redirect instead of looping.
+  ShardedWorld w;
+  const std::string acct = w.open_on("s2", 1, 10)[0];
+  // Router and service both believe v1-single-shard; the shard gate uses
+  // the real two-shard v1 directory, so s1 keeps answering kWrongShard.
+  ShardDirectory stale;
+  ASSERT_TRUE(stale.install(uniform_map({"s1"}, 1)));
+  ShardMapService stale_service("stale-map", stale);
+  w.world.net.attach("stale-map", stale_service);
+  auto router = w.router("stale-map", uniform_map({"s1"}, 1));
+
+  auto reply = router.query(acct);
+  ASSERT_FALSE(reply.is_ok());
+  EXPECT_EQ(reply.status().code(), util::ErrorCode::kWrongShard);
+  EXPECT_EQ(router.wrong_shard_redirects(), 1u);
+}
+
+TEST(ShardRouter, InfrastructureAccountsAreNeverGated)  {
+  // cashier and peer:* accounts are server-local plumbing: the gate must
+  // ignore them no matter where the map places their names.
+  ShardedWorld w;
+  const std::string from = w.open_on("s1", 1, 100)[0];
+  const std::string to = w.open_on("s2", 1, 100)[0];
+  auto router = w.router("shard-map", uniform_map({"s1", "s2"}, 1));
+  // Cross-shard clearing internally credits peer:s2 on s1 regardless of
+  // where stable_hash64("peer:s2") lands; if the gate applied, some
+  // placements would make every cross-shard transfer fail.
+  ASSERT_TRUE(router.transfer(from, to, "usd", 5).is_ok());
+  ASSERT_TRUE(router.transfer(from, to, "usd", 5).is_ok());
+  EXPECT_EQ(w.s1->account("peer:s2")->balances().balance("usd"), 10);
+}
+
+}  // namespace
+}  // namespace rproxy
