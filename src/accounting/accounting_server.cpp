@@ -377,6 +377,18 @@ util::Bytes AccountingServer::snapshot_locked_(
 
 util::Status AccountingServer::restore(const crypto::SymmetricKey& key,
                                        util::BytesView snapshot) {
+  return restore_(key, snapshot, config_.name);
+}
+
+util::Status AccountingServer::restore_replica(const PrincipalName& source,
+                                               const crypto::SymmetricKey& key,
+                                               util::BytesView snapshot) {
+  return restore_(key, snapshot, source);
+}
+
+util::Status AccountingServer::restore_(const crypto::SymmetricKey& key,
+                                        util::BytesView snapshot,
+                                        const PrincipalName& expected_server) {
   RPROXY_ASSIGN_OR_RETURN(
       util::Bytes plain,
       crypto::aead_open(key.derive_subkey(kSnapshotSealPurpose), snapshot));
@@ -395,7 +407,7 @@ util::Status AccountingServer::restore(const crypto::SymmetricKey& key,
                               version == "accounting-snapshot-v5";
   const bool has_migration = version == "accounting-snapshot-v5";
   const std::string server = dec.str();
-  if (server != config_.name) {
+  if (server != expected_server) {
     return util::fail(ErrorCode::kProtocolError,
                       "snapshot belongs to '" + server + "'");
   }
@@ -754,6 +766,71 @@ storage::JournalWriter::GroupStats AccountingServer::journal_group_stats()
 std::uint64_t AccountingServer::journal_next_lsn() const {
   std::lock_guard lock(state_mutex_);
   return log_.has_value() ? log_->next_lsn() : 1;
+}
+
+std::uint64_t AccountingServer::journal_durable_lsn() const {
+  std::lock_guard lock(state_mutex_);
+  return log_.has_value() ? log_->durable_lsn() : 0;
+}
+
+util::Result<storage::LogDir::TailRead>
+AccountingServer::journal_read_committed(std::uint64_t from_lsn,
+                                         std::size_t max_records) const {
+  // state_mutex_ then the LogDir rotation lock (shared) — the same order
+  // checkpoint() takes them (state, then rotation exclusive), so the
+  // shipper can read the tail while handlers append.
+  std::lock_guard lock(state_mutex_);
+  if (!log_.has_value()) {
+    return util::fail(ErrorCode::kUnavailable,
+                      "no storage directory recovered");
+  }
+  return log_->read_committed(from_lsn, max_records);
+}
+
+util::Result<std::optional<storage::SnapshotStore::Loaded>>
+AccountingServer::latest_snapshot() const {
+  std::lock_guard lock(state_mutex_);
+  if (!log_.has_value()) {
+    return util::fail(ErrorCode::kUnavailable,
+                      "no storage directory recovered");
+  }
+  return log_->latest_snapshot();
+}
+
+util::Status AccountingServer::apply_replicated(
+    const storage::JournalRecord& record) {
+  // Replay through the same appliers recovery uses: idempotent against the
+  // dedup tables / migration-id sets, so a shipper resending from an older
+  // watermark is harmless.
+  RPROXY_RETURN_IF_ERROR(apply_record_(record));
+  // Standbys with their own storage re-journal the record so a promoted
+  // replica is itself durable (its LSN space is local; the replicated
+  // watermark lives in the StandbyReplayer).
+  std::uint64_t pending = 0;
+  {
+    std::lock_guard lock(state_mutex_);
+    if (log_.has_value() && !storage_dead_.load()) {
+      util::Result<std::uint64_t> lsn =
+          log_->append(record.type, record.payload);
+      if (!lsn.is_ok()) {
+        storage_dead_.store(true);
+        return lsn.status();
+      }
+      if (config_.fsync_policy == storage::FsyncPolicy::kGroup) {
+        pending = lsn.value();
+      }
+    }
+  }
+  if (pending != 0) {
+    // Same barrier as handle(): commit outside state_mutex_ (log_ is
+    // engaged by recover() before replication starts and stable after).
+    const util::Status committed = log_->commit(pending);
+    if (!committed.is_ok()) {
+      storage_dead_.store(true);
+      return committed;
+    }
+  }
+  return util::Status::ok();
 }
 
 util::Status AccountingServer::apply_record_(
@@ -1172,6 +1249,18 @@ util::Result<PrincipalName> AccountingServer::authenticate_(
 }
 
 net::Envelope AccountingServer::handle(const net::Envelope& request) {
+  if (fenced_.load()) {
+    // A standby promoted itself under a newer epoch (DESIGN.md §5h): this
+    // server's history has forked from the authoritative one, so serving
+    // anything — even reads — would expose state the cluster may have
+    // rolled past.  kUnavailable (not kFenced) so clients fail over to the
+    // promoted standby through the normal retry/re-route machinery.
+    return net::make_error_reply(
+        request, util::fail(ErrorCode::kUnavailable,
+                            "accounting server '" + config_.name +
+                                "' is fenced (a newer replication epoch "
+                                "exists)"));
+  }
   if (storage_dead_.load()) {
     // The write-ahead journal failed mid-append: the in-memory state is
     // ahead of disk, so this "process" is dead until restarted through
@@ -1208,7 +1297,55 @@ net::Envelope AccountingServer::handle(const net::Envelope& request) {
                                   "' is down (group fsync failed)"));
     }
   }
+  // Semi-synchronous replication barrier (DESIGN.md §5h): a non-error
+  // reply leaves only after every standby acknowledged the durable
+  // watermark, so the set of acked operations is always a subset of what a
+  // promoted standby holds.  Error replies skip the wait — refusals carry
+  // no state a failover could lose.
+  if (config_.replication_barrier && reply.type != net::MsgType::kError) {
+    const util::Status shipped = replication_barrier_();
+    if (!shipped.is_ok()) {
+      // Withhold the reply: the operation may be applied locally, but it
+      // is not replicated, so acking it would break acked ⊆ standby-state.
+      // The client's retry lands on the promoted standby (or back here
+      // once the standbys are reachable) and the dedup tables make it
+      // exactly-once either way.
+      return net::make_error_reply(
+          request,
+          shipped.code() == ErrorCode::kFenced
+              ? shipped
+              : util::fail(ErrorCode::kUnavailable,
+                           "accounting server '" + config_.name +
+                               "' could not replicate the operation: " +
+                               shipped.to_string()));
+    }
+  }
   return reply;
+}
+
+util::Status AccountingServer::replication_barrier_() {
+  std::uint64_t target = 0;
+  {
+    std::lock_guard lock(state_mutex_);
+    if (log_.has_value() && !storage_dead_.load()) {
+      // Under kNever/kBatch the record behind this reply may not be
+      // durable yet, and the shipper only sends fsync-covered records
+      // (shipped ⊆ fsynced) — force the watermark forward first.  Under
+      // kGroup the commit barrier above already did this; the extra sync
+      // is then a cheap no-op.
+      if (log_->durable_lsn() + 1 < log_->next_lsn()) {
+        const util::Status synced = log_->sync();
+        if (!synced.is_ok()) {
+          storage_dead_.store(true);
+          return synced;
+        }
+      }
+      target = log_->durable_lsn();
+    }
+  }
+  // The wait itself runs outside state_mutex_: the shipper's RPCs (and a
+  // simulated network's nested handlers) must not stall local handlers.
+  return config_.replication_barrier(target);
 }
 
 net::Envelope AccountingServer::handle_dispatch_(

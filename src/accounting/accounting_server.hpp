@@ -17,6 +17,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <mutex>
 #include <optional>
 
@@ -279,6 +280,18 @@ class AccountingServer final : public net::Node {
     /// (cashier, peer:* settlement) are exempt.  nullptr = single-bank
     /// mode, gate open.  Not owned; must be safe for concurrent lookups.
     const sharding::ShardView* shard = nullptr;
+    /// Semi-synchronous replication barrier (DESIGN.md §5h): when set,
+    /// handle() calls it after the group-commit barrier and before any
+    /// non-error reply leaves, passing the journal's durable watermark at
+    /// that moment.  The hook (replication::JournalShipper::barrier())
+    /// returns OK once every standby has acknowledged that LSN; on
+    /// failure the reply is withheld — an acked operation must never
+    /// exist only on a primary that is about to be failed over.  The
+    /// watermark target also covers dedup-replayed replies: the record
+    /// behind a replayed reply is already durable, hence <= the watermark
+    /// waited on.  Called outside state_mutex_.
+    std::function<util::Status(std::uint64_t durable_lsn)>
+        replication_barrier;
   };
 
   explicit AccountingServer(Config config);
@@ -343,6 +356,48 @@ class AccountingServer final : public net::Node {
   /// Config::fsync_policy is storage::FsyncPolicy::kGroup).
   [[nodiscard]] storage::JournalWriter::GroupStats journal_group_stats()
       const;
+
+  // ---- Replication (DESIGN.md §5h) ---------------------------------------
+
+  /// Fences this server out of its replication cluster: a standby
+  /// promoted itself under a newer epoch, so this primary's history has
+  /// forked from the authoritative one.  Every subsequent request is
+  /// refused (kUnavailable, like storage-dead); there is no unfence short
+  /// of rebuilding the process as a standby of the new primary.
+  void fence() { fenced_.store(true); }
+  [[nodiscard]] bool fenced() const { return fenced_.load(); }
+
+  /// Applies one shipped journal record through the recovery appliers
+  /// (idempotent against the dedup tables, exactly like crash replay) and
+  /// re-journals it locally when this replica has its own storage.  Used
+  /// by replication::StandbyReplayer; local LSNs need not match the
+  /// primary's — the replicated watermark lives in the replayer.
+  [[nodiscard]] util::Status apply_replicated(
+      const storage::JournalRecord& record);
+
+  /// restore() for a standby bootstrapping from its primary's sealed
+  /// snapshot: identical, except the snapshot is expected to belong to
+  /// `source` rather than to this server.
+  [[nodiscard]] util::Status restore_replica(const PrincipalName& source,
+                                             const crypto::SymmetricKey& key,
+                                             util::BytesView snapshot);
+
+  /// Highest LSN covered by a completed fsync (0 without storage): the
+  /// shipping watermark — replication never sends a record the disk could
+  /// still lose.
+  [[nodiscard]] std::uint64_t journal_durable_lsn() const;
+
+  /// Committed journal records with LSN >= `from_lsn`, capped at the
+  /// durable watermark and `max_records`.  kNotFound when a checkpoint
+  /// compacted records below `from_lsn` away — bootstrap the follower
+  /// from latest_snapshot() instead.  kUnavailable without storage.
+  [[nodiscard]] util::Result<storage::LogDir::TailRead>
+  journal_read_committed(std::uint64_t from_lsn,
+                         std::size_t max_records) const;
+
+  /// Newest sealed on-disk snapshot (a standby's bootstrap payload).
+  [[nodiscard]] util::Result<std::optional<storage::SnapshotStore::Loaded>>
+  latest_snapshot() const;
 
   // ---- Rebalance / migration (DESIGN.md §5g) -----------------------------
   //
@@ -568,6 +623,19 @@ class AccountingServer final : public net::Node {
   [[nodiscard]] util::Bytes snapshot_locked_(
       const crypto::SymmetricKey& key) const;
 
+  /// Shared body of restore() / restore_replica(): `expected_server` is the
+  /// name the v5 snapshot must carry.
+  [[nodiscard]] util::Status restore_(const crypto::SymmetricKey& key,
+                                      util::BytesView snapshot,
+                                      const PrincipalName& expected_server);
+
+  /// Runs Config::replication_barrier for a reply that is about to leave:
+  /// forces the journal durable watermark up to everything appended so far
+  /// (required under kNever/kBatch, a no-op after the kGroup barrier), then
+  /// waits for standby acks of that watermark.  Call with state_mutex_
+  /// released.
+  [[nodiscard]] util::Status replication_barrier_();
+
   /// Appends one typed record to the journal (state_mutex_ held).  No-op
   /// without storage; on failure marks the server storage-dead and
   /// returns the error — the caller turns it into an error reply and the
@@ -629,6 +697,9 @@ class AccountingServer final : public net::Node {
   /// are configured, removed by the destructor.
   std::uint64_t revocation_listener_ = 0;
   std::atomic<bool> storage_dead_{false};
+  /// Set by fence() when a promoted standby's epoch supersedes this
+  /// server's; checked (and refused on) before any request is served.
+  std::atomic<bool> fenced_{false};
   std::atomic<std::uint64_t> checks_cleared_{0};
   std::atomic<std::uint64_t> checks_bounced_{0};
   std::atomic<std::uint64_t> deduped_replies_{0};

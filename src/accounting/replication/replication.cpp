@@ -1,0 +1,87 @@
+#include "accounting/replication/replication.hpp"
+
+namespace rproxy::accounting::replication {
+
+void ShippedFrame::encode(wire::Encoder& enc) const {
+  enc.u64(lsn);
+  enc.u16(type);
+  enc.bytes(payload);
+}
+
+ShippedFrame ShippedFrame::decode(wire::Decoder& dec) {
+  ShippedFrame f;
+  f.lsn = dec.u64();
+  f.type = dec.u16();
+  f.payload = dec.bytes();
+  return f;
+}
+
+ShippedFrame ShippedFrame::from_record(const storage::JournalRecord& record) {
+  return ShippedFrame{record.lsn, record.type, record.payload};
+}
+
+storage::JournalRecord ShippedFrame::to_record() const {
+  return storage::JournalRecord{lsn, type, payload};
+}
+
+void ShipRequest::encode(wire::Encoder& enc) const {
+  enc.str(primary);
+  enc.u64(epoch);
+  enc.u64(durable_lsn);
+  enc.seq(frames,
+          [](wire::Encoder& e, const ShippedFrame& f) { f.encode(e); });
+}
+
+ShipRequest ShipRequest::decode(wire::Decoder& dec) {
+  ShipRequest r;
+  r.primary = dec.str();
+  r.epoch = dec.u64();
+  r.durable_lsn = dec.u64();
+  r.frames = dec.seq<ShippedFrame>(
+      [](wire::Decoder& d) { return ShippedFrame::decode(d); });
+  return r;
+}
+
+void ShipReply::encode(wire::Encoder& enc) const {
+  enc.u64(epoch);
+  enc.u64(received_lsn);
+  enc.u64(applied_lsn);
+}
+
+ShipReply ShipReply::decode(wire::Decoder& dec) {
+  ShipReply r;
+  r.epoch = dec.u64();
+  r.received_lsn = dec.u64();
+  r.applied_lsn = dec.u64();
+  return r;
+}
+
+void BootstrapRequest::encode(wire::Encoder& enc) const {
+  enc.str(primary);
+  enc.u64(epoch);
+  enc.u64(snapshot_lsn);
+  enc.bytes(sealed);
+}
+
+BootstrapRequest BootstrapRequest::decode(wire::Decoder& dec) {
+  BootstrapRequest r;
+  r.primary = dec.str();
+  r.epoch = dec.u64();
+  r.snapshot_lsn = dec.u64();
+  r.sealed = dec.bytes();
+  return r;
+}
+
+void BootstrapReply::encode(wire::Encoder& enc) const {
+  enc.u64(epoch);
+  enc.u64(watermark_lsn);
+}
+
+BootstrapReply BootstrapReply::decode(wire::Decoder& dec) {
+  BootstrapReply r;
+  r.epoch = dec.u64();
+  r.watermark_lsn = dec.u64();
+  return r;
+}
+
+}  // namespace rproxy::accounting::replication

@@ -1,0 +1,83 @@
+// Journal-shipping replication wire protocol (DESIGN.md §5h).
+//
+// The primary streams committed write-ahead journal frames — always at or
+// below its fsync watermark, so shipped ⊆ fsynced — to one or more
+// standbys, which replay them through the same appliers crash recovery
+// uses.  Every message carries the sender's replication epoch; a receiver
+// holding a newer epoch answers kFenced (Status::detail() = its epoch),
+// which is how a deposed primary finds out a standby promoted itself.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/journal.hpp"
+#include "util/names.hpp"
+#include "wire/decoder.hpp"
+#include "wire/encoder.hpp"
+
+namespace rproxy::accounting::replication {
+
+/// One committed journal frame in flight, with the primary's LSN (the
+/// replicated watermark is expressed in the PRIMARY's LSN space; a standby
+/// with its own storage re-journals under local LSNs).
+struct ShippedFrame {
+  std::uint64_t lsn = 0;
+  std::uint16_t type = 0;
+  util::Bytes payload;
+
+  void encode(wire::Encoder& enc) const;
+  static ShippedFrame decode(wire::Decoder& dec);
+
+  [[nodiscard]] static ShippedFrame from_record(
+      const storage::JournalRecord& record);
+  [[nodiscard]] storage::JournalRecord to_record() const;
+};
+
+/// kReplShip: primary -> standby.  `frames` are contiguous LSNs starting
+/// at the standby's acked watermark + 1; an empty batch is the heartbeat.
+struct ShipRequest {
+  PrincipalName primary;
+  std::uint64_t epoch = 0;
+  /// The primary's fsync watermark at send time — lets a read replica
+  /// measure its own staleness in records.
+  std::uint64_t durable_lsn = 0;
+  std::vector<ShippedFrame> frames;
+
+  void encode(wire::Encoder& enc) const;
+  static ShipRequest decode(wire::Decoder& dec);
+};
+
+/// kReplShipReply: standby -> primary.  `received_lsn` is the contiguous
+/// watermark the standby holds (the shipper resumes from received + 1);
+/// `applied_lsn` trails it only when apply-on-receive is off.
+struct ShipReply {
+  std::uint64_t epoch = 0;
+  std::uint64_t received_lsn = 0;
+  std::uint64_t applied_lsn = 0;
+
+  void encode(wire::Encoder& enc) const;
+  static ShipReply decode(wire::Decoder& dec);
+};
+
+/// kReplBootstrap: primary -> standby whose watermark fell below the
+/// primary's compaction horizon; carries the newest sealed snapshot.
+struct BootstrapRequest {
+  PrincipalName primary;
+  std::uint64_t epoch = 0;
+  std::uint64_t snapshot_lsn = 0;
+  util::Bytes sealed;
+
+  void encode(wire::Encoder& enc) const;
+  static BootstrapRequest decode(wire::Decoder& dec);
+};
+
+struct BootstrapReply {
+  std::uint64_t epoch = 0;
+  std::uint64_t watermark_lsn = 0;
+
+  void encode(wire::Encoder& enc) const;
+  static BootstrapReply decode(wire::Decoder& dec);
+};
+
+}  // namespace rproxy::accounting::replication

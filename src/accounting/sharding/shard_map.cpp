@@ -7,6 +7,7 @@ void ShardMap::encode(wire::Encoder& enc) const {
   enc.seq(shards, [](wire::Encoder& e, const Entry& s) {
     e.str(s.shard);
     e.u32(s.vnodes);
+    e.str(s.placement);
   });
   enc.seq(overrides, [](wire::Encoder& e, const Override& o) {
     e.u64(o.lo);
@@ -22,6 +23,7 @@ ShardMap ShardMap::decode(wire::Decoder& dec) {
     Entry s;
     s.shard = d.str();
     s.vnodes = d.u32();
+    s.placement = d.str();
     return s;
   });
   m.overrides = dec.seq<Override>([](wire::Decoder& d) {
@@ -36,7 +38,15 @@ ShardMap ShardMap::decode(wire::Decoder& dec) {
 
 CompiledMap::CompiledMap(ShardMap map) : map_(std::move(map)) {
   for (const auto& entry : map_.shards) {
-    ring_.add_shard(entry.shard, entry.vnodes);
+    // The ring hashes the placement alias when one is set (failover
+    // cutovers: the promoted standby inherits the dead primary's vnode
+    // positions) and the member name otherwise.
+    const PrincipalName& ring_name =
+        entry.placement.empty() ? entry.shard : entry.placement;
+    ring_.add_shard(ring_name, entry.vnodes);
+    if (!entry.placement.empty() && entry.placement != entry.shard) {
+      aliases_[entry.placement] = entry.shard;
+    }
   }
 }
 
@@ -47,7 +57,10 @@ const PrincipalName* CompiledMap::home(std::string_view account) const {
   for (auto it = map_.overrides.rbegin(); it != map_.overrides.rend(); ++it) {
     if (h >= it->lo && h <= it->hi) return &it->shard;
   }
-  return ring_.shard_for(account);
+  const PrincipalName* placed = ring_.shard_for(account);
+  if (placed == nullptr) return nullptr;
+  const auto alias = aliases_.find(*placed);
+  return alias == aliases_.end() ? placed : &alias->second;
 }
 
 bool ShardDirectory::install(ShardMap map) {
@@ -91,6 +104,23 @@ ShardMap uniform_map(std::vector<PrincipalName> shards, std::uint64_t version,
   m.shards.reserve(shards.size());
   for (auto& s : shards) m.shards.push_back({std::move(s), vnodes});
   return m;
+}
+
+ShardMap with_member_replaced(const ShardMap& base, const PrincipalName& from,
+                              const PrincipalName& to) {
+  ShardMap out = base;
+  out.version = base.version + 1;
+  for (auto& entry : out.shards) {
+    if (entry.shard != from) continue;
+    // Keep the dead member's ring placement: the standby serves exactly
+    // the arcs the primary owned, nothing else re-homes.
+    if (entry.placement.empty()) entry.placement = from;
+    entry.shard = to;
+  }
+  for (auto& override_ : out.overrides) {
+    if (override_.shard == from) override_.shard = to;
+  }
+  return out;
 }
 
 }  // namespace rproxy::accounting::sharding

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string_view>
@@ -26,6 +27,13 @@ struct ShardMap {
   struct Entry {
     PrincipalName shard;
     std::uint32_t vnodes = HashRing::kDefaultVnodes;
+    /// Ring-placement alias: the name hashed into the ring for this
+    /// member's virtual nodes.  Empty = `shard` itself (the normal case).
+    /// A failover cutover (with_member_replaced) sets it to the replaced
+    /// member's name so the promoted standby inherits the dead primary's
+    /// arcs EXACTLY — renaming the hashed name would move every vnode and
+    /// re-home unrelated accounts across the whole fleet.
+    PrincipalName placement;
   };
   /// A migration cutover: accounts whose stable_hash64 falls in [lo, hi]
   /// (inclusive) live on `shard` regardless of the ring.  Later overrides
@@ -59,6 +67,9 @@ class CompiledMap {
  private:
   ShardMap map_;
   HashRing ring_;
+  /// placement alias -> member shard, for entries whose ring name differs
+  /// from their serving name (failover cutovers).
+  std::map<PrincipalName, PrincipalName> aliases_;
 };
 
 /// A shard-side (or router-side) view of the current map.  Implementations
@@ -110,5 +121,16 @@ class ShardDirectory final : public ShardView {
 [[nodiscard]] ShardMap uniform_map(std::vector<PrincipalName> shards,
                                    std::uint64_t version,
                                    std::uint32_t vnodes = HashRing::kDefaultVnodes);
+
+/// A failover cutover (DESIGN.md §5h): `base` with every occurrence of
+/// `from` — ring entries and overrides alike — replaced by `to`, at
+/// version base.version + 1.  The replaced entry keeps `from` as its ring
+/// placement alias, so every account homed on the dead primary re-homes
+/// onto the promoted standby and NOTHING else moves; installing the
+/// result through a shared ShardDirectory makes the old primary's shard
+/// gate refuse with kWrongShard and routers re-route for free.
+[[nodiscard]] ShardMap with_member_replaced(const ShardMap& base,
+                                            const PrincipalName& from,
+                                            const PrincipalName& to);
 
 }  // namespace rproxy::accounting::sharding

@@ -1,6 +1,7 @@
 #include "accounting/sharding/shard_router.hpp"
 
 #include "crypto/random.hpp"
+#include "net/retry.hpp"
 #include "net/rpc.hpp"
 
 namespace rproxy::accounting::sharding {
@@ -39,16 +40,16 @@ util::Result<AccountReplyPayload> ShardRouter::query(
                                 "no shard map installed in router");
     }
     auto result = client_.query(shard, account);
-    if (result.is_ok() ||
-        result.status().code() != util::ErrorCode::kWrongShard ||
-        attempt > 0) {
+    if (result.is_ok() || attempt > 0) return result;
+    if (result.status().code() == util::ErrorCode::kWrongShard) {
+      redirects_.fetch_add(1);
+      // If the refresh itself fails, surface the original kWrongShard: the
+      // refresh error (e.g. kUnavailable with no map service configured)
+      // must not trick a retry layer into blind-retrying a routing error.
+      if (!refresh_map_(result.status().detail()).is_ok()) return result;
+    } else if (!failover_reroute_(result.status(), shard, account)) {
       return result;
     }
-    redirects_.fetch_add(1);
-    // If the refresh itself fails, surface the original kWrongShard: the
-    // refresh error (e.g. kUnavailable with no map service configured)
-    // must not trick a retry layer into blind-retrying a routing error.
-    if (!refresh_map_(result.status().detail()).is_ok()) return result;
   }
 }
 
@@ -56,6 +57,11 @@ util::Status ShardRouter::transfer(const std::string& from,
                                    const std::string& to,
                                    const Currency& currency,
                                    std::uint64_t amount) {
+  // One check number per logical transfer, allocated up front: a re-route
+  // (kWrongShard or failover) re-presents the SAME numbered check, so the
+  // shards' dedup tables make the transfer exactly-once even when the
+  // first attempt's outcome is unknown.
+  const std::uint64_t check_number = next_check_number_.fetch_add(1);
   for (int attempt = 0;; ++attempt) {
     const PrincipalName source = dir_.home(from);
     const PrincipalName target = dir_.home(to);
@@ -72,7 +78,7 @@ util::Status ShardRouter::transfer(const std::string& from,
       }
     } else {
       status = cross_shard_transfer_(source, target, from, to, currency,
-                                     amount);
+                                     amount, check_number);
       if (status.is_ok()) {
         cross_.fetch_add(1);
         return status;
@@ -80,20 +86,42 @@ util::Status ShardRouter::transfer(const std::string& from,
     }
     // Exactly one refresh + re-route per operation: kWrongShard means the
     // routing decision was stale, not that the request can eventually
-    // succeed where it was sent.  Anything else — including a second
-    // kWrongShard after a refresh — surfaces to the caller.
-    if (status.code() != util::ErrorCode::kWrongShard || attempt > 0) {
+    // succeed where it was sent; a transport error means the shard may be
+    // dead and already replaced by a promoted standby under a newer map
+    // (DESIGN.md §5h).  Anything else — including a second failure after
+    // the refresh — surfaces to the caller.
+    if (attempt > 0) return status;
+    if (status.code() == util::ErrorCode::kWrongShard) {
+      redirects_.fetch_add(1);
+      if (!refresh_map_(status.detail()).is_ok()) return status;
+    } else if (!failover_reroute_(status, source == target ? source : target,
+                                  source == target ? from : to)) {
       return status;
     }
-    redirects_.fetch_add(1);
-    if (!refresh_map_(status.detail()).is_ok()) return status;
   }
+}
+
+bool ShardRouter::failover_reroute_(const util::Status& status,
+                                    const PrincipalName& shard,
+                                    const std::string& account) {
+  // Failover probe (DESIGN.md §5h): the per-shard retry policy already
+  // exhausted its attempts against `shard`, so a transport error here
+  // usually means the shard is down.  A standby promotion installs a
+  // strictly-newer map at the map service; refresh and re-route once if
+  // the account's home actually changed.  Safe against duplicate effects
+  // for the same reason client-level retries are: deposits are dedup'd,
+  // transfers are challenge-bound, queries are reads.
+  if (!net::RetryPolicy::transport_error(status)) return false;
+  if (!refresh_map_(0).is_ok()) return false;
+  if (dir_.home(account) == shard) return false;  // no newer routing truth
+  failovers_.fetch_add(1);
+  return true;
 }
 
 util::Status ShardRouter::cross_shard_transfer_(
     const PrincipalName& source_shard, const PrincipalName& target_shard,
     const std::string& from, const std::string& to, const Currency& currency,
-    std::uint64_t amount) {
+    std::uint64_t amount, std::uint64_t check_number) {
   // The transfer is a check drawn on the source shard, payable to the
   // router's principal, deposited at the target shard.  The target collects
   // through the source (the clearing chain of §4), which settles by
@@ -102,9 +130,8 @@ util::Status ShardRouter::cross_shard_transfer_(
   // shards plus the journal make re-drives of the same check exactly-once.
   const Check check = write_check(
       config_.self, config_.identity_key, AccountId{source_shard, from},
-      /*payee=*/config_.self, currency, amount,
-      next_check_number_.fetch_add(1), config_.clock->now(),
-      config_.check_lifetime);
+      /*payee=*/config_.self, currency, amount, check_number,
+      config_.clock->now(), config_.check_lifetime);
   auto deposited = client_.endorse_and_deposit(target_shard, check, to);
   return deposited.status();
 }

@@ -111,6 +111,11 @@ class ShardRouter {
   [[nodiscard]] std::uint64_t wrong_shard_redirects() const {
     return redirects_.load();
   }
+  /// Transport-error failovers that found a newer map and re-routed
+  /// (DESIGN.md §5h: a standby promotion replaced the dead shard).
+  [[nodiscard]] std::uint64_t failover_reroutes() const {
+    return failovers_.load();
+  }
   [[nodiscard]] std::uint64_t map_refreshes() const {
     return refreshes_.load();
   }
@@ -122,10 +127,17 @@ class ShardRouter {
   /// `min_version` (0 = unsolicited).
   [[nodiscard]] util::Status refresh_map_(std::uint64_t min_version);
 
+  /// Transport-error failover: refresh the map and report whether
+  /// `account`'s home moved off `shard` (true = re-route and try again).
+  [[nodiscard]] bool failover_reroute_(const util::Status& status,
+                                       const PrincipalName& shard,
+                                       const std::string& account);
+
   [[nodiscard]] util::Status cross_shard_transfer_(
       const PrincipalName& source_shard, const PrincipalName& target_shard,
       const std::string& from, const std::string& to,
-      const Currency& currency, std::uint64_t amount);
+      const Currency& currency, std::uint64_t amount,
+      std::uint64_t check_number);
 
   Config config_;
   ShardDirectory dir_;
@@ -135,6 +147,7 @@ class ShardRouter {
   std::atomic<std::uint64_t> cross_{0};
   std::atomic<std::uint64_t> redirects_{0};
   std::atomic<std::uint64_t> refreshes_{0};
+  std::atomic<std::uint64_t> failovers_{0};
 };
 
 }  // namespace rproxy::accounting::sharding

@@ -34,6 +34,10 @@ std::string_view msg_type_name(MsgType t) {
     case MsgType::kCashierReply: return "CashierReply";
     case MsgType::kShardMapRequest: return "ShardMapRequest";
     case MsgType::kShardMapReply: return "ShardMapReply";
+    case MsgType::kReplShip: return "ReplShip";
+    case MsgType::kReplShipReply: return "ReplShipReply";
+    case MsgType::kReplBootstrap: return "ReplBootstrap";
+    case MsgType::kReplBootstrapReply: return "ReplBootstrapReply";
     case MsgType::kSollinsVerify: return "SollinsVerify";
     case MsgType::kSollinsVerifyReply: return "SollinsVerifyReply";
     case MsgType::kPullAuthzQuery: return "PullAuthzQuery";

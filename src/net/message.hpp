@@ -68,6 +68,14 @@ enum class MsgType : std::uint16_t {
   kShardMapRequest = 550,  ///< client/router -> map service: current map
   kShardMapReply = 551,
 
+  // Journal-shipping replication (accounting/replication/, DESIGN.md §5h).
+  kReplShip = 560,       ///< primary -> standby: committed WAL frames
+                         ///< (doubles as the heartbeat when empty)
+  kReplShipReply = 561,  ///< standby -> primary: received/applied watermark
+  kReplBootstrap = 562,  ///< primary -> standby: sealed snapshot (the
+                         ///< standby's watermark fell below compaction)
+  kReplBootstrapReply = 563,
+
   // Baselines (baseline/).
   kSollinsVerify = 600,      ///< end-server -> auth server: verify passport
   kSollinsVerifyReply = 601,

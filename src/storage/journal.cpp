@@ -438,4 +438,9 @@ JournalWriter::GroupStats JournalWriter::group_stats() const {
   return commit_->stats;
 }
 
+std::uint64_t JournalWriter::durable_lsn() const {
+  std::lock_guard lock(commit_->mutex);
+  return commit_->durable_lsn;
+}
+
 }  // namespace rproxy::storage

@@ -141,6 +141,12 @@ class JournalWriter {
   /// LSN the next append will return.
   [[nodiscard]] std::uint64_t next_lsn() const { return next_lsn_; }
 
+  /// Highest LSN covered by a completed fsync.  This is the replication
+  /// shipping watermark (DESIGN.md §5h): a record above it could still be
+  /// lost to a power failure, so it must never leave the primary.
+  /// Thread-safe.
+  [[nodiscard]] std::uint64_t durable_lsn() const;
+
   [[nodiscard]] const std::string& path() const { return path_; }
 
  private:

@@ -142,6 +142,49 @@ JournalWriter::GroupStats LogDir::group_stats() const {
   return journal_->group_stats();
 }
 
+std::uint64_t LogDir::durable_lsn() const {
+  std::shared_lock lock(*rotate_lock_);
+  return journal_->durable_lsn();
+}
+
+util::Result<LogDir::TailRead> LogDir::read_committed(
+    std::uint64_t from_lsn, std::size_t max_records) const {
+  // Shared rotation lock: a concurrent checkpoint() must not delete a
+  // journal file out from under the scan.  Appends need no coordination —
+  // the cap at durable_lsn keeps the scan inside the fully-written,
+  // fsynced prefix.
+  std::shared_lock lock(*rotate_lock_);
+  TailRead out;
+  out.durable_lsn = journal_->durable_lsn();
+  if (from_lsn == 0) from_lsn = 1;
+  if (from_lsn > out.durable_lsn) return out;  // caught up (or ahead)
+  const std::vector<std::uint64_t> bases = list_journals(config_.dir);
+  if (bases.empty() || bases.front() > from_lsn) {
+    return util::fail(ErrorCode::kNotFound,
+                      "journal records below LSN " +
+                          std::to_string(bases.empty() ? out.durable_lsn + 1
+                                                       : bases.front()) +
+                          " were compacted; bootstrap from the snapshot");
+  }
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    if (out.records.size() >= max_records) break;
+    // File i covers [bases[i], bases[i+1]); skip files entirely below the
+    // requested start.
+    if (i + 1 < bases.size() && bases[i + 1] <= from_lsn) continue;
+    RPROXY_ASSIGN_OR_RETURN(JournalReader::Scan scan,
+                            JournalReader::read(journal_path_(bases[i])));
+    for (JournalRecord& record : scan.records) {
+      if (record.lsn < from_lsn) continue;
+      if (record.lsn > out.durable_lsn ||
+          out.records.size() >= max_records) {
+        break;
+      }
+      out.records.push_back(std::move(record));
+    }
+  }
+  return out;
+}
+
 util::Status LogDir::checkpoint(util::BytesView sealed_snapshot) {
   // Exclude committers for the whole rotation: a thread parked on the old
   // journal's barrier must not see its writer destroyed underneath it.

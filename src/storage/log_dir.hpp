@@ -78,6 +78,35 @@ class LogDir {
     return journal_->next_lsn();
   }
 
+  /// Highest LSN covered by a completed fsync of the active journal (the
+  /// replication shipping watermark).  Thread-safe.
+  [[nodiscard]] std::uint64_t durable_lsn() const;
+
+  /// One journal-tailing read for replication (DESIGN.md §5h).
+  struct TailRead {
+    std::vector<JournalRecord> records;  ///< LSNs in [from_lsn, durable_lsn]
+    std::uint64_t durable_lsn = 0;       ///< watermark at read time
+  };
+
+  /// Committed records with LSN >= `from_lsn`, capped at the durable
+  /// watermark (shipped ⊆ fsynced) and at `max_records`.  Safe against a
+  /// concurrent append or checkpoint: files are scanned under the
+  /// rotation lock, and a frame the appender is mid-way through writing
+  /// reads as a torn tail — which is above the watermark anyway, since
+  /// every frame at or below it was fully written before its fsync.
+  /// Fails kNotFound when `from_lsn` predates the oldest journal on disk
+  /// (compacted away by a checkpoint); the caller bootstraps the follower
+  /// from latest_snapshot() instead.
+  [[nodiscard]] util::Result<TailRead> read_committed(
+      std::uint64_t from_lsn, std::size_t max_records) const;
+
+  /// The newest sealed snapshot (a standby's bootstrap payload), or
+  /// nullopt for a directory that has never checkpointed.
+  [[nodiscard]] util::Result<std::optional<SnapshotStore::Loaded>>
+  latest_snapshot() const {
+    return snapshots_.load_latest();
+  }
+
   [[nodiscard]] const std::string& dir() const { return config_.dir; }
 
  private:

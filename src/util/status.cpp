@@ -20,6 +20,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kInternal: return "Internal";
     case ErrorCode::kRevoked: return "Revoked";
     case ErrorCode::kWrongShard: return "WrongShard";
+    case ErrorCode::kFenced: return "Fenced";
   }
   return "Unknown";
 }

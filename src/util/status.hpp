@@ -62,6 +62,11 @@ enum class ErrorCode {
   /// once") from a genuinely misdirected request.  NOT a transport error:
   /// retry policies must never blind-retry it.
   kWrongShard,
+  /// A replication message carried an epoch older than the receiver's: the
+  /// sender was fenced out by a standby promotion (DESIGN.md §5h).
+  /// Status::detail() carries the receiver's current epoch.  NOT a
+  /// transport error — a fenced primary must stop, not retry.
+  kFenced,
 };
 
 /// Human-readable name of an ErrorCode ("BadSignature", ...).

@@ -1,0 +1,358 @@
+// Journal-shipping replication (DESIGN.md §5h): shipping + replay, the
+// semi-synchronous barrier, snapshot bootstrap after compaction, epoch
+// fencing, read-replica staleness, and the promotion ordering guarantee.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "accounting/clearing.hpp"
+#include "accounting/replication/journal_shipper.hpp"
+#include "accounting/replication/standby.hpp"
+#include "testing/env.hpp"
+#include "testing/tempdir.hpp"
+
+namespace rproxy {
+namespace {
+
+using accounting::AccountingServer;
+using accounting::Balances;
+using accounting::replication::JournalShipper;
+using accounting::replication::StandbyReplayer;
+using rproxy::testing::World;
+using util::ErrorCode;
+
+constexpr std::int64_t kInitial = 1000;
+
+/// A primary with durable storage, one standby replaying into a
+/// memory-only replica server, and the shipper wired into the primary's
+/// semi-sync barrier (a no-op until make_standby() creates the shipper).
+struct ReplicaWorld {
+  World world;
+  rproxy::testing::TempDir tmp;
+  crypto::SymmetricKey storage_key = crypto::SymmetricKey::generate();
+  std::unique_ptr<AccountingServer> primary;
+  std::unique_ptr<AccountingServer> replica_server;
+  std::unique_ptr<StandbyReplayer> standby;
+  std::unique_ptr<JournalShipper> shipper;
+  bool semi_sync = false;
+
+  explicit ReplicaWorld(bool with_barrier = false) : semi_sync(with_barrier) {
+    world.add_principal("bank");
+    world.add_principal("bankb");
+    world.add_principal("alice");
+    auto config = world.accounting_config("bank");
+    config.storage_dir = tmp.sub("bank");
+    config.storage_key = storage_key;
+    config.fsync_policy = storage::FsyncPolicy::kEveryRecord;
+    if (semi_sync) {
+      config.replication_barrier = [this](std::uint64_t lsn) {
+        return shipper ? shipper->ship_until(lsn) : util::Status::ok();
+      };
+    }
+    primary = std::make_unique<AccountingServer>(std::move(config));
+    EXPECT_TRUE(primary->recover().is_ok());
+    world.net.attach("bank", *primary);
+  }
+
+  void make_standby(
+      const std::function<void(StandbyReplayer::Config&)>& tweak = {}) {
+    replica_server =
+        std::make_unique<AccountingServer>(world.accounting_config("bankb"));
+    StandbyReplayer::Config rc;
+    rc.name = "bankb";
+    rc.primary = "bank";
+    rc.server = replica_server.get();
+    rc.clock = &world.clock;
+    rc.storage_key = storage_key;
+    if (tweak) tweak(rc);
+    standby = std::make_unique<StandbyReplayer>(std::move(rc));
+    world.net.attach("bankb", *standby);
+    JournalShipper::Config sc;
+    sc.primary = primary.get();
+    sc.net = &world.net;
+    sc.standbys = {"bankb"};
+    shipper = std::make_unique<JournalShipper>(std::move(sc));
+  }
+
+  void open(const std::string& account) {
+    primary->open_account(account, "alice", Balances{{"usd", kInitial}});
+  }
+
+  [[nodiscard]] std::int64_t replica_balance(const std::string& account) {
+    const auto* acct = replica_server->account(account);
+    return acct == nullptr ? -1 : acct->balances().balance("usd");
+  }
+};
+
+TEST(Replication, ShipsFramesAndReplaysThemThroughRecoveryAppliers) {
+  ReplicaWorld rw;
+  rw.open("a1");
+  rw.open("a2");
+  auto client = rw.world.accounting_client("alice");
+  ASSERT_TRUE(client.transfer("bank", "a1", "a2", "usd", 150).is_ok());
+
+  rw.make_standby();
+  const JournalShipper::Progress progress = rw.shipper->ship_once();
+  EXPECT_TRUE(progress.all_reachable);
+  EXPECT_FALSE(progress.fenced);
+  EXPECT_EQ(progress.min_acked_lsn, rw.primary->journal_durable_lsn());
+  EXPECT_EQ(rw.standby->received_lsn(), rw.primary->journal_durable_lsn());
+  EXPECT_EQ(rw.standby->applied_lsn(), rw.standby->received_lsn());
+  EXPECT_EQ(rw.standby->apply_failures(), 0u);
+  // The replayed state matches the primary's, mutation for mutation.
+  EXPECT_EQ(rw.replica_balance("a1"), kInitial - 150);
+  EXPECT_EQ(rw.replica_balance("a2"), kInitial + 150);
+}
+
+TEST(Replication, ShippedNeverExceedsDurableAndResendIsIdempotent) {
+  ReplicaWorld rw;
+  rw.open("a1");
+  rw.open("a2");
+  rw.make_standby();
+  (void)rw.shipper->ship_once();
+  ASSERT_GT(rw.standby->received_lsn(), 0u);
+  EXPECT_LE(rw.standby->received_lsn(), rw.primary->journal_durable_lsn());
+
+  // Rewind the shipper's watermark: the next round re-sends frames the
+  // standby already holds, which it must skip without re-applying.
+  const std::int64_t before = rw.replica_balance("a1");
+  rw.shipper->rewind("bankb", 0);
+  (void)rw.shipper->ship_once();
+  EXPECT_EQ(rw.replica_balance("a1"), before);
+  EXPECT_EQ(rw.standby->apply_failures(), 0u);
+  EXPECT_EQ(rw.standby->received_lsn(), rw.primary->journal_durable_lsn());
+}
+
+TEST(Replication, SemiSyncBarrierWithholdsAcksWhileStandbyUnreachable) {
+  ReplicaWorld rw(/*with_barrier=*/true);
+  rw.open("a1");
+  rw.open("a2");
+  rw.make_standby();
+  auto client = rw.world.accounting_client("alice");
+  ASSERT_TRUE(client.transfer("bank", "a1", "a2", "usd", 10).is_ok());
+  EXPECT_EQ(rw.replica_balance("a1"), kInitial - 10);
+
+  // Partition the standby: the primary still applies, but no reply may be
+  // acked until the records behind it replicate — the client sees failure.
+  rw.world.net.fail_link("bank", "bankb");
+  auto held = client.transfer("bank", "a1", "a2", "usd", 20);
+  EXPECT_FALSE(held.is_ok());
+  EXPECT_EQ(held.code(), ErrorCode::kUnavailable);
+  // Reads are withheld too: an acked reply of any kind implies replication.
+  EXPECT_FALSE(client.query("bank", "a1").is_ok());
+
+  // Heal: shipping resumes and the standby converges on the un-acked
+  // transfer, which was applied exactly once.
+  rw.world.net.restore_link("bank", "bankb");
+  (void)rw.shipper->ship_once();
+  EXPECT_EQ(rw.replica_balance("a1"), kInitial - 30);
+  auto ok = client.query("bank", "a1");
+  ASSERT_TRUE(ok.is_ok()) << ok.status();
+  EXPECT_EQ(ok.value().balances.balance("usd"), kInitial - 30);
+}
+
+TEST(Replication, BootstrapReseedsStandbyPastCompactedJournal) {
+  ReplicaWorld rw;
+  rw.open("a1");
+  rw.open("a2");
+  auto client = rw.world.accounting_client("alice");
+  ASSERT_TRUE(client.transfer("bank", "a1", "a2", "usd", 100).is_ok());
+  // Checkpoint compacts the journal: the records a fresh standby needs are
+  // gone, so shipping must fall back to the sealed snapshot.
+  ASSERT_TRUE(rw.primary->checkpoint().is_ok());
+  ASSERT_TRUE(client.transfer("bank", "a1", "a2", "usd", 25).is_ok());
+
+  rw.make_standby();
+  ASSERT_TRUE(
+      rw.shipper->ship_until(rw.primary->journal_durable_lsn()).is_ok());
+  EXPECT_EQ(rw.standby->received_lsn(), rw.primary->journal_durable_lsn());
+  EXPECT_EQ(rw.replica_balance("a1"), kInitial - 125);
+  EXPECT_EQ(rw.replica_balance("a2"), kInitial + 125);
+}
+
+TEST(Replication, PromotionFencesTheOldPrimary) {
+  ReplicaWorld rw(/*with_barrier=*/true);
+  rw.open("a1");
+  rw.open("a2");
+  rw.make_standby();
+  auto client = rw.world.accounting_client("alice");
+  ASSERT_TRUE(client.transfer("bank", "a1", "a2", "usd", 40).is_ok());
+
+  ASSERT_TRUE(rw.standby->promote().is_ok());
+  EXPECT_TRUE(rw.standby->promoted());
+  EXPECT_EQ(rw.standby->epoch(), 2u);
+
+  // The deposed primary's next barrier hits kFenced: the reply is
+  // withheld, the primary fences itself, and every later request bounces.
+  auto fenced = client.transfer("bank", "a1", "a2", "usd", 5);
+  EXPECT_FALSE(fenced.is_ok());
+  EXPECT_EQ(fenced.code(), ErrorCode::kFenced);
+  EXPECT_TRUE(rw.primary->fenced());
+  EXPECT_TRUE(rw.shipper->fenced());
+  auto after = client.transfer("bank", "a1", "a2", "usd", 5);
+  EXPECT_EQ(after.code(), ErrorCode::kUnavailable);
+
+  // The promoted standby serves the replicated state under its own name.
+  auto reply = client.query("bankb", "a1");
+  ASSERT_TRUE(reply.is_ok()) << reply.status();
+  EXPECT_EQ(reply.value().balances.balance("usd"), kInitial - 40);
+}
+
+TEST(Replication, ReplicatedDedupMakesFailoverExactlyOnce) {
+  ReplicaWorld rw(/*with_barrier=*/true);
+  rw.open("a1");
+  rw.open("a2");
+  rw.make_standby();
+
+  // Settle a check at the primary; the dedup entry rides the journal.
+  const accounting::Check check = accounting::write_check(
+      "alice", rw.world.principal("alice").identity, AccountId{"bank", "a1"},
+      "alice", "usd", 60, 31337, rw.world.clock.now(), util::kHour);
+  auto client = rw.world.accounting_client("alice");
+  ASSERT_TRUE(client.endorse_and_deposit("bank", check, "a2").is_ok());
+
+  ASSERT_TRUE(rw.standby->promote().is_ok());
+  // A client that never saw the ack retries the SAME numbered check at the
+  // promoted standby: the replicated dedup table replays the original
+  // settlement instead of moving the money twice.
+  auto retried = client.endorse_and_deposit("bankb", check, "a2");
+  ASSERT_TRUE(retried.is_ok()) << retried.status();
+  EXPECT_EQ(rw.replica_balance("a1"), kInitial - 60);
+  EXPECT_EQ(rw.replica_balance("a2"), kInitial + 60);
+}
+
+TEST(Replication, HeartbeatTimeoutPromotesOnlyAfterSilence) {
+  ReplicaWorld rw;
+  rw.open("a1");
+  rw.make_standby();
+  (void)rw.shipper->ship_once();
+
+  // Heard from the primary just now: no promotion within the window.
+  auto early = rw.standby->maybe_promote();
+  ASSERT_TRUE(early.is_ok());
+  EXPECT_FALSE(early.value());
+  rw.world.clock.advance(1 * util::kSecond);
+  auto still = rw.standby->maybe_promote();
+  ASSERT_TRUE(still.is_ok());
+  EXPECT_FALSE(still.value());
+
+  // Silence past timeout + jitter: the standby takes over.
+  rw.world.clock.advance(5 * util::kSecond);
+  auto promoted = rw.standby->maybe_promote();
+  ASSERT_TRUE(promoted.is_ok());
+  EXPECT_TRUE(promoted.value());
+  EXPECT_TRUE(rw.standby->promoted());
+}
+
+// ---- Read replicas (staleness bound) --------------------------------------
+
+TEST(Replication, ReadReplicaServesQueriesButRefusesWrites) {
+  ReplicaWorld rw;
+  rw.open("a1");
+  rw.open("a2");
+  rw.make_standby();
+  ASSERT_TRUE(
+      rw.shipper->ship_until(rw.primary->journal_durable_lsn()).is_ok());
+
+  auto client = rw.world.accounting_client("alice");
+  auto reply = client.query("bankb", "a1");
+  ASSERT_TRUE(reply.is_ok()) << reply.status();
+  EXPECT_EQ(reply.value().balances.balance("usd"), kInitial);
+
+  auto write = client.transfer("bankb", "a1", "a2", "usd", 10);
+  EXPECT_FALSE(write.is_ok());
+  EXPECT_EQ(write.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(rw.replica_balance("a1"), kInitial);
+}
+
+TEST(Replication, LaggingReplicaReturnsAnswerTrueAtItsWatermark) {
+  ReplicaWorld rw;
+  rw.open("a1");
+  rw.open("a2");
+  rw.make_standby();
+  ASSERT_TRUE(
+      rw.shipper->ship_until(rw.primary->journal_durable_lsn()).is_ok());
+
+  // Mutate the primary WITHOUT shipping: the replica lags, and (within its
+  // staleness bound) answers with the balance that was true at its applied
+  // LSN — a consistent prefix, never an invented value.
+  auto client = rw.world.accounting_client("alice");
+  ASSERT_TRUE(client.transfer("bank", "a1", "a2", "usd", 500).is_ok());
+  auto stale = client.query("bankb", "a1");
+  ASSERT_TRUE(stale.is_ok()) << stale.status();
+  EXPECT_EQ(stale.value().balances.balance("usd"), kInitial);
+
+  (void)rw.shipper->ship_once();
+  auto fresh = client.query("bankb", "a1");
+  ASSERT_TRUE(fresh.is_ok()) << fresh.status();
+  EXPECT_EQ(fresh.value().balances.balance("usd"), kInitial - 500);
+}
+
+TEST(Replication, StalenessBoundRefusesReadsPastTheLimit) {
+  ReplicaWorld rw;
+  rw.open("a1");
+  rw.open("a2");
+  // Warm standby (queues frames, never applies) with a zero-lag bound:
+  // the received/applied gap is fully observable.
+  rw.make_standby([](StandbyReplayer::Config& rc) {
+    rc.apply_on_receive = false;
+    rc.staleness_limit_records = 0;
+  });
+  (void)rw.shipper->ship_once();
+  ASSERT_GT(rw.standby->received_lsn(), 0u);
+  ASSERT_EQ(rw.standby->applied_lsn(), 0u);
+
+  auto client = rw.world.accounting_client("alice");
+  auto refused = client.query("bankb", "a1");
+  EXPECT_FALSE(refused.is_ok());
+  EXPECT_EQ(refused.code(), ErrorCode::kUnavailable);
+
+  // Catching up re-opens the replica for reads.
+  ASSERT_TRUE(rw.standby->apply_pending().is_ok());
+  auto served = client.query("bankb", "a1");
+  ASSERT_TRUE(served.is_ok()) << served.status();
+  EXPECT_EQ(served.value().balances.balance("usd"), kInitial);
+}
+
+TEST(Replication, PromotedReplicaRefusesAllTrafficUntilCaughtUp) {
+  ReplicaWorld rw;
+  rw.open("a1");
+  rw.open("a2");
+  rw.make_standby(
+      [](StandbyReplayer::Config& rc) { rc.apply_on_receive = false; });
+  (void)rw.shipper->ship_once();
+  ASSERT_GT(rw.standby->received_lsn(), rw.standby->applied_lsn());
+
+  // Promotion ordering guarantee: with frames received but unapplied,
+  // even reads are refused — nothing served may predate the promoted
+  // state.
+  ASSERT_TRUE(rw.standby->promote().is_ok());
+  auto client = rw.world.accounting_client("alice");
+  auto read = client.query("bankb", "a1");
+  EXPECT_FALSE(read.is_ok());
+  EXPECT_EQ(read.code(), ErrorCode::kUnavailable);
+  auto write = client.transfer("bankb", "a1", "a2", "usd", 10);
+  EXPECT_FALSE(write.is_ok());
+
+  ASSERT_TRUE(rw.standby->apply_pending().is_ok());
+  auto served = client.query("bankb", "a1");
+  ASSERT_TRUE(served.is_ok()) << served.status();
+  EXPECT_EQ(served.value().balances.balance("usd"), kInitial);
+  ASSERT_TRUE(client.transfer("bankb", "a1", "a2", "usd", 10).is_ok());
+  EXPECT_EQ(rw.replica_balance("a1"), kInitial - 10);
+}
+
+TEST(Replication, StaleEpochShipIsFencedOff) {
+  ReplicaWorld rw;
+  rw.open("a1");
+  rw.make_standby([](StandbyReplayer::Config& rc) { rc.epoch = 2; });
+  // The shipper still believes epoch 1; the standby already moved on.
+  const JournalShipper::Progress progress = rw.shipper->ship_once();
+  EXPECT_TRUE(progress.fenced);
+  EXPECT_TRUE(rw.shipper->fenced());
+  EXPECT_TRUE(rw.primary->fenced());
+}
+
+}  // namespace
+}  // namespace rproxy
