@@ -250,7 +250,13 @@ AccountingServer::AccountingServer(Config config)
           .verify_cache_capacity = config_.verify_cache_capacity,
           .verify_cache_ttl = config_.verify_cache_ttl,
           .revocation = config_.revocation,
-      }) {}
+      }) {
+  if (config_.replication_barrier) {
+    barrier_ = std::make_shared<
+        const std::function<util::Status(std::uint64_t)>>(
+        config_.replication_barrier);
+  }
+}
 
 AccountingServer::~AccountingServer() {
   if (revocation_listener_ != 0 && config_.revocation != nullptr) {
@@ -316,7 +322,7 @@ util::Bytes AccountingServer::snapshot_locked_(
   };
 
   wire::Encoder enc;
-  enc.str("accounting-snapshot-v5");
+  enc.str("accounting-snapshot-v6");
   enc.str(config_.name);
   enc.u32(static_cast<std::uint32_t>(accounts_.size()));
   for (const auto& [name, account] : accounts_) {
@@ -371,6 +377,17 @@ util::Bytes AccountingServer::snapshot_locked_(
   for (const auto& [id, spec] : frozen_) spec.encode(enc);
   enc.u32(static_cast<std::uint32_t>(applied_migrations_.size()));
   for (const std::uint64_t id : applied_migrations_) enc.u64(id);
+  // v6: failover state — adopted bank identities and the durable
+  // replication watermarks (a restarted standby resumes shipping from its
+  // watermark instead of re-bootstrapping; a promoted survivor keeps
+  // settling checks drawn on the names it adopted).
+  enc.u32(static_cast<std::uint32_t>(adopted_identities_.size()));
+  for (const PrincipalName& name : adopted_identities_) enc.str(name);
+  enc.u32(static_cast<std::uint32_t>(repl_watermarks_.size()));
+  for (const auto& [source, lsn] : repl_watermarks_) {
+    enc.str(source);
+    enc.u64(lsn);
+  }
   return crypto::aead_seal(key.derive_subkey(kSnapshotSealPurpose),
                            enc.view());
 }
@@ -382,8 +399,24 @@ util::Status AccountingServer::restore(const crypto::SymmetricKey& key,
 
 util::Status AccountingServer::restore_replica(const PrincipalName& source,
                                                const crypto::SymmetricKey& key,
-                                               util::BytesView snapshot) {
-  return restore_(key, snapshot, source);
+                                               util::BytesView snapshot,
+                                               std::uint64_t snapshot_lsn) {
+  RPROXY_RETURN_IF_ERROR(restore_(key, snapshot, source));
+  replica_bootstraps_.fetch_add(1);
+  {
+    std::lock_guard lock(state_mutex_);
+    std::uint64_t& mark = repl_watermarks_[source];
+    mark = std::max(mark, snapshot_lsn);
+  }
+  // With local storage, make the restored books + watermark durable NOW:
+  // any journal records predating the restore describe a state this
+  // replica just abandoned, and replaying them over the restored books on
+  // a crash-restart would corrupt it.  A checkpoint seals the restored
+  // state and compacts the stale tail away.
+  if (log_.has_value() && !storage_dead_.load()) {
+    RPROXY_RETURN_IF_ERROR(checkpoint());
+  }
+  return util::Status::ok();
 }
 
 util::Status AccountingServer::restore_(const crypto::SymmetricKey& key,
@@ -397,15 +430,19 @@ util::Status AccountingServer::restore_(const crypto::SymmetricKey& key,
   if (version != "accounting-snapshot-v2" &&
       version != "accounting-snapshot-v3" &&
       version != "accounting-snapshot-v4" &&
-      version != "accounting-snapshot-v5") {
+      version != "accounting-snapshot-v5" &&
+      version != "accounting-snapshot-v6") {
     return util::fail(ErrorCode::kParseError,
                       "not an accounting snapshot (unknown version '" +
                           version + "')");
   }
   const bool has_routes = version != "accounting-snapshot-v2";
   const bool has_revocation = version == "accounting-snapshot-v4" ||
-                              version == "accounting-snapshot-v5";
-  const bool has_migration = version == "accounting-snapshot-v5";
+                              version == "accounting-snapshot-v5" ||
+                              version == "accounting-snapshot-v6";
+  const bool has_migration = version == "accounting-snapshot-v5" ||
+                             version == "accounting-snapshot-v6";
+  const bool has_failover = version == "accounting-snapshot-v6";
   const std::string server = dec.str();
   if (server != expected_server) {
     return util::fail(ErrorCode::kProtocolError,
@@ -481,6 +518,19 @@ util::Status AccountingServer::restore_(const crypto::SymmetricKey& key,
       applied_migrations.insert(dec.u64());
     }
   }
+  std::set<PrincipalName> adopted;
+  std::map<PrincipalName, std::uint64_t> watermarks;
+  if (has_failover) {
+    const std::uint32_t adopted_count = dec.u32();
+    for (std::uint32_t i = 0; i < adopted_count && dec.ok(); ++i) {
+      adopted.insert(dec.str());
+    }
+    const std::uint32_t mark_count = dec.u32();
+    for (std::uint32_t i = 0; i < mark_count && dec.ok(); ++i) {
+      const PrincipalName source = dec.str();
+      watermarks[source] = dec.u64();
+    }
+  }
   RPROXY_RETURN_IF_ERROR(dec.finish());
 
   // Merge the revocation state BEFORE swapping in the rest: a merge
@@ -502,6 +552,9 @@ util::Status AccountingServer::restore_(const crypto::SymmetricKey& key,
   // Pre-v5 snapshots predate sharding: no freezes, nothing imported.
   frozen_ = std::move(frozen);
   applied_migrations_ = std::move(applied_migrations);
+  // Pre-v6 snapshots predate failover: nothing adopted, no watermarks.
+  adopted_identities_ = std::move(adopted);
+  repl_watermarks_ = std::move(watermarks);
   return util::Status::ok();
 }
 
@@ -661,6 +714,34 @@ AccountingServer::MigrateInRecord AccountingServer::MigrateInRecord::decode(
   return r;
 }
 
+void AccountingServer::ReplApplyRecord::encode(wire::Encoder& enc) const {
+  enc.str(source);
+  enc.u64(source_lsn);
+  enc.u16(inner_type);
+  enc.bytes(inner_payload);
+}
+
+AccountingServer::ReplApplyRecord AccountingServer::ReplApplyRecord::decode(
+    wire::Decoder& dec) {
+  ReplApplyRecord r;
+  r.source = dec.str();
+  r.source_lsn = dec.u64();
+  r.inner_type = dec.u16();
+  r.inner_payload = dec.bytes();
+  return r;
+}
+
+void AccountingServer::IdentityAdoptRecord::encode(wire::Encoder& enc) const {
+  enc.str(name);
+}
+
+AccountingServer::IdentityAdoptRecord
+AccountingServer::IdentityAdoptRecord::decode(wire::Decoder& dec) {
+  IdentityAdoptRecord r;
+  r.name = dec.str();
+  return r;
+}
+
 namespace {
 /// Highest LSN this serving thread appended under FsyncPolicy::kGroup but
 /// has not yet committed.  Thread-local because the append happens deep
@@ -798,20 +879,50 @@ AccountingServer::latest_snapshot() const {
 }
 
 util::Status AccountingServer::apply_replicated(
-    const storage::JournalRecord& record) {
-  // Replay through the same appliers recovery uses: idempotent against the
-  // dedup tables / migration-id sets, so a shipper resending from an older
-  // watermark is harmless.
-  RPROXY_RETURN_IF_ERROR(apply_record_(record));
-  // Standbys with their own storage re-journal the record so a promoted
-  // replica is itself durable (its LSN space is local; the replicated
-  // watermark lives in the StandbyReplayer).
+    const storage::JournalRecord& record, const PrincipalName& source,
+    std::uint64_t source_lsn) {
+  // A record already wrapped by an upstream standby (the new primary was
+  // itself a standby once — its journal is full of kReplApply frames) is
+  // unwrapped and re-stamped with THIS link's source/source_lsn: the
+  // inner effect is what replicates, the watermark is per-link.
+  storage::JournalRecord inner = record;
+  if (static_cast<JournalRecordType>(record.type) ==
+      JournalRecordType::kReplApply) {
+    wire::Decoder dec(record.payload);
+    ReplApplyRecord wrapped = ReplApplyRecord::decode(dec);
+    RPROXY_RETURN_IF_ERROR(dec.finish());
+    inner.type = wrapped.inner_type;
+    inner.payload = std::move(wrapped.inner_payload);
+  }
+  ReplApplyRecord wrapper;
+  wrapper.source = source;
+  wrapper.source_lsn = source_lsn;
+  wrapper.inner_type = inner.type;
+  wrapper.inner_payload = inner.payload;
+
+  const util::TimePoint now = config_.clock->now();
   std::uint64_t pending = 0;
   {
+    // ONE lock hold covers effect + journal + watermark: a concurrent
+    // snapshot can never observe the effect without the watermark that
+    // makes its resend-safety story true.
     std::lock_guard lock(state_mutex_);
+    std::uint64_t& mark = repl_watermarks_[source];
+    if (source_lsn != 0 && source_lsn <= mark) {
+      return util::Status::ok();  // duplicate resend below the watermark
+    }
+    // Replay through the same appliers recovery uses: idempotent against
+    // the dedup tables / migration-id sets, so a shipper resending from an
+    // older watermark is harmless.
+    RPROXY_RETURN_IF_ERROR(apply_record_locked_(inner, now));
+    mark = std::max(mark, source_lsn);
+    // Standbys with their own storage re-journal effect + watermark as one
+    // kReplApply frame, so a promoted replica is itself durable AND a
+    // restarted one knows where to resume (its LSN space is local).
     if (log_.has_value() && !storage_dead_.load()) {
       util::Result<std::uint64_t> lsn =
-          log_->append(record.type, record.payload);
+          log_->append(static_cast<std::uint16_t>(JournalRecordType::kReplApply),
+                       wire::encode_to_bytes(wrapper));
       if (!lsn.is_ok()) {
         storage_dead_.store(true);
         return lsn.status();
@@ -833,11 +944,57 @@ util::Status AccountingServer::apply_replicated(
   return util::Status::ok();
 }
 
+std::uint64_t AccountingServer::replication_watermark(
+    const PrincipalName& source) const {
+  std::lock_guard lock(state_mutex_);
+  auto it = repl_watermarks_.find(source);
+  return it == repl_watermarks_.end() ? 0 : it->second;
+}
+
+util::Status AccountingServer::adopt_identity(const PrincipalName& name) {
+  {
+    std::lock_guard lock(state_mutex_);
+    if (adopted_identities_.contains(name) || name == config_.name) {
+      return util::Status::ok();
+    }
+    adopted_identities_.insert(name);
+    RPROXY_RETURN_IF_ERROR(journal_append_(JournalRecordType::kIdentityAdopt,
+                                           IdentityAdoptRecord{name}));
+  }
+  return commit_pending_();
+}
+
+bool AccountingServer::identity_adopted(const PrincipalName& name) const {
+  std::lock_guard lock(state_mutex_);
+  return is_local_drawee_locked_(name);
+}
+
+bool AccountingServer::is_local_drawee_locked_(
+    const PrincipalName& server) const {
+  return server == config_.name || adopted_identities_.contains(server);
+}
+
+void AccountingServer::set_replication_barrier(
+    std::function<util::Status(std::uint64_t)> barrier) {
+  auto next =
+      barrier ? std::make_shared<const std::function<util::Status(
+                    std::uint64_t)>>(std::move(barrier))
+              : std::shared_ptr<
+                    const std::function<util::Status(std::uint64_t)>>();
+  std::lock_guard lock(barrier_mutex_);
+  barrier_ = std::move(next);
+}
+
 util::Status AccountingServer::apply_record_(
     const storage::JournalRecord& record) {
   const util::TimePoint now = config_.clock->now();
-  wire::Decoder dec(record.payload);
   std::lock_guard lock(state_mutex_);
+  return apply_record_locked_(record, now);
+}
+
+util::Status AccountingServer::apply_record_locked_(
+    const storage::JournalRecord& record, const util::TimePoint now) {
+  wire::Decoder dec(record.payload);
   switch (static_cast<JournalRecordType>(record.type)) {
     case JournalRecordType::kAccountOpen: {
       AccountOpenRecord rec = AccountOpenRecord::decode(dec);
@@ -908,6 +1065,31 @@ util::Status AccountingServer::apply_record_(
       const MigrationSpec spec = MigrationSpec::decode(dec);
       RPROXY_RETURN_IF_ERROR(dec.finish());
       apply_migrate_out_(spec);
+      return util::Status::ok();
+    }
+    case JournalRecordType::kReplApply: {
+      ReplApplyRecord rec = ReplApplyRecord::decode(dec);
+      RPROXY_RETURN_IF_ERROR(dec.finish());
+      // Effect + watermark replay as one unit, mirroring how they were
+      // written.  Recursion depth is 1: apply_replicated() always unwraps
+      // before re-wrapping, so a wrapper never nests another wrapper.
+      std::uint64_t& mark = repl_watermarks_[rec.source];
+      if (rec.source_lsn != 0 && rec.source_lsn <= mark) {
+        return util::Status::ok();  // already covered (non-idempotent
+                                    // inner records must not re-apply)
+      }
+      storage::JournalRecord inner;
+      inner.lsn = record.lsn;
+      inner.type = rec.inner_type;
+      inner.payload = std::move(rec.inner_payload);
+      RPROXY_RETURN_IF_ERROR(apply_record_locked_(inner, now));
+      mark = std::max(mark, rec.source_lsn);
+      return util::Status::ok();
+    }
+    case JournalRecordType::kIdentityAdopt: {
+      const IdentityAdoptRecord rec = IdentityAdoptRecord::decode(dec);
+      RPROXY_RETURN_IF_ERROR(dec.finish());
+      adopted_identities_.insert(rec.name);
       return util::Status::ok();
     }
   }
@@ -1302,8 +1484,13 @@ net::Envelope AccountingServer::handle(const net::Envelope& request) {
   // watermark, so the set of acked operations is always a subset of what a
   // promoted standby holds.  Error replies skip the wait — refusals carry
   // no state a failover could lose.
-  if (config_.replication_barrier && reply.type != net::MsgType::kError) {
-    const util::Status shipped = replication_barrier_();
+  std::shared_ptr<const std::function<util::Status(std::uint64_t)>> barrier;
+  {
+    std::lock_guard lock(barrier_mutex_);
+    barrier = barrier_;
+  }
+  if (barrier && *barrier && reply.type != net::MsgType::kError) {
+    const util::Status shipped = replication_barrier_(*barrier);
     if (!shipped.is_ok()) {
       // Withhold the reply: the operation may be applied locally, but it
       // is not replicated, so acking it would break acked ⊆ standby-state.
@@ -1323,7 +1510,8 @@ net::Envelope AccountingServer::handle(const net::Envelope& request) {
   return reply;
 }
 
-util::Status AccountingServer::replication_barrier_() {
+util::Status AccountingServer::replication_barrier_(
+    const std::function<util::Status(std::uint64_t)>& barrier) {
   std::uint64_t target = 0;
   {
     std::lock_guard lock(state_mutex_);
@@ -1345,7 +1533,7 @@ util::Status AccountingServer::replication_barrier_() {
   }
   // The wait itself runs outside state_mutex_: the shipper's RPCs (and a
   // simulated network's nested handlers) must not stall local handlers.
-  return config_.replication_barrier(target);
+  return barrier(target);
 }
 
 net::Envelope AccountingServer::handle_dispatch_(
@@ -1675,8 +1863,12 @@ net::Envelope AccountingServer::handle_deposit_(const net::Envelope& request) {
                            deposit_digest(req), now);
   if (!who.is_ok()) return net::make_error_reply(request, who.status());
 
+  // Drawee dispatch covers adopted identities: after a failover the
+  // promoted survivor settles checks drawn on the dead primary's name as
+  // its own (the dedup key above is the check's grantor + number, so
+  // collections retried across the takeover stay exactly-once).
   util::Result<DepositReplyPayload> reply =
-      req.check.payor_account.server == config_.name
+      identity_adopted(req.check.payor_account.server)
           ? settle_(req, who.value(), now)
           : collect_foreign_(req, now);
   if (!reply.is_ok()) {
@@ -1717,7 +1909,11 @@ util::Result<DepositReplyPayload> AccountingServer::settle_(
   // final collector), issued-for, quota against the drawn amount, and the
   // accept-once check number.
   core::RequestContext ctx;
-  ctx.end_server = config_.name;
+  // Evaluate issued-for against the name the check was DRAWN on (== this
+  // server, or an identity it adopted in a takeover — the dispatch in
+  // handle_deposit_ guarantees one of the two, and parse_check_terms
+  // cross-checked the name against the signed restriction).
+  ctx.end_server = terms.drawee_server;
   ctx.operation = "debit";
   ctx.object = account_object(terms.payor_local_account);
   ctx.amounts = {{terms.currency, req.amount}};
@@ -1849,9 +2045,20 @@ util::Result<DepositReplyPayload> AccountingServer::collect_foreign_(
     uncollected_[pending_key] =
         Uncollected{req.collect_account, terms.currency, req.amount};
 
-    // "adds its own endorsement and forwards the check"
-    auto it = routes_.find(terms.drawee_server);
-    next = it == routes_.end() ? terms.drawee_server : it->second;
+    // "adds its own endorsement and forwards the check": an explicit
+    // clearing route wins; otherwise ask the shard directory whether the
+    // drawee's name has a failover successor (a promoted standby serving
+    // the dead primary's ring arcs collects its checks too); otherwise
+    // collect from the drawee directly.
+    if (auto it = routes_.find(terms.drawee_server); it != routes_.end()) {
+      next = it->second;
+    } else {
+      PrincipalName successor;
+      if (config_.shard != nullptr) {
+        successor = config_.shard->successor(terms.drawee_server);
+      }
+      next = successor.empty() ? terms.drawee_server : successor;
+    }
   }
 
   const auto undo = [&]() {

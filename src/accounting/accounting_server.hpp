@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 
@@ -222,6 +223,8 @@ enum class JournalRecordType : std::uint16_t {
   kMigrateFreeze = 9,   ///< source: hash range frozen for migration
   kMigrateIn = 10,      ///< target: migrated accounts imported
   kMigrateOut = 11,     ///< source: migrated range evacuated, freeze lifted
+  kReplApply = 12,      ///< standby: replicated record + source watermark
+  kIdentityAdopt = 13,  ///< promoted: dead primary's bank name adopted
 };
 
 class AccountingServer final : public net::Node {
@@ -369,18 +372,63 @@ class AccountingServer final : public net::Node {
 
   /// Applies one shipped journal record through the recovery appliers
   /// (idempotent against the dedup tables, exactly like crash replay) and
-  /// re-journals it locally when this replica has its own storage.  Used
-  /// by replication::StandbyReplayer; local LSNs need not match the
-  /// primary's — the replicated watermark lives in the replayer.
+  /// re-journals it locally when this replica has its own storage, wrapped
+  /// in a kReplApply record that carries `source_lsn`.  Effect and
+  /// watermark land in ONE local record, so a crash can never persist the
+  /// effect without the watermark (or vice versa) — the shipper's
+  /// idempotent resend heals either loss.  Incoming kReplApply wrappers
+  /// (a standby-of-a-standby, or frames a promoted primary itself applied
+  /// as a standby) are unwrapped and re-stamped with this link's
+  /// source/source_lsn.  Used by replication::StandbyReplayer; local LSNs
+  /// need not match the primary's.
   [[nodiscard]] util::Status apply_replicated(
-      const storage::JournalRecord& record);
+      const storage::JournalRecord& record, const PrincipalName& source,
+      std::uint64_t source_lsn);
+
+  /// Durable replication watermark: highest `source_lsn` applied from
+  /// `source` via apply_replicated(), surviving restarts through the
+  /// journal/snapshot.  0 when nothing was ever replicated from `source` —
+  /// a restarted standby resumes shipping from here instead of
+  /// re-bootstrapping.
+  [[nodiscard]] std::uint64_t replication_watermark(
+      const PrincipalName& source) const;
 
   /// restore() for a standby bootstrapping from its primary's sealed
   /// snapshot: identical, except the snapshot is expected to belong to
-  /// `source` rather than to this server.
+  /// `source` rather than to this server.  `snapshot_lsn` (the primary LSN
+  /// the snapshot covers) becomes the durable replication watermark for
+  /// `source`; when this replica has its own storage a checkpoint makes
+  /// the restored books + watermark durable immediately (local journal
+  /// records predating the restore are stale and compacted away).
   [[nodiscard]] util::Status restore_replica(const PrincipalName& source,
                                              const crypto::SymmetricKey& key,
-                                             util::BytesView snapshot);
+                                             util::BytesView snapshot,
+                                             std::uint64_t snapshot_lsn = 0);
+
+  /// Number of restore_replica() bootstraps this process has performed —
+  /// the watermark-resume tests assert this stays 0 on the resume path.
+  [[nodiscard]] std::uint64_t replica_bootstraps() const {
+    return replica_bootstraps_.load();
+  }
+
+  /// Adopts a (dead) peer bank's identity: checks drawn on `name` become
+  /// locally drawable here, exactly as if they named this server.  The
+  /// promoted survivor of a failover calls this so checks drawn on the
+  /// old primary's *name* still clear (the dedup tables keyed on the
+  /// check's own grantor+number keep retried collections exactly-once).
+  /// Journaled (kIdentityAdopt) and snapshotted; idempotent.
+  [[nodiscard]] util::Status adopt_identity(const PrincipalName& name);
+
+  /// True if checks drawn on `name` settle locally (own name or adopted).
+  [[nodiscard]] bool identity_adopted(const PrincipalName& name) const;
+
+  /// Swaps the semi-sync replication barrier at runtime — the failover
+  /// coordinator re-arms a promoted primary with a shipper for its new
+  /// standby.  Thread-safe against concurrent handle() calls; in-flight
+  /// requests finish against the barrier they loaded.  An empty function
+  /// disarms.
+  void set_replication_barrier(
+      std::function<util::Status(std::uint64_t durable_lsn)> barrier);
 
   /// Highest LSN covered by a completed fsync (0 without storage): the
   /// shipping watermark — replication never sends a record the disk could
@@ -557,6 +605,24 @@ class AccountingServer final : public net::Node {
     void encode(wire::Encoder& enc) const;
     static MigrateInRecord decode(wire::Decoder& dec);
   };
+  /// kReplApply: a record replicated from `source`, journaled locally as
+  /// effect + watermark in one frame (see apply_replicated()).
+  struct ReplApplyRecord {
+    PrincipalName source;
+    std::uint64_t source_lsn = 0;
+    std::uint16_t inner_type = 0;
+    util::Bytes inner_payload;
+
+    void encode(wire::Encoder& enc) const;
+    static ReplApplyRecord decode(wire::Decoder& dec);
+  };
+  /// kIdentityAdopt: the named peer bank's checks settle here now.
+  struct IdentityAdoptRecord {
+    PrincipalName name;
+
+    void encode(wire::Encoder& enc) const;
+    static IdentityAdoptRecord decode(wire::Decoder& dec);
+  };
 
   /// Authenticates a request's identity proof against its challenge and
   /// request digest; returns the principal.
@@ -629,12 +695,13 @@ class AccountingServer final : public net::Node {
                                       util::BytesView snapshot,
                                       const PrincipalName& expected_server);
 
-  /// Runs Config::replication_barrier for a reply that is about to leave:
-  /// forces the journal durable watermark up to everything appended so far
-  /// (required under kNever/kBatch, a no-op after the kGroup barrier), then
-  /// waits for standby acks of that watermark.  Call with state_mutex_
-  /// released.
-  [[nodiscard]] util::Status replication_barrier_();
+  /// Runs the loaded replication barrier for a reply that is about to
+  /// leave: forces the journal durable watermark up to everything appended
+  /// so far (required under kNever/kBatch, a no-op after the kGroup
+  /// barrier), then waits for standby acks of that watermark.  Call with
+  /// state_mutex_ released.
+  [[nodiscard]] util::Status replication_barrier_(
+      const std::function<util::Status(std::uint64_t)>& barrier);
 
   /// Appends one typed record to the journal (state_mutex_ held).  No-op
   /// without storage; on failure marks the server storage-dead and
@@ -645,8 +712,19 @@ class AccountingServer final : public net::Node {
                                              const Record& record);
 
   /// Replay dispatch for recover(): decodes `record` and re-applies it.
+  /// Takes state_mutex_; the _locked_ variant is the dispatch body for
+  /// callers already holding it (apply_replicated, and the kReplApply
+  /// case which recurses once to apply its inner record).
   [[nodiscard]] util::Status apply_record_(
       const storage::JournalRecord& record);
+  [[nodiscard]] util::Status apply_record_locked_(
+      const storage::JournalRecord& record, util::TimePoint now);
+
+  /// True when this server is the drawee of a check naming `server` —
+  /// its own name, or one it adopted via identity takeover.  state_mutex_
+  /// must be held.
+  [[nodiscard]] bool is_local_drawee_locked_(
+      const PrincipalName& server) const;
   /// Per-type appliers (state_mutex_ held).  Settle/certify/foreign are
   /// idempotent against their dedup entry so a record that survives in
   /// both a snapshot and the journal tail applies once.
@@ -689,6 +767,20 @@ class AccountingServer final : public net::Node {
   /// Migration ids already imported here (the exactly-once guard for
   /// kMigrateIn).  Snapshotted (v5) like the dedup tables.
   std::set<std::uint64_t> applied_migrations_;
+  /// Peer bank names adopted via identity takeover (snapshotted, v6).
+  std::set<PrincipalName> adopted_identities_;
+  /// Durable replication watermarks: source server -> highest source LSN
+  /// applied here (snapshotted, v6; advanced by kReplApply replay).
+  std::map<PrincipalName, std::uint64_t> repl_watermarks_;
+  /// Bootstraps performed via restore_replica() (process-local counter).
+  std::atomic<std::uint64_t> replica_bootstraps_{0};
+  /// Live replication barrier (initialized from Config, swappable via
+  /// set_replication_barrier).  handle() loads the shared_ptr under
+  /// barrier_mutex_ and calls through its copy, so a failover re-arm
+  /// never races an in-flight reply.
+  mutable std::mutex barrier_mutex_;
+  std::shared_ptr<const std::function<util::Status(std::uint64_t)>>
+      barrier_;
   /// The write-ahead log; engaged by recover() when storage is on.
   /// Appends happen under state_mutex_.
   std::optional<storage::LogDir> log_;

@@ -177,6 +177,60 @@ util::Result<DepositReplyPayload> AccountingClient::endorse_and_deposit(
   return deposit(server, std::move(endorsed), collect_account, check.amount);
 }
 
+net::Envelope AccountingClient::challenge_request(
+    const PrincipalName& server) const {
+  net::Envelope e;
+  e.from = self_;
+  e.to = server;
+  e.type = net::MsgType::kPresentChallengeRequest;
+  e.payload = wire::encode_to_bytes(EmptyPayload{});
+  return e;
+}
+
+util::Result<core::ChallengeRegistry::Challenge>
+AccountingClient::read_challenge_reply(const net::Envelope& reply) {
+  RPROXY_RETURN_IF_ERROR(
+      net::expect_type(reply, net::MsgType::kPresentChallengeReply));
+  RPROXY_ASSIGN_OR_RETURN(
+      ChallengeReply decoded,
+      wire::decode_from_bytes<ChallengeReply>(reply.payload));
+  core::ChallengeRegistry::Challenge c;
+  c.id = decoded.id;
+  c.nonce = std::move(decoded.nonce);
+  return c;
+}
+
+util::Result<net::Envelope> AccountingClient::deposit_request(
+    const PrincipalName& server, const Check& check,
+    const std::string& collect_account,
+    const core::ChallengeRegistry::Challenge& challenge) const {
+  RPROXY_ASSIGN_OR_RETURN(
+      Check endorsed,
+      endorse_check(check, self_, identity_key_, server, clock_.now()));
+  DepositPayload req;
+  req.challenge_id = challenge.id;
+  req.check = std::move(endorsed);
+  req.collect_account = collect_account;
+  req.amount = check.amount;
+  req.identity =
+      prove_(challenge.nonce, server,
+             core::request_digest("deposit", collect_account,
+                                  {{req.check.currency, req.amount}}));
+  net::Envelope e;
+  e.from = self_;
+  e.to = server;
+  e.type = net::MsgType::kCheckDeposit;
+  e.payload = wire::encode_to_bytes(req);
+  return e;
+}
+
+util::Result<DepositReplyPayload> AccountingClient::read_deposit_reply(
+    const net::Envelope& reply) {
+  RPROXY_RETURN_IF_ERROR(
+      net::expect_type(reply, net::MsgType::kDepositReply));
+  return wire::decode_from_bytes<DepositReplyPayload>(reply.payload);
+}
+
 util::Result<Check> AccountingClient::buy_cashier_check(
     const PrincipalName& server, const std::string& account,
     const PrincipalName& payee, const Currency& currency,

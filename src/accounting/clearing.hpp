@@ -61,6 +61,30 @@ class AccountingClient {
       const PrincipalName& payee, const Currency& currency,
       std::uint64_t amount);
 
+  // Pipelined-clearing building blocks.  deposit()/endorse_and_deposit()
+  // drive one challenge+deposit exchange to completion; a caller keeping
+  // many clearing legs in flight at once (net::FanoutClient) instead
+  // builds the raw envelopes here and collects replies itself.  The
+  // possession proof is still challenge-bound per leg, so pipelining
+  // changes scheduling, never the authorization story.
+
+  /// Request envelope for a fresh single-use challenge from `server`.
+  [[nodiscard]] net::Envelope challenge_request(
+      const PrincipalName& server) const;
+  /// Decodes the challenge from a challenge_request() exchange's reply.
+  [[nodiscard]] static util::Result<core::ChallengeRegistry::Challenge>
+  read_challenge_reply(const net::Envelope& reply);
+  /// Endorses `check` over to `server` and builds the deposit envelope
+  /// (full check amount into `collect_account`), proving possession
+  /// against `challenge`.
+  [[nodiscard]] util::Result<net::Envelope> deposit_request(
+      const PrincipalName& server, const Check& check,
+      const std::string& collect_account,
+      const core::ChallengeRegistry::Challenge& challenge) const;
+  /// Decodes the deposit outcome from a deposit_request() exchange.
+  [[nodiscard]] static util::Result<DepositReplyPayload> read_deposit_reply(
+      const net::Envelope& reply);
+
   [[nodiscard]] const PrincipalName& self() const { return self_; }
 
  private:

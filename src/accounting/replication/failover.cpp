@@ -1,0 +1,120 @@
+#include "accounting/replication/failover.hpp"
+
+#include <algorithm>
+
+namespace rproxy::accounting::replication {
+
+using util::ErrorCode;
+
+void FailoverCoordinator::adopt_group(AccountingServer* primary,
+                                      std::shared_ptr<JournalShipper> shipper,
+                                      std::vector<StandbyReplayer*> standbys) {
+  primary_server_ = primary;
+  primary_name_ = primary != nullptr ? primary->name() : PrincipalName{};
+  shipper_ = std::move(shipper);
+  standbys_ = std::move(standbys);
+}
+
+util::Result<bool> FailoverCoordinator::tick() {
+  // Heartbeat while the primary is healthy: the shipper round feeds every
+  // standby's failure detector (and drains any backlog).  A primary whose
+  // journal died — or that was fenced by an earlier split — must NOT keep
+  // heartbeating, or its standbys would never time out.
+  if (shipper_ != nullptr && primary_server_ != nullptr &&
+      !primary_server_->storage_dead() && !primary_server_->fenced() &&
+      !shipper_->fenced()) {
+    (void)shipper_->ship_once();
+  }
+
+  StandbyReplayer* winner = nullptr;
+  for (StandbyReplayer* standby : standbys_) {
+    if (standby->promoted()) {
+      // Promoted outside a tick (a test drove maybe_promote directly, or
+      // a prior heal failed partway): heal it now.
+      winner = standby;
+      break;
+    }
+    util::Result<bool> promoted = standby->maybe_promote();
+    if (!promoted.is_ok()) continue;  // lost the race; resubscribed below
+    if (promoted.value()) {
+      winner = standby;
+      break;
+    }
+  }
+  if (winner == nullptr) return false;
+  RPROXY_RETURN_IF_ERROR(heal_(winner));
+  return true;
+}
+
+util::Status FailoverCoordinator::heal_(StandbyReplayer* winner) {
+  AccountingServer& server = winner->server();
+  const PrincipalName old_primary = primary_name_;
+  const std::uint64_t epoch = winner->epoch();
+
+  // 1. Logical bank-identity takeover: checks drawn on the dead primary's
+  //    name settle at the winner from now on.  Durable (journaled +
+  //    snapshotted) so a restart of the winner keeps honoring them; names
+  //    the dead primary had itself adopted in an earlier takeover arrived
+  //    with the replicated state, so adoption chains across failovers.
+  RPROXY_RETURN_IF_ERROR(server.adopt_identity(old_primary));
+
+  // 2. Checkpoint: replacements bootstrap from one sealed snapshot (and
+  //    the journal tail below it is compacted, so the shipper's read at
+  //    LSN 1 takes the bootstrap path instead of replaying the winner's
+  //    entire standby life frame by frame).  A memory-only winner skips
+  //    this — its standbys then replicate nothing until it gains storage,
+  //    which is exactly what kUnavailable means here.
+  const util::Status checkpointed = server.checkpoint();
+  if (!checkpointed.is_ok() &&
+      checkpointed.code() != ErrorCode::kUnavailable) {
+    return checkpointed;
+  }
+
+  // 3. Losers re-subscribe: divergent tails discarded, next ship answered
+  //    with needs_bootstrap so the new shipper snapshot-seeds them.
+  std::vector<StandbyReplayer*> next_standbys;
+  for (StandbyReplayer* standby : standbys_) {
+    if (standby == winner) continue;
+    standby->resubscribe(winner->name(), epoch);
+    next_standbys.push_back(standby);
+  }
+
+  // 4. Re-provision: restore the replication factor without operator
+  //    action.
+  if (config_.provision) {
+    StandbyReplayer* replacement = config_.provision(winner->name(), epoch);
+    if (replacement != nullptr) next_standbys.push_back(replacement);
+  }
+
+  // 5. Fresh shipper over the new standby set, re-armed as the winner's
+  //    semi-sync barrier.  The barrier lambda shares ownership of the
+  //    shipper, so an in-flight request that loaded the OLD barrier keeps
+  //    its shipper alive — no use-after-free across the swap.
+  JournalShipper::Config ship_config;
+  ship_config.primary = &server;
+  ship_config.net = config_.net;
+  ship_config.standbys.reserve(next_standbys.size());
+  for (const StandbyReplayer* standby : next_standbys) {
+    ship_config.standbys.push_back(standby->name());
+  }
+  ship_config.epoch = epoch;
+  ship_config.max_frames_per_ship = config_.max_frames_per_ship;
+  ship_config.max_attempts = config_.max_attempts;
+  auto shipper = std::make_shared<JournalShipper>(std::move(ship_config));
+  server.set_replication_barrier(
+      [shipper](std::uint64_t lsn) { return shipper->ship_until(lsn); });
+
+  // Seed the new generation (snapshot bootstraps + tail).  Best-effort:
+  // network faults here just mean the next barrier/tick retries, and the
+  // semi-sync barrier withholds acks until the standbys really hold them.
+  (void)shipper->ship_until(server.journal_durable_lsn());
+
+  primary_server_ = &server;
+  primary_name_ = winner->name();
+  shipper_ = std::move(shipper);
+  standbys_ = std::move(next_standbys);
+  generations_ += 1;
+  return util::Status::ok();
+}
+
+}  // namespace rproxy::accounting::replication

@@ -1,0 +1,102 @@
+// Self-healing failover (DESIGN.md §5h).
+//
+// PR 9 left the fleet able to survive exactly one primary failure: the
+// promoted standby served alone (no replica, no semi-sync barrier), the
+// losing sibling kept shipping from a dead subscription, and checks drawn
+// on the dead primary's NAME were uncollectible.  The FailoverCoordinator
+// closes the loop: it drives the standbys' failure detectors, and when one
+// promotes itself it
+//
+//   1. adopts the dead primary's bank identity on the winner (durable,
+//      journaled — checks drawn on the old name settle at the winner, the
+//      dedup tables keeping retried collections exactly-once),
+//   2. checkpoints the winner so replacements bootstrap from a sealed
+//      snapshot instead of a journal replay of its whole standby life,
+//   3. re-subscribes the losing siblings to the winner (they discard
+//      their possibly-divergent tail and take a snapshot bootstrap),
+//   4. provisions a REPLACEMENT standby through the caller's factory,
+//      restoring the configured replication factor, and
+//   5. re-arms the winner's semi-sync barrier with a fresh JournalShipper
+//      over the new standby set, then seeds it.
+//
+// After one heal the fleet is back to a primary + hot standbys and the
+// coordinator is re-pointed at the new generation — a SECOND failure runs
+// the same loop again (the repeated-failover chaos suite's whole point).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "accounting/replication/journal_shipper.hpp"
+#include "accounting/replication/standby.hpp"
+
+namespace rproxy::accounting::replication {
+
+class FailoverCoordinator {
+ public:
+  struct Config {
+    net::SimNet* net = nullptr;
+    const util::Clock* clock = nullptr;
+    /// Provisions the replacement standby after a takeover: boots an
+    /// empty replica server, attaches a StandbyReplayer for it to the
+    /// net, and returns the replayer (caller keeps ownership; the
+    /// coordinator only holds the pointer).  nullptr return (or an unset
+    /// factory) skips re-provisioning — the fleet heals without
+    /// restoring its replication factor.
+    std::function<StandbyReplayer*(const PrincipalName& new_primary,
+                                   std::uint64_t epoch)>
+        provision;
+    /// Ship batch size / retry rounds for the shippers the coordinator
+    /// creates on each heal.
+    std::size_t max_frames_per_ship = 256;
+    int max_attempts = 6;
+  };
+
+  explicit FailoverCoordinator(Config config) : config_(std::move(config)) {}
+
+  /// Registers the current generation: the serving primary, the shipper
+  /// feeding its standbys (shared — the primary's replication barrier
+  /// typically captures the same one), and the standby replayers.  The
+  /// primary's own replayer is null for a born-primary (generation 0) and
+  /// set after a heal.  All raw pointers are non-owning.
+  void adopt_group(AccountingServer* primary,
+                   std::shared_ptr<JournalShipper> shipper,
+                   std::vector<StandbyReplayer*> standbys);
+
+  /// One coordinator round: heartbeat the standbys while the primary is
+  /// healthy, drive each standby's failure detector, and when one
+  /// promotes itself run the full heal (steps 1–5 above).  Returns true
+  /// when a takeover + heal happened this tick.
+  [[nodiscard]] util::Result<bool> tick();
+
+  /// The serving primary's name for the current generation.
+  [[nodiscard]] const PrincipalName& primary_name() const {
+    return primary_name_;
+  }
+  /// The current generation's shipper (changes on every heal).
+  [[nodiscard]] const std::shared_ptr<JournalShipper>& shipper() const {
+    return shipper_;
+  }
+  /// The current standby set (losers that re-subscribed + replacements).
+  [[nodiscard]] const std::vector<StandbyReplayer*>& standbys() const {
+    return standbys_;
+  }
+  /// Completed takeover+heal cycles.
+  [[nodiscard]] std::uint64_t generations() const { return generations_; }
+
+ private:
+  /// Steps 1–5 for `winner`; on success the coordinator tracks the new
+  /// generation.
+  [[nodiscard]] util::Status heal_(StandbyReplayer* winner);
+
+  Config config_;
+  PrincipalName primary_name_;
+  AccountingServer* primary_server_ = nullptr;
+  std::shared_ptr<JournalShipper> shipper_;
+  std::vector<StandbyReplayer*> standbys_;
+  std::uint64_t generations_ = 0;
+};
+
+}  // namespace rproxy::accounting::replication

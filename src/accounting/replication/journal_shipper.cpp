@@ -53,6 +53,35 @@ JournalShipper::Progress JournalShipper::ship_once() {
   return progress;
 }
 
+void JournalShipper::bootstrap_standby_(const PrincipalName& standby,
+                                        std::uint64_t& acked,
+                                        Progress& progress) {
+  const PrincipalName& self = config_.primary->name();
+  auto snapshot = config_.primary->latest_snapshot();
+  if (!snapshot.is_ok() || !snapshot.value().has_value()) {
+    progress.all_reachable = false;
+    return;
+  }
+  BootstrapRequest request;
+  request.primary = self;
+  request.epoch = config_.epoch;
+  request.snapshot_lsn = snapshot.value()->lsn;
+  request.sealed = snapshot.value()->sealed;
+  auto reply = net::call<BootstrapReply>(
+      *config_.net, self, standby, net::MsgType::kReplBootstrap,
+      net::MsgType::kReplBootstrapReply, request);
+  if (!reply.is_ok()) {
+    if (reply.code() == ErrorCode::kFenced) {
+      progress.fenced = true;
+      fencing_epoch_.store(reply.status().detail());
+    } else {
+      progress.all_reachable = false;
+    }
+    return;
+  }
+  acked = std::max(acked, reply.value().watermark_lsn);
+}
+
 void JournalShipper::ship_standby_(const PrincipalName& standby,
                                    std::uint64_t& acked, Progress& progress) {
   const PrincipalName& self = config_.primary->name();
@@ -63,29 +92,7 @@ void JournalShipper::ship_standby_(const PrincipalName& standby,
     // The records this standby needs were compacted away by a checkpoint:
     // re-seed it from the newest sealed snapshot, then resume shipping
     // from the snapshot's LSN next round.
-    auto snapshot = config_.primary->latest_snapshot();
-    if (!snapshot.is_ok() || !snapshot.value().has_value()) {
-      progress.all_reachable = false;
-      return;
-    }
-    BootstrapRequest request;
-    request.primary = self;
-    request.epoch = config_.epoch;
-    request.snapshot_lsn = snapshot.value()->lsn;
-    request.sealed = snapshot.value()->sealed;
-    auto reply = net::call<BootstrapReply>(
-        *config_.net, self, standby, net::MsgType::kReplBootstrap,
-        net::MsgType::kReplBootstrapReply, request);
-    if (!reply.is_ok()) {
-      if (reply.code() == ErrorCode::kFenced) {
-        progress.fenced = true;
-        fencing_epoch_.store(reply.status().detail());
-      } else {
-        progress.all_reachable = false;
-      }
-      return;
-    }
-    acked = std::max(acked, reply.value().watermark_lsn);
+    bootstrap_standby_(standby, acked, progress);
     return;
   }
   if (!tail.is_ok()) {
@@ -114,6 +121,13 @@ void JournalShipper::ship_standby_(const PrincipalName& standby,
     } else {
       progress.all_reachable = false;
     }
+    return;
+  }
+  if (reply.value().needs_bootstrap) {
+    // A resubscribed promotion-race loser: its history may have diverged,
+    // so LSN-resume cannot heal it — only a snapshot restore can.
+    acked = 0;
+    bootstrap_standby_(standby, acked, progress);
     return;
   }
   acked = std::max(acked, reply.value().received_lsn);

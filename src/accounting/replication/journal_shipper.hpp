@@ -88,12 +88,18 @@ class JournalShipper {
   void rewind(const PrincipalName& standby, std::uint64_t lsn);
 
  private:
-  /// One standby's slice of a round: bootstrap if compacted past, then
+  /// One standby's slice of a round: bootstrap if compacted past (or the
+  /// standby asked for one — a resubscribed promotion-race loser), then
   /// ship the next batch.  Updates `acked`; flags fall into `progress`.
   /// Called WITHOUT mutex_ held (it performs network I/O — see
   /// ship_once() for the lock-order constraint).
   void ship_standby_(const PrincipalName& standby, std::uint64_t& acked,
                      Progress& progress);
+  /// Sends the newest sealed snapshot to `standby` and advances `acked`
+  /// to the snapshot LSN it acknowledges.  Shared by the compaction and
+  /// needs_bootstrap paths.  Called without mutex_ held.
+  void bootstrap_standby_(const PrincipalName& standby, std::uint64_t& acked,
+                          Progress& progress);
 
   Config config_;
   mutable std::mutex mutex_;

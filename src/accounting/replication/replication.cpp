@@ -46,6 +46,7 @@ void ShipReply::encode(wire::Encoder& enc) const {
   enc.u64(epoch);
   enc.u64(received_lsn);
   enc.u64(applied_lsn);
+  enc.boolean(needs_bootstrap);
 }
 
 ShipReply ShipReply::decode(wire::Decoder& dec) {
@@ -53,6 +54,7 @@ ShipReply ShipReply::decode(wire::Decoder& dec) {
   r.epoch = dec.u64();
   r.received_lsn = dec.u64();
   r.applied_lsn = dec.u64();
+  r.needs_bootstrap = dec.boolean();
   return r;
 }
 

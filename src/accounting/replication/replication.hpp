@@ -55,6 +55,11 @@ struct ShipReply {
   std::uint64_t epoch = 0;
   std::uint64_t received_lsn = 0;
   std::uint64_t applied_lsn = 0;
+  /// The standby's LSN space is NOT the sender's: it re-subscribed after
+  /// losing a promotion race (its applied history may have diverged past
+  /// what the new primary holds), so LSN-resume cannot heal it — ship a
+  /// full snapshot bootstrap before any frames.
+  bool needs_bootstrap = false;
 
   void encode(wire::Encoder& enc) const;
   static ShipReply decode(wire::Decoder& dec);

@@ -14,6 +14,15 @@ StandbyReplayer::StandbyReplayer(Config config)
   if (config_.jitter_max > 0) {
     jitter_ = util::Rng(config_.jitter_seed).range(0, config_.jitter_max);
   }
+  // Durable watermark resume: a restarted standby whose server recovered
+  // its own journal (kReplApply frames carry source + source LSN) picks
+  // up shipping exactly where it left off — no snapshot re-bootstrap.
+  if (config_.server != nullptr) {
+    const std::uint64_t mark =
+        config_.server->replication_watermark(config_.primary);
+    received_lsn_ = mark;
+    applied_lsn_ = mark;
+  }
 }
 
 net::Envelope StandbyReplayer::handle(const net::Envelope& request) {
@@ -84,19 +93,25 @@ net::Envelope StandbyReplayer::handle_ship_(const net::Envelope& request) {
   epoch_ = std::max(epoch_, req.epoch);
   last_heard_ = config_.clock->now();
   primary_durable_ = std::max(primary_durable_, req.durable_lsn);
-  for (const ShippedFrame& frame : req.frames) {
-    if (frame.lsn <= received_lsn_) continue;  // resend from an old
-                                               // watermark: idempotent skip
-    if (frame.lsn != received_lsn_ + 1) break;  // gap: ack what we hold and
-                                                // let the shipper resend
-    received_lsn_ = frame.lsn;
-    pending_.push_back(frame);
+  if (!needs_bootstrap_) {
+    // A resubscribed standby's state may have diverged (it applied frames
+    // its new primary never received): no frame is applied until the
+    // snapshot bootstrap realigns the histories.
+    for (const ShippedFrame& frame : req.frames) {
+      if (frame.lsn <= received_lsn_) continue;  // resend from an old
+                                                 // watermark: idempotent skip
+      if (frame.lsn != received_lsn_ + 1) break;  // gap: ack what we hold and
+                                                  // let the shipper resend
+      received_lsn_ = frame.lsn;
+      pending_.push_back(frame);
+    }
+    if (config_.apply_on_receive) apply_pending_locked_();
   }
-  if (config_.apply_on_receive) apply_pending_locked_();
   ShipReply reply;
   reply.epoch = epoch_;
   reply.received_lsn = received_lsn_;
   reply.applied_lsn = applied_lsn_;
+  reply.needs_bootstrap = needs_bootstrap_;
   return net::make_reply(request, net::MsgType::kReplShipReply, reply);
 }
 
@@ -116,7 +131,7 @@ net::Envelope StandbyReplayer::handle_bootstrap_(
   }
   epoch_ = std::max(epoch_, req.epoch);
   last_heard_ = config_.clock->now();
-  if (req.snapshot_lsn > received_lsn_) {
+  if (req.snapshot_lsn > received_lsn_ || needs_bootstrap_) {
     if (!config_.storage_key.has_value()) {
       return net::make_error_reply(
           request, util::fail(ErrorCode::kInternal,
@@ -124,12 +139,13 @@ net::Envelope StandbyReplayer::handle_bootstrap_(
                               "bootstrap snapshot"));
     }
     const util::Status restored = config_.server->restore_replica(
-        req.primary, *config_.storage_key, req.sealed);
+        req.primary, *config_.storage_key, req.sealed, req.snapshot_lsn);
     if (!restored.is_ok()) return net::make_error_reply(request, restored);
     pending_.clear();
     received_lsn_ = req.snapshot_lsn;
     applied_lsn_ = req.snapshot_lsn;
     primary_durable_ = std::max(primary_durable_, req.snapshot_lsn);
+    needs_bootstrap_ = false;
   }
   // A snapshot at or below our watermark is a duplicate — ack idempotently.
   BootstrapReply reply;
@@ -142,8 +158,8 @@ void StandbyReplayer::apply_pending_locked_() {
   while (!pending_.empty()) {
     const ShippedFrame frame = std::move(pending_.front());
     pending_.pop_front();
-    const util::Status applied =
-        config_.server->apply_replicated(frame.to_record());
+    const util::Status applied = config_.server->apply_replicated(
+        frame.to_record(), config_.primary, frame.lsn);
     // A failed frame is counted and dropped, not retried: replay through
     // the recovery appliers only fails when histories diverged (the
     // fencing-off ablation) or the replica is genuinely broken, and the
@@ -212,6 +228,36 @@ util::Status StandbyReplayer::promote_locked_() {
   // (instant for a hot standby, whose pending queue is always empty).
   catchup_target_ = received_lsn_;
   return util::Status::ok();
+}
+
+void StandbyReplayer::resubscribe(const PrincipalName& new_primary,
+                                  std::uint64_t epoch) {
+  std::lock_guard lock(mutex_);
+  if (promoted_) return;  // a promoted node never demotes in place
+  // Discard the divergent unacked tail outright; even the ACKED tail may
+  // exceed what the new primary received (per-standby shipping
+  // watermarks), so the applied state itself is suspect — demand a full
+  // snapshot bootstrap before following the new primary's frames.
+  pending_.clear();
+  config_.primary = new_primary;
+  epoch_ = std::max(epoch_, epoch);
+  received_lsn_ = 0;
+  applied_lsn_ = 0;
+  primary_durable_ = 0;
+  needs_bootstrap_ = true;
+  // Restart the failure detector: silence is measured against the NEW
+  // primary from this moment.
+  last_heard_ = config_.clock->now();
+}
+
+PrincipalName StandbyReplayer::primary() const {
+  std::lock_guard lock(mutex_);
+  return config_.primary;
+}
+
+bool StandbyReplayer::needs_bootstrap() const {
+  std::lock_guard lock(mutex_);
+  return needs_bootstrap_;
 }
 
 util::Status StandbyReplayer::apply_pending() {

@@ -90,6 +90,19 @@ class StandbyReplayer final : public net::Node {
   /// Applies every queued frame (warm-standby mode).
   [[nodiscard]] util::Status apply_pending();
 
+  /// Loser re-subscription (DESIGN.md §5h): this standby lost the
+  /// promotion race (or its primary was replaced under it) and must
+  /// follow `new_primary` at `epoch` instead.  Any unacked divergent tail
+  /// is discarded and the next ship is answered with needs_bootstrap —
+  /// this standby may have APPLIED frames the new primary never received,
+  /// so only a snapshot restore can realign the histories.
+  void resubscribe(const PrincipalName& new_primary, std::uint64_t epoch);
+
+  /// The primary currently subscribed to (changes on resubscribe()).
+  [[nodiscard]] PrincipalName primary() const;
+  /// True while a resubscribed standby awaits its snapshot bootstrap.
+  [[nodiscard]] bool needs_bootstrap() const;
+
   [[nodiscard]] std::uint64_t epoch() const;
   [[nodiscard]] bool promoted() const;
   /// Contiguous replicated watermark, in the primary's LSN space.
@@ -129,6 +142,9 @@ class StandbyReplayer final : public net::Node {
   /// watermark at promotion time).
   std::uint64_t catchup_target_ = 0;
   std::uint64_t apply_failures_ = 0;
+  /// Set by resubscribe(): frames are refused (needs_bootstrap in the
+  /// ship reply) until the new primary sends a snapshot bootstrap.
+  bool needs_bootstrap_ = false;
 };
 
 }  // namespace rproxy::accounting::replication

@@ -63,6 +63,18 @@ const PrincipalName* CompiledMap::home(std::string_view account) const {
   return alias == aliases_.end() ? placed : &alias->second;
 }
 
+PrincipalName CompiledMap::successor(const PrincipalName& name) const {
+  for (const auto& entry : map_.shards) {
+    if (entry.shard == name) return name;  // live member: itself
+  }
+  // Not a member — a failover cutover may have left its name behind as a
+  // placement alias on the member now serving its arcs.  Aliases do not
+  // chain (with_member_replaced keeps the ORIGINAL placement across
+  // repeated failovers), so one hop resolves any takeover depth.
+  const auto alias = aliases_.find(name);
+  return alias == aliases_.end() ? PrincipalName{} : alias->second;
+}
+
 bool ShardDirectory::install(ShardMap map) {
   auto compiled = std::make_shared<const CompiledMap>(std::move(map));
   std::lock_guard<std::mutex> lock(mutex_);
@@ -88,6 +100,11 @@ bool ShardDirectory::owns(const PrincipalName& shard, std::string_view account,
   if (!map) return true;  // no map installed: single-bank mode, gate open
   const PrincipalName* home = map->home(account);
   return home == nullptr || *home == shard;
+}
+
+PrincipalName ShardDirectory::successor(const PrincipalName& name) const {
+  const auto map = snapshot();
+  return map ? map->successor(name) : PrincipalName{};
 }
 
 PrincipalName ShardDirectory::home(std::string_view account) const {

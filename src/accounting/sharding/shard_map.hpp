@@ -61,6 +61,13 @@ class CompiledMap {
   /// The shard owning `account`; nullptr iff the map names no shards.
   [[nodiscard]] const PrincipalName* home(std::string_view account) const;
 
+  /// Failover successor of the bank named `name`: `name` itself while it
+  /// is a live member, the member now serving its ring arcs when a
+  /// cutover replaced it (placement aliases chain across repeated
+  /// failovers — s1's successor after s1->s1b->s1c is s1c), empty when
+  /// the map knows nothing about `name`.
+  [[nodiscard]] PrincipalName successor(const PrincipalName& name) const;
+
   [[nodiscard]] std::uint64_t version() const { return map_.version; }
   [[nodiscard]] const ShardMap& map() const { return map_; }
 
@@ -84,6 +91,15 @@ class ShardView {
   [[nodiscard]] virtual bool owns(const PrincipalName& shard,
                                   std::string_view account,
                                   std::uint64_t* version) const = 0;
+
+  /// Failover successor of the bank named `name` (see
+  /// CompiledMap::successor); empty when unknown.  Default: no directory,
+  /// no successors — checks clear at the drawee directly.
+  [[nodiscard]] virtual PrincipalName successor(
+      const PrincipalName& name) const {
+    (void)name;
+    return {};
+  }
 };
 
 /// The standard ShardView: holds the latest installed map and swaps in
@@ -107,6 +123,9 @@ class ShardDirectory final : public ShardView {
 
   [[nodiscard]] bool owns(const PrincipalName& shard, std::string_view account,
                           std::uint64_t* version) const override;
+
+  [[nodiscard]] PrincipalName successor(
+      const PrincipalName& name) const override;
 
   /// The home shard of `account` under the current map; empty string until
   /// a map with members is installed.

@@ -136,6 +136,111 @@ util::Status ShardRouter::cross_shard_transfer_(
   return deposited.status();
 }
 
+util::Status ShardRouter::attach_fanout(const PrincipalName& shard,
+                                        const std::string& host,
+                                        std::uint16_t port) {
+  RPROXY_RETURN_IF_ERROR(fanout_.connect(shard, host, port));
+  fanout_shards_.insert(shard);
+  return util::Status::ok();
+}
+
+std::vector<util::Status> ShardRouter::transfer_many(
+    const std::vector<TransferOp>& ops) {
+  std::vector<util::Status> results(ops.size(), util::Status::ok());
+
+  // Replies owed per connection, oldest first.  FanoutClient guarantees
+  // per-connection replies arrive in request order, so each completion on
+  // a key belongs to the FRONT of that key's queue; a challenge completion
+  // turns into a deposit send and the leg re-queues at the back (deposits
+  // are sent in challenge-arrival order, which on one connection IS leg
+  // order, so the queue stays aligned with the wire).
+  struct Pending {
+    std::size_t index = 0;
+    bool deposit = false;  ///< false: challenge reply owed; true: deposit
+    Check check;
+  };
+  std::map<PrincipalName, std::deque<Pending>> owed;
+  std::size_t inflight = 0;
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const TransferOp& op = ops[i];
+    const PrincipalName source = dir_.home(op.from);
+    const PrincipalName target = dir_.home(op.to);
+    if (source.empty() || target.empty() || source == target ||
+        !fanout_shards_.contains(target)) {
+      results[i] = transfer(op.from, op.to, op.currency, op.amount);
+      continue;
+    }
+    // Same clearing shape as cross_shard_transfer_: a numbered check drawn
+    // on the source shard, endorsed and deposited at the target, which
+    // collects through the source.  Dedup on both shards keeps re-drives
+    // of a failed leg exactly-once.
+    Pending leg;
+    leg.index = i;
+    leg.check = write_check(config_.self, config_.identity_key,
+                            AccountId{source, op.from},
+                            /*payee=*/config_.self, op.currency, op.amount,
+                            next_check_number_.fetch_add(1),
+                            config_.clock->now(), config_.check_lifetime);
+    results[i] = fanout_.send(target, client_.challenge_request(target));
+    if (!results[i].is_ok()) continue;
+    owed[target].push_back(std::move(leg));
+    inflight += 1;
+  }
+
+  while (inflight > 0) {
+    auto completion = fanout_.next(config_.fanout_timeout_ms);
+    if (!completion.is_ok()) {
+      // Timeout or dead peer: every reply still owed is wedged behind it.
+      // Fail those legs rather than blocking the batch forever.
+      for (const auto& [shard, queue] : owed) {
+        for (const Pending& leg : queue) {
+          results[leg.index] = completion.status();
+        }
+      }
+      return results;
+    }
+    const PrincipalName& shard = completion.value().key;
+    const auto queue_it = owed.find(shard);
+    if (queue_it == owed.end() || queue_it->second.empty()) {
+      // Stale reply from a previously wedged batch; not one of ours.
+      continue;
+    }
+    Pending leg = std::move(queue_it->second.front());
+    queue_it->second.pop_front();
+    inflight -= 1;
+
+    if (!leg.deposit) {
+      const util::Status advanced = [&]() -> util::Status {
+        RPROXY_ASSIGN_OR_RETURN(
+            core::ChallengeRegistry::Challenge challenge,
+            AccountingClient::read_challenge_reply(completion.value().reply));
+        RPROXY_ASSIGN_OR_RETURN(
+            net::Envelope deposit,
+            client_.deposit_request(shard, leg.check, ops[leg.index].to,
+                                    challenge));
+        return fanout_.send(shard, deposit);
+      }();
+      if (!advanced.is_ok()) {
+        results[leg.index] = advanced;
+        continue;
+      }
+      leg.deposit = true;
+      queue_it->second.push_back(std::move(leg));
+      inflight += 1;
+    } else {
+      const auto reply =
+          AccountingClient::read_deposit_reply(completion.value().reply);
+      results[leg.index] = reply.status();
+      if (reply.is_ok()) {
+        cross_.fetch_add(1);
+        pipelined_.fetch_add(1);
+      }
+    }
+  }
+  return results;
+}
+
 util::Status ShardRouter::refresh_map() { return refresh_map_(0); }
 
 util::Status ShardRouter::refresh_map_(std::uint64_t min_version) {

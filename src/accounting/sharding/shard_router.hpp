@@ -24,9 +24,13 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
+#include <set>
+#include <vector>
 
 #include "accounting/clearing.hpp"
 #include "accounting/sharding/shard_map.hpp"
+#include "net/fanout.hpp"
 
 namespace rproxy::accounting::sharding {
 
@@ -65,6 +69,9 @@ class ShardRouter {
     PrincipalName map_service;
     /// Validity of the checks that carry cross-shard transfers.
     util::Duration check_lifetime = 5 * util::kMinute;
+    /// Per-completion wait in transfer_many()'s collect loop; expiry fails
+    /// every leg still owed a reply (see transfer_many()).
+    int fanout_timeout_ms = 5000;
   };
 
   ShardRouter(Config config, ShardMap initial_map);
@@ -81,6 +88,36 @@ class ShardRouter {
                                       const std::string& to,
                                       const Currency& currency,
                                       std::uint64_t amount);
+
+  /// One leg of transfer_many().
+  struct TransferOp {
+    std::string from;
+    std::string to;
+    Currency currency;
+    std::uint64_t amount = 0;
+  };
+
+  /// Opens (or replaces) a pipelined TCP connection to `shard`'s real
+  /// endpoint.  Cross-shard legs in transfer_many() whose TARGET shard is
+  /// attached ride this connection; all other operations keep using the
+  /// Config::net transport.
+  [[nodiscard]] util::Status attach_fanout(const PrincipalName& shard,
+                                           const std::string& host,
+                                           std::uint16_t port);
+
+  /// Executes a batch of transfers, pipelining the cross-shard clearing
+  /// legs over the attached fanout connections: every leg's challenge
+  /// fetch goes out before any deposit is collected, each deposit follows
+  /// its own challenge the moment it lands, and completions drain in
+  /// ARRIVAL order across shards — a slow shard delays only its own legs
+  /// (the PR 8 stall this path removes).  Intra-shard ops, unattached
+  /// target shards, and routing gaps fall back to transfer() with its
+  /// refresh/re-route discipline.  Returns one status per op,
+  /// index-aligned.  After a collect failure (timeout / dead peer) the
+  /// wedged connection may still owe replies — re-attach_fanout() it
+  /// before reuse.
+  [[nodiscard]] std::vector<util::Status> transfer_many(
+      const std::vector<TransferOp>& ops);
 
   /// Installs a newer map directly (admin/test path; the kWrongShard path
   /// refreshes from the map service on its own).
@@ -119,6 +156,11 @@ class ShardRouter {
   [[nodiscard]] std::uint64_t map_refreshes() const {
     return refreshes_.load();
   }
+  /// Cross-shard transfers that cleared over the fanout path (also counted
+  /// in cross_shard_transfers()).
+  [[nodiscard]] std::uint64_t pipelined_transfers() const {
+    return pipelined_.load();
+  }
 
   [[nodiscard]] const PrincipalName& self() const { return client_.self(); }
 
@@ -142,12 +184,17 @@ class ShardRouter {
   Config config_;
   ShardDirectory dir_;
   AccountingClient client_;
+  /// Pipelined TCP connections by shard name.  Like the client ops, the
+  /// fanout path assumes one caller at a time.
+  net::FanoutClient fanout_;
+  std::set<PrincipalName> fanout_shards_;
   std::atomic<std::uint64_t> next_check_number_;
   std::atomic<std::uint64_t> intra_{0};
   std::atomic<std::uint64_t> cross_{0};
   std::atomic<std::uint64_t> redirects_{0};
   std::atomic<std::uint64_t> refreshes_{0};
   std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> pipelined_{0};
 };
 
 }  // namespace rproxy::accounting::sharding

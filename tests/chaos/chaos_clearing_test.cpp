@@ -202,6 +202,7 @@ TEST(ChaosClearing, DisablingDedupBreaksExactlyOnce) {
   // exercising the scenario dedup exists for.
   int violations = 0;
   for (std::uint64_t seed = 1; seed <= 10 && violations == 0; ++seed) {
+    SCOPED_TRACE("replay with CHAOS_SEED=" + std::to_string(seed));
     const Outcome out = run_clearing_chaos(seed, /*enable_dedup=*/false,
                                            /*drop_reply=*/0.2);
     if (out.protocol_errors > 0 || out.unconverged > 0 ||
@@ -436,6 +437,7 @@ TEST(ChaosClearing, SnapshotOnlyRestartLosesAcknowledgedState) {
   // anything.
   int violations = 0;
   for (std::uint64_t seed = 1; seed <= 8 && violations == 0; ++seed) {
+    SCOPED_TRACE("replay with CHAOS_SEED=" + std::to_string(seed));
     const std::string victim = (seed % 2) == 0 ? "bank1" : "bank3";
     const CrashOutcome out =
         run_crash_recovery_chaos(seed, /*replay_journal=*/false, victim);

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "accounting/replication/failover.hpp"
 #include "accounting/replication/journal_shipper.hpp"
 #include "accounting/replication/standby.hpp"
 #include "accounting/sharding/migration.hpp"
@@ -26,6 +27,7 @@ namespace {
 
 using accounting::AccountingServer;
 using accounting::MigrationSpec;
+using accounting::replication::FailoverCoordinator;
 using accounting::replication::JournalShipper;
 using accounting::replication::StandbyReplayer;
 using accounting::sharding::ShardDirectory;
@@ -444,6 +446,389 @@ TEST(ChaosReplication, MigrationTargetKilledFailsOverAndRedriveFinishes) {
     EXPECT_EQ(fleet.shards["s1"]->frozen_range_count(), 0u);
     EXPECT_TRUE(fleet.standby_server->migration_applied(spec.migration_id));
     EXPECT_EQ(fleet.standby->apply_failures(), 0u);
+  }
+}
+
+// ---- Double failover: survive the second failure ---------------------------
+
+/// Self-healing fleet (DESIGN.md §5h): the victim shard replicates to a
+/// GENERATION CHAIN of standbys driven by a FailoverCoordinator.  The
+/// gen-1 standby boots at construction carrying its own (still unarmed)
+/// crash point; replacements come out of the coordinator's provision
+/// factory, so the replication factor is back before the second kill.
+struct SelfHealingFleet {
+  World world;
+  rproxy::testing::TempDir tmp;
+  crypto::SymmetricKey storage_key = crypto::SymmetricKey::generate();
+  ShardDirectory dir;
+  std::map<std::string, std::unique_ptr<AccountingServer>> shards;
+  std::string victim;
+  storage::CrashPoint crash1;  ///< kills the born primary mid-clearing
+  storage::CrashPoint crash2;  ///< kills the gen-1 winner, armed after heal 1
+  std::vector<std::unique_ptr<AccountingServer>> gen_servers;
+  std::vector<std::unique_ptr<StandbyReplayer>> gen_replayers;
+  std::shared_ptr<JournalShipper> shipper;
+  std::unique_ptr<FailoverCoordinator> coordinator;
+  int generation = 1;
+
+  SelfHealingFleet(const std::string& victim_shard, std::uint64_t seed) {
+    victim = victim_shard;
+    world.add_principal("router");
+    for (const auto& s : kShards) world.add_principal(s);
+    EXPECT_TRUE(dir.install(uniform_map(kShards, 1)));
+    for (const auto& s : kShards) {
+      auto config = world.accounting_config(s);
+      config.shard = &dir;
+      config.storage_dir = tmp.sub(s);
+      config.storage_key = storage_key;
+      if (s == victim) {
+        config.crash_point = &crash1;
+        config.replication_barrier = [this](std::uint64_t lsn) {
+          return shipper ? shipper->ship_until(lsn) : util::Status::ok();
+        };
+      }
+      auto server = std::make_unique<AccountingServer>(std::move(config));
+      EXPECT_TRUE(server->recover().is_ok()) << s;
+      world.net.attach(s, *server);
+      shards[s] = std::move(server);
+    }
+    add_standby(victim + "g1", victim, /*epoch=*/1, seed, &crash2);
+    JournalShipper::Config sc;
+    sc.primary = shards[victim].get();
+    sc.net = &world.net;
+    sc.standbys = {victim + "g1"};
+    shipper = std::make_shared<JournalShipper>(std::move(sc));
+
+    FailoverCoordinator::Config cc;
+    cc.net = &world.net;
+    cc.clock = &world.clock;
+    cc.provision = [this, seed](const PrincipalName& new_primary,
+                                std::uint64_t epoch) {
+      generation += 1;
+      return add_standby(victim + "g" + std::to_string(generation),
+                         new_primary, epoch, seed, nullptr);
+    };
+    coordinator = std::make_unique<FailoverCoordinator>(std::move(cc));
+    coordinator->adopt_group(shards[victim].get(), shipper,
+                             {gen_replayers[0].get()});
+  }
+
+  StandbyReplayer* add_standby(const std::string& name,
+                               const PrincipalName& primary_name,
+                               std::uint64_t epoch, std::uint64_t seed,
+                               storage::CrashPoint* crash) {
+    world.add_principal(name);
+    auto config = world.accounting_config(name);
+    config.storage_dir = tmp.sub(name);
+    config.storage_key = storage_key;
+    config.crash_point = crash;
+    auto server = std::make_unique<AccountingServer>(std::move(config));
+    EXPECT_TRUE(server->recover().is_ok()) << name;
+    StandbyReplayer::Config rc;
+    rc.name = name;
+    rc.primary = primary_name;
+    rc.server = server.get();
+    rc.clock = &world.clock;
+    rc.storage_key = storage_key;
+    rc.epoch = epoch;
+    rc.jitter_seed = seed * 5 + gen_replayers.size() + 1;
+    rc.directory = &dir;
+    auto replayer = std::make_unique<StandbyReplayer>(std::move(rc));
+    world.net.attach(name, *replayer);
+    gen_servers.push_back(std::move(server));
+    gen_replayers.push_back(std::move(replayer));
+    return gen_replayers.back().get();
+  }
+
+  /// The serving copy of the victim's state (the victim itself until the
+  /// first heal, then whatever generation the coordinator promoted).
+  [[nodiscard]] AccountingServer& primary_server() {
+    for (auto& replayer : gen_replayers) {
+      if (replayer->name() == coordinator->primary_name()) {
+        return replayer->server();
+      }
+    }
+    return *shards[victim];
+  }
+
+  /// Detaches the dead primary and ticks the coordinator (heartbeat gap +
+  /// failure detector + heal) until generation `target` is serving.
+  void heal_to(std::uint64_t target) {
+    world.net.detach(coordinator->primary_name());
+    for (int i = 0; i < 15 && coordinator->generations() < target; ++i) {
+      world.clock.advance(700 * util::kMillisecond);
+      auto tick = coordinator->tick();
+      ASSERT_TRUE(tick.is_ok()) << tick.status();
+    }
+    ASSERT_EQ(coordinator->generations(), target)
+        << "no standby promoted after primary silence";
+  }
+
+  std::vector<std::string> open_on(const std::string& shard, int n) {
+    std::vector<std::string> names;
+    for (int i = 0; static_cast<int>(names.size()) < n; ++i) {
+      const std::string name = "acct-" + shard + "-" + std::to_string(i);
+      if (dir.home(name) != shard) continue;
+      shards[shard]->open_account(name, "router",
+                                  accounting::Balances{{"usd", kInitialBalance}});
+      names.push_back(name);
+    }
+    return names;
+  }
+
+  /// Live-fleet balance: healthy shards plus the CURRENT primary of the
+  /// victim's generation chain.  Dead generations and the replica copies
+  /// held by hot standbys are excluded — money must live exactly once in
+  /// the serving fleet.
+  [[nodiscard]] std::int64_t balance(const std::string& account) {
+    std::int64_t total = 0;
+    for (auto& [name, shard] : shards) {
+      if (name == victim) continue;
+      if (const auto* acct = shard->account(account)) {
+        total += acct->balances().balance("usd");
+      }
+    }
+    if (const auto* acct = primary_server().account(account)) {
+      total += acct->balances().balance("usd");
+    }
+    return total;
+  }
+};
+
+struct DoubleFailoverOutcome {
+  int protocol_errors = 0;
+  int unconverged = 0;
+  int acked_missing = 0;  ///< acked deposits absent right after a heal
+  std::uint64_t generations = 0;
+  bool factor_restored = false;  ///< replacement caught up before kill #2
+  bool dead_name_cleared = false;
+  std::uint64_t final_epoch = 0;
+  std::uint64_t apply_failures = 0;
+  std::int64_t named_total = 0;
+  std::int64_t expected_named_total = 0;
+  std::int64_t uncollected = 0;
+  int ledger_mismatches = 0;
+};
+
+/// Two successive primary failures mid-clearing under network faults.
+/// Phase 1 kills the born primary at a seed-chosen append; the coordinator
+/// promotes g1, re-provisions g2, and re-arms the barrier.  Once the
+/// replacement holds g1's durable state the SECOND crash point is armed
+/// and phase 2 kills g1 the same way — the heal must run again off the
+/// re-provisioned standby.  A check drawn on the original victim's NAME
+/// before any failure is presented only after both heals: identity
+/// adoption has to chain victim → g1 → g2.
+DoubleFailoverOutcome run_double_failover_chaos(std::uint64_t seed) {
+  SelfHealingFleet fleet(kShards[seed % kShards.size()], seed);
+  DoubleFailoverOutcome out;
+
+  std::map<std::string, std::vector<std::string>> accounts;
+  std::vector<std::string> all_accounts;
+  for (const auto& s : kShards) {
+    accounts[s] = fleet.open_on(s, 2);
+    all_accounts.insert(all_accounts.end(), accounts[s].begin(),
+                        accounts[s].end());
+  }
+  for (auto& [name, shard] : fleet.shards) {
+    EXPECT_TRUE(shard->checkpoint().is_ok()) << name;
+  }
+  EXPECT_TRUE(fleet.shipper
+                  ->ship_until(fleet.shards[fleet.victim]->journal_durable_lsn())
+                  .is_ok());
+
+  // Drawn on the victim's NAME before any failure, presented only after
+  // BOTH failovers — the adoption chain's acid test.
+  const accounting::Check dead_name_check = accounting::write_check(
+      "router", fleet.world.principal("router").identity,
+      AccountId{fleet.victim, accounts[fleet.victim][0]}, "router", "usd", 75,
+      777777, fleet.world.clock.now(), util::kHour);
+
+  struct PendingTransfer {
+    accounting::Check check;
+    std::string to_account;
+    std::uint64_t amount = 0;
+  };
+  util::Rng rng(seed);
+  std::vector<PendingTransfer> transfers;
+  std::vector<bool> cleared;
+  std::map<std::string, std::int64_t> delta;  ///< expected − kInitialBalance
+  std::uint64_t number = 1;
+  const auto make_batch = [&] {
+    for (const auto& src : kShards) {
+      if (src == fleet.victim) continue;
+      for (int k = 0; k < 4; ++k) {
+        const auto amount = static_cast<std::uint64_t>(rng.range(1, 40));
+        const std::string& from = accounts[src][k % accounts[src].size()];
+        const std::string& to =
+            accounts[fleet.victim][(k + 1) % accounts[fleet.victim].size()];
+        transfers.push_back(
+            {accounting::write_check("router",
+                                     fleet.world.principal("router").identity,
+                                     AccountId{src, from}, "router", "usd",
+                                     amount, number++,
+                                     fleet.world.clock.now(), util::kHour),
+             to, amount});
+        cleared.push_back(false);
+        delta[from] -= static_cast<std::int64_t>(amount);
+        delta[to] += static_cast<std::int64_t>(amount);
+      }
+    }
+  };
+
+  auto client = fleet.world.accounting_client("router");
+  net::RetryPolicy retry;
+  retry.max_attempts = 6;
+  client.set_retry_policy(retry);
+
+  // Acked ⊆ promoted state, re-checked after EVERY heal: each credit the
+  // client holds a cleared reply for must already be in the new primary's
+  // books (≥, not =: un-acked settles may legitimately have replicated).
+  const auto check_acked = [&] {
+    std::map<std::string, std::int64_t> acked;
+    for (std::size_t i = 0; i < transfers.size(); ++i) {
+      if (cleared[i]) acked[transfers[i].to_account] += transfers[i].amount;
+    }
+    for (const auto& [to, amt] : acked) {
+      const auto* acct = fleet.primary_server().account(to);
+      if (acct == nullptr ||
+          acct->balances().balance("usd") < kInitialBalance + amt) {
+        out.acked_missing += 1;
+      }
+    }
+  };
+  const auto drive = [&](std::size_t i, AccountingServer* mortal,
+                         std::uint64_t heal_target) {
+    auto result = client.endorse_and_deposit(
+        fleet.dir.home(transfers[i].to_account), transfers[i].check,
+        transfers[i].to_account);
+    if (result.is_ok()) {
+      cleared[i] = true;
+    } else if (!net::RetryPolicy::transport_error(result.status())) {
+      out.protocol_errors += 1;
+    }
+    if (fleet.coordinator->generations() < heal_target &&
+        mortal->storage_dead()) {
+      fleet.heal_to(heal_target);
+      check_acked();
+    }
+  };
+  const auto run_phase = [&](std::size_t begin, AccountingServer* mortal,
+                             std::uint64_t heal_target,
+                             std::uint64_t fault_seed) {
+    net::FaultSpec spec;
+    spec.drop_request = 0.05;
+    spec.drop_reply = 0.08;
+    spec.duplicate = 0.05;
+    spec.extra_delay = 0.10;
+    spec.extra_delay_max = 5 * util::kMillisecond;
+    fleet.world.net.set_fault_plan(net::FaultPlan::uniform(fault_seed, spec));
+    for (int pass = 0; pass < 3; ++pass) {
+      for (std::size_t i = begin; i < transfers.size(); ++i) {
+        if (!cleared[i]) drive(i, mortal, heal_target);
+      }
+    }
+    fleet.world.net.clear_fault_plan();
+    for (std::size_t i = begin; i < transfers.size(); ++i) {
+      for (int attempt = 0; attempt < 4 && !cleared[i]; ++attempt) {
+        drive(i, mortal, heal_target);
+      }
+      if (!cleared[i]) out.unconverged += 1;
+    }
+  };
+
+  // Phase 1: kill the born primary mid-clearing.
+  storage::CrashPlan plan1;
+  plan1.seed = seed * 977 + 13;
+  plan1.min_appends = 1;
+  plan1.max_appends = 8;
+  plan1.tear_mid_write = (seed % 2) == 0;
+  fleet.crash1.arm(plan1);
+  make_batch();
+  run_phase(0, fleet.shards[fleet.victim].get(), /*heal_target=*/1, seed);
+
+  // Factor-restored gate: before the second kill the coordinator must
+  // have a live replacement standby holding the winner's durable state —
+  // otherwise the second failure would have nothing to fail over TO and
+  // the test would only re-prove single-failure survival.
+  AccountingServer& gen1 = fleet.gen_replayers[0]->server();
+  out.factor_restored =
+      fleet.coordinator->generations() == 1 &&
+      !fleet.coordinator->standbys().empty() &&
+      fleet.coordinator->shipper()->ship_until(gen1.journal_durable_lsn())
+          .is_ok();
+
+  // Phase 2: the generation-1 winner dies the same way.
+  storage::CrashPlan plan2;
+  plan2.seed = seed * 31 + 7;
+  plan2.min_appends = 1;
+  plan2.max_appends = 6;
+  plan2.tear_mid_write = (seed % 3) == 0;
+  fleet.crash2.arm(plan2);
+  const std::size_t phase2_begin = transfers.size();
+  make_batch();
+  run_phase(phase2_begin, &gen1, /*heal_target=*/2, seed * 131 + 1);
+
+  out.generations = fleet.coordinator->generations();
+
+  // The dead NAME still clears at the final survivor (adoption chained
+  // victim → g1 → g2 through the bootstrap snapshots) and the retry is
+  // deduped: the paper moves money exactly once.
+  const PrincipalName survivor = fleet.coordinator->primary_name();
+  const auto deposited =
+      client.endorse_and_deposit(survivor, dead_name_check,
+                                 accounts[fleet.victim][1]);
+  const auto retried =
+      client.endorse_and_deposit(survivor, dead_name_check,
+                                 accounts[fleet.victim][1]);
+  out.dead_name_cleared = deposited.is_ok() && retried.is_ok();
+  if (out.dead_name_cleared) {
+    delta[accounts[fleet.victim][0]] -= 75;
+    delta[accounts[fleet.victim][1]] += 75;
+  }
+
+  for (auto& replayer : fleet.gen_replayers) {
+    if (replayer->name() == survivor) out.final_epoch = replayer->epoch();
+  }
+  out.apply_failures += fleet.coordinator->standbys().empty()
+                            ? 0
+                            : fleet.coordinator->standbys()[0]->apply_failures();
+
+  out.expected_named_total =
+      static_cast<std::int64_t>(all_accounts.size()) * kInitialBalance;
+  for (const auto& account : all_accounts) {
+    out.named_total += fleet.balance(account);
+    if (fleet.balance(account) != kInitialBalance + delta[account]) {
+      out.ledger_mismatches += 1;
+    }
+  }
+  for (auto& [name, shard] : fleet.shards) {
+    if (name != fleet.victim) out.uncollected += shard->uncollected_total();
+  }
+  out.uncollected += fleet.primary_server().uncollected_total();
+  return out;
+}
+
+TEST(ChaosReplication, SecondFailureHealsAndTheBooksStayExact) {
+  for (const std::uint64_t seed : seed_matrix(6)) {
+    SCOPED_TRACE("replay with CHAOS_SEED=" + std::to_string(seed));
+    const DoubleFailoverOutcome out = run_double_failover_chaos(seed);
+    // Both seeded kills fired and both heals completed (epochs 1 → 2 → 3).
+    EXPECT_EQ(out.generations, 2u);
+    EXPECT_EQ(out.final_epoch, 3u);
+    EXPECT_TRUE(out.factor_restored)
+        << "replication factor was not back before the second kill";
+    EXPECT_EQ(out.protocol_errors, 0);
+    EXPECT_EQ(out.unconverged, 0);
+    EXPECT_EQ(out.acked_missing, 0);
+    EXPECT_TRUE(out.dead_name_cleared)
+        << "check drawn on the original primary's name bounced at the "
+           "final survivor";
+    // Fleet-wide conservation across BOTH failovers: nothing settled
+    // twice, nothing lost, every ledger line exact.
+    EXPECT_EQ(out.named_total, out.expected_named_total);
+    EXPECT_EQ(out.ledger_mismatches, 0);
+    EXPECT_EQ(out.uncollected, 0);
+    EXPECT_EQ(out.apply_failures, 0u);
   }
 }
 

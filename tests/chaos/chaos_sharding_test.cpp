@@ -268,6 +268,7 @@ TEST(ChaosSharding, DedupOffBreaksCrossShardExactlyOnce) {
   // so some seed must corrupt the books.
   int violations = 0;
   for (std::uint64_t seed = 1; seed <= 10 && violations == 0; ++seed) {
+    SCOPED_TRACE("replay with CHAOS_SEED=" + std::to_string(seed));
     const ClearingOutcome out =
         run_shard_clearing_chaos(seed, /*enable_dedup=*/false);
     if (out.protocol_errors > 0 || out.unconverged > 0 ||
@@ -353,6 +354,7 @@ TEST(ChaosSharding, DedupOffReimportClobbersPostCutoverState) {
   // deposit survives; with dedup off the stale export is re-applied over
   // the new state — acknowledged money vanishes.
   for (const bool dedup : {true, false}) {
+    SCOPED_TRACE(dedup ? "guarded arm (dedup on)" : "ablation arm (dedup off)");
     ShardedFleet fleet;
     fleet.enable_dedup = dedup;
     for (const auto& s : kShards) fleet.boot(s, nullptr);
